@@ -1,0 +1,80 @@
+// E3 — Thm 3.4: (ALC, AQ) has the same expressive power as unary
+// connected simple MDDlog; the forward translation is exponential in
+// |O|, the backward one linear.
+//
+// We verify the produced program class flags, measure the forward
+// blowup on the chain family, and run the backward translation
+// (Thm 3.4(2)) on hand-written simple connected programs, checking
+// answer agreement through the independent CSP route.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/csp_translation.h"
+#include "core/mddlog_translation.h"
+#include "core/paper_families.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+
+namespace {
+
+int Run() {
+  obda::bench::Banner("E3",
+                      "Thm 3.4 ((ALC,AQ) ≡ unary connected simple MDDlog)",
+                      "translation class flags + exponential forward / "
+                      "linear backward sizes");
+  std::printf("forward (chain OMQ → MDDlog):\n%4s %8s %12s %10s %10s %10s\n",
+              "n", "|Q|", "|Π|", "monadic", "simple", "connected");
+  bool class_ok = true;
+  for (int n = 1; n <= 5; ++n) {
+    auto omq = obda::core::ChainOmq(n);
+    if (!omq.ok()) return 1;
+    auto program = obda::core::CompileAqToMddlog(*omq);
+    if (!program.ok()) return 1;
+    bool m = program->IsMonadic();
+    bool s = program->IsSimple();
+    bool c = program->IsConnected();
+    class_ok = class_ok && m && s && c && program->IsUnary();
+    std::printf("%4d %8zu %12zu %10s %10s %10s\n", n, omq->SymbolSize(),
+                program->SymbolSize(), m ? "yes" : "NO", s ? "yes" : "NO",
+                c ? "yes" : "NO");
+  }
+
+  std::printf("\nbackward (Thm 3.4(2), simple connected program → "
+              "(ALC,AQ)):\n");
+  obda::data::Schema s;
+  s.AddRelation("R", 2);
+  s.AddRelation("A", 1);
+  auto program = obda::ddlog::ParseProgram(s, R"(
+    P(x) <- A(x).
+    P(y) <- R(x,y), P(x).
+    goal(x) <- P(x).
+  )");
+  if (!program.ok()) return 1;
+  auto omq = obda::core::SimpleMddlogToOmq(*program);
+  if (!omq.ok()) {
+    std::printf("backward translation failed: %s\n",
+                omq.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("  program size %zu  ->  OMQ size %zu (linear, O(|Π|))\n",
+              program->SymbolSize(), omq->SymbolSize());
+
+  auto d = obda::data::ParseInstance(s, "A(a). R(a,b). R(b,c). R(z,z)");
+  bool agree = false;
+  if (d.ok()) {
+    auto via_program = obda::ddlog::CertainAnswers(*program, *d);
+    auto via_omq = obda::core::CertainAnswersViaCsp(*omq, *d);
+    agree = via_program.ok() && via_omq.ok() &&
+            via_program->tuples == *via_omq;
+    std::printf("  answer agreement on sample data: %s (%zu answers)\n",
+                agree ? "yes" : "NO",
+                via_omq.ok() ? via_omq->size() : 0);
+  }
+  obda::bench::Footer(class_ok && agree);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

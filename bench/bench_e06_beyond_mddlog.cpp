@@ -1,0 +1,106 @@
+// E6 — Thm 3.10 (+ Lemma 3.9): (S,UCQ) and (ALCF,UCQ) are strictly more
+// expressive than MDDlog.
+//
+// (a) Transitive roles: the query "some pair is connected by both an
+//     R-path and an S-path" separates the Yes/No instance families of
+//     the proof; we evaluate it with the bounded reference engine (the
+//     type-based MDDlog translation rightly REFUSES transitive input).
+// (b) Lemma 3.9 flavour: D1 itself does not map into D0, but small
+//     subinstances do — the local-indistinguishability that defeats any
+//     forbidden-patterns (= MDDlog) characterization.
+// (c) Functional roles: MDDlog queries are preserved under
+//     homomorphisms; the (ALCF,AQ) query q = A(x) is not — the standard
+//     names assumption makes {R(a,b1), R(a,b2)} inconsistent although it
+//     maps into the consistent {R(a,b)}.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/paper_families.h"
+#include "core/ucq_translation.h"
+#include "data/homomorphism.h"
+#include "dl/bounded_model.h"
+
+namespace {
+
+int Run() {
+  obda::bench::Banner("E6", "Thm 3.10 ((S,UCQ), (ALCF,UCQ) ⊄ MDDlog)",
+                      "separating families behave as in the proof; the "
+                      "MDDlog compiler refuses S/F input");
+  bool ok = true;
+
+  // (a) Transitive roles.
+  auto omq = obda::core::Thm310Omq();
+  if (!omq.ok()) return 1;
+  {
+    auto refused = obda::core::CompileUcqToMddlog(*omq);
+    std::printf("MDDlog compiler on (S,UCQ): %s\n",
+                refused.ok() ? "ACCEPTED (unexpected!)"
+                             : refused.status().ToString().c_str());
+    ok = ok && !refused.ok();
+  }
+  std::printf("\n%4s %8s %14s %14s\n", "m", "m'", "Q(D1)", "Q(D0)");
+  for (int m : {2, 3}) {
+    obda::data::Instance d1 = obda::core::Thm310YesInstance(m);
+    obda::data::Instance d0 = obda::core::Thm310NoInstance(m, m + 1);
+    obda::dl::BoundedModelOptions options;
+    options.extra_elements = 0;  // transitive closure adds no elements
+    auto q1 = omq->CertainAnswersBounded(d1, options);
+    auto q0 = omq->CertainAnswersBounded(d0, options);
+    bool yes = q1.ok() && q1->size() == 1;
+    bool no = q0.ok() && q0->empty();
+    ok = ok && yes && no;
+    std::printf("%4d %8d %14s %14s\n", m, m + 1, yes ? "true" : "FALSE?",
+                no ? "false" : "TRUE?");
+  }
+
+  // (b) Local indistinguishability.
+  {
+    obda::data::Instance d1 = obda::core::Thm310YesInstance(3);
+    obda::data::Instance d0 = obda::core::Thm310NoInstance(3, 4);
+    bool full = obda::data::HomomorphismExists(d1, d0);
+    std::printf("\nD1 → D0 (full): %s (expected: no)\n",
+                full ? "yes" : "no");
+    ok = ok && !full;
+    // Dropping the last R-fact of D1 makes it mappable.
+    auto r = d1.schema().FindRelation("R");
+    obda::data::Instance sub(d1.schema());
+    for (obda::data::ConstId c = 0; c < d1.UniverseSize(); ++c) {
+      sub.AddConstant(d1.ConstantName(c));
+    }
+    for (obda::data::RelationId rel = 0;
+         rel < d1.schema().NumRelations(); ++rel) {
+      for (std::uint32_t i = 0; i < d1.NumTuples(rel); ++i) {
+        if (rel == *r && i + 1 == d1.NumTuples(rel)) continue;
+        sub.AddFact(rel, d1.Tuple(rel, i));
+      }
+    }
+    bool partial = obda::data::HomomorphismExists(sub, d0);
+    std::printf("D1 minus one R-fact → D0: %s (expected: yes)\n",
+                partial ? "yes" : "no");
+    ok = ok && partial;
+  }
+
+  // (c) Functional roles break homomorphism preservation.
+  {
+    auto alcf = obda::core::AlcfCounterexampleOmq();
+    if (!alcf.ok()) return 1;
+    obda::data::Instance d = obda::core::AlcfInconsistentInstance();
+    obda::data::Instance d_prime = obda::core::AlcfConsistentImage();
+    bool hom = obda::data::HomomorphismExists(d, d_prime);
+    auto a_d = alcf->CertainAnswersBounded(d);
+    auto a_dp = alcf->CertainAnswersBounded(d_prime);
+    std::printf("\nALCF: hom D → D' exists: %s;  |cert(D)| = %zu "
+                "(inconsistent: all), |cert(D')| = %zu\n",
+                hom ? "yes" : "no", a_d.ok() ? a_d->size() : 0,
+                a_dp.ok() ? a_dp->size() : 0);
+    ok = ok && hom && a_d.ok() && a_d->size() == 3 && a_dp.ok() &&
+         a_dp->empty();
+  }
+  obda::bench::Footer(ok);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

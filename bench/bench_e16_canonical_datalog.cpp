@@ -1,0 +1,77 @@
+// E16 — §5.3: datalog-rewritings via the Feder–Vardi canonical program.
+// For datalog-rewritable OMQs the canonical arc-consistency program is a
+// PTime evaluation vehicle; we compare its answers and runtime against
+// the generic coNP evaluation (SAT over the Thm 3.4 MDDlog program) as
+// the data grows.
+
+#include <cstdio>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "core/csp_translation.h"
+#include "core/mddlog_translation.h"
+#include "core/rewritability.h"
+#include "data/generator.h"
+#include "ddlog/eval.h"
+#include "dl/parser.h"
+
+namespace {
+
+int Run() {
+  obda::bench::Banner("E16", "§5.3 (canonical datalog rewriting)",
+                      "PTime datalog rewriting matches the generic coNP "
+                      "evaluation and scales better");
+  auto o = obda::dl::ParseOntology(
+      "some HasParent.HP [= HP");
+  if (!o.ok()) return 1;
+  obda::data::Schema s;
+  s.AddRelation("HP", 1);
+  s.AddRelation("HasParent", 2);
+  auto omq =
+      obda::core::OntologyMediatedQuery::WithAtomicQuery(s, *o, "HP");
+  if (!omq.ok()) return 1;
+  auto rewriting = obda::core::ExtractDatalogRewriting(*omq);
+  if (!rewriting.ok()) {
+    std::printf("rewriting failed: %s\n",
+                rewriting.status().ToString().c_str());
+    return 1;
+  }
+  auto generic = obda::core::CompileAqToMddlog(*omq);
+  if (!generic.ok()) return 1;
+
+  std::printf("%6s %8s %16s %16s %10s\n", "n", "facts", "datalog (ms)",
+              "generic (ms)", "agree");
+  obda::base::Rng rng(33);
+  bool ok = true;
+  for (int n : {4, 8, 16, 32}) {
+    obda::data::Instance d(s);
+    for (int i = 0; i < n; ++i) d.AddConstant("p" + std::to_string(i));
+    for (int i = 0; i < 2 * n; ++i) {
+      d.AddFact(*s.FindRelation("HasParent"),
+                {static_cast<obda::data::ConstId>(rng.Below(n)),
+                 static_cast<obda::data::ConstId>(rng.Below(n))});
+    }
+    d.AddFact(*s.FindRelation("HP"),
+              {static_cast<obda::data::ConstId>(rng.Below(n))});
+    obda::bench::Timer t1;
+    auto via_rewriting = rewriting->Evaluate(d);
+    double ms1 = t1.Millis();
+    obda::bench::Timer t2;
+    auto via_generic = obda::ddlog::CertainAnswers(*generic, d);
+    double ms2 = t2.Millis();
+    bool agree = via_rewriting.ok() && via_generic.ok() &&
+                 *via_rewriting == via_generic->tuples;
+    ok = ok && agree;
+    std::printf("%6d %8zu %16.2f %16.2f %10s\n", n, d.NumFacts(), ms1,
+                ms2, agree ? "yes" : "NO");
+  }
+  std::printf("\n(both are polynomial here — the template has tree "
+              "duality — but the datalog route avoids the per-tuple SAT "
+              "search of the generic evaluator.)\n");
+  obda::bench::Footer(ok);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,87 @@
+// E19 — Thm 5.7 lower bound: the NExpTime-hardness gadget, executed.
+// The proof reduces exponential grid tiling to containment of (ALC,AQ)
+// queries via the counting ontology O2 and its tiling extension O1. We
+// materialize the full construction and run the proof's Claim on 2×2
+// grids (n = 1): on the canonical grid instance D_grid,
+//   cert_{O2,E}(D_grid) = ∅ always (D_grid is consistent with O2), and
+//   (0,0) ∈ cert_{O1,E}(D_grid) iff the tiling system has NO solution.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/grid_tiling.h"
+#include "core/omq.h"
+#include "dl/bounded_model.h"
+
+namespace {
+
+obda::core::TilingSystem Solvable() {
+  obda::core::TilingSystem t;
+  t.n = 1;
+  t.tiles = {"A", "B"};
+  t.horizontal = {{0, 1}, {1, 0}};
+  t.vertical = {{0, 0}, {1, 1}};
+  t.initial = {0, 1};  // A B on the bottom row
+  return t;
+}
+
+obda::core::TilingSystem Unsolvable() {
+  obda::core::TilingSystem t = Solvable();
+  t.vertical = {};  // no vertical continuation at all
+  return t;
+}
+
+int Run() {
+  obda::bench::Banner("E19", "Thm 5.7 lower bound (grid tiling gadget)",
+                      "cert_{O1,E}(D_grid) nonempty iff the tiling has no "
+                      "solution; D_grid consistent with O2");
+  bool ok = true;
+  for (bool solvable : {true, false}) {
+    obda::core::TilingSystem system = solvable ? Solvable() : Unsolvable();
+    bool ground_truth = system.HasSolution();
+    if (ground_truth != solvable) {
+      std::printf("brute-force tiling solver disagrees with setup!\n");
+      return 1;
+    }
+    obda::core::GridReduction red =
+        obda::core::BuildGridReduction(system);
+    obda::data::Instance grid =
+        obda::core::GridInstance(system.n, red.schema);
+
+    // O2 has no E symbol, so cert_{O2,E}(D_grid) = ∅ iff D_grid is
+    // consistent with O2 — which is what the proof needs.
+    auto consistent = obda::dl::BoundedConsistent(red.o2, grid);
+    auto omq1 = obda::core::OntologyMediatedQuery::WithAtomicQuery(
+        red.schema, red.o1, "E");
+    if (!omq1.ok() || !consistent.ok()) return 1;
+    obda::dl::BoundedModelOptions options;
+    options.extra_elements = 0;  // the grid needs no fresh elements
+    auto cert1 = omq1->CertainAnswersBounded(grid, options);
+    if (!cert1.ok()) {
+      std::printf("evaluation failed: %s\n",
+                  cert1.status().ToString().c_str());
+      return 1;
+    }
+    bool origin_certain = false;
+    for (const auto& t : *cert1) {
+      if (grid.ConstantName(t[0]) == "c0_0") origin_certain = true;
+    }
+    bool row = *consistent && (origin_certain == !solvable);
+    ok = ok && row;
+    std::printf("%s system: D_grid consistent with O2: %s;  (0,0) ∈ "
+                "cert_{O1,E}: %s (expected %s)  [%zu E-certain cells]%s\n",
+                solvable ? "solvable " : "unsolvable",
+                *consistent ? "yes" : "NO",
+                origin_certain ? "yes" : "no", solvable ? "no" : "yes",
+                cert1->size(), row ? "" : "  MISMATCH");
+  }
+  std::printf("\n(n=1 exercises every axiom schema of the proof — "
+              "counters, increments, preservation, clash detection, "
+              "E-propagation; the NExpTime growth lives in 2^n.)\n");
+  obda::bench::Footer(ok);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

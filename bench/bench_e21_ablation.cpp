@@ -1,0 +1,103 @@
+// E21 — ablation of the evaluation machinery (DESIGN.md design-choice
+// index): the same CSP instances decided by four procedures of
+// increasing strength/cost:
+//
+//   AC      arc consistency (canonical width-1 datalog)      — sound
+//   PC      (2,3)-consistency                                — sound
+//   MAC     homomorphism search with maintained GAC           — complete
+//   SAT     the Thm 3.4 MDDlog program + SAT certain answers  — complete
+//
+// The table reports, per template, how often each sound procedure
+// already decides (refutes or the instance maps), and median times —
+// justifying the layered design: consistency first, search only when
+// needed.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "base/rng.h"
+#include "bench_util.h"
+#include "core/csp_translation.h"
+#include "core/mddlog_translation.h"
+#include "csp/consistency.h"
+#include "csp/duality.h"
+#include "data/generator.h"
+#include "data/homomorphism.h"
+#include "ddlog/eval.h"
+
+namespace {
+
+double Median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+int Run() {
+  obda::bench::Banner("E21", "ablation: AC vs (2,3)-consistency vs MAC vs "
+                             "SAT",
+                      "sound procedures decide most instances; complete "
+                      "ones agree with each other");
+  struct TemplateCase {
+    const char* name;
+    obda::data::Instance b;
+  };
+  TemplateCase cases[] = {
+      {"P2 (tree-dual)", obda::data::DirectedPath("E", 2)},
+      {"K2 (width 2)", obda::data::Clique("E", 2)},
+      {"K3 (NP-hard)", obda::data::Clique("E", 3)},
+  };
+  std::printf("%-16s %10s %10s %12s %12s %12s %12s\n", "template",
+              "AC decides", "PC decides", "AC ms", "PC ms", "MAC ms",
+              "SAT ms");
+  bool ok = true;
+  for (auto& c : cases) {
+    auto omq = obda::core::CspToOmq(c.b);
+    if (!omq.ok()) return 1;
+    auto program = obda::core::CompileAqToMddlog(*omq);
+    if (!program.ok()) return 1;
+    obda::base::Rng rng(404);
+    int ac_decides = 0;
+    int pc_decides = 0;
+    const int trials = 12;
+    std::vector<double> t_ac;
+    std::vector<double> t_pc;
+    std::vector<double> t_mac;
+    std::vector<double> t_sat;
+    for (int t = 0; t < trials; ++t) {
+      obda::data::Instance d =
+          obda::data::RandomDigraph("E", 8, 12, rng);
+      obda::bench::Timer t1;
+      bool ac = obda::csp::ArcConsistencyRefutes(d, c.b);
+      t_ac.push_back(t1.Millis());
+      obda::bench::Timer t2;
+      bool pc = obda::csp::PairwiseConsistencyRefutes(d, c.b);
+      t_pc.push_back(t2.Millis());
+      obda::bench::Timer t3;
+      bool hom = obda::data::HomomorphismExists(d, c.b);
+      t_mac.push_back(t3.Millis());
+      obda::bench::Timer t4;
+      auto sat = obda::ddlog::EvaluateBoolean(
+          *program, d.ReductTo(omq->data_schema()));
+      t_sat.push_back(t4.Millis());
+      // Soundness invariants + engine agreement.
+      if (ac && hom) ok = false;
+      if (pc && hom) ok = false;
+      if (sat.ok() && *sat != !hom) ok = false;
+      if (ac || hom) ++ac_decides;
+      if (pc || hom) ++pc_decides;
+    }
+    std::printf("%-16s %7d/%d %7d/%d %12.3f %12.3f %12.3f %12.3f\n",
+                c.name, ac_decides, trials, pc_decides, trials,
+                Median(t_ac), Median(t_pc), Median(t_mac), Median(t_sat));
+  }
+  std::printf("\n(AC/PC are sound everywhere and complete exactly where "
+              "the theory says — tree duality for AC, bounded width for "
+              "PC; MAC and SAT always agree.)\n");
+  obda::bench::Footer(ok);
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -1,0 +1,40 @@
+#ifndef OBDA_BENCH_BENCH_UTIL_H_
+#define OBDA_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace obda::bench {
+
+/// Wall-clock stopwatch for the table-printing benches.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Millis() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the experiment banner (id and the paper item it reproduces).
+inline void Banner(const char* id, const char* paper_item,
+                   const char* claim) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 1 << 14);
+  std::printf("================================================================\n");
+  std::printf("%s — %s\n", id, paper_item);
+  std::printf("claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void Footer(bool ok) {
+  std::printf("RESULT: %s\n\n", ok ? "shape reproduced" : "MISMATCH");
+}
+
+}  // namespace obda::bench
+
+#endif  // OBDA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,75 @@
+// Dichotomy explorer (paper §5.1): the PTime/coNP dichotomy for
+// ontology-mediated queries is the Feder–Vardi conjecture in disguise.
+//
+// We take two OMQs obtained from CSP templates via the Thm 4.6 reverse
+// construction: coCSP(K2) (2-colorability — bounded width, datalog-
+// rewritable, PTime) and coCSP(K3) (3-colorability — NP-hard). The
+// classifier (Thm 5.16 machinery) sorts them correctly, and the runtime
+// of the generic coNP evaluator against the (2,3)-consistency PTime
+// procedure makes the complexity gap visible.
+
+#include <chrono>
+#include <cstdio>
+
+#include "base/rng.h"
+#include "core/csp_translation.h"
+#include "core/rewritability.h"
+#include "csp/consistency.h"
+#include "data/generator.h"
+#include "data/homomorphism.h"
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+int Run() {
+  for (int k : {2, 3}) {
+    obda::data::Instance clique = obda::data::Clique("E", k);
+    auto omq = obda::core::CspToOmq(clique);
+    if (!omq.ok()) return 1;
+    auto fo = obda::core::IsFoRewritable(*omq);
+    auto dl = obda::core::IsDatalogRewritable(*omq);
+    std::printf("OMQ from coCSP(K%d): FO-rewritable=%s  "
+                "datalog-rewritable=%s  => %s side of the dichotomy\n",
+                k, fo.ok() && *fo ? "yes" : "no",
+                dl.ok() && *dl ? "yes" : "no",
+                dl.ok() && *dl ? "PTime" : "coNP-hard");
+  }
+
+  std::printf("\nScaling of evaluation (random sparse digraphs):\n");
+  std::printf("%6s %14s %14s %18s\n", "n", "hom-K2 (ms)", "hom-K3 (ms)",
+              "(2,3)-cons K2 (ms)");
+  obda::base::Rng rng(42);
+  obda::data::Instance k2 = obda::data::Clique("E", 2);
+  obda::data::Instance k3 = obda::data::Clique("E", 3);
+  for (int n : {10, 20, 40, 80}) {
+    obda::data::Instance d =
+        obda::data::RandomDigraph("E", n, 2 * n, rng);
+    auto t0 = std::chrono::steady_clock::now();
+    obda::data::HomOptions options;
+    options.node_budget = 200'000'000;
+    (void)obda::data::FindHomomorphism(d, k2, {}, options);
+    double hom_k2 = MillisSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    (void)obda::data::FindHomomorphism(d, k3, {}, options);
+    double hom_k3 = MillisSince(t0);
+    t0 = std::chrono::steady_clock::now();
+    (void)obda::csp::PairwiseConsistencyRefutes(d, k2);
+    double pc = MillisSince(t0);
+    std::printf("%6d %14.2f %14.2f %18.2f\n", n, hom_k2, hom_k3, pc);
+  }
+  std::printf(
+      "\nThe datalog-rewritable side stays polynomial regardless of the\n"
+      "instance; the K3 side is NP-hard in general (Thm 5.1/5.3: a full\n"
+      "classification of (ALC,UCQ) would prove the Feder–Vardi "
+      "conjecture).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main() { return Run(); }

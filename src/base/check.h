@@ -1,0 +1,32 @@
+#ifndef OBDA_BASE_CHECK_H_
+#define OBDA_BASE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace obda::base::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "%s:%d: OBDA_CHECK(%s) failed\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace obda::base::internal
+
+/// Aborts the process when `cond` is false. Used for internal invariants
+/// (programming errors), never for user-input validation — those paths
+/// return `Status`.
+#define OBDA_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) ::obda::base::internal::CheckFail(__FILE__, __LINE__, #cond); \
+  } while (false)
+
+#define OBDA_CHECK_EQ(a, b) OBDA_CHECK((a) == (b))
+#define OBDA_CHECK_NE(a, b) OBDA_CHECK((a) != (b))
+#define OBDA_CHECK_LT(a, b) OBDA_CHECK((a) < (b))
+#define OBDA_CHECK_LE(a, b) OBDA_CHECK((a) <= (b))
+#define OBDA_CHECK_GT(a, b) OBDA_CHECK((a) > (b))
+#define OBDA_CHECK_GE(a, b) OBDA_CHECK((a) >= (b))
+
+#endif  // OBDA_BASE_CHECK_H_

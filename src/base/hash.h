@@ -1,0 +1,36 @@
+#ifndef OBDA_BASE_HASH_H_
+#define OBDA_BASE_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace obda::base {
+
+/// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
+inline void HashCombine(std::size_t& seed, std::size_t value) {
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+/// Hashes a contiguous range of integer-like values.
+template <typename It>
+std::size_t HashRange(It begin, It end, std::size_t seed = 0) {
+  for (It it = begin; it != end; ++it) {
+    HashCombine(seed, std::hash<std::uint64_t>{}(
+                          static_cast<std::uint64_t>(*it)));
+  }
+  return seed;
+}
+
+/// std::hash-compatible functor for vectors of integer-like values.
+template <typename T>
+struct VectorHash {
+  std::size_t operator()(const std::vector<T>& v) const {
+    return HashRange(v.begin(), v.end(), v.size());
+  }
+};
+
+}  // namespace obda::base
+
+#endif  // OBDA_BASE_HASH_H_

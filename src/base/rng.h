@@ -1,0 +1,48 @@
+#ifndef OBDA_BASE_RNG_H_
+#define OBDA_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/check.h"
+
+namespace obda::base {
+
+/// Deterministic splitmix64 generator. All randomized tests, generators and
+/// benches in the library draw from this so that runs are reproducible from
+/// a single seed, independently of the standard library implementation.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Returns a value uniform in [0, bound). `bound` must be positive.
+  std::uint64_t Below(std::uint64_t bound) {
+    OBDA_CHECK_GT(bound, 0u);
+    return Next() % bound;  // Bias is irrelevant for test-data generation.
+  }
+
+  /// Returns an int uniform in [lo, hi] inclusive.
+  int IntIn(int lo, int hi) {
+    OBDA_CHECK_LE(lo, hi);
+    return lo + static_cast<int>(Below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Returns true with probability `num`/`den`.
+  bool Chance(std::uint64_t num, std::uint64_t den) {
+    return Below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace obda::base
+
+#endif  // OBDA_BASE_RNG_H_

@@ -1,0 +1,126 @@
+#ifndef OBDA_BASE_STATUS_H_
+#define OBDA_BASE_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace obda::base {
+
+/// Canonical error space for the library. We deliberately keep the set small:
+/// callers almost always either propagate or print.
+enum class StatusCode {
+  kOk = 0,
+  /// Malformed input (parse errors, arity mismatches, unknown symbols).
+  kInvalidArgument,
+  /// The requested entity does not exist (unknown relation, constant, ...).
+  kNotFound,
+  /// A configurable resource budget (nodes, models, sizes) was exhausted
+  /// before the procedure could decide. Semi-decision procedures use this.
+  kResourceExhausted,
+  /// The operation is outside the implemented fragment (documented
+  /// substitutions in DESIGN.md §5).
+  kUnimplemented,
+  /// An internal invariant failed. Indicates a bug in the library.
+  kInternal,
+};
+
+/// Returns a short stable name for `code` ("OK", "INVALID_ARGUMENT", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Error-or-success value, Google-style. The library does not use
+/// exceptions; fallible functions return `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs a status with the given code and human-readable message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "CODE: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Convenience constructors mirroring absl.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+
+/// A value of type `T`, or a `Status` explaining why it is absent.
+///
+/// Minimal StatusOr analogue: access via `value()` after checking `ok()`.
+/// Accessing the value of a non-OK Result aborts the process (CHECK-style),
+/// matching the project's no-exceptions policy.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortIfError() const {
+  if (!ok()) internal::DieOnBadResultAccess(status_);
+}
+
+}  // namespace obda::base
+
+/// Propagates a non-OK Status from an expression, absl-style.
+#define OBDA_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::obda::base::Status obda_status_tmp_ = (expr);  \
+    if (!obda_status_tmp_.ok()) return obda_status_tmp_; \
+  } while (false)
+
+#endif  // OBDA_BASE_STATUS_H_

@@ -1,0 +1,25 @@
+#ifndef OBDA_BASE_STRINGS_H_
+#define OBDA_BASE_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace obda::base {
+
+/// Joins the elements of `parts` with `sep`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view sep);
+
+/// Splits `text` on `sep`, dropping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view text);
+
+/// True if `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace obda::base
+
+#endif  // OBDA_BASE_STRINGS_H_

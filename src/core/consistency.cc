@@ -1,0 +1,25 @@
+#include "core/consistency.h"
+
+#include "core/csp_translation.h"
+#include "core/omq.h"
+
+namespace obda::core {
+
+base::Result<bool> IsConsistent(const dl::Ontology& ontology,
+                                const data::Instance& instance,
+                                int max_template_elements) {
+  // Reuse the BAQ compilation with a fresh, never-derivable marker: the
+  // certain answer of ∃x.Marker(x) is "true" exactly on inconsistent
+  // instances.
+  dl::Ontology extended = ontology;
+  dl::Concept marker = dl::Concept::Name("ObdaConsistencyMarker");
+  extended.AddInclusion(marker, dl::Concept::Top());
+  auto omq = OntologyMediatedQuery::WithBooleanAtomicQuery(
+      instance.schema(), extended, "ObdaConsistencyMarker");
+  if (!omq.ok()) return omq.status();
+  auto csp = CompileToCsp(*omq, max_template_elements);
+  if (!csp.ok()) return csp.status();
+  return !csp->IsAnswer(instance, {});
+}
+
+}  // namespace obda::core

@@ -1,0 +1,21 @@
+#ifndef OBDA_CORE_CONSISTENCY_H_
+#define OBDA_CORE_CONSISTENCY_H_
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "dl/ontology.h"
+
+namespace obda::core {
+
+/// Exact ABox consistency for ALC(H/I/S/U) ontologies over binary data
+/// schemas: D is consistent with O iff D maps homomorphically into one
+/// of the reasoner-type templates (the query-free special case of the
+/// Thm 4.6 machinery). Functional roles are rejected (use the bounded
+/// engine, dl::BoundedConsistent, for ALCF).
+base::Result<bool> IsConsistent(const dl::Ontology& ontology,
+                                const data::Instance& instance,
+                                int max_template_elements = 1024);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_CONSISTENCY_H_

@@ -1,0 +1,45 @@
+#ifndef OBDA_CORE_CONTAINMENT_H_
+#define OBDA_CORE_CONTAINMENT_H_
+
+#include "base/status.h"
+#include "core/omq.h"
+
+namespace obda::core {
+
+/// Decides query containment Q1 ⊆ Q2 for AQ/BAQ ontology-mediated
+/// queries over the same data schema (paper Thm 5.7, the NExpTime
+/// procedure): compile both to generalized marked coCSPs (exponential,
+/// Thm 4.6) and check template homomorphisms (NP in template size):
+/// cert1 ⊆ cert2 iff every Q2-template maps into some Q1-template.
+base::Result<bool> OmqContained(const OntologyMediatedQuery& q1,
+                                const OntologyMediatedQuery& q2);
+
+/// Verdict of the bounded containment check for UCQ-based OMQs.
+enum class ContainmentVerdict {
+  /// A concrete counterexample instance was found: definitely NOT
+  /// contained (sound).
+  kNotContained,
+  /// No counterexample up to the bound (complete only within the bound;
+  /// see DESIGN.md §5.4 — full MMSNP containment is out of scope).
+  kContainedWithinBound,
+};
+
+struct ContainmentOptions {
+  /// Counterexample instances are enumerated up to this many elements.
+  int max_elements = 3;
+  /// And at most this many facts.
+  int max_facts = 4;
+  /// Bounded-model engine slack for evaluating both queries.
+  int extra_elements = 4;
+};
+
+/// Bounded containment for arbitrary (UCQ) OMQs over a shared data
+/// schema: enumerates small instances and compares certain answers via
+/// the reference engine.
+base::Result<ContainmentVerdict> OmqContainedBounded(
+    const OntologyMediatedQuery& q1, const OntologyMediatedQuery& q2,
+    const ContainmentOptions& options = ContainmentOptions());
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_CONTAINMENT_H_

@@ -1,0 +1,167 @@
+#include "core/csp_translation.h"
+
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "dl/reasoner.h"
+
+namespace obda::core {
+
+namespace {
+
+/// Builds the branch template: elements are the branch's surviving types.
+data::Instance BranchTemplate(const dl::TypeReasoner& reasoner, int branch,
+                              const data::Schema& data_schema) {
+  data::Instance b(data_schema);
+  const std::vector<dl::TypeId>& types = reasoner.BranchTypes(branch);
+  std::vector<data::ConstId> element(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    element[i] = b.AddConstant("t" + std::to_string(types[i]));
+  }
+  for (data::RelationId r = 0; r < data_schema.NumRelations(); ++r) {
+    const int arity = data_schema.Arity(r);
+    if (arity == 1) {
+      dl::Concept name = dl::Concept::Name(data_schema.RelationName(r));
+      for (std::size_t i = 0; i < types.size(); ++i) {
+        if (reasoner.TypeContains(types[i], name)) {
+          b.AddFact(r, {element[i]});
+        }
+      }
+    } else if (arity == 2) {
+      dl::Role role = dl::Role::Named(data_schema.RelationName(r));
+      for (std::size_t i = 0; i < types.size(); ++i) {
+        for (std::size_t j = 0; j < types.size(); ++j) {
+          if (reasoner.EdgeCompatible(types[i], types[j], role)) {
+            b.AddFact(r, {element[i], element[j]});
+          }
+        }
+      }
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+base::Result<csp::CoCspQuery> CompileToCsp(
+    const OntologyMediatedQuery& omq, int max_template_elements) {
+  if (!omq.ontology().functional_roles().empty()) {
+    return base::UnimplementedError(
+        "functional roles are not supported by the CSP compilation "
+        "(DESIGN.md §5.5)");
+  }
+  auto aq = omq.AtomicQueryConcept();
+  auto baq = omq.BooleanAtomicQueryConcept();
+  if (!aq.has_value() && !baq.has_value()) {
+    return base::InvalidArgumentError(
+        "CompileToCsp requires an atomic or Boolean atomic query "
+        "(Thm 4.6); use the MDDlog translation for UCQs");
+  }
+  const std::string concept_name = aq.has_value() ? *aq : *baq;
+
+  dl::Ontology ontology = omq.ontology();
+  if (baq.has_value()) {
+    // No element of any model may satisfy A0 (certain ∃x.A0(x) fails iff
+    // D is consistent with O ∪ {A0 ⊑ ⊥}).
+    ontology.AddInclusion(dl::Concept::Name(concept_name),
+                          dl::Concept::Bottom());
+  }
+
+  std::vector<dl::Concept> seeds;
+  seeds.push_back(dl::Concept::Name(concept_name));
+  for (data::RelationId r = 0; r < omq.data_schema().NumRelations(); ++r) {
+    if (omq.data_schema().Arity(r) == 1) {
+      seeds.push_back(dl::Concept::Name(omq.data_schema().RelationName(r)));
+    }
+  }
+
+  auto reasoner = dl::TypeReasoner::Create(ontology, seeds);
+  if (!reasoner.ok()) return reasoner.status();
+
+  csp::CoCspQuery out(omq.data_schema(), omq.arity());
+  dl::Concept a0 = dl::Concept::Name(concept_name);
+  for (int branch = 0; branch < reasoner->NumBranches(); ++branch) {
+    if (reasoner->BranchTypes(branch).size() >
+        static_cast<std::size_t>(max_template_elements)) {
+      return base::ResourceExhaustedError(
+          "template would have " +
+          std::to_string(reasoner->BranchTypes(branch).size()) +
+          " elements (max " + std::to_string(max_template_elements) + ")");
+    }
+    data::Instance b = BranchTemplate(*reasoner, branch,
+                                      omq.data_schema());
+    if (baq.has_value()) {
+      out.AddTemplate(data::MarkedInstance{std::move(b), {}});
+    } else {
+      const std::vector<dl::TypeId>& types = reasoner->BranchTypes(branch);
+      for (std::size_t i = 0; i < types.size(); ++i) {
+        if (reasoner->TypeContains(types[i], a0)) continue;
+        data::ConstId mark =
+            *b.FindConstant("t" + std::to_string(types[i]));
+        out.AddTemplate(data::MarkedInstance{b, {mark}});
+      }
+    }
+  }
+  return out;
+}
+
+base::Result<std::vector<std::vector<data::ConstId>>> CertainAnswersViaCsp(
+    const OntologyMediatedQuery& omq, const data::Instance& instance) {
+  auto csp_query = CompileToCsp(omq);
+  if (!csp_query.ok()) return csp_query.status();
+  return csp_query->Evaluate(instance);
+}
+
+base::Result<OntologyMediatedQuery> CspToOmq(const data::Instance& b) {
+  const data::Schema& schema = b.schema();
+  if (!schema.IsBinary()) {
+    return base::InvalidArgumentError("CspToOmq requires a binary schema");
+  }
+  dl::Ontology ontology;
+  const std::size_t n = b.UniverseSize();
+  dl::Concept goal = dl::Concept::Name("Goal");
+  auto a_of = [&b](data::ConstId d) {
+    return dl::Concept::Name("Elem_" + b.ConstantName(d));
+  };
+  // ⊤ ⊑ ⊔_d A_d  (every element picks a template element).
+  {
+    std::vector<dl::Concept> all;
+    for (data::ConstId d = 0; d < n; ++d) all.push_back(a_of(d));
+    ontology.AddInclusion(dl::Concept::Top(), dl::Concept::OrAll(all));
+  }
+  // A_d ⊓ A_d' ⊑ Goal for d != d'.
+  for (data::ConstId d = 0; d < n; ++d) {
+    for (data::ConstId e = d + 1; e < n; ++e) {
+      ontology.AddInclusion(dl::Concept::And(a_of(d), a_of(e)), goal);
+    }
+  }
+  for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+    if (schema.Arity(r) == 1) {
+      // A_d ⊓ B ⊑ Goal whenever B(d) ∉ B.
+      dl::Concept name = dl::Concept::Name(schema.RelationName(r));
+      for (data::ConstId d = 0; d < n; ++d) {
+        if (!b.HasFact(r, {d})) {
+          ontology.AddInclusion(dl::Concept::And(a_of(d), name), goal);
+        }
+      }
+    } else if (schema.Arity(r) == 2) {
+      // A_d ⊓ ∃R.A_d' ⊑ Goal whenever R(d,d') ∉ B.
+      dl::Role role = dl::Role::Named(schema.RelationName(r));
+      for (data::ConstId d = 0; d < n; ++d) {
+        for (data::ConstId e = 0; e < n; ++e) {
+          if (!b.HasFact(r, {d, e})) {
+            ontology.AddInclusion(
+                dl::Concept::And(a_of(d), dl::Concept::Exists(role,
+                                                              a_of(e))),
+                goal);
+          }
+        }
+      }
+    }
+  }
+  return OntologyMediatedQuery::WithBooleanAtomicQuery(schema, ontology,
+                                                       "Goal");
+}
+
+}  // namespace obda::core

@@ -1,0 +1,48 @@
+#ifndef OBDA_CORE_CSP_TRANSLATION_H_
+#define OBDA_CORE_CSP_TRANSLATION_H_
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "csp/query.h"
+
+namespace obda::core {
+
+/// Compiles an OMQ whose actual query is an atomic query A0(x) or a
+/// Boolean atomic query ∃x A0(x) into an equivalent (generalized, marked)
+/// coCSP query (paper Thm 4.6).
+///
+/// Construction: the type-elimination reasoner is run over O seeded with
+/// every data-schema concept name (and A0). Each branch (U-pattern)
+/// yields a template whose elements are the branch's surviving types,
+/// with A(τ) for every schema concept name A ∈ τ and R(τ1, τ2) for every
+/// schema role with EdgeCompatible(τ1, τ2, R). Then:
+///  - AQ case: one marked template (B_branch, τ) per type τ with A0 ∉ τ
+///    (paper Thm 4.6(1)/(2)); d̄ is a certain answer iff no marked
+///    homomorphism exists.
+///  - BAQ case: the reasoner runs over O ∪ {A0 ⊑ ⊥} (no element — named
+///    or anonymous — may satisfy A0) and each branch yields one unmarked
+///    template (paper Thm 4.6(3)/(4)).
+///
+/// The template construction is exponential in |O| (paper: "can be
+/// constructed in exponential time"). Functional roles are rejected
+/// (DESIGN.md §5.5). Transitive roles, role hierarchies, inverse roles
+/// and the universal role are handled natively by the reasoner.
+/// `max_template_elements` bounds the per-branch type count (the
+/// template stores O(elements²) role facts); exceeding it returns
+/// ResourceExhausted.
+base::Result<csp::CoCspQuery> CompileToCsp(const OntologyMediatedQuery& omq,
+                                           int max_template_elements = 1024);
+
+/// Certain answers of an AQ/BAQ OMQ via the CSP compilation.
+base::Result<std::vector<std::vector<data::ConstId>>> CertainAnswersViaCsp(
+    const OntologyMediatedQuery& omq, const data::Instance& instance);
+
+/// The inverse direction of Thm 4.6(4): from a template B, an OMQ
+/// (S, O, ∃x.Goal(x)) from (ALC, BAQ) equivalent to coCSP(B), following
+/// the proof's Π_B program read as ALC axioms (cf. also Thm 6.1). S is
+/// B's schema; O uses fresh concept names A_d for the elements of B.
+base::Result<OntologyMediatedQuery> CspToOmq(const data::Instance& b);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_CSP_TRANSLATION_H_

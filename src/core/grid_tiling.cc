@@ -1,0 +1,215 @@
+#include "core/grid_tiling.h"
+
+#include <functional>
+
+#include "base/check.h"
+
+namespace obda::core {
+
+bool TilingSystem::HasSolution() const {
+  const int size = 1 << n;
+  const int num_tiles = static_cast<int>(tiles.size());
+  std::vector<int> grid(static_cast<std::size_t>(size) * size, -1);
+  auto h_ok = [this](int l, int r) {
+    for (auto& [a, b] : horizontal) {
+      if (a == l && b == r) return true;
+    }
+    return false;
+  };
+  auto v_ok = [this](int low, int up) {
+    for (auto& [a, b] : vertical) {
+      if (a == low && b == up) return true;
+    }
+    return false;
+  };
+  std::function<bool(int)> place = [&](int pos) -> bool {
+    if (pos == size * size) return true;
+    int x = pos % size;
+    int y = pos / size;
+    for (int t = 0; t < num_tiles; ++t) {
+      if (y == 0 && x < static_cast<int>(initial.size()) &&
+          initial[x] != t) {
+        continue;
+      }
+      if (x > 0 && !h_ok(grid[pos - 1], t)) continue;
+      if (y > 0 && !v_ok(grid[pos - size], t)) continue;
+      grid[pos] = t;
+      if (place(pos + 1)) return true;
+      grid[pos] = -1;
+    }
+    return false;
+  };
+  return place(0);
+}
+
+namespace {
+
+using dl::Concept;
+using dl::Role;
+
+Concept Implies(const Concept& a, const Concept& b) {
+  return Concept::Or(Concept::Not(a), b);
+}
+
+}  // namespace
+
+GridReduction BuildGridReduction(const TilingSystem& system) {
+  const int n = system.n;
+  GridReduction out;
+  out.schema.AddRelation("H", 2);
+  out.schema.AddRelation("V", 2);
+  std::vector<Concept> x_bit(n);
+  std::vector<Concept> x_bar(n);
+  std::vector<Concept> y_bit(n);
+  std::vector<Concept> y_bar(n);
+  for (int i = 0; i < n; ++i) {
+    out.schema.AddRelation("X" + std::to_string(i), 1);
+    out.schema.AddRelation("NotX" + std::to_string(i), 1);
+    out.schema.AddRelation("Y" + std::to_string(i), 1);
+    out.schema.AddRelation("NotY" + std::to_string(i), 1);
+    x_bit[i] = Concept::Name("X" + std::to_string(i));
+    x_bar[i] = Concept::Name("NotX" + std::to_string(i));
+    y_bit[i] = Concept::Name("Y" + std::to_string(i));
+    y_bar[i] = Concept::Name("NotY" + std::to_string(i));
+  }
+  Role h = Role::Named("H");
+  Role v = Role::Named("V");
+
+  // Def: both counters defined.
+  std::vector<Concept> def_parts;
+  for (int i = 0; i < n; ++i) {
+    def_parts.push_back(Concept::Or(x_bit[i], x_bar[i]));
+    def_parts.push_back(Concept::Or(y_bit[i], y_bar[i]));
+  }
+  Concept def = Concept::AndAll(def_parts);
+
+  dl::Ontology& o2 = out.o2;
+  // Bit/overbar disjointness.
+  for (int i = 0; i < n; ++i) {
+    o2.AddInclusion(x_bit[i], Concept::Not(x_bar[i]));
+    o2.AddInclusion(y_bit[i], Concept::Not(y_bar[i]));
+  }
+  // Increment of X along H, of Y along V; preservation of the other
+  // counter along each role.
+  auto add_counter = [&](const std::vector<Concept>& bit,
+                         const std::vector<Concept>& bar,
+                         const Role& step, const Role& keep) {
+    for (int k = 0; k < n; ++k) {
+      // All lower bits 1: bit k flips.
+      Concept flip = Concept::And(
+          Implies(bit[k], Concept::Forall(step, Implies(def, bar[k]))),
+          Implies(bar[k], Concept::Forall(step, Implies(def, bit[k]))));
+      std::vector<Concept> lower_ones = {def};
+      for (int j = 0; j < k; ++j) lower_ones.push_back(bit[j]);
+      o2.AddInclusion(Concept::AndAll(lower_ones), flip);
+      // Some lower bit 0: bit k is kept.
+      if (k > 0) {
+        Concept hold = Concept::And(
+            Implies(bit[k], Concept::Forall(step, Implies(def, bit[k]))),
+            Implies(bar[k], Concept::Forall(step, Implies(def, bar[k]))));
+        std::vector<Concept> lower_zeros;
+        for (int j = 0; j < k; ++j) lower_zeros.push_back(bar[j]);
+        o2.AddInclusion(Concept::And(def, Concept::OrAll(lower_zeros)),
+                        hold);
+      }
+      // Preservation along the other role.
+      o2.AddInclusion(Concept::And(def, bit[k]),
+                      Concept::Forall(keep, Implies(def, bit[k])));
+      o2.AddInclusion(Concept::And(def, bar[k]),
+                      Concept::Forall(keep, Implies(def, bar[k])));
+    }
+    // Maximum value: no Def-successor along `step`.
+    std::vector<Concept> all_ones = {def};
+    for (int i = 0; i < n; ++i) all_ones.push_back(bit[i]);
+    o2.AddInclusion(Concept::AndAll(all_ones),
+                    Concept::Forall(step, Implies(def, Concept::Bottom())));
+  };
+  add_counter(x_bit, x_bar, h, v);
+  add_counter(y_bit, y_bar, v, h);
+
+  // O1 = O2 + tiling layer.
+  dl::Ontology& o1 = out.o1;
+  for (const auto& ci : o2.inclusions()) o1.AddInclusion(ci.lhs, ci.rhs);
+  Concept e = Concept::Name("E");
+  std::vector<Concept> tile(system.tiles.size());
+  for (std::size_t t = 0; t < system.tiles.size(); ++t) {
+    tile[t] = Concept::Name("Tile_" + system.tiles[t]);
+  }
+  // Initial tiles at (i, 0).
+  for (std::size_t i = 0; i < system.initial.size(); ++i) {
+    std::vector<Concept> at;
+    for (int b = 0; b < n; ++b) {
+      at.push_back(((i >> b) & 1u) ? x_bit[b] : Concept::Not(x_bit[b]));
+      at.push_back(Concept::Not(y_bit[b]));
+    }
+    o1.AddInclusion(Concept::AndAll(at), tile[system.initial[i]]);
+  }
+  // Completeness on Def.
+  o1.AddInclusion(def, Concept::OrAll(tile));
+  // Clashes raise E.
+  for (std::size_t i = 0; i < tile.size(); ++i) {
+    for (std::size_t j = 0; j < tile.size(); ++j) {
+      if (i < j) {
+        o1.AddInclusion(Concept::And(tile[i], tile[j]), e);
+      }
+      bool h_allowed = false;
+      bool v_allowed = false;
+      for (auto& [a, b] : system.horizontal) {
+        if (a == static_cast<int>(i) && b == static_cast<int>(j)) {
+          h_allowed = true;
+        }
+      }
+      for (auto& [a, b] : system.vertical) {
+        if (a == static_cast<int>(i) && b == static_cast<int>(j)) {
+          v_allowed = true;
+        }
+      }
+      if (!h_allowed) {
+        o1.AddInclusion(
+            Concept::And(tile[i], Concept::Exists(h, tile[j])), e);
+      }
+      if (!v_allowed) {
+        o1.AddInclusion(
+            Concept::And(tile[i], Concept::Exists(v, tile[j])), e);
+      }
+    }
+  }
+  // E propagates backwards along H and V.
+  o1.AddInclusion(Concept::Exists(h, e), e);
+  o1.AddInclusion(Concept::Exists(v, e), e);
+  return out;
+}
+
+data::Instance GridInstance(int n, const data::Schema& schema) {
+  const int size = 1 << n;
+  data::Instance d(schema);
+  std::vector<data::ConstId> cell(static_cast<std::size_t>(size) * size);
+  for (int j = 0; j < size; ++j) {
+    for (int i = 0; i < size; ++i) {
+      cell[j * size + i] = d.AddConstant(
+          "c" + std::to_string(i) + "_" + std::to_string(j));
+    }
+  }
+  auto hr = *schema.FindRelation("H");
+  auto vr = *schema.FindRelation("V");
+  for (int j = 0; j < size; ++j) {
+    for (int i = 0; i < size; ++i) {
+      data::ConstId c = cell[j * size + i];
+      if (i + 1 < size) d.AddFact(hr, {c, cell[j * size + i + 1]});
+      if (j + 1 < size) d.AddFact(vr, {c, cell[(j + 1) * size + i]});
+      for (int b = 0; b < n; ++b) {
+        auto xb = *schema.FindRelation(
+            ((i >> b) & 1) ? "X" + std::to_string(b)
+                           : "NotX" + std::to_string(b));
+        auto yb = *schema.FindRelation(
+            ((j >> b) & 1) ? "Y" + std::to_string(b)
+                           : "NotY" + std::to_string(b));
+        d.AddFact(xb, {c});
+        d.AddFact(yb, {c});
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace obda::core

@@ -1,0 +1,50 @@
+#ifndef OBDA_CORE_GRID_TILING_H_
+#define OBDA_CORE_GRID_TILING_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "dl/ontology.h"
+
+namespace obda::core {
+
+/// An instance of the exponential grid tiling problem (proof of Thm 5.7):
+/// tile types, horizontal/vertical matching relations, and the initial
+/// tiles T_{0,0}..T_{k,0} placed along the bottom row.
+struct TilingSystem {
+  /// Number of counter bits: the grid is 2^n × 2^n.
+  int n = 1;
+  std::vector<std::string> tiles;
+  /// Allowed horizontal neighbours (left tile index, right tile index).
+  std::vector<std::pair<int, int>> horizontal;
+  /// Allowed vertical neighbours (lower, upper).
+  std::vector<std::pair<int, int>> vertical;
+  /// Initial tiles for positions (0,0), (1,0), ... (indices into tiles).
+  std::vector<int> initial;
+
+  /// Brute-force solver (for ground truth on tiny n).
+  bool HasSolution() const;
+};
+
+/// The reduction of the Thm 5.7 NExpTime-hardness proof, materialized:
+/// the schema S_grid (H, V, counter bits X_i/NotX_i, Y_i/NotY_i), the
+/// counting ontology O2, and its tiling extension O1 (tile concepts,
+/// clash detection feeding E, E-propagation along H and V).
+struct GridReduction {
+  data::Schema schema;
+  dl::Ontology o1;
+  dl::Ontology o2;
+};
+
+/// Builds O1/O2/S_grid for the tiling system.
+GridReduction BuildGridReduction(const TilingSystem& system);
+
+/// The instance D_grid: the full 2^n × 2^n grid with correctly counting
+/// coordinate bits (the proof's canonical consistent instance).
+data::Instance GridInstance(int n, const data::Schema& schema);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_GRID_TILING_H_

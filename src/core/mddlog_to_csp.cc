@@ -1,0 +1,174 @@
+#include "core/mddlog_to_csp.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+
+namespace obda::core {
+
+namespace {
+
+/// A tiny model-checking helper for the singleton/pair instances of the
+/// Thm 4.6 proof: facts are given as per-element sets of unary predicate
+/// ids plus at most one binary EDB fact (elem0 -> elem1).
+struct TinyModel {
+  int num_elements = 1;
+  /// unary[e] = set of predicates (EDB and IDB) true at element e.
+  std::vector<std::set<ddlog::PredId>> unary;
+  /// Binary EDB fact rel(0, 1) present?
+  bool has_edge = false;
+  ddlog::PredId edge_rel = ddlog::kInvalidPred;
+};
+
+/// Checks whether the tiny model satisfies every rule of the program
+/// (substitutions range over the model's elements).
+bool SatisfiesRules(const ddlog::Program& program, const TinyModel& m) {
+  for (const ddlog::Rule& rule : program.rules()) {
+    const int nv = rule.NumVars();
+    std::vector<int> assign(static_cast<std::size_t>(std::max(nv, 1)), 0);
+    // Odometer over assignments.
+    for (;;) {
+      bool body_holds = true;
+      for (const ddlog::Atom& a : rule.body) {
+        if (a.vars.size() == 1) {
+          if (m.unary[assign[a.vars[0]]].count(a.pred) == 0) {
+            body_holds = false;
+            break;
+          }
+        } else if (a.vars.size() == 2) {
+          // Binary atoms are EDB (monadic program).
+          if (!m.has_edge || a.pred != m.edge_rel ||
+              assign[a.vars[0]] != 0 || assign[a.vars[1]] != 1) {
+            body_holds = false;
+            break;
+          }
+        } else {
+          // 0-ary body atoms never appear in our programs.
+          body_holds = false;
+          break;
+        }
+      }
+      if (body_holds) {
+        bool head_holds = false;
+        for (const ddlog::Atom& h : rule.head) {
+          if (h.vars.empty()) {
+            // Boolean goal head: treat goal as absent (we check
+            // goal-avoiding models).
+            continue;
+          }
+          if (m.unary[assign[h.vars[0]]].count(h.pred) > 0) {
+            head_holds = true;
+            break;
+          }
+        }
+        if (!head_holds) return false;
+      }
+      int pos = nv - 1;
+      while (pos >= 0 && ++assign[pos] == m.num_elements) {
+        assign[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+base::Result<csp::CoCspQuery> SimpleMddlogToCsp(
+    const ddlog::Program& program) {
+  OBDA_RETURN_IF_ERROR(program.Validate());
+  if (!program.IsMonadic() || !program.IsSimple() ||
+      !program.IsConnected()) {
+    return base::InvalidArgumentError(
+        "Thm 4.6 direct construction requires a connected simple monadic "
+        "program (route disconnected programs through SimpleMddlogToOmq)");
+  }
+  const int goal_arity = program.QueryArity();
+  if (goal_arity > 1) {
+    return base::InvalidArgumentError("goal must be unary or Boolean");
+  }
+
+  // The type alphabet: unary EDBs and non-goal unary IDBs, plus goal when
+  // it is unary.
+  std::vector<ddlog::PredId> alphabet;
+  std::vector<ddlog::PredId> unary_edb;
+  for (ddlog::PredId p = 0; p < program.NumPredicates(); ++p) {
+    const bool unary = program.Arity(p) == 1;
+    if (program.IsEdb(p)) {
+      if (unary) {
+        alphabet.push_back(p);
+        unary_edb.push_back(p);
+      }
+    } else if (unary) {
+      alphabet.push_back(p);
+    }
+  }
+  if (alphabet.size() > 20) {
+    return base::ResourceExhaustedError("type alphabet too large");
+  }
+
+  // Realizable types: singleton models.
+  std::vector<std::set<ddlog::PredId>> types;
+  const std::uint32_t limit = 1u << alphabet.size();
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    TinyModel m;
+    m.num_elements = 1;
+    m.unary.resize(1);
+    for (std::size_t i = 0; i < alphabet.size(); ++i) {
+      if ((mask >> i) & 1u) m.unary[0].insert(alphabet[i]);
+    }
+    // Point 4 (Boolean): goal rules treat goal() as absent, so types
+    // whose singleton fires a goal rule are rejected — exactly the
+    // proof's "realizable and goal-free" set. Point 2 (unary): goal is
+    // part of the alphabet and all realizable types become elements.
+    if (SatisfiesRules(program, m)) types.push_back(m.unary[0]);
+  }
+
+  // Build B_T.
+  csp::CoCspQuery out(program.edb_schema(), goal_arity);
+  data::Instance b(program.edb_schema());
+  std::vector<data::ConstId> element(types.size());
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    element[i] = b.AddConstant("t" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    for (ddlog::PredId p : unary_edb) {
+      if (types[i].count(p) > 0) {
+        b.AddFact(static_cast<data::RelationId>(p), {element[i]});
+      }
+    }
+  }
+  // Binary EDB relations: R-coherent pairs via two-element models.
+  for (data::RelationId r = 0; r < program.edb_schema().NumRelations();
+       ++r) {
+    if (program.edb_schema().Arity(r) != 2) continue;
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      for (std::size_t j = 0; j < types.size(); ++j) {
+        TinyModel m;
+        m.num_elements = 2;
+        m.unary = {types[i], types[j]};
+        m.has_edge = true;
+        m.edge_rel = r;
+        if (SatisfiesRules(program, m)) {
+          b.AddFact(r, {element[i], element[j]});
+        }
+      }
+    }
+  }
+
+  if (goal_arity == 0) {
+    out.AddTemplate(data::MarkedInstance{std::move(b), {}});
+  } else {
+    for (std::size_t i = 0; i < types.size(); ++i) {
+      if (types[i].count(program.goal()) > 0) continue;
+      out.AddTemplate(data::MarkedInstance{b, {element[i]}});
+    }
+  }
+  return out;
+}
+
+}  // namespace obda::core

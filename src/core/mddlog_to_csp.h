@@ -1,0 +1,30 @@
+#ifndef OBDA_CORE_MDDLOG_TO_CSP_H_
+#define OBDA_CORE_MDDLOG_TO_CSP_H_
+
+#include "base/status.h"
+#include "csp/query.h"
+#include "ddlog/program.h"
+
+namespace obda::core {
+
+/// The direct template construction from the proof of Thm 4.6 (points 2
+/// and 4): for a connected simple MDDlog program with unary or Boolean
+/// goal, builds the canonical template B_T whose elements are the
+/// realizable types (subsets of IDBs and unary EDBs validated on
+/// singleton instances) with R-edges between R-coherent pairs (validated
+/// on two-element instances).
+///
+///  * Boolean goal (point 4): one unmarked template over the goal-free
+///    realizable types — plain coCSP.
+///  * Unary goal (point 2): elements are ALL realizable types; one
+///    marked template (B_T, τ) per goal-free τ — a generalized coCSP
+///    with one marked element whose templates share their instance.
+///
+/// Disconnected programs (the ALCU case, point 1/3) route through
+/// SimpleMddlogToOmq + CompileToCsp instead.
+base::Result<csp::CoCspQuery> SimpleMddlogToCsp(
+    const ddlog::Program& program);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_MDDLOG_TO_CSP_H_

@@ -1,0 +1,48 @@
+#ifndef OBDA_CORE_MDDLOG_TRANSLATION_H_
+#define OBDA_CORE_MDDLOG_TRANSLATION_H_
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "ddlog/program.h"
+
+namespace obda::core {
+
+/// Compiles an AQ or BAQ ontology-mediated query into an equivalent
+/// MDDlog program (paper Thm 3.4 / 3.12 / 3.13).
+///
+/// The program guesses a surviving reasoner type per active-domain
+/// element (one IDB predicate per type), kills incoherent guesses with
+/// constraint rules (the paper's non-realizable diagrams: local unary
+/// clashes, edge-incompatible type pairs, and — with the universal role —
+/// cross-branch disconnected pairs, exactly the Thm 3.12 relaxation), and
+/// derives goal from A0-containing types. For BAQs the type space is
+/// computed over O ∪ {A0 ⊑ ⊥}, so certainty coincides with
+/// unsatisfiability of the guess constraints and the program needs no
+/// goal rule (see DESIGN.md).
+///
+/// The produced program is unary/Boolean, simple, and connected unless
+/// the ontology uses the universal role (Thm 3.12: connectivity is
+/// exactly what U buys).
+base::Result<ddlog::Program> CompileAqToMddlog(
+    const OntologyMediatedQuery& omq);
+
+/// The backward translation of Thm 3.3(2): every MDDlog program (monadic,
+/// over a binary EDB schema) is equivalent to an (ALC, UCQ) OMQ with
+/// |O|, |q| ∈ O(|Π|). Fresh concept names Ā simulate complements, and the
+/// UCQ collects goal-rule bodies plus rule-violation queries padded with
+/// domain atoms.
+base::Result<OntologyMediatedQuery> MddlogToOmq(
+    const ddlog::Program& program);
+
+/// The backward translation of Thm 3.4(2): a unary (or Boolean) connected
+/// simple MDDlog program over a binary EDB schema becomes an equivalent
+/// (ALC, AQ) (resp. (ALC, BAQ)) OMQ, rewriting each rule into one ALC
+/// inclusion (e.g. P1(x) ∨ P2(y) ← R(x,y) ∧ P3(x) ∧ P4(y) into
+/// P3 ⊓ ∃R.(P4 ⊓ ¬P2) ⊓ ¬P1 ⊑ ⊥). Disconnected rules are rewritten with
+/// the universal role (Thm 3.12(2)) when present.
+base::Result<OntologyMediatedQuery> SimpleMddlogToOmq(
+    const ddlog::Program& program);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_MDDLOG_TRANSLATION_H_

@@ -1,0 +1,131 @@
+#include "core/omq.h"
+
+#include "base/check.h"
+
+namespace obda::core {
+
+base::Result<data::Schema> QuerySchema(const data::Schema& data_schema,
+                                       const dl::Ontology& ontology) {
+  data::Schema out = data_schema;
+  for (const std::string& a : ontology.ConceptNames()) {
+    auto existing = out.FindRelation(a);
+    if (existing.has_value()) {
+      if (out.Arity(*existing) != 1) {
+        return base::InvalidArgumentError("concept name " + a +
+                                          " clashes with a non-unary "
+                                          "relation");
+      }
+    } else {
+      out.AddRelation(a, 1);
+    }
+  }
+  for (const std::string& r : ontology.RoleNames()) {
+    auto existing = out.FindRelation(r);
+    if (existing.has_value()) {
+      if (out.Arity(*existing) != 2) {
+        return base::InvalidArgumentError("role name " + r +
+                                          " clashes with a non-binary "
+                                          "relation");
+      }
+    } else {
+      out.AddRelation(r, 2);
+    }
+  }
+  return out;
+}
+
+base::Result<OntologyMediatedQuery> OntologyMediatedQuery::Create(
+    data::Schema data_schema, dl::Ontology ontology, fo::UnionOfCq query) {
+  if (!data_schema.IsBinary()) {
+    return base::InvalidArgumentError(
+        "DL-based OMQs require a binary data schema");
+  }
+  auto expected = QuerySchema(data_schema, ontology);
+  if (!expected.ok()) return expected.status();
+  if (!query.schema().LayoutCompatible(*expected)) {
+    return base::InvalidArgumentError(
+        "query schema must be QuerySchema(S, O); got " +
+        query.schema().ToString() + ", expected " + expected->ToString());
+  }
+  return OntologyMediatedQuery(std::move(data_schema), std::move(ontology),
+                               std::move(query));
+}
+
+base::Result<OntologyMediatedQuery> OntologyMediatedQuery::WithAtomicQuery(
+    data::Schema data_schema, dl::Ontology ontology,
+    const std::string& concept_name) {
+  auto qs = QuerySchema(data_schema, ontology);
+  if (!qs.ok()) return qs.status();
+  if (!qs->FindRelation(concept_name).has_value()) {
+    return base::InvalidArgumentError(
+        "atomic query concept " + concept_name +
+        " must occur in the data schema or the ontology");
+  }
+  fo::UnionOfCq q(*qs, 1);
+  q.AddDisjunct(fo::MakeAtomicQuery(*qs, concept_name));
+  return Create(std::move(data_schema), std::move(ontology), std::move(q));
+}
+
+base::Result<OntologyMediatedQuery>
+OntologyMediatedQuery::WithBooleanAtomicQuery(data::Schema data_schema,
+                                              dl::Ontology ontology,
+                                              const std::string&
+                                                  concept_name) {
+  auto qs = QuerySchema(data_schema, ontology);
+  if (!qs.ok()) return qs.status();
+  if (!qs->FindRelation(concept_name).has_value()) {
+    return base::InvalidArgumentError(
+        "atomic query concept " + concept_name +
+        " must occur in the data schema or the ontology");
+  }
+  fo::UnionOfCq q(*qs, 0);
+  q.AddDisjunct(fo::MakeBooleanAtomicQuery(*qs, concept_name));
+  return Create(std::move(data_schema), std::move(ontology), std::move(q));
+}
+
+std::optional<std::string> OntologyMediatedQuery::AtomicQueryConcept()
+    const {
+  if (query_.arity() != 1 || query_.disjuncts().size() != 1) {
+    return std::nullopt;
+  }
+  const fo::ConjunctiveQuery& cq = query_.disjuncts()[0];
+  if (cq.num_vars() != 1 || cq.atoms().size() != 1) return std::nullopt;
+  const fo::QueryAtom& atom = cq.atoms()[0];
+  if (atom.vars != std::vector<fo::QVar>{0}) return std::nullopt;
+  return cq.schema().RelationName(atom.rel);
+}
+
+std::optional<std::string>
+OntologyMediatedQuery::BooleanAtomicQueryConcept() const {
+  if (query_.arity() != 0 || query_.disjuncts().size() != 1) {
+    return std::nullopt;
+  }
+  const fo::ConjunctiveQuery& cq = query_.disjuncts()[0];
+  if (cq.num_vars() != 1 || cq.atoms().size() != 1) return std::nullopt;
+  const fo::QueryAtom& atom = cq.atoms()[0];
+  if (atom.vars.size() != 1) return std::nullopt;
+  return cq.schema().RelationName(atom.rel);
+}
+
+std::size_t OntologyMediatedQuery::SymbolSize() const {
+  return ontology_.SymbolSize() + query_.SymbolSize() +
+         data_schema_.NumRelations();
+}
+
+base::Result<std::vector<std::vector<data::ConstId>>>
+OntologyMediatedQuery::CertainAnswersBounded(
+    const data::Instance& instance,
+    const dl::BoundedModelOptions& options) const {
+  if (!instance.schema().LayoutCompatible(data_schema_)) {
+    return base::InvalidArgumentError(
+        "instance schema does not match the OMQ data schema");
+  }
+  return dl::BoundedCertainAnswers(ontology_, instance, query_, options);
+}
+
+std::string OntologyMediatedQuery::ToString() const {
+  return "OMQ(S = " + data_schema_.ToString() + ",\nO =\n" +
+         ontology_.ToString() + "q = " + query_.ToString() + ")";
+}
+
+}  // namespace obda::core

@@ -1,0 +1,80 @@
+#ifndef OBDA_CORE_OMQ_H_
+#define OBDA_CORE_OMQ_H_
+
+#include <optional>
+#include <string>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "data/schema.h"
+#include "dl/bounded_model.h"
+#include "dl/ontology.h"
+#include "fo/cq.h"
+
+namespace obda::core {
+
+/// An ontology-mediated query Q = (S, O, q) (paper §2): a data schema S,
+/// a DL ontology O, and a UCQ q over S ∪ sig(O). Semantics: certain
+/// answers certq,O(D) over S-instances D.
+class OntologyMediatedQuery {
+ public:
+  /// Builds an OMQ. Fails if S is not binary, or q's schema is not the
+  /// extension of S by sig(O) symbols (use `QuerySchema` to build it).
+  static base::Result<OntologyMediatedQuery> Create(data::Schema data_schema,
+                                                    dl::Ontology ontology,
+                                                    fo::UnionOfCq query);
+
+  /// Convenience: OMQ with the atomic query A(x) (AQ).
+  static base::Result<OntologyMediatedQuery> WithAtomicQuery(
+      data::Schema data_schema, dl::Ontology ontology,
+      const std::string& concept_name);
+
+  /// Convenience: OMQ with the Boolean atomic query ∃x A(x) (BAQ).
+  static base::Result<OntologyMediatedQuery> WithBooleanAtomicQuery(
+      data::Schema data_schema, dl::Ontology ontology,
+      const std::string& concept_name);
+
+  const data::Schema& data_schema() const { return data_schema_; }
+  const dl::Ontology& ontology() const { return ontology_; }
+  const fo::UnionOfCq& query() const { return query_; }
+  int arity() const { return query_.arity(); }
+
+  /// If the query is an atomic query A(x), returns A.
+  std::optional<std::string> AtomicQueryConcept() const;
+  /// If the query is a Boolean atomic query ∃x A(x), returns A.
+  std::optional<std::string> BooleanAtomicQueryConcept() const;
+
+  /// |Q| in the paper's symbol count (|O| + |q| + schema symbols).
+  std::size_t SymbolSize() const;
+
+  /// Reference semantics via the bounded countermodel engine (sound
+  /// refutations; certainty complete relative to the bound). Used by the
+  /// test harness to validate every translation.
+  base::Result<std::vector<std::vector<data::ConstId>>>
+  CertainAnswersBounded(const data::Instance& instance,
+                        const dl::BoundedModelOptions& options =
+                            dl::BoundedModelOptions()) const;
+
+  std::string ToString() const;
+
+ private:
+  OntologyMediatedQuery(data::Schema data_schema, dl::Ontology ontology,
+                        fo::UnionOfCq query)
+      : data_schema_(std::move(data_schema)),
+        ontology_(std::move(ontology)),
+        query_(std::move(query)) {}
+
+  data::Schema data_schema_;
+  dl::Ontology ontology_;
+  fo::UnionOfCq query_;
+};
+
+/// The schema S ∪ sig(O) over which OMQ queries are written: the data
+/// schema extended by the ontology's concept names (unary) and role names
+/// (binary). Fails on arity clashes.
+base::Result<data::Schema> QuerySchema(const data::Schema& data_schema,
+                                       const dl::Ontology& ontology);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_OMQ_H_

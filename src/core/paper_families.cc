@@ -1,0 +1,191 @@
+#include "core/paper_families.h"
+
+#include "base/check.h"
+#include "dl/parser.h"
+
+namespace obda::core {
+
+data::Instance CountingInstance(int k) {
+  OBDA_CHECK_GE(k, 1);
+  data::Schema s;
+  s.AddRelation("R", 2);
+  s.AddRelation("Y0", 1);
+  s.AddRelation("Y1", 1);
+  s.AddRelation("Y2", 1);
+  data::Instance d(s);
+  std::vector<data::ConstId> a;
+  for (int i = 0; i <= 2 * k; ++i) {
+    a.push_back(d.AddConstant("a" + std::to_string(i)));
+  }
+  for (int i = 1; i < 2 * k; i += 2) {
+    d.AddFact(*s.FindRelation("R"), {a[i], a[i - 1]});
+    d.AddFact(*s.FindRelation("R"), {a[i], a[i + 1]});
+  }
+  for (int i = 0; i <= 2 * k; i += 2) {
+    int j = (i / 2) % 3;
+    d.AddFact(*s.FindRelation("Y" + std::to_string(j)), {a[i]});
+  }
+  return d;
+}
+
+base::Result<OntologyMediatedQuery> SuccinctnessFamilyOmq(int i) {
+  OBDA_CHECK_GE(i, 1);
+  data::Schema s;
+  for (int j = 1; j <= i; ++j) {
+    s.AddRelation("A" + std::to_string(j), 1);
+  }
+  s.AddRelation("R", 2);
+  dl::Ontology o;
+  std::vector<dl::Concept> all;
+  for (int j = 1; j <= i; ++j) {
+    all.push_back(dl::Concept::Name("A" + std::to_string(j)));
+  }
+  o.AddInclusion(
+      dl::Concept::Exists(dl::Role::Named("R"), dl::Concept::AndAll(all)),
+      dl::Concept::Name("Goal"));
+  return OntologyMediatedQuery::WithAtomicQuery(s, o, "Goal");
+}
+
+namespace {
+
+data::Schema Thm310Schema() {
+  data::Schema s;
+  s.AddRelation("R", 2);
+  s.AddRelation("S", 2);
+  return s;
+}
+
+}  // namespace
+
+data::Instance Thm310YesInstance(int m) {
+  data::Schema s = Thm310Schema();
+  data::Instance d(s);
+  data::ConstId e = d.AddConstant("e");
+  data::ConstId f = d.AddConstant("f");
+  std::vector<data::ConstId> as;
+  std::vector<data::ConstId> bs;
+  for (int i = 1; i <= m; ++i) {
+    as.push_back(d.AddConstant("a" + std::to_string(i)));
+    bs.push_back(d.AddConstant("b" + std::to_string(i)));
+  }
+  auto r = *s.FindRelation("R");
+  auto srel = *s.FindRelation("S");
+  d.AddFact(r, {e, as[0]});
+  d.AddFact(srel, {e, bs[0]});
+  for (int i = 0; i + 1 < m; ++i) {
+    d.AddFact(r, {as[i], as[i + 1]});
+    d.AddFact(srel, {bs[i], bs[i + 1]});
+  }
+  d.AddFact(r, {as[m - 1], f});
+  d.AddFact(srel, {bs[m - 1], f});
+  return d;
+}
+
+data::Instance Thm310NoInstance(int m, int m_prime) {
+  data::Schema s = Thm310Schema();
+  data::Instance d(s);
+  auto r = *s.FindRelation("R");
+  auto srel = *s.FindRelation("S");
+  std::vector<data::ConstId> e(m_prime);
+  std::vector<data::ConstId> f(m_prime);
+  for (int i = 0; i < m_prime; ++i) {
+    e[i] = d.AddConstant("e" + std::to_string(i + 1));
+    f[i] = d.AddConstant("f" + std::to_string(i + 1));
+  }
+  // R-columns: e^i -> a^i_1 -> ... -> a^i_m -> f^i.
+  for (int i = 0; i < m_prime; ++i) {
+    std::vector<data::ConstId> col;
+    for (int j = 1; j <= m; ++j) {
+      col.push_back(d.AddConstant("a" + std::to_string(i + 1) + "_" +
+                                  std::to_string(j)));
+    }
+    d.AddFact(r, {e[i], col[0]});
+    for (int j = 0; j + 1 < m; ++j) d.AddFact(r, {col[j], col[j + 1]});
+    d.AddFact(r, {col[m - 1], f[i]});
+  }
+  // S-paths from e^i to f^j only for j < i.
+  for (int i = 0; i < m_prime; ++i) {
+    for (int j = 0; j < i; ++j) {
+      std::vector<data::ConstId> path;
+      for (int l = 1; l <= m; ++l) {
+        path.push_back(d.AddConstant(
+            "b" + std::to_string(i + 1) + "_" + std::to_string(j + 1) +
+            "_" + std::to_string(l)));
+      }
+      d.AddFact(srel, {e[i], path[0]});
+      for (int l = 0; l + 1 < m; ++l) {
+        d.AddFact(srel, {path[l], path[l + 1]});
+      }
+      d.AddFact(srel, {path[m - 1], f[j]});
+    }
+  }
+  return d;
+}
+
+base::Result<OntologyMediatedQuery> Thm310Omq() {
+  data::Schema s = Thm310Schema();
+  auto o = dl::ParseOntology("trans(R)\ntrans(S)");
+  if (!o.ok()) return o.status();
+  auto qs = QuerySchema(s, *o);
+  if (!qs.ok()) return qs.status();
+  fo::ConjunctiveQuery cq(*qs, 0);
+  fo::QVar x = cq.AddVariable();
+  fo::QVar y = cq.AddVariable();
+  OBDA_RETURN_IF_ERROR(cq.AddAtomByName("R", {x, y}));
+  OBDA_RETURN_IF_ERROR(cq.AddAtomByName("S", {x, y}));
+  fo::UnionOfCq q(*qs, 0);
+  q.AddDisjunct(cq);
+  return OntologyMediatedQuery::Create(s, *o, q);
+}
+
+base::Result<OntologyMediatedQuery> AlcfCounterexampleOmq() {
+  data::Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  auto o = dl::ParseOntology("func(R)\nA [= A");
+  if (!o.ok()) return o.status();
+  return OntologyMediatedQuery::WithAtomicQuery(s, *o, "A");
+}
+
+data::Instance AlcfInconsistentInstance() {
+  data::Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  data::Instance d(s);
+  data::ConstId a = d.AddConstant("a");
+  data::ConstId b1 = d.AddConstant("b1");
+  data::ConstId b2 = d.AddConstant("b2");
+  d.AddFact(*s.FindRelation("R"), {a, b1});
+  d.AddFact(*s.FindRelation("R"), {a, b2});
+  return d;
+}
+
+data::Instance AlcfConsistentImage() {
+  data::Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  data::Instance d(s);
+  data::ConstId a = d.AddConstant("a");
+  data::ConstId b = d.AddConstant("b");
+  d.AddFact(*s.FindRelation("R"), {a, b});
+  return d;
+}
+
+base::Result<OntologyMediatedQuery> ChainOmq(int n) {
+  OBDA_CHECK_GE(n, 1);
+  data::Schema s;
+  s.AddRelation("A0", 1);
+  s.AddRelation("R", 2);
+  dl::Ontology o;
+  for (int i = 0; i < n; ++i) {
+    o.AddInclusion(dl::Concept::Name("A" + std::to_string(i)),
+                   dl::Concept::Exists(
+                       dl::Role::Named("R"),
+                       dl::Concept::Name("A" + std::to_string(i + 1))));
+  }
+  o.AddInclusion(dl::Concept::Name("A" + std::to_string(n)),
+                 dl::Concept::Name("Goal"));
+  return OntologyMediatedQuery::WithAtomicQuery(s, o, "Goal");
+}
+
+}  // namespace obda::core

@@ -1,0 +1,49 @@
+#ifndef OBDA_CORE_PAPER_FAMILIES_H_
+#define OBDA_CORE_PAPER_FAMILIES_H_
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "data/instance.h"
+
+namespace obda::core {
+
+/// The counting instance C_k of Fig. 1 (proof of Thm 3.7): an R⁻;R-path
+/// of length k — elements a0..a_{2k} with R(ai, ai−1) and R(ai, ai+1)
+/// for odd i, and Y_{(i/2 mod 3)}(ai) for even i. Schema
+/// {R/2, Y0/1, Y1/1, Y2/1}.
+data::Instance CountingInstance(int k);
+
+/// A succinctness family in the spirit of Thm 3.5: Q_i is an (ALC, AQ)
+/// OMQ of size polynomial in i whose type space — and therefore any
+/// type-based MDDlog translation — has 2^Θ(i) types: the data schema has
+/// i independent unary relations A1..Ai, and the ontology derives Goal
+/// from their conjunction reached through an R-edge.
+base::Result<OntologyMediatedQuery> SuccinctnessFamilyOmq(int i);
+
+/// The instance pair of the (S,UCQ) separation (proof of Thm 3.10):
+/// D1 has an R-path and an S-path of length m+1 sharing both endpoints
+/// (the transitive-closure query ∃xy R⁺(x,y) ∧ S⁺(x,y) is true);
+/// D0 has m' R-columns and S-paths connecting e^i to f^j only for j < i,
+/// so no pair is connected by both (query false). Schema {R/2, S/2}.
+data::Instance Thm310YesInstance(int m);
+data::Instance Thm310NoInstance(int m, int m_prime);
+
+/// The (S,UCQ) ontology of Thm 3.10: O = {trans(R), trans(S)} with
+/// q = ∃x,y R(x,y) ∧ S(x,y). Returned as an OMQ over {R/2, S/2}.
+base::Result<OntologyMediatedQuery> Thm310Omq();
+
+/// The (ALCF,UCQ) homomorphism-preservation counterexample (Thm 3.10):
+/// O = {func(R)}, q = A(x), with D = {R(a,b1), R(a,b2)} mapping into
+/// D' = {R(a,b)} while the certain answers do not transport.
+base::Result<OntologyMediatedQuery> AlcfCounterexampleOmq();
+data::Instance AlcfInconsistentInstance();
+data::Instance AlcfConsistentImage();
+
+/// A "chain" ontology family used by the containment/template-size
+/// benches: A0 ⊑ ∃R.A1, ..., A_{n-1} ⊑ ∃R.A_n, A_n ⊑ Goal, over the
+/// data schema {A0/1, R/2}. Template sizes grow exponentially with n.
+base::Result<OntologyMediatedQuery> ChainOmq(int n);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_PAPER_FAMILIES_H_

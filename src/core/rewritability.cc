@@ -1,0 +1,191 @@
+#include "core/rewritability.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "core/csp_translation.h"
+#include "csp/consistency.h"
+#include "csp/duality.h"
+#include "csp/rewritability.h"
+#include "data/ops.h"
+#include "ddlog/datalog.h"
+
+namespace obda::core {
+
+base::Result<bool> IsFoRewritable(const OntologyMediatedQuery& omq) {
+  auto csp_query = CompileToCsp(omq);
+  if (!csp_query.ok()) return csp_query.status();
+  return csp::IsFoRewritable(*csp_query);
+}
+
+base::Result<bool> IsDatalogRewritable(const OntologyMediatedQuery& omq) {
+  auto csp_query = CompileToCsp(omq);
+  if (!csp_query.ok()) return csp_query.status();
+  return csp::IsDatalogRewritable(*csp_query);
+}
+
+namespace {
+
+/// Converts an obstruction tree over the collapsed schema into a CQ over
+/// the data schema: Mark1-elements merge into the answer variable.
+fo::ConjunctiveQuery ObstructionToCq(const data::Instance& tree,
+                                     const data::Schema& data_schema,
+                                     int arity) {
+  OBDA_CHECK_LE(arity, 1);
+  fo::ConjunctiveQuery cq(data_schema, arity);
+  auto mark = tree.schema().FindRelation("Mark1");
+  std::vector<bool> is_marked(tree.UniverseSize(), false);
+  if (arity == 1 && mark.has_value()) {
+    for (std::uint32_t i = 0; i < tree.NumTuples(*mark); ++i) {
+      is_marked[tree.Tuple(*mark, i)[0]] = true;
+    }
+  }
+  std::vector<fo::QVar> var_of(tree.UniverseSize(), -1);
+  for (data::ConstId c = 0; c < tree.UniverseSize(); ++c) {
+    if (arity == 1 && is_marked[c]) {
+      var_of[c] = 0;
+    } else {
+      var_of[c] = cq.AddVariable();
+    }
+  }
+  for (data::RelationId r = 0; r < tree.schema().NumRelations(); ++r) {
+    const std::string& name = tree.schema().RelationName(r);
+    auto target = data_schema.FindRelation(name);
+    if (!target.has_value()) continue;  // Mark relations are dropped
+    for (std::uint32_t i = 0; i < tree.NumTuples(r); ++i) {
+      auto t = tree.Tuple(r, i);
+      std::vector<fo::QVar> vars;
+      vars.reserve(t.size());
+      for (data::ConstId c : t) vars.push_back(var_of[c]);
+      cq.AddAtom(*target, std::move(vars));
+    }
+  }
+  return cq;
+}
+
+}  // namespace
+
+std::vector<std::vector<data::ConstId>> FoRewriting::Evaluate(
+    const data::Instance& instance) const {
+  std::vector<std::vector<data::ConstId>> result;
+  bool first = true;
+  for (const fo::UnionOfCq& q : conjuncts) {
+    auto answers = q.Evaluate(instance);
+    if (first) {
+      result = std::move(answers);
+      first = false;
+    } else {
+      std::vector<std::vector<data::ConstId>> intersection;
+      std::set_intersection(result.begin(), result.end(), answers.begin(),
+                            answers.end(),
+                            std::back_inserter(intersection));
+      result = std::move(intersection);
+    }
+    if (result.empty()) break;
+  }
+  // With no templates at all (inconsistent ontology) the rewriting
+  // notion degenerates; callers guard via IsFoRewritable first.
+  return result;
+}
+
+base::Result<FoRewriting> ExtractFoRewriting(
+    const OntologyMediatedQuery& omq,
+    const csp::ObstructionOptions& options) {
+  auto csp_query = CompileToCsp(omq);
+  if (!csp_query.ok()) return csp_query.status();
+  csp::CoCspQuery reduced = csp_query->ReduceToIncomparable();
+  FoRewriting out;
+  out.obstruction_bound = options.max_nodes;
+  for (const data::Instance& collapsed : reduced.CollapsedTemplates()) {
+    auto obstructions = csp::TreeObstructions(collapsed, options);
+    if (!obstructions.ok()) return obstructions.status();
+    fo::UnionOfCq conjunct(omq.data_schema(), omq.arity());
+    for (const data::Instance& tree : *obstructions) {
+      conjunct.AddDisjunct(
+          ObstructionToCq(tree, omq.data_schema(), omq.arity()));
+    }
+    out.conjuncts.push_back(std::move(conjunct));
+  }
+  return out;
+}
+
+base::Result<std::vector<std::vector<data::ConstId>>>
+DatalogRewriting::Evaluate(const data::Instance& instance) const {
+  std::vector<std::vector<data::ConstId>> out;
+  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  if (arity > 0 && adom.empty()) return out;
+
+  // Candidate tuples: adom^arity (the 0-ary case is the single empty
+  // tuple).
+  std::vector<std::vector<data::ConstId>> candidates;
+  if (arity == 0) {
+    candidates.push_back({});
+  } else {
+    for (data::ConstId c : adom) candidates.push_back({c});
+  }
+  for (const auto& tuple : candidates) {
+    data::Instance extended = instance.ReductTo(collapsed_schema);
+    for (int i = 0; i < arity; ++i) {
+      auto mark =
+          collapsed_schema.FindRelation("Mark" + std::to_string(i + 1));
+      OBDA_CHECK(mark.has_value());
+      extended.AddFact(*mark, {tuple[i]});
+    }
+    bool all_refute = true;
+    for (std::size_t p = 0; p < programs.size(); ++p) {
+      bool refuted;
+      if (width_one_complete[p]) {
+        auto result = ddlog::EvaluateDatalog(programs[p], extended);
+        if (!result.ok()) return result.status();
+        refuted = result->inconsistent || !result->goal_tuples.empty();
+      } else {
+        // (2,3)-consistency: complete for every bounded-width template.
+        refuted = csp::PairwiseConsistencyRefutes(extended,
+                                                  template_cores[p]);
+      }
+      if (!refuted) {
+        all_refute = false;
+        break;
+      }
+    }
+    if (all_refute) out.push_back(tuple);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+base::Result<DatalogRewriting> ExtractDatalogRewriting(
+    const OntologyMediatedQuery& omq, int max_template_elements) {
+  auto csp_query = CompileToCsp(omq);
+  if (!csp_query.ok()) return csp_query.status();
+  csp::CoCspQuery reduced = csp_query->ReduceToIncomparable();
+  DatalogRewriting out;
+  out.arity = omq.arity();
+  bool first = true;
+  for (const data::Instance& collapsed : reduced.CollapsedTemplates()) {
+    if (first) {
+      out.collapsed_schema = collapsed.schema();
+      first = false;
+    }
+    // Shrink to the core first: canonical programs grow as 2^|dom|.
+    data::Instance core = data::CoreOf(collapsed);
+    auto program = csp::CanonicalArcConsistencyProgram(
+        core, max_template_elements);
+    if (!program.ok()) return program.status();
+    out.programs.push_back(std::move(*program));
+    out.width_one_complete.push_back(csp::HasTreeDuality(core));
+    out.template_cores.push_back(std::move(core));
+  }
+  if (first) {
+    // No templates: inconsistent ontology; collapsed schema is still
+    // needed for Evaluate.
+    data::Schema schema = omq.data_schema();
+    for (int i = 0; i < omq.arity(); ++i) {
+      schema.AddRelation("Mark" + std::to_string(i + 1), 1);
+    }
+    out.collapsed_schema = schema;
+  }
+  return out;
+}
+
+}  // namespace obda::core

@@ -1,0 +1,80 @@
+#ifndef OBDA_CORE_REWRITABILITY_H_
+#define OBDA_CORE_REWRITABILITY_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "csp/obstruction.h"
+#include "ddlog/program.h"
+#include "fo/cq.h"
+
+namespace obda::core {
+
+/// Decides FO-rewritability of an AQ/BAQ ontology-mediated query
+/// (paper Thm 5.16): compile to a generalized marked coCSP (Thm 4.6),
+/// reduce to homomorphically incomparable templates, collapse marks, and
+/// run the Larose–Loten–Tardif test per template (Thm 5.15 / Prop 5.11).
+base::Result<bool> IsFoRewritable(const OntologyMediatedQuery& omq);
+
+/// Decides datalog-rewritability analogously via the bounded-width (WNU)
+/// test (paper Thm 5.16 / 5.10).
+base::Result<bool> IsDatalogRewritable(const OntologyMediatedQuery& omq);
+
+/// An extracted FO-rewriting (paper §5.3): a conjunction of UCQ-negations
+/// — d̄ is a certain answer iff for EVERY template some obstruction tree
+/// maps into (D, d̄). Each conjunct is materialized as a UCQ over the
+/// data schema whose disjuncts are the obstruction trees (the marked
+/// element becoming the answer variable). Evaluation is first-order (no
+/// recursion); completeness is relative to the obstruction-size bound.
+struct FoRewriting {
+  /// One UCQ per template; a tuple is an answer iff it satisfies all.
+  std::vector<fo::UnionOfCq> conjuncts;
+  /// Obstruction enumeration bound used (completeness caveat).
+  int obstruction_bound = 0;
+
+  /// Evaluates the rewriting directly on an instance (intersection of
+  /// the conjunct UCQ answers; for arity 0, of Boolean values).
+  std::vector<std::vector<data::ConstId>> Evaluate(
+      const data::Instance& instance) const;
+};
+
+/// Extracts an FO-rewriting for an FO-rewritable AQ/BAQ OMQ by
+/// enumerating critical tree obstructions of every collapsed template
+/// (paper §5.3: "the union of all CQs Aq, A ∈ G, is an FO-rewriting").
+base::Result<FoRewriting> ExtractFoRewriting(
+    const OntologyMediatedQuery& omq,
+    const csp::ObstructionOptions& options = csp::ObstructionOptions());
+
+/// An extracted datalog-rewriting: one canonical arc-consistency program
+/// per collapsed template (Feder–Vardi canonical datalog, paper §5.3).
+/// Sound for every template; complete when each collapsed template has
+/// tree duality (width 1) — in particular whenever the OMQ is
+/// FO-rewritable. Evaluation is polynomial time.
+struct DatalogRewriting {
+  int arity = 0;
+  /// Canonical program per template, over the mark-collapsed schema.
+  std::vector<ddlog::Program> programs;
+  /// The collapsed template core each program was built for.
+  std::vector<data::Instance> template_cores;
+  /// Per template: the canonical width-1 program is complete iff the
+  /// template has tree duality (Feder–Vardi); otherwise Evaluate falls
+  /// back to (2,3)-consistency, which Barto–Kozik guarantees complete
+  /// for every datalog-rewritable OMQ.
+  std::vector<bool> width_one_complete;
+  data::Schema collapsed_schema;
+
+  /// Evaluates by running, per candidate tuple (marks injected as
+  /// Mark1.. facts), the canonical program where complete and the
+  /// (2,3)-consistency procedure otherwise. Polynomial time either way.
+  base::Result<std::vector<std::vector<data::ConstId>>> Evaluate(
+      const data::Instance& instance) const;
+};
+
+/// Builds the canonical-datalog rewriting of an AQ/BAQ OMQ.
+base::Result<DatalogRewriting> ExtractDatalogRewriting(
+    const OntologyMediatedQuery& omq, int max_template_elements = 6);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_REWRITABILITY_H_

@@ -1,0 +1,107 @@
+#include "core/schema_free.h"
+
+#include "base/check.h"
+
+namespace obda::core {
+
+base::Result<OntologyMediatedQuery> CspToSchemaFreeOmq(
+    const data::Instance& b) {
+  const data::Schema& schema = b.schema();
+  if (!schema.IsBinary()) {
+    return base::InvalidArgumentError("requires a binary schema");
+  }
+  const std::size_t n = b.UniverseSize();
+  dl::Ontology ontology;
+  dl::Concept goal = dl::Concept::Name("Goal");
+  // H_d = ∀R_d.A_d: freely switchable guards (Fact 1, proof of Thm 6.1).
+  auto h_of = [&b](data::ConstId d) {
+    const std::string& name = b.ConstantName(d);
+    return dl::Concept::Forall(dl::Role::Named("Pick_" + name),
+                               dl::Concept::Name("Chose_" + name));
+  };
+  {
+    std::vector<dl::Concept> all;
+    for (data::ConstId d = 0; d < n; ++d) all.push_back(h_of(d));
+    ontology.AddInclusion(dl::Concept::Top(), dl::Concept::OrAll(all));
+  }
+  for (data::ConstId d = 0; d < n; ++d) {
+    for (data::ConstId e = d + 1; e < n; ++e) {
+      ontology.AddInclusion(dl::Concept::And(h_of(d), h_of(e)), goal);
+    }
+  }
+  for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+    if (schema.Arity(r) == 1) {
+      dl::Concept name = dl::Concept::Name(schema.RelationName(r));
+      for (data::ConstId d = 0; d < n; ++d) {
+        if (!b.HasFact(r, {d})) {
+          ontology.AddInclusion(dl::Concept::And(h_of(d), name), goal);
+        }
+      }
+    } else if (schema.Arity(r) == 2) {
+      dl::Role role = dl::Role::Named(schema.RelationName(r));
+      for (data::ConstId d = 0; d < n; ++d) {
+        for (data::ConstId e = 0; e < n; ++e) {
+          if (!b.HasFact(r, {d, e})) {
+            ontology.AddInclusion(
+                dl::Concept::And(h_of(d),
+                                 dl::Concept::Exists(role, h_of(e))),
+                goal);
+          }
+        }
+      }
+    }
+  }
+  // Schema-free: the data schema is the FULL signature.
+  auto full = QuerySchema(schema, ontology);
+  if (!full.ok()) return full.status();
+  return OntologyMediatedQuery::WithBooleanAtomicQuery(*full, ontology,
+                                                       "Goal");
+}
+
+base::Result<OntologyMediatedQuery> AddEmptinessAxiomsForNonSchemaSymbols(
+    const OntologyMediatedQuery& q1, const OntologyMediatedQuery& q2) {
+  // Union signature as the new common data schema.
+  auto s1 = QuerySchema(q1.data_schema(), q1.ontology());
+  if (!s1.ok()) return s1.status();
+  auto s2 = QuerySchema(q2.data_schema(), q2.ontology());
+  if (!s2.ok()) return s2.status();
+  auto union_schema = data::Schema::Union(*s1, *s2);
+  if (!union_schema.ok()) return union_schema.status();
+
+  dl::Ontology ontology = q2.ontology();
+  // Emptiness sentences for q1's non-schema symbols (Thm 6.2: L "can
+  // express emptiness").
+  for (const std::string& a : q1.ontology().ConceptNames()) {
+    if (q1.data_schema().FindRelation(a).has_value()) continue;
+    ontology.AddInclusion(dl::Concept::Name(a), dl::Concept::Bottom());
+  }
+  for (const std::string& r : q1.ontology().RoleNames()) {
+    if (q1.data_schema().FindRelation(r).has_value()) continue;
+    ontology.AddInclusion(
+        dl::Concept::Top(),
+        dl::Concept::Forall(dl::Role::Named(r), dl::Concept::Bottom()));
+    ontology.AddInclusion(
+        dl::Concept::Exists(dl::Role::Named(r), dl::Concept::Top()),
+        dl::Concept::Bottom());
+  }
+
+  // Rebase the query of q2 onto the union schema (atoms match by name).
+  auto query_schema = QuerySchema(*union_schema, ontology);
+  if (!query_schema.ok()) return query_schema.status();
+  fo::UnionOfCq rebased(*query_schema, q2.arity());
+  for (const fo::ConjunctiveQuery& disjunct : q2.query().disjuncts()) {
+    fo::ConjunctiveQuery cq(*query_schema, disjunct.arity());
+    while (cq.num_vars() < disjunct.num_vars()) cq.AddVariable();
+    for (const fo::QueryAtom& a : disjunct.atoms()) {
+      auto id = query_schema->FindRelation(
+          disjunct.schema().RelationName(a.rel));
+      OBDA_CHECK(id.has_value());
+      cq.AddAtom(*id, a.vars);
+    }
+    rebased.AddDisjunct(std::move(cq));
+  }
+  return OntologyMediatedQuery::Create(*union_schema, std::move(ontology),
+                                       std::move(rebased));
+}
+
+}  // namespace obda::core

@@ -1,0 +1,32 @@
+#ifndef OBDA_CORE_SCHEMA_FREE_H_
+#define OBDA_CORE_SCHEMA_FREE_H_
+
+#include "base/status.h"
+#include "core/omq.h"
+
+namespace obda::core {
+
+/// The schema-free construction of Thm 6.1: from a CSP template B, an
+/// OMQ (S∞, O', ∃x.Goal(x)) polynomially equivalent to coCSP(B) even
+/// when the data may use ALL symbols — including those of O'. The trick:
+/// the per-element choice concepts A_d are replaced by the compound
+/// guards H_d = ∀R_d.A_d, whose truth a model can set freely regardless
+/// of what R_d/A_d facts the data asserts (Fact 1 in the proof).
+///
+/// The returned OMQ's data schema is the FULL signature (B's schema plus
+/// all R_d, A_d, and Goal) — instances over any subset embed by reduct.
+base::Result<OntologyMediatedQuery> CspToSchemaFreeOmq(
+    const data::Instance& b);
+
+/// The reduction of Thm 6.2: rewrites a containment problem between
+/// fixed-schema OMQs into one between schema-free OMQs by adding
+/// emptiness axioms (R ⊑ ⊥-style sentences, here: ∃R.⊤ ⊔ ∃R⁻.⊤ ⊑ ⊥ for
+/// roles and A ⊑ ⊥ for concepts) for the non-schema symbols of Q1 to
+/// O2. Returns the modified second OMQ whose data schema is the union
+/// signature.
+base::Result<OntologyMediatedQuery> AddEmptinessAxiomsForNonSchemaSymbols(
+    const OntologyMediatedQuery& q1, const OntologyMediatedQuery& q2);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_SCHEMA_FREE_H_

@@ -1,0 +1,653 @@
+#include "core/ucq_translation.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "base/check.h"
+#include "dl/reasoner.h"
+#include "dl/transform.h"
+#include "fo/tree.h"
+
+namespace obda::core {
+
+namespace {
+
+/// A node of a rooted tree query: required unary relation names at the
+/// node plus required child edge-rooted queries (indices into the
+/// compiler's edge-query table).
+struct RootedNode {
+  std::vector<std::string> unary;
+  std::vector<int> children;
+};
+
+/// An edge-rooted tree query {S(x,y)} ∪ subtree(y) (a member of tree(q)).
+struct EdgeQuery {
+  std::string rel;
+  RootedNode sub;
+};
+
+/// A Boolean tree component of a disjunct.
+struct BoolComp {
+  RootedNode root;
+};
+
+/// A decorated type: reasoner type + flag bitmask. Bit i (< num_edges)
+/// is the truth flag of edge query i; bit num_edges + j is the
+/// strictly-inside-tree flag of Boolean component j.
+struct Decorated {
+  dl::TypeId type;
+  std::uint32_t mask;
+};
+
+class UcqCompiler {
+ public:
+  explicit UcqCompiler(const OntologyMediatedQuery& omq) : omq_(omq) {}
+
+  base::Result<ddlog::Program> Run() {
+    const dl::DlFeatures features = omq_.ontology().Features();
+    if (features.inverse_roles) {
+      return base::UnimplementedError(
+          "eliminate inverse roles first (EliminateInverseRolesInOmq, "
+          "Thm 3.6(1))");
+    }
+    if (features.transitive_roles || features.functional_roles ||
+        features.universal_role) {
+      return base::UnimplementedError(
+          "the UCQ→MDDlog translation supports ALCH (paper Thm 3.3/3.6; "
+          "S/F are beyond MDDlog by Thm 3.10, U is supported on the AQ "
+          "path only)");
+    }
+
+    OBDA_RETURN_IF_ERROR(BuildReasoner());
+    OBDA_RETURN_IF_ERROR(AnalyseQuery());
+    if (edges_.size() + bools_.size() > 20) {
+      return base::ResourceExhaustedError("too many tree-query flags");
+    }
+    EliminateDecorated();
+    return BuildProgram();
+  }
+
+ private:
+  // --- Reasoner ------------------------------------------------------------
+
+  base::Status BuildReasoner() {
+    std::vector<dl::Concept> seeds;
+    const data::Schema& qs = omq_.query().schema();
+    for (data::RelationId r = 0; r < qs.NumRelations(); ++r) {
+      if (qs.Arity(r) == 1) {
+        seeds.push_back(dl::Concept::Name(qs.RelationName(r)));
+      }
+    }
+    auto reasoner = dl::TypeReasoner::Create(omq_.ontology(), seeds);
+    if (!reasoner.ok()) return reasoner.status();
+    reasoner_ = std::make_unique<dl::TypeReasoner>(std::move(*reasoner));
+    return base::Status::Ok();
+  }
+
+  // --- Query analysis -------------------------------------------------------
+
+  /// Registers the subtree of `cq` rooted at `v` (must be tree-shaped
+  /// below v) and returns its node description.
+  RootedNode BuildNode(const fo::ConjunctiveQuery& cq, fo::QVar v) {
+    RootedNode node;
+    for (const fo::QueryAtom& a : cq.atoms()) {
+      if (a.vars.size() == 1 && a.vars[0] == v) {
+        node.unary.push_back(cq.schema().RelationName(a.rel));
+      }
+      if (a.vars.size() == 2 && a.vars[0] == v) {
+        RootedNode child = BuildNode(cq, a.vars[1]);
+        node.children.push_back(
+            RegisterEdge(cq.schema().RelationName(a.rel), std::move(child)));
+      }
+    }
+    std::sort(node.unary.begin(), node.unary.end());
+    std::sort(node.children.begin(), node.children.end());
+    return node;
+  }
+
+  static std::string NodeKey(const RootedNode& n) {
+    std::string key = "[";
+    for (const auto& u : n.unary) key += u + ",";
+    key += ";";
+    for (int c : n.children) key += std::to_string(c) + ",";
+    key += "]";
+    return key;
+  }
+
+  int RegisterEdge(const std::string& rel, RootedNode sub) {
+    std::string key = rel + NodeKey(sub);
+    auto it = edge_index_.find(key);
+    if (it != edge_index_.end()) return it->second;
+    int index = static_cast<int>(edges_.size());
+    edges_.push_back(EdgeQuery{rel, std::move(sub)});
+    edge_index_.emplace(std::move(key), index);
+    return index;
+  }
+
+  int RegisterBool(RootedNode root) {
+    std::string key = NodeKey(root);
+    auto it = bool_index_.find(key);
+    if (it != bool_index_.end()) return it->second;
+    int index = static_cast<int>(bools_.size());
+    bools_.push_back(BoolComp{std::move(root)});
+    bool_index_.emplace(std::move(key), index);
+    return index;
+  }
+
+  /// One goal-rule blueprint: a decomposition of a disjunct.
+  struct GoalRuleSpec {
+    /// Number of core rule variables.
+    int num_core_vars = 0;
+    /// Answer tuple: indices into core rule variables.
+    std::vector<int> answer;
+    /// Core EDB binary atoms (schema relation, u, v).
+    std::vector<std::tuple<data::RelationId, int, int>> edb_atoms;
+    /// Required unary names per core variable.
+    std::vector<std::pair<int, std::string>> unary_atoms;
+    /// Required edge-query flags per core variable.
+    std::vector<std::pair<int, int>> flag_atoms;
+    /// Boolean components witnessed by fresh variables.
+    std::vector<int> bool_comps;
+  };
+
+  /// Enumerates the decompositions of every disjunct into core + hanging
+  /// tree parts, registering edge queries and Boolean components.
+  base::Status AnalyseQuery() {
+    for (const fo::ConjunctiveQuery& disjunct : omq_.query().disjuncts()) {
+      const int nv = disjunct.num_vars();
+      const int arity = disjunct.arity();
+      if (nv - arity > 14) {
+        return base::ResourceExhaustedError("too many query variables");
+      }
+      const std::uint32_t limit = 1u << (nv - arity);
+      for (std::uint32_t pick = 0; pick < limit; ++pick) {
+        // Core variable set: answer vars plus picked existentials.
+        std::vector<bool> core(static_cast<std::size_t>(nv), false);
+        for (int i = 0; i < arity; ++i) core[i] = true;
+        for (int i = 0; i < nv - arity; ++i) {
+          if ((pick >> i) & 1u) core[arity + i] = true;
+        }
+        AnalyseDecomposition(disjunct, core);
+      }
+    }
+    return base::Status::Ok();
+  }
+
+  /// Attempts one decomposition; appends a GoalRuleSpec if admissible.
+  void AnalyseDecomposition(const fo::ConjunctiveQuery& q,
+                            const std::vector<bool>& core) {
+    const int nv = q.num_vars();
+    // Union-find over non-core variables (component structure).
+    std::vector<int> parent(static_cast<std::size_t>(nv));
+    for (int i = 0; i < nv; ++i) parent[i] = i;
+    std::function<int(int)> find = [&](int x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (const fo::QueryAtom& a : q.atoms()) {
+      if (a.vars.size() == 2 && !core[a.vars[0]] && !core[a.vars[1]]) {
+        parent[find(a.vars[0])] = find(a.vars[1]);
+      }
+    }
+    // Cross atoms: R(u,v) with u core, v non-core is fine; the converse
+    // direction cannot match a forest model — abandon this decomposition.
+    // Also map each non-core component to its attach (core) variables.
+    std::map<int, std::set<int>> attach;  // component root -> core vars
+    for (const fo::QueryAtom& a : q.atoms()) {
+      if (a.vars.size() != 2) continue;
+      bool c0 = core[a.vars[0]];
+      bool c1 = core[a.vars[1]];
+      if (!c0 && c1) return;  // tree-to-core edge: impossible shape
+      if (c0 && !c1) attach[find(a.vars[1])].insert(a.vars[0]);
+      if (c0 && c1) {
+        // Core binary atoms must be data-schema relations: the ontology
+        // never forces edges between named elements, so other relations
+        // cannot contribute to certain answers.
+        const std::string& rel = q.schema().RelationName(a.rel);
+        if (!omq_.data_schema().FindRelation(rel).has_value()) return;
+      }
+    }
+    // Unify the attach variables of each component (they co-map to the
+    // tree root).
+    for (const auto& [comp, vars] : attach) {
+      (void)comp;
+      int first = *vars.begin();
+      for (int v : vars) parent[find(v)] = find(first);
+    }
+    // Re-find after unification; assign rule variables to core classes.
+    std::vector<int> rule_var(static_cast<std::size_t>(nv), -1);
+    int num_core_vars = 0;
+    for (int v = 0; v < nv; ++v) {
+      if (!core[v]) continue;
+      int root = find(v);
+      // The class representative among core vars.
+      if (rule_var[root] < 0) rule_var[root] = num_core_vars++;
+      rule_var[v] = rule_var[root];
+    }
+
+    GoalRuleSpec spec;
+    spec.num_core_vars = num_core_vars;
+    for (int i = 0; i < q.arity(); ++i) spec.answer.push_back(rule_var[i]);
+
+    // Core atoms.
+    for (const fo::QueryAtom& a : q.atoms()) {
+      if (a.vars.size() == 1 && core[a.vars[0]]) {
+        spec.unary_atoms.emplace_back(rule_var[a.vars[0]],
+                                      q.schema().RelationName(a.rel));
+      }
+      if (a.vars.size() == 2 && core[a.vars[0]] && core[a.vars[1]]) {
+        auto rel =
+            omq_.data_schema().FindRelation(q.schema().RelationName(a.rel));
+        OBDA_CHECK(rel.has_value());
+        spec.edb_atoms.emplace_back(*rel, rule_var[a.vars[0]],
+                                    rule_var[a.vars[1]]);
+      }
+    }
+
+    // Hanging components.
+    std::set<int> seen_comps;
+    for (int v = 0; v < nv; ++v) {
+      if (core[v]) continue;
+      int comp = find(v);
+      if (!seen_comps.insert(comp).second) continue;
+      // Build the hanging query: root (if attached) + component atoms.
+      auto attach_it = attach.find(comp);
+      const bool attached = attach_it != attach.end();
+      fo::ConjunctiveQuery hang(q.schema(), attached ? 1 : 0);
+      std::vector<fo::QVar> hv(static_cast<std::size_t>(nv), -1);
+      auto hang_var = [&](int v2) {
+        if (hv[v2] < 0) hv[v2] = hang.AddVariable();
+        return hv[v2];
+      };
+      for (const fo::QueryAtom& a : q.atoms()) {
+        if (a.vars.size() == 1 && !core[a.vars[0]] &&
+            find(a.vars[0]) == comp) {
+          hang.AddAtom(a.rel, {hang_var(a.vars[0])});
+        }
+        if (a.vars.size() != 2) continue;
+        bool in0 = !core[a.vars[0]] && find(a.vars[0]) == comp;
+        bool in1 = !core[a.vars[1]] && find(a.vars[1]) == comp;
+        if (in0 && in1) {
+          hang.AddAtom(a.rel, {hang_var(a.vars[0]), hang_var(a.vars[1])});
+        } else if (in1 && core[a.vars[0]]) {
+          // Cross atom: root (answer var 0) to component variable.
+          hang.AddAtom(a.rel, {0, hang_var(a.vars[1])});
+        }
+      }
+      fo::ConjunctiveQuery reduced = fo::EliminateForks(hang);
+      if (!fo::IsTreeShaped(reduced)) return;  // cannot match any forest
+      if (attached) {
+        // Root description: unary atoms at the root plus child edges.
+        for (const fo::QueryAtom& a : reduced.atoms()) {
+          if (a.vars.size() == 1 && a.vars[0] == 0) {
+            spec.unary_atoms.emplace_back(
+                rule_var[*attach_it->second.begin()],
+                reduced.schema().RelationName(a.rel));
+          }
+          if (a.vars.size() == 2 && a.vars[0] == 0) {
+            RootedNode child = BuildNode(reduced, a.vars[1]);
+            int edge = RegisterEdge(
+                reduced.schema().RelationName(a.rel), std::move(child));
+            spec.flag_atoms.emplace_back(
+                rule_var[*attach_it->second.begin()], edge);
+          }
+        }
+      } else {
+        // Boolean component: find the tree root (in-degree 0).
+        std::vector<int> indeg(static_cast<std::size_t>(reduced.num_vars()),
+                               0);
+        for (const fo::QueryAtom& a : reduced.atoms()) {
+          if (a.vars.size() == 2) ++indeg[a.vars[1]];
+        }
+        fo::QVar root = -1;
+        for (fo::QVar w = 0; w < reduced.num_vars(); ++w) {
+          if (indeg[w] == 0) root = w;
+        }
+        OBDA_CHECK_GE(root, 0);
+        spec.bool_comps.push_back(RegisterBool(BuildNode(reduced, root)));
+      }
+    }
+    specs_.push_back(std::move(spec));
+  }
+
+  // --- Decorated type elimination --------------------------------------------
+
+  bool NodeValue(const RootedNode& node, const Decorated& d) const {
+    for (const std::string& a : node.unary) {
+      if (!reasoner_->TypeContains(d.type, dl::Concept::Name(a))) {
+        return false;
+      }
+    }
+    for (int c : node.children) {
+      if (((d.mask >> c) & 1u) == 0) return false;
+    }
+    return true;
+  }
+
+  bool EdgeFlagBit(std::uint32_t mask, int e) const {
+    return ((mask >> e) & 1u) != 0;
+  }
+  bool BoolFlagBit(std::uint32_t mask, int c) const {
+    return ((mask >> (edges_.size() + c)) & 1u) != 0;
+  }
+
+  /// True if `to` may serve as the R-successor of `from` in a tree:
+  /// every tree match the edge creates is covered by `from`'s flags.
+  bool TreeEdgeAllowed(const Decorated& from, const Decorated& to,
+                       const dl::Role& role) const {
+    std::vector<dl::Role> supers = omq_.ontology().SuperRoles(role);
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      if (EdgeFlagBit(from.mask, static_cast<int>(e))) continue;
+      bool rel_matches = false;
+      for (const dl::Role& s : supers) {
+        if (!s.inverse && s.name == edges_[e].rel) rel_matches = true;
+      }
+      if (rel_matches && NodeValue(edges_[e].sub, to)) return false;
+    }
+    for (std::size_t c = 0; c < bools_.size(); ++c) {
+      if (BoolFlagBit(from.mask, static_cast<int>(c))) continue;
+      if (BoolFlagBit(to.mask, static_cast<int>(c)) ||
+          NodeValue(bools_[c].root, to)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void EliminateDecorated() {
+    const std::uint32_t mask_limit =
+        1u << (edges_.size() + bools_.size());
+    std::vector<Decorated> current;
+    for (dl::TypeId t = 0;
+         t < static_cast<dl::TypeId>(reasoner_->NumSurvivingTypes()); ++t) {
+      for (std::uint32_t m = 0; m < mask_limit; ++m) {
+        current.push_back(Decorated{t, m});
+      }
+    }
+    // Quantified existentials of the closure.
+    struct Exist {
+      dl::Concept concept_;
+      dl::Role role;
+      dl::Concept filler;
+    };
+    std::vector<Exist> exists;
+    for (const dl::Concept& c : reasoner_->closure()) {
+      if (c.kind() == dl::Concept::Kind::kExists &&
+          !c.role().IsUniversal()) {
+        exists.push_back(Exist{c, c.role(), c.child()});
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<Decorated> next;
+      for (const Decorated& d : current) {
+        bool ok = true;
+        for (const Exist& e : exists) {
+          if (!reasoner_->TypeContains(d.type, e.concept_)) continue;
+          bool witness = false;
+          for (const Decorated& w : current) {
+            if (!reasoner_->TypeContains(w.type, e.filler)) continue;
+            if (!reasoner_->EdgeCompatible(d.type, w.type, e.role)) {
+              continue;
+            }
+            if (!TreeEdgeAllowed(d, w, e.role)) continue;
+            witness = true;
+            break;
+          }
+          if (!witness) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) next.push_back(d);
+      }
+      if (next.size() != current.size()) {
+        changed = true;
+        current = std::move(next);
+      }
+    }
+    decorated_ = std::move(current);
+  }
+
+  // --- Program construction ---------------------------------------------------
+
+  base::Result<ddlog::Program> BuildProgram() {
+    const data::Schema& schema = omq_.data_schema();
+    ddlog::Program program(schema);
+    auto add_rule = [&program](std::vector<ddlog::Atom> head,
+                               std::vector<ddlog::Atom> body) {
+      ddlog::Rule rule;
+      rule.head = std::move(head);
+      rule.body = std::move(body);
+      OBDA_CHECK(program.AddRule(std::move(rule)).ok());
+    };
+
+    const int n = static_cast<int>(decorated_.size());
+    std::vector<ddlog::PredId> dt(n);
+    for (int i = 0; i < n; ++i) {
+      dt[i] = program.AddIdbPredicate("DT" + std::to_string(i), 1);
+    }
+    ddlog::PredId goal = program.AddIdbPredicate("goal", omq_.arity());
+    program.SetGoal(goal);
+    ddlog::PredId adom = program.EnsureAdom();
+
+    // Guess rule.
+    {
+      std::vector<ddlog::Atom> head;
+      for (int i = 0; i < n; ++i) head.push_back({dt[i], {0}});
+      add_rule(std::move(head), {{adom, {0}}});
+    }
+
+    // Unary clash rules (schema concept facts force type membership).
+    for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+      if (schema.Arity(r) != 1) continue;
+      dl::Concept name = dl::Concept::Name(schema.RelationName(r));
+      for (int i = 0; i < n; ++i) {
+        if (!reasoner_->TypeContains(decorated_[i].type, name)) {
+          add_rule({}, {{r, {0}}, {dt[i], {0}}});
+        }
+      }
+    }
+
+    // Helper predicates.
+    std::set<std::string> unary_names;
+    for (const GoalRuleSpec& s : specs_) {
+      for (const auto& [v, a] : s.unary_atoms) {
+        (void)v;
+        unary_names.insert(a);
+      }
+    }
+    std::map<std::string, ddlog::PredId> has_concept;
+    for (const std::string& a : unary_names) {
+      ddlog::PredId p = program.AddIdbPredicate("HasC_" + a, 1);
+      has_concept[a] = p;
+      dl::Concept name = dl::Concept::Name(a);
+      for (int i = 0; i < n; ++i) {
+        if (reasoner_->TypeContains(decorated_[i].type, name)) {
+          add_rule({{p, {0}}}, {{dt[i], {0}}});
+        }
+      }
+    }
+    std::vector<ddlog::PredId> f_pred(edges_.size());
+    std::vector<ddlog::PredId> nv_pred(edges_.size());
+    for (std::size_t e = 0; e < edges_.size(); ++e) {
+      f_pred[e] = program.AddIdbPredicate("F" + std::to_string(e), 1);
+      nv_pred[e] = program.AddIdbPredicate("NV" + std::to_string(e), 1);
+      for (int i = 0; i < n; ++i) {
+        if (EdgeFlagBit(decorated_[i].mask, static_cast<int>(e))) {
+          add_rule({{f_pred[e], {0}}}, {{dt[i], {0}}});
+        }
+        if (NodeValue(edges_[e].sub, decorated_[i])) {
+          add_rule({{nv_pred[e], {0}}}, {{dt[i], {0}}});
+        }
+      }
+    }
+    std::vector<ddlog::PredId> bwit_pred(bools_.size());
+    for (std::size_t c = 0; c < bools_.size(); ++c) {
+      bwit_pred[c] =
+          program.AddIdbPredicate("BWit" + std::to_string(c), 1);
+      for (int i = 0; i < n; ++i) {
+        if (BoolFlagBit(decorated_[i].mask, static_cast<int>(c)) ||
+            NodeValue(bools_[c].root, decorated_[i])) {
+          add_rule({{bwit_pred[c], {0}}}, {{dt[i], {0}}});
+        }
+      }
+    }
+
+    // Edge rules: base coherence + flag forcing through data edges.
+    for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+      if (schema.Arity(r) != 2) continue;
+      dl::Role role = dl::Role::Named(schema.RelationName(r));
+      std::vector<dl::Role> supers = omq_.ontology().SuperRoles(role);
+      // Base type compatibility on underlying reasoner types (every
+      // decorated variant of an incompatible pair is forbidden).
+      std::set<dl::TypeId> live_types;
+      for (const Decorated& d : decorated_) live_types.insert(d.type);
+      for (dl::TypeId ta : live_types) {
+        for (dl::TypeId tb : live_types) {
+          if (reasoner_->EdgeCompatible(ta, tb, role)) continue;
+          for (int i2 = 0; i2 < n; ++i2) {
+            if (decorated_[i2].type != ta) continue;
+            for (int j2 = 0; j2 < n; ++j2) {
+              if (decorated_[j2].type != tb) continue;
+              add_rule({}, {{r, {0, 1}}, {dt[i2], {0}}, {dt[j2], {1}}});
+            }
+          }
+        }
+      }
+      // Flag forcing: R(x,y) ∧ DT_i(x) ∧ NV_e(y) with flag e unset at i.
+      for (std::size_t e = 0; e < edges_.size(); ++e) {
+        bool rel_matches = false;
+        for (const dl::Role& s : supers) {
+          if (!s.inverse && s.name == edges_[e].rel) rel_matches = true;
+        }
+        if (!rel_matches) continue;
+        for (int i = 0; i < n; ++i) {
+          if (!EdgeFlagBit(decorated_[i].mask, static_cast<int>(e))) {
+            add_rule({}, {{r, {0, 1}},
+                          {dt[i], {0}},
+                          {nv_pred[e], {1}}});
+          }
+        }
+      }
+    }
+
+    // Goal rules from decomposition specs.
+    for (const GoalRuleSpec& s : specs_) {
+      std::vector<ddlog::Atom> body;
+      int next_var = s.num_core_vars;
+      for (const auto& [rel, u, v] : s.edb_atoms) {
+        body.push_back({rel, {u, v}});
+      }
+      for (const auto& [v, a] : s.unary_atoms) {
+        body.push_back({has_concept.at(a), {v}});
+      }
+      for (const auto& [v, e] : s.flag_atoms) {
+        body.push_back({f_pred[e], {v}});
+      }
+      for (int c : s.bool_comps) {
+        body.push_back({bwit_pred[c], {next_var++}});
+      }
+      // Ground every core variable in adom (covers variables with no
+      // other body atom and enforces answers ⊆ adom^n).
+      for (int v = 0; v < s.num_core_vars; ++v) {
+        body.push_back({adom, {v}});
+      }
+      if (body.empty()) body.push_back({adom, {next_var++}});
+      std::vector<ddlog::VarId> head_vars;
+      for (int a : s.answer) head_vars.push_back(a);
+      add_rule({{goal, std::move(head_vars)}}, std::move(body));
+    }
+    return program;
+  }
+
+  const OntologyMediatedQuery& omq_;
+  std::unique_ptr<dl::TypeReasoner> reasoner_;
+  std::vector<EdgeQuery> edges_;
+  std::map<std::string, int> edge_index_;
+  std::vector<BoolComp> bools_;
+  std::map<std::string, int> bool_index_;
+  std::vector<GoalRuleSpec> specs_;
+  std::vector<Decorated> decorated_;
+};
+
+}  // namespace
+
+base::Result<ddlog::Program> CompileUcqToMddlog(
+    const OntologyMediatedQuery& omq) {
+  UcqCompiler compiler(omq);
+  return compiler.Run();
+}
+
+base::Result<OntologyMediatedQuery> EliminateInverseRolesInOmq(
+    const OntologyMediatedQuery& omq) {
+  const dl::DlFeatures features = omq.ontology().Features();
+  if (features.transitive_roles || features.functional_roles) {
+    return base::UnimplementedError(
+        "eliminate transitivity first; functional roles unsupported");
+  }
+  dl::InverseElimination elim =
+      dl::EliminateInverseRoles(omq.ontology());
+  auto query_schema = QuerySchema(omq.data_schema(), elim.ontology);
+  if (!query_schema.ok()) return query_schema.status();
+
+  fo::UnionOfCq rewritten(*query_schema, omq.arity());
+  for (const fo::ConjunctiveQuery& disjunct : omq.query().disjuncts()) {
+    // Each binary atom R(x,y) becomes a 2-way choice R(x,y) | Rinv(y,x);
+    // distribute over all atoms (single-exponential, as the paper says).
+    std::vector<std::size_t> binary_atoms;
+    for (std::size_t i = 0; i < disjunct.atoms().size(); ++i) {
+      if (disjunct.atoms()[i].vars.size() == 2) binary_atoms.push_back(i);
+    }
+    if (binary_atoms.size() > 16) {
+      return base::ResourceExhaustedError("too many binary atoms");
+    }
+    const std::uint32_t limit = 1u << binary_atoms.size();
+    for (std::uint32_t choice = 0; choice < limit; ++choice) {
+      fo::ConjunctiveQuery cq(*query_schema, disjunct.arity());
+      while (cq.num_vars() < disjunct.num_vars()) cq.AddVariable();
+      for (std::size_t i = 0; i < disjunct.atoms().size(); ++i) {
+        const fo::QueryAtom& a = disjunct.atoms()[i];
+        const std::string& rel = disjunct.schema().RelationName(a.rel);
+        if (a.vars.size() != 2) {
+          auto id = query_schema->FindRelation(rel);
+          OBDA_CHECK(id.has_value());
+          cq.AddAtom(*id, a.vars);
+          continue;
+        }
+        std::size_t pos =
+            std::find(binary_atoms.begin(), binary_atoms.end(), i) -
+            binary_atoms.begin();
+        bool inverted = ((choice >> pos) & 1u) != 0;
+        if (inverted) {
+          auto inv_it = elim.inverse_name.find(rel);
+          OBDA_CHECK(inv_it != elim.inverse_name.end());
+          auto id = query_schema->FindRelation(inv_it->second);
+          if (!id.has_value()) {
+            // The inverse name may be absent when R never occurs in O;
+            // Rinv edges then never exist, so skip this choice.
+            goto next_choice;
+          }
+          cq.AddAtom(*id, {a.vars[1], a.vars[0]});
+        } else {
+          auto id = query_schema->FindRelation(rel);
+          OBDA_CHECK(id.has_value());
+          cq.AddAtom(*id, a.vars);
+        }
+      }
+      rewritten.AddDisjunct(std::move(cq));
+    next_choice:;
+    }
+  }
+  return OntologyMediatedQuery::Create(omq.data_schema(), elim.ontology,
+                                       std::move(rewritten));
+}
+
+}  // namespace obda::core

@@ -1,0 +1,48 @@
+#ifndef OBDA_CORE_UCQ_TRANSLATION_H_
+#define OBDA_CORE_UCQ_TRANSLATION_H_
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "ddlog/program.h"
+
+namespace obda::core {
+
+/// Compiles an (ALCH, UCQ) ontology-mediated query into an equivalent
+/// MDDlog program (paper Thm 3.3, with the H extension of Thm 3.6(2)).
+///
+/// Implementation (proof of Thm 3.3, executable reading):
+///  * The UCQ is analysed into *edge-rooted tree queries* ({R(x,y)} ∪
+///    q̂|y, the members of tree(q)) and *Boolean tree components*;
+///    fork elimination (fo::EliminateForks) normalises subqueries.
+///  * Types are the reasoner types *decorated* with one flag per
+///    edge-rooted query ("this query holds at the element") and per
+///    Boolean component ("the component matches strictly inside the tree
+///    hanging at the element"). A decorated type elimination keeps
+///    exactly the types realizable as roots of tree models whose tree
+///    matches are covered by the claimed flags.
+///  * The program guesses a decorated type per element; constraint rules
+///    reject EDB-incoherent guesses and force flags implied through data
+///    edges; goal rules enumerate, per disjunct, the decompositions into
+///    a core part (mapped to data elements) and hanging tree parts
+///    (covered by flags) — the paper's "diagrams that imply q(x')".
+///
+/// Restrictions (all per the paper's own development): inverse roles must
+/// be eliminated first (EliminateInverseRolesInOmq below, Thm 3.6(1));
+/// transitive roles are not expressible in MDDlog at all for UCQs
+/// (Thm 3.10), nor are functional roles; the universal role is supported
+/// only on the AQ path. The produced program is monadic; sizes are
+/// exponential in |O| + |q| as the theorem states. The equivalence holds
+/// on nonempty instances (the paper's implicit convention).
+base::Result<ddlog::Program> CompileUcqToMddlog(
+    const OntologyMediatedQuery& omq);
+
+/// Applies Thm 3.6(1) to a whole OMQ: eliminates inverse roles from the
+/// ontology (dl::EliminateInverseRoles) and rewrites every query atom
+/// R(x,y) into the disjunction R(x,y) ∨ Rinv(y,x), distributing over the
+/// UCQ (the paper's single-exponential query blowup).
+base::Result<OntologyMediatedQuery> EliminateInverseRolesInOmq(
+    const OntologyMediatedQuery& omq);
+
+}  // namespace obda::core
+
+#endif  // OBDA_CORE_UCQ_TRANSLATION_H_

@@ -1,0 +1,246 @@
+#include "csp/consistency.h"
+
+#include <set>
+#include <vector>
+
+#include "base/check.h"
+
+namespace obda::csp {
+
+namespace {
+
+using data::ConstId;
+
+}  // namespace
+
+bool ArcConsistencyRefutes(const data::Instance& d,
+                           const data::Instance& b) {
+  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
+  const std::size_t nd = d.UniverseSize();
+  const std::size_t nb = b.UniverseSize();
+  if (nd == 0) return false;
+  if (nb == 0) return true;
+  // candidates[x] = possible images of x.
+  std::vector<std::vector<bool>> candidates(
+      nd, std::vector<bool>(nb, true));
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (data::RelationId r = 0; r < d.schema().NumRelations(); ++r) {
+      const int arity = d.schema().Arity(r);
+      if (arity == 0) {
+        if (d.NumTuples(r) > 0 && b.NumTuples(r) == 0) return true;
+        continue;
+      }
+      for (std::uint32_t i = 0; i < d.NumTuples(r); ++i) {
+        auto t = d.Tuple(r, i);
+        // For each position p and candidate v, require a supporting
+        // B-tuple.
+        for (int p = 0; p < arity; ++p) {
+          for (ConstId v = 0; v < nb; ++v) {
+            if (!candidates[t[p]][v]) continue;
+            bool supported = false;
+            for (std::uint32_t j = 0; j < b.NumTuples(r) && !supported;
+                 ++j) {
+              auto bt = b.Tuple(r, j);
+              if (bt[p] != v) continue;
+              bool ok = true;
+              for (int q = 0; q < arity; ++q) {
+                if (!candidates[t[q]][bt[q]]) {
+                  ok = false;
+                  break;
+                }
+              }
+              supported = ok;
+            }
+            if (!supported) {
+              candidates[t[p]][v] = false;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  for (ConstId x = 0; x < nd; ++x) {
+    bool any = false;
+    for (ConstId v = 0; v < nb; ++v) any = any || candidates[x][v];
+    // Only elements occurring in facts are constrained; isolated elements
+    // can map anywhere, but their candidate rows were never pruned.
+    if (!any) return true;
+  }
+  return false;
+}
+
+bool PairwiseConsistencyRefutes(const data::Instance& d,
+                                const data::Instance& b) {
+  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
+  OBDA_CHECK(d.schema().IsBinary());
+  const std::size_t nd = d.UniverseSize();
+  const std::size_t nb = b.UniverseSize();
+  if (nd == 0) return false;
+  if (nb == 0) return true;
+
+  // pair[x][y] = allowed image pairs (bx, by), flattened bx*nb+by.
+  // Diagonal pair[x][x] encodes the unary candidate set.
+  std::vector<std::vector<std::vector<bool>>> pair(
+      nd, std::vector<std::vector<bool>>(nd,
+                                         std::vector<bool>(nb * nb, true)));
+  // Diagonal consistency: only (v,v) allowed on pair[x][x].
+  for (std::size_t x = 0; x < nd; ++x) {
+    for (ConstId v1 = 0; v1 < nb; ++v1) {
+      for (ConstId v2 = 0; v2 < nb; ++v2) {
+        if (v1 != v2) pair[x][x][v1 * nb + v2] = false;
+      }
+    }
+  }
+  // Fact constraints.
+  for (data::RelationId r = 0; r < d.schema().NumRelations(); ++r) {
+    const int arity = d.schema().Arity(r);
+    if (arity == 0) {
+      if (d.NumTuples(r) > 0 && b.NumTuples(r) == 0) return true;
+      continue;
+    }
+    for (std::uint32_t i = 0; i < d.NumTuples(r); ++i) {
+      auto t = d.Tuple(r, i);
+      if (arity == 1) {
+        for (ConstId v = 0; v < nb; ++v) {
+          if (!b.HasFact(r, {v})) pair[t[0]][t[0]][v * nb + v] = false;
+        }
+      } else {
+        for (ConstId v1 = 0; v1 < nb; ++v1) {
+          for (ConstId v2 = 0; v2 < nb; ++v2) {
+            if (!b.HasFact(r, {v1, v2})) {
+              pair[t[0]][t[1]][v1 * nb + v2] = false;
+            }
+          }
+        }
+      }
+    }
+  }
+  // Symmetry closure + triangle propagation to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Symmetry: pair[x][y] and pair[y][x] mirror each other.
+    for (std::size_t x = 0; x < nd; ++x) {
+      for (std::size_t y = 0; y < nd; ++y) {
+        for (ConstId v1 = 0; v1 < nb; ++v1) {
+          for (ConstId v2 = 0; v2 < nb; ++v2) {
+            if (pair[x][y][v1 * nb + v2] && !pair[y][x][v2 * nb + v1]) {
+              pair[x][y][v1 * nb + v2] = false;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    // Triangle: (v1,v2) on (x,y) needs v3 with (v1,v3) on (x,z) and
+    // (v2,v3) on (y,z).
+    for (std::size_t x = 0; x < nd; ++x) {
+      for (std::size_t y = 0; y < nd; ++y) {
+        for (std::size_t z = 0; z < nd; ++z) {
+          if (z == x || z == y) continue;
+          for (ConstId v1 = 0; v1 < nb; ++v1) {
+            for (ConstId v2 = 0; v2 < nb; ++v2) {
+              if (!pair[x][y][v1 * nb + v2]) continue;
+              bool ok = false;
+              for (ConstId v3 = 0; v3 < nb && !ok; ++v3) {
+                ok = pair[x][z][v1 * nb + v3] && pair[y][z][v2 * nb + v3];
+              }
+              if (!ok) {
+                pair[x][y][v1 * nb + v2] = false;
+                changed = true;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  for (std::size_t x = 0; x < nd; ++x) {
+    bool any = false;
+    for (ConstId v = 0; v < nb; ++v) any = any || pair[x][x][v * nb + v];
+    if (!any) return true;
+  }
+  return false;
+}
+
+base::Result<ddlog::Program> CanonicalArcConsistencyProgram(
+    const data::Instance& b, int max_elements) {
+  const int n = static_cast<int>(b.UniverseSize());
+  if (n > max_elements) {
+    return base::ResourceExhaustedError(
+        "canonical program would have 2^" + std::to_string(n) +
+        " IDB predicates");
+  }
+  const data::Schema& schema = b.schema();
+  if (!schema.IsBinary()) {
+    return base::UnimplementedError(
+        "canonical arc-consistency program requires a binary schema");
+  }
+  ddlog::Program program(schema);
+  const std::uint32_t num_sets = 1u << n;
+  // IDB predicate for every subset of dom(B); P_full is derived from adom.
+  std::vector<ddlog::PredId> set_pred(num_sets);
+  for (std::uint32_t s = 0; s < num_sets; ++s) {
+    set_pred[s] = program.AddIdbPredicate("P" + std::to_string(s), 1);
+  }
+  ddlog::PredId goal = program.AddIdbPredicate("goal", 0);
+  program.SetGoal(goal);
+  ddlog::PredId adom = program.EnsureAdom();
+
+  auto add_rule = [&program](std::vector<ddlog::Atom> head,
+                             std::vector<ddlog::Atom> body) {
+    ddlog::Rule rule;
+    rule.head = std::move(head);
+    rule.body = std::move(body);
+    OBDA_CHECK(program.AddRule(std::move(rule)).ok());
+  };
+
+  const std::uint32_t full = num_sets - 1;
+  // P_full(x) <- adom(x).
+  add_rule({{set_pred[full], {0}}}, {{adom, {0}}});
+
+  // Unary relations restrict to their extension: P_{S_A}(x) <- A(x).
+  for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+    if (schema.Arity(r) != 1) continue;
+    std::uint32_t sa = 0;
+    for (int v = 0; v < n; ++v) {
+      if (b.HasFact(r, {static_cast<data::ConstId>(v)})) sa |= (1u << v);
+    }
+    add_rule({{set_pred[sa], {0}}}, {{r, {0}}});
+  }
+
+  // Binary propagation: P_{fwd(S)}(y) <- R(x,y), P_S(x) and the backward
+  // analogue.
+  for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+    if (schema.Arity(r) != 2) continue;
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+      std::uint32_t fwd = 0;
+      std::uint32_t bwd = 0;
+      for (std::uint32_t i = 0; i < b.NumTuples(r); ++i) {
+        auto t = b.Tuple(r, i);
+        if ((s >> t[0]) & 1u) fwd |= (1u << t[1]);
+        if ((s >> t[1]) & 1u) bwd |= (1u << t[0]);
+      }
+      add_rule({{set_pred[fwd], {1}}}, {{r, {0, 1}}, {set_pred[s], {0}}});
+      add_rule({{set_pred[bwd], {0}}}, {{r, {0, 1}}, {set_pred[s], {1}}});
+    }
+  }
+
+  // Intersection rules.
+  for (std::uint32_t s1 = 0; s1 < num_sets; ++s1) {
+    for (std::uint32_t s2 = s1 + 1; s2 < num_sets; ++s2) {
+      if ((s1 & s2) == s1 || (s1 & s2) == s2) continue;  // subsumed
+      add_rule({{set_pred[s1 & s2], {0}}},
+               {{set_pred[s1], {0}}, {set_pred[s2], {0}}});
+    }
+  }
+
+  // goal <- P_∅(x).
+  add_rule({{goal, {}}}, {{set_pred[0], {0}}});
+  return program;
+}
+
+}  // namespace obda::csp

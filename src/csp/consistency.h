@@ -1,0 +1,35 @@
+#ifndef OBDA_CSP_CONSISTENCY_H_
+#define OBDA_CSP_CONSISTENCY_H_
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "ddlog/program.h"
+
+namespace obda::csp {
+
+/// Arc consistency (width-1 local consistency) for the CSP "D → B?".
+/// Returns true if AC derives a contradiction (then certainly D ↛ B;
+/// sound always, complete exactly for templates with tree duality).
+bool ArcConsistencyRefutes(const data::Instance& d, const data::Instance& b);
+
+/// (2,3)-consistency (pair sets with triangle propagation) for binary
+/// schemas. Sound refutation of D → B; by Barto–Kozik, complete for every
+/// template of bounded width — this is the PTime evaluation procedure
+/// behind datalog-rewritability (paper §5.3).
+bool PairwiseConsistencyRefutes(const data::Instance& d,
+                                const data::Instance& b);
+
+/// Materializes the canonical width-1 (arc-consistency) monadic datalog
+/// program for coCSP(B) over B's schema (Feder–Vardi canonical datalog,
+/// paper §5.3): IDB predicates P_S for every S ⊆ dom(B) ("x maps into
+/// S"), propagation rules through every relation, intersection rules, and
+/// goal() ← P_∅(x). The program computes exactly arc consistency, so it
+/// is a datalog-rewriting of coCSP(B) whenever B has tree duality.
+/// Fails if dom(B) exceeds `max_elements` (the program has 2^|dom|
+/// predicates).
+base::Result<ddlog::Program> CanonicalArcConsistencyProgram(
+    const data::Instance& b, int max_elements = 6);
+
+}  // namespace obda::csp
+
+#endif  // OBDA_CSP_CONSISTENCY_H_

@@ -1,0 +1,142 @@
+#include "csp/duality.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "data/homomorphism.h"
+
+namespace obda::csp {
+
+bool Dominates(const data::Instance& inst, data::ConstId b,
+               data::ConstId a) {
+  if (a == b) return true;
+  for (const data::FactRef& f : inst.FactsOf(a)) {
+    auto t = inst.Tuple(f.relation, f.tuple_index);
+    for (std::size_t p = 0; p < t.size(); ++p) {
+      if (t[p] != a) continue;
+      std::vector<data::ConstId> replaced(t.begin(), t.end());
+      replaced[p] = b;
+      if (!inst.HasFact(f.relation, replaced)) return false;
+    }
+  }
+  return true;
+}
+
+data::Instance Dismantle(const data::Instance& inst,
+                         const std::vector<data::ConstId>&
+                             protected_elements) {
+  data::Instance current = inst;
+  // Track protection by constant name (ids change across induced
+  // subinstances).
+  std::vector<std::string> protected_names;
+  protected_names.reserve(protected_elements.size());
+  for (data::ConstId c : protected_elements) {
+    protected_names.push_back(inst.ConstantName(c));
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::size_t n = current.UniverseSize();
+    for (data::ConstId a = 0; a < n && !changed; ++a) {
+      const std::string& name = current.ConstantName(a);
+      if (std::find(protected_names.begin(), protected_names.end(), name) !=
+          protected_names.end()) {
+        continue;
+      }
+      for (data::ConstId b = 0; b < n; ++b) {
+        if (a == b) continue;
+        if (Dominates(current, b, a)) {
+          std::vector<data::ConstId> keep;
+          keep.reserve(n - 1);
+          for (data::ConstId c = 0; c < n; ++c) {
+            if (c != a) keep.push_back(c);
+          }
+          current = current.InducedSubinstance(keep);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return current;
+}
+
+data::Instance PowerStructure(const data::Instance& b) {
+  const std::size_t n = b.UniverseSize();
+  OBDA_CHECK_LE(n, 10u);  // ℘ has 2^n - 1 elements
+  data::Instance out(b.schema());
+  const std::uint32_t num_sets = (1u << n) - 1;  // nonempty subsets
+  for (std::uint32_t s = 1; s <= num_sets; ++s) {
+    out.AddConstant("S" + std::to_string(s));
+  }
+  auto element_of = [](std::uint32_t s) {
+    return static_cast<data::ConstId>(s - 1);
+  };
+  for (data::RelationId r = 0; r < b.schema().NumRelations(); ++r) {
+    const int arity = b.schema().Arity(r);
+    if (arity == 0) {
+      if (b.NumTuples(r) > 0) out.AddFact(r, {});
+      continue;
+    }
+    // Enumerate tuples of subsets; keep the subdirect ones.
+    std::vector<std::uint32_t> sets(static_cast<std::size_t>(arity), 1);
+    for (;;) {
+      bool subdirect = true;
+      for (int i = 0; i < arity && subdirect; ++i) {
+        for (std::size_t bi = 0; bi < n && subdirect; ++bi) {
+          if (((sets[i] >> bi) & 1u) == 0) continue;
+          // b_i = bi must extend to a tuple of R^B through the sets.
+          bool extends = false;
+          for (std::uint32_t t = 0; t < b.NumTuples(r) && !extends; ++t) {
+            auto tuple = b.Tuple(r, t);
+            if (tuple[i] != static_cast<data::ConstId>(bi)) continue;
+            bool inside = true;
+            for (int j = 0; j < arity; ++j) {
+              if (((sets[j] >> tuple[j]) & 1u) == 0) {
+                inside = false;
+                break;
+              }
+            }
+            extends = inside;
+          }
+          subdirect = extends;
+        }
+      }
+      if (subdirect) {
+        std::vector<data::ConstId> args;
+        for (int i = 0; i < arity; ++i) args.push_back(element_of(sets[i]));
+        out.AddFact(r, args);
+      }
+      int pos = arity - 1;
+      while (pos >= 0 && ++sets[pos] == num_sets + 1) {
+        sets[pos] = 1;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  return out;
+}
+
+bool HasTreeDuality(const data::Instance& b) {
+  data::Instance core = data::CoreOf(b);
+  if (core.UniverseSize() == 0) return true;
+  data::Instance power = PowerStructure(core);
+  return data::HomomorphismExists(power, core);
+}
+
+bool IsFoDefinable(const data::Instance& b) {
+  data::Instance core = data::CoreOf(b);
+  const std::size_t n = core.UniverseSize();
+  if (n == 0) return true;  // empty template: trivial query
+  data::Instance square = data::DirectProduct(core, core);
+  std::vector<data::ConstId> diagonal;
+  diagonal.reserve(n);
+  for (data::ConstId c = 0; c < n; ++c) {
+    diagonal.push_back(data::ProductElement(c, c, n));
+  }
+  data::Instance dismantled = Dismantle(square, diagonal);
+  return dismantled.UniverseSize() == n;  // only the diagonal remains
+}
+
+}  // namespace obda::csp

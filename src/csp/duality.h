@@ -1,0 +1,42 @@
+#ifndef OBDA_CSP_DUALITY_H_
+#define OBDA_CSP_DUALITY_H_
+
+#include <vector>
+
+#include "data/instance.h"
+#include "data/ops.h"
+
+namespace obda::csp {
+
+/// True if element `a` is dominated by `b` in `inst`: for every fact
+/// containing `a`, replacing any single occurrence of `a` by `b` again
+/// yields a fact. (Single-occurrence replacement suffices: multiple
+/// occurrences follow by induction.)
+bool Dominates(const data::Instance& inst, data::ConstId b, data::ConstId a);
+
+/// Greedily removes dominated elements that are not `protected_elements`,
+/// until none is removable. Returns the resulting induced subinstance.
+/// (The dismantling retract is unique up to isomorphism, so greedy order
+/// does not affect the outcome of the tests below.)
+data::Instance Dismantle(const data::Instance& inst,
+                         const std::vector<data::ConstId>&
+                             protected_elements);
+
+/// The Larose–Loten–Tardif test (paper Thm 5.10; DESIGN.md §5.2):
+/// coCSP(B) is FO-rewritable iff core(B)² dismantles onto its diagonal.
+/// `b` need not be a core; the core is computed internally.
+bool IsFoDefinable(const data::Instance& b);
+
+/// The Feder–Vardi power structure ℘(B): elements are the nonempty
+/// subsets of B's universe; (S1..Sk) ∈ R^℘ iff every b ∈ Si extends to a
+/// tuple of R^B through S1×..×Sk (the subdirect closure).
+data::Instance PowerStructure(const data::Instance& b);
+
+/// Feder–Vardi: B has tree duality — equivalently, arc consistency
+/// decides CSP(B), equivalently the canonical width-1 datalog program is
+/// a complete rewriting of coCSP(B) — iff ℘(B) → B.
+bool HasTreeDuality(const data::Instance& b);
+
+}  // namespace obda::csp
+
+#endif  // OBDA_CSP_DUALITY_H_

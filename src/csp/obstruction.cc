@@ -1,0 +1,180 @@
+#include "csp/obstruction.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "data/homomorphism.h"
+
+namespace obda::csp {
+
+namespace {
+
+using data::ConstId;
+using data::Instance;
+
+/// Builds candidate trees: `parent[i]` for i >= 1 gives the tree shape;
+/// each edge carries (relation, direction); each node carries a subset of
+/// unary relations.
+struct TreeSpec {
+  std::vector<int> parent;             // size n, parent[0] unused
+  std::vector<int> edge_choice;        // size n, index into edge options
+  std::vector<std::uint32_t> unary;    // size n, bitmask over unary rels
+};
+
+Instance BuildTree(const data::Schema& schema, const TreeSpec& spec,
+                   const std::vector<data::RelationId>& unary_rels,
+                   const std::vector<data::RelationId>& binary_rels) {
+  const int n = static_cast<int>(spec.parent.size());
+  Instance out(schema);
+  for (int i = 0; i < n; ++i) {
+    out.AddConstant("t" + std::to_string(i));
+  }
+  for (int i = 1; i < n; ++i) {
+    int choice = spec.edge_choice[i];
+    data::RelationId rel = binary_rels[choice / 2];
+    bool down = (choice % 2) == 0;
+    ConstId p = static_cast<ConstId>(spec.parent[i]);
+    ConstId c = static_cast<ConstId>(i);
+    if (down) {
+      out.AddFact(rel, {p, c});
+    } else {
+      out.AddFact(rel, {c, p});
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (std::size_t u = 0; u < unary_rels.size(); ++u) {
+      if ((spec.unary[i] >> u) & 1u) {
+        out.AddFact(unary_rels[u], {static_cast<ConstId>(i)});
+      }
+    }
+  }
+  return out;
+}
+
+/// Instance minus one fact (facts indexed globally in relation order).
+Instance RemoveFact(const Instance& d, data::RelationId rel,
+                    std::uint32_t index) {
+  Instance out(d.schema());
+  for (ConstId c = 0; c < d.UniverseSize(); ++c) {
+    out.AddConstant(d.ConstantName(c));
+  }
+  for (data::RelationId r = 0; r < d.schema().NumRelations(); ++r) {
+    for (std::uint32_t i = 0; i < d.NumTuples(r); ++i) {
+      if (r == rel && i == index) continue;
+      out.AddFact(r, d.Tuple(r, i));
+    }
+  }
+  return out;
+}
+
+/// True if T is a critical obstruction: T ↛ B and every fact-deleted
+/// subinstance maps into B.
+bool IsCritical(const Instance& t, const Instance& b) {
+  if (data::HomomorphismExists(t, b)) return false;
+  for (data::RelationId r = 0; r < t.schema().NumRelations(); ++r) {
+    for (std::uint32_t i = 0; i < t.NumTuples(r); ++i) {
+      Instance sub = RemoveFact(t, r, i);
+      if (!data::HomomorphismExists(sub, b)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+base::Result<std::vector<Instance>> TreeObstructions(
+    const Instance& b, const ObstructionOptions& options) {
+  const data::Schema& schema = b.schema();
+  if (!schema.IsBinary()) {
+    return base::UnimplementedError(
+        "tree obstruction enumeration requires a binary schema");
+  }
+  std::vector<data::RelationId> unary_rels;
+  std::vector<data::RelationId> binary_rels;
+  for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+    if (schema.Arity(r) == 1) unary_rels.push_back(r);
+    if (schema.Arity(r) == 2) binary_rels.push_back(r);
+  }
+  const std::uint32_t unary_masks = 1u << unary_rels.size();
+  const int edge_options = static_cast<int>(binary_rels.size()) * 2;
+
+  std::vector<Instance> criticals;
+  std::uint64_t examined = 0;
+
+  for (int n = 1; n <= options.max_nodes; ++n) {
+    if (n > 1 && edge_options == 0) break;
+    // Enumerate parent arrays (parent[i] < i).
+    TreeSpec spec;
+    spec.parent.assign(n, 0);
+    spec.edge_choice.assign(n, 0);
+    spec.unary.assign(n, 0);
+
+    // Odometer over (parents, edges, unary masks) jointly.
+    std::vector<int> par(n, 0);
+    for (;;) {
+      // For this shape, odometer over edge choices.
+      std::vector<int> edges(n, 0);
+      for (;;) {
+        // Odometer over unary masks.
+        std::vector<std::uint32_t> masks(n, 0);
+        for (;;) {
+          if (++examined > options.max_candidates) {
+            return base::ResourceExhaustedError(
+                "obstruction candidate budget exceeded");
+          }
+          spec.parent = par;
+          spec.edge_choice = edges;
+          spec.unary = masks;
+          Instance t = BuildTree(schema, spec, unary_rels, binary_rels);
+          if (IsCritical(t, b)) criticals.push_back(std::move(t));
+          // Advance unary masks.
+          int pos = n - 1;
+          while (pos >= 0 && ++masks[pos] == unary_masks) {
+            masks[pos] = 0;
+            --pos;
+          }
+          if (pos < 0) break;
+        }
+        if (n == 1) break;
+        int pos = n - 1;
+        while (pos >= 1 && ++edges[pos] == edge_options) {
+          edges[pos] = 0;
+          --pos;
+        }
+        if (pos < 1) break;
+      }
+      if (n == 1) break;
+      int pos = n - 1;
+      bool done = false;
+      while (pos >= 1) {
+        if (++par[pos] < pos) break;
+        par[pos] = 0;
+        --pos;
+      }
+      if (pos < 1) done = true;
+      if (done) break;
+    }
+  }
+
+  // Reduce to homomorphism-minimal representatives: if o1 → o2 (o1 != o2)
+  // then o2 is redundant.
+  std::vector<bool> dropped(criticals.size(), false);
+  for (std::size_t i = 0; i < criticals.size(); ++i) {
+    if (dropped[i]) continue;
+    for (std::size_t j = 0; j < criticals.size(); ++j) {
+      if (i == j || dropped[j]) continue;
+      if (data::HomomorphismExists(criticals[j], criticals[i]) &&
+          !(data::HomomorphismExists(criticals[i], criticals[j]) && j > i)) {
+        dropped[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<Instance> out;
+  for (std::size_t i = 0; i < criticals.size(); ++i) {
+    if (!dropped[i]) out.push_back(std::move(criticals[i]));
+  }
+  return out;
+}
+
+}  // namespace obda::csp

@@ -1,0 +1,37 @@
+#ifndef OBDA_CSP_OBSTRUCTION_H_
+#define OBDA_CSP_OBSTRUCTION_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+
+namespace obda::csp {
+
+/// Options for obstruction enumeration.
+struct ObstructionOptions {
+  /// Maximum number of elements in a candidate tree.
+  int max_nodes = 5;
+  /// Safety cap on the number of candidate instances examined.
+  std::uint64_t max_candidates = 2'000'000;
+};
+
+/// Enumerates critical tree obstructions of CSP(B) up to the node bound:
+/// tree-shaped instances T (directed trees with one relation label per
+/// edge plus arbitrary unary decorations) with T ↛ B but T−f → B for
+/// every fact f. The result is reduced to homomorphism-minimal
+/// representatives.
+///
+/// For a template with finite duality (IsFoDefinable), the obstruction
+/// set is finite and consists of trees [Nešetřil–Tardif]; if the bound
+/// covers it, the returned set Ω is a complete obstruction set:
+/// D → B iff no T ∈ Ω maps into D. Completeness relative to the bound
+/// only — callers should validate on samples (see tests) or grow the
+/// bound. Requires a binary schema.
+base::Result<std::vector<data::Instance>> TreeObstructions(
+    const data::Instance& b,
+    const ObstructionOptions& options = ObstructionOptions());
+
+}  // namespace obda::csp
+
+#endif  // OBDA_CSP_OBSTRUCTION_H_

@@ -1,0 +1,136 @@
+#include "csp/query.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace obda::csp {
+
+CoCspQuery CoCspQuery::ForTemplate(data::Instance b) {
+  CoCspQuery q(b.schema(), 0);
+  q.AddTemplate(data::MarkedInstance{std::move(b), {}});
+  return q;
+}
+
+void CoCspQuery::AddTemplate(data::MarkedInstance t) {
+  OBDA_CHECK_EQ(static_cast<int>(t.marks.size()), arity_);
+  OBDA_CHECK(t.instance.schema().LayoutCompatible(schema_));
+  templates_.push_back(std::move(t));
+}
+
+bool CoCspQuery::IsAnswer(const data::Instance& instance,
+                          const std::vector<data::ConstId>& tuple) const {
+  OBDA_CHECK_EQ(static_cast<int>(tuple.size()), arity_);
+  data::MarkedInstance src{instance, tuple};
+  for (const data::MarkedInstance& t : templates_) {
+    if (data::MarkedHomomorphismExists(src, t)) return false;
+  }
+  return true;
+}
+
+std::vector<std::vector<data::ConstId>> CoCspQuery::Evaluate(
+    const data::Instance& instance) const {
+  std::vector<std::vector<data::ConstId>> out;
+  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  if (arity_ == 0) {
+    if (IsAnswer(instance, {})) out.push_back({});
+    return out;
+  }
+  if (adom.empty()) return out;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(arity_), 0);
+  for (;;) {
+    std::vector<data::ConstId> tuple;
+    tuple.reserve(arity_);
+    for (int i = 0; i < arity_; ++i) tuple.push_back(adom[idx[i]]);
+    if (IsAnswer(instance, tuple)) out.push_back(tuple);
+    int pos = arity_ - 1;
+    while (pos >= 0 && ++idx[pos] == adom.size()) {
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CoCspQuery CoCspQuery::ReduceToIncomparable() const {
+  // Keep template i unless it maps into some kept template j != i.
+  // Greedy scan: drop i if it maps into any j that is not itself dropped
+  // in favour of i (asymmetric tie-break by index).
+  std::vector<bool> dropped(templates_.size(), false);
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    if (dropped[i]) continue;
+    for (std::size_t j = 0; j < templates_.size(); ++j) {
+      if (i == j || dropped[j]) continue;
+      if (data::MarkedHomomorphismExists(templates_[i], templates_[j])) {
+        // i's answers are implied by j: (D,d)→B_i→B_j, so B_i is
+        // redundant for the "no hom" condition ... careful: template i is
+        // redundant iff B_i → B_j (hom to i implies hom to j is wrong
+        // direction). If B_i → B_j then any (D,d)→B_i also →B_j, so
+        // forbidding B_j-homs is the stronger condition and B_i adds
+        // nothing ONLY IF we keep B_j. Drop i, keep j.
+        dropped[i] = true;
+        break;
+      }
+    }
+  }
+  CoCspQuery out(schema_, arity_);
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    if (!dropped[i]) out.AddTemplate(templates_[i]);
+  }
+  return out;
+}
+
+std::vector<data::Instance> CoCspQuery::CollapsedTemplates() const {
+  data::Schema extended = schema_;
+  for (int i = 0; i < arity_; ++i) {
+    extended.AddRelation("Mark" + std::to_string(i + 1), 1);
+  }
+  std::vector<data::Instance> out;
+  for (const data::MarkedInstance& t : templates_) {
+    data::Instance c = t.instance.ReductTo(extended);
+    for (int i = 0; i < arity_; ++i) {
+      data::RelationId mark =
+          *extended.FindRelation("Mark" + std::to_string(i + 1));
+      // Constants keep their ids under ReductTo (it adds them in order).
+      c.AddFact(mark, {t.marks[i]});
+    }
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::string CoCspQuery::ToString() const {
+  std::string out = "coCSP over " + schema_.ToString() + ", arity " +
+                    std::to_string(arity_) + ", " +
+                    std::to_string(templates_.size()) + " template(s)\n";
+  for (const auto& t : templates_) {
+    out += "--- template (marks:";
+    for (data::ConstId m : t.marks) {
+      out += " " + t.instance.ConstantName(m);
+    }
+    out += ")\n" + t.instance.ToString();
+  }
+  return out;
+}
+
+bool CoCspContained(const CoCspQuery& f, const CoCspQuery& f_prime) {
+  OBDA_CHECK_EQ(f.arity(), f_prime.arity());
+  // coCSP(F) ⊆ coCSP(F') iff hom-to-F' implies hom-to-F iff every
+  // F'-template maps into some F-template (take (D,d) := the F'-template
+  // for necessity; compose homomorphisms for sufficiency).
+  for (const data::MarkedInstance& b_prime : f_prime.templates()) {
+    bool maps = false;
+    for (const data::MarkedInstance& b : f.templates()) {
+      if (data::MarkedHomomorphismExists(b_prime, b)) {
+        maps = true;
+        break;
+      }
+    }
+    if (!maps) return false;
+  }
+  return true;
+}
+
+}  // namespace obda::csp

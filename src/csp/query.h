@@ -1,0 +1,70 @@
+#ifndef OBDA_CSP_QUERY_H_
+#define OBDA_CSP_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/homomorphism.h"
+#include "data/instance.h"
+
+namespace obda::csp {
+
+/// A generalized coCSP query with marked elements (paper §4.2): a finite
+/// set F of n-ary marked templates; the answers on an instance D are the
+/// tuples d̄ ∈ adom(D)^n with (D, d̄) ↛ (B, b̄) for every template.
+///
+/// Plain coCSP is the case of a single 0-ary template; generalized coCSP
+/// is several 0-ary templates.
+class CoCspQuery {
+ public:
+  /// Creates a query of the given arity (all templates must carry exactly
+  /// `arity` marks and share a layout-compatible schema).
+  CoCspQuery(data::Schema schema, int arity)
+      : schema_(std::move(schema)), arity_(arity) {}
+
+  /// Convenience: plain coCSP(B).
+  static CoCspQuery ForTemplate(data::Instance b);
+
+  const data::Schema& schema() const { return schema_; }
+  int arity() const { return arity_; }
+  const std::vector<data::MarkedInstance>& templates() const {
+    return templates_;
+  }
+
+  void AddTemplate(data::MarkedInstance t);
+
+  /// True if d̄ is an answer on D: no marked homomorphism to any template.
+  bool IsAnswer(const data::Instance& instance,
+                const std::vector<data::ConstId>& tuple) const;
+
+  /// All answers on D, sorted.
+  std::vector<std::vector<data::ConstId>> Evaluate(
+      const data::Instance& instance) const;
+
+  /// Reduces the template set to homomorphically incomparable
+  /// representatives of the same query (paper, discussion before
+  /// Thm 5.15): templates that map into another template are dropped.
+  CoCspQuery ReduceToIncomparable() const;
+
+  /// The collapse (B, b̄)ᶜ of each template: marks become fresh unary
+  /// relations Mark1..Markn (paper §5.3). Returns 0-ary templates over the
+  /// extended schema.
+  std::vector<data::Instance> CollapsedTemplates() const;
+
+  std::string ToString() const;
+
+ private:
+  data::Schema schema_;
+  int arity_;
+  std::vector<data::MarkedInstance> templates_;
+};
+
+/// Query containment coCSP(F) ⊆ coCSP(F'): holds iff every template of F'
+/// maps (marked-homomorphically) into some template of F. (NP in template
+/// size; the basis of Thm 5.7.)
+bool CoCspContained(const CoCspQuery& f, const CoCspQuery& f_prime);
+
+}  // namespace obda::csp
+
+#endif  // OBDA_CSP_QUERY_H_

@@ -1,0 +1,26 @@
+#include "csp/rewritability.h"
+
+#include "csp/duality.h"
+#include "csp/width.h"
+
+namespace obda::csp {
+
+base::Result<bool> IsFoRewritable(const CoCspQuery& query) {
+  CoCspQuery reduced = query.ReduceToIncomparable();
+  for (const data::Instance& collapsed : reduced.CollapsedTemplates()) {
+    if (!IsFoDefinable(collapsed)) return false;
+  }
+  return true;
+}
+
+base::Result<bool> IsDatalogRewritable(const CoCspQuery& query) {
+  CoCspQuery reduced = query.ReduceToIncomparable();
+  for (const data::Instance& collapsed : reduced.CollapsedTemplates()) {
+    auto bounded = HasBoundedWidth(collapsed);
+    if (!bounded.ok()) return bounded.status();
+    if (!*bounded) return false;
+  }
+  return true;
+}
+
+}  // namespace obda::csp

@@ -1,0 +1,22 @@
+#ifndef OBDA_CSP_REWRITABILITY_H_
+#define OBDA_CSP_REWRITABILITY_H_
+
+#include "base/status.h"
+#include "csp/query.h"
+
+namespace obda::csp {
+
+/// Decides FO-rewritability of a generalized coCSP with marked elements
+/// (paper Thm 5.15): reduce the template set to homomorphically
+/// incomparable representatives, collapse marks into fresh unary
+/// relations (Prop 5.11 / Lemma 5.12), and run the Larose–Loten–Tardif
+/// dismantlability test on each collapsed template.
+base::Result<bool> IsFoRewritable(const CoCspQuery& query);
+
+/// Decides datalog-rewritability analogously, using the bounded-width
+/// (WNU) test on each collapsed template (paper Thm 5.15 / 5.10).
+base::Result<bool> IsDatalogRewritable(const CoCspQuery& query);
+
+}  // namespace obda::csp
+
+#endif  // OBDA_CSP_REWRITABILITY_H_

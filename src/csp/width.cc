@@ -1,0 +1,232 @@
+#include "csp/width.h"
+
+#include <vector>
+
+#include "base/check.h"
+#include "data/ops.h"
+#include "sat/solver.h"
+
+namespace obda::csp {
+
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+/// A SAT-encoded operation table f : B^k -> B (one-hot per entry).
+class OperationTable {
+ public:
+  OperationTable(Solver* solver, int domain, int arity)
+      : solver_(solver), domain_(domain), arity_(arity) {
+    std::size_t entries = 1;
+    for (int i = 0; i < arity; ++i) entries *= domain;
+    vars_.resize(entries * domain);
+    for (auto& v : vars_) v = solver_->NewVar();
+    // Exactly-one value per entry.
+    for (std::size_t e = 0; e < entries; ++e) {
+      std::vector<Lit> at_least;
+      for (int v = 0; v < domain; ++v) {
+        at_least.push_back(Lit::Pos(VarFor(e, v)));
+      }
+      solver_->AddClause(at_least);
+      for (int v1 = 0; v1 < domain; ++v1) {
+        for (int v2 = v1 + 1; v2 < domain; ++v2) {
+          solver_->AddClause(
+              {Lit::Neg(VarFor(e, v1)), Lit::Neg(VarFor(e, v2))});
+        }
+      }
+    }
+  }
+
+  std::size_t EntryOf(const std::vector<int>& args) const {
+    OBDA_CHECK_EQ(static_cast<int>(args.size()), arity_);
+    std::size_t e = 0;
+    for (int a : args) {
+      OBDA_CHECK_LT(a, domain_);
+      e = e * domain_ + static_cast<std::size_t>(a);
+    }
+    return e;
+  }
+
+  Var VarFor(std::size_t entry, int value) const {
+    return vars_[entry * domain_ + value];
+  }
+
+  /// Forces f(args) = value.
+  void ForceValue(const std::vector<int>& args, int value) {
+    solver_->AddClause({Lit::Pos(VarFor(EntryOf(args), value))});
+  }
+
+  /// Forces f(args1) = f(args2).
+  void ForceEqual(const std::vector<int>& args1,
+                  const std::vector<int>& args2) {
+    std::size_t e1 = EntryOf(args1);
+    std::size_t e2 = EntryOf(args2);
+    for (int v = 0; v < domain_; ++v) {
+      solver_->AddClause({Lit::Neg(VarFor(e1, v)), Lit::Pos(VarFor(e2, v))});
+      solver_->AddClause({Lit::Pos(VarFor(e1, v)), Lit::Neg(VarFor(e2, v))});
+    }
+  }
+
+  /// Forces f(args1) (this table) = g(args2) (other table).
+  void ForceEqualAcross(const std::vector<int>& args1,
+                        const OperationTable& other,
+                        const std::vector<int>& args2) {
+    std::size_t e1 = EntryOf(args1);
+    std::size_t e2 = other.EntryOf(args2);
+    OBDA_CHECK_EQ(domain_, other.domain_);
+    for (int v = 0; v < domain_; ++v) {
+      solver_->AddClause(
+          {Lit::Neg(VarFor(e1, v)), Lit::Pos(other.VarFor(e2, v))});
+      solver_->AddClause(
+          {Lit::Pos(VarFor(e1, v)), Lit::Neg(other.VarFor(e2, v))});
+    }
+  }
+
+  /// Adds the polymorphism-preservation constraints for all relations of
+  /// `b`: for every k-tuple of R-tuples, the componentwise image is in R.
+  void AddPreservation(const data::Instance& b) {
+    const data::Schema& schema = b.schema();
+    for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+      const int rel_arity = schema.Arity(r);
+      if (rel_arity == 0) continue;
+      const std::size_t num_tuples = b.NumTuples(r);
+      if (num_tuples == 0) continue;
+      // Enumerate k-tuples of tuples (odometer over tuple indices).
+      std::vector<std::size_t> pick(static_cast<std::size_t>(arity_), 0);
+      for (;;) {
+        // Entries: for each relation position p, the argument vector is
+        // (pick_1[p], ..., pick_k[p]).
+        std::vector<std::size_t> entries(rel_arity);
+        for (int p = 0; p < rel_arity; ++p) {
+          std::vector<int> args(static_cast<std::size_t>(arity_));
+          for (int i = 0; i < arity_; ++i) {
+            args[i] = static_cast<int>(
+                b.Tuple(r, static_cast<std::uint32_t>(pick[i]))[p]);
+          }
+          entries[p] = EntryOf(args);
+        }
+        // Forbid every value combination outside R.
+        ForbidNonTuples(b, r, entries, rel_arity);
+        int pos = arity_ - 1;
+        while (pos >= 0 && ++pick[pos] == num_tuples) {
+          pick[pos] = 0;
+          --pos;
+        }
+        if (pos < 0) break;
+      }
+    }
+  }
+
+ private:
+  void ForbidNonTuples(const data::Instance& b, data::RelationId r,
+                       const std::vector<std::size_t>& entries,
+                       int rel_arity) {
+    // Odometer over value combinations.
+    std::vector<int> values(static_cast<std::size_t>(rel_arity), 0);
+    for (;;) {
+      std::vector<data::ConstId> tuple(values.begin(), values.end());
+      if (!b.HasFact(r, tuple)) {
+        std::vector<Lit> clause;
+        clause.reserve(rel_arity);
+        for (int p = 0; p < rel_arity; ++p) {
+          clause.push_back(Lit::Neg(VarFor(entries[p], values[p])));
+        }
+        solver_->AddClause(std::move(clause));
+      }
+      int pos = rel_arity - 1;
+      while (pos >= 0 && ++values[pos] == domain_) {
+        values[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+
+  Solver* solver_;
+  int domain_;
+  int arity_;
+  std::vector<Var> vars_;
+};
+
+/// Adds idempotence and the WNU identities to `table`.
+void AddWnuConstraints(OperationTable* table, int domain, int arity) {
+  for (int x = 0; x < domain; ++x) {
+    table->ForceValue(std::vector<int>(static_cast<std::size_t>(arity), x),
+                      x);
+    for (int y = 0; y < domain; ++y) {
+      if (x == y) continue;
+      std::vector<int> first(static_cast<std::size_t>(arity), x);
+      first[0] = y;
+      for (int pos = 1; pos < arity; ++pos) {
+        std::vector<int> other(static_cast<std::size_t>(arity), x);
+        other[pos] = y;
+        table->ForceEqual(first, other);
+      }
+    }
+  }
+}
+
+base::Result<bool> SolveOutcome(Solver* solver,
+                                const WidthOptions& options) {
+  sat::SatOutcome outcome = solver->Solve({}, options.max_decisions);
+  if (outcome == sat::SatOutcome::kBudget) {
+    return base::ResourceExhaustedError("polymorphism search budget");
+  }
+  return outcome == sat::SatOutcome::kSat;
+}
+
+}  // namespace
+
+base::Result<bool> HasWnuPolymorphism(const data::Instance& b, int arity,
+                                      const WidthOptions& options) {
+  OBDA_CHECK_GE(arity, 2);
+  const int n = static_cast<int>(b.UniverseSize());
+  if (n == 0) return true;
+  Solver solver;
+  OperationTable table(&solver, n, arity);
+  AddWnuConstraints(&table, n, arity);
+  table.AddPreservation(b);
+  return SolveOutcome(&solver, options);
+}
+
+base::Result<bool> HasBoundedWidth(const data::Instance& b,
+                                   const WidthOptions& options) {
+  data::Instance core = data::CoreOf(b);
+  const int n = static_cast<int>(core.UniverseSize());
+  if (n <= 1) return true;
+  Solver solver;
+  OperationTable w3(&solver, n, 3);
+  OperationTable w4(&solver, n, 4);
+  AddWnuConstraints(&w3, n, 3);
+  AddWnuConstraints(&w4, n, 4);
+  w3.AddPreservation(core);
+  w4.AddPreservation(core);
+  // Compatibility: w3(y,x,x) = w4(y,x,x,x).
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      w3.ForceEqualAcross({y, x, x}, w4, {y, x, x, x});
+    }
+  }
+  return SolveOutcome(&solver, options);
+}
+
+base::Result<bool> HasMajorityPolymorphism(const data::Instance& b,
+                                           const WidthOptions& options) {
+  const int n = static_cast<int>(b.UniverseSize());
+  if (n == 0) return true;
+  Solver solver;
+  OperationTable table(&solver, n, 3);
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) {
+      table.ForceValue({y, x, x}, x);
+      table.ForceValue({x, y, x}, x);
+      table.ForceValue({x, x, y}, x);
+    }
+  }
+  table.AddPreservation(b);
+  return SolveOutcome(&solver, options);
+}
+
+}  // namespace obda::csp

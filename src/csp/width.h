@@ -1,0 +1,42 @@
+#ifndef OBDA_CSP_WIDTH_H_
+#define OBDA_CSP_WIDTH_H_
+
+#include <cstdint>
+
+#include "base/status.h"
+#include "data/instance.h"
+
+namespace obda::csp {
+
+/// Options for the polymorphism search.
+struct WidthOptions {
+  std::uint64_t max_decisions = 50'000'000;
+};
+
+/// Searches (via SAT over the operation table) for a weak near-unanimity
+/// polymorphism of the given arity on `b`: an idempotent operation
+/// f : B^k → B preserving all relations of `b` with
+/// f(y,x,..,x) = f(x,y,..,x) = ... = f(x,x,..,y).
+base::Result<bool> HasWnuPolymorphism(const data::Instance& b, int arity,
+                                      const WidthOptions& options =
+                                          WidthOptions());
+
+/// Bounded-width test (paper Thm 5.10 datalog part; DESIGN.md §5.3):
+/// following Barto–Kozik, a core template has bounded width — hence
+/// coCSP(B) is datalog-rewritable — iff it has WNU polymorphisms w3, w4
+/// of arities 3 and 4 with w3(y,x,x) = w4(y,x,x,x). The search runs on
+/// core(b).
+base::Result<bool> HasBoundedWidth(const data::Instance& b,
+                                   const WidthOptions& options =
+                                       WidthOptions());
+
+/// Convenience: searches for a majority polymorphism (near-unanimity of
+/// arity 3: m(y,x,x)=m(x,y,x)=m(x,x,y)=x). Majority implies bounded width
+/// ("bounded strict width"); exposed for ablation benches.
+base::Result<bool> HasMajorityPolymorphism(const data::Instance& b,
+                                           const WidthOptions& options =
+                                               WidthOptions());
+
+}  // namespace obda::csp
+
+#endif  // OBDA_CSP_WIDTH_H_

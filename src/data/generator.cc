@@ -1,0 +1,103 @@
+#include "data/generator.h"
+
+#include "base/check.h"
+
+namespace obda::data {
+
+namespace {
+
+Schema GraphSchema(const std::string& edge) {
+  Schema s;
+  s.AddRelation(edge, 2);
+  return s;
+}
+
+void AddVertices(Instance* g, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    g->AddConstant("v" + std::to_string(i));
+  }
+}
+
+}  // namespace
+
+Instance RandomInstance(const Schema& schema,
+                        const RandomInstanceOptions& options,
+                        base::Rng& rng) {
+  Instance out(schema);
+  OBDA_CHECK_GT(options.num_constants, 0u);
+  for (std::size_t i = 0; i < options.num_constants; ++i) {
+    out.AddConstant("e" + std::to_string(i));
+  }
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    const int arity = schema.Arity(r);
+    if (arity == 0) continue;  // 0-ary facts are never generated randomly.
+    for (std::size_t k = 0; k < options.facts_per_relation; ++k) {
+      std::vector<ConstId> t(arity);
+      for (int p = 0; p < arity; ++p) {
+        t[p] = static_cast<ConstId>(rng.Below(options.num_constants));
+      }
+      out.AddFact(r, t);
+    }
+  }
+  return out;
+}
+
+Instance DirectedPath(const std::string& edge, std::size_t length) {
+  Instance g(GraphSchema(edge));
+  AddVertices(&g, length + 1);
+  for (std::size_t i = 0; i < length; ++i) {
+    g.AddFact(0, {static_cast<ConstId>(i), static_cast<ConstId>(i + 1)});
+  }
+  return g;
+}
+
+Instance DirectedCycle(const std::string& edge, std::size_t n) {
+  OBDA_CHECK_GT(n, 0u);
+  Instance g(GraphSchema(edge));
+  AddVertices(&g, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.AddFact(0, {static_cast<ConstId>(i),
+                  static_cast<ConstId>((i + 1) % n)});
+  }
+  return g;
+}
+
+Instance Clique(const std::string& edge, std::size_t n) {
+  Instance g(GraphSchema(edge));
+  AddVertices(&g, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) {
+        g.AddFact(0, {static_cast<ConstId>(i), static_cast<ConstId>(j)});
+      }
+    }
+  }
+  return g;
+}
+
+Instance Loop(const std::string& edge) {
+  Instance g(GraphSchema(edge));
+  ConstId v = g.AddConstant("v0");
+  g.AddFact(0, {v, v});
+  return g;
+}
+
+Instance RandomDigraph(const std::string& edge, std::size_t n, std::size_t m,
+                       base::Rng& rng) {
+  OBDA_CHECK_GT(n, 1u);
+  Instance g(GraphSchema(edge));
+  AddVertices(&g, n);
+  std::size_t added = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * m + 100;
+  while (added < m && attempts < max_attempts) {
+    ++attempts;
+    ConstId u = static_cast<ConstId>(rng.Below(n));
+    ConstId v = static_cast<ConstId>(rng.Below(n));
+    if (u == v) continue;
+    if (g.AddFact(0, {u, v})) ++added;
+  }
+  return g;
+}
+
+}  // namespace obda::data

@@ -1,0 +1,44 @@
+#ifndef OBDA_DATA_GENERATOR_H_
+#define OBDA_DATA_GENERATOR_H_
+
+#include <cstddef>
+
+#include "base/rng.h"
+#include "data/instance.h"
+
+namespace obda::data {
+
+/// Parameters for random instance generation.
+struct RandomInstanceOptions {
+  std::size_t num_constants = 8;
+  /// Number of random facts drawn per relation (duplicates collapse).
+  std::size_t facts_per_relation = 12;
+};
+
+/// Generates a random instance over `schema`: constants e0..e{n-1}, then
+/// `facts_per_relation` uniformly random tuples per relation. Deterministic
+/// given the Rng state. Used by property tests and benches.
+Instance RandomInstance(const Schema& schema, const RandomInstanceOptions&
+                            options,
+                        base::Rng& rng);
+
+/// Directed path v0 -E-> v1 -E-> ... -E-> v{n}. Schema {edge/2}.
+Instance DirectedPath(const std::string& edge, std::size_t length);
+
+/// Directed cycle on `n` vertices. Schema {edge/2}.
+Instance DirectedCycle(const std::string& edge, std::size_t n);
+
+/// Clique K_n with all ordered pairs (i != j). Schema {edge/2}.
+/// K_3 is the 3-colorability template; K_2 the 2-colorability template.
+Instance Clique(const std::string& edge, std::size_t n);
+
+/// Reflexive singleton: one vertex with a loop. Schema {edge/2}.
+Instance Loop(const std::string& edge);
+
+/// Random (directed, loop-free) graph G(n, m) with `m` distinct edges.
+Instance RandomDigraph(const std::string& edge, std::size_t n, std::size_t m,
+                       base::Rng& rng);
+
+}  // namespace obda::data
+
+#endif  // OBDA_DATA_GENERATOR_H_

@@ -1,0 +1,285 @@
+#include "data/homomorphism.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/check.h"
+
+namespace obda::data {
+
+namespace {
+
+/// Backtracking search maintaining generalized arc consistency (MAC).
+/// Domains are bitmaps over B's universe; every assignment triggers
+/// GAC-3 propagation through the facts of A, with supports found via a
+/// per-(relation, position, value) index over B.
+class HomSearch {
+ public:
+  HomSearch(const Instance& a, const Instance& b, const HomOptions& options)
+      : a_(a), b_(b), options_(options) {
+    const std::size_t num_rels = b_.schema().NumRelations();
+    index_.resize(num_rels);
+    for (RelationId r = 0; r < num_rels; ++r) {
+      const int arity = b_.schema().Arity(r);
+      index_[r].resize(arity);
+      for (std::uint32_t i = 0; i < b_.NumTuples(r); ++i) {
+        auto t = b_.Tuple(r, i);
+        for (int p = 0; p < arity; ++p) {
+          index_[r][p][t[p]].push_back(i);
+        }
+      }
+    }
+  }
+
+  HomResult Run(const std::vector<std::pair<ConstId, ConstId>>& pinned) {
+    HomResult result;
+    OBDA_CHECK(a_.schema().LayoutCompatible(b_.schema()));
+
+    // Arity-0 facts must be present in B outright.
+    for (RelationId r = 0; r < a_.schema().NumRelations(); ++r) {
+      if (a_.schema().Arity(r) == 0 && a_.NumTuples(r) > 0 &&
+          b_.NumTuples(r) == 0) {
+        return result;
+      }
+    }
+
+    const std::size_t n = a_.UniverseSize();
+    if (n == 0) {
+      result.found = true;
+      result.solution_count = 1;
+      return result;
+    }
+    const std::size_t nb = b_.UniverseSize();
+    if (nb == 0) return result;  // Nothing to map into.
+
+    domains_.assign(n, std::vector<char>(nb, 1));
+    domain_size_.assign(n, nb);
+    for (const auto& [av, bv] : pinned) {
+      OBDA_CHECK_LT(av, n);
+      OBDA_CHECK_LT(bv, nb);
+      if (!domains_[av][bv]) return result;
+      for (ConstId c = 0; c < nb; ++c) {
+        domains_[av][c] = (c == bv) ? 1 : 0;
+      }
+      domain_size_[av] = 1;
+    }
+    if (!Propagate()) return result;
+
+    found_count_ = 0;
+    nodes_ = 0;
+    exhausted_ = false;
+    Search(&result);
+    result.solution_count = found_count_;
+    result.found = found_count_ > 0;
+    result.budget_exhausted = exhausted_;
+    result.nodes = nodes_;
+    return result;
+  }
+
+ private:
+  /// GAC-3 to fixpoint over all variables. Returns false on a wipeout.
+  bool Propagate() {
+    const std::size_t n = a_.UniverseSize();
+    std::vector<char> queued(n, 1);
+    std::vector<ConstId> queue;
+    queue.reserve(n);
+    for (ConstId v = 0; v < n; ++v) queue.push_back(v);
+    while (!queue.empty()) {
+      ConstId v = queue.back();
+      queue.pop_back();
+      queued[v] = 0;
+      if (!Revise(v, &queue, &queued)) return false;
+    }
+    return true;
+  }
+
+  /// Removes unsupported values from dom(v); enqueues neighbours of any
+  /// variable whose domain shrank (including v itself via its facts).
+  bool Revise(ConstId v, std::vector<ConstId>* queue,
+              std::vector<char>* queued) {
+    bool shrank = false;
+    for (const FactRef& f : a_.FactsOf(v)) {
+      auto t = a_.Tuple(f.relation, f.tuple_index);
+      // Position of v in the tuple (first occurrence).
+      int vpos = -1;
+      for (std::size_t p = 0; p < t.size(); ++p) {
+        if (t[p] == v) {
+          vpos = static_cast<int>(p);
+          break;
+        }
+      }
+      OBDA_CHECK_GE(vpos, 0);
+      auto& dom = domains_[v];
+      for (ConstId c = 0; c < dom.size(); ++c) {
+        if (!dom[c]) continue;
+        if (!HasSupport(f, t, v, c, vpos)) {
+          dom[c] = 0;
+          --domain_size_[v];
+          shrank = true;
+        }
+      }
+      if (domain_size_[v] == 0) return false;
+    }
+    if (shrank) {
+      // Re-enqueue every variable sharing a fact with v.
+      for (const FactRef& f : a_.FactsOf(v)) {
+        auto t = a_.Tuple(f.relation, f.tuple_index);
+        for (ConstId u : t) {
+          if (!(*queued)[u]) {
+            (*queued)[u] = 1;
+            queue->push_back(u);
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  /// True if some B-tuple of f's relation has c at v's positions and a
+  /// domain value at every other position.
+  bool HasSupport(const FactRef& f, std::span<const ConstId> t, ConstId v,
+                  ConstId c, int vpos) const {
+    auto it = index_[f.relation][vpos].find(c);
+    if (it == index_[f.relation][vpos].end()) return false;
+    for (std::uint32_t i : it->second) {
+      auto bt = b_.Tuple(f.relation, i);
+      bool ok = true;
+      for (std::size_t p = 0; p < t.size(); ++p) {
+        ConstId av = t[p];
+        ConstId bv = bt[p];
+        if (av == v) {
+          if (bv != c) {
+            ok = false;
+            break;
+          }
+        } else if (!domains_[av][bv]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) return true;
+    }
+    return false;
+  }
+
+  /// Depth-first MAC search; returns true when the caller should stop.
+  bool Search(HomResult* result) {
+    // Choose an undecided variable with the smallest domain > 1.
+    ConstId branch_var = kInvalidConst;
+    std::size_t best = 0;
+    for (ConstId v = 0; v < domains_.size(); ++v) {
+      if (domain_size_[v] <= 1) continue;
+      if (branch_var == kInvalidConst || domain_size_[v] < best) {
+        branch_var = v;
+        best = domain_size_[v];
+      }
+    }
+    if (branch_var == kInvalidConst) {
+      // All singleton: the GAC fixpoint is a solution.
+      ++found_count_;
+      if (result->mapping.empty()) {
+        result->mapping.resize(domains_.size());
+        for (ConstId v = 0; v < domains_.size(); ++v) {
+          for (ConstId c = 0; c < domains_[v].size(); ++c) {
+            if (domains_[v][c]) result->mapping[v] = c;
+          }
+        }
+      }
+      return found_count_ >= options_.max_solutions;
+    }
+    for (ConstId c = 0; c < domains_[branch_var].size(); ++c) {
+      if (!domains_[branch_var][c]) continue;
+      if (++nodes_ > options_.node_budget) {
+        exhausted_ = true;
+        return true;
+      }
+      // Snapshot domains, assign, propagate.
+      std::vector<std::vector<char>> saved_domains = domains_;
+      std::vector<std::size_t> saved_sizes = domain_size_;
+      for (ConstId c2 = 0; c2 < domains_[branch_var].size(); ++c2) {
+        domains_[branch_var][c2] = (c2 == c) ? 1 : 0;
+      }
+      domain_size_[branch_var] = 1;
+      bool ok = Propagate();
+      if (ok && Search(result)) return true;
+      domains_ = std::move(saved_domains);
+      domain_size_ = std::move(saved_sizes);
+    }
+    return false;
+  }
+
+  const Instance& a_;
+  const Instance& b_;
+  const HomOptions& options_;
+  /// index_[rel][pos][value] = B-tuple indices with `value` at `pos`.
+  std::vector<std::vector<std::unordered_map<ConstId,
+                                             std::vector<std::uint32_t>>>>
+      index_;
+  std::vector<std::vector<char>> domains_;
+  std::vector<std::size_t> domain_size_;
+  std::uint64_t found_count_ = 0;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+HomResult FindHomomorphism(const Instance& a, const Instance& b,
+                           const std::vector<std::pair<ConstId, ConstId>>&
+                               pinned,
+                           const HomOptions& options) {
+  HomSearch search(a, b, options);
+  return search.Run(pinned);
+}
+
+bool HomomorphismExists(const Instance& a, const Instance& b,
+                        const HomOptions& options) {
+  HomResult r = FindHomomorphism(a, b, {}, options);
+  OBDA_CHECK(!r.budget_exhausted);
+  return r.found;
+}
+
+bool MarkedHomomorphismExists(const MarkedInstance& a,
+                              const MarkedInstance& b,
+                              const HomOptions& options) {
+  OBDA_CHECK_EQ(a.marks.size(), b.marks.size());
+  std::vector<std::pair<ConstId, ConstId>> pinned;
+  pinned.reserve(a.marks.size());
+  for (std::size_t i = 0; i < a.marks.size(); ++i) {
+    pinned.emplace_back(a.marks[i], b.marks[i]);
+  }
+  HomResult r = FindHomomorphism(a.instance, b.instance, pinned, options);
+  OBDA_CHECK(!r.budget_exhausted);
+  return r.found;
+}
+
+std::uint64_t CountHomomorphisms(const Instance& a, const Instance& b,
+                                 std::uint64_t limit) {
+  HomOptions options;
+  options.max_solutions = limit;
+  HomResult r = FindHomomorphism(a, b, {}, options);
+  OBDA_CHECK(!r.budget_exhausted);
+  return r.solution_count;
+}
+
+bool IsHomomorphism(const Instance& a, const Instance& b,
+                    const std::vector<ConstId>& mapping) {
+  if (mapping.size() < a.UniverseSize()) return false;
+  for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+    auto br = b.schema().FindRelation(a.schema().RelationName(r));
+    if (!br.has_value()) return false;
+    for (std::uint32_t i = 0; i < a.NumTuples(r); ++i) {
+      auto t = a.Tuple(r, i);
+      std::vector<ConstId> image;
+      image.reserve(t.size());
+      for (ConstId c : t) {
+        if (mapping[c] >= b.UniverseSize()) return false;
+        image.push_back(mapping[c]);
+      }
+      if (!b.HasFact(*br, image)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace obda::data

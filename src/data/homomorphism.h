@@ -1,0 +1,71 @@
+#ifndef OBDA_DATA_HOMOMORPHISM_H_
+#define OBDA_DATA_HOMOMORPHISM_H_
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "data/instance.h"
+
+namespace obda::data {
+
+/// Options for the homomorphism search.
+struct HomOptions {
+  /// Maximum number of search-tree nodes before giving up. A run that
+  /// exhausts the budget reports `budget_exhausted` instead of deciding.
+  std::uint64_t node_budget = 50'000'000;
+  /// Stop after this many solutions when enumerating/counting.
+  std::uint64_t max_solutions = 1;
+};
+
+/// Outcome of a homomorphism search from A to B.
+struct HomResult {
+  /// True if at least one homomorphism was found.
+  bool found = false;
+  /// Witness: mapping[a] = image of A-constant a in B (valid iff `found`).
+  std::vector<ConstId> mapping;
+  /// Number of solutions found (<= options.max_solutions).
+  std::uint64_t solution_count = 0;
+  /// True if the node budget ran out before the search space was exhausted;
+  /// in that case `found == false` does NOT certify non-existence.
+  bool budget_exhausted = false;
+  std::uint64_t nodes = 0;
+};
+
+/// Searches for a homomorphism h : A -> B, i.e. a map from the universe of
+/// A to the universe of B such that R(a1..an) in A implies
+/// R(h(a1)..h(an)) in B (paper §4.2). Schemas must be layout-compatible.
+///
+/// `pinned` fixes h on selected A-constants (used for marked instances and
+/// for answer-variable bindings). Backtracking with unary-projection
+/// prefiltering, dynamic most-constrained-variable ordering, and forward
+/// checking through facts with one unassigned argument.
+HomResult FindHomomorphism(const Instance& a, const Instance& b,
+                           const std::vector<std::pair<ConstId, ConstId>>&
+                               pinned = {},
+                           const HomOptions& options = HomOptions());
+
+/// True iff some homomorphism A -> B exists. Aborts (OBDA_CHECK) if the
+/// node budget is exhausted — callers that need graceful degradation use
+/// FindHomomorphism directly.
+bool HomomorphismExists(const Instance& a, const Instance& b,
+                        const HomOptions& options = HomOptions());
+
+/// Marked version: h must map each mark of `a` to the matching mark of `b`
+/// (paper §4.2, homomorphisms of marked instances).
+bool MarkedHomomorphismExists(const MarkedInstance& a,
+                              const MarkedInstance& b,
+                              const HomOptions& options = HomOptions());
+
+/// Counts homomorphisms A -> B, up to `limit`.
+std::uint64_t CountHomomorphisms(const Instance& a, const Instance& b,
+                                 std::uint64_t limit);
+
+/// Verifies that `mapping` (indexed by A-constants) is a homomorphism.
+bool IsHomomorphism(const Instance& a, const Instance& b,
+                    const std::vector<ConstId>& mapping);
+
+}  // namespace obda::data
+
+#endif  // OBDA_DATA_HOMOMORPHISM_H_

@@ -1,0 +1,222 @@
+#include "data/instance.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace obda::data {
+
+ConstId Instance::AddConstant(const std::string& name) {
+  auto it = const_by_name_.find(name);
+  if (it != const_by_name_.end()) return it->second;
+  ConstId id = static_cast<ConstId>(const_names_.size());
+  const_by_name_.emplace(name, id);
+  const_names_.push_back(name);
+  facts_of_const_.emplace_back();
+  return id;
+}
+
+ConstId Instance::AddFreshConstant(const std::string& prefix) {
+  for (;;) {
+    std::string name = prefix + std::to_string(fresh_counter_++);
+    if (const_by_name_.find(name) == const_by_name_.end()) {
+      return AddConstant(name);
+    }
+  }
+}
+
+std::optional<ConstId> Instance::FindConstant(std::string_view name) const {
+  auto it = const_by_name_.find(std::string(name));
+  if (it == const_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Instance::ConstantName(ConstId c) const {
+  OBDA_CHECK_LT(c, const_names_.size());
+  return const_names_[c];
+}
+
+std::vector<ConstId> Instance::ActiveDomain() const {
+  std::vector<ConstId> out;
+  for (ConstId c = 0; c < const_names_.size(); ++c) {
+    if (!facts_of_const_[c].empty()) out.push_back(c);
+  }
+  return out;
+}
+
+bool Instance::AddFact(RelationId rel, std::span<const ConstId> args) {
+  OBDA_CHECK_LT(rel, schema_.NumRelations());
+  OBDA_CHECK_EQ(static_cast<int>(args.size()), schema_.Arity(rel));
+  std::vector<ConstId> key(args.begin(), args.end());
+  for (ConstId c : key) OBDA_CHECK_LT(c, const_names_.size());
+  auto [it, inserted] = tuple_sets_[rel].insert(key);
+  (void)it;
+  if (!inserted) return false;
+  auto& store = tuples_[rel];
+  // Arity-0 relations have no flat storage; their single possible tuple is
+  // represented by presence in the tuple set, with tuple index 0.
+  std::uint32_t index =
+      args.empty() ? 0
+                   : static_cast<std::uint32_t>(store.flat.size() /
+                                                args.size());
+  store.flat.insert(store.flat.end(), args.begin(), args.end());
+  // Register the fact once per *distinct* constant in it.
+  std::vector<ConstId> seen;
+  for (ConstId c : key) {
+    if (std::find(seen.begin(), seen.end(), c) == seen.end()) {
+      facts_of_const_[c].push_back(FactRef{rel, index});
+      seen.push_back(c);
+    }
+  }
+  ++num_facts_;
+  return true;
+}
+
+bool Instance::AddFact(RelationId rel, std::initializer_list<ConstId> args) {
+  std::vector<ConstId> v(args);
+  return AddFact(rel, std::span<const ConstId>(v));
+}
+
+base::Status Instance::AddFactByName(
+    std::string_view relation, const std::vector<std::string>& constants) {
+  auto rel = schema_.FindRelation(relation);
+  if (!rel.has_value()) {
+    return base::NotFoundError("unknown relation " + std::string(relation));
+  }
+  if (schema_.Arity(*rel) != static_cast<int>(constants.size())) {
+    return base::InvalidArgumentError(
+        "arity mismatch for relation " + std::string(relation) + ": got " +
+        std::to_string(constants.size()));
+  }
+  std::vector<ConstId> args;
+  args.reserve(constants.size());
+  for (const auto& c : constants) args.push_back(AddConstant(c));
+  AddFact(*rel, std::span<const ConstId>(args));
+  return base::Status::Ok();
+}
+
+bool Instance::HasFact(RelationId rel, std::span<const ConstId> args) const {
+  OBDA_CHECK_LT(rel, schema_.NumRelations());
+  std::vector<ConstId> key(args.begin(), args.end());
+  return tuple_sets_[rel].count(key) > 0;
+}
+
+bool Instance::HasFact(RelationId rel,
+                       std::initializer_list<ConstId> args) const {
+  std::vector<ConstId> v(args);
+  return HasFact(rel, std::span<const ConstId>(v));
+}
+
+std::size_t Instance::NumTuples(RelationId rel) const {
+  OBDA_CHECK_LT(rel, schema_.NumRelations());
+  return tuple_sets_[rel].size();
+}
+
+std::span<const ConstId> Instance::Tuple(RelationId rel,
+                                         std::uint32_t i) const {
+  OBDA_CHECK_LT(rel, schema_.NumRelations());
+  int arity = schema_.Arity(rel);
+  if (arity == 0) return {};
+  const auto& flat = tuples_[rel].flat;
+  OBDA_CHECK_LT(static_cast<std::size_t>(i) * arity, flat.size() + 1);
+  return std::span<const ConstId>(flat.data() + static_cast<std::size_t>(i) *
+                                                    arity,
+                                  static_cast<std::size_t>(arity));
+}
+
+const std::vector<FactRef>& Instance::FactsOf(ConstId c) const {
+  OBDA_CHECK_LT(c, facts_of_const_.size());
+  return facts_of_const_[c];
+}
+
+Instance Instance::ReductTo(const Schema& target) const {
+  Instance out(target);
+  for (ConstId c = 0; c < const_names_.size(); ++c) {
+    out.AddConstant(const_names_[c]);
+  }
+  for (RelationId r = 0; r < schema_.NumRelations(); ++r) {
+    auto tr = target.FindRelation(schema_.RelationName(r));
+    if (!tr.has_value()) continue;
+    OBDA_CHECK_EQ(target.Arity(*tr), schema_.Arity(r));
+    for (std::uint32_t i = 0; i < NumTuples(r); ++i) {
+      out.AddFact(*tr, Tuple(r, i));
+    }
+  }
+  return out;
+}
+
+Instance Instance::InducedSubinstance(const std::vector<ConstId>& keep) const {
+  std::vector<bool> in_keep(const_names_.size(), false);
+  for (ConstId c : keep) in_keep[c] = true;
+  Instance out(schema_);
+  std::vector<ConstId> remap(const_names_.size(), kInvalidConst);
+  for (ConstId c = 0; c < const_names_.size(); ++c) {
+    if (in_keep[c]) remap[c] = out.AddConstant(const_names_[c]);
+  }
+  for (RelationId r = 0; r < schema_.NumRelations(); ++r) {
+    for (std::uint32_t i = 0; i < NumTuples(r); ++i) {
+      auto t = Tuple(r, i);
+      bool ok = true;
+      std::vector<ConstId> mapped;
+      mapped.reserve(t.size());
+      for (ConstId c : t) {
+        if (!in_keep[c]) {
+          ok = false;
+          break;
+        }
+        mapped.push_back(remap[c]);
+      }
+      if (ok) out.AddFact(r, mapped);
+    }
+  }
+  return out;
+}
+
+std::string Instance::ToString() const {
+  std::vector<std::string> lines;
+  for (RelationId r = 0; r < schema_.NumRelations(); ++r) {
+    for (std::uint32_t i = 0; i < NumTuples(r); ++i) {
+      std::string line = schema_.RelationName(r) + "(";
+      auto t = Tuple(r, i);
+      for (std::size_t j = 0; j < t.size(); ++j) {
+        if (j > 0) line += ",";
+        line += const_names_[t[j]];
+      }
+      line += ")";
+      lines.push_back(std::move(line));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (const auto& l : lines) {
+    out += l;
+    out += "\n";
+  }
+  return out;
+}
+
+bool Instance::SameFactsAs(const Instance& other) const {
+  if (!schema_.LayoutCompatible(other.schema_)) return false;
+  if (num_facts_ != other.num_facts_) return false;
+  for (RelationId r = 0; r < schema_.NumRelations(); ++r) {
+    if (NumTuples(r) != other.NumTuples(r)) return false;
+    for (std::uint32_t i = 0; i < NumTuples(r); ++i) {
+      auto t = Tuple(r, i);
+      std::vector<ConstId> mapped;
+      mapped.reserve(t.size());
+      bool ok = true;
+      for (ConstId c : t) {
+        auto oc = other.FindConstant(const_names_[c]);
+        if (!oc.has_value()) {
+          ok = false;
+          break;
+        }
+        mapped.push_back(*oc);
+      }
+      if (!ok || !other.HasFact(r, mapped)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace obda::data

@@ -1,0 +1,112 @@
+#include "data/io.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace obda::data {
+
+namespace {
+
+struct ParsedFact {
+  std::string relation;
+  std::vector<std::string> args;
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '\'' || c == '-' || c == '|' || c == '.' || c == ':';
+}
+
+/// Tokenizes `text` into facts of the form Name(arg, ..., arg) or Name()
+/// or bare Name (0-ary). Returns an error describing the first bad token.
+base::Result<std::vector<ParsedFact>> Tokenize(std::string_view text) {
+  std::vector<ParsedFact> facts;
+  std::size_t i = 0;
+  // Between facts, whitespace, ',' and '.' are all separators. ('.' inside
+  // constant names is fine: it only occurs between '(' and ')', where this
+  // function is not used.)
+  auto skip_sep = [&] {
+    while (i < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+            text[i] == ',' || text[i] == '.')) {
+      ++i;
+    }
+  };
+  auto read_ident = [&]() -> std::string {
+    std::size_t start = i;
+    while (i < text.size() && IsIdentChar(text[i])) ++i;
+    return std::string(text.substr(start, i - start));
+  };
+  skip_sep();
+  while (i < text.size()) {
+    std::string name = read_ident();
+    if (name.empty()) {
+      return base::InvalidArgumentError("unexpected character '" +
+                                        std::string(1, text[i]) +
+                                        "' at offset " + std::to_string(i));
+    }
+    ParsedFact fact;
+    fact.relation = std::move(name);
+    if (i < text.size() && text[i] == '(') {
+      ++i;
+      for (;;) {
+        while (i < text.size() &&
+               (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+                text[i] == ',')) {
+          ++i;
+        }
+        if (i < text.size() && text[i] == ')') {
+          ++i;
+          break;
+        }
+        std::string arg = read_ident();
+        if (arg.empty()) {
+          return base::InvalidArgumentError(
+              "expected constant or ')' at offset " + std::to_string(i));
+        }
+        fact.args.push_back(std::move(arg));
+      }
+    }
+    facts.push_back(std::move(fact));
+    skip_sep();
+  }
+  return facts;
+}
+
+}  // namespace
+
+base::Result<Instance> ParseInstance(const Schema& schema,
+                                     std::string_view text) {
+  auto facts = Tokenize(text);
+  if (!facts.ok()) return facts.status();
+  Instance out(schema);
+  for (const ParsedFact& f : *facts) {
+    OBDA_RETURN_IF_ERROR(out.AddFactByName(f.relation, f.args));
+  }
+  return out;
+}
+
+base::Result<Instance> ParseInstanceAuto(std::string_view text) {
+  auto facts = Tokenize(text);
+  if (!facts.ok()) return facts.status();
+  Schema schema;
+  for (const ParsedFact& f : *facts) {
+    auto existing = schema.FindRelation(f.relation);
+    if (existing.has_value()) {
+      if (schema.Arity(*existing) != static_cast<int>(f.args.size())) {
+        return base::InvalidArgumentError("relation " + f.relation +
+                                          " used with inconsistent arity");
+      }
+    } else {
+      schema.AddRelation(f.relation, static_cast<int>(f.args.size()));
+    }
+  }
+  Instance out(schema);
+  for (const ParsedFact& f : *facts) {
+    OBDA_RETURN_IF_ERROR(out.AddFactByName(f.relation, f.args));
+  }
+  return out;
+}
+
+}  // namespace obda::data

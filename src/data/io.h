@@ -1,0 +1,23 @@
+#ifndef OBDA_DATA_IO_H_
+#define OBDA_DATA_IO_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "data/instance.h"
+
+namespace obda::data {
+
+/// Parses a whitespace/'.'-separated list of facts, e.g.
+///   "HasFinding(patient1, f1). ErythemaMigrans(f1)"
+/// against `schema`. Unknown relations or arity mismatches are errors.
+base::Result<Instance> ParseInstance(const Schema& schema,
+                                     std::string_view text);
+
+/// Like ParseInstance, but builds the schema from the facts seen (each
+/// relation's arity is fixed by its first occurrence).
+base::Result<Instance> ParseInstanceAuto(std::string_view text);
+
+}  // namespace obda::data
+
+#endif  // OBDA_DATA_IO_H_

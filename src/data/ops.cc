@@ -1,0 +1,180 @@
+#include "data/ops.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "data/homomorphism.h"
+
+namespace obda::data {
+
+Instance RenameConstants(const Instance& a, const std::string& prefix) {
+  Instance out(a.schema());
+  std::vector<ConstId> remap(a.UniverseSize());
+  for (ConstId c = 0; c < a.UniverseSize(); ++c) {
+    remap[c] = out.AddConstant(prefix + a.ConstantName(c));
+  }
+  for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+    for (std::uint32_t i = 0; i < a.NumTuples(r); ++i) {
+      auto t = a.Tuple(r, i);
+      std::vector<ConstId> mapped;
+      mapped.reserve(t.size());
+      for (ConstId c : t) mapped.push_back(remap[c]);
+      out.AddFact(r, mapped);
+    }
+  }
+  return out;
+}
+
+Instance DisjointUnion(const Instance& a, const Instance& b) {
+  OBDA_CHECK(a.schema().LayoutCompatible(b.schema()));
+  Instance left = RenameConstants(a, "l.");
+  Instance right = RenameConstants(b, "r.");
+  Instance out = left;
+  std::vector<ConstId> remap(right.UniverseSize());
+  for (ConstId c = 0; c < right.UniverseSize(); ++c) {
+    remap[c] = out.AddConstant(right.ConstantName(c));
+  }
+  for (RelationId r = 0; r < right.schema().NumRelations(); ++r) {
+    for (std::uint32_t i = 0; i < right.NumTuples(r); ++i) {
+      auto t = right.Tuple(r, i);
+      std::vector<ConstId> mapped;
+      mapped.reserve(t.size());
+      for (ConstId c : t) mapped.push_back(remap[c]);
+      out.AddFact(r, mapped);
+    }
+  }
+  return out;
+}
+
+Instance DirectProduct(const Instance& a, const Instance& b) {
+  OBDA_CHECK(a.schema().LayoutCompatible(b.schema()));
+  Instance out(a.schema());
+  const std::size_t nb = b.UniverseSize();
+  for (ConstId x = 0; x < a.UniverseSize(); ++x) {
+    for (ConstId y = 0; y < nb; ++y) {
+      ConstId id = out.AddConstant("(" + a.ConstantName(x) + "|" +
+                                   b.ConstantName(y) + ")");
+      OBDA_CHECK_EQ(id, ProductElement(x, y, nb));
+    }
+  }
+  for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+    const int arity = a.schema().Arity(r);
+    if (arity == 0) {
+      // A 0-ary fact holds in the product iff it holds in both factors.
+      if (a.NumTuples(r) > 0 && b.NumTuples(r) > 0) out.AddFact(r, {});
+      continue;
+    }
+    for (std::uint32_t i = 0; i < a.NumTuples(r); ++i) {
+      auto ta = a.Tuple(r, i);
+      for (std::uint32_t j = 0; j < b.NumTuples(r); ++j) {
+        auto tb = b.Tuple(r, j);
+        std::vector<ConstId> mapped(arity);
+        for (int p = 0; p < arity; ++p) {
+          mapped[p] = ProductElement(ta[p], tb[p], nb);
+        }
+        out.AddFact(r, mapped);
+      }
+    }
+  }
+  return out;
+}
+
+Instance Quotient(const Instance& a, const std::vector<ConstId>& class_of) {
+  OBDA_CHECK_EQ(class_of.size(), a.UniverseSize());
+  Instance out(a.schema());
+  // Name each class after its first member.
+  std::size_t num_classes = 0;
+  for (ConstId cls : class_of) {
+    num_classes = std::max<std::size_t>(num_classes, cls + 1);
+  }
+  std::vector<ConstId> class_rep(num_classes, kInvalidConst);
+  std::vector<ConstId> remap(a.UniverseSize());
+  for (ConstId c = 0; c < a.UniverseSize(); ++c) {
+    ConstId cls = class_of[c];
+    if (class_rep[cls] == kInvalidConst) {
+      class_rep[cls] = out.AddConstant(a.ConstantName(c));
+    }
+    remap[c] = class_rep[cls];
+  }
+  for (RelationId r = 0; r < a.schema().NumRelations(); ++r) {
+    for (std::uint32_t i = 0; i < a.NumTuples(r); ++i) {
+      auto t = a.Tuple(r, i);
+      std::vector<ConstId> mapped;
+      mapped.reserve(t.size());
+      for (ConstId c : t) mapped.push_back(remap[c]);
+      out.AddFact(r, mapped);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// One step of core computation: finds a proper induced subinstance that
+/// `current` maps into (marks, if any, must be fixed). Returns true and
+/// replaces *current / *marks when found.
+bool ShrinkOnce(Instance* current, std::vector<ConstId>* marks) {
+  const std::size_t n = current->UniverseSize();
+  std::vector<bool> is_mark(n, false);
+  if (marks != nullptr) {
+    for (ConstId m : *marks) is_mark[m] = true;
+  }
+  for (ConstId drop = 0; drop < n; ++drop) {
+    if (is_mark[drop]) continue;
+    std::vector<ConstId> keep;
+    keep.reserve(n - 1);
+    for (ConstId c = 0; c < n; ++c) {
+      if (c != drop) keep.push_back(c);
+    }
+    Instance sub = current->InducedSubinstance(keep);
+    // Pin marks to themselves (constants keep their names in `sub`).
+    std::vector<std::pair<ConstId, ConstId>> pinned;
+    if (marks != nullptr) {
+      bool ok = true;
+      for (ConstId m : *marks) {
+        auto sm = sub.FindConstant(current->ConstantName(m));
+        if (!sm.has_value()) {
+          ok = false;
+          break;
+        }
+        pinned.emplace_back(m, *sm);
+      }
+      if (!ok) continue;
+    }
+    HomResult r = FindHomomorphism(*current, sub, pinned);
+    OBDA_CHECK(!r.budget_exhausted);
+    if (r.found) {
+      if (marks != nullptr) {
+        std::vector<ConstId> new_marks;
+        new_marks.reserve(marks->size());
+        for (ConstId m : *marks) {
+          auto sm = sub.FindConstant(current->ConstantName(m));
+          OBDA_CHECK(sm.has_value());
+          new_marks.push_back(*sm);
+        }
+        *marks = std::move(new_marks);
+      }
+      *current = std::move(sub);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Instance CoreOf(const Instance& a) {
+  Instance current = a;
+  while (ShrinkOnce(&current, nullptr)) {
+  }
+  return current;
+}
+
+MarkedInstance CoreOf(const MarkedInstance& a) {
+  MarkedInstance current = a;
+  while (ShrinkOnce(&current.instance, &current.marks)) {
+  }
+  return current;
+}
+
+}  // namespace obda::data

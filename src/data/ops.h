@@ -1,0 +1,44 @@
+#ifndef OBDA_DATA_OPS_H_
+#define OBDA_DATA_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "data/instance.h"
+
+namespace obda::data {
+
+/// Disjoint union A ⊎ B. Constants are prefixed "l." / "r." to keep them
+/// apart. Schemas must be layout-compatible.
+Instance DisjointUnion(const Instance& a, const Instance& b);
+
+/// Direct product A × B: universe is the product of the two universes, with
+/// R((a1,b1)..(an,bn)) iff R(a..) in A and R(b..) in B. Used by the
+/// Larose–Loten–Tardif FO-definability test (DESIGN.md §5.2).
+Instance DirectProduct(const Instance& a, const Instance& b);
+
+/// Constant id of the product element (a, b) inside DirectProduct(A, B),
+/// where nb = B.UniverseSize().
+inline ConstId ProductElement(ConstId a, ConstId b, std::size_t nb) {
+  return static_cast<ConstId>(a * nb + b);
+}
+
+/// Quotient of A by the equivalence classes induced by `class_of`
+/// (class_of[c] gives the representative class index of constant c).
+Instance Quotient(const Instance& a, const std::vector<ConstId>& class_of);
+
+/// Computes the core of A: a minimal induced subinstance that is a retract
+/// of A (unique up to isomorphism). Iteratively finds a retraction onto a
+/// proper induced subinstance until none exists.
+Instance CoreOf(const Instance& a);
+
+/// Core of a marked instance: retractions must fix the marks pointwise.
+MarkedInstance CoreOf(const MarkedInstance& a);
+
+/// Returns a copy of `a` whose constants are renamed with `prefix` +
+/// original name (used to keep constants apart before unions).
+Instance RenameConstants(const Instance& a, const std::string& prefix);
+
+}  // namespace obda::data
+
+#endif  // OBDA_DATA_OPS_H_

@@ -1,0 +1,96 @@
+#include "data/schema.h"
+
+#include "base/check.h"
+
+namespace obda::data {
+
+RelationId Schema::AddRelation(std::string name, int arity) {
+  OBDA_CHECK_GE(arity, 0);
+  OBDA_CHECK(by_name_.find(name) == by_name_.end());
+  RelationId id = static_cast<RelationId>(relations_.size());
+  by_name_.emplace(name, id);
+  relations_.push_back(RelationInfo{std::move(name), arity});
+  return id;
+}
+
+RelationId Schema::GetOrAddRelation(std::string name, int arity) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    OBDA_CHECK_EQ(relations_[it->second].arity, arity);
+    return it->second;
+  }
+  return AddRelation(std::move(name), arity);
+}
+
+std::optional<RelationId> Schema::FindRelation(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Schema::RelationName(RelationId id) const {
+  OBDA_CHECK_LT(id, relations_.size());
+  return relations_[id].name;
+}
+
+int Schema::Arity(RelationId id) const {
+  OBDA_CHECK_LT(id, relations_.size());
+  return relations_[id].arity;
+}
+
+bool Schema::IsBinary() const {
+  for (const auto& r : relations_) {
+    if (r.arity > 2) return false;
+  }
+  return true;
+}
+
+bool Schema::LayoutCompatible(const Schema& other) const {
+  if (relations_.size() != other.relations_.size()) return false;
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name != other.relations_[i].name ||
+        relations_[i].arity != other.relations_[i].arity) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Schema::SubschemaOf(const Schema& other) const {
+  for (const auto& r : relations_) {
+    auto id = other.FindRelation(r.name);
+    if (!id.has_value() || other.Arity(*id) != r.arity) return false;
+  }
+  return true;
+}
+
+base::Result<Schema> Schema::Union(const Schema& a, const Schema& b) {
+  Schema out = a;
+  for (std::size_t i = 0; i < b.relations_.size(); ++i) {
+    const auto& r = b.relations_[i];
+    auto existing = out.FindRelation(r.name);
+    if (existing.has_value()) {
+      if (out.Arity(*existing) != r.arity) {
+        return base::InvalidArgumentError("arity conflict on relation " +
+                                          r.name);
+      }
+    } else {
+      out.AddRelation(r.name, r.arity);
+    }
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < relations_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += relations_[i].name;
+    out += "/";
+    out += std::to_string(relations_[i].arity);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace obda::data

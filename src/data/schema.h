@@ -1,0 +1,73 @@
+#ifndef OBDA_DATA_SCHEMA_H_
+#define OBDA_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+
+namespace obda::data {
+
+/// Index of a relation symbol within a Schema.
+using RelationId = std::uint32_t;
+inline constexpr RelationId kInvalidRelation = static_cast<RelationId>(-1);
+
+/// A finite relational schema: relation symbols with fixed arities
+/// (paper, §2 "Schemas, Instances, and Queries").
+///
+/// Schemas are small value types; modules that need to enrich a data schema
+/// with auxiliary symbols (type predicates P_tau, colors, complements Ā)
+/// copy and extend. Relation identity across instances is positional, so
+/// operations combining two instances require layout-compatible schemas
+/// (see `LayoutCompatible`); `Instance::ReductTo` re-maps by name.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Adds a relation symbol. Aborts if `name` is already present; use
+  /// `GetOrAddRelation` for idempotent construction.
+  RelationId AddRelation(std::string name, int arity);
+
+  /// Returns the existing id if `name` is present with the same arity,
+  /// otherwise adds it. Aborts on an arity clash (programming error).
+  RelationId GetOrAddRelation(std::string name, int arity);
+
+  /// Returns the id of `name`, if present.
+  std::optional<RelationId> FindRelation(std::string_view name) const;
+
+  const std::string& RelationName(RelationId id) const;
+  int Arity(RelationId id) const;
+  std::size_t NumRelations() const { return relations_.size(); }
+
+  /// True if every relation has arity <= 2 (DL setting, paper §2).
+  bool IsBinary() const;
+
+  /// True if both schemas list the same (name, arity) pairs in the same
+  /// order, so RelationIds can be used interchangeably.
+  bool LayoutCompatible(const Schema& other) const;
+
+  /// True if every relation of this schema occurs (same arity) in `other`.
+  bool SubschemaOf(const Schema& other) const;
+
+  /// Union of two schemas (by name). Fails on arity conflicts.
+  static base::Result<Schema> Union(const Schema& a, const Schema& b);
+
+  /// Human-readable description, e.g. "{R/2, A/1}".
+  std::string ToString() const;
+
+ private:
+  struct RelationInfo {
+    std::string name;
+    int arity;
+  };
+  std::vector<RelationInfo> relations_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace obda::data
+
+#endif  // OBDA_DATA_SCHEMA_H_

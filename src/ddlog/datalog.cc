@@ -1,0 +1,165 @@
+#include "ddlog/datalog.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace obda::ddlog {
+
+namespace {
+
+using data::ConstId;
+using FactKey = std::vector<std::uint32_t>;
+
+FactKey MakeKey(PredId pred, const std::vector<ConstId>& args) {
+  FactKey key;
+  key.reserve(args.size() + 1);
+  key.push_back(pred);
+  for (ConstId c : args) key.push_back(c);
+  return key;
+}
+
+/// Fixpoint engine: joins rule bodies against EDB facts (from the
+/// instance) and currently derived IDB facts.
+class FixpointEngine {
+ public:
+  FixpointEngine(const Program& program, const data::Instance& instance)
+      : program_(program), instance_(instance) {}
+
+  base::Result<DatalogFixpoint> Run() {
+    for (const Rule& rule : program_.rules()) {
+      if (rule.head.size() > 1) {
+        return base::InvalidArgumentError(
+            "disjunctive rule in datalog evaluation");
+      }
+    }
+    DatalogFixpoint out;
+    bool changed = true;
+    while (changed && !inconsistent_) {
+      changed = false;
+      for (const Rule& rule : program_.rules()) {
+        if (ApplyRule(rule)) changed = true;
+        if (inconsistent_) break;
+      }
+      ++rounds_;
+    }
+    out.inconsistent = inconsistent_;
+    out.facts = derived_;
+    return out;
+  }
+
+  int rounds() const { return rounds_; }
+
+ private:
+  /// Applies one rule to completion against the current fact sets.
+  /// Returns true if any new fact was derived.
+  bool ApplyRule(const Rule& rule) {
+    std::vector<ConstId> sub(static_cast<std::size_t>(rule.NumVars()),
+                             data::kInvalidConst);
+    derived_any_ = false;
+    Join(rule, 0, &sub);
+    return derived_any_;
+  }
+
+  void Join(const Rule& rule, std::size_t index, std::vector<ConstId>* sub) {
+    if (inconsistent_) return;
+    if (index == rule.body.size()) {
+      if (rule.head.empty()) {
+        inconsistent_ = true;
+        return;
+      }
+      const Atom& h = rule.head[0];
+      std::vector<ConstId> args;
+      args.reserve(h.vars.size());
+      for (VarId v : h.vars) args.push_back((*sub)[v]);
+      if (derived_.insert(MakeKey(h.pred, args)).second) {
+        derived_any_ = true;
+      }
+      return;
+    }
+    const Atom& a = rule.body[index];
+    auto try_tuple = [&](std::span<const ConstId> tuple) {
+      std::vector<std::pair<VarId, ConstId>> bound;
+      bool ok = true;
+      for (std::size_t p = 0; p < tuple.size(); ++p) {
+        VarId v = a.vars[p];
+        ConstId cur = (*sub)[v];
+        if (cur == data::kInvalidConst) {
+          (*sub)[v] = tuple[p];
+          bound.emplace_back(v, tuple[p]);
+        } else if (cur != tuple[p]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) Join(rule, index + 1, sub);
+      for (auto& [v, c] : bound) {
+        (void)c;
+        (*sub)[v] = data::kInvalidConst;
+      }
+    };
+    if (program_.IsEdb(a.pred)) {
+      const data::RelationId rel = a.pred;
+      for (std::uint32_t t = 0; t < instance_.NumTuples(rel); ++t) {
+        try_tuple(instance_.Tuple(rel, t));
+        if (inconsistent_) return;
+      }
+    } else {
+      // Scan derived IDB facts of this predicate. (Iterating a snapshot by
+      // key range: keys are [pred, args...], so the pred prefix orders
+      // them contiguously in the set.)
+      FactKey lo = {a.pred};
+      std::vector<FactKey> snapshot;
+      for (auto it = derived_.lower_bound(lo);
+           it != derived_.end() && (*it)[0] == a.pred; ++it) {
+        snapshot.push_back(*it);
+      }
+      for (const FactKey& key : snapshot) {
+        std::vector<ConstId> tuple(key.begin() + 1, key.end());
+        try_tuple(tuple);
+        if (inconsistent_) return;
+      }
+    }
+  }
+
+  const Program& program_;
+  const data::Instance& instance_;
+  std::set<FactKey> derived_;
+  bool inconsistent_ = false;
+  bool derived_any_ = false;
+  int rounds_ = 0;
+};
+
+}  // namespace
+
+base::Result<DatalogFixpoint> ComputeFixpoint(const Program& program,
+                                              const data::Instance&
+                                                  instance) {
+  if (!instance.schema().LayoutCompatible(program.edb_schema())) {
+    return base::InvalidArgumentError(
+        "instance schema does not match program EDB schema");
+  }
+  FixpointEngine engine(program, instance);
+  return engine.Run();
+}
+
+base::Result<DatalogResult> EvaluateDatalog(const Program& program,
+                                            const data::Instance& instance) {
+  OBDA_RETURN_IF_ERROR(program.Validate());
+  auto fixpoint = ComputeFixpoint(program, instance);
+  if (!fixpoint.ok()) return fixpoint.status();
+  DatalogResult out;
+  out.inconsistent = fixpoint->inconsistent;
+  if (!out.inconsistent) {
+    const PredId goal = program.goal();
+    for (const auto& key : fixpoint->facts) {
+      if (key[0] == goal) {
+        out.goal_tuples.emplace_back(key.begin() + 1, key.end());
+      }
+    }
+    std::sort(out.goal_tuples.begin(), out.goal_tuples.end());
+  }
+  return out;
+}
+
+}  // namespace obda::ddlog

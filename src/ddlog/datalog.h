@@ -1,0 +1,46 @@
+#ifndef OBDA_DDLOG_DATALOG_H_
+#define OBDA_DDLOG_DATALOG_H_
+
+#include <set>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "ddlog/program.h"
+
+namespace obda::ddlog {
+
+/// Result of evaluating a plain (disjunction-free) datalog program by
+/// least-fixpoint iteration.
+struct DatalogResult {
+  /// True if a constraint rule (empty head) fired: there is no model, and
+  /// by the certain-answer convention every tuple is an answer.
+  bool inconsistent = false;
+  /// Derived goal tuples (valid iff !inconsistent), sorted.
+  std::vector<std::vector<data::ConstId>> goal_tuples;
+  /// Number of fixpoint rounds performed.
+  int rounds = 0;
+};
+
+/// Evaluates a disjunction-free DDlog program (a "datalog query" in the
+/// paper's terminology, §5.3 Footnote 8) on `instance` by naive fixpoint.
+/// PTime in data; used to run datalog-rewritings (canonical programs).
+/// Returns an error if `program` has a disjunctive rule.
+base::Result<DatalogResult> EvaluateDatalog(const Program& program,
+                                            const data::Instance& instance);
+
+/// Derived IDB facts as a set of [pred, args...] keys; exposed for tests
+/// and for rewriting-composition code.
+struct DatalogFixpoint {
+  bool inconsistent = false;
+  std::set<std::vector<std::uint32_t>> facts;
+};
+
+/// Computes the full least fixpoint (all derived IDB facts).
+base::Result<DatalogFixpoint> ComputeFixpoint(const Program& program,
+                                              const data::Instance&
+                                                  instance);
+
+}  // namespace obda::ddlog
+
+#endif  // OBDA_DDLOG_DATALOG_H_

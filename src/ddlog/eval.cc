@@ -1,0 +1,234 @@
+#include "ddlog/eval.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "sat/solver.h"
+
+namespace obda::ddlog {
+
+namespace {
+
+using data::ConstId;
+
+/// Key for a ground IDB atom: [pred, arg1, .., argk].
+using AtomKey = std::vector<std::uint32_t>;
+
+}  // namespace
+
+struct GroundedQuery::Impl {
+  const Program* program = nullptr;
+  const data::Instance* instance = nullptr;
+  sat::Solver solver;
+  std::unordered_map<AtomKey, sat::Var, base::VectorHash<std::uint32_t>>
+      atom_vars;
+  std::vector<ConstId> adom;
+  EvalOptions options;
+  std::uint64_t clause_count = 0;
+
+  sat::Var VarFor(PredId pred, const std::vector<ConstId>& args) {
+    AtomKey key;
+    key.reserve(args.size() + 1);
+    key.push_back(pred);
+    for (ConstId c : args) key.push_back(c);
+    auto it = atom_vars.find(key);
+    if (it != atom_vars.end()) return it->second;
+    sat::Var v = solver.NewVar();
+    atom_vars.emplace(std::move(key), v);
+    return v;
+  }
+
+  /// Emits the clause for `rule` under the full substitution `sub`.
+  void EmitClause(const Rule& rule, const std::vector<ConstId>& sub) {
+    std::vector<sat::Lit> clause;
+    for (const Atom& a : rule.body) {
+      if (program->IsEdb(a.pred)) continue;  // already checked true
+      std::vector<ConstId> args;
+      args.reserve(a.vars.size());
+      for (VarId v : a.vars) args.push_back(sub[v]);
+      clause.push_back(sat::Lit::Neg(VarFor(a.pred, args)));
+    }
+    for (const Atom& a : rule.head) {
+      std::vector<ConstId> args;
+      args.reserve(a.vars.size());
+      for (VarId v : a.vars) args.push_back(sub[v]);
+      clause.push_back(sat::Lit::Pos(VarFor(a.pred, args)));
+    }
+    solver.AddClause(std::move(clause));
+    ++clause_count;
+  }
+
+  /// Enumerates substitutions satisfying the rule's EDB body atoms in D,
+  /// free variables ranging over adom. Returns false if the clause budget
+  /// was exceeded.
+  bool GroundRule(const Rule& rule) {
+    const int num_vars = rule.NumVars();
+    std::vector<ConstId> sub(static_cast<std::size_t>(num_vars),
+                             data::kInvalidConst);
+    // EDB atoms drive the join; IDB-only variables are enumerated last.
+    std::vector<const Atom*> edb_atoms;
+    for (const Atom& a : rule.body) {
+      if (program->IsEdb(a.pred)) edb_atoms.push_back(&a);
+    }
+    std::vector<VarId> free_vars;  // vars not bound by any EDB atom
+    {
+      std::vector<bool> in_edb(static_cast<std::size_t>(num_vars), false);
+      for (const Atom* a : edb_atoms) {
+        for (VarId v : a->vars) in_edb[static_cast<std::size_t>(v)] = true;
+      }
+      for (VarId v = 0; v < num_vars; ++v) {
+        if (!in_edb[static_cast<std::size_t>(v)]) free_vars.push_back(v);
+      }
+    }
+    return GroundEdb(rule, edb_atoms, 0, free_vars, &sub);
+  }
+
+  bool GroundEdb(const Rule& rule, const std::vector<const Atom*>& edb_atoms,
+                 std::size_t index, const std::vector<VarId>& free_vars,
+                 std::vector<ConstId>* sub) {
+    if (index == edb_atoms.size()) {
+      return GroundFree(rule, free_vars, 0, sub);
+    }
+    const Atom& a = *edb_atoms[index];
+    const data::RelationId rel = a.pred;  // EDB ids coincide with schema ids
+    const std::size_t num_tuples = instance->NumTuples(rel);
+    for (std::uint32_t t = 0; t < num_tuples; ++t) {
+      auto tuple = instance->Tuple(rel, t);
+      bool ok = true;
+      std::vector<std::pair<VarId, ConstId>> bound;
+      for (std::size_t p = 0; p < tuple.size(); ++p) {
+        VarId v = a.vars[p];
+        ConstId cur = (*sub)[static_cast<std::size_t>(v)];
+        if (cur == data::kInvalidConst) {
+          (*sub)[static_cast<std::size_t>(v)] = tuple[p];
+          bound.emplace_back(v, tuple[p]);
+        } else if (cur != tuple[p]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && !GroundEdb(rule, edb_atoms, index + 1, free_vars, sub)) {
+        return false;
+      }
+      for (auto& [v, c] : bound) {
+        (void)c;
+        (*sub)[static_cast<std::size_t>(v)] = data::kInvalidConst;
+      }
+    }
+    return true;
+  }
+
+  bool GroundFree(const Rule& rule, const std::vector<VarId>& free_vars,
+                  std::size_t index, std::vector<ConstId>* sub) {
+    if (index == free_vars.size()) {
+      if (clause_count >= options.max_ground_clauses) return false;
+      EmitClause(rule, *sub);
+      return true;
+    }
+    for (ConstId c : adom) {
+      (*sub)[static_cast<std::size_t>(free_vars[index])] = c;
+      if (!GroundFree(rule, free_vars, index + 1, sub)) return false;
+    }
+    (*sub)[static_cast<std::size_t>(free_vars[index])] = data::kInvalidConst;
+    return true;
+  }
+};
+
+base::Result<GroundedQuery> GroundedQuery::Build(
+    const Program& program, const data::Instance& instance,
+    const EvalOptions& options) {
+  OBDA_RETURN_IF_ERROR(program.Validate());
+  if (!instance.schema().LayoutCompatible(program.edb_schema())) {
+    return base::InvalidArgumentError(
+        "instance schema does not match program EDB schema");
+  }
+  GroundedQuery q;
+  q.impl_ = std::make_shared<Impl>();
+  q.impl_->program = &program;
+  q.impl_->instance = &instance;
+  q.impl_->options = options;
+  q.impl_->adom = instance.ActiveDomain();
+  for (const Rule& rule : program.rules()) {
+    if (!q.impl_->GroundRule(rule)) {
+      return base::ResourceExhaustedError("ground clause budget exceeded");
+    }
+  }
+  q.num_clauses_ = q.impl_->clause_count;
+  q.num_atoms_ = q.impl_->atom_vars.size();
+  return q;
+}
+
+base::Result<bool> GroundedQuery::CertainlyHolds(
+    const std::vector<ConstId>& tuple) {
+  Impl& impl = *impl_;
+  OBDA_CHECK_EQ(static_cast<int>(tuple.size()),
+                impl.program->QueryArity());
+  sat::Var goal_var = impl.VarFor(impl.program->goal(), tuple);
+  sat::SatOutcome outcome = impl.solver.Solve(
+      {sat::Lit::Neg(goal_var)}, impl.options.max_decisions);
+  if (outcome == sat::SatOutcome::kBudget) {
+    return base::ResourceExhaustedError("SAT decision budget exceeded");
+  }
+  // No model avoiding goal(tuple) => certain answer.
+  return outcome == sat::SatOutcome::kUnsat;
+}
+
+base::Result<bool> GroundedQuery::HasModel() {
+  Impl& impl = *impl_;
+  sat::SatOutcome outcome = impl.solver.Solve({}, impl.options.max_decisions);
+  if (outcome == sat::SatOutcome::kBudget) {
+    return base::ResourceExhaustedError("SAT decision budget exceeded");
+  }
+  return outcome == sat::SatOutcome::kSat;
+}
+
+base::Result<Answers> CertainAnswers(const Program& program,
+                                     const data::Instance& instance,
+                                     const EvalOptions& options) {
+  auto grounded = GroundedQuery::Build(program, instance, options);
+  if (!grounded.ok()) return grounded.status();
+
+  Answers answers;
+  auto has_model = grounded->HasModel();
+  if (!has_model.ok()) return has_model.status();
+  answers.inconsistent = !*has_model;
+
+  const int arity = program.QueryArity();
+  const std::vector<ConstId> adom = instance.ActiveDomain();
+
+  // Enumerate adom^arity candidate tuples.
+  std::vector<std::size_t> idx(static_cast<std::size_t>(arity), 0);
+  if (arity > 0 && adom.empty()) return answers;
+  for (;;) {
+    std::vector<ConstId> tuple;
+    tuple.reserve(arity);
+    for (int i = 0; i < arity; ++i) tuple.push_back(adom[idx[i]]);
+    auto holds = grounded->CertainlyHolds(tuple);
+    if (!holds.ok()) return holds.status();
+    if (*holds) answers.tuples.push_back(tuple);
+    // Advance the odometer.
+    int pos = arity - 1;
+    while (pos >= 0 && ++idx[pos] == adom.size()) {
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+    if (arity == 0) break;
+  }
+  std::sort(answers.tuples.begin(), answers.tuples.end());
+  return answers;
+}
+
+base::Result<bool> EvaluateBoolean(const Program& program,
+                                   const data::Instance& instance,
+                                   const EvalOptions& options) {
+  OBDA_CHECK_EQ(program.QueryArity(), 0);
+  auto grounded = GroundedQuery::Build(program, instance, options);
+  if (!grounded.ok()) return grounded.status();
+  return grounded->CertainlyHolds({});
+}
+
+}  // namespace obda::ddlog

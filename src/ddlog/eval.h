@@ -1,0 +1,80 @@
+#ifndef OBDA_DDLOG_EVAL_H_
+#define OBDA_DDLOG_EVAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "ddlog/program.h"
+
+namespace obda::ddlog {
+
+/// Budgets for certain-answer evaluation.
+struct EvalOptions {
+  /// SAT decision budget per candidate answer tuple.
+  std::uint64_t max_decisions = 20'000'000;
+  /// Cap on ground clauses produced (guards against rule-width blowups).
+  std::uint64_t max_ground_clauses = 10'000'000;
+};
+
+/// The answers to a DDlog query on an instance: all tuples a over
+/// adom(D)^n with goal(a) in every model of Π extending D (paper §3).
+struct Answers {
+  /// Answer tuples, sorted lexicographically; ConstIds refer to D.
+  std::vector<std::vector<data::ConstId>> tuples;
+  /// True if D together with the program's constraints has no model at all
+  /// (then every tuple is an answer, and `tuples` contains them all).
+  bool inconsistent = false;
+};
+
+/// A grounded program over a fixed instance, reusable across candidate
+/// tuples. Grounding materializes, for each rule and each substitution
+/// whose EDB body atoms hold in D, a propositional clause over ground IDB
+/// atoms (the minimal-extension argument in DESIGN.md justifies restricting
+/// models to EDB = D and domain = adom(D)).
+class GroundedQuery {
+ public:
+  /// Grounds `program` over `instance`. The program must Validate().
+  /// The returned object keeps references to both arguments; they must
+  /// outlive it.
+  static base::Result<GroundedQuery> Build(const Program& program,
+                                           const data::Instance& instance,
+                                           const EvalOptions& options =
+                                               EvalOptions());
+
+  /// Decides whether goal(`tuple`) holds in every model (co-NP check via
+  /// one SAT call assuming ¬goal(tuple)).
+  base::Result<bool> CertainlyHolds(const std::vector<data::ConstId>& tuple);
+
+  /// Whether any model exists at all.
+  base::Result<bool> HasModel();
+
+  std::size_t num_ground_clauses() const { return num_clauses_; }
+  std::size_t num_ground_atoms() const { return num_atoms_; }
+
+ private:
+  GroundedQuery() = default;
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  std::size_t num_clauses_ = 0;
+  std::size_t num_atoms_ = 0;
+};
+
+/// Computes all certain answers of `program` on `instance`.
+base::Result<Answers> CertainAnswers(const Program& program,
+                                     const data::Instance& instance,
+                                     const EvalOptions& options =
+                                         EvalOptions());
+
+/// Boolean convenience: evaluates a 0-ary goal.
+base::Result<bool> EvaluateBoolean(const Program& program,
+                                   const data::Instance& instance,
+                                   const EvalOptions& options =
+                                       EvalOptions());
+
+}  // namespace obda::ddlog
+
+#endif  // OBDA_DDLOG_EVAL_H_

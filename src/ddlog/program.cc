@@ -1,0 +1,436 @@
+#include "ddlog/program.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "base/check.h"
+
+namespace obda::ddlog {
+
+int Rule::NumVars() const {
+  VarId max_var = -1;
+  for (const Atom& a : head) {
+    for (VarId v : a.vars) max_var = std::max(max_var, v);
+  }
+  for (const Atom& a : body) {
+    for (VarId v : a.vars) max_var = std::max(max_var, v);
+  }
+  return max_var + 1;
+}
+
+Program::Program(data::Schema edb_schema)
+    : edb_schema_(std::move(edb_schema)) {
+  for (data::RelationId r = 0; r < edb_schema_.NumRelations(); ++r) {
+    preds_.push_back(
+        PredInfo{edb_schema_.RelationName(r), edb_schema_.Arity(r)});
+  }
+}
+
+PredId Program::AddIdbPredicate(std::string name, int arity) {
+  OBDA_CHECK(!FindPredicate(name).has_value());
+  PredId id = static_cast<PredId>(preds_.size());
+  preds_.push_back(PredInfo{std::move(name), arity});
+  return id;
+}
+
+PredId Program::GetOrAddIdbPredicate(const std::string& name, int arity) {
+  auto existing = FindPredicate(name);
+  if (existing.has_value()) {
+    OBDA_CHECK_EQ(Arity(*existing), arity);
+    return *existing;
+  }
+  return AddIdbPredicate(name, arity);
+}
+
+std::optional<PredId> Program::FindPredicate(std::string_view name) const {
+  for (PredId p = 0; p < preds_.size(); ++p) {
+    if (preds_[p].name == name) return p;
+  }
+  return std::nullopt;
+}
+
+const std::string& Program::PredicateName(PredId p) const {
+  OBDA_CHECK_LT(p, preds_.size());
+  return preds_[p].name;
+}
+
+int Program::Arity(PredId p) const {
+  OBDA_CHECK_LT(p, preds_.size());
+  return preds_[p].arity;
+}
+
+void Program::SetGoal(PredId p) {
+  OBDA_CHECK_LT(p, preds_.size());
+  OBDA_CHECK(!IsEdb(p));
+  goal_ = p;
+}
+
+int Program::QueryArity() const {
+  OBDA_CHECK(HasGoal());
+  return Arity(goal_);
+}
+
+base::Status Program::AddRule(Rule rule) {
+  // Structural sanity.
+  for (const Atom& a : rule.head) {
+    OBDA_CHECK_LT(a.pred, preds_.size());
+    OBDA_CHECK_EQ(static_cast<int>(a.vars.size()), Arity(a.pred));
+    if (IsEdb(a.pred)) {
+      return base::InvalidArgumentError("EDB relation " +
+                                        PredicateName(a.pred) +
+                                        " in rule head");
+    }
+  }
+  if (rule.body.empty()) {
+    return base::InvalidArgumentError("empty rule body (n > 0 required)");
+  }
+  for (const Atom& a : rule.body) {
+    OBDA_CHECK_LT(a.pred, preds_.size());
+    OBDA_CHECK_EQ(static_cast<int>(a.vars.size()), Arity(a.pred));
+    if (goal_ != kInvalidPred && a.pred == goal_) {
+      return base::InvalidArgumentError("goal relation in rule body");
+    }
+  }
+  // Safety: head variables occur in the body.
+  std::vector<bool> in_body(static_cast<std::size_t>(rule.NumVars()), false);
+  for (const Atom& a : rule.body) {
+    for (VarId v : a.vars) {
+      OBDA_CHECK_GE(v, 0);
+      in_body[static_cast<std::size_t>(v)] = true;
+    }
+  }
+  for (const Atom& a : rule.head) {
+    for (VarId v : a.vars) {
+      OBDA_CHECK_GE(v, 0);
+      if (!in_body[static_cast<std::size_t>(v)]) {
+        return base::InvalidArgumentError("unsafe rule: head variable not in body");
+      }
+    }
+  }
+  rules_.push_back(std::move(rule));
+  return base::Status::Ok();
+}
+
+PredId Program::EnsureAdom() {
+  if (adom_ != kInvalidPred) return adom_;
+  adom_ = GetOrAddIdbPredicate("adom", 1);
+  for (PredId r = 0; r < NumEdb(); ++r) {
+    const int arity = Arity(r);
+    // adom(x) <- R(x1,..,x,..,xn) for every position of R.
+    for (int pos = 0; pos < arity; ++pos) {
+      Rule rule;
+      Atom body_atom;
+      body_atom.pred = r;
+      for (int p = 0; p < arity; ++p) body_atom.vars.push_back(p);
+      Atom head_atom;
+      head_atom.pred = adom_;
+      head_atom.vars.push_back(pos);
+      rule.head.push_back(std::move(head_atom));
+      rule.body.push_back(std::move(body_atom));
+      OBDA_CHECK(AddRule(std::move(rule)).ok());
+    }
+  }
+  return adom_;
+}
+
+bool Program::IsMonadic() const {
+  for (const Rule& r : rules_) {
+    for (const Atom& a : r.head) {
+      if (a.pred != goal_ && Arity(a.pred) != 1) return false;
+    }
+  }
+  return true;
+}
+
+bool Program::IsSimple() const {
+  for (const Rule& r : rules_) {
+    int edb_atoms = 0;
+    for (const Atom& a : r.body) {
+      if (!IsEdb(a.pred)) continue;
+      ++edb_atoms;
+      if (edb_atoms > 1) return false;
+      // Every variable occurs at most once in the EDB atom.
+      std::vector<VarId> sorted = a.vars;
+      std::sort(sorted.begin(), sorted.end());
+      if (std::adjacent_find(sorted.begin(), sorted.end()) != sorted.end()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool Program::IsConnected() const {
+  for (const Rule& r : rules_) {
+    const int n = r.NumVars();
+    if (n <= 1) continue;
+    // Union-find over variables, joined by co-occurrence in a body atom.
+    std::vector<int> parent(n);
+    for (int i = 0; i < n; ++i) parent[i] = i;
+    std::vector<bool> used(n, false);
+    auto find = [&](int x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    for (const Atom& a : r.body) {
+      for (std::size_t i = 0; i < a.vars.size(); ++i) {
+        used[a.vars[i]] = true;
+        if (i > 0) parent[find(a.vars[i])] = find(a.vars[0]);
+      }
+    }
+    int roots = 0;
+    for (int i = 0; i < n; ++i) {
+      if (used[i] && find(i) == i) ++roots;
+    }
+    if (roots > 1) return false;
+  }
+  return true;
+}
+
+bool Program::IsFrontierGuarded() const {
+  for (const Rule& r : rules_) {
+    for (const Atom& h : r.head) {
+      bool guarded = false;
+      for (const Atom& b : r.body) {
+        bool covers = true;
+        for (VarId v : h.vars) {
+          if (std::find(b.vars.begin(), b.vars.end(), v) == b.vars.end()) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          guarded = true;
+          break;
+        }
+      }
+      if (!guarded) return false;
+    }
+  }
+  return true;
+}
+
+bool Program::IsDisjunctionFree() const {
+  for (const Rule& r : rules_) {
+    if (r.head.size() > 1) return false;
+  }
+  return true;
+}
+
+std::size_t Program::SymbolSize() const {
+  // Count: per atom, 1 (predicate) + 2 (parens) + #vars + separators; per
+  // rule, 1 for the arrow and m-1 + n-1 connectives.
+  std::size_t size = 0;
+  auto atom_size = [](const Atom& a) { return 3 + 2 * a.vars.size(); };
+  for (const Rule& r : rules_) {
+    size += 1;
+    for (const Atom& a : r.head) size += atom_size(a) + 1;
+    for (const Atom& a : r.body) size += atom_size(a) + 1;
+  }
+  return size;
+}
+
+base::Status Program::Validate() const {
+  if (!HasGoal()) return base::InvalidArgumentError("no goal relation set");
+  for (const Rule& r : rules_) {
+    bool is_goal_rule =
+        r.head.size() == 1 && r.head[0].pred == goal_;
+    for (const Atom& a : r.head) {
+      if (a.pred == goal_ && !is_goal_rule) {
+        return base::InvalidArgumentError(
+            "goal must be the only head atom of its rules");
+      }
+    }
+    for (const Atom& a : r.body) {
+      if (a.pred == goal_) {
+        return base::InvalidArgumentError("goal relation in rule body");
+      }
+    }
+  }
+  return base::Status::Ok();
+}
+
+std::string Program::AtomToString(const Atom& a) const {
+  std::string out = PredicateName(a.pred);
+  out += "(";
+  for (std::size_t i = 0; i < a.vars.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "x" + std::to_string(a.vars[i]);
+  }
+  out += ")";
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules_) {
+    for (std::size_t i = 0; i < r.head.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += AtomToString(r.head[i]);
+    }
+    out += r.head.empty() ? "<- " : " <- ";
+    for (std::size_t i = 0; i < r.body.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += AtomToString(r.body[i]);
+    }
+    out += ".\n";
+  }
+  return out;
+}
+
+namespace {
+
+struct TextAtom {
+  std::string pred;
+  std::vector<std::string> vars;
+};
+
+bool IsIdent(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '\'';
+}
+
+/// Parses "P(x,y)" (or a bare "P") starting at *i; advances *i.
+base::Result<TextAtom> ParseTextAtom(std::string_view text, std::size_t* i) {
+  auto skip_ws = [&] {
+    while (*i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[*i])) != 0) {
+      ++*i;
+    }
+  };
+  skip_ws();
+  TextAtom atom;
+  std::size_t start = *i;
+  while (*i < text.size() && IsIdent(text[*i])) ++*i;
+  atom.pred = std::string(text.substr(start, *i - start));
+  if (atom.pred.empty()) {
+    return base::InvalidArgumentError("expected predicate at offset " +
+                                      std::to_string(*i));
+  }
+  skip_ws();
+  if (*i < text.size() && text[*i] == '(') {
+    ++*i;
+    for (;;) {
+      skip_ws();
+      if (*i < text.size() && text[*i] == ')') {
+        ++*i;
+        break;
+      }
+      std::size_t vstart = *i;
+      while (*i < text.size() && IsIdent(text[*i])) ++*i;
+      if (vstart == *i) {
+        return base::InvalidArgumentError("expected variable at offset " +
+                                          std::to_string(*i));
+      }
+      atom.vars.emplace_back(text.substr(vstart, *i - vstart));
+      skip_ws();
+      if (*i < text.size() && text[*i] == ',') ++*i;
+    }
+  }
+  return atom;
+}
+
+}  // namespace
+
+base::Result<Program> ParseProgram(const data::Schema& edb_schema,
+                                   std::string_view text) {
+  Program program(edb_schema);
+  // Pre-scan: does any atom use "adom"?
+  if (text.find("adom") != std::string_view::npos) program.EnsureAdom();
+
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+      ++i;
+    }
+  };
+  // First pass over the text happens rule by rule; predicates and goal are
+  // created on first sight (goal by its name).
+  std::vector<std::pair<std::vector<TextAtom>, std::vector<TextAtom>>>
+      text_rules;
+  skip_ws();
+  while (i < text.size()) {
+    std::vector<TextAtom> head;
+    std::vector<TextAtom> body;
+    skip_ws();
+    // Head: atoms separated by '|' until "<-"; possibly empty.
+    for (;;) {
+      skip_ws();
+      if (i + 1 < text.size() && text[i] == '<' && text[i + 1] == '-') {
+        i += 2;
+        break;
+      }
+      auto atom = ParseTextAtom(text, &i);
+      if (!atom.ok()) return atom.status();
+      head.push_back(std::move(*atom));
+      skip_ws();
+      if (i < text.size() && text[i] == '|') {
+        ++i;
+        continue;
+      }
+    }
+    // Body: atoms separated by ',' until '.'.
+    for (;;) {
+      skip_ws();
+      if (i < text.size() && text[i] == '.') {
+        ++i;
+        break;
+      }
+      if (i >= text.size()) {
+        return base::InvalidArgumentError("unterminated rule (missing '.')");
+      }
+      auto atom = ParseTextAtom(text, &i);
+      if (!atom.ok()) return atom.status();
+      body.push_back(std::move(*atom));
+      skip_ws();
+      if (i < text.size() && text[i] == ',') ++i;
+    }
+    text_rules.emplace_back(std::move(head), std::move(body));
+    skip_ws();
+  }
+
+  // Materialize predicates, then rules.
+  for (const auto& [head, body] : text_rules) {
+    for (const auto& atoms : {&head, &body}) {
+      for (const TextAtom& a : *atoms) {
+        auto existing = program.FindPredicate(a.pred);
+        if (existing.has_value()) {
+          if (program.Arity(*existing) != static_cast<int>(a.vars.size())) {
+            return base::InvalidArgumentError("predicate " + a.pred +
+                                              " used with two arities");
+          }
+        } else {
+          program.AddIdbPredicate(a.pred,
+                                  static_cast<int>(a.vars.size()));
+        }
+      }
+    }
+  }
+  auto goal_pred = program.FindPredicate("goal");
+  if (goal_pred.has_value()) program.SetGoal(*goal_pred);
+
+  for (const auto& [head, body] : text_rules) {
+    Rule rule;
+    std::vector<std::string> var_names;
+    auto var_id = [&](const std::string& name) -> VarId {
+      for (std::size_t k = 0; k < var_names.size(); ++k) {
+        if (var_names[k] == name) return static_cast<VarId>(k);
+      }
+      var_names.push_back(name);
+      return static_cast<VarId>(var_names.size() - 1);
+    };
+    auto convert = [&](const TextAtom& a) {
+      Atom out;
+      out.pred = *program.FindPredicate(a.pred);
+      for (const auto& v : a.vars) out.vars.push_back(var_id(v));
+      return out;
+    };
+    for (const TextAtom& a : head) rule.head.push_back(convert(a));
+    for (const TextAtom& a : body) rule.body.push_back(convert(a));
+    OBDA_RETURN_IF_ERROR(program.AddRule(std::move(rule)));
+  }
+  return program;
+}
+
+}  // namespace obda::ddlog

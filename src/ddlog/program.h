@@ -1,0 +1,136 @@
+#ifndef OBDA_DDLOG_PROGRAM_H_
+#define OBDA_DDLOG_PROGRAM_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/schema.h"
+
+namespace obda::ddlog {
+
+/// Index of a predicate within a Program.
+using PredId = std::uint32_t;
+inline constexpr PredId kInvalidPred = static_cast<PredId>(-1);
+
+/// Rule-local variable index.
+using VarId = std::int32_t;
+
+/// An atom P(x1..xk) with rule-local variables.
+struct Atom {
+  PredId pred = kInvalidPred;
+  std::vector<VarId> vars;
+};
+
+/// A disjunctive datalog rule  H1 ∨ ... ∨ Hm ← B1 ∧ ... ∧ Bn  (paper §3).
+/// An empty head denotes ⊥. Safety (head variables occur in the body) is
+/// enforced by Program::AddRule.
+struct Rule {
+  std::vector<Atom> head;
+  std::vector<Atom> body;
+
+  /// Number of distinct variables (max index + 1).
+  int NumVars() const;
+};
+
+/// A (negation-free) disjunctive datalog program with a designated goal
+/// relation (paper §3). Predicates are partitioned into EDB relations
+/// (exactly the relations of the data schema passed at construction) and
+/// IDB relations (everything added afterwards). The paper's convention that
+/// IDB = "occurs in some head" is checked by `Validate`.
+class Program {
+ public:
+  /// Creates a program whose EDB predicates mirror `edb_schema` (ids align
+  /// with the schema's RelationIds).
+  explicit Program(data::Schema edb_schema);
+
+  const data::Schema& edb_schema() const { return edb_schema_; }
+
+  /// Number of EDB predicates (they occupy ids [0, NumEdb())).
+  std::size_t NumEdb() const { return edb_schema_.NumRelations(); }
+  bool IsEdb(PredId p) const { return p < NumEdb(); }
+
+  /// Adds an IDB predicate. Name must be fresh.
+  PredId AddIdbPredicate(std::string name, int arity);
+  PredId GetOrAddIdbPredicate(const std::string& name, int arity);
+  std::optional<PredId> FindPredicate(std::string_view name) const;
+  const std::string& PredicateName(PredId p) const;
+  int Arity(PredId p) const;
+  std::size_t NumPredicates() const { return preds_.size(); }
+
+  /// Declares `p` as the goal relation. Must be an IDB predicate.
+  void SetGoal(PredId p);
+  PredId goal() const { return goal_; }
+  bool HasGoal() const { return goal_ != kInvalidPred; }
+  /// Arity of the defined query (0 for Boolean programs).
+  int QueryArity() const;
+
+  /// Adds a rule. Aborts on malformed atoms; returns an error status for
+  /// semantic violations (unsafe rule, EDB atom in head, goal in body).
+  base::Status AddRule(Rule rule);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Ensures the presence of the `adom` IDB predicate together with the
+  /// defining rules adom(x) ← R(..x..) for every EDB relation R (paper §3,
+  /// the adom shorthand). Returns the predicate id. Idempotent.
+  PredId EnsureAdom();
+
+  // --- Syntactic class predicates (paper §3) ------------------------------
+
+  /// All IDB relations except goal are unary.
+  bool IsMonadic() const;
+  /// Each rule has at most one EDB atom, with pairwise distinct variables.
+  bool IsSimple() const;
+  /// Every rule's co-occurrence graph of variables is connected.
+  bool IsConnected() const;
+  /// goal has arity 1.
+  bool IsUnary() const { return HasGoal() && Arity(goal_) == 1; }
+  /// Every head atom has a body atom containing all of its variables.
+  bool IsFrontierGuarded() const;
+  /// Every rule head has at most one atom (plain datalog).
+  bool IsDisjunctionFree() const;
+
+  /// Size |Π| — the number of syntactic symbols (predicates, variables,
+  /// parentheses, connectives), matching the paper's size convention (§2).
+  std::size_t SymbolSize() const;
+
+  /// Checks global well-formedness: a goal is set, goal occurs only in
+  /// goal rules, every predicate id is valid.
+  base::Status Validate() const;
+
+  /// Pretty-prints the program, one rule per line
+  /// ("A(x) | B(x) <- R(x,y), C(y)."), deterministic.
+  std::string ToString() const;
+
+ private:
+  struct PredInfo {
+    std::string name;
+    int arity;
+  };
+
+  std::string AtomToString(const Atom& a) const;
+
+  data::Schema edb_schema_;
+  std::vector<PredInfo> preds_;
+  std::vector<Rule> rules_;
+  PredId goal_ = kInvalidPred;
+  PredId adom_ = kInvalidPred;
+};
+
+/// Parses a program from text. Syntax, one rule per '.'-terminated line:
+///   head1(x) | head2(x,y) <- body1(x), body2(x,y).
+///   <- body(x).                      (constraint, empty head)
+///   goal(x) <- A(x).
+/// All identifiers inside parentheses are variables. `edb_schema` fixes the
+/// EDB relations; every other predicate becomes IDB. The relation named
+/// "goal" (if present) is set as the goal. Mentioning "adom" in a body
+/// triggers EnsureAdom().
+base::Result<Program> ParseProgram(const data::Schema& edb_schema,
+                                   std::string_view text);
+
+}  // namespace obda::ddlog
+
+#endif  // OBDA_DDLOG_PROGRAM_H_

@@ -1,0 +1,351 @@
+#include "dl/bounded_model.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "base/check.h"
+#include "sat/solver.h"
+
+namespace obda::dl {
+
+namespace {
+
+using data::ConstId;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+/// SAT encoding of "exists a model D' ⊇ D of O over a fixed domain with
+/// ¬q(ā)". One instance per (ontology, instance, query); re-solved per
+/// answer tuple via assumptions is not possible with the clause-level ¬q
+/// encoding, so we rebuild per call (instances are small).
+class BoundedEncoder {
+ public:
+  BoundedEncoder(const Ontology& ontology, const data::Instance& instance,
+                 const BoundedModelOptions& options)
+      : ontology_(ontology), instance_(instance), options_(options) {
+    num_elements_ =
+        static_cast<int>(instance.UniverseSize()) + options.extra_elements;
+
+    // Collect role and concept names from the ontology and the schema.
+    for (const std::string& r : ontology.RoleNames()) roles_.insert(r);
+    for (const std::string& a : ontology.ConceptNames()) concepts_.insert(a);
+    const data::Schema& schema = instance.schema();
+    for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+      if (schema.Arity(r) == 1) concepts_.insert(schema.RelationName(r));
+      if (schema.Arity(r) == 2) roles_.insert(schema.RelationName(r));
+    }
+  }
+
+  /// Adds names used by a query so its atoms have variables.
+  void AddQuerySignature(const fo::UnionOfCq& q) {
+    const data::Schema& schema = q.schema();
+    for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+      if (schema.Arity(r) == 1) concepts_.insert(schema.RelationName(r));
+      if (schema.Arity(r) == 2) roles_.insert(schema.RelationName(r));
+    }
+  }
+
+  /// Builds all model constraints (instance facts, concept semantics,
+  /// TBox, role axioms).
+  void BuildModelConstraints() {
+    // Instance facts are forced.
+    const data::Schema& schema = instance_.schema();
+    for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+      const std::string& name = schema.RelationName(r);
+      for (std::uint32_t i = 0; i < instance_.NumTuples(r); ++i) {
+        auto t = instance_.Tuple(r, i);
+        if (schema.Arity(r) == 1) {
+          solver_.AddClause({Lit::Pos(ConceptVar(name, t[0]))});
+        } else if (schema.Arity(r) == 2) {
+          solver_.AddClause({Lit::Pos(RoleVar(name, t[0], t[1]))});
+        } else {
+          // Non-binary schemas never reach the DL engine.
+          OBDA_CHECK(false);
+        }
+      }
+    }
+    // TBox: for every element d and inclusion C ⊑ D: [C](d) -> [D](d).
+    for (const ConceptInclusion& ci : ontology_.inclusions()) {
+      for (int d = 0; d < num_elements_; ++d) {
+        solver_.AddClause(
+            {Lit::Neg(EncodeConcept(ci.lhs, d)),
+             Lit::Pos(EncodeConcept(ci.rhs, d))});
+      }
+    }
+    // Role inclusions over role terms.
+    for (const RoleInclusion& ri : ontology_.role_inclusions()) {
+      for (int d = 0; d < num_elements_; ++d) {
+        for (int e = 0; e < num_elements_; ++e) {
+          solver_.AddClause({Lit::Neg(RoleTermVar(ri.lhs, d, e)),
+                             Lit::Pos(RoleTermVar(ri.rhs, d, e))});
+        }
+      }
+    }
+    // Transitivity.
+    for (const std::string& r : ontology_.transitive_roles()) {
+      for (int d = 0; d < num_elements_; ++d) {
+        for (int e = 0; e < num_elements_; ++e) {
+          for (int f = 0; f < num_elements_; ++f) {
+            solver_.AddClause({Lit::Neg(RoleVar(r, d, e)),
+                               Lit::Neg(RoleVar(r, e, f)),
+                               Lit::Pos(RoleVar(r, d, f))});
+          }
+        }
+      }
+    }
+    // Functionality.
+    for (const std::string& r : ontology_.functional_roles()) {
+      for (int d = 0; d < num_elements_; ++d) {
+        for (int e = 0; e < num_elements_; ++e) {
+          for (int f = e + 1; f < num_elements_; ++f) {
+            solver_.AddClause({Lit::Neg(RoleVar(r, d, e)),
+                               Lit::Neg(RoleVar(r, d, f))});
+          }
+        }
+      }
+    }
+  }
+
+  /// Adds ¬q(answer): for every disjunct and every assignment of its
+  /// variables (answer variables pinned), at least one atom is false.
+  void ForbidQuery(const fo::UnionOfCq& q,
+                   const std::vector<ConstId>& answer) {
+    for (const fo::ConjunctiveQuery& cq : q.disjuncts()) {
+      const int nv = cq.num_vars();
+      std::vector<int> assign(static_cast<std::size_t>(nv), 0);
+      for (int i = 0; i < cq.arity(); ++i) {
+        assign[i] = static_cast<int>(answer[i]);
+      }
+      ForbidAssignments(cq, cq.arity(), &assign);
+    }
+  }
+
+  base::Result<bool> Solve() {
+    sat::SatOutcome outcome = solver_.Solve({}, options_.max_decisions);
+    if (outcome == sat::SatOutcome::kBudget) {
+      return base::ResourceExhaustedError(
+          "bounded-model SAT budget exceeded");
+    }
+    return outcome == sat::SatOutcome::kSat;
+  }
+
+ private:
+  void ForbidAssignments(const fo::ConjunctiveQuery& cq, int next_var,
+                         std::vector<int>* assign) {
+    if (next_var == cq.num_vars()) {
+      std::vector<Lit> clause;
+      for (const fo::QueryAtom& a : cq.atoms()) {
+        const std::string& name = cq.schema().RelationName(a.rel);
+        int arity = cq.schema().Arity(a.rel);
+        if (arity == 1) {
+          clause.push_back(
+              Lit::Neg(ConceptVar(name, (*assign)[a.vars[0]])));
+        } else {
+          OBDA_CHECK_EQ(arity, 2);
+          clause.push_back(Lit::Neg(RoleVar(name, (*assign)[a.vars[0]],
+                                            (*assign)[a.vars[1]])));
+        }
+      }
+      solver_.AddClause(std::move(clause));
+      return;
+    }
+    for (int d = 0; d < num_elements_; ++d) {
+      (*assign)[next_var] = d;
+      ForbidAssignments(cq, next_var + 1, assign);
+    }
+  }
+
+  /// Interns a named SAT variable.
+  Var GetVar(const std::string& key) {
+    auto it = vars_.find(key);
+    if (it != vars_.end()) return it->second;
+    Var v = solver_.NewVar();
+    vars_.emplace(key, v);
+    return v;
+  }
+
+  Var ConceptVar(const std::string& name, int d) {
+    return GetVar("A:" + name + "@" + std::to_string(d));
+  }
+
+  Var RoleVar(const std::string& name, int d, int e) {
+    return GetVar("R:" + name + "@" + std::to_string(d) + "," +
+                  std::to_string(e));
+  }
+
+  Var RoleTermVar(const Role& r, int d, int e) {
+    OBDA_CHECK(!r.IsUniversal());
+    return r.inverse ? RoleVar(r.name, e, d) : RoleVar(r.name, d, e);
+  }
+
+  /// Tseitin variable for concept C at element d, with full equivalence
+  /// clauses emitted on first creation.
+  Var EncodeConcept(const Concept& c, int d) {
+    std::string key = "C:" + c.ToString() + "@" + std::to_string(d);
+    auto it = vars_.find(key);
+    if (it != vars_.end()) return it->second;
+    Var v = solver_.NewVar();
+    vars_.emplace(key, v);
+    switch (c.kind()) {
+      case Concept::Kind::kTop:
+        solver_.AddClause({Lit::Pos(v)});
+        break;
+      case Concept::Kind::kBottom:
+        solver_.AddClause({Lit::Neg(v)});
+        break;
+      case Concept::Kind::kName: {
+        Var a = ConceptVar(c.name(), d);
+        solver_.AddClause({Lit::Neg(v), Lit::Pos(a)});
+        solver_.AddClause({Lit::Pos(v), Lit::Neg(a)});
+        break;
+      }
+      case Concept::Kind::kNot: {
+        Var inner = EncodeConcept(c.child(), d);
+        solver_.AddClause({Lit::Neg(v), Lit::Neg(inner)});
+        solver_.AddClause({Lit::Pos(v), Lit::Pos(inner)});
+        break;
+      }
+      case Concept::Kind::kAnd: {
+        Var l = EncodeConcept(c.child(0), d);
+        Var r = EncodeConcept(c.child(1), d);
+        solver_.AddClause({Lit::Neg(v), Lit::Pos(l)});
+        solver_.AddClause({Lit::Neg(v), Lit::Pos(r)});
+        solver_.AddClause({Lit::Pos(v), Lit::Neg(l), Lit::Neg(r)});
+        break;
+      }
+      case Concept::Kind::kOr: {
+        Var l = EncodeConcept(c.child(0), d);
+        Var r = EncodeConcept(c.child(1), d);
+        solver_.AddClause({Lit::Pos(v), Lit::Neg(l)});
+        solver_.AddClause({Lit::Pos(v), Lit::Neg(r)});
+        solver_.AddClause({Lit::Neg(v), Lit::Pos(l), Lit::Pos(r)});
+        break;
+      }
+      case Concept::Kind::kExists: {
+        // v <-> OR_e aux_e,  aux_e <-> edge(d,e) & [C](e)
+        std::vector<Lit> any;
+        any.push_back(Lit::Neg(v));
+        for (int e = 0; e < num_elements_; ++e) {
+          Var aux = solver_.NewVar();
+          Lit edge = EdgeLit(c.role(), d, e);
+          Var filler = EncodeConcept(c.child(), e);
+          if (edge.code >= 0) {
+            solver_.AddClause({Lit::Neg(aux), edge});
+          }
+          solver_.AddClause({Lit::Neg(aux), Lit::Pos(filler)});
+          {
+            std::vector<Lit> back = {Lit::Pos(aux), Lit::Neg(filler)};
+            if (edge.code >= 0) back.push_back(edge.Negated());
+            solver_.AddClause(back);
+          }
+          solver_.AddClause({Lit::Pos(v), Lit::Neg(aux)});
+          any.push_back(Lit::Pos(aux));
+        }
+        solver_.AddClause(any);
+        break;
+      }
+      case Concept::Kind::kForall: {
+        // v <-> AND_e (edge(d,e) -> [C](e))
+        std::vector<Lit> back;
+        back.push_back(Lit::Pos(v));
+        for (int e = 0; e < num_elements_; ++e) {
+          Lit edge = EdgeLit(c.role(), d, e);
+          Var filler = EncodeConcept(c.child(), e);
+          if (edge.code >= 0) {
+            solver_.AddClause(
+                {Lit::Neg(v), edge.Negated(), Lit::Pos(filler)});
+            // ¬v -> some violated edge: aux_e <-> edge & ¬filler
+            Var aux = solver_.NewVar();
+            solver_.AddClause({Lit::Neg(aux), edge});
+            solver_.AddClause({Lit::Neg(aux), Lit::Neg(filler)});
+            solver_.AddClause(
+                {Lit::Pos(aux), edge.Negated(), Lit::Pos(filler)});
+            back.push_back(Lit::Pos(aux));
+          } else {
+            // Universal role: edge always present.
+            solver_.AddClause({Lit::Neg(v), Lit::Pos(filler)});
+            back.push_back(Lit::Neg(filler));
+          }
+        }
+        solver_.AddClause(back);
+        break;
+      }
+    }
+    return v;
+  }
+
+  /// The literal for an R-edge (d,e); for the universal role, returns an
+  /// invalid literal (edge unconditionally present).
+  Lit EdgeLit(const Role& r, int d, int e) {
+    if (r.IsUniversal()) return Lit{-1};
+    return Lit::Pos(RoleTermVar(r, d, e));
+  }
+
+  const Ontology& ontology_;
+  const data::Instance& instance_;
+  BoundedModelOptions options_;
+  int num_elements_ = 0;
+  Solver solver_;
+  std::map<std::string, Var> vars_;
+  std::set<std::string> roles_;
+  std::set<std::string> concepts_;
+};
+
+}  // namespace
+
+base::Result<BoundedVerdict> BoundedCertainAnswer(
+    const Ontology& ontology, const data::Instance& instance,
+    const fo::UnionOfCq& q, const std::vector<data::ConstId>& answer,
+    const BoundedModelOptions& options) {
+  BoundedEncoder encoder(ontology, instance, options);
+  encoder.AddQuerySignature(q);
+  encoder.BuildModelConstraints();
+  encoder.ForbidQuery(q, answer);
+  auto sat = encoder.Solve();
+  if (!sat.ok()) return sat.status();
+  return *sat ? BoundedVerdict::kNotCertain
+              : BoundedVerdict::kCertainWithinBound;
+}
+
+base::Result<std::vector<std::vector<data::ConstId>>>
+BoundedCertainAnswers(const Ontology& ontology,
+                      const data::Instance& instance, const fo::UnionOfCq& q,
+                      const BoundedModelOptions& options) {
+  std::vector<std::vector<data::ConstId>> out;
+  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  const int arity = q.arity();
+  if (arity > 0 && adom.empty()) return out;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(arity), 0);
+  for (;;) {
+    std::vector<data::ConstId> tuple;
+    tuple.reserve(arity);
+    for (int i = 0; i < arity; ++i) tuple.push_back(adom[idx[i]]);
+    auto verdict = BoundedCertainAnswer(ontology, instance, q, tuple,
+                                        options);
+    if (!verdict.ok()) return verdict.status();
+    if (*verdict == BoundedVerdict::kCertainWithinBound) {
+      out.push_back(tuple);
+    }
+    int pos = arity - 1;
+    while (pos >= 0 && ++idx[pos] == adom.size()) {
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+base::Result<bool> BoundedConsistent(const Ontology& ontology,
+                                     const data::Instance& instance,
+                                     const BoundedModelOptions& options) {
+  BoundedEncoder encoder(ontology, instance, options);
+  encoder.BuildModelConstraints();
+  return encoder.Solve();
+}
+
+}  // namespace obda::dl

@@ -1,0 +1,67 @@
+#ifndef OBDA_DL_BOUNDED_MODEL_H_
+#define OBDA_DL_BOUNDED_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "dl/ontology.h"
+#include "fo/cq.h"
+
+namespace obda::dl {
+
+/// Options for the bounded countermodel search.
+struct BoundedModelOptions {
+  /// Fresh anonymous elements added to the domain beyond the universe of
+  /// the input instance. Completeness of the "certain" verdict holds only
+  /// relative to this bound.
+  int extra_elements = 4;
+  std::uint64_t max_decisions = 50'000'000;
+};
+
+/// Verdict of the bounded engine.
+enum class BoundedVerdict {
+  /// A finite model D' ⊇ D of O with ā ∉ q(D') was found: the answer is
+  /// definitely NOT certain (sound refutation).
+  kNotCertain,
+  /// No countermodel exists over the bounded domain. The answer is certain
+  /// provided the bound is large enough (bound-complete only).
+  kCertainWithinBound,
+};
+
+/// Reference engine: decides certain answers by direct SAT search for a
+/// countermodel over a bounded domain (universe of D plus
+/// `extra_elements` fresh anonymous elements). Supports the full
+/// ALCHIF(U) + transitive-role feature set — including functional roles,
+/// which the type reasoner does not interpret — and is therefore the
+/// library's independent cross-check for every translation
+/// (DESIGN.md §5.6).
+///
+/// `schema` lists the EDB relations of D; `ontology` may use additional
+/// concept/role names. `q` is a UCQ over schema ∪ sig(O); `answer` has
+/// q.arity() constants from D.
+base::Result<BoundedVerdict> BoundedCertainAnswer(
+    const Ontology& ontology, const data::Instance& instance,
+    const fo::UnionOfCq& q, const std::vector<data::ConstId>& answer,
+    const BoundedModelOptions& options = BoundedModelOptions());
+
+/// All certain answers (w.r.t. the bound) of q on `instance` given
+/// `ontology`, sorted.
+base::Result<std::vector<std::vector<data::ConstId>>>
+BoundedCertainAnswers(const Ontology& ontology,
+                      const data::Instance& instance, const fo::UnionOfCq& q,
+                      const BoundedModelOptions& options =
+                          BoundedModelOptions());
+
+/// True if `instance` is consistent with `ontology` over the bounded
+/// domain (some model D' ⊇ D exists). Sound for "inconsistent" only
+/// relative to the bound.
+base::Result<bool> BoundedConsistent(const Ontology& ontology,
+                                     const data::Instance& instance,
+                                     const BoundedModelOptions& options =
+                                         BoundedModelOptions());
+
+}  // namespace obda::dl
+
+#endif  // OBDA_DL_BOUNDED_MODEL_H_

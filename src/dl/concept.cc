@@ -1,0 +1,241 @@
+#include "dl/concept.h"
+
+#include <algorithm>
+#include <set>
+
+#include "base/check.h"
+
+namespace obda::dl {
+
+Role Role::Inverted() const {
+  OBDA_CHECK(!IsUniversal());
+  return Role{name, !inverse};
+}
+
+std::string Role::ToString() const {
+  if (IsUniversal()) return "U!";
+  return inverse ? "inv(" + name + ")" : name;
+}
+
+struct Concept::Node {
+  Kind kind;
+  std::string name;            // kName
+  Role role;                   // kExists / kForall
+  std::vector<Concept> kids;   // children
+  mutable std::string cached;  // canonical string, built lazily
+};
+
+namespace {
+
+Concept::Kind KindOf(const Concept& c) { return c.kind(); }
+
+}  // namespace
+
+Concept Concept::Top() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kTop;
+  return Concept(std::move(node));
+}
+
+Concept Concept::Bottom() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kBottom;
+  return Concept(std::move(node));
+}
+
+Concept Concept::Name(std::string name) {
+  OBDA_CHECK(!name.empty());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kName;
+  node->name = std::move(name);
+  return Concept(std::move(node));
+}
+
+Concept Concept::Not(Concept c) {
+  OBDA_CHECK(c.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->kids.push_back(std::move(c));
+  return Concept(std::move(node));
+}
+
+Concept Concept::And(Concept a, Concept b) {
+  OBDA_CHECK(a.IsValid());
+  OBDA_CHECK(b.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->kids.push_back(std::move(a));
+  node->kids.push_back(std::move(b));
+  return Concept(std::move(node));
+}
+
+Concept Concept::Or(Concept a, Concept b) {
+  OBDA_CHECK(a.IsValid());
+  OBDA_CHECK(b.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->kids.push_back(std::move(a));
+  node->kids.push_back(std::move(b));
+  return Concept(std::move(node));
+}
+
+Concept Concept::Exists(Role role, Concept c) {
+  OBDA_CHECK(c.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kExists;
+  node->role = std::move(role);
+  node->kids.push_back(std::move(c));
+  return Concept(std::move(node));
+}
+
+Concept Concept::Forall(Role role, Concept c) {
+  OBDA_CHECK(c.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kForall;
+  node->role = std::move(role);
+  node->kids.push_back(std::move(c));
+  return Concept(std::move(node));
+}
+
+Concept Concept::AndAll(const std::vector<Concept>& cs) {
+  if (cs.empty()) return Top();
+  Concept out = cs[0];
+  for (std::size_t i = 1; i < cs.size(); ++i) out = And(out, cs[i]);
+  return out;
+}
+
+Concept Concept::OrAll(const std::vector<Concept>& cs) {
+  if (cs.empty()) return Bottom();
+  Concept out = cs[0];
+  for (std::size_t i = 1; i < cs.size(); ++i) out = Or(out, cs[i]);
+  return out;
+}
+
+Concept::Kind Concept::kind() const {
+  OBDA_CHECK(IsValid());
+  return node_->kind;
+}
+
+const std::string& Concept::name() const {
+  OBDA_CHECK(kind() == Kind::kName);
+  return node_->name;
+}
+
+const Role& Concept::role() const {
+  OBDA_CHECK(kind() == Kind::kExists || kind() == Kind::kForall);
+  return node_->role;
+}
+
+const Concept& Concept::child(int i) const {
+  OBDA_CHECK(IsValid());
+  OBDA_CHECK_LT(static_cast<std::size_t>(i), node_->kids.size());
+  return node_->kids[i];
+}
+
+const std::string& Concept::ToString() const {
+  OBDA_CHECK(IsValid());
+  if (!node_->cached.empty()) return node_->cached;
+  std::string s;
+  switch (node_->kind) {
+    case Kind::kTop:
+      s = "top";
+      break;
+    case Kind::kBottom:
+      s = "bot";
+      break;
+    case Kind::kName:
+      s = node_->name;
+      break;
+    case Kind::kNot:
+      s = "~" + child().ToString();
+      break;
+    case Kind::kAnd:
+      s = "(" + child(0).ToString() + " & " + child(1).ToString() + ")";
+      break;
+    case Kind::kOr:
+      s = "(" + child(0).ToString() + " | " + child(1).ToString() + ")";
+      break;
+    case Kind::kExists:
+      s = "some " + node_->role.ToString() + "." + child().ToString();
+      break;
+    case Kind::kForall:
+      s = "all " + node_->role.ToString() + "." + child().ToString();
+      break;
+  }
+  node_->cached = std::move(s);
+  return node_->cached;
+}
+
+Concept Concept::Nnf() const {
+  switch (kind()) {
+    case Kind::kTop:
+    case Kind::kBottom:
+    case Kind::kName:
+      return *this;
+    case Kind::kAnd:
+      return And(child(0).Nnf(), child(1).Nnf());
+    case Kind::kOr:
+      return Or(child(0).Nnf(), child(1).Nnf());
+    case Kind::kExists:
+      return Exists(role(), child().Nnf());
+    case Kind::kForall:
+      return Forall(role(), child().Nnf());
+    case Kind::kNot: {
+      const Concept& c = child();
+      switch (KindOf(c)) {
+        case Kind::kTop:
+          return Bottom();
+        case Kind::kBottom:
+          return Top();
+        case Kind::kName:
+          return *this;  // ¬A is NNF
+        case Kind::kNot:
+          return c.child().Nnf();
+        case Kind::kAnd:
+          return Or(Not(c.child(0)).Nnf(), Not(c.child(1)).Nnf());
+        case Kind::kOr:
+          return And(Not(c.child(0)).Nnf(), Not(c.child(1)).Nnf());
+        case Kind::kExists:
+          return Forall(c.role(), Not(c.child()).Nnf());
+        case Kind::kForall:
+          return Exists(c.role(), Not(c.child()).Nnf());
+      }
+    }
+  }
+  OBDA_CHECK(false);
+  return Concept();
+}
+
+std::vector<Concept> Concept::Subconcepts() const {
+  std::vector<Concept> out;
+  std::set<std::string> seen;
+  std::vector<Concept> stack = {*this};
+  while (!stack.empty()) {
+    Concept c = stack.back();
+    stack.pop_back();
+    if (!seen.insert(c.ToString()).second) continue;
+    out.push_back(c);
+    for (const Concept& kid : c.node_->kids) stack.push_back(kid);
+  }
+  return out;
+}
+
+std::size_t Concept::SymbolSize() const {
+  switch (kind()) {
+    case Kind::kTop:
+    case Kind::kBottom:
+    case Kind::kName:
+      return 1;
+    case Kind::kNot:
+      return 1 + child().SymbolSize();
+    case Kind::kAnd:
+    case Kind::kOr:
+      return 3 + child(0).SymbolSize() + child(1).SymbolSize();
+    case Kind::kExists:
+    case Kind::kForall:
+      return 2 + child().SymbolSize();
+  }
+  return 0;
+}
+
+}  // namespace obda::dl

@@ -1,0 +1,109 @@
+#ifndef OBDA_DL_CONCEPT_H_
+#define OBDA_DL_CONCEPT_H_
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+namespace obda::dl {
+
+/// A role term: a role name, possibly inverted (ALCI), or the universal
+/// role U (ALCU). The universal role is a logical symbol, not part of any
+/// schema (paper §3.1).
+struct Role {
+  std::string name;      // empty <=> universal role
+  bool inverse = false;  // R⁻ (never set for the universal role)
+
+  static Role Named(std::string name) { return Role{std::move(name), false}; }
+  static Role InverseOf(std::string name) {
+    return Role{std::move(name), true};
+  }
+  static Role Universal() { return Role{"", false}; }
+
+  bool IsUniversal() const { return name.empty(); }
+  /// R ↦ R⁻, R⁻ ↦ R. Must not be called on the universal role.
+  Role Inverted() const;
+
+  std::string ToString() const;
+  friend bool operator==(const Role& a, const Role& b) {
+    return a.name == b.name && a.inverse == b.inverse;
+  }
+  friend bool operator<(const Role& a, const Role& b) {
+    return std::tie(a.name, a.inverse) < std::tie(b.name, b.inverse);
+  }
+};
+
+/// An ALC(I/U) concept, immutable and cheaply copyable (shared AST).
+/// Syntax (paper §2, Table II):
+///   C ::= A | ⊤ | ⊥ | ¬C | C ⊓ D | C ⊔ D | ∃R.C | ∀R.C
+class Concept {
+ public:
+  enum class Kind {
+    kTop,
+    kBottom,
+    kName,
+    kNot,
+    kAnd,
+    kOr,
+    kExists,
+    kForall,
+  };
+
+  Concept() = default;  // empty handle; only assignment is valid
+
+  static Concept Top();
+  static Concept Bottom();
+  static Concept Name(std::string name);
+  static Concept Not(Concept c);
+  static Concept And(Concept a, Concept b);
+  static Concept Or(Concept a, Concept b);
+  static Concept Exists(Role role, Concept c);
+  static Concept Forall(Role role, Concept c);
+
+  /// n-ary conjunction/disjunction helpers (⊤/⊥ for the empty case).
+  static Concept AndAll(const std::vector<Concept>& cs);
+  static Concept OrAll(const std::vector<Concept>& cs);
+
+  bool IsValid() const { return node_ != nullptr; }
+  Kind kind() const;
+  /// Concept name (kind kName only).
+  const std::string& name() const;
+  /// Role of a quantified concept (kExists/kForall only).
+  const Role& role() const;
+  /// Child concepts: 1 for kNot/kExists/kForall, 2 for kAnd/kOr.
+  const Concept& child(int i = 0) const;
+
+  /// Canonical rendering; doubles as equality key. Uses ASCII:
+  /// "~C", "(C & D)", "(C | D)", "some R.C", "all R.C", "top", "bot".
+  const std::string& ToString() const;
+
+  /// Negation normal form: negation pushed to concept names.
+  Concept Nnf() const;
+  /// NNF of the negation (the "complement" entry used by type reasoning).
+  Concept NnfComplement() const { return Not(*this).Nnf(); }
+
+  /// All syntactic subconcepts of this concept, including itself.
+  std::vector<Concept> Subconcepts() const;
+
+  /// Size |C| in the paper's symbol-count convention (§2).
+  std::size_t SymbolSize() const;
+
+  friend bool operator==(const Concept& a, const Concept& b) {
+    return a.ToString() == b.ToString();
+  }
+  friend bool operator<(const Concept& a, const Concept& b) {
+    return a.ToString() < b.ToString();
+  }
+
+ private:
+  struct Node;
+  explicit Concept(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace obda::dl
+
+#endif  // OBDA_DL_CONCEPT_H_

@@ -1,0 +1,161 @@
+#include "dl/ontology.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace obda::dl {
+
+std::string DlFeatures::LanguageName() const {
+  std::string out = transitive_roles ? "S" : "ALC";
+  if (role_hierarchies) out += "H";
+  if (inverse_roles) out += "I";
+  if (functional_roles) out += "F";
+  if (universal_role) out += "U";
+  return out;
+}
+
+void Ontology::AddInclusion(Concept lhs, Concept rhs) {
+  OBDA_CHECK(lhs.IsValid());
+  OBDA_CHECK(rhs.IsValid());
+  inclusions_.push_back(ConceptInclusion{std::move(lhs), std::move(rhs)});
+}
+
+void Ontology::AddRoleInclusion(Role lhs, Role rhs) {
+  OBDA_CHECK(!lhs.IsUniversal());
+  OBDA_CHECK(!rhs.IsUniversal());
+  role_inclusions_.push_back(RoleInclusion{std::move(lhs), std::move(rhs)});
+}
+
+void Ontology::AddTransitive(std::string role_name) {
+  transitive_.insert(std::move(role_name));
+}
+
+void Ontology::AddFunctional(std::string role_name) {
+  functional_.insert(std::move(role_name));
+}
+
+namespace {
+
+void CollectNames(const Concept& c, std::set<std::string>* concepts,
+                  std::set<std::string>* roles) {
+  for (const Concept& sub : c.Subconcepts()) {
+    if (sub.kind() == Concept::Kind::kName) concepts->insert(sub.name());
+    if (sub.kind() == Concept::Kind::kExists ||
+        sub.kind() == Concept::Kind::kForall) {
+      if (!sub.role().IsUniversal()) roles->insert(sub.role().name);
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> Ontology::ConceptNames() const {
+  std::set<std::string> concepts;
+  std::set<std::string> roles;
+  for (const auto& ci : inclusions_) {
+    CollectNames(ci.lhs, &concepts, &roles);
+    CollectNames(ci.rhs, &concepts, &roles);
+  }
+  return concepts;
+}
+
+std::set<std::string> Ontology::RoleNames() const {
+  std::set<std::string> concepts;
+  std::set<std::string> roles;
+  for (const auto& ci : inclusions_) {
+    CollectNames(ci.lhs, &concepts, &roles);
+    CollectNames(ci.rhs, &concepts, &roles);
+  }
+  for (const auto& ri : role_inclusions_) {
+    roles.insert(ri.lhs.name);
+    roles.insert(ri.rhs.name);
+  }
+  for (const auto& r : transitive_) roles.insert(r);
+  for (const auto& r : functional_) roles.insert(r);
+  return roles;
+}
+
+DlFeatures Ontology::Features() const {
+  DlFeatures f;
+  f.role_hierarchies = !role_inclusions_.empty();
+  f.transitive_roles = !transitive_.empty();
+  f.functional_roles = !functional_.empty();
+  auto scan = [&f](const Concept& c) {
+    for (const Concept& sub : c.Subconcepts()) {
+      if (sub.kind() == Concept::Kind::kExists ||
+          sub.kind() == Concept::Kind::kForall) {
+        if (sub.role().IsUniversal()) f.universal_role = true;
+        if (sub.role().inverse) f.inverse_roles = true;
+      }
+    }
+  };
+  for (const auto& ci : inclusions_) {
+    scan(ci.lhs);
+    scan(ci.rhs);
+  }
+  for (const auto& ri : role_inclusions_) {
+    if (ri.lhs.inverse || ri.rhs.inverse) f.inverse_roles = true;
+  }
+  return f;
+}
+
+std::vector<Concept> Ontology::Subconcepts() const {
+  std::vector<Concept> out;
+  std::set<std::string> seen;
+  for (const auto& ci : inclusions_) {
+    for (const Concept& side : {ci.lhs, ci.rhs}) {
+      for (const Concept& sub : side.Subconcepts()) {
+        if (seen.insert(sub.ToString()).second) out.push_back(sub);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Role> Ontology::SuperRoles(const Role& r) const {
+  OBDA_CHECK(!r.IsUniversal());
+  std::vector<Role> out = {r};
+  std::set<std::string> seen = {r.ToString()};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    Role cur = out[i];
+    for (const auto& ri : role_inclusions_) {
+      // Direct: cur ⊑ rhs when cur == lhs.
+      if (ri.lhs == cur && seen.insert(ri.rhs.ToString()).second) {
+        out.push_back(ri.rhs);
+      }
+      // Inverse-closed: lhs⁻ ⊑ rhs⁻.
+      Role lhs_inv = ri.lhs.Inverted();
+      if (lhs_inv == cur && seen.insert(ri.rhs.Inverted().ToString()).second) {
+        out.push_back(ri.rhs.Inverted());
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t Ontology::SymbolSize() const {
+  std::size_t size = 0;
+  for (const auto& ci : inclusions_) {
+    size += ci.lhs.SymbolSize() + ci.rhs.SymbolSize() + 1;
+  }
+  size += 3 * role_inclusions_.size();
+  size += 2 * transitive_.size();
+  size += 2 * functional_.size();
+  return size;
+}
+
+std::string Ontology::ToString() const {
+  std::string out;
+  for (const auto& ci : inclusions_) {
+    out += ci.lhs.ToString() + " [= " + ci.rhs.ToString() + "\n";
+  }
+  for (const auto& ri : role_inclusions_) {
+    out += ri.lhs.ToString() + " [= " + ri.rhs.ToString() + "\n";
+  }
+  for (const auto& r : transitive_) out += "trans(" + r + ")\n";
+  for (const auto& r : functional_) out += "func(" + r + ")\n";
+  return out;
+}
+
+}  // namespace obda::dl

@@ -1,0 +1,93 @@
+#ifndef OBDA_DL_ONTOLOGY_H_
+#define OBDA_DL_ONTOLOGY_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "dl/concept.h"
+
+namespace obda::dl {
+
+/// A concept inclusion C ⊑ D.
+struct ConceptInclusion {
+  Concept lhs;
+  Concept rhs;
+};
+
+/// A role inclusion R ⊑ S (ALCH; either side may be inverse in ALCHI).
+struct RoleInclusion {
+  Role lhs;
+  Role rhs;
+};
+
+/// Which DL operators an ontology uses; used for dispatching translations
+/// and reporting the language name ((ALC, ALCI, SHIU, ...)).
+struct DlFeatures {
+  bool inverse_roles = false;      // I
+  bool role_hierarchies = false;   // H
+  bool transitive_roles = false;   // S
+  bool functional_roles = false;   // F
+  bool universal_role = false;     // U
+
+  /// "ALC", "ALCHI", "SHIU", "ALCF", ...
+  std::string LanguageName() const;
+};
+
+/// A DL ontology (TBox): concept inclusions plus role axioms
+/// (paper §2 and §3.1).
+class Ontology {
+ public:
+  void AddInclusion(Concept lhs, Concept rhs);
+  void AddRoleInclusion(Role lhs, Role rhs);
+  void AddTransitive(std::string role_name);
+  void AddFunctional(std::string role_name);
+
+  const std::vector<ConceptInclusion>& inclusions() const {
+    return inclusions_;
+  }
+  const std::vector<RoleInclusion>& role_inclusions() const {
+    return role_inclusions_;
+  }
+  const std::set<std::string>& transitive_roles() const {
+    return transitive_;
+  }
+  const std::set<std::string>& functional_roles() const {
+    return functional_;
+  }
+
+  /// Signature sig(O): concept names and role names occurring in O.
+  std::set<std::string> ConceptNames() const;
+  std::set<std::string> RoleNames() const;
+
+  /// Feature detection over the whole ontology.
+  DlFeatures Features() const;
+
+  /// All subconcepts sub(O) of concepts occurring in inclusions.
+  std::vector<Concept> Subconcepts() const;
+
+  /// The reflexive-transitive closure of the role hierarchy on role terms,
+  /// closed under inverse (R ⊑ S implies R⁻ ⊑ S⁻, paper proof of
+  /// Thm 3.6). Returns all super-roles of `r`, including `r` itself.
+  std::vector<Role> SuperRoles(const Role& r) const;
+
+  /// True if S is transitive (by name).
+  bool IsTransitive(const Role& r) const {
+    return !r.IsUniversal() && transitive_.count(r.name) > 0;
+  }
+
+  /// Size |O| (paper §2 symbol count).
+  std::size_t SymbolSize() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<ConceptInclusion> inclusions_;
+  std::vector<RoleInclusion> role_inclusions_;
+  std::set<std::string> transitive_;
+  std::set<std::string> functional_;
+};
+
+}  // namespace obda::dl
+
+#endif  // OBDA_DL_ONTOLOGY_H_

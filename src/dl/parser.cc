@@ -1,0 +1,253 @@
+#include "dl/parser.h"
+
+#include <cctype>
+
+#include "base/strings.h"
+
+namespace obda::dl {
+
+namespace {
+
+/// Hand-rolled recursive-descent parser over a single statement or
+/// concept expression.
+class ConceptParser {
+ public:
+  explicit ConceptParser(std::string_view text) : text_(text) {}
+
+  base::Result<Concept> ParseFullConcept() {
+    auto c = ParseDisjunction();
+    if (!c.ok()) return c;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return base::InvalidArgumentError("trailing input in concept: '" +
+                                        std::string(text_.substr(pos_)) +
+                                        "'");
+    }
+    return c;
+  }
+
+  base::Result<Concept> ParseDisjunction() {
+    auto left = ParseConjunction();
+    if (!left.ok()) return left;
+    Concept out = *left;
+    for (;;) {
+      SkipWs();
+      if (!Eat('|')) break;
+      auto right = ParseConjunction();
+      if (!right.ok()) return right;
+      out = Concept::Or(out, *right);
+    }
+    return out;
+  }
+
+  base::Result<Concept> ParseConjunction() {
+    auto left = ParseUnary();
+    if (!left.ok()) return left;
+    Concept out = *left;
+    for (;;) {
+      SkipWs();
+      if (!Eat('&')) break;
+      auto right = ParseUnary();
+      if (!right.ok()) return right;
+      out = Concept::And(out, *right);
+    }
+    return out;
+  }
+
+  base::Result<Concept> ParseUnary() {
+    SkipWs();
+    if (Eat('~')) {
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return Concept::Not(*inner);
+    }
+    if (Eat('(')) {
+      auto inner = ParseDisjunction();
+      if (!inner.ok()) return inner;
+      SkipWs();
+      if (!Eat(')')) return base::InvalidArgumentError("expected ')'");
+      return inner;
+    }
+    std::string ident = ReadIdent();
+    if (ident.empty()) {
+      return base::InvalidArgumentError("expected concept at offset " +
+                                        std::to_string(pos_));
+    }
+    if (ident == "top") return Concept::Top();
+    if (ident == "bot") return Concept::Bottom();
+    if (ident == "some" || ident == "all") {
+      auto role = ParseRole();
+      if (!role.ok()) return role.status();
+      SkipWs();
+      if (!Eat('.')) {
+        return base::InvalidArgumentError("expected '.' after role");
+      }
+      auto inner = ParseUnary();
+      if (!inner.ok()) return inner;
+      return ident == "some" ? Concept::Exists(*role, *inner)
+                             : Concept::Forall(*role, *inner);
+    }
+    return Concept::Name(std::move(ident));
+  }
+
+  base::Result<Role> ParseRole() {
+    SkipWs();
+    if (base::StartsWith(text_.substr(pos_), "U!")) {
+      pos_ += 2;
+      return Role::Universal();
+    }
+    std::string ident = ReadIdent();
+    if (ident.empty()) {
+      return base::InvalidArgumentError("expected role at offset " +
+                                        std::to_string(pos_));
+    }
+    if (ident == "inv") {
+      SkipWs();
+      if (!Eat('(')) return base::InvalidArgumentError("expected '('");
+      std::string name = ReadIdent();
+      if (name.empty()) return base::InvalidArgumentError("expected role name");
+      SkipWs();
+      if (!Eat(')')) return base::InvalidArgumentError("expected ')'");
+      return Role::InverseOf(std::move(name));
+    }
+    return Role::Named(std::move(ident));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  std::string ReadIdent() {
+    SkipWs();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '_' || text_[pos_] == '\'')) {
+      ++pos_;
+    }
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses "R" or "inv(R)" used as an argument to rsub/trans/func.
+base::Result<Role> ParseRoleArg(std::string_view text) {
+  ConceptParser p(text);
+  auto role = p.ParseRole();
+  if (!role.ok()) return role;
+  p.SkipWs();
+  if (p.pos_ != text.size()) {
+    return base::InvalidArgumentError("trailing input in role: '" +
+                                      std::string(text) + "'");
+  }
+  return role;
+}
+
+/// Splits "a , b" at the top-level comma (no nesting beyond inv()).
+base::Status SplitTwoArgs(std::string_view inner, std::string* a,
+                          std::string* b) {
+  int depth = 0;
+  for (std::size_t i = 0; i < inner.size(); ++i) {
+    if (inner[i] == '(') ++depth;
+    if (inner[i] == ')') --depth;
+    if (inner[i] == ',' && depth == 0) {
+      *a = std::string(base::StripWhitespace(inner.substr(0, i)));
+      *b = std::string(base::StripWhitespace(inner.substr(i + 1)));
+      return base::Status::Ok();
+    }
+  }
+  return base::InvalidArgumentError("expected two arguments in '" +
+                                    std::string(inner) + "'");
+}
+
+}  // namespace
+
+base::Result<Concept> ParseConcept(std::string_view text) {
+  ConceptParser parser(base::StripWhitespace(text));
+  return parser.ParseFullConcept();
+}
+
+base::Result<Ontology> ParseOntology(std::string_view text) {
+  Ontology out;
+  std::string normalized(text);
+  for (char& c : normalized) {
+    if (c == ';') c = '\n';
+  }
+  for (const std::string& raw_line : base::StrSplit(normalized, '\n')) {
+    std::string_view line = base::StripWhitespace(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    auto paren_stmt = [&](std::string_view keyword,
+                          std::string* inner) -> bool {
+      if (!base::StartsWith(line, keyword)) return false;
+      std::string_view rest =
+          base::StripWhitespace(line.substr(keyword.size()));
+      if (rest.empty() || rest.front() != '(' || rest.back() != ')') {
+        return false;
+      }
+      *inner = std::string(rest.substr(1, rest.size() - 2));
+      return true;
+    };
+
+    std::string inner;
+    if (paren_stmt("trans", &inner)) {
+      auto role = ParseRoleArg(inner);
+      if (!role.ok()) return role.status();
+      if (role->inverse || role->IsUniversal()) {
+        return base::InvalidArgumentError(
+            "trans() takes a plain role name");
+      }
+      out.AddTransitive(role->name);
+      continue;
+    }
+    if (paren_stmt("func", &inner)) {
+      auto role = ParseRoleArg(inner);
+      if (!role.ok()) return role.status();
+      if (role->inverse || role->IsUniversal()) {
+        return base::InvalidArgumentError("func() takes a plain role name");
+      }
+      out.AddFunctional(role->name);
+      continue;
+    }
+    if (paren_stmt("rsub", &inner)) {
+      std::string a;
+      std::string b;
+      auto split = SplitTwoArgs(inner, &a, &b);
+      if (!split.ok()) return split;
+      auto lhs = ParseRoleArg(a);
+      if (!lhs.ok()) return lhs.status();
+      auto rhs = ParseRoleArg(b);
+      if (!rhs.ok()) return rhs.status();
+      out.AddRoleInclusion(*lhs, *rhs);
+      continue;
+    }
+    // Concept inclusion: C [= D.
+    std::size_t arrow = line.find("[=");
+    if (arrow == std::string_view::npos) {
+      return base::InvalidArgumentError("cannot parse statement: '" +
+                                        std::string(line) + "'");
+    }
+    auto lhs = ParseConcept(line.substr(0, arrow));
+    if (!lhs.ok()) return lhs.status();
+    auto rhs = ParseConcept(line.substr(arrow + 2));
+    if (!rhs.ok()) return rhs.status();
+    out.AddInclusion(*lhs, *rhs);
+  }
+  return out;
+}
+
+}  // namespace obda::dl

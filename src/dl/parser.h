@@ -1,0 +1,30 @@
+#ifndef OBDA_DL_PARSER_H_
+#define OBDA_DL_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "dl/ontology.h"
+
+namespace obda::dl {
+
+/// Parses a concept expression. Grammar (loosest binding first):
+///   concept := conj ('|' conj)*
+///   conj    := unary ('&' unary)*
+///   unary   := '~' unary | 'some' role '.' unary | 'all' role '.' unary
+///            | 'top' | 'bot' | '(' concept ')' | NAME
+///   role    := NAME | 'inv' '(' NAME ')' | 'U!'
+/// Example: "some HasFinding.ErythemaMigrans & ~LymeDisease".
+base::Result<Concept> ParseConcept(std::string_view text);
+
+/// Parses an ontology: one statement per line (';' also separates):
+///   C [= D            concept inclusion
+///   rsub(R, S)        role inclusion (either side may be inv(N))
+///   trans(R)          transitive role
+///   func(R)           functional role
+/// Lines starting with '#' are comments.
+base::Result<Ontology> ParseOntology(std::string_view text);
+
+}  // namespace obda::dl
+
+#endif  // OBDA_DL_PARSER_H_

@@ -1,0 +1,477 @@
+#include "dl/reasoner.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+
+namespace obda::dl {
+
+namespace {
+
+/// True if the closure member kind is one that carries a decision bit.
+bool IsBaseKind(Concept::Kind k) {
+  return k == Concept::Kind::kName || k == Concept::Kind::kExists ||
+         k == Concept::Kind::kForall;
+}
+
+}  // namespace
+
+base::Result<TypeReasoner> TypeReasoner::Create(const Ontology& ontology,
+                                                std::vector<Concept> seeds,
+                                                int max_decision_bits) {
+  TypeReasoner r;
+  base::Status status = r.Build(ontology, std::move(seeds),
+                                max_decision_bits);
+  if (!status.ok()) return status;
+  return r;
+}
+
+base::Status TypeReasoner::Build(const Ontology& ontology,
+                                 std::vector<Concept> seeds,
+                                 int max_decision_bits) {
+  ontology_ = &ontology;
+
+  // --- Closure: TBox constraint concepts + seeds, closed under
+  // subconcepts and NNF complement; plus transitivity-propagation members.
+  std::vector<Concept> worklist;
+  for (const ConceptInclusion& ci : ontology.inclusions()) {
+    Concept g = Concept::Or(Concept::Not(ci.lhs), ci.rhs).Nnf();
+    worklist.push_back(g);
+    tbox_concepts_.push_back(g);
+  }
+  for (const Concept& s : seeds) worklist.push_back(s.Nnf());
+
+  auto add_member = [this, &worklist](const Concept& c) {
+    if (closure_index_.find(c.ToString()) != closure_index_.end()) return;
+    closure_index_[c.ToString()] = static_cast<int>(closure_.size());
+    closure_.push_back(c);
+    worklist.push_back(c);
+  };
+  while (!worklist.empty()) {
+    Concept c = worklist.back();
+    worklist.pop_back();
+    for (const Concept& sub : c.Subconcepts()) {
+      add_member(sub);
+      add_member(sub.NnfComplement());
+      // Transitivity propagation members: for ∀S.C and a transitive role
+      // term T with T ⊑* S, the edge rule needs ∀T.C (SHIQ-style).
+      if (sub.kind() == Concept::Kind::kForall &&
+          !sub.role().IsUniversal()) {
+        for (const std::string& trans_name : ontology.transitive_roles()) {
+          for (Role t_term : {Role::Named(trans_name),
+                              Role::InverseOf(trans_name)}) {
+            for (const Role& super : ontology.SuperRoles(t_term)) {
+              if (super == sub.role()) {
+                Concept prop = Concept::Forall(t_term, sub.child());
+                add_member(prop);
+                add_member(prop.NnfComplement());
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Complement index map.
+  complement_.resize(closure_.size());
+  for (std::size_t i = 0; i < closure_.size(); ++i) {
+    auto it = closure_index_.find(closure_[i].NnfComplement().ToString());
+    OBDA_CHECK(it != closure_index_.end());
+    complement_[i] = it->second;
+  }
+
+  // TBox member indices.
+  for (const Concept& g : tbox_concepts_) {
+    auto it = closure_index_.find(g.ToString());
+    OBDA_CHECK(it != closure_index_.end());
+    tbox_members_.push_back(it->second);
+  }
+
+  // Quantified entries and decision bits.
+  std::vector<int> decision_index;  // canonical closure indices
+  std::vector<int> bit_of(closure_.size(), -1);
+  for (std::size_t i = 0; i < closure_.size(); ++i) {
+    Concept::Kind k = closure_[i].kind();
+    if (k == Concept::Kind::kExists || k == Concept::Kind::kForall) {
+      QuantifiedEntry e;
+      e.closure_index = static_cast<int>(i);
+      e.is_exists = (k == Concept::Kind::kExists);
+      e.role = closure_[i].role();
+      auto child_it = closure_index_.find(closure_[i].child().ToString());
+      OBDA_CHECK(child_it != closure_index_.end());
+      e.child_index = child_it->second;
+      quantified_.push_back(e);
+    }
+    if (IsBaseKind(k)) {
+      int ci = static_cast<int>(i);
+      int comp = complement_[ci];
+      int canonical =
+          IsBaseKind(closure_[comp].kind()) ? std::min(ci, comp) : ci;
+      if (canonical == ci && bit_of[ci] < 0) {
+        bit_of[ci] = static_cast<int>(decision_index.size());
+        decision_index.push_back(ci);
+      }
+    }
+  }
+  const int num_bits = static_cast<int>(decision_index.size());
+  if (num_bits > max_decision_bits) {
+    return base::ResourceExhaustedError(
+        "type space too large: " + std::to_string(num_bits) +
+        " decision bits (max " + std::to_string(max_decision_bits) + ")");
+  }
+
+  // --- Enumerate candidate types.
+  std::vector<std::vector<char>> candidates;
+  const std::uint64_t limit = 1ull << num_bits;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    std::vector<char> base_values(closure_.size(), -1);
+    for (int b = 0; b < num_bits; ++b) {
+      int ci = decision_index[b];
+      bool value = ((mask >> b) & 1) != 0;
+      base_values[ci] = value ? 1 : 0;
+      int comp = complement_[ci];
+      if (IsBaseKind(closure_[comp].kind())) {
+        base_values[comp] = value ? 0 : 1;
+      }
+    }
+    std::vector<char> memo(closure_.size(), -1);
+    bool ok = true;
+    for (int g : tbox_members_) {
+      if (!EvaluateMember(g, base_values, &memo)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    // Materialize the full membership vector.
+    std::vector<char> type(closure_.size());
+    for (std::size_t i = 0; i < closure_.size(); ++i) {
+      type[i] =
+          EvaluateMember(static_cast<int>(i), base_values, &memo) ? 1 : 0;
+    }
+    candidates.push_back(std::move(type));
+  }
+
+  // --- Group candidates by U-pattern (branch key).
+  std::vector<int> u_members;
+  for (const QuantifiedEntry& e : quantified_) {
+    if (e.role.IsUniversal()) u_members.push_back(e.closure_index);
+  }
+  std::map<std::vector<char>, std::vector<int>> groups;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<char> key;
+    key.reserve(u_members.size());
+    for (int m : u_members) key.push_back(candidates[i][m]);
+    groups[key].push_back(static_cast<int>(i));
+  }
+
+  // --- Profile interning: edge compatibility depends only on the
+  // quantified-member profiles, so witness checks run per profile.
+  std::map<std::vector<char>, int> profile_ids;
+  std::vector<int> candidate_profile(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::vector<char> key = ProfileOf(candidates[i]);
+    auto [it, inserted] =
+        profile_ids.emplace(std::move(key),
+                            static_cast<int>(profile_reps_.size()));
+    if (inserted) profile_reps_.push_back(candidates[i]);
+    candidate_profile[i] = it->second;
+  }
+  const int num_profiles = static_cast<int>(profile_reps_.size());
+
+  // --- Per branch: filter by ∀U constraints, eliminate, validate ∃U.
+  for (auto& [key, members] : groups) {
+    (void)key;
+    std::vector<int> kept;
+    for (int idx : members) {
+      const std::vector<char>& t = candidates[idx];
+      bool ok = true;
+      for (const QuantifiedEntry& e : quantified_) {
+        if (!e.role.IsUniversal() || e.is_exists) continue;
+        // ∀U.C true in this branch => C holds in every member type.
+        if (t[e.closure_index] && !t[e.child_index]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) kept.push_back(idx);
+    }
+    // Eliminate: drop types whose non-universal existentials lack a
+    // witness among the kept types. Witness viability is a function of
+    // the witness's profile only.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      std::vector<int> alive_count(num_profiles, 0);
+      for (int idx : kept) ++alive_count[candidate_profile[idx]];
+      std::vector<int> next;
+      for (int idx : kept) {
+        const std::vector<char>& t = candidates[idx];
+        bool ok = true;
+        for (const QuantifiedEntry& e : quantified_) {
+          if (!e.is_exists || e.role.IsUniversal()) continue;
+          if (!t[e.closure_index]) continue;
+          bool witness = false;
+          for (int pid = 0; pid < num_profiles && !witness; ++pid) {
+            if (alive_count[pid] == 0) continue;
+            if (!profile_reps_[pid][e.child_index]) continue;
+            witness = ProfileCompatible(candidate_profile[idx], pid,
+                                        e.role);
+          }
+          if (!witness) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) next.push_back(idx);
+      }
+      if (next.size() != kept.size()) {
+        changed = true;
+        kept = std::move(next);
+      }
+    }
+    if (kept.empty()) continue;
+    // Validate ∃U members of this branch pattern.
+    bool branch_ok = true;
+    for (const QuantifiedEntry& e : quantified_) {
+      if (!e.role.IsUniversal() || !e.is_exists) continue;
+      if (!candidates[kept[0]][e.closure_index]) continue;  // false: fine
+      bool witness = false;
+      for (int idx : kept) {
+        if (candidates[idx][e.child_index]) {
+          witness = true;
+          break;
+        }
+      }
+      if (!witness) {
+        branch_ok = false;
+        break;
+      }
+    }
+    if (!branch_ok) continue;
+    // Record the branch.
+    int branch = num_branches_++;
+    branch_types_.emplace_back();
+    for (int idx : kept) {
+      TypeId id = static_cast<TypeId>(types_.size());
+      types_.push_back(candidates[idx]);
+      type_profile_.push_back(candidate_profile[idx]);
+      branch_of_.push_back(branch);
+      branch_types_[branch].push_back(id);
+    }
+  }
+  return base::Status::Ok();
+}
+
+std::vector<char> TypeReasoner::ProfileOf(
+    const std::vector<char>& type) const {
+  std::vector<char> key;
+  key.reserve(2 * quantified_.size());
+  for (const QuantifiedEntry& e : quantified_) {
+    key.push_back(type[e.closure_index]);
+    key.push_back(type[e.child_index]);
+  }
+  return key;
+}
+
+bool TypeReasoner::ProfileCompatible(int p1, int p2, const Role& r) const {
+  const int np = static_cast<int>(profile_reps_.size());
+  std::vector<signed char>& cache = compat_cache_[r.ToString()];
+  if (cache.empty()) cache.assign(static_cast<std::size_t>(np) * np, -1);
+  signed char& slot = cache[static_cast<std::size_t>(p1) * np + p2];
+  if (slot < 0) {
+    slot = EdgeCompatibleValues(profile_reps_[p1], profile_reps_[p2], r)
+               ? 1
+               : 0;
+  }
+  return slot == 1;
+}
+
+bool TypeReasoner::EvaluateMember(int index,
+                                  const std::vector<char>& base_values,
+                                  std::vector<char>* memo) const {
+  if ((*memo)[index] >= 0) return (*memo)[index] != 0;
+  const Concept& c = closure_[index];
+  bool value = false;
+  switch (c.kind()) {
+    case Concept::Kind::kTop:
+      value = true;
+      break;
+    case Concept::Kind::kBottom:
+      value = false;
+      break;
+    case Concept::Kind::kName:
+    case Concept::Kind::kExists:
+    case Concept::Kind::kForall: {
+      if (base_values[index] >= 0) {
+        value = base_values[index] != 0;
+      } else {
+        // Non-canonical member of a pair: negation of its complement.
+        int comp = complement_[index];
+        OBDA_CHECK_GE(base_values[comp], 0);
+        value = base_values[comp] == 0;
+      }
+      break;
+    }
+    case Concept::Kind::kNot: {
+      auto it = closure_index_.find(c.child().ToString());
+      OBDA_CHECK(it != closure_index_.end());
+      value = !EvaluateMember(it->second, base_values, memo);
+      break;
+    }
+    case Concept::Kind::kAnd:
+    case Concept::Kind::kOr: {
+      auto l = closure_index_.find(c.child(0).ToString());
+      auto r = closure_index_.find(c.child(1).ToString());
+      OBDA_CHECK(l != closure_index_.end());
+      OBDA_CHECK(r != closure_index_.end());
+      bool lv = EvaluateMember(l->second, base_values, memo);
+      bool rv = EvaluateMember(r->second, base_values, memo);
+      value = c.kind() == Concept::Kind::kAnd ? (lv && rv) : (lv || rv);
+      break;
+    }
+  }
+  (*memo)[index] = value ? 1 : 0;
+  return value;
+}
+
+bool TypeReasoner::EdgeCompatibleValues(const std::vector<char>& t1,
+                                        const std::vector<char>& t2,
+                                        const Role& r) const {
+  OBDA_CHECK(!r.IsUniversal());
+  auto check_direction = [this](const std::vector<char>& from,
+                                const std::vector<char>& to,
+                                const Role& edge) {
+    const std::vector<Role> supers = ontology_->SuperRoles(edge);
+    for (const QuantifiedEntry& e : quantified_) {
+      if (e.is_exists || e.role.IsUniversal()) continue;
+      if (!from[e.closure_index]) continue;
+      // ∀S.C with S a super-role of the edge: filler must hold at `to`.
+      bool applies = false;
+      for (const Role& s : supers) {
+        if (s == e.role) {
+          applies = true;
+          break;
+        }
+      }
+      if (applies && !to[e.child_index]) return false;
+      // Transitivity: for transitive T with edge ⊑* T ⊑* S, propagate
+      // ∀T.C to `to`.
+      for (const Role& t_term : supers) {
+        if (!ontology_->IsTransitive(t_term)) continue;
+        bool t_below_s = false;
+        for (const Role& s2 : ontology_->SuperRoles(t_term)) {
+          if (s2 == e.role) {
+            t_below_s = true;
+            break;
+          }
+        }
+        if (!t_below_s) continue;
+        Concept prop = Concept::Forall(t_term, closure_[e.child_index]);
+        auto it = closure_index_.find(prop.ToString());
+        OBDA_CHECK(it != closure_index_.end());
+        if (!to[it->second]) return false;
+      }
+    }
+    return true;
+  };
+  return check_direction(t1, t2, r) && check_direction(t2, t1, r.Inverted());
+}
+
+int TypeReasoner::IndexOf(const Concept& c) const {
+  auto it = closure_index_.find(c.Nnf().ToString());
+  if (it == closure_index_.end()) return -1;
+  return it->second;
+}
+
+bool TypeReasoner::TypeContains(TypeId t, const Concept& c) const {
+  int index = IndexOf(c);
+  OBDA_CHECK_GE(index, 0);
+  return TypeContainsIndex(t, index);
+}
+
+bool TypeReasoner::TypeContainsIndex(TypeId t, int closure_index) const {
+  OBDA_CHECK_LT(static_cast<std::size_t>(t), types_.size());
+  OBDA_CHECK_LT(static_cast<std::size_t>(closure_index), closure_.size());
+  return types_[t][closure_index] != 0;
+}
+
+std::vector<std::string> TypeReasoner::TypeConceptNames(TypeId t) const {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < closure_.size(); ++i) {
+    if (closure_[i].kind() == Concept::Kind::kName && types_[t][i]) {
+      out.push_back(closure_[i].name());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<TypeId>& TypeReasoner::BranchTypes(int branch) const {
+  OBDA_CHECK_GE(branch, 0);
+  OBDA_CHECK_LT(branch, num_branches_);
+  return branch_types_[branch];
+}
+
+std::string TypeReasoner::TypeToString(TypeId t) const {
+  std::string out = "{";
+  bool first = true;
+  for (std::size_t i = 0; i < closure_.size(); ++i) {
+    Concept::Kind k = closure_[i].kind();
+    if (!types_[t][i]) continue;
+    if (k != Concept::Kind::kName && k != Concept::Kind::kExists &&
+        k != Concept::Kind::kForall) {
+      continue;
+    }
+    if (!first) out += ",";
+    first = false;
+    out += closure_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+bool TypeReasoner::IsSatisfiable(const Concept& c) const {
+  int index = IndexOf(c);
+  OBDA_CHECK_GE(index, 0);
+  for (TypeId t = 0; t < static_cast<TypeId>(types_.size()); ++t) {
+    if (types_[t][index]) return true;
+  }
+  return false;
+}
+
+bool TypeReasoner::IsSubsumed(const Concept& c, const Concept& d) const {
+  int ci = IndexOf(c);
+  int di = IndexOf(d);
+  OBDA_CHECK_GE(ci, 0);
+  OBDA_CHECK_GE(di, 0);
+  for (TypeId t = 0; t < static_cast<TypeId>(types_.size()); ++t) {
+    if (types_[t][ci] && !types_[t][di]) return false;
+  }
+  return true;
+}
+
+bool TypeReasoner::EdgeCompatible(TypeId t1, TypeId t2,
+                                  const Role& r) const {
+  OBDA_CHECK_LT(static_cast<std::size_t>(t1), types_.size());
+  OBDA_CHECK_LT(static_cast<std::size_t>(t2), types_.size());
+  if (branch_of_[t1] != branch_of_[t2]) return false;
+  return ProfileCompatible(type_profile_[t1], type_profile_[t2], r);
+}
+
+base::Result<bool> IsSatisfiable(const Ontology& ontology,
+                                 const Concept& c) {
+  auto reasoner = TypeReasoner::Create(ontology, {c});
+  if (!reasoner.ok()) return reasoner.status();
+  return reasoner->IsSatisfiable(c);
+}
+
+base::Result<bool> IsSubsumed(const Ontology& ontology, const Concept& c,
+                              const Concept& d) {
+  auto reasoner = TypeReasoner::Create(ontology, {c, d});
+  if (!reasoner.ok()) return reasoner.status();
+  return reasoner->IsSubsumed(c, d);
+}
+
+}  // namespace obda::dl

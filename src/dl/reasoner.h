@@ -1,0 +1,141 @@
+#ifndef OBDA_DL_REASONER_H_
+#define OBDA_DL_REASONER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "dl/ontology.h"
+
+namespace obda::dl {
+
+/// Index of a type within the reasoner's type table.
+using TypeId = int;
+
+/// Type-elimination reasoner for ALC with role hierarchies (H), inverse
+/// roles (I), transitive roles (S, via the standard ∀-propagation rule)
+/// and the universal role (U, via branch enumeration over the globally
+/// uniform truth values of U-quantified concepts). Functional roles are
+/// NOT interpreted (paper uses ALCF only for negative results; DESIGN.md
+/// §5.5).
+///
+/// The reasoner enumerates all ontology-consistent types over the closure
+/// cl = sub(O) ∪ seeds (closed under NNF complement) and eliminates types
+/// whose existential constraints cannot be witnessed. Surviving types are
+/// exactly the types realizable in a (tree-shaped) model; they drive the
+/// OMQ→MDDlog and OMQ→CSP translations and all realizability checks.
+///
+/// Branches: with the universal role, the truth of ∃U.C/∀U.C concepts is
+/// uniform across a model, so types are grouped by their "U-pattern";
+/// each viable pattern forms a branch, and any single model draws its
+/// types from one branch only. Without U there is exactly one branch.
+class TypeReasoner {
+ public:
+  /// Builds the reasoner. `seeds` are additional concepts tracked in every
+  /// type (e.g. the concept names of a data schema, a query concept).
+  /// Fails with ResourceExhausted if the type space exceeds
+  /// 2^`max_decision_bits`.
+  static base::Result<TypeReasoner> Create(const Ontology& ontology,
+                                           std::vector<Concept> seeds = {},
+                                           int max_decision_bits = 22);
+
+  // --- Closure ------------------------------------------------------------
+
+  /// Closure members (all in NNF).
+  const std::vector<Concept>& closure() const { return closure_; }
+  /// Index of `c` (after NNF) in the closure, or -1.
+  int IndexOf(const Concept& c) const;
+
+  // --- Types ---------------------------------------------------------------
+
+  /// Number of types that survived elimination across all branches.
+  std::size_t NumSurvivingTypes() const { return types_.size(); }
+  /// Membership test; `c` must be in the closure.
+  bool TypeContains(TypeId t, const Concept& c) const;
+  bool TypeContainsIndex(TypeId t, int closure_index) const;
+  /// Concept names (from the closure) contained in type `t`.
+  std::vector<std::string> TypeConceptNames(TypeId t) const;
+  /// Branch of type `t`.
+  int BranchOf(TypeId t) const { return branch_of_[t]; }
+  /// Number of viable branches. Branch ids are [0, NumBranches()).
+  int NumBranches() const { return num_branches_; }
+  /// Types of a branch.
+  const std::vector<TypeId>& BranchTypes(int branch) const;
+  /// Stable human-readable rendering of a type (concept names + quantified
+  /// members), for debugging and template element naming.
+  std::string TypeToString(TypeId t) const;
+
+  // --- Reasoning ------------------------------------------------------------
+
+  /// Satisfiability of a closure concept w.r.t. the ontology: some
+  /// surviving type contains it.
+  bool IsSatisfiable(const Concept& c) const;
+  /// O ⊨ C ⊑ D for closure concepts: no surviving type has C but not D.
+  bool IsSubsumed(const Concept& c, const Concept& d) const;
+
+  /// May an R-edge run from an element of type `t1` to an element of type
+  /// `t2` in a model? Checks the ∀-constraints in both directions through
+  /// the role hierarchy, with transitivity propagation; both types must
+  /// belong to the same branch. `r` must not be the universal role.
+  bool EdgeCompatible(TypeId t1, TypeId t2, const Role& r) const;
+
+ private:
+  TypeReasoner() = default;
+
+  struct QuantifiedEntry {
+    int closure_index;  // of the ∃/∀ concept
+    bool is_exists;
+    Role role;
+    int child_index;  // closure index of the filler
+  };
+
+  base::Status Build(const Ontology& ontology, std::vector<Concept> seeds,
+                     int max_decision_bits);
+  bool EvaluateMember(int index, const std::vector<char>& base_values,
+                      std::vector<char>* memo) const;
+  /// Edge compatibility on raw membership vectors (used during
+  /// elimination, before TypeIds exist).
+  bool EdgeCompatibleValues(const std::vector<char>& t1,
+                            const std::vector<char>& t2,
+                            const Role& r) const;
+
+  /// Profile of a type: the (member, filler) truth bits of every
+  /// quantified closure entry. Edge compatibility depends only on the
+  /// two endpoint profiles, which makes the elimination loop and
+  /// EdgeCompatible O(#profiles) instead of O(#types).
+  std::vector<char> ProfileOf(const std::vector<char>& type) const;
+  /// Cached profile-level compatibility (lazy, via representatives).
+  bool ProfileCompatible(int p1, int p2, const Role& r) const;
+
+  const Ontology* ontology_ = nullptr;
+  std::vector<Concept> closure_;
+  std::map<std::string, int> closure_index_;
+  std::vector<int> complement_;  // closure index -> complement index
+  std::vector<QuantifiedEntry> quantified_;   // all ∃/∀ members
+  std::vector<Concept> tbox_concepts_;  // NNF of ¬C ⊔ D per inclusion
+  std::vector<int> tbox_members_;  // closure indices that every type holds
+
+  /// Profile machinery (populated during Build).
+  std::vector<std::vector<char>> profile_reps_;  // full vector per profile
+  std::vector<int> type_profile_;                // surviving type -> pid
+  mutable std::map<std::string, std::vector<signed char>> compat_cache_;
+
+  /// Surviving types: bitsets over closure indices.
+  std::vector<std::vector<char>> types_;
+  std::vector<int> branch_of_;
+  int num_branches_ = 0;
+  std::vector<std::vector<TypeId>> branch_types_;
+};
+
+/// Convenience: satisfiability of `c` w.r.t. `ontology` (builds a
+/// throwaway reasoner seeded with `c`).
+base::Result<bool> IsSatisfiable(const Ontology& ontology, const Concept& c);
+
+/// Convenience: O ⊨ C ⊑ D.
+base::Result<bool> IsSubsumed(const Ontology& ontology, const Concept& c,
+                              const Concept& d);
+
+}  // namespace obda::dl
+
+#endif  // OBDA_DL_REASONER_H_

@@ -1,0 +1,225 @@
+#include "dl/transform.h"
+
+#include <set>
+
+#include "base/check.h"
+
+namespace obda::dl {
+
+Concept NormalizeToExists(const Concept& c) {
+  switch (c.kind()) {
+    case Concept::Kind::kTop:
+    case Concept::Kind::kBottom:
+    case Concept::Kind::kName:
+      return c;
+    case Concept::Kind::kNot:
+      return Concept::Not(NormalizeToExists(c.child()));
+    case Concept::Kind::kAnd:
+      return Concept::And(NormalizeToExists(c.child(0)),
+                          NormalizeToExists(c.child(1)));
+    case Concept::Kind::kOr:
+      // C ⊔ D = ¬(¬C ⊓ ¬D)
+      return Concept::Not(
+          Concept::And(Concept::Not(NormalizeToExists(c.child(0))),
+                       Concept::Not(NormalizeToExists(c.child(1)))));
+    case Concept::Kind::kExists:
+      return Concept::Exists(c.role(), NormalizeToExists(c.child()));
+    case Concept::Kind::kForall:
+      // ∀R.C = ¬∃R.¬C
+      return Concept::Not(Concept::Exists(
+          c.role(), Concept::Not(NormalizeToExists(c.child()))));
+  }
+  OBDA_CHECK(false);
+  return Concept();
+}
+
+namespace {
+
+/// Replaces every inverse role R⁻ in `c` by the fresh name inv_name[R].
+Concept ReplaceInverses(const Concept& c,
+                        const std::map<std::string, std::string>& inv_name) {
+  switch (c.kind()) {
+    case Concept::Kind::kTop:
+    case Concept::Kind::kBottom:
+    case Concept::Kind::kName:
+      return c;
+    case Concept::Kind::kNot:
+      return Concept::Not(ReplaceInverses(c.child(), inv_name));
+    case Concept::Kind::kAnd:
+      return Concept::And(ReplaceInverses(c.child(0), inv_name),
+                          ReplaceInverses(c.child(1), inv_name));
+    case Concept::Kind::kOr:
+      return Concept::Or(ReplaceInverses(c.child(0), inv_name),
+                         ReplaceInverses(c.child(1), inv_name));
+    case Concept::Kind::kExists:
+    case Concept::Kind::kForall: {
+      Role role = c.role();
+      if (!role.IsUniversal() && role.inverse) {
+        role = Role::Named(inv_name.at(role.name));
+      }
+      Concept inner = ReplaceInverses(c.child(), inv_name);
+      return c.kind() == Concept::Kind::kExists
+                 ? Concept::Exists(role, inner)
+                 : Concept::Forall(role, inner);
+    }
+  }
+  OBDA_CHECK(false);
+  return Concept();
+}
+
+}  // namespace
+
+InverseElimination EliminateInverseRoles(const Ontology& ontology) {
+  OBDA_CHECK(ontology.transitive_roles().empty());
+  OBDA_CHECK(ontology.functional_roles().empty());
+
+  // Fresh names for all role names (harmless for roles never inverted).
+  InverseElimination out;
+  for (const std::string& r : ontology.RoleNames()) {
+    out.inverse_name[r] = r + "_inv";
+  }
+
+  // Normalize all inclusion sides to {¬, ⊓, ∃}.
+  std::vector<ConceptInclusion> normalized;
+  for (const ConceptInclusion& ci : ontology.inclusions()) {
+    normalized.push_back(ConceptInclusion{NormalizeToExists(ci.lhs),
+                                          NormalizeToExists(ci.rhs)});
+  }
+
+  // Collect existential subconcepts of the normalized ontology.
+  std::set<std::string> seen;
+  std::vector<Concept> existentials;
+  for (const ConceptInclusion& ci : normalized) {
+    for (const Concept& side : {ci.lhs, ci.rhs}) {
+      for (const Concept& sub : side.Subconcepts()) {
+        if (sub.kind() == Concept::Kind::kExists &&
+            !sub.role().IsUniversal() && seen.insert(sub.ToString()).second) {
+          existentials.push_back(sub);
+        }
+      }
+    }
+  }
+
+  // Rewritten inclusions.
+  for (const ConceptInclusion& ci : normalized) {
+    out.ontology.AddInclusion(ReplaceInverses(ci.lhs, out.inverse_name),
+                              ReplaceInverses(ci.rhs, out.inverse_name));
+  }
+
+  // Bridging axioms.
+  for (const Concept& ex : existentials) {
+    Concept filler_prime = ReplaceInverses(ex.child(), out.inverse_name);
+    const Role& r = ex.role();
+    if (!r.inverse) {
+      // ∃R.C ∈ sub(O):  C' ⊑ ∀Rinv.∃R.C'
+      out.ontology.AddInclusion(
+          filler_prime,
+          Concept::Forall(Role::Named(out.inverse_name.at(r.name)),
+                          Concept::Exists(Role::Named(r.name),
+                                          filler_prime)));
+    } else {
+      // ∃R⁻.C ∈ sub(O):  C' ⊑ ∀R.∃Rinv.C'
+      out.ontology.AddInclusion(
+          filler_prime,
+          Concept::Forall(
+              Role::Named(r.name),
+              Concept::Exists(Role::Named(out.inverse_name.at(r.name)),
+                              filler_prime)));
+    }
+  }
+
+  // Role inclusions: close under inverse, then rename inverse terms.
+  auto rename = [&out](const Role& r) {
+    OBDA_CHECK(!r.IsUniversal());
+    return r.inverse ? Role::Named(out.inverse_name.at(r.name)) : r;
+  };
+  for (const RoleInclusion& ri : ontology.role_inclusions()) {
+    out.ontology.AddRoleInclusion(rename(ri.lhs), rename(ri.rhs));
+    out.ontology.AddRoleInclusion(rename(ri.lhs.Inverted()),
+                                  rename(ri.rhs.Inverted()));
+  }
+  return out;
+}
+
+Ontology EliminateTransitivity(const Ontology& ontology) {
+  Ontology out;
+  for (const ConceptInclusion& ci : ontology.inclusions()) {
+    out.AddInclusion(ci.lhs, ci.rhs);
+  }
+  for (const RoleInclusion& ri : ontology.role_inclusions()) {
+    out.AddRoleInclusion(ri.lhs, ri.rhs);
+  }
+  for (const std::string& f : ontology.functional_roles()) {
+    out.AddFunctional(f);
+  }
+  // trans(R): add ∀S.C ⊑ ∀S.∀S.C for each subconcept C and each role term
+  // S ∈ {R, R⁻} through which R's transitivity is visible. (The paper's
+  // statement covers trans(R) with ∀R.C ⊑ ∀R.∀R.C for C ∈ sub(O).)
+  // The propagation axioms must range over the NNF-complement closure of
+  // sub(O), not just the syntactic subconcepts: e.g. ∃R.Bad ⊑ Alarm only
+  // propagates through ∀R.¬Bad, which arises as a complement. (The
+  // paper's "for each C ∈ sub(O)" prose is too narrow — found by
+  // property testing against the native-transitivity reasoner; see
+  // EXPERIMENTS.md.)
+  std::vector<Concept> subs;
+  {
+    std::set<std::string> seen;
+    for (const Concept& c : ontology.Subconcepts()) {
+      for (const Concept& variant : {c.Nnf(), c.NnfComplement()}) {
+        if (seen.insert(variant.ToString()).second) {
+          subs.push_back(variant);
+        }
+      }
+    }
+  }
+  const bool has_inverses = ontology.Features().inverse_roles;
+  for (const std::string& trans_role : ontology.transitive_roles()) {
+    std::vector<Role> terms = {Role::Named(trans_role)};
+    // R⁻ is transitive iff R is; the backward axioms only matter when the
+    // ontology can see edges backwards.
+    if (has_inverses) terms.push_back(Role::InverseOf(trans_role));
+    for (const Role& s : terms) {
+      for (const Concept& c : subs) {
+        out.AddInclusion(Concept::Forall(s, c),
+                         Concept::Forall(s, Concept::Forall(s, c)));
+      }
+    }
+  }
+  return out;
+}
+
+Ontology EliminateRoleHierarchies(const Ontology& ontology) {
+  OBDA_CHECK(ontology.transitive_roles().empty());
+  OBDA_CHECK(!ontology.Features().inverse_roles);
+  Ontology out;
+  for (const ConceptInclusion& ci : ontology.inclusions()) {
+    out.AddInclusion(ci.lhs, ci.rhs);
+  }
+  for (const std::string& f : ontology.functional_roles()) {
+    out.AddFunctional(f);
+  }
+  // Same closure subtlety as in EliminateTransitivity: the ∀S.C ⊑ ∀R.C
+  // axioms must cover complement concepts too.
+  std::vector<Concept> subs;
+  {
+    std::set<std::string> seen;
+    for (const Concept& c : ontology.Subconcepts()) {
+      for (const Concept& variant : {c.Nnf(), c.NnfComplement()}) {
+        if (seen.insert(variant.ToString()).second) {
+          subs.push_back(variant);
+        }
+      }
+    }
+  }
+  for (const RoleInclusion& ri : ontology.role_inclusions()) {
+    OBDA_CHECK(!ri.lhs.inverse);
+    OBDA_CHECK(!ri.rhs.inverse);
+    for (const Concept& c : subs) {
+      out.AddInclusion(Concept::Forall(ri.rhs, c),
+                       Concept::Forall(ri.lhs, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace obda::dl

@@ -1,0 +1,53 @@
+#ifndef OBDA_DL_TRANSFORM_H_
+#define OBDA_DL_TRANSFORM_H_
+
+#include <map>
+#include <string>
+
+#include "dl/ontology.h"
+
+namespace obda::dl {
+
+/// Result of inverse-role elimination (paper, proof of Thm 3.6(1)):
+/// the rewritten ontology plus the map from original role names R to the
+/// fresh simulation names Rinv (used by the OMQ layer to rewrite UCQ
+/// atoms R(x,y) into R(x,y) ∨ Rinv(y,x)).
+struct InverseElimination {
+  Ontology ontology;
+  /// original role name -> fresh inverse-simulation role name.
+  std::map<std::string, std::string> inverse_name;
+};
+
+/// Eliminates inverse roles from an ALCHI(U) ontology using the folklore
+/// simulation technique (proof of Thm 3.6(1)):
+///  - normalize concepts to {¬, ⊓, ∃};
+///  - close role inclusions under inverse;
+///  - replace each R⁻ by a fresh role name Rinv;
+///  - add C' ⊑ ∀Rinv.∃R.C' for each ∃R.C in sub(O) with R a role name,
+///    and C' ⊑ ∀R.∃Rinv.C' for each ∃R⁻.C in sub(O).
+/// Certain answers of AQs are preserved outright; UCQs must additionally
+/// be rewritten with `inverse_name`. The input must not use transitivity
+/// (eliminate it first) or functional roles.
+InverseElimination EliminateInverseRoles(const Ontology& ontology);
+
+/// Eliminates transitivity statements (paper, proof of Thm 3.11, after
+/// [Horrocks & Sattler 1999]): each trans(R) is replaced by the axioms
+/// ∀S.C ⊑ ∀S.∀S.C for every super-role... — concretely, for every
+/// ∀R.C with C ∈ sub(O): ∀R.C ⊑ ∀R.∀R.C. Preserves certain answers of
+/// AQs (not of arbitrary UCQs — (S,UCQ) is strictly more expressive,
+/// Thm 3.10).
+Ontology EliminateTransitivity(const Ontology& ontology);
+
+/// Eliminates role inclusions (paper, proof of Thm 3.11): each R ⊑ S is
+/// replaced by the concept inclusions ∀S.C ⊑ ∀R.C for every C ∈ sub(O).
+/// The input must be inverse-free (eliminate inverses first). Preserves
+/// certain answers of AQs.
+Ontology EliminateRoleHierarchies(const Ontology& ontology);
+
+/// Rewrites a concept to the {¬, ⊓, ∃} fragment (⊔ and ∀ expanded via
+/// De Morgan duals).
+Concept NormalizeToExists(const Concept& c);
+
+}  // namespace obda::dl
+
+#endif  // OBDA_DL_TRANSFORM_H_

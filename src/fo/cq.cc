@@ -1,0 +1,265 @@
+#include "fo/cq.h"
+
+#include <algorithm>
+
+#include "base/check.h"
+#include "data/homomorphism.h"
+#include "data/ops.h"
+
+namespace obda::fo {
+
+void ConjunctiveQuery::AddAtom(data::RelationId rel, std::vector<QVar> vars) {
+  OBDA_CHECK_LT(rel, schema_.NumRelations());
+  OBDA_CHECK_EQ(static_cast<int>(vars.size()), schema_.Arity(rel));
+  for (QVar v : vars) {
+    OBDA_CHECK_GE(v, 0);
+    OBDA_CHECK_LT(v, num_vars_);
+  }
+  atoms_.push_back(QueryAtom{rel, std::move(vars)});
+}
+
+base::Status ConjunctiveQuery::AddAtomByName(std::string_view rel,
+                                             const std::vector<QVar>& vars) {
+  auto id = schema_.FindRelation(rel);
+  if (!id.has_value()) {
+    return base::NotFoundError("unknown relation " + std::string(rel));
+  }
+  if (schema_.Arity(*id) != static_cast<int>(vars.size())) {
+    return base::InvalidArgumentError("arity mismatch for " +
+                                      std::string(rel));
+  }
+  AddAtom(*id, vars);
+  return base::Status::Ok();
+}
+
+data::MarkedInstance ConjunctiveQuery::CanonicalInstance() const {
+  data::Instance canon(schema_);
+  for (QVar v = 0; v < num_vars_; ++v) {
+    canon.AddConstant("v" + std::to_string(v));
+  }
+  for (const QueryAtom& a : atoms_) {
+    std::vector<data::ConstId> args;
+    args.reserve(a.vars.size());
+    for (QVar v : a.vars) args.push_back(static_cast<data::ConstId>(v));
+    canon.AddFact(a.rel, args);
+  }
+  data::MarkedInstance out{std::move(canon), {}};
+  for (int i = 0; i < arity_; ++i) {
+    out.marks.push_back(static_cast<data::ConstId>(i));
+  }
+  return out;
+}
+
+bool ConjunctiveQuery::Matches(const data::Instance& instance,
+                               const std::vector<data::ConstId>& answer)
+    const {
+  OBDA_CHECK_EQ(static_cast<int>(answer.size()), arity_);
+  data::MarkedInstance canon = CanonicalInstance();
+  std::vector<std::pair<data::ConstId, data::ConstId>> pinned;
+  for (int i = 0; i < arity_; ++i) {
+    pinned.emplace_back(canon.marks[i], answer[i]);
+  }
+  data::HomResult r =
+      data::FindHomomorphism(canon.instance, instance, pinned);
+  OBDA_CHECK(!r.budget_exhausted);
+  return r.found;
+}
+
+std::vector<std::vector<data::ConstId>> ConjunctiveQuery::Evaluate(
+    const data::Instance& instance) const {
+  std::vector<std::vector<data::ConstId>> out;
+  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  if (arity_ == 0) {
+    if (Matches(instance, {})) out.push_back({});
+    return out;
+  }
+  if (adom.empty()) return out;
+  // Odometer over adom^arity.
+  std::vector<std::size_t> idx(static_cast<std::size_t>(arity_), 0);
+  for (;;) {
+    std::vector<data::ConstId> tuple;
+    tuple.reserve(arity_);
+    for (int i = 0; i < arity_; ++i) tuple.push_back(adom[idx[i]]);
+    if (Matches(instance, tuple)) out.push_back(tuple);
+    int pos = arity_ - 1;
+    while (pos >= 0 && ++idx[pos] == adom.size()) {
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ConjunctiveQuery ConjunctiveQuery::MergeVariables(
+    const std::vector<QVar>& representative) const {
+  OBDA_CHECK_EQ(static_cast<int>(representative.size()), num_vars_);
+  // Resolve to class roots (representative must be idempotent).
+  for (QVar v = 0; v < num_vars_; ++v) {
+    OBDA_CHECK_EQ(representative[representative[v]], representative[v]);
+  }
+  // Answer variables may only be class roots; merging two answer
+  // variables is unsupported (see header).
+  for (QVar v = 0; v < arity_; ++v) {
+    OBDA_CHECK_EQ(representative[v], v);
+  }
+  // Renumber compactly: answer vars first, then surviving existentials.
+  std::vector<QVar> new_id(static_cast<std::size_t>(num_vars_), -1);
+  int next = 0;
+  for (QVar v = 0; v < arity_; ++v) new_id[v] = next++;
+  for (QVar v = arity_; v < num_vars_; ++v) {
+    if (representative[v] == v && new_id[v] < 0) new_id[v] = next++;
+  }
+  ConjunctiveQuery out(schema_, arity_);
+  while (out.num_vars_ < next) out.AddVariable();
+  for (const QueryAtom& a : atoms_) {
+    std::vector<QVar> vars;
+    vars.reserve(a.vars.size());
+    for (QVar v : a.vars) vars.push_back(new_id[representative[v]]);
+    out.AddAtom(a.rel, std::move(vars));
+  }
+  // Deduplicate atoms.
+  std::sort(out.atoms_.begin(), out.atoms_.end(),
+            [](const QueryAtom& x, const QueryAtom& y) {
+              return std::tie(x.rel, x.vars) < std::tie(y.rel, y.vars);
+            });
+  out.atoms_.erase(std::unique(out.atoms_.begin(), out.atoms_.end(),
+                               [](const QueryAtom& x, const QueryAtom& y) {
+                                 return x.rel == y.rel && x.vars == y.vars;
+                               }),
+                   out.atoms_.end());
+  return out;
+}
+
+std::size_t ConjunctiveQuery::SymbolSize() const {
+  // ∃ per quantified variable, plus per atom: relation, parens, variables,
+  // commas, plus connectives.
+  std::size_t size = static_cast<std::size_t>(num_vars_ - arity_);
+  for (const QueryAtom& a : atoms_) {
+    size += 3 + 2 * a.vars.size();
+  }
+  if (!atoms_.empty()) size += atoms_.size() - 1;
+  return size;
+}
+
+std::string ConjunctiveQuery::ToString() const {
+  std::string out = "q(";
+  for (int i = 0; i < arity_; ++i) {
+    if (i > 0) out += ",";
+    out += "x" + std::to_string(i);
+  }
+  out += ") = ";
+  if (num_vars_ > arity_) {
+    out += "∃";
+    for (QVar v = arity_; v < num_vars_; ++v) {
+      out += "x" + std::to_string(v);
+      if (v + 1 < num_vars_) out += ",";
+    }
+    out += ". ";
+  }
+  if (atoms_.empty()) out += "⊤";
+  for (std::size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out += " ∧ ";
+    out += schema_.RelationName(atoms_[i].rel);
+    out += "(";
+    for (std::size_t j = 0; j < atoms_[i].vars.size(); ++j) {
+      if (j > 0) out += ",";
+      out += "x" + std::to_string(atoms_[i].vars[j]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+void UnionOfCq::AddDisjunct(ConjunctiveQuery cq) {
+  OBDA_CHECK_EQ(cq.arity(), arity_);
+  OBDA_CHECK(cq.schema().LayoutCompatible(schema_));
+  disjuncts_.push_back(std::move(cq));
+}
+
+std::vector<std::vector<data::ConstId>> UnionOfCq::Evaluate(
+    const data::Instance& instance) const {
+  std::vector<std::vector<data::ConstId>> out;
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    auto part = cq.Evaluate(instance);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool UnionOfCq::Matches(const data::Instance& instance,
+                        const std::vector<data::ConstId>& answer) const {
+  for (const ConjunctiveQuery& cq : disjuncts_) {
+    if (cq.Matches(instance, answer)) return true;
+  }
+  return false;
+}
+
+std::size_t UnionOfCq::SymbolSize() const {
+  std::size_t size = disjuncts_.empty() ? 0 : disjuncts_.size() - 1;
+  for (const auto& cq : disjuncts_) size += cq.SymbolSize();
+  return size;
+}
+
+std::string UnionOfCq::ToString() const {
+  std::string out;
+  for (std::size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out += "  ∨  ";
+    out += disjuncts_[i].ToString();
+  }
+  return out;
+}
+
+ConjunctiveQuery MakeAtomicQuery(const data::Schema& schema,
+                                 std::string_view concept_name) {
+  ConjunctiveQuery q(schema, 1);
+  OBDA_CHECK(q.AddAtomByName(concept_name, {0}).ok());
+  return q;
+}
+
+ConjunctiveQuery MakeBooleanAtomicQuery(const data::Schema& schema,
+                                        std::string_view concept_name) {
+  ConjunctiveQuery q(schema, 0);
+  QVar x = q.AddVariable();
+  OBDA_CHECK(q.AddAtomByName(concept_name, {x}).ok());
+  return q;
+}
+
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q) {
+  data::MarkedInstance canon = q.CanonicalInstance();
+  data::MarkedInstance core = data::CoreOf(canon);
+  ConjunctiveQuery out(q.schema(), q.arity());
+  // Marks keep their order; they become the answer variables again.
+  std::vector<QVar> var_of(core.instance.UniverseSize(), -1);
+  for (std::size_t i = 0; i < core.marks.size(); ++i) {
+    var_of[core.marks[i]] = static_cast<QVar>(i);
+  }
+  for (data::ConstId c = 0; c < core.instance.UniverseSize(); ++c) {
+    if (var_of[c] < 0) var_of[c] = out.AddVariable();
+  }
+  for (data::RelationId r = 0; r < core.instance.schema().NumRelations();
+       ++r) {
+    for (std::uint32_t i = 0; i < core.instance.NumTuples(r); ++i) {
+      auto t = core.instance.Tuple(r, i);
+      std::vector<QVar> vars;
+      vars.reserve(t.size());
+      for (data::ConstId c : t) vars.push_back(var_of[c]);
+      out.AddAtom(r, std::move(vars));
+    }
+  }
+  return out;
+}
+
+bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2) {
+  OBDA_CHECK_EQ(q1.arity(), q2.arity());
+  // q1 ⊆ q2 iff there is a homomorphism from canon(q2) to canon(q1)
+  // fixing answer variables (Chandra–Merlin).
+  data::MarkedInstance c1 = q1.CanonicalInstance();
+  data::MarkedInstance c2 = q2.CanonicalInstance();
+  return data::MarkedHomomorphismExists(c2, c1);
+}
+
+}  // namespace obda::fo

@@ -1,0 +1,131 @@
+#ifndef OBDA_FO_CQ_H_
+#define OBDA_FO_CQ_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "data/schema.h"
+
+namespace obda::fo {
+
+/// Query-local variable index. Variables [0, arity) are the answer
+/// variables; the rest are existentially quantified.
+using QVar = std::int32_t;
+
+/// A relational atom R(v1..vk) of a conjunctive query.
+struct QueryAtom {
+  data::RelationId rel = data::kInvalidRelation;
+  std::vector<QVar> vars;
+};
+
+/// A conjunctive query  q(x̄) = ∃ȳ. ϕ(x̄, ȳ)  with ϕ a conjunction of
+/// relational atoms (paper §2). Equality atoms are eliminated up front by
+/// variable identification (see MergeVariables).
+class ConjunctiveQuery {
+ public:
+  /// Creates a CQ over `schema` with `arity` answer variables.
+  ConjunctiveQuery(data::Schema schema, int arity)
+      : schema_(std::move(schema)), arity_(arity), num_vars_(arity) {}
+
+  const data::Schema& schema() const { return schema_; }
+  int arity() const { return arity_; }
+  int num_vars() const { return num_vars_; }
+  const std::vector<QueryAtom>& atoms() const { return atoms_; }
+
+  /// Adds a fresh existential variable.
+  QVar AddVariable() { return num_vars_++; }
+
+  /// Adds atom rel(vars...). Aborts on arity mismatch or unknown variable.
+  void AddAtom(data::RelationId rel, std::vector<QVar> vars);
+  base::Status AddAtomByName(std::string_view rel,
+                             const std::vector<QVar>& vars);
+
+  /// The canonical instance of the query: each variable becomes the
+  /// constant "v<i>"; answer variables double as marks. Evaluation and
+  /// containment are homomorphism problems on this instance (paper §5.3).
+  data::MarkedInstance CanonicalInstance() const;
+
+  /// Evaluates the query on `instance`: all tuples ā over adom with a
+  /// satisfying assignment. For arity 0, the result is empty or contains
+  /// the empty tuple.
+  std::vector<std::vector<data::ConstId>> Evaluate(
+      const data::Instance& instance) const;
+
+  /// True if some assignment maps the query into `instance` with answer
+  /// variables bound to `answer`.
+  bool Matches(const data::Instance& instance,
+               const std::vector<data::ConstId>& answer) const;
+
+  /// Returns a copy with variables identified per `representative`
+  /// (representative[v] = the variable v collapses to; must be idempotent).
+  /// Variables are renumbered compactly; answer variables keep their
+  /// leading positions (answer variables may only merge with answer
+  /// variables of lower index — other merges abort).
+  ConjunctiveQuery MergeVariables(const std::vector<QVar>& representative)
+      const;
+
+  /// Number of syntactic symbols (paper's |q| convention, §2).
+  std::size_t SymbolSize() const;
+
+  std::string ToString() const;
+
+ private:
+  data::Schema schema_;
+  int arity_;
+  int num_vars_;
+  std::vector<QueryAtom> atoms_;
+};
+
+/// A union of conjunctive queries with common schema and arity (paper §2).
+class UnionOfCq {
+ public:
+  UnionOfCq(data::Schema schema, int arity)
+      : schema_(std::move(schema)), arity_(arity) {}
+
+  const data::Schema& schema() const { return schema_; }
+  int arity() const { return arity_; }
+  const std::vector<ConjunctiveQuery>& disjuncts() const {
+    return disjuncts_;
+  }
+
+  /// Adds a disjunct. Aborts if arity or schema layout mismatches.
+  void AddDisjunct(ConjunctiveQuery cq);
+
+  std::vector<std::vector<data::ConstId>> Evaluate(
+      const data::Instance& instance) const;
+
+  bool Matches(const data::Instance& instance,
+               const std::vector<data::ConstId>& answer) const;
+
+  std::size_t SymbolSize() const;
+  std::string ToString() const;
+
+ private:
+  data::Schema schema_;
+  int arity_;
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+/// The atomic query A(x) (paper §2, AQ). `concept_name` must be unary.
+ConjunctiveQuery MakeAtomicQuery(const data::Schema& schema,
+                                 std::string_view concept_name);
+
+/// The Boolean atomic query ∃x A(x) (paper §3, BAQ).
+ConjunctiveQuery MakeBooleanAtomicQuery(const data::Schema& schema,
+                                        std::string_view concept_name);
+
+/// CQ containment q1 ⊆ q2 via canonical-instance homomorphism
+/// (classical Chandra–Merlin).
+bool CqContained(const ConjunctiveQuery& q1, const ConjunctiveQuery& q2);
+
+/// Semantic minimization: the core of the canonical instance (answer
+/// variables fixed) read back as a CQ — the unique (up to renaming)
+/// smallest equivalent conjunctive query.
+ConjunctiveQuery MinimizeCq(const ConjunctiveQuery& q);
+
+}  // namespace obda::fo
+
+#endif  // OBDA_FO_CQ_H_

@@ -1,0 +1,255 @@
+#include "fo/tree.h"
+
+#include <algorithm>
+#include <set>
+#include <map>
+#include <string>
+
+#include "base/check.h"
+
+namespace obda::fo {
+
+namespace {
+
+/// Union-find with path halving.
+struct UnionFind {
+  explicit UnionFind(int n) : parent(n) {
+    for (int i = 0; i < n; ++i) parent[i] = i;
+  }
+  int Find(int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    // Keep the smaller index as root so answer variables stay roots.
+    if (a > b) std::swap(a, b);
+    parent[b] = a;
+  }
+  std::vector<int> parent;
+};
+
+/// Variables reachable from `start` along directed binary atoms
+/// (including `start`).
+std::vector<bool> ReachableFrom(const ConjunctiveQuery& q, QVar start) {
+  std::vector<bool> reach(static_cast<std::size_t>(q.num_vars()), false);
+  std::vector<QVar> stack = {start};
+  reach[start] = true;
+  while (!stack.empty()) {
+    QVar v = stack.back();
+    stack.pop_back();
+    for (const QueryAtom& a : q.atoms()) {
+      if (a.vars.size() == 2 && a.vars[0] == v && !reach[a.vars[1]]) {
+        reach[a.vars[1]] = true;
+        stack.push_back(a.vars[1]);
+      }
+    }
+  }
+  return reach;
+}
+
+/// Builds the sub-CQ of `q` induced by the variable set `keep`; the
+/// variables listed in `answers` (all in `keep`) become the answer
+/// variables, in order. Only atoms entirely inside `keep` are retained.
+ConjunctiveQuery InducedSubquery(const ConjunctiveQuery& q,
+                                 const std::vector<bool>& keep,
+                                 const std::vector<QVar>& answers) {
+  ConjunctiveQuery out(q.schema(), static_cast<int>(answers.size()));
+  std::vector<QVar> new_id(static_cast<std::size_t>(q.num_vars()), -1);
+  for (std::size_t i = 0; i < answers.size(); ++i) {
+    OBDA_CHECK(keep[answers[i]]);
+    new_id[answers[i]] = static_cast<QVar>(i);
+  }
+  for (QVar v = 0; v < q.num_vars(); ++v) {
+    if (keep[v] && new_id[v] < 0) new_id[v] = out.AddVariable();
+  }
+  for (const QueryAtom& a : q.atoms()) {
+    bool inside = true;
+    for (QVar v : a.vars) {
+      if (!keep[v]) {
+        inside = false;
+        break;
+      }
+    }
+    if (!inside) continue;
+    std::vector<QVar> vars;
+    vars.reserve(a.vars.size());
+    for (QVar v : a.vars) vars.push_back(new_id[v]);
+    out.AddAtom(a.rel, std::move(vars));
+  }
+  return out;
+}
+
+}  // namespace
+
+ConjunctiveQuery EliminateForks(const ConjunctiveQuery& q) {
+  ConjunctiveQuery current = q;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto& atoms = current.atoms();
+    for (std::size_t i = 0; i < atoms.size() && !changed; ++i) {
+      if (atoms[i].vars.size() != 2) continue;
+      for (std::size_t j = i + 1; j < atoms.size() && !changed; ++j) {
+        if (atoms[j].vars.size() != 2) continue;
+        if (atoms[i].vars[1] != atoms[j].vars[1]) continue;
+        QVar y1 = atoms[i].vars[0];
+        QVar y2 = atoms[j].vars[0];
+        if (y1 == y2) continue;
+        if (y1 < current.arity() && y2 < current.arity()) {
+          continue;  // never merge two answer variables (see header)
+        }
+        std::vector<QVar> rep(static_cast<std::size_t>(current.num_vars()));
+        for (QVar v = 0; v < current.num_vars(); ++v) rep[v] = v;
+        QVar root = std::min(y1, y2);
+        QVar other = std::max(y1, y2);
+        rep[other] = root;
+        current = current.MergeVariables(rep);
+        changed = true;
+      }
+    }
+  }
+  return current;
+}
+
+bool IsTreeShaped(const ConjunctiveQuery& q) {
+  const int n = q.num_vars();
+  if (n == 0) return false;
+  // Collect directed edges; reject multi-labelled edges.
+  std::set<std::pair<QVar, QVar>> edges;
+  std::map<std::pair<QVar, QVar>, data::RelationId> label;
+  for (const QueryAtom& a : q.atoms()) {
+    if (a.vars.size() != 2) continue;
+    auto e = std::make_pair(a.vars[0], a.vars[1]);
+    auto [it, inserted] = label.emplace(e, a.rel);
+    if (!inserted && it->second != a.rel) {
+      return false;  // R(a,b) and S(a,b) with R != S
+    }
+    edges.insert(e);
+  }
+  // In-degrees and root.
+  std::vector<int> indeg(static_cast<std::size_t>(n), 0);
+  for (const auto& [u, v] : edges) {
+    if (u == v) return false;  // self-loop
+    ++indeg[v];
+  }
+  QVar root = -1;
+  for (QVar v = 0; v < n; ++v) {
+    if (indeg[v] == 0) {
+      if (root >= 0) return false;  // two roots: disconnected or isolated
+      root = v;
+    } else if (indeg[v] > 1) {
+      return false;
+    }
+  }
+  if (root < 0) return false;  // a cycle
+  // |edges| == n-1 and unique root with in-degree constraints imply
+  // reachability; verify anyway to guard self-loops removed above.
+  if (static_cast<int>(edges.size()) != n - 1) return false;
+  std::vector<bool> reach = ReachableFrom(q, root);
+  for (QVar v = 0; v < n; ++v) {
+    if (!reach[v]) return false;
+  }
+  return true;
+}
+
+std::vector<ConjunctiveQuery> ConnectedComponents(const ConjunctiveQuery& q) {
+  const int n = q.num_vars();
+  std::vector<ConjunctiveQuery> out;
+  if (n == 0) {
+    if (!q.atoms().empty()) out.push_back(q);  // only 0-ary atoms
+    return out;
+  }
+  UnionFind uf(n);
+  for (const QueryAtom& a : q.atoms()) {
+    for (std::size_t i = 1; i < a.vars.size(); ++i) {
+      uf.Union(a.vars[0], a.vars[i]);
+    }
+  }
+  std::set<int> roots;
+  for (QVar v = 0; v < n; ++v) roots.insert(uf.Find(v));
+  for (int root : roots) {
+    std::vector<bool> keep(static_cast<std::size_t>(n), false);
+    std::vector<QVar> answers;
+    for (QVar v = 0; v < n; ++v) {
+      if (uf.Find(v) == root) {
+        keep[v] = true;
+        if (v < q.arity()) answers.push_back(v);
+      }
+    }
+    out.push_back(InducedSubquery(q, keep, answers));
+  }
+  return out;
+}
+
+bool IsConnected(const ConjunctiveQuery& q) {
+  return ConnectedComponents(q).size() <= 1;
+}
+
+std::vector<ConjunctiveQuery> TreeQueries(const UnionOfCq& q) {
+  std::vector<ConjunctiveQuery> out;
+  std::set<std::string> seen;
+  auto add = [&](ConjunctiveQuery cq) {
+    std::string key = cq.ToString();
+    if (seen.insert(key).second) out.push_back(std::move(cq));
+  };
+  for (const ConjunctiveQuery& disjunct : q.disjuncts()) {
+    ConjunctiveQuery hat = EliminateForks(disjunct);
+    // Step (2): Boolean tree-shaped connected components.
+    for (ConjunctiveQuery& comp : ConnectedComponents(hat)) {
+      if (comp.arity() == 0 && comp.num_vars() > 0 && IsTreeShaped(comp)) {
+        add(std::move(comp));
+      }
+    }
+    // Step (3): rooted subtrees below an edge R(x,y).
+    for (const QueryAtom& a : hat.atoms()) {
+      if (a.vars.size() != 2) continue;
+      QVar x = a.vars[0];
+      QVar y = a.vars[1];
+      if (x == y) continue;
+      std::vector<bool> reach = ReachableFrom(hat, y);
+      if (reach[x]) continue;  // loops back: cannot match a tree
+      // The restriction hat|y must be tree-shaped and answer-variable-free.
+      bool has_answer = false;
+      for (QVar v = 0; v < hat.arity(); ++v) {
+        if (reach[v]) has_answer = true;
+      }
+      if (has_answer) continue;
+      ConjunctiveQuery below = InducedSubquery(hat, reach, {});
+      if (!IsTreeShaped(below)) continue;
+      // Build {R(x,y)} ∪ hat|y with x the only answer variable.
+      std::vector<bool> keep = reach;
+      keep[x] = true;
+      ConjunctiveQuery rooted = InducedSubquery(hat, keep, {x});
+      // InducedSubquery keeps every atom inside the set; drop atoms
+      // touching x other than R(x,y) itself by rebuilding if needed.
+      ConjunctiveQuery clean(hat.schema(), 1);
+      std::vector<QVar> new_id(static_cast<std::size_t>(hat.num_vars()), -1);
+      new_id[x] = 0;
+      for (QVar v = 0; v < hat.num_vars(); ++v) {
+        if (reach[v]) new_id[v] = clean.AddVariable();
+      }
+      clean.AddAtom(a.rel, {new_id[x], new_id[y]});
+      for (const QueryAtom& b : hat.atoms()) {
+        bool inside = true;
+        for (QVar v : b.vars) {
+          if (!reach[v]) {
+            inside = false;
+            break;
+          }
+        }
+        if (!inside) continue;
+        std::vector<QVar> vars;
+        for (QVar v : b.vars) vars.push_back(new_id[v]);
+        clean.AddAtom(b.rel, std::move(vars));
+      }
+      (void)rooted;
+      add(std::move(clean));
+    }
+  }
+  return out;
+}
+
+}  // namespace obda::fo

@@ -1,0 +1,46 @@
+#ifndef OBDA_FO_TREE_H_
+#define OBDA_FO_TREE_H_
+
+#include <vector>
+
+#include "fo/cq.h"
+
+namespace obda::fo {
+
+/// Exhaustive fork elimination (paper, proof of Thm 3.3, step (1)): while
+/// two binary atoms R(y1,x), S(y2,x) with y1 != y2 point at the same
+/// variable x, identify y1 and y2. (A homomorphism into a tree forces the
+/// identification regardless of the edge labels; multi-labelled edges then
+/// fail the tree-shape test below.) Identifications that would merge two
+/// answer variables are skipped (such forks can only be matched inside the
+/// instance part, which the diagram rules handle). Requires a binary
+/// schema.
+ConjunctiveQuery EliminateForks(const ConjunctiveQuery& q);
+
+/// True if the query (or the sub-query induced by `vars`) is tree-shaped
+/// in the paper's sense (proof of Thm 3.3): the directed graph of its
+/// binary atoms is a tree (unique root, one incoming edge per non-root,
+/// no cycle, connected — counting also variables that occur only in unary
+/// atoms, which are only allowed if the query has a single variable) and
+/// no two atoms R(a,b), S(a,b) with R != S.
+bool IsTreeShaped(const ConjunctiveQuery& q);
+
+/// Connected components of the query's variable co-occurrence graph.
+/// Each component is returned as a CQ whose answer variables are those
+/// answer variables of `q` it contains (re-numbered to the front).
+/// Components with more than one answer variable are returned as-is with
+/// all of them answer variables.
+std::vector<ConjunctiveQuery> ConnectedComponents(const ConjunctiveQuery& q);
+
+/// True if the variable co-occurrence graph of `q` is connected.
+bool IsConnected(const ConjunctiveQuery& q);
+
+/// The set tree(q) for a UCQ (paper, proof of Thm 3.3): all Boolean
+/// tree-shaped CQs arising as components of fork-eliminated disjuncts,
+/// plus all unary "R(x,y) + subtree below y" queries. Boolean members have
+/// arity 0; rooted members have arity 1 (the root x).
+std::vector<ConjunctiveQuery> TreeQueries(const UnionOfCq& q);
+
+}  // namespace obda::fo
+
+#endif  // OBDA_FO_TREE_H_

@@ -1,0 +1,373 @@
+#include "gfo/fo_formula.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/check.h"
+
+namespace obda::gfo {
+
+struct FoFormula::Node {
+  Kind kind;
+  std::string relation;
+  std::vector<int> vars;
+  std::vector<FoFormula> children;
+};
+
+FoFormula FoFormula::True() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kTrue;
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Atom(std::string relation, std::vector<int> vars) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAtom;
+  node->relation = std::move(relation);
+  node->vars = std::move(vars);
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Equals(int a, int b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kEquals;
+  node->vars = {a, b};
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Not(FoFormula f) {
+  OBDA_CHECK(f.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kNot;
+  node->children.push_back(std::move(f));
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::And(std::vector<FoFormula> fs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kAnd;
+  node->children = std::move(fs);
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Or(std::vector<FoFormula> fs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOr;
+  node->children = std::move(fs);
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Exists(std::vector<int> vars, FoFormula f) {
+  OBDA_CHECK(f.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kExists;
+  node->vars = std::move(vars);
+  node->children.push_back(std::move(f));
+  return FoFormula(std::move(node));
+}
+
+FoFormula FoFormula::Forall(std::vector<int> vars, FoFormula f) {
+  OBDA_CHECK(f.IsValid());
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kForall;
+  node->vars = std::move(vars);
+  node->children.push_back(std::move(f));
+  return FoFormula(std::move(node));
+}
+
+FoFormula::Kind FoFormula::kind() const {
+  OBDA_CHECK(IsValid());
+  return node_->kind;
+}
+
+const std::string& FoFormula::relation() const { return node_->relation; }
+const std::vector<int>& FoFormula::vars() const { return node_->vars; }
+const std::vector<FoFormula>& FoFormula::children() const {
+  return node_->children;
+}
+
+std::set<int> FoFormula::FreeVars() const {
+  std::set<int> out;
+  switch (kind()) {
+    case Kind::kTrue:
+      break;
+    case Kind::kAtom:
+    case Kind::kEquals:
+      out.insert(node_->vars.begin(), node_->vars.end());
+      break;
+    case Kind::kNot:
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FoFormula& c : node_->children) {
+        auto fv = c.FreeVars();
+        out.insert(fv.begin(), fv.end());
+      }
+      break;
+    case Kind::kExists:
+    case Kind::kForall: {
+      out = node_->children[0].FreeVars();
+      for (int v : node_->vars) out.erase(v);
+      break;
+    }
+  }
+  return out;
+}
+
+bool FoFormula::IsUnfo() const {
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kAtom:
+    case Kind::kEquals:
+      return true;
+    case Kind::kNot:
+      return node_->children[0].FreeVars().size() <= 1 &&
+             node_->children[0].IsUnfo();
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FoFormula& c : node_->children) {
+        if (!c.IsUnfo()) return false;
+      }
+      return true;
+    case Kind::kExists:
+      return node_->children[0].IsUnfo();
+    case Kind::kForall:
+      // ∀ over a unary body is expressible as ¬∃¬ with unary negations.
+      return node_->children[0].FreeVars().size() <= 1 &&
+             node_->children[0].IsUnfo();
+  }
+  return false;
+}
+
+namespace {
+
+/// True if some atom in `conjuncts` covers all variables in `need`.
+bool HasCoveringAtom(const std::vector<FoFormula>& conjuncts,
+                     const std::set<int>& need) {
+  for (const FoFormula& c : conjuncts) {
+    if (c.kind() != FoFormula::Kind::kAtom) continue;
+    std::set<int> have(c.vars().begin(), c.vars().end());
+    if (std::includes(have.begin(), have.end(), need.begin(), need.end())) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FoFormula::IsGfo() const {
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kAtom:
+    case Kind::kEquals:
+      return true;
+    case Kind::kNot:
+      return node_->children[0].IsGfo();
+    case Kind::kAnd:
+    case Kind::kOr:
+      for (const FoFormula& c : node_->children) {
+        if (!c.IsGfo()) return false;
+      }
+      return true;
+    case Kind::kExists: {
+      const FoFormula& body = node_->children[0];
+      // Trivially guarded when at most one free variable remains overall
+      // (the x = x guard idiom).
+      if (body.FreeVars().size() <= 1) return body.IsGfo();
+      if (body.kind() == Kind::kAtom) return true;
+      if (body.kind() == Kind::kAnd &&
+          HasCoveringAtom(body.children(), body.FreeVars())) {
+        for (const FoFormula& c : body.children()) {
+          if (!c.IsGfo()) return false;
+        }
+        return true;
+      }
+      return false;
+    }
+    case Kind::kForall: {
+      const FoFormula& body = node_->children[0];
+      if (body.FreeVars().size() <= 1) return body.IsGfo();
+      // ∀x̄(α → φ) written as Or({Not(α), φ}).
+      if (body.kind() == Kind::kOr && body.children().size() == 2 &&
+          body.children()[0].kind() == Kind::kNot &&
+          body.children()[0].children()[0].kind() == Kind::kAtom) {
+        std::set<int> need = body.FreeVars();
+        std::set<int> have;
+        const auto& guard_vars =
+            body.children()[0].children()[0].vars();
+        have.insert(guard_vars.begin(), guard_vars.end());
+        return std::includes(have.begin(), have.end(), need.begin(),
+                             need.end()) &&
+               body.children()[1].IsGfo();
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool FoFormula::IsGnfo() const {
+  switch (kind()) {
+    case Kind::kTrue:
+    case Kind::kAtom:
+    case Kind::kEquals:
+      return true;
+    case Kind::kNot:
+      return node_->children[0].FreeVars().size() <= 1 &&
+             node_->children[0].IsGnfo();
+    case Kind::kAnd: {
+      for (const FoFormula& c : node_->children) {
+        if (c.kind() == Kind::kNot &&
+            c.children()[0].FreeVars().size() > 1) {
+          // Guarded negation: a sibling atom must cover the negated
+          // subformula's free variables.
+          if (!HasCoveringAtom(node_->children,
+                               c.children()[0].FreeVars())) {
+            return false;
+          }
+          if (!c.children()[0].IsGnfo()) return false;
+        } else if (!c.IsGnfo()) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Kind::kOr:
+      for (const FoFormula& c : node_->children) {
+        if (!c.IsGnfo()) return false;
+      }
+      return true;
+    case Kind::kExists:
+      return node_->children[0].IsGnfo();
+    case Kind::kForall:
+      return node_->children[0].FreeVars().size() <= 1 &&
+             node_->children[0].IsGnfo();
+  }
+  return false;
+}
+
+namespace {
+
+bool HoldsImpl(const FoFormula& f, const data::Instance& instance,
+               std::vector<data::ConstId>* env) {
+  using Kind = FoFormula::Kind;
+  auto value_of = [&env](int v) {
+    OBDA_CHECK_LT(static_cast<std::size_t>(v), env->size());
+    OBDA_CHECK_NE((*env)[v], data::kInvalidConst);
+    return (*env)[v];
+  };
+  switch (f.kind()) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kAtom: {
+      auto rel = instance.schema().FindRelation(f.relation());
+      if (!rel.has_value()) return false;
+      std::vector<data::ConstId> args;
+      for (int v : f.vars()) args.push_back(value_of(v));
+      return instance.HasFact(*rel, args);
+    }
+    case Kind::kEquals:
+      return value_of(f.vars()[0]) == value_of(f.vars()[1]);
+    case Kind::kNot:
+      return !HoldsImpl(f.children()[0], instance, env);
+    case Kind::kAnd:
+      for (const FoFormula& c : f.children()) {
+        if (!HoldsImpl(c, instance, env)) return false;
+      }
+      return true;
+    case Kind::kOr:
+      for (const FoFormula& c : f.children()) {
+        if (HoldsImpl(c, instance, env)) return true;
+      }
+      return false;
+    case Kind::kExists:
+    case Kind::kForall: {
+      const bool exists = f.kind() == Kind::kExists;
+      // Recurse over assignments to the bound variables.
+      std::function<bool(std::size_t)> loop = [&](std::size_t i) -> bool {
+        if (i == f.vars().size()) {
+          return HoldsImpl(f.children()[0], instance, env);
+        }
+        int v = f.vars()[i];
+        if (static_cast<std::size_t>(v) >= env->size()) {
+          env->resize(v + 1, data::kInvalidConst);
+        }
+        data::ConstId saved = (*env)[v];
+        for (data::ConstId c = 0; c < instance.UniverseSize(); ++c) {
+          (*env)[v] = c;
+          bool sub = loop(i + 1);
+          if (exists && sub) {
+            (*env)[v] = saved;
+            return true;
+          }
+          if (!exists && !sub) {
+            (*env)[v] = saved;
+            return false;
+          }
+        }
+        (*env)[v] = saved;
+        return !exists;
+      };
+      return loop(0);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FoFormula::Holds(const data::Instance& instance,
+                      const std::vector<data::ConstId>& assignment) const {
+  std::vector<data::ConstId> env = assignment;
+  int max_var = -1;
+  for (int v : FreeVars()) max_var = std::max(max_var, v);
+  if (static_cast<int>(env.size()) <= max_var) {
+    env.resize(max_var + 1, data::kInvalidConst);
+  }
+  return HoldsImpl(*this, instance, &env);
+}
+
+std::size_t FoFormula::SymbolSize() const {
+  std::size_t size = 1 + node_->vars.size();
+  for (const FoFormula& c : node_->children) size += c.SymbolSize();
+  return size;
+}
+
+std::string FoFormula::ToString() const {
+  switch (kind()) {
+    case Kind::kTrue:
+      return "⊤";
+    case Kind::kAtom: {
+      std::string out = node_->relation + "(";
+      for (std::size_t i = 0; i < node_->vars.size(); ++i) {
+        if (i > 0) out += ",";
+        out += "x" + std::to_string(node_->vars[i]);
+      }
+      return out + ")";
+    }
+    case Kind::kEquals:
+      return "x" + std::to_string(node_->vars[0]) + "=x" +
+             std::to_string(node_->vars[1]);
+    case Kind::kNot:
+      return "¬" + node_->children[0].ToString();
+    case Kind::kAnd:
+    case Kind::kOr: {
+      std::string sep = kind() == Kind::kAnd ? " ∧ " : " ∨ ";
+      std::string out = "(";
+      for (std::size_t i = 0; i < node_->children.size(); ++i) {
+        if (i > 0) out += sep;
+        out += node_->children[i].ToString();
+      }
+      return out + ")";
+    }
+    case Kind::kExists:
+    case Kind::kForall: {
+      std::string out = kind() == Kind::kExists ? "∃" : "∀";
+      for (int v : node_->vars) out += "x" + std::to_string(v);
+      return out + "." + node_->children[0].ToString();
+    }
+  }
+  return "?";
+}
+
+}  // namespace obda::gfo

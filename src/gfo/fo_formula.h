@@ -1,0 +1,86 @@
+#ifndef OBDA_GFO_FO_FORMULA_H_
+#define OBDA_GFO_FO_FORMULA_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/instance.h"
+#include "data/schema.h"
+
+namespace obda::gfo {
+
+/// A first-order formula over a relational schema (arbitrary arities) —
+/// the common AST for the paper's §3.2 fragments: the unary negation
+/// fragment (UNFO), the guarded fragment (GFO), and the guarded negation
+/// fragment (GNFO). Variables are plain integer ids; quantifiers bind
+/// explicit variable lists. Immutable shared AST.
+class FoFormula {
+ public:
+  enum class Kind {
+    kTrue,
+    kAtom,     // R(x̄)
+    kEquals,   // x = y
+    kNot,
+    kAnd,
+    kOr,
+    kExists,   // ∃x̄ φ
+    kForall,   // ∀x̄ φ
+  };
+
+  FoFormula() = default;
+
+  static FoFormula True();
+  static FoFormula Atom(std::string relation, std::vector<int> vars);
+  static FoFormula Equals(int a, int b);
+  static FoFormula Not(FoFormula f);
+  static FoFormula And(std::vector<FoFormula> fs);
+  static FoFormula Or(std::vector<FoFormula> fs);
+  static FoFormula Exists(std::vector<int> vars, FoFormula f);
+  static FoFormula Forall(std::vector<int> vars, FoFormula f);
+
+  bool IsValid() const { return node_ != nullptr; }
+  Kind kind() const;
+  const std::string& relation() const;       // kAtom
+  const std::vector<int>& vars() const;      // kAtom / kEquals / binders
+  const std::vector<FoFormula>& children() const;
+
+  /// Free variables of the formula.
+  std::set<int> FreeVars() const;
+
+  // --- Fragment membership (paper §3.2) --------------------------------------
+
+  /// UNFO: negation only on subformulas with at most one free variable;
+  /// no universal quantification (∀ must be written as ¬∃¬, which the
+  /// check rejects unless unary).
+  bool IsUnfo() const;
+  /// GFO (equality-free up to trivial x=x guards): every quantifier is
+  /// guarded — ∃x̄(α ∧ φ) / ∀x̄(α → φ) with α an atom containing all free
+  /// variables of φ. The check recognizes the ∀x̄(α → φ) idiom written as
+  /// ¬∃x̄(α ∧ ¬φ) as well.
+  bool IsGfo() const;
+  /// GNFO: like UNFO but additionally allowing guarded negation
+  /// α ∧ ¬φ with the atom α covering φ's free variables.
+  bool IsGnfo() const;
+
+  /// Model checking on a finite structure: evaluates the sentence (or a
+  /// formula under `assignment`: variable id -> constant). Quantifiers
+  /// range over the full universe of `instance`.
+  bool Holds(const data::Instance& instance,
+             const std::vector<data::ConstId>& assignment = {}) const;
+
+  std::size_t SymbolSize() const;
+  std::string ToString() const;
+
+ private:
+  struct Node;
+  explicit FoFormula(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace obda::gfo
+
+#endif  // OBDA_GFO_FO_FORMULA_H_

@@ -1,0 +1,396 @@
+#include "gfo/fo_omq.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "base/check.h"
+#include "sat/solver.h"
+
+namespace obda::gfo {
+
+namespace {
+
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+/// SAT encoder for "exists a structure D' ⊇ D over a fixed domain with
+/// D' ⊨ O and ¬q(ā)".
+class FoEncoder {
+ public:
+  FoEncoder(const FoOmq& omq, const data::Instance& instance,
+            const FoBoundedOptions& options)
+      : omq_(omq), instance_(instance), options_(options) {
+    num_elements_ =
+        static_cast<int>(instance.UniverseSize()) + options.extra_elements;
+  }
+
+  void Build(const std::vector<data::ConstId>& answer) {
+    // Data facts forced.
+    const data::Schema& schema = instance_.schema();
+    for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+      for (std::uint32_t i = 0; i < instance_.NumTuples(r); ++i) {
+        auto t = instance_.Tuple(r, i);
+        solver_.AddClause({Lit::Pos(RelVar(
+            schema.RelationName(r),
+            std::vector<int>(t.begin(), t.end())))});
+      }
+    }
+    // Ontology sentence.
+    std::vector<int> env;
+    solver_.AddClause({EncodeLit(omq_.ontology, &env)});
+    // ¬q(answer).
+    for (const fo::ConjunctiveQuery& cq : omq_.query.disjuncts()) {
+      std::vector<int> assign(static_cast<std::size_t>(cq.num_vars()), 0);
+      for (int i = 0; i < cq.arity(); ++i) {
+        assign[i] = static_cast<int>(answer[i]);
+      }
+      ForbidQuery(cq, cq.arity(), &assign);
+    }
+  }
+
+  base::Result<bool> Solve() {
+    sat::SatOutcome outcome = solver_.Solve({}, options_.max_decisions);
+    if (outcome == sat::SatOutcome::kBudget) {
+      return base::ResourceExhaustedError("FO bounded-model budget");
+    }
+    return outcome == sat::SatOutcome::kSat;
+  }
+
+ private:
+  Var RelVar(const std::string& rel, const std::vector<int>& args) {
+    std::string key = rel;
+    for (int a : args) key += "," + std::to_string(a);
+    auto it = vars_.find(key);
+    if (it != vars_.end()) return it->second;
+    Var v = solver_.NewVar();
+    vars_.emplace(std::move(key), v);
+    return v;
+  }
+
+  Var TrueVar() {
+    if (true_var_ < 0) {
+      true_var_ = solver_.NewVar();
+      solver_.AddClause({Lit::Pos(true_var_)});
+    }
+    return true_var_;
+  }
+
+  /// Returns a literal equivalent to f under `env` (variable id →
+  /// element). Memoized on (formula rendering, relevant env values).
+  Lit EncodeLit(const FoFormula& f, std::vector<int>* env) {
+    switch (f.kind()) {
+      case FoFormula::Kind::kTrue:
+        return Lit::Pos(TrueVar());
+      case FoFormula::Kind::kAtom: {
+        std::vector<int> args;
+        for (int v : f.vars()) args.push_back(EnvOf(v, env));
+        return Lit::Pos(RelVar(f.relation(), args));
+      }
+      case FoFormula::Kind::kEquals: {
+        bool eq = EnvOf(f.vars()[0], env) == EnvOf(f.vars()[1], env);
+        return eq ? Lit::Pos(TrueVar()) : Lit::Neg(TrueVar());
+      }
+      case FoFormula::Kind::kNot:
+        return EncodeLit(f.children()[0], env).Negated();
+      case FoFormula::Kind::kAnd:
+      case FoFormula::Kind::kOr: {
+        std::vector<Lit> lits;
+        for (const FoFormula& c : f.children()) {
+          lits.push_back(EncodeLit(c, env));
+        }
+        return Combine(lits, f.kind() == FoFormula::Kind::kAnd);
+      }
+      case FoFormula::Kind::kExists:
+      case FoFormula::Kind::kForall: {
+        std::vector<Lit> lits;
+        std::function<void(std::size_t)> loop = [&](std::size_t i) {
+          if (i == f.vars().size()) {
+            lits.push_back(EncodeLit(f.children()[0], env));
+            return;
+          }
+          int v = f.vars()[i];
+          if (static_cast<std::size_t>(v) >= env->size()) {
+            env->resize(v + 1, -1);
+          }
+          int saved = (*env)[v];
+          for (int d = 0; d < num_elements_; ++d) {
+            (*env)[v] = d;
+            loop(i + 1);
+          }
+          (*env)[v] = saved;
+        };
+        loop(0);
+        return Combine(lits, f.kind() == FoFormula::Kind::kForall);
+      }
+    }
+    OBDA_CHECK(false);
+    return Lit{-1};
+  }
+
+  int EnvOf(int v, std::vector<int>* env) {
+    OBDA_CHECK_LT(static_cast<std::size_t>(v), env->size());
+    OBDA_CHECK_GE((*env)[v], 0);
+    return (*env)[v];
+  }
+
+  /// Tseitin conjunction/disjunction.
+  Lit Combine(const std::vector<Lit>& lits, bool conjunction) {
+    if (lits.empty()) {
+      return conjunction ? Lit::Pos(TrueVar()) : Lit::Neg(TrueVar());
+    }
+    if (lits.size() == 1) return lits[0];
+    Var v = solver_.NewVar();
+    if (conjunction) {
+      std::vector<Lit> back = {Lit::Pos(v)};
+      for (Lit l : lits) {
+        solver_.AddClause({Lit::Neg(v), l});
+        back.push_back(l.Negated());
+      }
+      solver_.AddClause(back);
+    } else {
+      std::vector<Lit> fwd = {Lit::Neg(v)};
+      for (Lit l : lits) {
+        solver_.AddClause({Lit::Pos(v), l.Negated()});
+        fwd.push_back(l);
+      }
+      solver_.AddClause(fwd);
+    }
+    return Lit::Pos(v);
+  }
+
+  void ForbidQuery(const fo::ConjunctiveQuery& cq, int next,
+                   std::vector<int>* assign) {
+    if (next == cq.num_vars()) {
+      std::vector<Lit> clause;
+      for (const fo::QueryAtom& a : cq.atoms()) {
+        std::vector<int> args;
+        for (fo::QVar v : a.vars) args.push_back((*assign)[v]);
+        clause.push_back(Lit::Neg(
+            RelVar(cq.schema().RelationName(a.rel), args)));
+      }
+      solver_.AddClause(std::move(clause));
+      return;
+    }
+    for (int d = 0; d < num_elements_; ++d) {
+      (*assign)[next] = d;
+      ForbidQuery(cq, next + 1, assign);
+    }
+  }
+
+  const FoOmq& omq_;
+  const data::Instance& instance_;
+  FoBoundedOptions options_;
+  int num_elements_ = 0;
+  Solver solver_;
+  std::map<std::string, Var> vars_;
+  Var true_var_ = -1;
+};
+
+}  // namespace
+
+base::Result<std::vector<std::vector<data::ConstId>>>
+BoundedCertainAnswersFo(const FoOmq& omq, const data::Instance& instance,
+                        const FoBoundedOptions& options) {
+  std::vector<std::vector<data::ConstId>> out;
+  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  const int arity = omq.query.arity();
+  if (arity > 0 && adom.empty()) return out;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(arity), 0);
+  for (;;) {
+    std::vector<data::ConstId> tuple;
+    for (int i = 0; i < arity; ++i) tuple.push_back(adom[idx[i]]);
+    FoEncoder encoder(omq, instance, options);
+    encoder.Build(tuple);
+    auto sat = encoder.Solve();
+    if (!sat.ok()) return sat.status();
+    if (!*sat) out.push_back(tuple);  // no countermodel: certain
+    int pos = arity - 1;
+    while (pos >= 0 && ++idx[pos] == adom.size()) {
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+base::Result<FoOmq> FgDdlogToGnfoOmq(const ddlog::Program& program) {
+  OBDA_RETURN_IF_ERROR(program.Validate());
+  if (!program.IsFrontierGuarded()) {
+    return base::InvalidArgumentError(
+        "Thm 3.17(2) requires a frontier-guarded program");
+  }
+  FoOmq out;
+  out.data_schema = program.edb_schema();
+
+  // Query schema: EDB relations plus non-goal IDB relations.
+  data::Schema query_schema = program.edb_schema();
+  for (ddlog::PredId p = static_cast<ddlog::PredId>(program.NumEdb());
+       p < program.NumPredicates(); ++p) {
+    if (p == program.goal()) continue;
+    query_schema.AddRelation(program.PredicateName(p), program.Arity(p));
+  }
+
+  std::vector<FoFormula> sentences;
+  fo::UnionOfCq query(query_schema, program.QueryArity());
+  for (const ddlog::Rule& rule : program.rules()) {
+    const bool goal_rule =
+        rule.head.size() == 1 && rule.head[0].pred == program.goal();
+    if (goal_rule) {
+      fo::ConjunctiveQuery cq(query_schema, program.QueryArity());
+      // Repeated goal head variables are not expressible without
+      // equality; reject for clarity.
+      std::vector<ddlog::VarId> head_vars = rule.head[0].vars;
+      std::sort(head_vars.begin(), head_vars.end());
+      if (std::adjacent_find(head_vars.begin(), head_vars.end()) !=
+          head_vars.end()) {
+        return base::UnimplementedError(
+            "repeated goal head variables need equality");
+      }
+      std::vector<fo::QVar> var_map(
+          static_cast<std::size_t>(rule.NumVars()), -1);
+      for (int i = 0; i < program.QueryArity(); ++i) {
+        var_map[rule.head[0].vars[i]] = i;
+      }
+      for (ddlog::VarId v = 0; v < rule.NumVars(); ++v) {
+        if (var_map[v] < 0) var_map[v] = cq.AddVariable();
+      }
+      for (const ddlog::Atom& a : rule.body) {
+        std::vector<fo::QVar> vars;
+        for (ddlog::VarId v : a.vars) vars.push_back(var_map[v]);
+        auto rel =
+            query_schema.FindRelation(program.PredicateName(a.pred));
+        OBDA_CHECK(rel.has_value());
+        cq.AddAtom(*rel, std::move(vars));
+      }
+      query.AddDisjunct(std::move(cq));
+    } else {
+      // ¬∃x̄ (body ∧ ¬H1 ∧ ... ∧ ¬Hm).
+      std::vector<FoFormula> conjuncts;
+      for (const ddlog::Atom& a : rule.body) {
+        conjuncts.push_back(FoFormula::Atom(
+            program.PredicateName(a.pred),
+            std::vector<int>(a.vars.begin(), a.vars.end())));
+      }
+      for (const ddlog::Atom& a : rule.head) {
+        conjuncts.push_back(FoFormula::Not(FoFormula::Atom(
+            program.PredicateName(a.pred),
+            std::vector<int>(a.vars.begin(), a.vars.end()))));
+      }
+      std::vector<int> all_vars;
+      for (int v = 0; v < rule.NumVars(); ++v) all_vars.push_back(v);
+      sentences.push_back(FoFormula::Not(
+          FoFormula::Exists(all_vars, FoFormula::And(conjuncts))));
+    }
+  }
+  out.ontology = FoFormula::And(sentences);
+  out.query = std::move(query);
+  return out;
+}
+
+FoOmq Prop315GfoOmq() {
+  FoOmq out;
+  out.data_schema.AddRelation("A", 1);
+  out.data_schema.AddRelation("B", 1);
+  out.data_schema.AddRelation("P", 3);
+
+  // ∀x̄ (guard → φ) in the Forall/Or(Not(guard), φ) idiom the IsGfo
+  // check recognizes. Variables: 0 = x, 1 = y, 2 = z.
+  auto guarded = [](FoFormula guard, FoFormula body,
+                    std::vector<int> vars) {
+    return FoFormula::Forall(
+        std::move(vars),
+        FoFormula::Or({FoFormula::Not(std::move(guard)), std::move(body)}));
+  };
+  std::vector<FoFormula> sentences;
+  sentences.push_back(guarded(
+      FoFormula::Atom("P", {0, 2, 1}),
+      FoFormula::Or({FoFormula::Not(FoFormula::Atom("A", {0})),
+                     FoFormula::Atom("R", {2, 0})}),
+      {0, 1, 2}));
+  sentences.push_back(guarded(
+      FoFormula::Atom("P", {0, 2, 1}),
+      FoFormula::Or({FoFormula::Not(FoFormula::Atom("R", {2, 0})),
+                     FoFormula::Atom("R", {2, 1})}),
+      {0, 1, 2}));
+  sentences.push_back(guarded(
+      FoFormula::Atom("R", {0, 1}),
+      FoFormula::Or({FoFormula::Not(FoFormula::Atom("B", {1})),
+                     FoFormula::Atom("U", {1})}),
+      {0, 1}));
+  out.ontology = FoFormula::And(std::move(sentences));
+
+  data::Schema query_schema = out.data_schema;
+  query_schema.AddRelation("R", 2);
+  query_schema.AddRelation("U", 1);
+  fo::UnionOfCq q(query_schema, 0);
+  q.AddDisjunct(fo::MakeBooleanAtomicQuery(query_schema, "U"));
+  out.query = std::move(q);
+  return out;
+}
+
+ddlog::Program Prop315Program() {
+  data::Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("P", 3);
+  ddlog::Program program(s);
+  auto parsed = ddlog::ParseProgram(s, R"(
+    R(z,x) <- P(x,z,y), A(x).
+    R(z,y) <- P(x,z,y), R(z,x).
+    U(y) <- R(x,y), B(y).
+    goal <- U(y).
+  )");
+  OBDA_CHECK(parsed.ok());
+  return *parsed;
+}
+
+data::Instance Prop315YesInstance(int m) {
+  data::Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("P", 3);
+  data::Instance d(s);
+  std::vector<data::ConstId> elems;
+  for (int i = 1; i <= m; ++i) {
+    elems.push_back(d.AddConstant("d" + std::to_string(i)));
+  }
+  data::ConstId e = d.AddConstant("e");
+  d.AddFact(*s.FindRelation("A"), {elems[0]});
+  d.AddFact(*s.FindRelation("B"), {elems[m - 1]});
+  for (int i = 0; i + 1 < m; ++i) {
+    d.AddFact(*s.FindRelation("P"), {elems[i], e, elems[i + 1]});
+  }
+  return d;
+}
+
+data::Instance Prop315NoInstance(int m) {
+  data::Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("P", 3);
+  data::Instance d(s);
+  std::vector<data::ConstId> elems;
+  for (int i = 1; i <= m; ++i) {
+    elems.push_back(d.AddConstant("d" + std::to_string(i)));
+  }
+  std::vector<data::ConstId> centers;
+  for (int j = 1; j < m; ++j) {
+    centers.push_back(d.AddConstant("e" + std::to_string(j)));
+  }
+  d.AddFact(*s.FindRelation("A"), {elems[0]});
+  d.AddFact(*s.FindRelation("B"), {elems[m - 1]});
+  for (int i = 1; i < m; ++i) {
+    for (int j = 1; j < m; ++j) {
+      if (j == i) continue;
+      d.AddFact(*s.FindRelation("P"),
+                {elems[i - 1], centers[j - 1], elems[i]});
+    }
+  }
+  return d;
+}
+
+}  // namespace obda::gfo

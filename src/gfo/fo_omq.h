@@ -1,0 +1,64 @@
+#ifndef OBDA_GFO_FO_OMQ_H_
+#define OBDA_GFO_FO_OMQ_H_
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "ddlog/program.h"
+#include "fo/cq.h"
+#include "gfo/fo_formula.h"
+
+namespace obda::gfo {
+
+/// An ontology-mediated query whose ontology is an arbitrary FO sentence
+/// (the paper's §3.2 setting: UNFO/GFO/GNFO ontologies over schemas of
+/// unrestricted arity).
+struct FoOmq {
+  data::Schema data_schema;
+  FoFormula ontology;  // a sentence
+  fo::UnionOfCq query{data::Schema(), 0};
+};
+
+/// Options for the bounded FO countermodel search.
+struct FoBoundedOptions {
+  int extra_elements = 3;
+  std::uint64_t max_decisions = 50'000'000;
+};
+
+/// Certain answers of an FO-ontology OMQ by bounded countermodel search
+/// (SAT over a fixed domain, quantifiers expanded; the UNFO/GNFO oracle
+/// of DESIGN.md §5.6). Sound refutations; certainty complete only up to
+/// the bound.
+base::Result<std::vector<std::vector<data::ConstId>>>
+BoundedCertainAnswersFo(const FoOmq& omq, const data::Instance& instance,
+                        const FoBoundedOptions& options =
+                            FoBoundedOptions());
+
+/// Thm 3.17(2): every frontier-guarded DDlog program is equivalent to a
+/// (GNFO, UCQ) ontology-mediated query with |O|, |q| ∈ O(|Π|). The
+/// ontology is the conjunction of the non-goal rules, each written as
+/// ¬∃x̄(body ∧ ¬H1 ∧ ... ∧ ¬Hm) — a GNFO sentence by
+/// frontier-guardedness; the query collects the goal-rule bodies.
+base::Result<FoOmq> FgDdlogToGnfoOmq(const ddlog::Program& program);
+
+/// The Prop 3.15 separating query (†) as a frontier-guarded DDlog
+/// program over S = {A/1, B/1, P/3}: true iff there are a1..an, b with
+/// A(a1), B(an) and P(ai, b, ai+1) for all i. Not expressible in MDDlog.
+ddlog::Program Prop315Program();
+
+/// The paper's GFO ontology for (†) (proof of Prop 3.15):
+///   ∀xyz (P(x,z,y) → (A(x) → R(z,x)))
+///   ∀xyz (P(x,z,y) → (R(z,x) → R(z,y)))
+///   ∀xy  (R(x,y) → (B(y) → U(y)))
+/// packaged as the (GFO,UCQ) OMQ (S, O, ∃x U(x)). The ontology passes
+/// the IsGfo (and IsGnfo) syntactic checks.
+FoOmq Prop315GfoOmq();
+
+/// The instance families D1 (a P-chain through one center, query true)
+/// and D0 (centers avoiding the diagonal, query false) from the proof of
+/// Prop 3.15, parameterized by the chain length m.
+data::Instance Prop315YesInstance(int m);
+data::Instance Prop315NoInstance(int m);
+
+}  // namespace obda::gfo
+
+#endif  // OBDA_GFO_FO_OMQ_H_

@@ -1,0 +1,101 @@
+#include "mmsnp/containment.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "base/check.h"
+
+namespace obda::mmsnp {
+
+namespace {
+
+/// Enumerates instances over `schema` with `num_elements` elements and at
+/// most `max_facts` facts; stops early when `visit` returns false.
+bool EnumerateInstances(
+    const data::Schema& schema, int num_elements, int max_facts,
+    const std::function<bool(const data::Instance&)>& visit) {
+  struct FactTemplate {
+    data::RelationId rel;
+    std::vector<data::ConstId> args;
+  };
+  std::vector<FactTemplate> all_facts;
+  for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+    const int arity = schema.Arity(r);
+    if (arity == 0) continue;
+    std::vector<data::ConstId> args(static_cast<std::size_t>(arity), 0);
+    for (;;) {
+      all_facts.push_back(FactTemplate{r, args});
+      int pos = arity - 1;
+      while (pos >= 0 &&
+             ++args[pos] == static_cast<data::ConstId>(num_elements)) {
+        args[pos] = 0;
+        --pos;
+      }
+      if (pos < 0) break;
+    }
+  }
+  std::vector<int> chosen;
+  std::function<bool(std::size_t)> recurse = [&](std::size_t start) {
+    {
+      data::Instance d(schema);
+      for (int i = 0; i < num_elements; ++i) {
+        d.AddConstant("e" + std::to_string(i));
+      }
+      for (int f : chosen) {
+        d.AddFact(all_facts[f].rel, all_facts[f].args);
+      }
+      if (!visit(d)) return false;
+    }
+    if (static_cast<int>(chosen.size()) == max_facts) return true;
+    for (std::size_t f = start; f < all_facts.size(); ++f) {
+      chosen.push_back(static_cast<int>(f));
+      if (!recurse(f + 1)) return false;
+      chosen.pop_back();
+    }
+    return true;
+  };
+  return recurse(0);
+}
+
+}  // namespace
+
+base::Result<MmsnpContainment> ContainedBounded(
+    const Formula& f1, const Formula& f2,
+    const MmsnpContainmentOptions& options) {
+  if (!f1.schema().LayoutCompatible(f2.schema())) {
+    return base::InvalidArgumentError("schemas differ");
+  }
+  if (f1.num_free_vars() != f2.num_free_vars()) {
+    return base::InvalidArgumentError("arity mismatch");
+  }
+  bool contained = true;
+  base::Status failure = base::Status::Ok();
+  for (int n = 1; n <= options.max_elements && contained; ++n) {
+    EnumerateInstances(
+        f1.schema(), n, options.max_facts,
+        [&](const data::Instance& d) {
+          auto a1 = f1.EvaluateCo(d);
+          if (!a1.ok()) {
+            failure = a1.status();
+            return false;
+          }
+          auto a2 = f2.EvaluateCo(d);
+          if (!a2.ok()) {
+            failure = a2.status();
+            return false;
+          }
+          for (const auto& t : *a1) {
+            if (std::find(a2->begin(), a2->end(), t) == a2->end()) {
+              contained = false;
+              return false;
+            }
+          }
+          return true;
+        });
+    if (!failure.ok()) return failure;
+  }
+  return contained ? MmsnpContainment::kContainedWithinBound
+                   : MmsnpContainment::kNotContained;
+}
+
+}  // namespace obda::mmsnp

@@ -1,0 +1,36 @@
+#ifndef OBDA_MMSNP_CONTAINMENT_H_
+#define OBDA_MMSNP_CONTAINMENT_H_
+
+#include "base/status.h"
+#include "mmsnp/formula.h"
+
+namespace obda::mmsnp {
+
+/// Verdict of the bounded containment check.
+enum class MmsnpContainment {
+  /// A counterexample instance was found: q_Φ1 ⊄ q_Φ2 (sound).
+  kNotContained,
+  /// No counterexample within the bound. The paper (after [Feder–Vardi
+  /// 1998] and Prop 5.5) shows containment is decidable outright; the
+  /// general decision procedure is 2NExpTime-scale machinery we replace
+  /// by bounded search (DESIGN.md §5.4).
+  kContainedWithinBound,
+};
+
+struct MmsnpContainmentOptions {
+  int max_elements = 3;
+  int max_facts = 4;
+};
+
+/// Bounded containment test for the coMMSNP queries of two formulas over
+/// the same schema and arity: enumerates instances up to the bound and
+/// compares q_Φ1(D) ⊆ q_Φ2(D). Prop 5.5's reduction (formulas →
+/// sentences via markers) is available as SentenceWithMarkers and is
+/// exercised by the tests.
+base::Result<MmsnpContainment> ContainedBounded(
+    const Formula& f1, const Formula& f2,
+    const MmsnpContainmentOptions& options = MmsnpContainmentOptions());
+
+}  // namespace obda::mmsnp
+
+#endif  // OBDA_MMSNP_CONTAINMENT_H_

@@ -1,0 +1,271 @@
+#include "mmsnp/formula.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "sat/solver.h"
+
+namespace obda::mmsnp {
+
+int Implication::NumVars() const {
+  int max_var = -1;
+  for (const auto& atoms : {&body, &head}) {
+    for (const Atom& a : *atoms) {
+      for (int v : a.vars) max_var = std::max(max_var, v);
+    }
+  }
+  return max_var + 1;
+}
+
+SoVarId Formula::AddSoVar(std::string name, int arity) {
+  SoVarId id = static_cast<SoVarId>(so_vars_.size());
+  so_vars_.push_back(SoVarInfo{std::move(name), arity});
+  return id;
+}
+
+const std::string& Formula::SoVarName(SoVarId v) const {
+  OBDA_CHECK_LT(v, so_vars_.size());
+  return so_vars_[v].name;
+}
+
+int Formula::SoVarArity(SoVarId v) const {
+  OBDA_CHECK_LT(v, so_vars_.size());
+  return so_vars_[v].arity;
+}
+
+base::Status Formula::AddImplication(Implication imp) {
+  for (const Atom& a : imp.head) {
+    if (a.kind == AtomKind::kInput) {
+      return base::InvalidArgumentError("input atom in implication head");
+    }
+    if (a.kind == AtomKind::kEquality) {
+      return base::InvalidArgumentError("equality atom in implication head");
+    }
+    OBDA_CHECK_LT(a.pred, so_vars_.size());
+    OBDA_CHECK_EQ(static_cast<int>(a.vars.size()),
+                  so_vars_[a.pred].arity);
+  }
+  for (const Atom& a : imp.body) {
+    if (a.kind == AtomKind::kSecondOrder) {
+      OBDA_CHECK_LT(a.pred, so_vars_.size());
+      OBDA_CHECK_EQ(static_cast<int>(a.vars.size()),
+                    so_vars_[a.pred].arity);
+    } else if (a.kind == AtomKind::kInput) {
+      OBDA_CHECK_LT(a.pred, schema_.NumRelations());
+      OBDA_CHECK_EQ(static_cast<int>(a.vars.size()),
+                    schema_.Arity(static_cast<data::RelationId>(a.pred)));
+    } else {
+      OBDA_CHECK_EQ(a.vars.size(), 2u);
+    }
+  }
+  implications_.push_back(std::move(imp));
+  return base::Status::Ok();
+}
+
+bool Formula::IsMonadic() const {
+  for (const auto& v : so_vars_) {
+    if (v.arity != 1) return false;
+  }
+  return true;
+}
+
+bool Formula::IsGuarded() const {
+  for (const Implication& imp : implications_) {
+    for (const Atom& h : imp.head) {
+      bool guarded = false;
+      for (const Atom& b : imp.body) {
+        if (b.kind == AtomKind::kEquality) continue;
+        bool covers = true;
+        for (int v : h.vars) {
+          if (std::find(b.vars.begin(), b.vars.end(), v) == b.vars.end()) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          guarded = true;
+          break;
+        }
+      }
+      if (!guarded) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+using AtomKey = std::vector<std::uint32_t>;
+
+struct Grounder {
+  const Formula& formula;
+  const data::Instance& instance;
+  std::vector<data::ConstId> adom;
+  sat::Solver solver;
+  std::map<AtomKey, sat::Var> so_atoms;
+
+  explicit Grounder(const Formula& f, const data::Instance& d)
+      : formula(f), instance(d), adom(d.ActiveDomain()) {}
+
+  sat::Var VarFor(SoVarId so, const std::vector<data::ConstId>& args) {
+    AtomKey key;
+    key.push_back(so);
+    for (data::ConstId c : args) key.push_back(c);
+    auto it = so_atoms.find(key);
+    if (it != so_atoms.end()) return it->second;
+    sat::Var v = solver.NewVar();
+    so_atoms.emplace(std::move(key), v);
+    return v;
+  }
+
+  void GroundImplication(const Implication& imp,
+                         const std::vector<data::ConstId>& answer) {
+    std::vector<data::ConstId> assign(
+        static_cast<std::size_t>(imp.NumVars()), data::kInvalidConst);
+    const int num_free = formula.num_free_vars();
+    for (int i = 0; i < num_free && i < imp.NumVars(); ++i) {
+      assign[i] = answer[i];
+    }
+    Recurse(imp, num_free, &assign);
+  }
+
+  void Recurse(const Implication& imp, int next_var,
+               std::vector<data::ConstId>* assign) {
+    if (next_var >= imp.NumVars()) {
+      EmitClause(imp, *assign);
+      return;
+    }
+    for (data::ConstId c : adom) {
+      (*assign)[next_var] = c;
+      Recurse(imp, next_var + 1, assign);
+    }
+  }
+
+  void EmitClause(const Implication& imp,
+                  const std::vector<data::ConstId>& assign) {
+    std::vector<sat::Lit> clause;
+    for (const Atom& a : imp.body) {
+      if (a.kind == AtomKind::kEquality) {
+        if (assign[a.vars[0]] != assign[a.vars[1]]) return;  // satisfied
+        continue;
+      }
+      std::vector<data::ConstId> args;
+      args.reserve(a.vars.size());
+      for (int v : a.vars) args.push_back(assign[v]);
+      if (a.kind == AtomKind::kInput) {
+        if (!instance.HasFact(static_cast<data::RelationId>(a.pred),
+                              args)) {
+          return;  // body false: implication satisfied
+        }
+      } else {
+        clause.push_back(sat::Lit::Neg(VarFor(a.pred, args)));
+      }
+    }
+    for (const Atom& a : imp.head) {
+      std::vector<data::ConstId> args;
+      args.reserve(a.vars.size());
+      for (int v : a.vars) args.push_back(assign[v]);
+      clause.push_back(sat::Lit::Pos(VarFor(a.pred, args)));
+    }
+    solver.AddClause(std::move(clause));
+  }
+};
+
+}  // namespace
+
+base::Result<bool> Formula::Satisfied(
+    const data::Instance& instance,
+    const std::vector<data::ConstId>& answer) const {
+  OBDA_CHECK_EQ(static_cast<int>(answer.size()), num_free_vars_);
+  Grounder grounder(*this, instance);
+  if (grounder.adom.empty()) {
+    // Paper convention: the empty instance satisfies every sentence.
+    return true;
+  }
+  for (const Implication& imp : implications_) {
+    grounder.GroundImplication(imp, answer);
+  }
+  sat::SatOutcome outcome = grounder.solver.Solve({}, 50'000'000);
+  if (outcome == sat::SatOutcome::kBudget) {
+    return base::ResourceExhaustedError("MMSNP evaluation budget");
+  }
+  return outcome == sat::SatOutcome::kSat;
+}
+
+base::Result<std::vector<std::vector<data::ConstId>>> Formula::EvaluateCo(
+    const data::Instance& instance) const {
+  std::vector<std::vector<data::ConstId>> out;
+  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  if (num_free_vars_ > 0 && adom.empty()) return out;
+  std::vector<std::size_t> idx(static_cast<std::size_t>(num_free_vars_), 0);
+  for (;;) {
+    std::vector<data::ConstId> tuple;
+    for (int i = 0; i < num_free_vars_; ++i) tuple.push_back(adom[idx[i]]);
+    auto sat = Satisfied(instance, tuple);
+    if (!sat.ok()) return sat.status();
+    if (!*sat) out.push_back(tuple);
+    int pos = num_free_vars_ - 1;
+    while (pos >= 0 && ++idx[pos] == adom.size()) {
+      idx[pos] = 0;
+      --pos;
+    }
+    if (pos < 0) break;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::size_t Formula::SymbolSize() const {
+  std::size_t size = so_vars_.size();
+  for (const Implication& imp : implications_) {
+    size += 1;
+    for (const auto& atoms : {&imp.body, &imp.head}) {
+      for (const Atom& a : *atoms) size += 3 + a.vars.size();
+    }
+  }
+  return size;
+}
+
+std::string Formula::ToString() const {
+  std::string out = "∃";
+  for (const auto& v : so_vars_) out += v.name + " ";
+  out += "∀x̄ :\n";
+  auto atom_str = [this](const Atom& a) {
+    std::string s;
+    if (a.kind == AtomKind::kEquality) {
+      return "x" + std::to_string(a.vars[0]) + "=x" +
+             std::to_string(a.vars[1]);
+    }
+    if (a.kind == AtomKind::kSecondOrder) {
+      s = so_vars_[a.pred].name;
+    } else {
+      s = schema_.RelationName(static_cast<data::RelationId>(a.pred));
+    }
+    s += "(";
+    for (std::size_t i = 0; i < a.vars.size(); ++i) {
+      if (i > 0) s += ",";
+      s += "x" + std::to_string(a.vars[i]);
+    }
+    s += ")";
+    return s;
+  };
+  for (const Implication& imp : implications_) {
+    out += "  ";
+    for (std::size_t i = 0; i < imp.body.size(); ++i) {
+      if (i > 0) out += " ∧ ";
+      out += atom_str(imp.body[i]);
+    }
+    out += " → ";
+    if (imp.head.empty()) out += "⊥";
+    for (std::size_t i = 0; i < imp.head.size(); ++i) {
+      if (i > 0) out += " ∨ ";
+      out += atom_str(imp.head[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace obda::mmsnp

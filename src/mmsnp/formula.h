@@ -1,0 +1,108 @@
+#ifndef OBDA_MMSNP_FORMULA_H_
+#define OBDA_MMSNP_FORMULA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "data/schema.h"
+
+namespace obda::mmsnp {
+
+/// Index of an existential second-order variable of a formula.
+using SoVarId = std::uint32_t;
+
+/// Atom kinds inside an implication.
+enum class AtomKind {
+  /// X(x̄) with X a second-order variable (monadic in MMSNP, any arity in
+  /// GMSNP).
+  kSecondOrder,
+  /// R(x̄) with R an input relation.
+  kInput,
+  /// x = y (bodies only).
+  kEquality,
+};
+
+/// One atom of an implication. First-order variables are
+/// implication-local, except that ids < num_free_vars() refer to the
+/// formula's free variables (shared across implications).
+struct Atom {
+  AtomKind kind = AtomKind::kInput;
+  /// SO variable id or input RelationId (unused for equality).
+  std::uint32_t pred = 0;
+  std::vector<int> vars;
+};
+
+/// An implication  α1 ∧ ... ∧ αn → β1 ∨ ... ∨ βm  (paper §4.1). Heads
+/// contain only second-order atoms.
+struct Implication {
+  std::vector<Atom> body;
+  std::vector<Atom> head;
+
+  int NumVars() const;
+};
+
+/// A (G)MSNP formula  ∃X1..Xn ∀x̄ ∧ᵢ ψᵢ  with free first-order variables
+/// y1..yk (paper §4.1). The monadic, equality-restricted case is MMSNP;
+/// allowing higher-arity SO variables with frontier-guarded heads gives
+/// GMSNP.
+class Formula {
+ public:
+  Formula(data::Schema schema, int num_free_vars)
+      : schema_(std::move(schema)), num_free_vars_(num_free_vars) {}
+
+  const data::Schema& schema() const { return schema_; }
+  int num_free_vars() const { return num_free_vars_; }
+
+  SoVarId AddSoVar(std::string name, int arity);
+  std::size_t NumSoVars() const { return so_vars_.size(); }
+  const std::string& SoVarName(SoVarId v) const;
+  int SoVarArity(SoVarId v) const;
+
+  /// Adds an implication. Aborts on malformed atoms; returns an error for
+  /// input atoms in heads or equality atoms in heads.
+  base::Status AddImplication(Implication imp);
+  const std::vector<Implication>& implications() const {
+    return implications_;
+  }
+
+  /// True if every SO variable is monadic (the first M of MMSNP).
+  bool IsMonadic() const;
+  /// True if every head atom has a body atom (SO or input) containing all
+  /// of its variables (the G of GMSNP). Monadic formulas whose head
+  /// variables occur in the body are automatically guarded.
+  bool IsGuarded() const;
+
+  /// Checks Φ[assignment] on (adom(D), D): does some interpretation of
+  /// the SO variables satisfy all implications? Decided by SAT.
+  /// `answer` assigns the free variables. The empty instance satisfies
+  /// every sentence by convention (paper §4.1).
+  base::Result<bool> Satisfied(const data::Instance& instance,
+                               const std::vector<data::ConstId>& answer)
+      const;
+
+  /// The coMMSNP/coGMSNP query (paper §4.1): all tuples ā over adom with
+  /// (adom(D), D) ⊭ Φ[ā], sorted.
+  base::Result<std::vector<std::vector<data::ConstId>>> EvaluateCo(
+      const data::Instance& instance) const;
+
+  std::size_t SymbolSize() const;
+  std::string ToString() const;
+
+ private:
+  struct SoVarInfo {
+    std::string name;
+    int arity;
+  };
+
+  data::Schema schema_;
+  int num_free_vars_;
+  std::vector<SoVarInfo> so_vars_;
+  std::vector<Implication> implications_;
+};
+
+}  // namespace obda::mmsnp
+
+#endif  // OBDA_MMSNP_FORMULA_H_

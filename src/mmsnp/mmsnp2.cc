@@ -1,0 +1,494 @@
+#include "mmsnp/mmsnp2.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "base/check.h"
+#include "sat/solver.h"
+
+namespace obda::mmsnp {
+
+int Mmsnp2Implication::NumVars() const {
+  int max_var = -1;
+  for (const auto& atoms : {&body, &head}) {
+    for (const Mmsnp2Atom& a : *atoms) {
+      for (int v : a.vars) max_var = std::max(max_var, v);
+    }
+  }
+  return max_var + 1;
+}
+
+std::uint32_t Mmsnp2Formula::AddSoVar(std::string name) {
+  so_names_.push_back(std::move(name));
+  return static_cast<std::uint32_t>(so_names_.size() - 1);
+}
+
+const std::string& Mmsnp2Formula::SoVarName(std::uint32_t v) const {
+  OBDA_CHECK_LT(v, so_names_.size());
+  return so_names_[v];
+}
+
+base::Status Mmsnp2Formula::AddImplication(Mmsnp2Implication imp) {
+  for (const Mmsnp2Atom& a : imp.head) {
+    if (a.kind == Mmsnp2Atom::Kind::kInput ||
+        a.kind == Mmsnp2Atom::Kind::kEquality) {
+      return base::InvalidArgumentError("input/equality atom in head");
+    }
+    if (a.kind == Mmsnp2Atom::Kind::kFact) {
+      // Guardedness: the guarded R(x̄) must appear in the body.
+      bool guarded = false;
+      for (const Mmsnp2Atom& b : imp.body) {
+        if (b.kind == Mmsnp2Atom::Kind::kInput &&
+            b.relation == a.relation && b.vars == a.vars) {
+          guarded = true;
+        }
+      }
+      if (!guarded) {
+        return base::InvalidArgumentError(
+            "head fact atom X(R(x̄)) without body atom R(x̄)");
+      }
+    }
+  }
+  implications_.push_back(std::move(imp));
+  return base::Status::Ok();
+}
+
+namespace {
+
+using AtomKey = std::vector<std::uint32_t>;
+
+}  // namespace
+
+base::Result<bool> Mmsnp2Formula::Satisfied(
+    const data::Instance& instance) const {
+  OBDA_CHECK(instance.schema().LayoutCompatible(schema_));
+  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  if (adom.empty()) return true;  // sentence convention
+
+  sat::Solver solver;
+  std::map<AtomKey, sat::Var> vars;
+  auto var_for = [&](AtomKey key) {
+    auto it = vars.find(key);
+    if (it != vars.end()) return it->second;
+    sat::Var v = solver.NewVar();
+    vars.emplace(std::move(key), v);
+    return v;
+  };
+  // Element bit: [0, X, e]; fact bit: [1, X, rel, args...].
+  for (const Mmsnp2Implication& imp : implications_) {
+    std::vector<data::ConstId> assign(
+        static_cast<std::size_t>(imp.NumVars()), 0);
+    std::function<void(int)> ground = [&](int next) {
+      if (next == imp.NumVars()) {
+        std::vector<sat::Lit> clause;
+        auto lit_of = [&](const Mmsnp2Atom& a,
+                          bool positive) -> std::optional<sat::Lit> {
+          if (a.kind == Mmsnp2Atom::Kind::kElement) {
+            AtomKey key = {0, a.so_var, assign[a.vars[0]]};
+            sat::Var v = var_for(std::move(key));
+            return positive ? sat::Lit::Pos(v) : sat::Lit::Neg(v);
+          }
+          // Fact atom: false outright if the fact is absent.
+          std::vector<data::ConstId> args;
+          for (int x : a.vars) args.push_back(assign[x]);
+          if (!instance.HasFact(
+                  static_cast<data::RelationId>(a.relation), args)) {
+            return std::nullopt;  // atom is false
+          }
+          AtomKey key = {1, a.so_var, a.relation};
+          for (data::ConstId c : args) key.push_back(c);
+          sat::Var v = var_for(std::move(key));
+          return positive ? sat::Lit::Pos(v) : sat::Lit::Neg(v);
+        };
+        for (const Mmsnp2Atom& a : imp.body) {
+          if (a.kind == Mmsnp2Atom::Kind::kEquality) {
+            if (assign[a.vars[0]] != assign[a.vars[1]]) return;
+            continue;
+          }
+          if (a.kind == Mmsnp2Atom::Kind::kInput) {
+            std::vector<data::ConstId> args;
+            for (int x : a.vars) args.push_back(assign[x]);
+            if (!instance.HasFact(
+                    static_cast<data::RelationId>(a.relation), args)) {
+              return;  // body false
+            }
+            continue;
+          }
+          auto lit = lit_of(a, /*positive=*/false);
+          if (!lit.has_value()) return;  // false body fact atom
+          clause.push_back(*lit);
+        }
+        for (const Mmsnp2Atom& a : imp.head) {
+          auto lit = lit_of(a, /*positive=*/true);
+          if (lit.has_value()) clause.push_back(*lit);
+          // An absent-fact head atom contributes nothing.
+        }
+        solver.AddClause(std::move(clause));
+        return;
+      }
+      for (data::ConstId c : adom) {
+        assign[next] = c;
+        ground(next + 1);
+      }
+    };
+    ground(0);
+  }
+  sat::SatOutcome outcome = solver.Solve({}, 50'000'000);
+  if (outcome == sat::SatOutcome::kBudget) {
+    return base::ResourceExhaustedError("MMSNP2 evaluation budget");
+  }
+  return outcome == sat::SatOutcome::kSat;
+}
+
+base::Result<bool> Mmsnp2Formula::CoQuery(
+    const data::Instance& instance) const {
+  auto sat = Satisfied(instance);
+  if (!sat.ok()) return sat.status();
+  return !*sat;
+}
+
+Formula Mmsnp2Formula::ToGmsnp() const {
+  Formula out(schema_, 0);
+  // X¹ per SO var; X^R per (SO var, relation).
+  std::vector<SoVarId> elem_var(so_names_.size());
+  std::map<std::pair<std::uint32_t, std::uint32_t>, SoVarId> fact_var;
+  for (std::uint32_t x = 0; x < so_names_.size(); ++x) {
+    elem_var[x] = out.AddSoVar(so_names_[x] + "_elem", 1);
+  }
+  for (std::uint32_t x = 0; x < so_names_.size(); ++x) {
+    for (data::RelationId r = 0; r < schema_.NumRelations(); ++r) {
+      fact_var[{x, r}] =
+          out.AddSoVar(so_names_[x] + "_" + schema_.RelationName(r),
+                       schema_.Arity(r));
+    }
+  }
+  auto convert = [&](const Mmsnp2Atom& a) {
+    Atom b;
+    switch (a.kind) {
+      case Mmsnp2Atom::Kind::kInput:
+        b.kind = AtomKind::kInput;
+        b.pred = a.relation;
+        break;
+      case Mmsnp2Atom::Kind::kElement:
+        b.kind = AtomKind::kSecondOrder;
+        b.pred = elem_var[a.so_var];
+        break;
+      case Mmsnp2Atom::Kind::kFact:
+        b.kind = AtomKind::kSecondOrder;
+        b.pred = fact_var.at({a.so_var, a.relation});
+        break;
+      case Mmsnp2Atom::Kind::kEquality:
+        b.kind = AtomKind::kEquality;
+        break;
+    }
+    b.vars = a.vars;
+    return b;
+  };
+  for (const Mmsnp2Implication& imp : implications_) {
+    Implication converted;
+    for (const Mmsnp2Atom& a : imp.body) {
+      converted.body.push_back(convert(a));
+    }
+    for (const Mmsnp2Atom& a : imp.head) {
+      converted.head.push_back(convert(a));
+    }
+    OBDA_CHECK(out.AddImplication(std::move(converted)).ok());
+  }
+  return out;
+}
+
+std::string Mmsnp2Formula::ToString() const {
+  std::string out = "MMSNP2 ∃";
+  for (const auto& n : so_names_) out += n + " ";
+  out += ":\n";
+  auto atom_str = [this](const Mmsnp2Atom& a) {
+    auto vars_str = [&a](std::size_t from) {
+      std::string s = "(";
+      for (std::size_t i = from; i < a.vars.size(); ++i) {
+        if (i > from) s += ",";
+        s += "x" + std::to_string(a.vars[i]);
+      }
+      return s + ")";
+    };
+    switch (a.kind) {
+      case Mmsnp2Atom::Kind::kInput:
+        return schema_.RelationName(
+                   static_cast<data::RelationId>(a.relation)) +
+               vars_str(0);
+      case Mmsnp2Atom::Kind::kElement:
+        return so_names_[a.so_var] + vars_str(0);
+      case Mmsnp2Atom::Kind::kFact:
+        return so_names_[a.so_var] + "(" +
+               schema_.RelationName(
+                   static_cast<data::RelationId>(a.relation)) +
+               vars_str(0) + ")";
+      case Mmsnp2Atom::Kind::kEquality:
+        return "x" + std::to_string(a.vars[0]) + "=x" +
+               std::to_string(a.vars[1]);
+    }
+    return std::string("?");
+  };
+  for (const Mmsnp2Implication& imp : implications_) {
+    out += "  ";
+    for (std::size_t i = 0; i < imp.body.size(); ++i) {
+      if (i > 0) out += " ∧ ";
+      out += atom_str(imp.body[i]);
+    }
+    out += " → ";
+    if (imp.head.empty()) out += "⊥";
+    for (std::size_t i = 0; i < imp.head.size(); ++i) {
+      if (i > 0) out += " ∨ ";
+      out += atom_str(imp.head[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// --- GMSNP → MMSNP2 (Thm 4.3, Appendix B construction) -----------------------
+
+namespace {
+
+/// A head-atom occurrence in the (normalized) GMSNP formula.
+struct HeadOccurrence {
+  std::size_t implication;
+  std::size_t head_index;
+  std::uint32_t so_var;            // original SO variable
+  std::vector<int> vars;           // its argument variables
+  std::uint32_t guard_relation;    // chosen input guard R_A
+  std::vector<int> guard_vars;     // ȳ_A
+};
+
+}  // namespace
+
+base::Result<Mmsnp2Formula> GmsnpToMmsnp2(const Formula& gmsnp) {
+  if (gmsnp.num_free_vars() != 0) {
+    return base::InvalidArgumentError("GmsnpToMmsnp2 expects a sentence");
+  }
+  if (!gmsnp.IsGuarded()) {
+    return base::InvalidArgumentError("formula is not in GMSNP");
+  }
+  // Step 1: input-guarded heads. For every head atom there must be an
+  // input body atom covering its variables (the proof's first w.l.o.g.
+  // condition; padding with input conjuncts is a case split we reject
+  // rather than silently altering semantics).
+  for (const Implication& imp : gmsnp.implications()) {
+    for (const Atom& h : imp.head) {
+      bool guarded = false;
+      for (const Atom& b : imp.body) {
+        if (b.kind != AtomKind::kInput) continue;
+        bool covers = true;
+        for (int v : h.vars) {
+          if (std::find(b.vars.begin(), b.vars.end(), v) == b.vars.end()) {
+            covers = false;
+          }
+        }
+        if (covers) guarded = true;
+      }
+      if (!guarded) {
+        return base::UnimplementedError(
+            "head atom lacks an input-relation guard; pad the formula "
+            "first (proof of Thm 4.3, condition (1))");
+      }
+    }
+  }
+
+  // Step 2: close under identifying FO variables. Each implication is
+  // replaced by all its quotients under partitions of its variable set
+  // (the proof's condition (2)).
+  std::vector<Implication> closed;
+  for (const Implication& original : gmsnp.implications()) {
+    const int nv = original.NumVars();
+    if (nv > 8) {
+      return base::ResourceExhaustedError(
+          "identification closure too large (more than 8 variables)");
+    }
+    // Enumerate all maps v -> representative (restricted growth strings).
+    std::vector<int> rep(static_cast<std::size_t>(std::max(nv, 1)), 0);
+    std::function<void(int, int)> enumerate = [&](int v, int blocks) {
+      if (v == nv || nv == 0) {
+        Implication quotient;
+        auto rewrite = [&](const Atom& a) {
+          Atom b = a;
+          for (int& x : b.vars) x = rep[x];
+          return b;
+        };
+        for (const Atom& a : original.body) {
+          quotient.body.push_back(rewrite(a));
+        }
+        for (const Atom& a : original.head) {
+          quotient.head.push_back(rewrite(a));
+        }
+        closed.push_back(std::move(quotient));
+        return;
+      }
+      for (int b = 0; b <= blocks; ++b) {
+        rep[v] = b;
+        enumerate(v + 1, std::max(blocks, b + 1));
+      }
+    };
+    if (nv == 0) {
+      closed.push_back(original);
+    } else {
+      enumerate(0, 0);
+    }
+  }
+
+  // Step 3: collect head occurrences with chosen input guards; each
+  // becomes a fresh MMSNP2 SO variable X_A.
+  Mmsnp2Formula out(gmsnp.schema());
+  std::vector<HeadOccurrence> occurrences;
+  for (std::size_t i = 0; i < closed.size(); ++i) {
+    for (std::size_t h = 0; h < closed[i].head.size(); ++h) {
+      const Atom& atom = closed[i].head[h];
+      HeadOccurrence occ;
+      occ.implication = i;
+      occ.head_index = h;
+      occ.so_var = atom.pred;
+      occ.vars = atom.vars;
+      bool found = false;
+      for (const Atom& b : closed[i].body) {
+        if (b.kind != AtomKind::kInput) continue;
+        bool covers = true;
+        for (int v : atom.vars) {
+          if (std::find(b.vars.begin(), b.vars.end(), v) == b.vars.end()) {
+            covers = false;
+          }
+        }
+        if (covers) {
+          occ.guard_relation = b.pred;
+          occ.guard_vars = b.vars;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return base::InternalError("guard disappeared after closure");
+      }
+      out.AddSoVar("X" + std::to_string(occurrences.size()));
+      occurrences.push_back(std::move(occ));
+    }
+  }
+
+  // Step 4: translate every implication: head atoms become their fact
+  // atoms; every body SO atom X(x̄) is expanded over all head
+  // occurrences of X whose argument map x̄ -> z̄ is a well-defined
+  // bijection of variable sets.
+  for (std::size_t i = 0; i < closed.size(); ++i) {
+    const Implication& imp = closed[i];
+    // Per body SO atom: the list of (occurrence, rewritten guard vars).
+    struct Choice {
+      std::size_t occurrence;
+      std::vector<int> guard_vars;  // in this implication's variables
+    };
+    std::vector<std::vector<Choice>> options;
+    std::vector<const Atom*> so_body;
+    int fresh_var = imp.NumVars();
+    for (const Atom& b : imp.body) {
+      if (b.kind != AtomKind::kSecondOrder) continue;
+      so_body.push_back(&b);
+      std::vector<Choice> choices;
+      for (std::size_t oi = 0; oi < occurrences.size(); ++oi) {
+        const HeadOccurrence& occ = occurrences[oi];
+        if (occ.so_var != b.pred) continue;
+        // Componentwise map z̄ -> x̄ must be a function and injective.
+        std::map<int, int> rho;  // occ var -> body var
+        bool ok = true;
+        for (std::size_t p = 0; p < b.vars.size(); ++p) {
+          auto [it, inserted] = rho.emplace(occ.vars[p], b.vars[p]);
+          if (!inserted && it->second != b.vars[p]) ok = false;
+        }
+        std::map<int, int> inverse;
+        for (const auto& [z, x] : rho) {
+          auto [it, inserted] = inverse.emplace(x, z);
+          (void)it;
+          if (!inserted) ok = false;
+        }
+        if (!ok) continue;
+        // Guard tuple: map occ.guard_vars through rho, fresh elsewhere.
+        Choice choice;
+        choice.occurrence = oi;
+        std::map<int, int> fresh_map;
+        for (int g : occ.guard_vars) {
+          auto it = rho.find(g);
+          if (it != rho.end()) {
+            choice.guard_vars.push_back(it->second);
+          } else {
+            auto [fit, inserted] = fresh_map.emplace(g, fresh_var);
+            if (inserted) ++fresh_var;
+            choice.guard_vars.push_back(fit->second);
+          }
+        }
+        choices.push_back(std::move(choice));
+      }
+      options.push_back(std::move(choices));
+    }
+
+    // Cartesian product over choices.
+    std::vector<std::size_t> pick(options.size(), 0);
+    std::uint64_t combos = 1;
+    for (const auto& o : options) combos *= std::max<std::size_t>(1, o.size());
+    if (combos > 4096) {
+      return base::ResourceExhaustedError("too many ρ-choice combinations");
+    }
+    std::function<void(std::size_t)> emit = [&](std::size_t next) {
+      if (next == options.size()) {
+        Mmsnp2Implication translated;
+        // Input and equality body atoms pass through.
+        for (const Atom& b : imp.body) {
+          if (b.kind == AtomKind::kInput) {
+            Mmsnp2Atom a;
+            a.kind = Mmsnp2Atom::Kind::kInput;
+            a.relation = b.pred;
+            a.vars = b.vars;
+            translated.body.push_back(std::move(a));
+          } else if (b.kind == AtomKind::kEquality) {
+            Mmsnp2Atom a;
+            a.kind = Mmsnp2Atom::Kind::kEquality;
+            a.vars = b.vars;
+            translated.body.push_back(std::move(a));
+          }
+        }
+        // Chosen fact atoms for body SO atoms.
+        for (std::size_t s = 0; s < options.size(); ++s) {
+          const Choice& c = options[s][pick[s]];
+          Mmsnp2Atom a;
+          a.kind = Mmsnp2Atom::Kind::kFact;
+          a.so_var = static_cast<std::uint32_t>(c.occurrence);
+          a.relation = occurrences[c.occurrence].guard_relation;
+          a.vars = c.guard_vars;
+          translated.body.push_back(std::move(a));
+        }
+        // Head fact atoms (plus their guards already in the body).
+        for (std::size_t h = 0; h < imp.head.size(); ++h) {
+          // Find this occurrence.
+          for (std::size_t oi = 0; oi < occurrences.size(); ++oi) {
+            if (occurrences[oi].implication == i &&
+                occurrences[oi].head_index == h) {
+              Mmsnp2Atom a;
+              a.kind = Mmsnp2Atom::Kind::kFact;
+              a.so_var = static_cast<std::uint32_t>(oi);
+              a.relation = occurrences[oi].guard_relation;
+              a.vars = occurrences[oi].guard_vars;
+              translated.head.push_back(std::move(a));
+            }
+          }
+        }
+        // Discard silently-impossible implications (an SO body atom with
+        // no matching occurrence makes the body unsatisfiable).
+        OBDA_CHECK(out.AddImplication(std::move(translated)).ok());
+        return;
+      }
+      if (options[next].empty()) return;  // body unsatisfiable: drop
+      for (std::size_t c = 0; c < options[next].size(); ++c) {
+        pick[next] = c;
+        emit(next + 1);
+      }
+    };
+    emit(0);
+  }
+  return out;
+}
+
+}  // namespace obda::mmsnp

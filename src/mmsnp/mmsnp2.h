@@ -1,0 +1,85 @@
+#ifndef OBDA_MMSNP_MMSNP2_H_
+#define OBDA_MMSNP_MMSNP2_H_
+
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "mmsnp/formula.h"
+
+namespace obda::mmsnp {
+
+/// An atom of an MMSNP₂ implication (paper §4.1, after Thm 4.2): either
+/// a first-order atom over an input relation, an element atom X(x), or a
+/// *fact atom* X(R(x̄)) — the monadic SO variable X ranges over sets of
+/// domain elements AND facts [Madelaine 2009].
+struct Mmsnp2Atom {
+  enum class Kind { kInput, kElement, kFact, kEquality };
+  Kind kind = Kind::kInput;
+  std::uint32_t so_var = 0;        // kElement / kFact
+  std::uint32_t relation = 0;      // kInput / kFact (RelationId)
+  std::vector<int> vars;
+};
+
+struct Mmsnp2Implication {
+  std::vector<Mmsnp2Atom> body;
+  std::vector<Mmsnp2Atom> head;  // kElement / kFact atoms only
+
+  int NumVars() const;
+};
+
+/// An MMSNP₂ sentence: ∃X1..Xn ∀x̄ ∧ implications, with the guardedness
+/// condition that a head fact atom X(R(x̄)) requires the atom R(x̄) in
+/// the body. Thm 4.3: MMSNP₂ ≡ GMSNP; Cor 4.4 (via Thm 4.2 and
+/// Prop 3.15): strictly more expressive than MMSNP — resolving the open
+/// problem of [Madelaine 2009].
+class Mmsnp2Formula {
+ public:
+  explicit Mmsnp2Formula(data::Schema schema)
+      : schema_(std::move(schema)) {}
+
+  const data::Schema& schema() const { return schema_; }
+
+  std::uint32_t AddSoVar(std::string name);
+  std::size_t NumSoVars() const { return so_names_.size(); }
+  const std::string& SoVarName(std::uint32_t v) const;
+
+  /// Adds an implication; checks the guardedness of head fact atoms and
+  /// rejects input atoms in heads.
+  base::Status AddImplication(Mmsnp2Implication imp);
+  const std::vector<Mmsnp2Implication>& implications() const {
+    return implications_;
+  }
+
+  /// Direct evaluation of the sentence on (adom(D), D) by SAT: SO
+  /// variables get one bit per element and one bit per fact of D.
+  base::Result<bool> Satisfied(const data::Instance& instance) const;
+
+  /// The coMMSNP₂ Boolean query (complement).
+  base::Result<bool> CoQuery(const data::Instance& instance) const;
+
+  /// Thm 4.3 (the direction used by Cor 4.4): translates to an
+  /// equivalent GMSNP sentence — X(x) becomes X¹(x), X(R(x̄)) becomes a
+  /// relation-indexed SO variable X^R(x̄); guardedness carries over.
+  Formula ToGmsnp() const;
+
+  std::string ToString() const;
+
+ private:
+  data::Schema schema_;
+  std::vector<std::string> so_names_;
+  std::vector<Mmsnp2Implication> implications_;
+};
+
+/// The other direction of Thm 4.3: every GMSNP sentence (Boolean,
+/// guarded) translates to an equivalent MMSNP₂ sentence following the
+/// proof in Appendix B — each head atom A = X(x̄) picks a body guard
+/// R_A(ȳ_A) and becomes the fact atom X_A(R_A(ȳ_A)); body SO atoms are
+/// expanded over all head atoms that could have produced them (variable
+/// bijections ρ).
+base::Result<Mmsnp2Formula> GmsnpToMmsnp2(const Formula& gmsnp);
+
+}  // namespace obda::mmsnp
+
+#endif  // OBDA_MMSNP_MMSNP2_H_

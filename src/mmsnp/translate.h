@@ -1,0 +1,67 @@
+#ifndef OBDA_MMSNP_TRANSLATE_H_
+#define OBDA_MMSNP_TRANSLATE_H_
+
+#include "base/status.h"
+#include "ddlog/program.h"
+#include "mmsnp/formula.h"
+
+namespace obda::mmsnp {
+
+/// Translates a (G)MSNP formula into an equivalent DDlog program
+/// (Prop 4.1 for MMSNP → MDDlog; Thm 4.2 for GMSNP → frontier-guarded
+/// DDlog): the coMMSNP query of the formula equals the certain-answer
+/// query of the program. Preprocessing enforces the proof's conditions:
+/// free variables occur in every implication (padding with input atoms)
+/// and equality atoms relate free variables only (others are merged
+/// away). Monadic input yields an MDDlog program; guarded non-monadic
+/// input yields a frontier-guarded program with the R(u)-guarded guess
+/// rules.
+base::Result<ddlog::Program> ToDdlog(const Formula& formula);
+
+/// The converse translation (Prop 4.1 / Thm 4.2): every monadic (resp.
+/// frontier-guarded) DDlog program becomes an equivalent MMSNP (resp.
+/// GMSNP) formula, with goal-rule head variables replaced by free
+/// variables (adding equalities for repeated positions).
+base::Result<Formula> FromDdlog(const ddlog::Program& program);
+
+/// Prop 5.2-style sentence collapse: a sentence Φ' over the schema
+/// extended with fresh unary markers Mark1..Markk such that
+/// ā ∈ qΦ(D) iff () ∈ qΦ'(D ∪ {Markᵢ(aᵢ)}) — the polynomial equivalence
+/// used to transfer dichotomies from sentences to formulas.
+Formula SentenceWithMarkers(const Formula& formula);
+
+/// A forbidden patterns problem (paper §3, before Prop 3.2): colors C and
+/// a set of C-colored S-instances F; D ∈ Forb(F) iff some coloring of D
+/// avoids every pattern.
+struct ForbiddenPatternProblem {
+  data::Schema schema;                  // input relations S
+  std::vector<std::string> colors;      // unary color relations
+  /// Patterns over schema ∪ colors (each pattern element carries exactly
+  /// one color fact).
+  std::vector<data::Instance> patterns;
+
+  /// The schema ∪ colors signature patterns live in.
+  data::Schema ColoredSchema() const;
+
+  /// D ∈ Forb(F)? Decided by SAT over colorings, with pattern matches
+  /// enumerated as homomorphisms of the S-reduct.
+  base::Result<bool> InForb(const data::Instance& instance) const;
+
+  /// The coFPP Boolean query: q(D) = 1 iff D ∉ Forb(F).
+  base::Result<bool> CoQuery(const data::Instance& instance) const;
+};
+
+/// Prop 3.2 forward: an FPP becomes an equivalent Boolean MDDlog program
+/// (color-guessing rules + exclusivity + one goal rule per pattern).
+base::Result<ddlog::Program> FppToMddlog(const ForbiddenPatternProblem& fpp);
+
+/// Prop 3.2 backward: a Boolean MDDlog program becomes an equivalent
+/// FPP whose colors are the subsets of the program's non-goal IDB set
+/// (exponential, as in the proof). Fails when 2^#IDB exceeds
+/// `max_colors`.
+base::Result<ForbiddenPatternProblem> MddlogToFpp(
+    const ddlog::Program& program, std::size_t max_colors = 64);
+
+}  // namespace obda::mmsnp
+
+#endif  // OBDA_MMSNP_TRANSLATE_H_

@@ -1,0 +1,178 @@
+#include "sat/solver.h"
+
+#include <algorithm>
+
+namespace obda::sat {
+
+Var Solver::NewVar() {
+  Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(kUndef);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  occurrence_.push_back(0);
+  return v;
+}
+
+void Solver::AddClause(std::vector<Lit> lits) {
+  // Normalize: sort, dedupe, drop tautologies.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return;  // p ∨ ¬p: tautology
+  }
+  for (Lit l : lits) {
+    OBDA_CHECK_LT(static_cast<std::size_t>(l.var()), assign_.size());
+    ++occurrence_[l.var()];
+  }
+  if (lits.empty()) {
+    trivially_unsat_ = true;
+    return;
+  }
+  std::uint32_t index = static_cast<std::uint32_t>(clauses_.size());
+  clauses_.push_back(std::move(lits));
+  const auto& c = clauses_.back();
+  // Watch the first two literals (or the single literal twice for units;
+  // units are handled at Solve() start via propagation of watch scans, so
+  // instead we just watch slot 0 and, if present, slot 1).
+  watches_[c[0].code].push_back(index);
+  watches_[c.size() > 1 ? c[1].code : c[0].code].push_back(index);
+}
+
+bool Solver::Enqueue(Lit l) {
+  std::int8_t v = ValueOf(l);
+  if (v == kFalse) return false;
+  if (v == kUndef) {
+    assign_[l.var()] = l.negative() ? kFalse : kTrue;
+    trail_.push_back(l);
+  }
+  return true;
+}
+
+bool Solver::Propagate() {
+  while (qhead_ < trail_.size()) {
+    Lit p = trail_[qhead_++];
+    Lit false_lit = p.Negated();  // literals equal to ¬p are now false
+    std::vector<std::uint32_t>& watchers = watches_[false_lit.code];
+    std::size_t kept = 0;
+    bool conflict = false;
+    for (std::size_t wi = 0; wi < watchers.size(); ++wi) {
+      std::uint32_t ci = watchers[wi];
+      std::vector<Lit>& c = clauses_[ci];
+      if (conflict) {
+        watchers[kept++] = ci;
+        continue;
+      }
+      // Ensure the false literal is in slot 1.
+      if (c[0] == false_lit && c.size() > 1) std::swap(c[0], c[1]);
+      // If slot 0 is already true, keep watching.
+      if (ValueOf(c[0]) == kTrue) {
+        watchers[kept++] = ci;
+        continue;
+      }
+      // Look for a replacement watch.
+      bool moved = false;
+      for (std::size_t k = 2; k < c.size(); ++k) {
+        if (ValueOf(c[k]) != kFalse) {
+          std::swap(c[1], c[k]);
+          watches_[c[1].code].push_back(ci);
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit (or conflicting) on c[0].
+      watchers[kept++] = ci;
+      if (!Enqueue(c[0])) conflict = true;
+    }
+    watchers.resize(kept);
+    if (conflict) return false;
+  }
+  return true;
+}
+
+void Solver::UndoTo(std::size_t trail_size) {
+  while (trail_.size() > trail_size) {
+    assign_[trail_.back().var()] = kUndef;
+    trail_.pop_back();
+  }
+  qhead_ = trail_size;
+}
+
+SatOutcome Solver::Solve(const std::vector<Lit>& assumptions,
+                         std::uint64_t max_decisions) {
+  if (trivially_unsat_) return SatOutcome::kUnsat;
+  UndoTo(0);
+  decisions_ = 0;
+
+  // Enqueue unit clauses.
+  for (const auto& c : clauses_) {
+    if (c.size() == 1 && !Enqueue(c[0])) return SatOutcome::kUnsat;
+  }
+  for (Lit a : assumptions) {
+    OBDA_CHECK_LT(static_cast<std::size_t>(a.var()), assign_.size());
+    if (!Enqueue(a)) return SatOutcome::kUnsat;
+  }
+  if (!Propagate()) return SatOutcome::kUnsat;
+
+  // Static branching order: most-occurring variables first.
+  std::vector<Var> order;
+  order.reserve(assign_.size());
+  for (Var v = 0; v < static_cast<Var>(assign_.size()); ++v) {
+    order.push_back(v);
+  }
+  std::stable_sort(order.begin(), order.end(), [this](Var a, Var b) {
+    return occurrence_[a] > occurrence_[b];
+  });
+
+  struct Frame {
+    std::size_t trail_size;
+    Lit decision;
+    bool second_branch;
+  };
+  std::vector<Frame> stack;
+  std::size_t order_hint = 0;
+
+  for (;;) {
+    // Find an unassigned variable.
+    Var branch_var = -1;
+    for (std::size_t i = order_hint; i < order.size(); ++i) {
+      if (assign_[order[i]] == kUndef) {
+        branch_var = order[i];
+        order_hint = i;
+        break;
+      }
+    }
+    if (branch_var < 0) return SatOutcome::kSat;
+    if (max_decisions != 0 && ++decisions_ > max_decisions) {
+      return SatOutcome::kBudget;
+    }
+    if (max_decisions == 0) ++decisions_;
+    // Prefer false: the datalog engine searches for models where as few
+    // IDB atoms as possible are forced, so negative polarity finds
+    // goal-avoiding models faster.
+    Lit decision = Lit::Neg(branch_var);
+    stack.push_back(Frame{trail_.size(), decision, false});
+    OBDA_CHECK(Enqueue(decision));
+
+    while (!Propagate()) {
+      // Conflict: backtrack chronologically, flipping the most recent
+      // decision that still has an untried branch.
+      for (;;) {
+        if (stack.empty()) return SatOutcome::kUnsat;
+        Frame frame = stack.back();
+        stack.pop_back();
+        UndoTo(frame.trail_size);
+        if (!frame.second_branch) {
+          Lit flipped = frame.decision.Negated();
+          stack.push_back(Frame{frame.trail_size, flipped, true});
+          OBDA_CHECK(Enqueue(flipped));
+          break;
+        }
+      }
+      order_hint = 0;
+    }
+  }
+}
+
+}  // namespace obda::sat

@@ -1,0 +1,101 @@
+#ifndef OBDA_SAT_SOLVER_H_
+#define OBDA_SAT_SOLVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+
+namespace obda::sat {
+
+/// A propositional variable (0-based index).
+using Var = std::int32_t;
+
+/// A literal: variable with sign, encoded as 2*var (positive) or
+/// 2*var+1 (negative).
+struct Lit {
+  std::int32_t code = -1;
+
+  static Lit Pos(Var v) { return Lit{2 * v}; }
+  static Lit Neg(Var v) { return Lit{2 * v + 1}; }
+
+  Var var() const { return code >> 1; }
+  bool negative() const { return (code & 1) != 0; }
+  Lit Negated() const { return Lit{code ^ 1}; }
+
+  friend bool operator==(Lit a, Lit b) { return a.code == b.code; }
+};
+
+/// Result of a Solve() call.
+enum class SatOutcome {
+  kSat,
+  kUnsat,
+  /// The search budget was exhausted before a decision was reached.
+  kBudget,
+};
+
+/// A DPLL SAT solver with two-watched-literal unit propagation and
+/// chronological backtracking. Substrate for the disjunctive-datalog
+/// certain-answer engine (co-NP model search) and MMSNP evaluation.
+///
+/// No exceptions; a structurally unsatisfiable input (empty clause) is
+/// detected eagerly. Deterministic: same input => same model.
+class Solver {
+ public:
+  /// Adds a fresh variable and returns it.
+  Var NewVar();
+  std::size_t NumVars() const { return assign_.size(); }
+
+  /// Adds a clause (disjunction of literals). Duplicates are removed;
+  /// tautological clauses are dropped. An empty clause makes the instance
+  /// trivially unsatisfiable.
+  void AddClause(std::vector<Lit> lits);
+
+  /// Decides satisfiability under the given assumption literals.
+  /// `max_decisions` bounds the search (0 = unlimited).
+  SatOutcome Solve(const std::vector<Lit>& assumptions = {},
+                   std::uint64_t max_decisions = 0);
+
+  /// Model access after kSat: truth value of `v`.
+  bool ModelValue(Var v) const {
+    OBDA_CHECK_LT(static_cast<std::size_t>(v), assign_.size());
+    OBDA_CHECK_NE(assign_[v], kUndef);
+    return assign_[v] == kTrue;
+  }
+
+  std::size_t NumClauses() const { return clauses_.size(); }
+  std::uint64_t decisions() const { return decisions_; }
+
+ private:
+  static constexpr std::int8_t kUndef = -1;
+  static constexpr std::int8_t kFalse = 0;
+  static constexpr std::int8_t kTrue = 1;
+
+  std::int8_t ValueOf(Lit l) const {
+    std::int8_t v = assign_[l.var()];
+    if (v == kUndef) return kUndef;
+    return l.negative() ? static_cast<std::int8_t>(1 - v) : v;
+  }
+
+  /// Pushes `l` onto the trail as true. Returns false if already false.
+  bool Enqueue(Lit l);
+  /// Unit propagation from the current queue head; true iff no conflict.
+  bool Propagate();
+  /// Undoes all assignments above `trail_size`.
+  void UndoTo(std::size_t trail_size);
+
+  std::vector<std::int8_t> assign_;
+  std::vector<std::vector<Lit>> clauses_;
+  /// watches_[lit.code] = indices of clauses whose watch slot holds `lit`.
+  std::vector<std::vector<std::uint32_t>> watches_;
+  std::vector<Lit> trail_;
+  std::size_t qhead_ = 0;
+  bool trivially_unsat_ = false;
+  std::uint64_t decisions_ = 0;
+  /// Static branching order: variables sorted by occurrence count.
+  std::vector<std::uint32_t> occurrence_;
+};
+
+}  // namespace obda::sat
+
+#endif  // OBDA_SAT_SOLVER_H_

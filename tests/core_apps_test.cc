@@ -1,0 +1,367 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/containment.h"
+#include "core/csp_translation.h"
+#include "core/omq.h"
+#include "core/rewritability.h"
+#include "core/schema_free.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "dl/parser.h"
+
+namespace obda::core {
+namespace {
+
+using data::Instance;
+using data::Schema;
+
+OntologyMediatedQuery HereditaryOmq() {
+  auto o = dl::ParseOntology(
+      "some HasParent.HereditaryPredisposition [= HereditaryPredisposition");
+  OBDA_CHECK(o.ok());
+  Schema s;
+  s.AddRelation("HereditaryPredisposition", 1);
+  s.AddRelation("HasParent", 2);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(
+      s, *o, "HereditaryPredisposition");
+  OBDA_CHECK(omq.ok());
+  return *omq;
+}
+
+// --- Thm 5.16: FO-/datalog-rewritability of OMQs -----------------------------
+
+TEST(OmqRewritabilityTest, HereditaryIsDatalogNotFo) {
+  // Example 2.2: the hereditary-predisposition query is definable in
+  // datalog but not in FO.
+  OntologyMediatedQuery omq = HereditaryOmq();
+  auto fo = IsFoRewritable(omq);
+  ASSERT_TRUE(fo.ok()) << fo.status().ToString();
+  EXPECT_FALSE(*fo);
+  auto dl = IsDatalogRewritable(omq);
+  ASSERT_TRUE(dl.ok()) << dl.status().ToString();
+  EXPECT_TRUE(*dl);
+}
+
+TEST(OmqRewritabilityTest, NonRecursiveIsFoRewritable) {
+  // Example 2.2 q1: BacterialInfection(x) with the non-recursive axiom is
+  // FO-rewritable (equivalent to LymeDisease(x) ∨ Listeriosis(x)).
+  auto o = dl::ParseOntology("LymeDisease | Listeriosis [= BacterialInfection");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("LymeDisease", 1);
+  s.AddRelation("Listeriosis", 1);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *o,
+                                                    "BacterialInfection");
+  ASSERT_TRUE(omq.ok());
+  auto fo = IsFoRewritable(*omq);
+  ASSERT_TRUE(fo.ok()) << fo.status().ToString();
+  EXPECT_TRUE(*fo);
+  auto dl = IsDatalogRewritable(*omq);
+  ASSERT_TRUE(dl.ok());
+  EXPECT_TRUE(*dl);
+}
+
+TEST(OmqRewritabilityTest, ThreeColoringLikeOmqIsNeither) {
+  // The CspToOmq image of K3 behaves like co-3-colorability: neither FO-
+  // nor datalog-rewritable.
+  auto omq = CspToOmq(data::Clique("E", 3));
+  ASSERT_TRUE(omq.ok());
+  auto fo = IsFoRewritable(*omq);
+  ASSERT_TRUE(fo.ok());
+  EXPECT_FALSE(*fo);
+  auto dl = IsDatalogRewritable(*omq);
+  ASSERT_TRUE(dl.ok());
+  EXPECT_FALSE(*dl);
+}
+
+TEST(OmqRewritabilityTest, TwoColoringLikeOmqIsDatalogOnly) {
+  auto omq = CspToOmq(data::Clique("E", 2));
+  ASSERT_TRUE(omq.ok());
+  auto fo = IsFoRewritable(*omq);
+  ASSERT_TRUE(fo.ok());
+  EXPECT_FALSE(*fo);
+  auto dl = IsDatalogRewritable(*omq);
+  ASSERT_TRUE(dl.ok());
+  EXPECT_TRUE(*dl);
+}
+
+// --- §5.3: rewriting extraction ----------------------------------------------
+
+TEST(RewritingExtractionTest, FoRewritingMatchesSemantics) {
+  auto o = dl::ParseOntology("LymeDisease | Listeriosis [= BacterialInfection");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("LymeDisease", 1);
+  s.AddRelation("Listeriosis", 1);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *o,
+                                                    "BacterialInfection");
+  ASSERT_TRUE(omq.ok());
+  auto rewriting = ExtractFoRewriting(*omq);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+
+  auto d = data::ParseInstance(s, "LymeDisease(p1). Listeriosis(p2)");
+  ASSERT_TRUE(d.ok());
+  auto via_rewriting = rewriting->Evaluate(*d);
+  auto via_csp = CertainAnswersViaCsp(*omq, *d);
+  ASSERT_TRUE(via_csp.ok());
+  EXPECT_EQ(via_rewriting, *via_csp);
+  EXPECT_EQ(via_rewriting.size(), 2u);
+}
+
+TEST(RewritingExtractionTest, FoRewritingOnRandomData) {
+  auto o = dl::ParseOntology("A [= B\nsome R.B [= C");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("R", 2);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *o, "C");
+  ASSERT_TRUE(omq.ok());
+  auto fo_rewritable = IsFoRewritable(*omq);
+  ASSERT_TRUE(fo_rewritable.ok());
+  ASSERT_TRUE(*fo_rewritable);
+  // The certain answers are ∃y R(x,y) ∧ (A(y) ∨ B(y)): 2-node
+  // obstructions suffice, and a tight bound keeps the enumeration small
+  // (the candidate space grows as (2^#unary)^nodes).
+  csp::ObstructionOptions obs;
+  obs.max_nodes = 3;
+  auto rewriting = ExtractFoRewriting(*omq, obs);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  base::Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    data::RandomInstanceOptions opts;
+    opts.num_constants = 4;
+    opts.facts_per_relation = 3;
+    Instance d = data::RandomInstance(s, opts, rng);
+    auto via_rewriting = rewriting->Evaluate(d);
+    auto via_csp = CertainAnswersViaCsp(*omq, d);
+    ASSERT_TRUE(via_csp.ok());
+    EXPECT_EQ(via_rewriting, *via_csp) << "trial " << trial << "\n"
+                                       << d.ToString();
+  }
+}
+
+TEST(RewritingExtractionTest, DatalogRewritingMatchesSemantics) {
+  OntologyMediatedQuery omq = HereditaryOmq();
+  auto rewriting = ExtractDatalogRewriting(omq);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  base::Rng rng(37);
+  for (int trial = 0; trial < 6; ++trial) {
+    data::RandomInstanceOptions opts;
+    opts.num_constants = 4;
+    opts.facts_per_relation = 3;
+    Instance d = data::RandomInstance(omq.data_schema(), opts, rng);
+    auto via_rewriting = rewriting->Evaluate(d);
+    ASSERT_TRUE(via_rewriting.ok());
+    auto via_csp = CertainAnswersViaCsp(omq, d);
+    ASSERT_TRUE(via_csp.ok());
+    EXPECT_EQ(*via_rewriting, *via_csp) << "trial " << trial << "\n"
+                                        << d.ToString();
+  }
+}
+
+// --- Thm 5.7: query containment ----------------------------------------------
+
+TEST(ContainmentTest, StrongerOntologyContainsWeaker) {
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  auto o1 = dl::ParseOntology("A [= C");
+  auto o2 = dl::ParseOntology("A [= C\nB [= C");
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  auto q1 = OntologyMediatedQuery::WithAtomicQuery(s, *o1, "C");
+  auto q2 = OntologyMediatedQuery::WithAtomicQuery(s, *o2, "C");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto c12 = OmqContained(*q1, *q2);
+  ASSERT_TRUE(c12.ok()) << c12.status().ToString();
+  EXPECT_TRUE(*c12);
+  auto c21 = OmqContained(*q2, *q1);
+  ASSERT_TRUE(c21.ok());
+  EXPECT_FALSE(*c21);
+}
+
+TEST(ContainmentTest, EquivalentFormulationsBothWays) {
+  // A ⊑ B ⊓ C vs the pair of axioms: identical certain answers for B.
+  Schema s;
+  s.AddRelation("A", 1);
+  auto o1 = dl::ParseOntology("A [= B & C");
+  auto o2 = dl::ParseOntology("A [= B\nA [= C");
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  auto q1 = OntologyMediatedQuery::WithAtomicQuery(s, *o1, "B");
+  auto q2 = OntologyMediatedQuery::WithAtomicQuery(s, *o2, "B");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto c12 = OmqContained(*q1, *q2);
+  auto c21 = OmqContained(*q2, *q1);
+  ASSERT_TRUE(c12.ok());
+  ASSERT_TRUE(c21.ok());
+  EXPECT_TRUE(*c12);
+  EXPECT_TRUE(*c21);
+}
+
+TEST(ContainmentTest, DisjunctionWeakensAnswers) {
+  Schema s;
+  s.AddRelation("A", 1);
+  auto o1 = dl::ParseOntology("A [= B");
+  auto o2 = dl::ParseOntology("A [= B | C");
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  auto q1 = OntologyMediatedQuery::WithAtomicQuery(s, *o1, "B");
+  auto q2 = OntologyMediatedQuery::WithAtomicQuery(s, *o2, "B");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  // q2 (with the weaker ontology) is contained in q1 but not conversely.
+  auto c21 = OmqContained(*q2, *q1);
+  ASSERT_TRUE(c21.ok());
+  EXPECT_TRUE(*c21);
+  auto c12 = OmqContained(*q1, *q2);
+  ASSERT_TRUE(c12.ok());
+  EXPECT_FALSE(*c12);
+}
+
+TEST(ContainmentTest, BoundedSearchAgreesWithTemplateMethod) {
+  Schema s;
+  s.AddRelation("A", 1);
+  auto o1 = dl::ParseOntology("A [= B");
+  auto o2 = dl::ParseOntology("A [= B | C");
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  auto q1 = OntologyMediatedQuery::WithAtomicQuery(s, *o1, "B");
+  auto q2 = OntologyMediatedQuery::WithAtomicQuery(s, *o2, "B");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  ContainmentOptions options;
+  options.max_elements = 2;
+  options.max_facts = 2;
+  auto b21 = OmqContainedBounded(*q2, *q1, options);
+  ASSERT_TRUE(b21.ok()) << b21.status().ToString();
+  EXPECT_EQ(*b21, ContainmentVerdict::kContainedWithinBound);
+  auto b12 = OmqContainedBounded(*q1, *q2, options);
+  ASSERT_TRUE(b12.ok());
+  EXPECT_EQ(*b12, ContainmentVerdict::kNotContained);
+}
+
+// --- Section 6: schema-free OMQs ---------------------------------------------
+
+TEST(SchemaFreeTest, GuardedConstructionMatchesCsp) {
+  // Thm 6.1: the schema-free OMQ built from K2 decides 2-colorability
+  // even though its data schema exposes the guard symbols.
+  Instance k2 = data::Clique("E", 2);
+  auto omq = CspToSchemaFreeOmq(k2);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+  // Evaluate via the (exact) CSP compilation of the schema-free OMQ.
+  auto compiled = CompileToCsp(*omq);
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  for (int n : {3, 4, 5, 6}) {
+    Instance cycle = data::DirectedCycle("E", n);
+    Instance rebased = cycle.ReductTo(omq->data_schema());
+    EXPECT_EQ(compiled->IsAnswer(rebased, {}), n % 2 == 1)
+        << "cycle " << n;
+  }
+}
+
+TEST(SchemaFreeTest, AdversarialGuardSymbolsInData) {
+  // Data asserting Pick_/Chose_ facts must not break the equivalence
+  // (Fact 1: the guards H_d remain freely switchable).
+  Instance k2 = data::Clique("E", 2);
+  auto omq = CspToSchemaFreeOmq(k2);
+  ASSERT_TRUE(omq.ok());
+  auto compiled = CompileToCsp(*omq);
+  ASSERT_TRUE(compiled.ok());
+  Instance odd = data::DirectedCycle("E", 3).ReductTo(omq->data_schema());
+  Instance even = data::DirectedCycle("E", 4).ReductTo(omq->data_schema());
+  // Sprinkle guard symbols into the data.
+  for (Instance* d : {&odd, &even}) {
+    data::ConstId v0 = *d->FindConstant("v0");
+    data::ConstId v1 = *d->FindConstant("v1");
+    auto pick = d->schema().FindRelation("Pick_v0");
+    auto chose = d->schema().FindRelation("Chose_v1");
+    ASSERT_TRUE(pick.has_value());
+    ASSERT_TRUE(chose.has_value());
+    d->AddFact(*pick, {v0, v1});
+    d->AddFact(*chose, {v1});
+  }
+  EXPECT_TRUE(compiled->IsAnswer(odd, {}));
+  EXPECT_FALSE(compiled->IsAnswer(even, {}));
+}
+
+TEST(SchemaFreeTest, GoalFactInDataForcesAnswer) {
+  Instance k2 = data::Clique("E", 2);
+  auto omq = CspToSchemaFreeOmq(k2);
+  ASSERT_TRUE(omq.ok());
+  auto compiled = CompileToCsp(*omq);
+  ASSERT_TRUE(compiled.ok());
+  Instance even = data::DirectedCycle("E", 4).ReductTo(omq->data_schema());
+  auto goal = even.schema().FindRelation("Goal");
+  ASSERT_TRUE(goal.has_value());
+  even.AddFact(*goal, {*even.FindConstant("v0")});
+  EXPECT_TRUE(compiled->IsAnswer(even, {}));
+}
+
+TEST(SchemaFreeTest, EmptinessAxiomReduction) {
+  // Thm 6.2 plumbing: the rewritten q2 forbids q1's private symbols in
+  // the data.
+  Schema s;
+  s.AddRelation("A", 1);
+  auto o1 = dl::ParseOntology("A [= Private1\nPrivate1 [= C");
+  auto o2 = dl::ParseOntology("A [= C");
+  ASSERT_TRUE(o1.ok());
+  ASSERT_TRUE(o2.ok());
+  auto q1 = OntologyMediatedQuery::WithAtomicQuery(s, *o1, "C");
+  auto q2 = OntologyMediatedQuery::WithAtomicQuery(s, *o2, "C");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  auto rewritten = AddEmptinessAxiomsForNonSchemaSymbols(*q1, *q2);
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status().ToString();
+  // Data asserting Private1 is inconsistent with the rewritten q2.
+  auto compiled = CompileToCsp(*rewritten);
+  ASSERT_TRUE(compiled.ok());
+  Instance d(rewritten->data_schema());
+  data::ConstId a = d.AddConstant("a");
+  d.AddFact(*rewritten->data_schema().FindRelation("Private1"), {a});
+  // Inconsistent => every element is an answer.
+  EXPECT_EQ(compiled->Evaluate(d).size(), 1u);
+}
+
+}  // namespace
+}  // namespace obda::core
+
+namespace obda::core {
+namespace {
+
+TEST(RewritingExtractionTest, DatalogRewritingCompleteForWidthTwo) {
+  // The K2-style OMQ has bounded width but NOT tree duality: the
+  // canonical width-1 program alone would be incomplete (odd cycles);
+  // the extraction must detect this and fall back to (2,3)-consistency.
+  auto omq = CspToOmq(data::Clique("E", 2));
+  ASSERT_TRUE(omq.ok());
+  auto dl = IsDatalogRewritable(*omq);
+  ASSERT_TRUE(dl.ok());
+  ASSERT_TRUE(*dl);
+  auto rewriting = ExtractDatalogRewriting(*omq);
+  ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
+  bool any_fallback = false;
+  for (bool complete : rewriting->width_one_complete) {
+    if (!complete) any_fallback = true;
+  }
+  EXPECT_TRUE(any_fallback);
+  // Odd cycles are certain answers, even cycles are not — including C5,
+  // which arc consistency alone cannot refute.
+  for (int n : {3, 4, 5, 6}) {
+    data::Instance cycle =
+        data::DirectedCycle("E", n).ReductTo(omq->data_schema());
+    auto answers = rewriting->Evaluate(cycle);
+    ASSERT_TRUE(answers.ok());
+    auto reference = CertainAnswersViaCsp(*omq, cycle);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(*answers, *reference) << "cycle " << n;
+    EXPECT_EQ(answers->size() == 1, n % 2 == 1) << "cycle " << n;
+  }
+}
+
+}  // namespace
+}  // namespace obda::core

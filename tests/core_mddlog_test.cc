@@ -1,0 +1,312 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/csp_translation.h"
+#include "core/mddlog_translation.h"
+#include "core/omq.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "dl/parser.h"
+
+namespace obda::core {
+namespace {
+
+using data::Instance;
+using data::Schema;
+
+// --- Thm 3.4 forward: (ALC,AQ) → unary connected simple MDDlog --------------
+
+TEST(AqToMddlogTest, ProgramClassMatchesThm34) {
+  auto o = dl::ParseOntology("A [= B | C\nsome R.C [= D");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *o, "D");
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileAqToMddlog(*omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(program->IsMonadic());
+  EXPECT_TRUE(program->IsSimple());
+  EXPECT_TRUE(program->IsConnected());  // no universal role
+  EXPECT_TRUE(program->IsUnary());
+  EXPECT_TRUE(program->Validate().ok());
+}
+
+TEST(AqToMddlogTest, UniversalRoleBreaksConnectednessOnly) {
+  auto o = dl::ParseOntology("A [= all U!.Goal");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *o, "Goal");
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileAqToMddlog(*omq);
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->IsMonadic());
+  EXPECT_TRUE(program->IsSimple());
+  EXPECT_FALSE(program->IsConnected());  // Thm 3.12: U drops connectivity
+}
+
+TEST(AqToMddlogTest, AnswersMatchCspCompilation) {
+  auto o = dl::ParseOntology(
+      "some HasParent.HereditaryPredisposition [= HereditaryPredisposition");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("HereditaryPredisposition", 1);
+  s.AddRelation("HasParent", 2);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(
+      s, *o, "HereditaryPredisposition");
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileAqToMddlog(*omq);
+  ASSERT_TRUE(program.ok());
+  auto d = data::ParseInstance(s, R"(
+    HasParent(c, p). HasParent(p, g). HereditaryPredisposition(g).
+    HasParent(x, y)
+  )");
+  ASSERT_TRUE(d.ok());
+  auto via_program = ddlog::CertainAnswers(*program, *d);
+  ASSERT_TRUE(via_program.ok()) << via_program.status().ToString();
+  auto via_csp = CertainAnswersViaCsp(*omq, *d);
+  ASSERT_TRUE(via_csp.ok());
+  EXPECT_EQ(via_program->tuples, *via_csp);
+  EXPECT_EQ(via_program->tuples.size(), 3u);
+}
+
+TEST(AqToMddlogTest, BooleanProgram) {
+  auto o = dl::ParseOntology("A [= some R.Goal");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  auto omq = OntologyMediatedQuery::WithBooleanAtomicQuery(s, *o, "Goal");
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileAqToMddlog(*omq);
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->QueryArity(), 0);
+  auto d1 = data::ParseInstance(s, "A(a)");
+  ASSERT_TRUE(d1.ok());
+  auto r1 = ddlog::EvaluateBoolean(*program, *d1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  auto d2 = data::ParseInstance(s, "R(a,b)");
+  ASSERT_TRUE(d2.ok());
+  auto r2 = ddlog::EvaluateBoolean(*program, *d2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);
+}
+
+// --- Thm 3.3(2): MDDlog → (ALC,UCQ) -----------------------------------------
+
+TEST(MddlogToOmqTest, TwoColoringRoundTrip) {
+  Schema s;
+  s.AddRelation("E", 2);
+  auto program = ddlog::ParseProgram(s, R"(
+    B(x) | W(x) <- adom(x).
+    goal <- B(x), B(y), E(x,y).
+    goal <- W(x), W(y), E(x,y).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto omq = MddlogToOmq(*program);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+
+  // The OMQ and the program agree: goal iff not 2-colorable.
+  for (int n : {3, 4, 5, 6}) {
+    Instance d = data::DirectedCycle("E", n);
+    auto via_program = ddlog::EvaluateBoolean(*program, d);
+    ASSERT_TRUE(via_program.ok());
+    dl::BoundedModelOptions options;
+    options.extra_elements = 1;
+    auto via_omq = omq->CertainAnswersBounded(d, options);
+    ASSERT_TRUE(via_omq.ok());
+    EXPECT_EQ(*via_program, via_omq->size() == 1) << "cycle " << n;
+    EXPECT_EQ(*via_program, n % 2 == 1);
+  }
+}
+
+TEST(MddlogToOmqTest, UnaryProgramRoundTrip) {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("Good", 1);
+  auto program = ddlog::ParseProgram(s, R"(
+    P(x) <- Good(x).
+    P(y) <- P(x), E(x,y).
+    goal(x) <- P(x).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto omq = MddlogToOmq(*program);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+  auto d = data::ParseInstance(s, "Good(a). E(a,b). E(z,a)");
+  ASSERT_TRUE(d.ok());
+  auto via_program = ddlog::CertainAnswers(*program, *d);
+  ASSERT_TRUE(via_program.ok());
+  dl::BoundedModelOptions options;
+  options.extra_elements = 1;
+  auto via_omq = omq->CertainAnswersBounded(*d, options);
+  ASSERT_TRUE(via_omq.ok());
+  EXPECT_EQ(via_program->tuples, *via_omq);
+  EXPECT_EQ(via_omq->size(), 2u);  // a and b
+}
+
+TEST(MddlogToOmqTest, SizeIsLinear) {
+  // Thm 3.3(2): |q| and |O| are O(|Π|).
+  Schema s;
+  s.AddRelation("E", 2);
+  auto program = ddlog::ParseProgram(s, R"(
+    C1(x) | C2(x) | C3(x) <- adom(x).
+    goal <- C1(x), C1(y), E(x,y).
+    goal <- C2(x), C2(y), E(x,y).
+    goal <- C3(x), C3(y), E(x,y).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto omq = MddlogToOmq(*program);
+  ASSERT_TRUE(omq.ok());
+  // Generous linear bound with a constant factor.
+  EXPECT_LE(omq->SymbolSize(), 20 * program->SymbolSize() + 100);
+}
+
+// --- Thm 3.4(2): simple connected MDDlog → (ALC,AQ) -------------------------
+
+TEST(SimpleMddlogToOmqTest, PaperExampleRules) {
+  Schema s;
+  s.AddRelation("R", 2);
+  auto program = ddlog::ParseProgram(s, R"(
+    goal(x) <- R(x,y).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto omq = SimpleMddlogToOmq(*program);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+  // ∃R.⊤ ⊑ goal: elements with an outgoing edge are answers.
+  auto d = data::ParseInstance(s, "R(a,b). R(b,c)");
+  ASSERT_TRUE(d.ok());
+  auto answers = CertainAnswersViaCsp(*omq, *d);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->size(), 2u);
+}
+
+TEST(SimpleMddlogToOmqTest, DisjunctiveRuleWithNegations) {
+  // P1(x) ∨ P2(y) ← R(x,y), P3(x), P4(y) — the paper's showcase rule —
+  // embedded in a runnable program.
+  Schema s;
+  s.AddRelation("R", 2);
+  s.AddRelation("A3", 1);
+  s.AddRelation("A4", 1);
+  auto program = ddlog::ParseProgram(s, R"(
+    P3(x) <- A3(x).
+    P4(x) <- A4(x).
+    P1(x) | P2(y) <- R(x,y), P3(x), P4(y).
+    goal(x) <- P1(x).
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_TRUE(program->IsSimple());
+  ASSERT_TRUE(program->IsConnected());
+  auto omq = SimpleMddlogToOmq(*program);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+
+  base::Rng rng(5);
+  for (int trial = 0; trial < 6; ++trial) {
+    Instance d(s);
+    for (int i = 0; i < 4; ++i) d.AddConstant("c" + std::to_string(i));
+    for (int k = 0; k < 4; ++k) {
+      d.AddFact(0, {static_cast<data::ConstId>(rng.Below(4)),
+                    static_cast<data::ConstId>(rng.Below(4))});
+    }
+    d.AddFact(1, {static_cast<data::ConstId>(rng.Below(4))});
+    d.AddFact(2, {static_cast<data::ConstId>(rng.Below(4))});
+    auto via_program = ddlog::CertainAnswers(*program, d);
+    ASSERT_TRUE(via_program.ok());
+    auto via_omq = CertainAnswersViaCsp(*omq, d);
+    ASSERT_TRUE(via_omq.ok());
+    EXPECT_EQ(via_program->tuples, *via_omq) << "trial " << trial;
+  }
+}
+
+TEST(SimpleMddlogToOmqTest, DisconnectedRuleUsesUniversalRole) {
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  auto program = ddlog::ParseProgram(s, R"(
+    P(x) <- A(x).
+    Q(y) <- B(y).
+    goal(x) <- P(x), Q(y).
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_FALSE(program->IsConnected());
+  auto omq = SimpleMddlogToOmq(*program);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+  EXPECT_TRUE(omq->ontology().Features().universal_role);
+  auto d = data::ParseInstance(s, "A(a). B(b)");
+  ASSERT_TRUE(d.ok());
+  auto answers = CertainAnswersViaCsp(*omq, *d);
+  ASSERT_TRUE(answers.ok());
+  // Only a is an answer (needs P(a), which needs A(a)).
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ(d->ConstantName((*answers)[0][0]), "a");
+  auto d2 = data::ParseInstance(s, "A(a). A(b)");
+  ASSERT_TRUE(d2.ok());
+  auto answers2 = CertainAnswersViaCsp(*omq, *d2);
+  ASSERT_TRUE(answers2.ok());
+  EXPECT_TRUE(answers2->empty());  // no B-fact anywhere
+}
+
+// --- Round trips: OMQ → MDDlog → OMQ agreement ------------------------------
+
+class MddlogRoundTripTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MddlogRoundTripTest, AqProgramMatchesBoundedReference) {
+  base::Rng rng(GetParam());
+  std::vector<std::string> concepts = {"A", "B", "C"};
+  std::vector<std::string> roles = {"R"};
+  Schema s;
+  for (const auto& c : concepts) s.AddRelation(c, 1);
+  for (const auto& r : roles) s.AddRelation(r, 2);
+  // Random small ALC ontology.
+  dl::Ontology o;
+  auto name = [&] {
+    return dl::Concept::Name(concepts[rng.Below(concepts.size())]);
+  };
+  for (int i = 0; i < 2; ++i) {
+    dl::Concept lhs = name();
+    dl::Concept rhs;
+    switch (rng.Below(4)) {
+      case 0:
+        rhs = dl::Concept::Or(name(), name());
+        break;
+      case 1:
+        rhs = dl::Concept::Exists(dl::Role::Named("R"), name());
+        break;
+      case 2:
+        rhs = dl::Concept::Forall(dl::Role::Named("R"), name());
+        break;
+      default:
+        rhs = dl::Concept::Not(name());
+        break;
+    }
+    o.AddInclusion(lhs, rhs);
+  }
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, o, "C");
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileAqToMddlog(*omq);
+  ASSERT_TRUE(program.ok());
+  for (int trial = 0; trial < 3; ++trial) {
+    data::RandomInstanceOptions opts;
+    opts.num_constants = 3;
+    opts.facts_per_relation = 2;
+    Instance d = data::RandomInstance(s, opts, rng);
+    auto via_program = ddlog::CertainAnswers(*program, d);
+    ASSERT_TRUE(via_program.ok());
+    dl::BoundedModelOptions bounded;
+    bounded.extra_elements = 5;
+    auto reference = omq->CertainAnswersBounded(d, bounded);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(via_program->tuples, *reference)
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << o.ToString() << d.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MddlogRoundTripTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace obda::core

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/omq.h"
+#include "core/ucq_translation.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "dl/parser.h"
+
+namespace obda::core {
+namespace {
+
+using data::Instance;
+using data::Schema;
+
+/// Builds the medical OMQ of Example 2.1 (without the HasParent axiom).
+OntologyMediatedQuery MedicalOmq() {
+  auto o = dl::ParseOntology(R"(
+    some HasFinding.ErythemaMigrans [= some HasDiagnosis.LymeDisease
+    LymeDisease | Listeriosis [= BacterialInfection
+  )");
+  OBDA_CHECK(o.ok());
+  Schema s;
+  s.AddRelation("ErythemaMigrans", 1);
+  s.AddRelation("LymeDisease", 1);
+  s.AddRelation("Listeriosis", 1);
+  s.AddRelation("HasFinding", 2);
+  s.AddRelation("HasDiagnosis", 2);
+  auto qs = QuerySchema(s, *o);
+  OBDA_CHECK(qs.ok());
+  fo::ConjunctiveQuery cq(*qs, 1);
+  fo::QVar y = cq.AddVariable();
+  OBDA_CHECK(cq.AddAtomByName("HasDiagnosis", {0, y}).ok());
+  OBDA_CHECK(cq.AddAtomByName("BacterialInfection", {y}).ok());
+  fo::UnionOfCq q(*qs, 1);
+  q.AddDisjunct(cq);
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  OBDA_CHECK(omq.ok());
+  return *omq;
+}
+
+TEST(UcqTranslationTest, MedicalExample21) {
+  OntologyMediatedQuery omq = MedicalOmq();
+  auto program = CompileUcqToMddlog(omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(program->IsMonadic());
+  ASSERT_TRUE(program->Validate().ok());
+
+  auto d = data::ParseInstance(omq.data_schema(), R"(
+    HasFinding(patient1, jan12find1). ErythemaMigrans(jan12find1).
+    HasDiagnosis(patient2, may7diag2). Listeriosis(may7diag2)
+  )");
+  ASSERT_TRUE(d.ok());
+  auto answers = ddlog::CertainAnswers(*program, *d);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->tuples.size(), 2u);
+  std::vector<std::string> names;
+  for (const auto& t : answers->tuples) {
+    names.push_back(d->ConstantName(t[0]));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"patient1", "patient2"}));
+}
+
+TEST(UcqTranslationTest, PlainCqWithoutOntology) {
+  // With an empty ontology the program must evaluate the UCQ itself.
+  Schema s;
+  s.AddRelation("E", 2);
+  dl::Ontology o;
+  fo::ConjunctiveQuery cq(s, 0);
+  fo::QVar x = cq.AddVariable();
+  fo::QVar y = cq.AddVariable();
+  fo::QVar z = cq.AddVariable();
+  cq.AddAtom(0, {x, y});
+  cq.AddAtom(0, {y, z});
+  fo::UnionOfCq q(s, 0);
+  q.AddDisjunct(cq);
+  auto omq = OntologyMediatedQuery::Create(s, o, q);
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileUcqToMddlog(*omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  // Directed path of length 2 matches; a single edge does not.
+  auto yes = ddlog::EvaluateBoolean(*program, data::DirectedPath("E", 2));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+  auto no = ddlog::EvaluateBoolean(*program, data::DirectedPath("E", 1));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+  // A loop also matches (homomorphic semantics).
+  auto loop = ddlog::EvaluateBoolean(*program, data::Loop("E"));
+  ASSERT_TRUE(loop.ok());
+  EXPECT_TRUE(*loop);
+}
+
+TEST(UcqTranslationTest, TreeWitnessRequired) {
+  // O = {A ⊑ ∃R.(B ⊓ ∃R.C)}: q() = ∃x,y,z R(x,y) ∧ B(y) ∧ R(y,z) ∧ C(z)
+  // becomes certain on D = {A(a)} through the anonymous tree part.
+  auto o = dl::ParseOntology("A [= some R.(B & some R.C)");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  auto qs = QuerySchema(s, *o);
+  ASSERT_TRUE(qs.ok());
+  fo::ConjunctiveQuery cq(*qs, 0);
+  fo::QVar x = cq.AddVariable();
+  fo::QVar y = cq.AddVariable();
+  fo::QVar z = cq.AddVariable();
+  ASSERT_TRUE(cq.AddAtomByName("R", {x, y}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("B", {y}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("R", {y, z}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("C", {z}).ok());
+  fo::UnionOfCq q(*qs, 0);
+  q.AddDisjunct(cq);
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileUcqToMddlog(*omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto d = data::ParseInstance(s, "A(a)");
+  ASSERT_TRUE(d.ok());
+  auto certain = ddlog::EvaluateBoolean(*program, *d);
+  ASSERT_TRUE(certain.ok());
+  EXPECT_TRUE(*certain);
+
+  auto d2 = data::ParseInstance(s, "R(a,b)");
+  ASSERT_TRUE(d2.ok());
+  auto not_certain = ddlog::EvaluateBoolean(*program, *d2);
+  ASSERT_TRUE(not_certain.ok());
+  EXPECT_FALSE(*not_certain);
+}
+
+TEST(UcqTranslationTest, MixedCoreAndTreeMatch) {
+  // O = {A ⊑ ∃R.B}; q(x) = ∃y R(x,y) ∧ B(y). Data R-edges to B-elements
+  // and A-facts both produce answers.
+  auto o = dl::ParseOntology("A [= some R.B");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("R", 2);
+  auto qs = QuerySchema(s, *o);
+  ASSERT_TRUE(qs.ok());
+  fo::ConjunctiveQuery cq(*qs, 1);
+  fo::QVar y = cq.AddVariable();
+  ASSERT_TRUE(cq.AddAtomByName("R", {0, y}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("B", {y}).ok());
+  fo::UnionOfCq q(*qs, 1);
+  q.AddDisjunct(cq);
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileUcqToMddlog(*omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto d = data::ParseInstance(s, "A(a). R(u,v). B(v). R(p,q)");
+  ASSERT_TRUE(d.ok());
+  auto answers = ddlog::CertainAnswers(*program, *d);
+  ASSERT_TRUE(answers.ok());
+  std::vector<std::string> names;
+  for (const auto& t : answers->tuples) {
+    names.push_back(d->ConstantName(t[0]));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "u"}));
+}
+
+TEST(UcqTranslationTest, RejectsUnsupportedFeatures) {
+  Schema s;
+  s.AddRelation("R", 2);
+  {
+    auto o = dl::ParseOntology("trans(R)");
+    ASSERT_TRUE(o.ok());
+    fo::UnionOfCq q(*QuerySchema(s, *o), 0);
+    auto omq = OntologyMediatedQuery::Create(s, *o, q);
+    ASSERT_TRUE(omq.ok());
+    EXPECT_FALSE(CompileUcqToMddlog(*omq).ok());
+  }
+  {
+    auto o = dl::ParseOntology("A [= some inv(R).B");
+    ASSERT_TRUE(o.ok());
+    fo::UnionOfCq q(*QuerySchema(s, *o), 0);
+    auto omq = OntologyMediatedQuery::Create(s, *o, q);
+    ASSERT_TRUE(omq.ok());
+    EXPECT_FALSE(CompileUcqToMddlog(*omq).ok());
+  }
+}
+
+// --- Thm 3.6(1): inverse-role elimination at the OMQ level ------------------
+
+TEST(InverseEliminationTest, QueryRewriteDistributes) {
+  auto o = dl::ParseOntology("A [= some inv(R).B");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("R", 2);
+  auto qs = QuerySchema(s, *o);
+  ASSERT_TRUE(qs.ok());
+  fo::ConjunctiveQuery cq(*qs, 0);
+  fo::QVar x = cq.AddVariable();
+  fo::QVar y = cq.AddVariable();
+  ASSERT_TRUE(cq.AddAtomByName("R", {x, y}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("B", {x}).ok());
+  fo::UnionOfCq q(*qs, 0);
+  q.AddDisjunct(cq);
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  ASSERT_TRUE(omq.ok());
+  auto eliminated = EliminateInverseRolesInOmq(*omq);
+  ASSERT_TRUE(eliminated.ok()) << eliminated.status().ToString();
+  EXPECT_FALSE(eliminated->ontology().Features().inverse_roles);
+  // One binary atom -> two disjuncts.
+  EXPECT_EQ(eliminated->query().disjuncts().size(), 2u);
+}
+
+TEST(InverseEliminationTest, CertainAnswersPreserved) {
+  // O = {A ⊑ ∃inv(R).B}: every A-element gets an incoming R-edge from an
+  // (anonymous) B-element. q() = ∃x,y R(x,y) ∧ B(x) is then certain on
+  // D = {A(a)}.
+  auto o = dl::ParseOntology("A [= some inv(R).B");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("R", 2);
+  auto qs = QuerySchema(s, *o);
+  ASSERT_TRUE(qs.ok());
+  fo::ConjunctiveQuery cq(*qs, 0);
+  fo::QVar x = cq.AddVariable();
+  fo::QVar y = cq.AddVariable();
+  ASSERT_TRUE(cq.AddAtomByName("R", {x, y}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("B", {x}).ok());
+  fo::UnionOfCq q(*qs, 0);
+  q.AddDisjunct(cq);
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  ASSERT_TRUE(omq.ok());
+
+  auto eliminated = EliminateInverseRolesInOmq(*omq);
+  ASSERT_TRUE(eliminated.ok());
+  auto program = CompileUcqToMddlog(*eliminated);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto d1 = data::ParseInstance(s, "A(a)");
+  ASSERT_TRUE(d1.ok());
+  auto r1 = ddlog::EvaluateBoolean(*program, *d1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);
+  auto d2 = data::ParseInstance(s, "R(u,v). B(v)");  // B at the target
+  ASSERT_TRUE(d2.ok());
+  auto r2 = ddlog::EvaluateBoolean(*program, *d2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);
+  auto d3 = data::ParseInstance(s, "R(u,v). B(u)");  // direct data match
+  ASSERT_TRUE(d3.ok());
+  auto r3 = ddlog::EvaluateBoolean(*program, *d3);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(*r3);
+}
+
+// --- Randomized cross-validation against the reference engine ---------------
+
+class UcqVsBoundedTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UcqVsBoundedTest, AgreeOnRandomData) {
+  base::Rng rng(GetParam());
+  auto o = dl::ParseOntology(R"(
+    A [= some R.B
+    B [= C | D
+    some R.C [= C
+  )");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("R", 2);
+  auto qs = QuerySchema(s, *o);
+  ASSERT_TRUE(qs.ok());
+  // q(x) = ∃y R(x,y) ∧ C(y)  ∨  ∃y R(x,y) ∧ D(y).
+  fo::UnionOfCq q(*qs, 1);
+  for (const char* target : {"C", "D"}) {
+    fo::ConjunctiveQuery cq(*qs, 1);
+    fo::QVar y = cq.AddVariable();
+    ASSERT_TRUE(cq.AddAtomByName("R", {0, y}).ok());
+    ASSERT_TRUE(cq.AddAtomByName(target, {y}).ok());
+    q.AddDisjunct(cq);
+  }
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileUcqToMddlog(*omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  data::RandomInstanceOptions opts;
+  opts.num_constants = 3;
+  opts.facts_per_relation = 3;
+  Instance d = data::RandomInstance(s, opts, rng);
+  auto via_program = ddlog::CertainAnswers(*program, d);
+  ASSERT_TRUE(via_program.ok());
+  dl::BoundedModelOptions bounded;
+  bounded.extra_elements = 4;
+  auto reference = omq->CertainAnswersBounded(d, bounded);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(via_program->tuples, *reference)
+      << "seed " << GetParam() << "\ndata:\n" << d.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UcqVsBoundedTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace obda::core

@@ -1,0 +1,206 @@
+// Edge cases, error paths, and printer/size utilities across modules —
+// the behaviours a downstream user hits first when something goes wrong.
+
+#include <gtest/gtest.h>
+
+#include "core/csp_translation.h"
+#include "core/omq.h"
+#include "csp/consistency.h"
+#include "csp/width.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+#include "dl/parser.h"
+#include "dl/reasoner.h"
+#include "gfo/fo_formula.h"
+
+namespace obda {
+namespace {
+
+using data::Instance;
+using data::Schema;
+
+// --- Error paths -------------------------------------------------------------
+
+TEST(ErrorPathTest, InstanceParserOffsets) {
+  Schema s;
+  s.AddRelation("R", 2);
+  auto r = data::ParseInstance(s, "R(a,)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), base::StatusCode::kInvalidArgument);
+}
+
+TEST(ErrorPathTest, ProgramParserRejectsArityDrift) {
+  Schema s;
+  s.AddRelation("E", 2);
+  auto p = ddlog::ParseProgram(s, "P(x) <- E(x,y). goal(x) <- P(x,y).");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(ErrorPathTest, OntologyParserMessages) {
+  auto o = dl::ParseOntology("A [= some .B");
+  ASSERT_FALSE(o.ok());
+  EXPECT_FALSE(o.status().message().empty());
+}
+
+TEST(ErrorPathTest, ReasonerDecisionBitGuard) {
+  // 30 independent concept names exceed a 8-bit budget.
+  dl::Ontology o;
+  std::vector<dl::Concept> seeds;
+  for (int i = 0; i < 30; ++i) {
+    seeds.push_back(dl::Concept::Name("N" + std::to_string(i)));
+  }
+  auto r = dl::TypeReasoner::Create(o, seeds, /*max_decision_bits=*/8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), base::StatusCode::kResourceExhausted);
+}
+
+TEST(ErrorPathTest, CanonicalProgramElementGuard) {
+  auto r = csp::CanonicalArcConsistencyProgram(data::Clique("E", 3),
+                                               /*max_elements=*/2);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), base::StatusCode::kResourceExhausted);
+}
+
+TEST(ErrorPathTest, EvalBudgetsSurface) {
+  Schema s;
+  s.AddRelation("E", 2);
+  auto p = ddlog::ParseProgram(s, R"(
+    C1(x) | C2(x) | C3(x) <- adom(x).
+    goal <- C1(x), C1(y), E(x,y).
+    goal <- C2(x), C2(y), E(x,y).
+    goal <- C3(x), C3(y), E(x,y).
+  )");
+  ASSERT_TRUE(p.ok());
+  ddlog::EvalOptions options;
+  options.max_ground_clauses = 3;  // absurdly small
+  auto r = ddlog::CertainAnswers(*p, data::Clique("E", 5), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), base::StatusCode::kResourceExhausted);
+}
+
+TEST(ErrorPathTest, UcqOmqRejectsWrongQuerySchema) {
+  Schema s;
+  s.AddRelation("A", 1);
+  dl::Ontology o;
+  // Query written over a DIFFERENT schema than QuerySchema(S, O).
+  Schema wrong;
+  wrong.AddRelation("B", 1);
+  fo::UnionOfCq q(wrong, 0);
+  EXPECT_FALSE(core::OntologyMediatedQuery::Create(s, o, q).ok());
+}
+
+// --- Printers and size accounting ---------------------------------------------
+
+TEST(PrinterTest, ProgramRoundTripsThroughText) {
+  Schema s;
+  s.AddRelation("E", 2);
+  auto p = ddlog::ParseProgram(s, R"(
+    P(x) | Q(x) <- adom(x).
+    goal(x) <- P(x), E(x,y), Q(y).
+  )");
+  ASSERT_TRUE(p.ok());
+  std::string text = p->ToString();
+  EXPECT_NE(text.find("goal"), std::string::npos);
+  EXPECT_NE(text.find("<-"), std::string::npos);
+  EXPECT_GT(p->SymbolSize(), 10u);
+}
+
+TEST(PrinterTest, ConceptSizesMatchStructure) {
+  auto c = dl::ParseConcept("some R.(A & ~B)");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->SymbolSize(), 2u + 3u + 1u + 2u);  // some-R + and + A + not-B
+  auto o = dl::ParseOntology("A [= B\ntrans(R)");
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(o->SymbolSize(), 3u + 2u);
+}
+
+TEST(PrinterTest, TypeReasonerRendering) {
+  auto o = dl::ParseOntology("A [= B");
+  ASSERT_TRUE(o.ok());
+  auto r = dl::TypeReasoner::Create(*o);
+  ASSERT_TRUE(r.ok());
+  ASSERT_GT(r->NumSurvivingTypes(), 0u);
+  std::string t = r->TypeToString(0);
+  EXPECT_EQ(t.front(), '{');
+  EXPECT_EQ(t.back(), '}');
+}
+
+TEST(PrinterTest, FoFormulaRendering) {
+  gfo::FoFormula f = gfo::FoFormula::Forall(
+      {0}, gfo::FoFormula::Or({gfo::FoFormula::Not(
+                                   gfo::FoFormula::Atom("A", {0})),
+                               gfo::FoFormula::Equals(0, 0)}));
+  EXPECT_NE(f.ToString().find("∀"), std::string::npos);
+  EXPECT_GT(f.SymbolSize(), 3u);
+}
+
+TEST(PrinterTest, CoCspQueryRendering) {
+  auto q = csp::CoCspQuery::ForTemplate(data::Clique("E", 2));
+  std::string text = q.ToString();
+  EXPECT_NE(text.find("template"), std::string::npos);
+}
+
+// --- Semantics corners ----------------------------------------------------------
+
+TEST(CornerTest, EmptyOntologyOmqIsPlainQuery) {
+  Schema s;
+  s.AddRelation("A", 1);
+  dl::Ontology o;
+  auto omq = core::OntologyMediatedQuery::WithAtomicQuery(s, o, "A");
+  ASSERT_TRUE(omq.ok());
+  auto d = data::ParseInstance(s, "A(a)");
+  ASSERT_TRUE(d.ok());
+  auto answers = core::CertainAnswersViaCsp(*omq, *d);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST(CornerTest, SelfLoopInstanceAgainstAlcOmq) {
+  // Reflexive data edges exercise the (τ, τ) edge-coherence path.
+  auto o = dl::ParseOntology("A [= all R.B\nB [= ~A");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  auto omq = core::OntologyMediatedQuery::WithAtomicQuery(s, *o, "B");
+  ASSERT_TRUE(omq.ok());
+  // A(a) with loop R(a,a): a must be B (successor of itself) — but B ⊑ ¬A
+  // clashes with A(a): inconsistent, so everything is certain.
+  auto d = data::ParseInstance(s, "A(a). R(a,a)");
+  ASSERT_TRUE(d.ok());
+  auto answers = core::CertainAnswersViaCsp(*omq, *d);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 1u);
+}
+
+TEST(CornerTest, WnuBudgetPlumbsThrough) {
+  // With a one-decision budget the search either still refutes via unit
+  // propagation (a correct "no") or reports the exhausted budget — it
+  // must never claim a polymorphism exists.
+  csp::WidthOptions options;
+  options.max_decisions = 1;
+  auto r = csp::HasBoundedWidth(data::Clique("E", 3), options);
+  if (r.ok()) {
+    EXPECT_FALSE(*r);
+  } else {
+    EXPECT_EQ(r.status().code(), base::StatusCode::kResourceExhausted);
+  }
+}
+
+TEST(CornerTest, AdomRulesIdempotent) {
+  Schema s;
+  s.AddRelation("E", 2);
+  ddlog::Program p(s);
+  ddlog::PredId goal = p.AddIdbPredicate("goal", 0);
+  p.SetGoal(goal);
+  ddlog::PredId a1 = p.EnsureAdom();
+  std::size_t rules = p.rules().size();
+  ddlog::PredId a2 = p.EnsureAdom();
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(p.rules().size(), rules);
+}
+
+}  // namespace
+}  // namespace obda

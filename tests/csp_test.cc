@@ -1,0 +1,445 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "csp/consistency.h"
+#include "csp/duality.h"
+#include "csp/obstruction.h"
+#include "csp/query.h"
+#include "csp/rewritability.h"
+#include "csp/width.h"
+#include "data/generator.h"
+#include "data/homomorphism.h"
+#include "data/io.h"
+#include "ddlog/datalog.h"
+
+namespace obda::csp {
+namespace {
+
+using data::ConstId;
+using data::Instance;
+
+TEST(CoCspTest, ThreeColorabilityComplement) {
+  CoCspQuery q = CoCspQuery::ForTemplate(data::Clique("E", 3));
+  // K4 is not 3-colorable: Boolean answer true.
+  EXPECT_TRUE(q.IsAnswer(data::Clique("E", 4), {}));
+  EXPECT_FALSE(q.IsAnswer(data::Clique("E", 3), {}));
+  EXPECT_FALSE(q.IsAnswer(data::DirectedCycle("E", 5), {}));
+}
+
+TEST(CoCspTest, GeneralizedTemplatesAreUnion) {
+  // F = {K2, loop}: answer iff neither 2-colorable nor loop-absorbable.
+  CoCspQuery q(data::Clique("E", 2).schema(), 0);
+  q.AddTemplate(data::MarkedInstance{data::Clique("E", 2), {}});
+  q.AddTemplate(data::MarkedInstance{data::Loop("E"), {}});
+  // Anything maps into the loop, so no instance is an answer.
+  EXPECT_FALSE(q.IsAnswer(data::Clique("E", 5), {}));
+}
+
+TEST(CoCspTest, MarkedElementQuery) {
+  // Template: path a->b with mark b; answers = elements with no outgoing
+  // ... rather: (D,d) -> (B,b) iff d can play "b". Use B = single edge
+  // (u,v), mark v: d is an answer iff d has no hom role as edge target,
+  // i.e. no incoming... Actually any D maps: u,v both needed? Take D a
+  // single vertex with no edges: it maps to v. Take D = edge (x,y):
+  // (D,x) -> must map x to v, then edge (x,y) has no image (no edge out
+  // of v): x is an answer iff x has an outgoing edge... Let's check.
+  Instance b = data::DirectedPath("E", 1);  // v0 -> v1
+  CoCspQuery q(b.schema(), 1);
+  q.AddTemplate(data::MarkedInstance{b, {*b.FindConstant("v1")}});
+  auto d = data::ParseInstance(b.schema(), "E(x,y)");
+  ASSERT_TRUE(d.ok());
+  // x must map to v1; edge E(x,y) then has no image: x is an answer.
+  EXPECT_TRUE(q.IsAnswer(*d, {*d->FindConstant("x")}));
+  // y maps to v1, x to v0: fine, so y is not an answer.
+  EXPECT_FALSE(q.IsAnswer(*d, {*d->FindConstant("y")}));
+}
+
+TEST(CoCspTest, ReduceToIncomparable) {
+  CoCspQuery q(data::Clique("E", 2).schema(), 0);
+  q.AddTemplate(data::MarkedInstance{data::Clique("E", 2), {}});
+  q.AddTemplate(data::MarkedInstance{data::Clique("E", 3), {}});
+  // K2 -> K3, so K2 is redundant.
+  CoCspQuery reduced = q.ReduceToIncomparable();
+  ASSERT_EQ(reduced.templates().size(), 1u);
+  EXPECT_EQ(reduced.templates()[0].instance.UniverseSize(), 3u);
+}
+
+TEST(CoCspTest, ContainmentViaTemplateHoms) {
+  CoCspQuery co_k2 = CoCspQuery::ForTemplate(data::Clique("E", 2));
+  CoCspQuery co_k3 = CoCspQuery::ForTemplate(data::Clique("E", 3));
+  // not-3-colorable implies not-2-colorable: coCSP(K3) ⊆ coCSP(K2).
+  EXPECT_TRUE(CoCspContained(co_k3, co_k2));
+  EXPECT_FALSE(CoCspContained(co_k2, co_k3));
+  EXPECT_TRUE(CoCspContained(co_k2, co_k2));
+}
+
+TEST(CoCspTest, CollapsedTemplatesCarryMarks) {
+  Instance b = data::DirectedPath("E", 1);
+  CoCspQuery q(b.schema(), 1);
+  q.AddTemplate(data::MarkedInstance{b, {*b.FindConstant("v1")}});
+  auto collapsed = q.CollapsedTemplates();
+  ASSERT_EQ(collapsed.size(), 1u);
+  auto mark = collapsed[0].schema().FindRelation("Mark1");
+  ASSERT_TRUE(mark.has_value());
+  EXPECT_EQ(collapsed[0].NumTuples(*mark), 1u);
+}
+
+// --- Dismantling / FO-definability (Larose–Loten–Tardif) -------------------
+
+TEST(DualityTest, DominationBasics) {
+  auto d = data::ParseInstanceAuto("E(a,x). E(b,x). E(b,y)");
+  ASSERT_TRUE(d.ok());
+  // a's facts: E(a,x); replacing a by b gives E(b,x) ∈ D: b dominates a.
+  EXPECT_TRUE(Dominates(*d, *d->FindConstant("b"), *d->FindConstant("a")));
+  EXPECT_FALSE(Dominates(*d, *d->FindConstant("a"), *d->FindConstant("b")));
+}
+
+/// The transitive tournament T_n on n vertices (edges i -> j for i < j).
+/// (T_k, P_{k+1}) is the classical finite duality pair: D → T_k iff D has
+/// no directed walk of length k+1.
+Instance TransitiveTournament(int n) {
+  data::Schema s;
+  s.AddRelation("E", 2);
+  Instance g(s);
+  for (int i = 0; i < n; ++i) g.AddConstant("v" + std::to_string(i));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      g.AddFact(0, {static_cast<ConstId>(i), static_cast<ConstId>(j)});
+    }
+  }
+  return g;
+}
+
+TEST(DualityTest, SingleEdgeIsFoDefinable) {
+  // CSP(P_1): D maps iff the "two consecutive edges" tree does not embed;
+  // the unique critical obstruction is P_2, so the CSP is FO.
+  EXPECT_TRUE(IsFoDefinable(data::DirectedPath("E", 1)));
+}
+
+TEST(DualityTest, LongerPathsAreNotFoDefinable) {
+  // Subtle ground truth: CSP(P_k) for k >= 2 is NOT FO-definable.
+  // Homomorphisms to a path are exact level functions (+1 along every
+  // edge), and arbitrarily long zigzag trees reach level-span k+1 only
+  // globally — an infinite family of critical obstructions. (The finite
+  // duality (P_{k+1}, T_k) holds for transitive tournaments T_k, not
+  // paths.)
+  EXPECT_FALSE(IsFoDefinable(data::DirectedPath("E", 2)));
+  EXPECT_FALSE(IsFoDefinable(data::DirectedPath("E", 3)));
+}
+
+TEST(DualityTest, TransitiveTournamentsAreFoDefinable) {
+  // D → T_k iff no directed walk of length k+1: a first-order property
+  // with single obstruction P_{k+1}.
+  EXPECT_TRUE(IsFoDefinable(TransitiveTournament(2)));
+  EXPECT_TRUE(IsFoDefinable(TransitiveTournament(3)));
+}
+
+TEST(DualityTest, LoopIsFoDefinable) {
+  // Everything maps into a loop: CSP is trivially FO-definable (true).
+  EXPECT_TRUE(IsFoDefinable(data::Loop("E")));
+}
+
+TEST(DualityTest, CliquesAreNotFoDefinable) {
+  // 2-colorability and 3-colorability are not FO.
+  EXPECT_FALSE(IsFoDefinable(data::Clique("E", 2)));
+  EXPECT_FALSE(IsFoDefinable(data::Clique("E", 3)));
+}
+
+TEST(DualityTest, DirectedCycleNotFoDefinable) {
+  // CSP(directed 2-cycle): D maps iff ... (parity-like); not FO.
+  EXPECT_FALSE(IsFoDefinable(data::DirectedCycle("E", 2)));
+}
+
+// --- Bounded width / WNU polymorphisms -------------------------------------
+
+TEST(WidthTest, K2HasBoundedWidthK3DoesNot) {
+  auto k2 = HasBoundedWidth(data::Clique("E", 2));
+  ASSERT_TRUE(k2.ok());
+  EXPECT_TRUE(*k2);  // 2-coloring is datalog-rewritable (odd cycles)
+  auto k3 = HasBoundedWidth(data::Clique("E", 3));
+  ASSERT_TRUE(k3.ok());
+  EXPECT_FALSE(*k3);  // 3-coloring is NP-complete
+}
+
+TEST(WidthTest, PathsHaveBoundedWidth) {
+  auto p2 = HasBoundedWidth(data::DirectedPath("E", 2));
+  ASSERT_TRUE(p2.ok());
+  EXPECT_TRUE(*p2);
+}
+
+TEST(WidthTest, MajorityOnK2) {
+  // K2 has the (unique) majority operation on {0,1}.
+  auto m = HasMajorityPolymorphism(data::Clique("E", 2));
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(*m);
+  auto m3 = HasMajorityPolymorphism(data::Clique("E", 3));
+  ASSERT_TRUE(m3.ok());
+  EXPECT_FALSE(*m3);
+}
+
+TEST(WidthTest, WnuArity3OnK3Fails) {
+  auto w = HasWnuPolymorphism(data::Clique("E", 3), 3);
+  ASSERT_TRUE(w.ok());
+  EXPECT_FALSE(*w);
+}
+
+TEST(WidthTest, FoDefinableImpliesBoundedWidth) {
+  // Sanity: FO-rewritable templates are in particular datalog-rewritable.
+  for (const Instance& b :
+       {data::DirectedPath("E", 1), TransitiveTournament(3)}) {
+    ASSERT_TRUE(IsFoDefinable(b));
+    auto bounded = HasBoundedWidth(b);
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_TRUE(*bounded);
+  }
+}
+
+// --- Local consistency ------------------------------------------------------
+
+TEST(ConsistencyTest, ArcConsistencyOnPaths) {
+  // Template P_2 (path of length 2): AC refutes exactly the instances
+  // containing a directed path of length 3 (tree duality).
+  Instance b = data::DirectedPath("E", 2);
+  EXPECT_TRUE(ArcConsistencyRefutes(data::DirectedPath("E", 3), b));
+  EXPECT_FALSE(ArcConsistencyRefutes(data::DirectedPath("E", 2), b));
+  EXPECT_TRUE(ArcConsistencyRefutes(data::DirectedCycle("E", 3), b));
+}
+
+TEST(ConsistencyTest, ArcConsistencyIncompleteForK2) {
+  // Odd cycles are not AC-refutable against K2 (no tree duality), but
+  // genuinely have no homomorphism.
+  Instance k2 = data::Clique("E", 2);
+  Instance c5 = data::DirectedCycle("E", 5);
+  EXPECT_FALSE(ArcConsistencyRefutes(c5, k2));
+  EXPECT_FALSE(data::HomomorphismExists(c5, k2));
+}
+
+TEST(ConsistencyTest, PairwiseConsistencyCompleteForK2) {
+  // K2 has bounded width, so (2,3)-consistency decides CSP(K2).
+  Instance k2 = data::Clique("E", 2);
+  base::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    Instance d = data::RandomDigraph("E", 6, 8, rng);
+    bool hom = data::HomomorphismExists(d, k2);
+    bool refuted = PairwiseConsistencyRefutes(d, k2);
+    EXPECT_EQ(hom, !refuted) << "trial " << trial;
+  }
+}
+
+TEST(ConsistencyTest, PairwiseSoundOnK3) {
+  // Soundness: a refutation implies no homomorphism (K3 has unbounded
+  // width, so no completeness claim).
+  Instance k3 = data::Clique("E", 3);
+  base::Rng rng(13);
+  for (int trial = 0; trial < 15; ++trial) {
+    Instance d = data::RandomDigraph("E", 6, 14, rng);
+    if (PairwiseConsistencyRefutes(d, k3)) {
+      EXPECT_FALSE(data::HomomorphismExists(d, k3));
+    }
+  }
+}
+
+TEST(ConsistencyTest, CanonicalProgramMatchesAcOnTreeDualTemplate) {
+  // For P_2 (tree duality), the canonical program is a datalog-rewriting:
+  // goal iff no homomorphism.
+  Instance b = data::DirectedPath("E", 2);
+  auto program = CanonicalArcConsistencyProgram(b);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  base::Rng rng(17);
+  for (int trial = 0; trial < 15; ++trial) {
+    Instance d = data::RandomDigraph("E", 5, 6, rng);
+    auto result = ddlog::EvaluateDatalog(*program, d);
+    ASSERT_TRUE(result.ok());
+    bool goal_derived = !result->goal_tuples.empty();
+    EXPECT_EQ(goal_derived, !data::HomomorphismExists(d, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(ConsistencyTest, CanonicalProgramIsSoundOnK2) {
+  // On K2 the canonical width-1 program is sound but incomplete (C5 is a
+  // non-2-colorable instance it cannot refute).
+  Instance k2 = data::Clique("E", 2);
+  auto program = CanonicalArcConsistencyProgram(k2);
+  ASSERT_TRUE(program.ok());
+  auto result = ddlog::EvaluateDatalog(*program, data::DirectedCycle("E", 5));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->goal_tuples.empty());  // incomplete here
+}
+
+// --- Obstructions -----------------------------------------------------------
+
+TEST(ObstructionTest, PathTemplateObstructionIsLongerPath) {
+  // CSP(P_k): the unique critical tree obstruction is the path of length
+  // k+1.
+  Instance b = data::DirectedPath("E", 1);
+  auto obstructions = TreeObstructions(b);
+  ASSERT_TRUE(obstructions.ok()) << obstructions.status().ToString();
+  ASSERT_EQ(obstructions->size(), 1u);
+  EXPECT_EQ((*obstructions)[0].NumFacts(), 2u);  // path of length 2
+  EXPECT_FALSE(data::HomomorphismExists((*obstructions)[0], b));
+}
+
+TEST(ObstructionTest, ObstructionSetDecidesCsp) {
+  // T_3 has finite duality with dual {P_4} (4 edges, 5 nodes — within the
+  // bound): D → T_3 iff no T ∈ Ω maps into D.
+  Instance b = TransitiveTournament(3);
+  auto obstructions = TreeObstructions(b);
+  ASSERT_TRUE(obstructions.ok());
+  ASSERT_FALSE(obstructions->empty());
+  base::Rng rng(23);
+  for (int trial = 0; trial < 20; ++trial) {
+    Instance d = data::RandomDigraph("E", 5, 5, rng);
+    bool hom = data::HomomorphismExists(d, b);
+    bool obstructed = false;
+    for (const Instance& t : *obstructions) {
+      if (data::HomomorphismExists(t, d)) obstructed = true;
+    }
+    EXPECT_EQ(hom, !obstructed) << "trial " << trial;
+  }
+}
+
+TEST(ObstructionTest, LoopHasNoObstructions) {
+  auto obstructions = TreeObstructions(data::Loop("E"));
+  ASSERT_TRUE(obstructions.ok());
+  EXPECT_TRUE(obstructions->empty());
+}
+
+// --- Rewritability pipeline -------------------------------------------------
+
+TEST(RewritabilityTest, PipelineOnKnownTemplates) {
+  // FO-rewritable: coCSP(P_1).
+  auto fo_path = IsFoRewritable(
+      CoCspQuery::ForTemplate(data::DirectedPath("E", 1)));
+  ASSERT_TRUE(fo_path.ok());
+  EXPECT_TRUE(*fo_path);
+  // Datalog- but not FO-rewritable: coCSP(K2).
+  CoCspQuery k2 = CoCspQuery::ForTemplate(data::Clique("E", 2));
+  auto fo_k2 = IsFoRewritable(k2);
+  ASSERT_TRUE(fo_k2.ok());
+  EXPECT_FALSE(*fo_k2);
+  auto dl_k2 = IsDatalogRewritable(k2);
+  ASSERT_TRUE(dl_k2.ok());
+  EXPECT_TRUE(*dl_k2);
+  // Neither: coCSP(K3).
+  CoCspQuery k3 = CoCspQuery::ForTemplate(data::Clique("E", 3));
+  auto fo_k3 = IsFoRewritable(k3);
+  ASSERT_TRUE(fo_k3.ok());
+  EXPECT_FALSE(*fo_k3);
+  auto dl_k3 = IsDatalogRewritable(k3);
+  ASSERT_TRUE(dl_k3.ok());
+  EXPECT_FALSE(*dl_k3);
+}
+
+TEST(RewritabilityTest, MarkedTemplateExample45) {
+  // Example 4.5: the HereditaryPredisposition template (B, a) — not
+  // FO-rewritable (unbounded HasParent-chains) but datalog-rewritable.
+  data::Schema s;
+  s.AddRelation("HereditaryPredisposition", 1);
+  s.AddRelation("HasParent", 2);
+  auto b = data::ParseInstance(s, R"(
+    HasParent(a, b). HasParent(b, b). HasParent(a, a).
+    HereditaryPredisposition(b)
+  )");
+  ASSERT_TRUE(b.ok());
+  CoCspQuery q(s, 1);
+  q.AddTemplate(data::MarkedInstance{*b, {*b->FindConstant("a")}});
+  auto fo = IsFoRewritable(q);
+  ASSERT_TRUE(fo.ok());
+  EXPECT_FALSE(*fo);
+  auto dl = IsDatalogRewritable(q);
+  ASSERT_TRUE(dl.ok());
+  EXPECT_TRUE(*dl);
+}
+
+// --- Property sweeps --------------------------------------------------------
+
+class CspPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CspPropertyTest, AcWeakerThanPairwiseWeakerThanHom) {
+  base::Rng rng(GetParam());
+  Instance b = data::RandomDigraph("E", 3, 4, rng);
+  Instance d = data::RandomDigraph("E", 5, 7, rng);
+  bool hom = data::HomomorphismExists(d, b);
+  bool ac = ArcConsistencyRefutes(d, b);
+  bool pc = PairwiseConsistencyRefutes(d, b);
+  if (hom) {
+    EXPECT_FALSE(ac);
+    EXPECT_FALSE(pc);
+  }
+  // AC refutation implies PC refutation (PC is at least as strong).
+  if (ac) EXPECT_TRUE(pc);
+}
+
+TEST_P(CspPropertyTest, FoDefinableImpliesFiniteDualityBehaviour) {
+  // If LLT accepts a random template, the enumerated obstructions (within
+  // bound) decide homomorphism on random probes; this cross-checks the
+  // duality machinery end to end on accepting cases.
+  base::Rng rng(100 + GetParam());
+  Instance b = data::RandomDigraph("E", 3, 3, rng);
+  if (!IsFoDefinable(b)) GTEST_SKIP() << "template not FO-definable";
+  auto obstructions = TreeObstructions(b);
+  if (!obstructions.ok()) GTEST_SKIP() << "budget";
+  for (int trial = 0; trial < 6; ++trial) {
+    Instance d = data::RandomDigraph("E", 4, 5, rng);
+    bool hom = data::HomomorphismExists(d, b);
+    bool obstructed = false;
+    for (const Instance& t : *obstructions) {
+      if (data::HomomorphismExists(t, d)) obstructed = true;
+    }
+    if (!hom) {
+      // Obstruction sets within a bound may miss big obstructions, but an
+      // obstruction firing must always be correct.
+      continue;
+    }
+    EXPECT_FALSE(obstructed) << "sound obstruction fired on a yes-instance";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CspPropertyTest, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace obda::csp
+
+namespace obda::csp {
+namespace {
+
+using data::Instance;
+
+TEST(TreeDualityTest, KnownTemplates) {
+  // P_k and T_3 have tree duality (their obstructions are trees);
+  // K2/K3 do not (odd cycles / non-tree obstructions).
+  EXPECT_TRUE(HasTreeDuality(data::DirectedPath("E", 1)));
+  EXPECT_TRUE(HasTreeDuality(data::DirectedPath("E", 2)));
+  EXPECT_TRUE(HasTreeDuality(data::Loop("E")));
+  EXPECT_FALSE(HasTreeDuality(data::Clique("E", 2)));
+  EXPECT_FALSE(HasTreeDuality(data::Clique("E", 3)));
+}
+
+TEST(TreeDualityTest, PowerStructureShape) {
+  Instance k2 = data::Clique("E", 2);
+  Instance power = PowerStructure(k2);
+  EXPECT_EQ(power.UniverseSize(), 3u);  // {0}, {1}, {0,1}
+  // The subset {0,1} carries a loop in ℘(K2) — the witness that kills
+  // any homomorphism to the loopless K2.
+  auto e = power.schema().FindRelation("E");
+  data::ConstId both = *power.FindConstant("S3");
+  EXPECT_TRUE(power.HasFact(*e, {both, both}));
+}
+
+TEST(TreeDualityTest, TreeDualityMatchesArcConsistencyCompleteness) {
+  // For tree-dual templates AC must equal hom-existence on samples; for
+  // K2 we know AC is incomplete (odd cycles).
+  base::Rng rng(71);
+  Instance p2 = data::DirectedPath("E", 2);
+  ASSERT_TRUE(HasTreeDuality(p2));
+  for (int trial = 0; trial < 12; ++trial) {
+    Instance d = data::RandomDigraph("E", 5, 6, rng);
+    EXPECT_EQ(!data::HomomorphismExists(d, p2),
+              ArcConsistencyRefutes(d, p2))
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace obda::csp

@@ -1,0 +1,387 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "data/generator.h"
+#include "data/homomorphism.h"
+#include "data/instance.h"
+#include "data/io.h"
+#include "data/ops.h"
+#include "data/schema.h"
+
+namespace obda::data {
+namespace {
+
+Schema GraphSchema() {
+  Schema s;
+  s.AddRelation("E", 2);
+  return s;
+}
+
+TEST(SchemaTest, AddAndFind) {
+  Schema s;
+  RelationId r = s.AddRelation("R", 2);
+  RelationId a = s.AddRelation("A", 1);
+  EXPECT_EQ(s.NumRelations(), 2u);
+  EXPECT_EQ(s.FindRelation("R"), r);
+  EXPECT_EQ(s.FindRelation("A"), a);
+  EXPECT_FALSE(s.FindRelation("B").has_value());
+  EXPECT_EQ(s.Arity(r), 2);
+  EXPECT_TRUE(s.IsBinary());
+}
+
+TEST(SchemaTest, TernaryIsNotBinary) {
+  Schema s;
+  s.AddRelation("P", 3);
+  EXPECT_FALSE(s.IsBinary());
+}
+
+TEST(SchemaTest, UnionMergesAndDetectsConflicts) {
+  Schema a;
+  a.AddRelation("R", 2);
+  Schema b;
+  b.AddRelation("R", 2);
+  b.AddRelation("A", 1);
+  auto u = Schema::Union(a, b);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->NumRelations(), 2u);
+
+  Schema c;
+  c.AddRelation("R", 3);
+  EXPECT_FALSE(Schema::Union(a, c).ok());
+}
+
+TEST(SchemaTest, LayoutCompatibility) {
+  Schema a;
+  a.AddRelation("R", 2);
+  a.AddRelation("A", 1);
+  Schema b;
+  b.AddRelation("R", 2);
+  b.AddRelation("A", 1);
+  EXPECT_TRUE(a.LayoutCompatible(b));
+  Schema c;
+  c.AddRelation("A", 1);
+  c.AddRelation("R", 2);
+  EXPECT_FALSE(a.LayoutCompatible(c));
+  EXPECT_TRUE(c.SubschemaOf(a));
+}
+
+TEST(InstanceTest, AddFactsAndDedupe) {
+  Instance d(GraphSchema());
+  ConstId a = d.AddConstant("a");
+  ConstId b = d.AddConstant("b");
+  EXPECT_TRUE(d.AddFact(0, {a, b}));
+  EXPECT_FALSE(d.AddFact(0, {a, b}));
+  EXPECT_TRUE(d.AddFact(0, {b, a}));
+  EXPECT_EQ(d.NumFacts(), 2u);
+  EXPECT_TRUE(d.HasFact(0, {a, b}));
+  EXPECT_FALSE(d.HasFact(0, {a, a}));
+}
+
+TEST(InstanceTest, ActiveDomainExcludesIsolated) {
+  Instance d(GraphSchema());
+  ConstId a = d.AddConstant("a");
+  ConstId b = d.AddConstant("b");
+  d.AddConstant("isolated");
+  d.AddFact(0, {a, b});
+  auto adom = d.ActiveDomain();
+  EXPECT_EQ(adom.size(), 2u);
+  EXPECT_EQ(d.UniverseSize(), 3u);
+}
+
+TEST(InstanceTest, ZeroAryFacts) {
+  Schema s;
+  s.AddRelation("Flag", 0);
+  Instance d(s);
+  EXPECT_TRUE(d.AddFact(0, {}));
+  EXPECT_FALSE(d.AddFact(0, {}));
+  EXPECT_TRUE(d.HasFact(0, {}));
+}
+
+TEST(InstanceTest, InducedSubinstance) {
+  Instance d(GraphSchema());
+  ConstId a = d.AddConstant("a");
+  ConstId b = d.AddConstant("b");
+  ConstId c = d.AddConstant("c");
+  d.AddFact(0, {a, b});
+  d.AddFact(0, {b, c});
+  Instance sub = d.InducedSubinstance({a, b});
+  EXPECT_EQ(sub.UniverseSize(), 2u);
+  EXPECT_EQ(sub.NumFacts(), 1u);
+}
+
+TEST(InstanceTest, ReductDropsRelations) {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("A", 1);
+  Instance d(s);
+  ConstId a = d.AddConstant("a");
+  d.AddFact(*s.FindRelation("E"), {a, a});
+  d.AddFact(*s.FindRelation("A"), {a});
+  Schema target;
+  target.AddRelation("A", 1);
+  Instance red = d.ReductTo(target);
+  EXPECT_EQ(red.NumFacts(), 1u);
+  EXPECT_EQ(red.UniverseSize(), 1u);
+}
+
+TEST(IoTest, ParseAgainstSchema) {
+  Schema s;
+  s.AddRelation("R", 2);
+  s.AddRelation("A", 1);
+  auto d = ParseInstance(s, "R(a,b). A(b). R(b,c)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->NumFacts(), 3u);
+  EXPECT_EQ(d->UniverseSize(), 3u);
+}
+
+TEST(IoTest, ParseRejectsUnknownRelation) {
+  Schema s;
+  s.AddRelation("R", 2);
+  EXPECT_FALSE(ParseInstance(s, "Q(a,b)").ok());
+}
+
+TEST(IoTest, ParseRejectsArityMismatch) {
+  Schema s;
+  s.AddRelation("R", 2);
+  EXPECT_FALSE(ParseInstance(s, "R(a)").ok());
+}
+
+TEST(IoTest, ParseAuto) {
+  auto d = ParseInstanceAuto("Edge(a,b) Edge(b,c) Label(a)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->schema().NumRelations(), 2u);
+  EXPECT_EQ(d->NumFacts(), 3u);
+}
+
+// --- Homomorphisms --------------------------------------------------------
+
+TEST(HomTest, PathMapsIntoCycleAndLoop) {
+  // A directed path winds around a directed 2-cycle, and collapses onto a
+  // loop; it does NOT map into a single directed edge (no edge out of the
+  // edge's head).
+  Instance path = DirectedPath("E", 2);
+  EXPECT_TRUE(HomomorphismExists(path, DirectedCycle("E", 2)));
+  EXPECT_TRUE(HomomorphismExists(path, Loop("E")));
+  EXPECT_FALSE(HomomorphismExists(path, DirectedPath("E", 1)));
+  // An edge maps into a path.
+  EXPECT_TRUE(HomomorphismExists(DirectedPath("E", 1), path));
+}
+
+TEST(HomTest, OddCycleToK2Fails) {
+  Instance c3 = DirectedCycle("E", 3);
+  Instance k2 = Clique("E", 2);
+  EXPECT_FALSE(HomomorphismExists(c3, k2));
+  Instance c4 = DirectedCycle("E", 4);
+  EXPECT_TRUE(HomomorphismExists(c4, k2));
+}
+
+TEST(HomTest, K3ColorsTriangleButNotK4) {
+  Instance k3 = Clique("E", 3);
+  EXPECT_TRUE(HomomorphismExists(DirectedCycle("E", 3), k3));
+  EXPECT_FALSE(HomomorphismExists(Clique("E", 4), k3));
+}
+
+TEST(HomTest, WitnessIsValid) {
+  Instance c6 = DirectedCycle("E", 6);
+  Instance k2 = Clique("E", 2);
+  HomResult r = FindHomomorphism(c6, k2);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(IsHomomorphism(c6, k2, r.mapping));
+}
+
+TEST(HomTest, PinnedConstraintsRespected) {
+  Instance path = DirectedPath("E", 1);  // v0 -> v1
+  Instance k2 = Clique("E", 2);
+  ConstId v0 = *path.FindConstant("v0");
+  ConstId t0 = *k2.FindConstant("v0");
+  ConstId t1 = *k2.FindConstant("v1");
+  HomResult r = FindHomomorphism(path, k2, {{v0, t0}});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.mapping[v0], t0);
+  r = FindHomomorphism(path, k2, {{v0, t1}});
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.mapping[v0], t1);
+}
+
+TEST(HomTest, MarkedHomomorphism) {
+  // Path a->b with both endpoints marked; target edge with marks swapped
+  // admits no marked hom.
+  Instance p = DirectedPath("E", 1);
+  MarkedInstance src{p, {*p.FindConstant("v0"), *p.FindConstant("v1")}};
+  Instance q = DirectedPath("E", 1);
+  MarkedInstance tgt_ok{q, {*q.FindConstant("v0"), *q.FindConstant("v1")}};
+  MarkedInstance tgt_bad{q, {*q.FindConstant("v1"), *q.FindConstant("v0")}};
+  EXPECT_TRUE(MarkedHomomorphismExists(src, tgt_ok));
+  EXPECT_FALSE(MarkedHomomorphismExists(src, tgt_bad));
+}
+
+TEST(HomTest, CountHomomorphisms) {
+  // Single vertex, no facts -> maps anywhere: |universe(B)| homs.
+  Schema s = GraphSchema();
+  Instance single(s);
+  single.AddConstant("x");
+  Instance k3 = Clique("E", 3);
+  EXPECT_EQ(CountHomomorphisms(single, k3, 100), 3u);
+  // Edge into K3: 6 homs.
+  EXPECT_EQ(CountHomomorphisms(DirectedPath("E", 1), k3, 100), 6u);
+}
+
+TEST(HomTest, EmptySourceHasTrivialHom) {
+  Schema s = GraphSchema();
+  Instance empty(s);
+  Instance k3 = Clique("E", 3);
+  EXPECT_TRUE(HomomorphismExists(empty, k3));
+  EXPECT_TRUE(HomomorphismExists(empty, empty));
+}
+
+TEST(HomTest, NonemptySourceEmptyTargetFails) {
+  Schema s = GraphSchema();
+  Instance src(s);
+  src.AddConstant("x");
+  Instance empty(s);
+  EXPECT_FALSE(HomomorphismExists(src, empty));
+}
+
+TEST(HomTest, ZeroAryFactRequiresTargetFact) {
+  Schema s;
+  s.AddRelation("Flag", 0);
+  Instance a(s);
+  a.AddFact(0, {});
+  Instance b(s);
+  EXPECT_FALSE(HomomorphismExists(a, b));
+  b.AddFact(0, {});
+  EXPECT_TRUE(HomomorphismExists(a, b));
+}
+
+// --- Ops -------------------------------------------------------------------
+
+TEST(OpsTest, DisjointUnionAddsUp) {
+  Instance a = DirectedCycle("E", 3);
+  Instance b = DirectedPath("E", 2);
+  Instance u = DisjointUnion(a, b);
+  EXPECT_EQ(u.NumFacts(), a.NumFacts() + b.NumFacts());
+  EXPECT_EQ(u.UniverseSize(), a.UniverseSize() + b.UniverseSize());
+  // Components map back into their originals.
+  EXPECT_TRUE(HomomorphismExists(a, u));
+  EXPECT_TRUE(HomomorphismExists(b, u));
+}
+
+TEST(OpsTest, ProductProjectsToFactors) {
+  Instance a = DirectedCycle("E", 2);
+  Instance b = DirectedCycle("E", 3);
+  Instance p = DirectProduct(a, b);
+  EXPECT_EQ(p.UniverseSize(), 6u);
+  EXPECT_TRUE(HomomorphismExists(p, a));
+  EXPECT_TRUE(HomomorphismExists(p, b));
+}
+
+TEST(OpsTest, ProductUniversalProperty) {
+  // C -> A and C -> B implies C -> A x B (verified on an example).
+  Instance c = DirectedPath("E", 3);
+  Instance a = Clique("E", 2);
+  Instance b = Clique("E", 3);
+  ASSERT_TRUE(HomomorphismExists(c, a));
+  ASSERT_TRUE(HomomorphismExists(c, b));
+  EXPECT_TRUE(HomomorphismExists(c, DirectProduct(a, b)));
+}
+
+TEST(OpsTest, QuotientCollapses) {
+  Instance p = DirectedPath("E", 2);  // v0->v1->v2
+  // Collapse v0 and v2 into one class.
+  std::vector<ConstId> cls = {0, 1, 0};
+  Instance q = Quotient(p, cls);
+  EXPECT_EQ(q.UniverseSize(), 2u);
+  EXPECT_EQ(q.NumFacts(), 2u);  // v0->v1 and v1->v0
+}
+
+TEST(OpsTest, DirectedCycleIsItsOwnCore) {
+  // A directed cycle cannot retract onto a proper (path-shaped) subgraph.
+  Instance c6 = DirectedCycle("E", 6);
+  EXPECT_EQ(CoreOf(c6).UniverseSize(), 6u);
+}
+
+TEST(OpsTest, CoreOfUnionOfCompatibleCycles) {
+  // C6 maps onto C3 (indices mod 3) but not conversely, so the core of
+  // C3 ⊎ C6 is C3.
+  Instance u = DisjointUnion(DirectedCycle("E", 3), DirectedCycle("E", 6));
+  Instance core = CoreOf(u);
+  EXPECT_EQ(core.UniverseSize(), 3u);
+  EXPECT_TRUE(HomomorphismExists(u, core));
+  EXPECT_TRUE(HomomorphismExists(core, u));
+}
+
+TEST(OpsTest, CoreOfCliqueIsItself) {
+  Instance k3 = Clique("E", 3);
+  Instance core = CoreOf(k3);
+  EXPECT_EQ(core.UniverseSize(), 3u);
+}
+
+TEST(OpsTest, CoreDropsIsolatedElements) {
+  Instance g = Clique("E", 2);
+  g.AddConstant("isolated");
+  Instance core = CoreOf(g);
+  EXPECT_EQ(core.UniverseSize(), 2u);
+}
+
+TEST(OpsTest, MarkedCoreKeepsMarks) {
+  // Path v0->v1->v2 with v2 marked: core must retain v2.
+  Instance p = DirectedPath("E", 2);
+  MarkedInstance m{p, {*p.FindConstant("v2")}};
+  MarkedInstance core = CoreOf(m);
+  ASSERT_EQ(core.marks.size(), 1u);
+  EXPECT_EQ(core.instance.ConstantName(core.marks[0]), "v2");
+}
+
+// --- Property sweep: hom composition --------------------------------------
+
+class HomPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HomPropertyTest, HomomorphismsCompose) {
+  base::Rng rng(GetParam());
+  Schema s = GraphSchema();
+  Instance a = RandomDigraph("E", 4, 5, rng);
+  Instance b = RandomDigraph("E", 5, 8, rng);
+  Instance c = RandomDigraph("E", 5, 12, rng);
+  HomResult ab = FindHomomorphism(a, b);
+  HomResult bc = FindHomomorphism(b, c);
+  if (ab.found && bc.found) {
+    std::vector<ConstId> composed(a.UniverseSize());
+    for (ConstId x = 0; x < a.UniverseSize(); ++x) {
+      composed[x] = bc.mapping[ab.mapping[x]];
+    }
+    EXPECT_TRUE(IsHomomorphism(a, c, composed));
+  }
+}
+
+TEST_P(HomPropertyTest, IdentityIsHomomorphism) {
+  base::Rng rng(GetParam() + 1000);
+  Instance a = RandomDigraph("E", 6, 10, rng);
+  std::vector<ConstId> id(a.UniverseSize());
+  for (ConstId x = 0; x < a.UniverseSize(); ++x) id[x] = x;
+  EXPECT_TRUE(IsHomomorphism(a, a, id));
+  EXPECT_TRUE(HomomorphismExists(a, a));
+}
+
+TEST_P(HomPropertyTest, CoreIsHomEquivalent) {
+  base::Rng rng(GetParam() + 2000);
+  Instance a = RandomDigraph("E", 5, 7, rng);
+  Instance core = CoreOf(a);
+  EXPECT_TRUE(HomomorphismExists(a, core));
+  EXPECT_TRUE(HomomorphismExists(core, a));
+  // The core is itself a core: no further shrink possible.
+  EXPECT_EQ(CoreOf(core).UniverseSize(), core.UniverseSize());
+}
+
+TEST_P(HomPropertyTest, ProductIsGreatestLowerBound) {
+  base::Rng rng(GetParam() + 3000);
+  Instance a = RandomDigraph("E", 4, 6, rng);
+  Instance b = RandomDigraph("E", 4, 6, rng);
+  Instance p = DirectProduct(a, b);
+  EXPECT_TRUE(HomomorphismExists(p, a));
+  EXPECT_TRUE(HomomorphismExists(p, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomPropertyTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace obda::data

@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "data/generator.h"
+#include "data/homomorphism.h"
+#include "data/io.h"
+#include "ddlog/datalog.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+
+namespace obda::ddlog {
+namespace {
+
+using data::ConstId;
+using data::Instance;
+using data::Schema;
+
+Schema GraphSchema() {
+  Schema s;
+  s.AddRelation("E", 2);
+  return s;
+}
+
+TEST(ProgramTest, ParseAndPrint) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, R"(
+    P(x) | Q(x) <- adom(x).
+    <- P(x), Q(x).
+    goal(x) <- P(x), E(x,y), Q(y).
+  )");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->HasGoal());
+  EXPECT_EQ(p->QueryArity(), 1);
+  // adom rules (2 for E) + 3 written rules.
+  EXPECT_EQ(p->rules().size(), 5u);
+  EXPECT_TRUE(p->Validate().ok());
+}
+
+TEST(ProgramTest, ClassPredicates) {
+  Schema s = GraphSchema();
+  auto monadic = ParseProgram(s, "goal(x) <- E(x,y). P(x) <- E(x,y).");
+  ASSERT_TRUE(monadic.ok());
+  EXPECT_TRUE(monadic->IsMonadic());
+  EXPECT_TRUE(monadic->IsSimple());
+  EXPECT_TRUE(monadic->IsConnected());
+  EXPECT_TRUE(monadic->IsUnary());
+  EXPECT_TRUE(monadic->IsFrontierGuarded());
+  EXPECT_TRUE(monadic->IsDisjunctionFree());
+
+  auto binary_idb = ParseProgram(s, "R2(x,y) <- E(x,y). goal(x) <- R2(x,x).");
+  ASSERT_TRUE(binary_idb.ok());
+  EXPECT_FALSE(binary_idb->IsMonadic());
+
+  auto not_simple = ParseProgram(s, "goal(x) <- E(x,y), E(y,z).");
+  ASSERT_TRUE(not_simple.ok());
+  EXPECT_FALSE(not_simple->IsSimple());
+
+  auto reflexive_edb = ParseProgram(s, "goal(x) <- E(x,x).");
+  ASSERT_TRUE(reflexive_edb.ok());
+  EXPECT_FALSE(reflexive_edb->IsSimple());  // repeated var in EDB atom
+
+  auto disconnected = ParseProgram(s, "goal(x) <- E(x,x1), P(y). P(y) <- E(y,z).");
+  ASSERT_TRUE(disconnected.ok());
+  EXPECT_FALSE(disconnected->IsConnected());
+
+  auto disjunctive = ParseProgram(s, "P(x) | Q(x) <- E(x,y). goal(x) <- P(x).");
+  ASSERT_TRUE(disjunctive.ok());
+  EXPECT_FALSE(disjunctive->IsDisjunctionFree());
+}
+
+TEST(ProgramTest, FrontierGuardedness) {
+  Schema s;
+  s.AddRelation("R", 3);
+  // Head P(x,y) guarded by R(x,y,z).
+  auto guarded = ParseProgram(s, "P(x,y) <- R(x,y,z). goal(x) <- P(x,x).");
+  ASSERT_TRUE(guarded.ok());
+  EXPECT_TRUE(guarded->IsFrontierGuarded());
+  // Head P(x,z) not contained in any single body atom.
+  auto unguarded =
+      ParseProgram(s, "P(x,z) <- R(x,y,y), R(y,z,z). goal(x) <- P(x,x).");
+  ASSERT_TRUE(unguarded.ok());
+  EXPECT_FALSE(unguarded->IsFrontierGuarded());
+}
+
+TEST(ProgramTest, RejectsUnsafeRule) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, "goal(x) <- E(y,z).");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(ProgramTest, RejectsEdbHead) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, "E(x,y) <- E(y,x). goal(x) <- E(x,x).");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(ProgramTest, RejectsGoalInBody) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, "goal(x) <- E(x,y). P(x) <- goal(x).");
+  EXPECT_FALSE(p.ok());
+}
+
+// --- Certain answers (disjunctive) ----------------------------------------
+
+TEST(EvalTest, TwoColorabilityComplement) {
+  // goal() holds iff the graph is NOT 2-colorable.
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, R"(
+    B(x) | W(x) <- adom(x).
+    goal <- B(x), B(y), E(x,y).
+    goal <- W(x), W(y), E(x,y).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+
+  Instance odd = data::DirectedCycle("E", 5);
+  auto r1 = EvaluateBoolean(*p, odd);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);  // odd cycle not 2-colorable
+
+  Instance even = data::DirectedCycle("E", 6);
+  auto r2 = EvaluateBoolean(*p, even);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(*r2);
+}
+
+TEST(EvalTest, UnaryReachability) {
+  // Certain answer x: every model containing Good seeds derives goal(x)
+  // along E-paths — plain datalog expressed in DDlog.
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("Good", 1);
+  auto p = ParseProgram(s, R"(
+    P(x) <- Good(x).
+    P(y) <- P(x), E(x,y).
+    goal(x) <- P(x).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto d = data::ParseInstance(s, "Good(a). E(a,b). E(b,c). E(z,a)");
+  ASSERT_TRUE(d.ok());
+  auto answers = CertainAnswers(*p, *d);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_FALSE(answers->inconsistent);
+  // a, b, c are answers; z is not.
+  ASSERT_EQ(answers->tuples.size(), 3u);
+  std::vector<std::string> names;
+  for (const auto& t : answers->tuples) {
+    names.push_back(d->ConstantName(t[0]));
+  }
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(EvalTest, InconsistencyYieldsAllTuples) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, R"(
+    <- E(x,y).
+    goal(x) <- adom(x).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto d = data::ParseInstance(s, "E(a,b)");
+  ASSERT_TRUE(d.ok());
+  auto answers = CertainAnswers(*p, *d);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->inconsistent);
+  EXPECT_EQ(answers->tuples.size(), 2u);  // both a and b
+}
+
+TEST(EvalTest, DisjunctionIsNotChoice) {
+  // P(x) | Q(x) <- adom(x), goal(x) <- P(x): goal is NOT certain (a model
+  // may choose Q everywhere).
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, R"(
+    P(x) | Q(x) <- adom(x).
+    goal(x) <- P(x).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto d = data::ParseInstance(s, "E(a,b)");
+  ASSERT_TRUE(d.ok());
+  auto answers = CertainAnswers(*p, *d);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->tuples.empty());
+}
+
+TEST(EvalTest, DisjunctionWithBothBranchesDeriving) {
+  // If both disjuncts lead to goal, goal is certain.
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, R"(
+    P(x) | Q(x) <- adom(x).
+    goal(x) <- P(x).
+    goal(x) <- Q(x).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto d = data::ParseInstance(s, "E(a,b)");
+  ASSERT_TRUE(d.ok());
+  auto answers = CertainAnswers(*p, *d);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->tuples.size(), 2u);
+}
+
+TEST(EvalTest, EmptyInstanceBooleanQuery) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, "goal <- E(x,y).");
+  ASSERT_TRUE(p.ok());
+  Instance empty(s);
+  auto r = EvaluateBoolean(*p, empty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(EvalTest, ZeroAryGoalOnTriangle) {
+  // goal iff graph not 3-colorable: K4 yes, K3 no.
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, R"(
+    C1(x) | C2(x) | C3(x) <- adom(x).
+    goal <- C1(x), C1(y), E(x,y).
+    goal <- C2(x), C2(y), E(x,y).
+    goal <- C3(x), C3(y), E(x,y).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto no = EvaluateBoolean(*p, data::Clique("E", 3));
+  ASSERT_TRUE(no.ok());
+  EXPECT_FALSE(*no);
+  auto yes = EvaluateBoolean(*p, data::Clique("E", 4));
+  ASSERT_TRUE(yes.ok());
+  EXPECT_TRUE(*yes);
+}
+
+// --- Plain datalog fixpoint ------------------------------------------------
+
+TEST(DatalogTest, TransitiveClosure) {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("Good", 1);
+  auto p = ParseProgram(s, R"(
+    P(x) <- Good(x).
+    P(y) <- P(x), E(x,y).
+    goal(x) <- P(x).
+  )");
+  ASSERT_TRUE(p.ok());
+  auto d = data::ParseInstance(s, "Good(a). E(a,b). E(b,c). E(z,a)");
+  ASSERT_TRUE(d.ok());
+  auto r = EvaluateDatalog(*p, *d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->inconsistent);
+  EXPECT_EQ(r->goal_tuples.size(), 3u);
+}
+
+TEST(DatalogTest, MatchesDisjunctiveEvaluator) {
+  // On disjunction-free programs, the SAT-based evaluator and the fixpoint
+  // evaluator must agree.
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("Good", 1);
+  auto p = ParseProgram(s, R"(
+    P(x) <- Good(x).
+    P(y) <- P(x), E(x,y).
+    goal(x) <- P(x).
+  )");
+  ASSERT_TRUE(p.ok());
+  base::Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    Instance d(s);
+    int n = 5;
+    for (int i = 0; i < n; ++i) d.AddConstant("c" + std::to_string(i));
+    for (int i = 0; i < 7; ++i) {
+      ConstId u = static_cast<ConstId>(rng.Below(n));
+      ConstId v = static_cast<ConstId>(rng.Below(n));
+      d.AddFact(0, {u, v});
+    }
+    d.AddFact(1, {static_cast<ConstId>(rng.Below(n))});
+    auto fix = EvaluateDatalog(*p, d);
+    auto sat = CertainAnswers(*p, d);
+    ASSERT_TRUE(fix.ok());
+    ASSERT_TRUE(sat.ok());
+    EXPECT_EQ(fix->goal_tuples, sat->tuples) << "trial " << trial;
+  }
+}
+
+TEST(DatalogTest, ConstraintFiringReportsInconsistent) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, "<- E(x,x). goal(x) <- E(x,y).");
+  ASSERT_TRUE(p.ok());
+  auto d = data::ParseInstance(s, "E(a,a)");
+  ASSERT_TRUE(d.ok());
+  auto r = EvaluateDatalog(*p, *d);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->inconsistent);
+}
+
+TEST(DatalogTest, RejectsDisjunctiveRules) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, "P(x) | Q(x) <- E(x,y). goal(x) <- P(x).");
+  ASSERT_TRUE(p.ok());
+  auto d = data::ParseInstance(s, "E(a,b)");
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(EvaluateDatalog(*p, *d).ok());
+}
+
+// --- Property: MDDlog answers are preserved under homomorphisms -----------
+// (Paper, proof of Thm 3.10: every MDDlog program is preserved under
+// homomorphisms.)
+
+class MddlogHomPreservationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MddlogHomPreservationTest, AnswersTransport) {
+  Schema s = GraphSchema();
+  auto p = ParseProgram(s, R"(
+    B(x) | W(x) <- adom(x).
+    goal(x) <- B(x), W(x).
+    goal(x) <- B(x), B(y), E(x,y), E(y,x).
+  )");
+  ASSERT_TRUE(p.ok());
+  base::Rng rng(GetParam());
+  Instance d1 = data::RandomDigraph("E", 4, 5, rng);
+  Instance d2 = data::RandomDigraph("E", 5, 9, rng);
+  data::HomResult h = data::FindHomomorphism(d1, d2);
+  if (!h.found) GTEST_SKIP() << "no homomorphism for this seed";
+  auto a1 = CertainAnswers(*p, d1);
+  auto a2 = CertainAnswers(*p, d2);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  for (const auto& t : a1->tuples) {
+    std::vector<ConstId> image = {h.mapping[t[0]]};
+    EXPECT_TRUE(std::find(a2->tuples.begin(), a2->tuples.end(), image) !=
+                a2->tuples.end());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MddlogHomPreservationTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace obda::ddlog

@@ -1,0 +1,428 @@
+#include <gtest/gtest.h>
+
+#include "data/io.h"
+#include "dl/bounded_model.h"
+#include "dl/concept.h"
+#include "dl/ontology.h"
+#include "dl/parser.h"
+#include "dl/reasoner.h"
+#include "dl/transform.h"
+
+namespace obda::dl {
+namespace {
+
+TEST(ConceptTest, BuildAndPrint) {
+  Concept c = Concept::Exists(Role::Named("R"),
+                              Concept::And(Concept::Name("A"),
+                                           Concept::Not(Concept::Name("B"))));
+  EXPECT_EQ(c.ToString(), "some R.(A & ~B)");
+  EXPECT_EQ(c.kind(), Concept::Kind::kExists);
+}
+
+TEST(ConceptTest, NnfPushesNegation) {
+  auto c = ParseConcept("~(A & some R.B)");
+  ASSERT_TRUE(c.ok());
+  Concept nnf = c->Nnf();
+  EXPECT_EQ(nnf.ToString(), "(~A | all R.~B)");
+}
+
+TEST(ConceptTest, NnfDoubleNegation) {
+  auto c = ParseConcept("~~A");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->Nnf().ToString(), "A");
+}
+
+TEST(ConceptTest, SubconceptsCollected) {
+  auto c = ParseConcept("some R.(A & B)");
+  ASSERT_TRUE(c.ok());
+  auto subs = c->Subconcepts();
+  EXPECT_EQ(subs.size(), 4u);  // some R.(A&B), A&B, A, B
+}
+
+TEST(ParserTest, Precedence) {
+  auto c = ParseConcept("A & B | C");
+  ASSERT_TRUE(c.ok());
+  // & binds tighter than |.
+  EXPECT_EQ(c->ToString(), "((A & B) | C)");
+}
+
+TEST(ParserTest, RolesAndQuantifiers) {
+  auto c = ParseConcept("some inv(R).all U!.top");
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->role().inverse);
+  EXPECT_TRUE(c->child().role().IsUniversal());
+}
+
+TEST(ParserTest, OntologyStatements) {
+  auto o = ParseOntology(R"(
+    # medical example, Table I
+    some HasFinding.ErythemaMigrans [= some HasDiagnosis.LymeDisease
+    LymeDisease | Listeriosis [= BacterialInfection
+    some HasParent.HereditaryPredisposition [= HereditaryPredisposition
+    rsub(HasFinding, HasSymptomLink)
+    trans(HasParent)
+    func(HasBirthMother)
+  )");
+  ASSERT_TRUE(o.ok()) << o.status().ToString();
+  EXPECT_EQ(o->inclusions().size(), 3u);
+  EXPECT_EQ(o->role_inclusions().size(), 1u);
+  EXPECT_EQ(o->transitive_roles().count("HasParent"), 1u);
+  EXPECT_EQ(o->functional_roles().count("HasBirthMother"), 1u);
+  DlFeatures f = o->Features();
+  EXPECT_TRUE(f.role_hierarchies);
+  EXPECT_TRUE(f.transitive_roles);
+  EXPECT_TRUE(f.functional_roles);
+  EXPECT_FALSE(f.inverse_roles);
+}
+
+TEST(ParserTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseConcept("some .A").ok());
+  EXPECT_FALSE(ParseOntology("A <~ B").ok());
+}
+
+// --- Type-elimination reasoner ---------------------------------------------
+
+TEST(ReasonerTest, TautologyAndContradiction) {
+  Ontology empty;
+  auto sat = IsSatisfiable(empty, *ParseConcept("A & ~A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+  sat = IsSatisfiable(empty, *ParseConcept("A | ~A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+TEST(ReasonerTest, TBoxPropagation) {
+  auto o = ParseOntology("A [= B\nB [= C");
+  ASSERT_TRUE(o.ok());
+  auto sub = IsSubsumed(*o, *ParseConcept("A"), *ParseConcept("C"));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(*sub);
+  auto not_sub = IsSubsumed(*o, *ParseConcept("C"), *ParseConcept("A"));
+  ASSERT_TRUE(not_sub.ok());
+  EXPECT_FALSE(*not_sub);
+}
+
+TEST(ReasonerTest, ExistentialWitnessRequired) {
+  // A ⊑ ∃R.B and B ⊑ ⊥ makes A unsatisfiable.
+  auto o = ParseOntology("A [= some R.B\nB [= bot");
+  ASSERT_TRUE(o.ok());
+  auto sat = IsSatisfiable(*o, *ParseConcept("A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+}
+
+TEST(ReasonerTest, ForallInteraction) {
+  // A ⊑ ∃R.B ⊓ ∀R.¬B is unsatisfiable.
+  auto o = ParseOntology("A [= some R.B & all R.~B");
+  ASSERT_TRUE(o.ok());
+  auto sat = IsSatisfiable(*o, *ParseConcept("A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+}
+
+TEST(ReasonerTest, ClassicExptimeStylePattern) {
+  // ⊤ ⊑ ∃R.⊤; A ⊑ ∀R.A; A ⊓ B unsat if A ⊑ ¬B... sanity combination.
+  auto o = ParseOntology("top [= some R.top\nA [= all R.A\nA [= ~B");
+  ASSERT_TRUE(o.ok());
+  auto sat = IsSatisfiable(*o, *ParseConcept("A & B"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+  sat = IsSatisfiable(*o, *ParseConcept("A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+TEST(ReasonerTest, InverseRoles) {
+  // ∃R.A ⊓ ∀R.∀inv(R).¬(∃R.A) is unsatisfiable: going R then back via
+  // inverse returns to an element with ∃R.A.
+  auto o = ParseOntology("top [= top");  // empty-ish ontology
+  ASSERT_TRUE(o.ok());
+  auto c = ParseConcept("some R.A & all R.all inv(R).~some R.A");
+  ASSERT_TRUE(c.ok());
+  auto sat = IsSatisfiable(*o, *c);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+}
+
+TEST(ReasonerTest, RoleHierarchy) {
+  // R ⊑ S: ∃R.A ⊓ ∀S.¬A unsatisfiable.
+  auto o = ParseOntology("rsub(R, S)");
+  ASSERT_TRUE(o.ok());
+  auto sat = IsSatisfiable(*o, *ParseConcept("some R.A & all S.~A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+  // Without the hierarchy it is satisfiable.
+  Ontology empty;
+  auto sat2 = IsSatisfiable(empty, *ParseConcept("some R.A & all S.~A"));
+  ASSERT_TRUE(sat2.ok());
+  EXPECT_TRUE(*sat2);
+}
+
+TEST(ReasonerTest, TransitiveRolePropagation) {
+  // trans(R): ∃R.∃R.A ⊓ ∀R.¬A is unsatisfiable (the 2-step reach is
+  // 1-step by transitivity).
+  auto o = ParseOntology("trans(R)");
+  ASSERT_TRUE(o.ok());
+  auto sat = IsSatisfiable(*o, *ParseConcept("some R.some R.A & all R.~A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+  Ontology empty;
+  auto sat2 =
+      IsSatisfiable(empty, *ParseConcept("some R.some R.A & all R.~A"));
+  ASSERT_TRUE(sat2.ok());
+  EXPECT_TRUE(*sat2);
+}
+
+TEST(ReasonerTest, UniversalRole) {
+  // ∃U.A ⊓ ∀U.¬A is unsatisfiable.
+  Ontology empty;
+  auto sat = IsSatisfiable(empty, *ParseConcept("some U!.A & all U!.~A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+  // ∃U.A ⊓ ¬A is satisfiable (witness elsewhere).
+  auto sat2 = IsSatisfiable(empty, *ParseConcept("some U!.A & ~A"));
+  ASSERT_TRUE(sat2.ok());
+  EXPECT_TRUE(*sat2);
+}
+
+TEST(ReasonerTest, UniversalRoleGlobalConstraint) {
+  // O = {⊤ ⊑ ∀U.¬A}: A is unsatisfiable.
+  auto o = ParseOntology("top [= all U!.~A");
+  ASSERT_TRUE(o.ok());
+  auto sat = IsSatisfiable(*o, *ParseConcept("A"));
+  ASSERT_TRUE(sat.ok());
+  EXPECT_FALSE(*sat);
+}
+
+TEST(ReasonerTest, EdgeCompatibility) {
+  auto o = ParseOntology("A [= all R.B");
+  ASSERT_TRUE(o.ok());
+  auto r = TypeReasoner::Create(*o, {*ParseConcept("A"), *ParseConcept("B")});
+  ASSERT_TRUE(r.ok());
+  // Find a type with A and a type without B: they must not be R-linkable.
+  Concept a = *ParseConcept("A");
+  Concept b = *ParseConcept("B");
+  bool found_violation = false;
+  for (TypeId t1 = 0; t1 < static_cast<TypeId>(r->NumSurvivingTypes());
+       ++t1) {
+    if (!r->TypeContains(t1, a)) continue;
+    for (TypeId t2 = 0; t2 < static_cast<TypeId>(r->NumSurvivingTypes());
+         ++t2) {
+      if (r->TypeContains(t2, b)) continue;
+      EXPECT_FALSE(r->EdgeCompatible(t1, t2, Role::Named("R")));
+      found_violation = true;
+    }
+  }
+  EXPECT_TRUE(found_violation);
+}
+
+// --- Transformations --------------------------------------------------------
+
+TEST(TransformTest, NormalizeToExists) {
+  auto c = ParseConcept("all R.A | B");
+  ASSERT_TRUE(c.ok());
+  Concept n = NormalizeToExists(*c);
+  // No ∀ or ⊔ in the output.
+  for (const Concept& sub : n.Subconcepts()) {
+    EXPECT_NE(sub.kind(), Concept::Kind::kForall);
+    EXPECT_NE(sub.kind(), Concept::Kind::kOr);
+  }
+}
+
+TEST(TransformTest, InverseEliminationPreservesSatisfiability) {
+  auto o = ParseOntology("A [= some inv(R).B\nB [= some R.A");
+  ASSERT_TRUE(o.ok());
+  InverseElimination elim = EliminateInverseRoles(*o);
+  EXPECT_FALSE(elim.ontology.Features().inverse_roles);
+  auto sat_orig = IsSatisfiable(*o, *ParseConcept("A"));
+  auto sat_elim = IsSatisfiable(elim.ontology, *ParseConcept("A"));
+  ASSERT_TRUE(sat_orig.ok());
+  ASSERT_TRUE(sat_elim.ok());
+  EXPECT_EQ(*sat_orig, *sat_elim);
+}
+
+TEST(TransformTest, TransitivityEliminationDropsTrans) {
+  auto o = ParseOntology("trans(R)\nA [= all R.B");
+  ASSERT_TRUE(o.ok());
+  Ontology elim = EliminateTransitivity(*o);
+  EXPECT_TRUE(elim.transitive_roles().empty());
+  EXPECT_GT(elim.inclusions().size(), o->inclusions().size());
+}
+
+TEST(TransformTest, HierarchyEliminationDropsRsub) {
+  auto o = ParseOntology("rsub(R, S)\nA [= all S.B");
+  ASSERT_TRUE(o.ok());
+  Ontology elim = EliminateRoleHierarchies(*o);
+  EXPECT_TRUE(elim.role_inclusions().empty());
+  // ∃R.⊤ ⊓ A ⊓ ∀R... : check a consequence: A ⊓ ∃R.¬B unsat in both.
+  auto c = ParseConcept("A & some R.~B");
+  ASSERT_TRUE(c.ok());
+  auto sat_orig = IsSatisfiable(*o, *c);
+  auto sat_elim = IsSatisfiable(elim, *c);
+  ASSERT_TRUE(sat_orig.ok());
+  ASSERT_TRUE(sat_elim.ok());
+  EXPECT_FALSE(*sat_orig);
+  EXPECT_EQ(*sat_orig, *sat_elim);
+}
+
+// --- Bounded-model reference engine ----------------------------------------
+
+TEST(BoundedModelTest, MedicalExampleCertainAnswers) {
+  // Example 2.1 end-to-end on the reference engine.
+  auto o = ParseOntology(R"(
+    some HasFinding.ErythemaMigrans [= some HasDiagnosis.LymeDisease
+    LymeDisease | Listeriosis [= BacterialInfection
+  )");
+  ASSERT_TRUE(o.ok());
+  data::Schema s;
+  s.AddRelation("ErythemaMigrans", 1);
+  s.AddRelation("LymeDisease", 1);
+  s.AddRelation("Listeriosis", 1);
+  s.AddRelation("HasFinding", 2);
+  s.AddRelation("HasDiagnosis", 2);
+  auto d = data::ParseInstance(s, R"(
+    HasFinding(patient1, jan12find1). ErythemaMigrans(jan12find1).
+    HasDiagnosis(patient2, may7diag2). Listeriosis(may7diag2)
+  )");
+  ASSERT_TRUE(d.ok());
+  // q(x) = ∃y HasDiagnosis(x,y) ∧ BacterialInfection(y); the query may use
+  // sig(O) symbols, so its schema extends the data schema.
+  data::Schema qs = s;
+  qs.AddRelation("BacterialInfection", 1);
+  fo::ConjunctiveQuery cq(qs, 1);
+  fo::QVar y = cq.AddVariable();
+  ASSERT_TRUE(cq.AddAtomByName("HasDiagnosis", {0, y}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("BacterialInfection", {y}).ok());
+  fo::UnionOfCq q(qs, 1);
+  q.AddDisjunct(cq);
+
+  auto answers = BoundedCertainAnswers(*o, *d, q);
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  // certq,O(D) = {patient1, patient2} per the paper.
+  ASSERT_EQ(answers->size(), 2u);
+  std::vector<std::string> names;
+  for (const auto& t : *answers) names.push_back(d->ConstantName(t[0]));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"patient1", "patient2"}));
+}
+
+TEST(BoundedModelTest, DatalogStyleRecursion) {
+  // Example 2.2: HereditaryPredisposition propagates along HasParent.
+  auto o = ParseOntology(
+      "some HasParent.HereditaryPredisposition [= HereditaryPredisposition");
+  ASSERT_TRUE(o.ok());
+  data::Schema s;
+  s.AddRelation("HereditaryPredisposition", 1);
+  s.AddRelation("HasParent", 2);
+  auto d = data::ParseInstance(s, R"(
+    HasParent(c, p). HasParent(p, g). HereditaryPredisposition(g)
+  )");
+  ASSERT_TRUE(d.ok());
+  fo::UnionOfCq q(s, 1);
+  q.AddDisjunct(fo::MakeAtomicQuery(s, "HereditaryPredisposition"));
+  auto answers = BoundedCertainAnswers(*o, *d, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 3u);  // c, p, g
+}
+
+TEST(BoundedModelTest, DisjunctionIsOpenWorld) {
+  // O = {A ⊑ B ⊔ C}: neither B nor C is certain for an A-individual.
+  auto o = ParseOntology("A [= B | C");
+  ASSERT_TRUE(o.ok());
+  data::Schema s;
+  s.AddRelation("A", 1);
+  auto d = data::ParseInstance(s, "A(a)");
+  ASSERT_TRUE(d.ok());
+  data::Schema qs = s;
+  qs.AddRelation("B", 1);
+  fo::UnionOfCq qb(qs, 1);
+  qb.AddDisjunct(fo::MakeAtomicQuery(qs, "B"));
+  auto answers = BoundedCertainAnswers(*o, *d, qb);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_TRUE(answers->empty());
+  // But B-or-C as a UCQ is certain.
+  data::Schema qs2 = qs;
+  qs2.AddRelation("C", 1);
+  fo::UnionOfCq qbc(qs2, 1);
+  qbc.AddDisjunct(fo::MakeAtomicQuery(qs2, "B"));
+  qbc.AddDisjunct(fo::MakeAtomicQuery(qs2, "C"));
+  auto answers2 = BoundedCertainAnswers(*o, *d, qbc);
+  ASSERT_TRUE(answers2.ok());
+  EXPECT_EQ(answers2->size(), 1u);
+}
+
+TEST(BoundedModelTest, InconsistencyMakesEverythingCertain) {
+  auto o = ParseOntology("A [= bot");
+  ASSERT_TRUE(o.ok());
+  data::Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("Other", 1);
+  auto d = data::ParseInstance(s, "A(a). Other(b)");
+  ASSERT_TRUE(d.ok());
+  auto consistent = BoundedConsistent(*o, *d);
+  ASSERT_TRUE(consistent.ok());
+  EXPECT_FALSE(*consistent);
+  fo::UnionOfCq q(s, 1);
+  q.AddDisjunct(fo::MakeAtomicQuery(s, "Other"));
+  auto answers = BoundedCertainAnswers(*o, *d, q);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);  // both a and b
+}
+
+TEST(BoundedModelTest, FunctionalRoleInconsistency) {
+  // Thm 3.10 (ALCF part): D = {R(a,b1), R(a,b2)} inconsistent with
+  // func(R) under the standard names assumption.
+  auto o = ParseOntology("func(R)");
+  ASSERT_TRUE(o.ok());
+  data::Schema s;
+  s.AddRelation("R", 2);
+  auto d1 = data::ParseInstance(s, "R(a,b1). R(a,b2)");
+  ASSERT_TRUE(d1.ok());
+  auto c1 = BoundedConsistent(*o, *d1);
+  ASSERT_TRUE(c1.ok());
+  EXPECT_FALSE(*c1);
+  auto d2 = data::ParseInstance(s, "R(a,b)");
+  ASSERT_TRUE(d2.ok());
+  auto c2 = BoundedConsistent(*o, *d2);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(*c2);
+}
+
+TEST(BoundedModelTest, AgreesWithTypeReasonerOnSatisfiability) {
+  // Cross-validation: concept satisfiable iff a one-element instance
+  // asserting a marker has a bounded model with the marker forced.
+  const char* ontologies[] = {
+      "A [= some R.B\nB [= bot",
+      "A [= some R.B & all R.~B",
+      "A [= all R.B",
+      "top [= some R.top\nA [= all R.A\nA [= ~B",
+  };
+  const char* concepts[] = {"A", "A & B", "some R.A", "A | B"};
+  for (const char* otext : ontologies) {
+    auto o = ParseOntology(otext);
+    ASSERT_TRUE(o.ok());
+    for (const char* ctext : concepts) {
+      auto c = ParseConcept(ctext);
+      ASSERT_TRUE(c.ok());
+      auto expected = IsSatisfiable(*o, *c);
+      ASSERT_TRUE(expected.ok());
+      // Encode: Marker ⊑ C with fresh Marker; D = {Marker(a)}.
+      Ontology extended = *o;
+      extended.AddInclusion(Concept::Name("ObdaTestMarker"), *c);
+      data::Schema s;
+      s.AddRelation("ObdaTestMarker", 1);
+      auto d = data::ParseInstance(s, "ObdaTestMarker(a)");
+      ASSERT_TRUE(d.ok());
+      BoundedModelOptions options;
+      options.extra_elements = 6;
+      auto consistent = BoundedConsistent(extended, *d, options);
+      ASSERT_TRUE(consistent.ok());
+      EXPECT_EQ(*consistent, *expected)
+          << "ontology:\n" << otext << "\nconcept: " << ctext;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace obda::dl

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "data/generator.h"
+#include "data/homomorphism.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "gfo/fo_formula.h"
+#include "gfo/fo_omq.h"
+
+namespace obda::gfo {
+namespace {
+
+using data::Instance;
+using data::Schema;
+
+TEST(FoFormulaTest, BuildAndEvaluate) {
+  // ∃x,y E(x,y) ∧ E(y,x)
+  FoFormula f = FoFormula::Exists(
+      {0, 1}, FoFormula::And({FoFormula::Atom("E", {0, 1}),
+                              FoFormula::Atom("E", {1, 0})}));
+  EXPECT_TRUE(f.Holds(data::DirectedCycle("E", 2)));
+  EXPECT_FALSE(f.Holds(data::DirectedCycle("E", 3)));
+  EXPECT_TRUE(f.FreeVars().empty());
+}
+
+TEST(FoFormulaTest, ForallSemantics) {
+  // ∀x,y (¬E(x,y) ∨ E(y,x))  — symmetry.
+  FoFormula f = FoFormula::Forall(
+      {0, 1}, FoFormula::Or({FoFormula::Not(FoFormula::Atom("E", {0, 1})),
+                             FoFormula::Atom("E", {1, 0})}));
+  EXPECT_TRUE(f.Holds(data::Clique("E", 3)));          // symmetric
+  EXPECT_FALSE(f.Holds(data::DirectedCycle("E", 3)));  // not symmetric
+}
+
+TEST(FoFormulaTest, EqualityAndAssignment) {
+  FoFormula loop = FoFormula::Atom("E", {0, 0});
+  Instance l = data::Loop("E");
+  EXPECT_TRUE(loop.Holds(l, {0}));
+  FoFormula eq = FoFormula::Equals(0, 1);
+  EXPECT_TRUE(eq.Holds(l, {0, 0}));
+}
+
+TEST(FoFormulaTest, FragmentChecks) {
+  // UNFO: ¬∃x,y E(x,y) is UNFO (sentence negation).
+  FoFormula unfo = FoFormula::Not(
+      FoFormula::Exists({0, 1}, FoFormula::Atom("E", {0, 1})));
+  EXPECT_TRUE(unfo.IsUnfo());
+  EXPECT_TRUE(unfo.IsGnfo());
+
+  // ∃x,y ¬E(x,y): not UNFO, not GNFO (unguarded binary negation).
+  FoFormula not_unfo = FoFormula::Exists(
+      {0, 1}, FoFormula::Not(FoFormula::Atom("E", {0, 1})));
+  EXPECT_FALSE(not_unfo.IsUnfo());
+  EXPECT_FALSE(not_unfo.IsGnfo());
+
+  // Guarded negation: ∃x,y (E(x,y) ∧ ¬F(x,y)) is GNFO but not UNFO.
+  FoFormula gn = FoFormula::Exists(
+      {0, 1}, FoFormula::And({FoFormula::Atom("E", {0, 1}),
+                              FoFormula::Not(FoFormula::Atom("F", {0, 1}))}));
+  EXPECT_TRUE(gn.IsGnfo());
+  EXPECT_FALSE(gn.IsUnfo());
+
+  // GFO: ∀x,y (E(x,y) → F(x,y)) with the guard idiom.
+  FoFormula gfo = FoFormula::Forall(
+      {0, 1}, FoFormula::Or({FoFormula::Not(FoFormula::Atom("E", {0, 1})),
+                             FoFormula::Atom("F", {0, 1})}));
+  EXPECT_TRUE(gfo.IsGfo());
+  // Unguarded ∀ over two variables is not GFO.
+  FoFormula not_gfo = FoFormula::Forall({0, 1},
+                                        FoFormula::Atom("F", {0, 1}));
+  EXPECT_FALSE(not_gfo.IsGfo());
+}
+
+// --- Thm 3.17(2): frontier-guarded DDlog → (GNFO, UCQ) ----------------------
+
+TEST(FgToGnfoTest, TranslationProducesGnfo) {
+  ddlog::Program program = Prop315Program();
+  ASSERT_TRUE(program.IsFrontierGuarded());
+  auto omq = FgDdlogToGnfoOmq(program);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+  EXPECT_TRUE(omq->ontology.IsGnfo());
+  EXPECT_EQ(omq->query.arity(), 0);
+}
+
+TEST(FgToGnfoTest, AgreesWithProgramOnFamilies) {
+  ddlog::Program program = Prop315Program();
+  auto omq = FgDdlogToGnfoOmq(program);
+  ASSERT_TRUE(omq.ok());
+  for (int m : {2, 3, 4}) {
+    Instance yes = Prop315YesInstance(m);
+    Instance no = Prop315NoInstance(m);
+    auto p_yes = ddlog::EvaluateBoolean(program, yes);
+    auto p_no = ddlog::EvaluateBoolean(program, no);
+    ASSERT_TRUE(p_yes.ok());
+    ASSERT_TRUE(p_no.ok());
+    EXPECT_TRUE(*p_yes) << "m=" << m;
+    EXPECT_FALSE(*p_no) << "m=" << m;
+    FoBoundedOptions options;
+    options.extra_elements = 0;  // no fresh elements needed here
+    auto o_yes = BoundedCertainAnswersFo(*omq, yes, options);
+    auto o_no = BoundedCertainAnswersFo(*omq, no, options);
+    ASSERT_TRUE(o_yes.ok()) << o_yes.status().ToString();
+    ASSERT_TRUE(o_no.ok());
+    EXPECT_EQ(o_yes->size(), 1u) << "m=" << m;
+    EXPECT_TRUE(o_no->empty()) << "m=" << m;
+  }
+}
+
+TEST(FgToGnfoTest, RandomAgreement) {
+  ddlog::Program program = Prop315Program();
+  auto omq = FgDdlogToGnfoOmq(program);
+  ASSERT_TRUE(omq.ok());
+  base::Rng rng(13);
+  const data::Schema& s = program.edb_schema();
+  for (int trial = 0; trial < 6; ++trial) {
+    data::RandomInstanceOptions opts;
+    opts.num_constants = 3;
+    opts.facts_per_relation = 3;
+    Instance d = data::RandomInstance(s, opts, rng);
+    auto via_program = ddlog::EvaluateBoolean(program, d);
+    ASSERT_TRUE(via_program.ok());
+    FoBoundedOptions options;
+    options.extra_elements = 0;
+    auto via_omq = BoundedCertainAnswersFo(*omq, d, options);
+    ASSERT_TRUE(via_omq.ok());
+    EXPECT_EQ(*via_program, via_omq->size() == 1)
+        << "trial " << trial << "\n" << d.ToString();
+  }
+}
+
+// --- Prop 3.15 / Lemma 3.9: MDDlog inexpressibility -------------------------
+
+TEST(Prop315Test, Lemma39ColoringProperty) {
+  // The proof's construction: for given k, n, with m = k^(n+1) + 2n
+  // (small variant), every k-coloring of D0 admits a k-coloring of D1
+  // whose ≤n-element subinstances map into D0. We verify the
+  // homomorphism half on a small case: subinstances of D1 missing at
+  // least one chain element map into D0.
+  const int m = 4;
+  Instance d1 = Prop315YesInstance(m);
+  Instance d0 = Prop315NoInstance(m);
+  // D1 itself does NOT map into D0 (the query separates them)...
+  EXPECT_FALSE(data::HomomorphismExists(d1, d0));
+  // ...but dropping any single P-fact of D1 yields a mappable instance.
+  auto p = d1.schema().FindRelation("P");
+  ASSERT_TRUE(p.has_value());
+  for (std::uint32_t skip = 0; skip < d1.NumTuples(*p); ++skip) {
+    Instance sub(d1.schema());
+    for (data::ConstId c = 0; c < d1.UniverseSize(); ++c) {
+      sub.AddConstant(d1.ConstantName(c));
+    }
+    for (data::RelationId r = 0; r < d1.schema().NumRelations(); ++r) {
+      for (std::uint32_t i = 0; i < d1.NumTuples(r); ++i) {
+        if (r == *p && i == skip) continue;
+        sub.AddFact(r, d1.Tuple(r, i));
+      }
+    }
+    EXPECT_TRUE(data::HomomorphismExists(sub, d0)) << "skip " << skip;
+  }
+}
+
+}  // namespace
+}  // namespace obda::gfo
+
+namespace obda::gfo {
+namespace {
+
+TEST(Prop315GfoTest, OntologyIsGuardedFragment) {
+  FoOmq omq = Prop315GfoOmq();
+  EXPECT_TRUE(omq.ontology.IsGfo());
+  EXPECT_EQ(omq.query.arity(), 0);
+}
+
+TEST(Prop315GfoTest, GfoOmqMatchesProgramOnFamilies) {
+  // The (GFO,UCQ) formulation of (†) from the proof of Prop 3.15 defines
+  // the same query as the frontier-guarded program.
+  FoOmq omq = Prop315GfoOmq();
+  ddlog::Program program = Prop315Program();
+  for (int m : {2, 3}) {
+    for (bool yes : {true, false}) {
+      data::Instance d =
+          yes ? Prop315YesInstance(m) : Prop315NoInstance(m);
+      auto via_program = ddlog::EvaluateBoolean(program, d);
+      FoBoundedOptions options;
+      options.extra_elements = 0;
+      auto via_gfo = BoundedCertainAnswersFo(omq, d, options);
+      ASSERT_TRUE(via_program.ok());
+      ASSERT_TRUE(via_gfo.ok()) << via_gfo.status().ToString();
+      EXPECT_EQ(*via_program, via_gfo->size() == 1)
+          << "m=" << m << " yes=" << yes;
+      EXPECT_EQ(*via_program, yes) << "m=" << m;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace obda::gfo

@@ -1,0 +1,260 @@
+// Cross-module integration tests: the three evaluation engines (bounded
+// reference, Thm 3.4 MDDlog + SAT, Thm 4.6 CSP) must agree across
+// randomized ontologies using every supported DL feature, and the
+// auxiliary decision procedures must be mutually consistent.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/consistency.h"
+#include "core/csp_translation.h"
+#include "core/mddlog_translation.h"
+#include "core/omq.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "dl/bounded_model.h"
+#include "dl/parser.h"
+#include "mmsnp/containment.h"
+#include "mmsnp/translate.h"
+
+namespace obda {
+namespace {
+
+using core::OntologyMediatedQuery;
+using data::Instance;
+using data::Schema;
+
+Schema StandardSchema() {
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("R", 2);
+  s.AddRelation("S", 2);
+  return s;
+}
+
+/// Random ontology drawing from the full ALCHI(U) feature set.
+dl::Ontology RandomFeatureOntology(base::Rng& rng) {
+  dl::Ontology o;
+  std::vector<std::string> concepts = {"A", "B", "C"};
+  std::vector<std::string> roles = {"R", "S"};
+  auto name = [&] {
+    return dl::Concept::Name(concepts[rng.Below(concepts.size())]);
+  };
+  auto role = [&]() -> dl::Role {
+    switch (rng.Below(4)) {
+      case 0:
+        return dl::Role::Named(roles[rng.Below(roles.size())]);
+      case 1:
+        return dl::Role::InverseOf(roles[rng.Below(roles.size())]);
+      case 2:
+        return dl::Role::Universal();
+      default:
+        return dl::Role::Named(roles[rng.Below(roles.size())]);
+    }
+  };
+  for (int i = 0; i < 2; ++i) {
+    dl::Concept lhs = name();
+    dl::Concept rhs;
+    switch (rng.Below(5)) {
+      case 0:
+        rhs = dl::Concept::Or(name(), name());
+        break;
+      case 1:
+        rhs = dl::Concept::Exists(role(), name());
+        break;
+      case 2:
+        rhs = dl::Concept::Forall(role(), name());
+        break;
+      case 3:
+        rhs = dl::Concept::Not(name());
+        break;
+      default:
+        rhs = dl::Concept::And(name(), name());
+        break;
+    }
+    o.AddInclusion(lhs, rhs);
+  }
+  if (rng.Chance(1, 3)) o.AddRoleInclusion(dl::Role::Named("R"),
+                                           dl::Role::Named("S"));
+  // Keep the query concept C in sig(O) regardless of the random draws.
+  o.AddInclusion(dl::Concept::Name("C"), dl::Concept::Top());
+  return o;
+}
+
+class ThreeEngineTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeEngineTest, AqEnginesAgree) {
+  base::Rng rng(GetParam());
+  Schema s = StandardSchema();
+  dl::Ontology o = RandomFeatureOntology(rng);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, o, "C");
+  ASSERT_TRUE(omq.ok());
+  auto csp = core::CompileToCsp(*omq);
+  if (!csp.ok()) GTEST_SKIP() << csp.status().ToString();
+  auto program = core::CompileAqToMddlog(*omq);
+  ASSERT_TRUE(program.ok());
+
+  for (int trial = 0; trial < 2; ++trial) {
+    data::RandomInstanceOptions opts;
+    opts.num_constants = 3;
+    opts.facts_per_relation = 2;
+    Instance d = data::RandomInstance(s, opts, rng);
+    auto via_csp = csp->Evaluate(d);
+    auto via_program = ddlog::CertainAnswers(*program, d);
+    ASSERT_TRUE(via_program.ok());
+    EXPECT_EQ(via_csp, via_program->tuples)
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << o.ToString() << d.ToString();
+    dl::BoundedModelOptions bounded;
+    bounded.extra_elements = 5;
+    auto reference = omq->CertainAnswersBounded(d, bounded);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(via_csp, *reference)
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << o.ToString() << d.ToString();
+  }
+}
+
+TEST_P(ThreeEngineTest, ConsistencyEnginesAgree) {
+  base::Rng rng(500 + GetParam());
+  Schema s = StandardSchema();
+  dl::Ontology o = RandomFeatureOntology(rng);
+  // Sharpen with a disjointness axiom so inconsistency actually occurs.
+  o.AddInclusion(dl::Concept::And(dl::Concept::Name("A"),
+                                  dl::Concept::Name("B")),
+                 dl::Concept::Bottom());
+  for (int trial = 0; trial < 2; ++trial) {
+    data::RandomInstanceOptions opts;
+    opts.num_constants = 3;
+    opts.facts_per_relation = 3;
+    Instance d = data::RandomInstance(s, opts, rng);
+    auto exact = core::IsConsistent(o, d);
+    if (!exact.ok()) GTEST_SKIP() << exact.status().ToString();
+    dl::BoundedModelOptions bounded;
+    bounded.extra_elements = 5;
+    auto via_bounded = dl::BoundedConsistent(o, d, bounded);
+    ASSERT_TRUE(via_bounded.ok());
+    EXPECT_EQ(*exact, *via_bounded)
+        << "seed " << GetParam() << " trial " << trial << "\n"
+        << o.ToString() << d.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeEngineTest, ::testing::Range(0, 20));
+
+TEST(ConsistencyTest, KnownCases) {
+  auto o = dl::ParseOntology("A [= bot");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  auto bad = data::ParseInstance(s, "A(a)");
+  Instance good(s);
+  good.AddConstant("a");
+  auto r1 = core::IsConsistent(*o, *bad);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_FALSE(*r1);
+  auto r2 = core::IsConsistent(*o, good);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);
+}
+
+TEST(ConsistencyTest, RejectsFunctionalRoles) {
+  auto o = dl::ParseOntology("func(R)");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("R", 2);
+  Instance d(s);
+  d.AddConstant("a");
+  EXPECT_FALSE(core::IsConsistent(*o, d).ok());
+}
+
+// --- MMSNP containment (Prop 5.5 / Thm 5.6, bounded) -----------------------
+
+TEST(MmsnpContainmentTest, SentenceContainment) {
+  Schema s;
+  s.AddRelation("E", 2);
+  // Φ1: 3-colorable; Φ2: 2-colorable (as MMSNP sentences via MDDlog).
+  auto make = [&s](int colors) {
+    std::string text;
+    std::string head;
+    for (int c = 1; c <= colors; ++c) {
+      if (c > 1) head += " | ";
+      head += "P" + std::to_string(c) + "(x)";
+    }
+    text += head + " <- adom(x).\n";
+    for (int c = 1; c <= colors; ++c) {
+      text += "goal <- P" + std::to_string(c) + "(x), P" +
+              std::to_string(c) + "(y), E(x,y).\n";
+    }
+    auto program = ddlog::ParseProgram(s, text);
+    OBDA_CHECK(program.ok());
+    auto formula = mmsnp::FromDdlog(*program);
+    OBDA_CHECK(formula.ok());
+    return *formula;
+  };
+  mmsnp::Formula co2 = make(2);
+  mmsnp::Formula co3 = make(3);
+  // not-3-colorable ⊆ not-2-colorable.
+  auto c32 = mmsnp::ContainedBounded(co3, co2);
+  ASSERT_TRUE(c32.ok());
+  EXPECT_EQ(*c32, mmsnp::MmsnpContainment::kContainedWithinBound);
+  auto c23 = mmsnp::ContainedBounded(co2, co3);
+  ASSERT_TRUE(c23.ok());
+  EXPECT_EQ(*c23, mmsnp::MmsnpContainment::kNotContained);
+}
+
+TEST(MmsnpContainmentTest, FormulaToSentenceReduction) {
+  // Prop 5.5 / 5.2: containment of formulas reduces to containment of
+  // the marker sentences. Verified on a unary pair where containment
+  // holds one way only.
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("L", 1);
+  // Φ1(y): E(y,z) ∧ L(y) → ⊥  (answers: L-labelled with out-edge)
+  // Φ2(y): E(y,z) → ⊥         (answers: anything with out-edge)
+  mmsnp::Formula f1(s, 1);
+  {
+    mmsnp::Implication imp;
+    mmsnp::Atom e;
+    e.kind = mmsnp::AtomKind::kInput;
+    e.pred = 0;
+    e.vars = {0, 1};
+    mmsnp::Atom l;
+    l.kind = mmsnp::AtomKind::kInput;
+    l.pred = 1;
+    l.vars = {0};
+    imp.body = {e, l};
+    ASSERT_TRUE(f1.AddImplication(imp).ok());
+  }
+  mmsnp::Formula f2(s, 1);
+  {
+    mmsnp::Implication imp;
+    mmsnp::Atom e;
+    e.kind = mmsnp::AtomKind::kInput;
+    e.pred = 0;
+    e.vars = {0, 1};
+    imp.body = {e};
+    ASSERT_TRUE(f2.AddImplication(imp).ok());
+  }
+  auto c12 = mmsnp::ContainedBounded(f1, f2);
+  ASSERT_TRUE(c12.ok());
+  EXPECT_EQ(*c12, mmsnp::MmsnpContainment::kContainedWithinBound);
+  auto c21 = mmsnp::ContainedBounded(f2, f1);
+  ASSERT_TRUE(c21.ok());
+  EXPECT_EQ(*c21, mmsnp::MmsnpContainment::kNotContained);
+
+  // The same verdicts through the marker sentences (Prop 5.2 transfer).
+  mmsnp::Formula s1 = mmsnp::SentenceWithMarkers(f1);
+  mmsnp::Formula s2 = mmsnp::SentenceWithMarkers(f2);
+  auto m12 = mmsnp::ContainedBounded(s1, s2);
+  ASSERT_TRUE(m12.ok());
+  EXPECT_EQ(*m12, mmsnp::MmsnpContainment::kContainedWithinBound);
+  auto m21 = mmsnp::ContainedBounded(s2, s1);
+  ASSERT_TRUE(m21.ok());
+  EXPECT_EQ(*m21, mmsnp::MmsnpContainment::kNotContained);
+}
+
+}  // namespace
+}  // namespace obda

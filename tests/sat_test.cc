@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "sat/solver.h"
+
+namespace obda::sat {
+namespace {
+
+TEST(SatTest, EmptyIsSat) {
+  Solver s;
+  EXPECT_EQ(s.Solve(), SatOutcome::kSat);
+}
+
+TEST(SatTest, UnitClause) {
+  Solver s;
+  Var a = s.NewVar();
+  s.AddClause({Lit::Pos(a)});
+  EXPECT_EQ(s.Solve(), SatOutcome::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(SatTest, ContradictoryUnits) {
+  Solver s;
+  Var a = s.NewVar();
+  s.AddClause({Lit::Pos(a)});
+  s.AddClause({Lit::Neg(a)});
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+}
+
+TEST(SatTest, EmptyClauseIsUnsat) {
+  Solver s;
+  s.NewVar();
+  s.AddClause({});
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+}
+
+TEST(SatTest, TautologyDropped) {
+  Solver s;
+  Var a = s.NewVar();
+  s.AddClause({Lit::Pos(a), Lit::Neg(a)});
+  EXPECT_EQ(s.NumClauses(), 0u);
+  EXPECT_EQ(s.Solve(), SatOutcome::kSat);
+}
+
+TEST(SatTest, SimpleImplicationChain) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  Var c = s.NewVar();
+  s.AddClause({Lit::Pos(a)});
+  s.AddClause({Lit::Neg(a), Lit::Pos(b)});  // a -> b
+  s.AddClause({Lit::Neg(b), Lit::Pos(c)});  // b -> c
+  EXPECT_EQ(s.Solve(), SatOutcome::kSat);
+  EXPECT_TRUE(s.ModelValue(c));
+}
+
+TEST(SatTest, PigeonholeTwoIntoOne) {
+  // Two pigeons, one hole: unsat.
+  Solver s;
+  Var p1 = s.NewVar();  // pigeon1 in hole
+  Var p2 = s.NewVar();  // pigeon2 in hole
+  s.AddClause({Lit::Pos(p1)});
+  s.AddClause({Lit::Pos(p2)});
+  s.AddClause({Lit::Neg(p1), Lit::Neg(p2)});
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+}
+
+TEST(SatTest, PigeonholeFourIntoThree) {
+  // 4 pigeons, 3 holes: classic small UNSAT requiring search.
+  Solver s;
+  const int np = 4;
+  const int nh = 3;
+  std::vector<std::vector<Var>> x(np, std::vector<Var>(nh));
+  for (int p = 0; p < np; ++p) {
+    for (int h = 0; h < nh; ++h) x[p][h] = s.NewVar();
+  }
+  for (int p = 0; p < np; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < nh; ++h) clause.push_back(Lit::Pos(x[p][h]));
+    s.AddClause(clause);
+  }
+  for (int h = 0; h < nh; ++h) {
+    for (int p1 = 0; p1 < np; ++p1) {
+      for (int p2 = p1 + 1; p2 < np; ++p2) {
+        s.AddClause({Lit::Neg(x[p1][h]), Lit::Neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+}
+
+TEST(SatTest, AssumptionsFlipOutcome) {
+  Solver s;
+  Var a = s.NewVar();
+  Var b = s.NewVar();
+  s.AddClause({Lit::Pos(a), Lit::Pos(b)});
+  EXPECT_EQ(s.Solve({Lit::Neg(a)}), SatOutcome::kSat);
+  EXPECT_TRUE(s.ModelValue(b));
+  EXPECT_EQ(s.Solve({Lit::Neg(a), Lit::Neg(b)}), SatOutcome::kUnsat);
+  // Solver is reusable after assumption solving.
+  EXPECT_EQ(s.Solve(), SatOutcome::kSat);
+}
+
+TEST(SatTest, BudgetReported) {
+  // A hard-ish pigeonhole with a tiny budget must report kBudget.
+  Solver s;
+  const int np = 9;
+  const int nh = 8;
+  std::vector<std::vector<Var>> x(np, std::vector<Var>(nh));
+  for (int p = 0; p < np; ++p) {
+    for (int h = 0; h < nh; ++h) x[p][h] = s.NewVar();
+  }
+  for (int p = 0; p < np; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < nh; ++h) clause.push_back(Lit::Pos(x[p][h]));
+    s.AddClause(clause);
+  }
+  for (int h = 0; h < nh; ++h) {
+    for (int p1 = 0; p1 < np; ++p1) {
+      for (int p2 = p1 + 1; p2 < np; ++p2) {
+        s.AddClause({Lit::Neg(x[p1][h]), Lit::Neg(x[p2][h])});
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve({}, 10), SatOutcome::kBudget);
+}
+
+/// Brute-force model check for cross-validation.
+bool BruteForceSat(int num_vars, const std::vector<std::vector<Lit>>& cls) {
+  for (int m = 0; m < (1 << num_vars); ++m) {
+    bool all = true;
+    for (const auto& c : cls) {
+      bool sat = false;
+      for (Lit l : c) {
+        bool v = ((m >> l.var()) & 1) != 0;
+        if (l.negative() ? !v : v) {
+          sat = true;
+          break;
+        }
+      }
+      if (!sat) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return num_vars == 0 && cls.empty();
+}
+
+class SatRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomTest, AgreesWithBruteForce) {
+  base::Rng rng(GetParam());
+  const int num_vars = 8;
+  const int num_clauses = rng.IntIn(8, 40);
+  Solver s;
+  for (int i = 0; i < num_vars; ++i) s.NewVar();
+  std::vector<std::vector<Lit>> clauses;
+  for (int i = 0; i < num_clauses; ++i) {
+    int len = rng.IntIn(1, 3);
+    std::vector<Lit> c;
+    for (int j = 0; j < len; ++j) {
+      Var v = static_cast<Var>(rng.Below(num_vars));
+      c.push_back(rng.Chance(1, 2) ? Lit::Pos(v) : Lit::Neg(v));
+    }
+    clauses.push_back(c);
+    s.AddClause(c);
+  }
+  bool expected = BruteForceSat(num_vars, clauses);
+  SatOutcome outcome = s.Solve();
+  ASSERT_NE(outcome, SatOutcome::kBudget);
+  EXPECT_EQ(outcome == SatOutcome::kSat, expected);
+  if (outcome == SatOutcome::kSat) {
+    // Verify the model.
+    for (const auto& c : clauses) {
+      bool sat = false;
+      for (Lit l : c) {
+        bool v = s.ModelValue(l.var());
+        if (l.negative() ? !v : v) sat = true;
+      }
+      EXPECT_TRUE(sat);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace obda::sat

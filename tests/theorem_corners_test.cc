@@ -1,0 +1,235 @@
+// Focused tests for theorem corners not already covered elsewhere:
+// role hierarchies on the UCQ path (Thm 3.6(2)), the Boolean backward
+// translation (Thm 3.13), schema-free rewritability (Thm 6.3), and
+// transformation cross-validation against the reference engine.
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/csp_translation.h"
+#include "core/mddlog_translation.h"
+#include "core/omq.h"
+#include "core/rewritability.h"
+#include "core/schema_free.h"
+#include "core/ucq_translation.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "dl/bounded_model.h"
+#include "dl/parser.h"
+#include "dl/transform.h"
+
+namespace obda::core {
+namespace {
+
+using data::Instance;
+using data::Schema;
+
+// --- Thm 3.6(2): ALCH on the UCQ→MDDlog path -------------------------------
+
+TEST(AlchUcqTest, RoleHierarchyFeedsTreeQueries) {
+  // O: A ⊑ ∃Narrow.B with Narrow ⊑ Wide; q() = ∃x,y Wide(x,y) ∧ B(y).
+  // The anonymous Narrow-edge counts as a Wide-edge for the query.
+  auto o = dl::ParseOntology("rsub(Narrow, Wide)\nA [= some Narrow.B");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("Narrow", 2);
+  s.AddRelation("Wide", 2);
+  auto qs = QuerySchema(s, *o);
+  ASSERT_TRUE(qs.ok());
+  fo::ConjunctiveQuery cq(*qs, 0);
+  fo::QVar x = cq.AddVariable();
+  fo::QVar y = cq.AddVariable();
+  ASSERT_TRUE(cq.AddAtomByName("Wide", {x, y}).ok());
+  ASSERT_TRUE(cq.AddAtomByName("B", {y}).ok());
+  fo::UnionOfCq q(*qs, 0);
+  q.AddDisjunct(cq);
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileUcqToMddlog(*omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  auto d1 = data::ParseInstance(s, "A(a)");
+  ASSERT_TRUE(d1.ok());
+  auto r1 = ddlog::EvaluateBoolean(*program, *d1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(*r1);  // anonymous Narrow ⊑ Wide edge satisfies the query
+  auto d2 = data::ParseInstance(s, "Narrow(u,v). B(v)");
+  ASSERT_TRUE(d2.ok());
+  auto r2 = ddlog::EvaluateBoolean(*program, *d2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);  // data Narrow edge also counts
+  // A(v) creates an anonymous Narrow ⊑ Wide edge out of v, so even this
+  // instance is certain; a truly negative case has no A and no B-target.
+  auto d3 = data::ParseInstance(s, "Wide(u,v). A(v)");
+  ASSERT_TRUE(d3.ok());
+  auto r3 = ddlog::EvaluateBoolean(*program, *d3);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_TRUE(*r3);
+  auto d4 = data::ParseInstance(s, "Wide(u,v). B(u)");
+  ASSERT_TRUE(d4.ok());
+  auto r4 = ddlog::EvaluateBoolean(*program, *d4);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_FALSE(*r4);  // B only at the edge SOURCE: no match anywhere
+}
+
+class AlchUcqRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlchUcqRandomTest, AgreesWithReference) {
+  auto o = dl::ParseOntology(R"(
+    rsub(Narrow, Wide)
+    A [= some Narrow.B
+    B [= C | D
+  )");
+  ASSERT_TRUE(o.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("B", 1);
+  s.AddRelation("Narrow", 2);
+  s.AddRelation("Wide", 2);
+  auto qs = QuerySchema(s, *o);
+  ASSERT_TRUE(qs.ok());
+  fo::UnionOfCq q(*qs, 1);
+  for (const char* target : {"C", "D"}) {
+    fo::ConjunctiveQuery cq(*qs, 1);
+    fo::QVar y = cq.AddVariable();
+    EXPECT_TRUE(cq.AddAtomByName("Wide", {0, y}).ok());
+    EXPECT_TRUE(cq.AddAtomByName(target, {y}).ok());
+    q.AddDisjunct(cq);
+  }
+  auto omq = OntologyMediatedQuery::Create(s, *o, q);
+  ASSERT_TRUE(omq.ok());
+  auto program = CompileUcqToMddlog(*omq);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+
+  base::Rng rng(GetParam());
+  data::RandomInstanceOptions opts;
+  opts.num_constants = 3;
+  opts.facts_per_relation = 2;
+  Instance d = data::RandomInstance(s, opts, rng);
+  auto via_program = ddlog::CertainAnswers(*program, d);
+  ASSERT_TRUE(via_program.ok());
+  dl::BoundedModelOptions bounded;
+  bounded.extra_elements = 4;
+  auto reference = omq->CertainAnswersBounded(d, bounded);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(via_program->tuples, *reference)
+      << "seed " << GetParam() << "\n" << d.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlchUcqRandomTest, ::testing::Range(0, 8));
+
+// --- Thm 3.13: Boolean backward translation ---------------------------------
+
+TEST(BooleanBackwardTest, SimpleMddlogToOmqBooleanGoal) {
+  // goal() ← R(x,y) ∧ P(y) becomes ∃R.P ⊑ goal with BAQ ∃x.goal(x)
+  // (the paper's Thm 3.13 example).
+  Schema s;
+  s.AddRelation("R", 2);
+  s.AddRelation("A", 1);
+  auto program = ddlog::ParseProgram(s, R"(
+    P(x) <- A(x).
+    goal <- R(x,y), P(y).
+  )");
+  ASSERT_TRUE(program.ok());
+  ASSERT_EQ(program->QueryArity(), 0);
+  auto omq = SimpleMddlogToOmq(*program);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+  EXPECT_TRUE(omq->BooleanAtomicQueryConcept().has_value());
+
+  base::Rng rng(11);
+  for (int trial = 0; trial < 6; ++trial) {
+    data::RandomInstanceOptions opts;
+    opts.num_constants = 3;
+    opts.facts_per_relation = 3;
+    Instance d = data::RandomInstance(s, opts, rng);
+    auto via_program = ddlog::EvaluateBoolean(*program, d);
+    auto via_omq = CertainAnswersViaCsp(*omq, d);
+    ASSERT_TRUE(via_program.ok());
+    ASSERT_TRUE(via_omq.ok());
+    EXPECT_EQ(*via_program, via_omq->size() == 1) << "trial " << trial;
+  }
+}
+
+// --- Thm 6.3: rewritability of schema-free OMQs ------------------------------
+
+TEST(SchemaFreeRewritabilityTest, DecisionsMatchFixedSchema) {
+  // Thm 6.3: the schema-free OMQ built from a template classifies the
+  // same way as the underlying CSP. P_1 (FO) vs K2 (datalog-only).
+  {
+    auto omq = CspToSchemaFreeOmq(data::DirectedPath("E", 1));
+    ASSERT_TRUE(omq.ok());
+    auto dl = IsDatalogRewritable(*omq);
+    ASSERT_TRUE(dl.ok()) << dl.status().ToString();
+    EXPECT_TRUE(*dl);
+  }
+  {
+    auto omq = CspToSchemaFreeOmq(data::Clique("E", 2));
+    ASSERT_TRUE(omq.ok());
+    auto fo = IsFoRewritable(*omq);
+    ASSERT_TRUE(fo.ok()) << fo.status().ToString();
+    EXPECT_FALSE(*fo);
+  }
+}
+
+// --- Transformation cross-validation -----------------------------------------
+
+class TransformPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TransformPropertyTest, TransitivityEliminationPreservesAqAnswers) {
+  // Thm 3.11: certq,O = certq,O' for AQs after transitivity elimination.
+  auto o = dl::ParseOntology("trans(R)\nsome R.Bad [= Alarm");
+  ASSERT_TRUE(o.ok());
+  dl::Ontology eliminated = dl::EliminateTransitivity(*o);
+  ASSERT_TRUE(eliminated.transitive_roles().empty());
+  Schema s;
+  s.AddRelation("Bad", 1);
+  s.AddRelation("R", 2);
+  auto q1 = OntologyMediatedQuery::WithAtomicQuery(s, *o, "Alarm");
+  auto q2 = OntologyMediatedQuery::WithAtomicQuery(s, eliminated, "Alarm");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  base::Rng rng(GetParam());
+  data::RandomInstanceOptions opts;
+  opts.num_constants = 4;
+  opts.facts_per_relation = 4;
+  Instance d = data::RandomInstance(s, opts, rng);
+  auto a1 = CertainAnswersViaCsp(*q1, d);
+  auto a2 = CertainAnswersViaCsp(*q2, d);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(*a1, *a2) << "seed " << GetParam() << "\n" << d.ToString();
+}
+
+TEST_P(TransformPropertyTest, HierarchyEliminationPreservesAqAnswers) {
+  auto o = dl::ParseOntology("rsub(Narrow, Wide)\nsome Wide.A [= Hit");
+  ASSERT_TRUE(o.ok());
+  dl::Ontology eliminated = dl::EliminateRoleHierarchies(*o);
+  ASSERT_TRUE(eliminated.role_inclusions().empty());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("Narrow", 2);
+  s.AddRelation("Wide", 2);
+  auto q1 = OntologyMediatedQuery::WithAtomicQuery(s, *o, "Hit");
+  auto q2 = OntologyMediatedQuery::WithAtomicQuery(s, eliminated, "Hit");
+  ASSERT_TRUE(q1.ok());
+  ASSERT_TRUE(q2.ok());
+  base::Rng rng(100 + GetParam());
+  data::RandomInstanceOptions opts;
+  opts.num_constants = 4;
+  opts.facts_per_relation = 3;
+  Instance d = data::RandomInstance(s, opts, rng);
+  auto a1 = CertainAnswersViaCsp(*q1, d);
+  auto a2 = CertainAnswersViaCsp(*q2, d);
+  ASSERT_TRUE(a1.ok());
+  ASSERT_TRUE(a2.ok());
+  EXPECT_EQ(*a1, *a2) << "seed " << GetParam() << "\n" << d.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace obda::core
