@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e01_mddlog_eval.dir/bench_e01_mddlog_eval.cpp.o"
+  "CMakeFiles/bench_e01_mddlog_eval.dir/bench_e01_mddlog_eval.cpp.o.d"
+  "bench_e01_mddlog_eval"
+  "bench_e01_mddlog_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_mddlog_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_alc_aq.dir/bench_e03_alc_aq.cpp.o"
+  "CMakeFiles/bench_e03_alc_aq.dir/bench_e03_alc_aq.cpp.o.d"
+  "bench_e03_alc_aq"
+  "bench_e03_alc_aq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_alc_aq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e04_succinctness.dir/bench_e04_succinctness.cpp.o"
+  "CMakeFiles/bench_e04_succinctness.dir/bench_e04_succinctness.cpp.o.d"
+  "bench_e04_succinctness"
+  "bench_e04_succinctness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e04_succinctness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

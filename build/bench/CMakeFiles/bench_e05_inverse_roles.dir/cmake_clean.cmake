@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_inverse_roles.dir/bench_e05_inverse_roles.cpp.o"
+  "CMakeFiles/bench_e05_inverse_roles.dir/bench_e05_inverse_roles.cpp.o.d"
+  "bench_e05_inverse_roles"
+  "bench_e05_inverse_roles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_inverse_roles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e06_beyond_mddlog.dir/bench_e06_beyond_mddlog.cpp.o"
+  "CMakeFiles/bench_e06_beyond_mddlog.dir/bench_e06_beyond_mddlog.cpp.o.d"
+  "bench_e06_beyond_mddlog"
+  "bench_e06_beyond_mddlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e06_beyond_mddlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_csp_templates.dir/bench_e09_csp_templates.cpp.o"
+  "CMakeFiles/bench_e09_csp_templates.dir/bench_e09_csp_templates.cpp.o.d"
+  "bench_e09_csp_templates"
+  "bench_e09_csp_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_csp_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_dichotomy.dir/bench_e10_dichotomy.cpp.o"
+  "CMakeFiles/bench_e10_dichotomy.dir/bench_e10_dichotomy.cpp.o.d"
+  "bench_e10_dichotomy"
+  "bench_e10_dichotomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_dichotomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_containment.dir/bench_e11_containment.cpp.o"
+  "CMakeFiles/bench_e11_containment.dir/bench_e11_containment.cpp.o.d"
+  "bench_e11_containment"
+  "bench_e11_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_rewritability.dir/bench_e12_rewritability.cpp.o"
+  "CMakeFiles/bench_e12_rewritability.dir/bench_e12_rewritability.cpp.o.d"
+  "bench_e12_rewritability"
+  "bench_e12_rewritability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_rewritability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

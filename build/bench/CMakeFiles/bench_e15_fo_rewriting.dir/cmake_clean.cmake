@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e15_fo_rewriting.dir/bench_e15_fo_rewriting.cpp.o"
+  "CMakeFiles/bench_e15_fo_rewriting.dir/bench_e15_fo_rewriting.cpp.o.d"
+  "bench_e15_fo_rewriting"
+  "bench_e15_fo_rewriting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e15_fo_rewriting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e16_canonical_datalog.dir/bench_e16_canonical_datalog.cpp.o"
+  "CMakeFiles/bench_e16_canonical_datalog.dir/bench_e16_canonical_datalog.cpp.o.d"
+  "bench_e16_canonical_datalog"
+  "bench_e16_canonical_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e16_canonical_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

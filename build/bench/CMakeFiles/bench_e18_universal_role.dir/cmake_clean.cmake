@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e18_universal_role.dir/bench_e18_universal_role.cpp.o"
+  "CMakeFiles/bench_e18_universal_role.dir/bench_e18_universal_role.cpp.o.d"
+  "bench_e18_universal_role"
+  "bench_e18_universal_role.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e18_universal_role.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

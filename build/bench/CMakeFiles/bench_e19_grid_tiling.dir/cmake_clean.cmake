@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e19_grid_tiling.dir/bench_e19_grid_tiling.cpp.o"
+  "CMakeFiles/bench_e19_grid_tiling.dir/bench_e19_grid_tiling.cpp.o.d"
+  "bench_e19_grid_tiling"
+  "bench_e19_grid_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e19_grid_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

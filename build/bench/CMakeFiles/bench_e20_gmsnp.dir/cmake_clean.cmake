@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e20_gmsnp.dir/bench_e20_gmsnp.cpp.o"
+  "CMakeFiles/bench_e20_gmsnp.dir/bench_e20_gmsnp.cpp.o.d"
+  "bench_e20_gmsnp"
+  "bench_e20_gmsnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e20_gmsnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

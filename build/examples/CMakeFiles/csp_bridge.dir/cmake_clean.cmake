@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csp_bridge.dir/csp_bridge.cpp.o"
+  "CMakeFiles/csp_bridge.dir/csp_bridge.cpp.o.d"
+  "csp_bridge"
+  "csp_bridge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csp_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

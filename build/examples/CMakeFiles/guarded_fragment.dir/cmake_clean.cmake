@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_fragment.dir/guarded_fragment.cpp.o"
+  "CMakeFiles/guarded_fragment.dir/guarded_fragment.cpp.o.d"
+  "guarded_fragment"
+  "guarded_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsnp_playground.dir/mmsnp_playground.cpp.o"
+  "CMakeFiles/mmsnp_playground.dir/mmsnp_playground.cpp.o.d"
+  "mmsnp_playground"
+  "mmsnp_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsnp_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_base.dir/status.cc.o"
+  "CMakeFiles/obda_base.dir/status.cc.o.d"
+  "CMakeFiles/obda_base.dir/strings.cc.o"
+  "CMakeFiles/obda_base.dir/strings.cc.o.d"
+  "libobda_base.a"
+  "libobda_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

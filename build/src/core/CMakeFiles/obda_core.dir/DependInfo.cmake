@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/consistency.cc" "src/core/CMakeFiles/obda_core.dir/consistency.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/consistency.cc.o.d"
+  "/root/repo/src/core/containment.cc" "src/core/CMakeFiles/obda_core.dir/containment.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/containment.cc.o.d"
+  "/root/repo/src/core/csp_translation.cc" "src/core/CMakeFiles/obda_core.dir/csp_translation.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/csp_translation.cc.o.d"
+  "/root/repo/src/core/grid_tiling.cc" "src/core/CMakeFiles/obda_core.dir/grid_tiling.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/grid_tiling.cc.o.d"
+  "/root/repo/src/core/mddlog_to_csp.cc" "src/core/CMakeFiles/obda_core.dir/mddlog_to_csp.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/mddlog_to_csp.cc.o.d"
+  "/root/repo/src/core/mddlog_translation.cc" "src/core/CMakeFiles/obda_core.dir/mddlog_translation.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/mddlog_translation.cc.o.d"
+  "/root/repo/src/core/omq.cc" "src/core/CMakeFiles/obda_core.dir/omq.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/omq.cc.o.d"
+  "/root/repo/src/core/paper_families.cc" "src/core/CMakeFiles/obda_core.dir/paper_families.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/paper_families.cc.o.d"
+  "/root/repo/src/core/rewritability.cc" "src/core/CMakeFiles/obda_core.dir/rewritability.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/rewritability.cc.o.d"
+  "/root/repo/src/core/schema_free.cc" "src/core/CMakeFiles/obda_core.dir/schema_free.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/schema_free.cc.o.d"
+  "/root/repo/src/core/ucq_translation.cc" "src/core/CMakeFiles/obda_core.dir/ucq_translation.cc.o" "gcc" "src/core/CMakeFiles/obda_core.dir/ucq_translation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/obda_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/obda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/obda_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/obda_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/csp/CMakeFiles/obda_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddlog/CMakeFiles/obda_ddlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/obda_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

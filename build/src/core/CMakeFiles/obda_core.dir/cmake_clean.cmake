@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_core.dir/consistency.cc.o"
+  "CMakeFiles/obda_core.dir/consistency.cc.o.d"
+  "CMakeFiles/obda_core.dir/containment.cc.o"
+  "CMakeFiles/obda_core.dir/containment.cc.o.d"
+  "CMakeFiles/obda_core.dir/csp_translation.cc.o"
+  "CMakeFiles/obda_core.dir/csp_translation.cc.o.d"
+  "CMakeFiles/obda_core.dir/grid_tiling.cc.o"
+  "CMakeFiles/obda_core.dir/grid_tiling.cc.o.d"
+  "CMakeFiles/obda_core.dir/mddlog_to_csp.cc.o"
+  "CMakeFiles/obda_core.dir/mddlog_to_csp.cc.o.d"
+  "CMakeFiles/obda_core.dir/mddlog_translation.cc.o"
+  "CMakeFiles/obda_core.dir/mddlog_translation.cc.o.d"
+  "CMakeFiles/obda_core.dir/omq.cc.o"
+  "CMakeFiles/obda_core.dir/omq.cc.o.d"
+  "CMakeFiles/obda_core.dir/paper_families.cc.o"
+  "CMakeFiles/obda_core.dir/paper_families.cc.o.d"
+  "CMakeFiles/obda_core.dir/rewritability.cc.o"
+  "CMakeFiles/obda_core.dir/rewritability.cc.o.d"
+  "CMakeFiles/obda_core.dir/schema_free.cc.o"
+  "CMakeFiles/obda_core.dir/schema_free.cc.o.d"
+  "CMakeFiles/obda_core.dir/ucq_translation.cc.o"
+  "CMakeFiles/obda_core.dir/ucq_translation.cc.o.d"
+  "libobda_core.a"
+  "libobda_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/csp/consistency.cc" "src/csp/CMakeFiles/obda_csp.dir/consistency.cc.o" "gcc" "src/csp/CMakeFiles/obda_csp.dir/consistency.cc.o.d"
+  "/root/repo/src/csp/duality.cc" "src/csp/CMakeFiles/obda_csp.dir/duality.cc.o" "gcc" "src/csp/CMakeFiles/obda_csp.dir/duality.cc.o.d"
+  "/root/repo/src/csp/obstruction.cc" "src/csp/CMakeFiles/obda_csp.dir/obstruction.cc.o" "gcc" "src/csp/CMakeFiles/obda_csp.dir/obstruction.cc.o.d"
+  "/root/repo/src/csp/query.cc" "src/csp/CMakeFiles/obda_csp.dir/query.cc.o" "gcc" "src/csp/CMakeFiles/obda_csp.dir/query.cc.o.d"
+  "/root/repo/src/csp/rewritability.cc" "src/csp/CMakeFiles/obda_csp.dir/rewritability.cc.o" "gcc" "src/csp/CMakeFiles/obda_csp.dir/rewritability.cc.o.d"
+  "/root/repo/src/csp/width.cc" "src/csp/CMakeFiles/obda_csp.dir/width.cc.o" "gcc" "src/csp/CMakeFiles/obda_csp.dir/width.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/obda_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/obda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/obda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddlog/CMakeFiles/obda_ddlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

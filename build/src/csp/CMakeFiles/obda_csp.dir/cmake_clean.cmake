@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_csp.dir/consistency.cc.o"
+  "CMakeFiles/obda_csp.dir/consistency.cc.o.d"
+  "CMakeFiles/obda_csp.dir/duality.cc.o"
+  "CMakeFiles/obda_csp.dir/duality.cc.o.d"
+  "CMakeFiles/obda_csp.dir/obstruction.cc.o"
+  "CMakeFiles/obda_csp.dir/obstruction.cc.o.d"
+  "CMakeFiles/obda_csp.dir/query.cc.o"
+  "CMakeFiles/obda_csp.dir/query.cc.o.d"
+  "CMakeFiles/obda_csp.dir/rewritability.cc.o"
+  "CMakeFiles/obda_csp.dir/rewritability.cc.o.d"
+  "CMakeFiles/obda_csp.dir/width.cc.o"
+  "CMakeFiles/obda_csp.dir/width.cc.o.d"
+  "libobda_csp.a"
+  "libobda_csp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_csp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

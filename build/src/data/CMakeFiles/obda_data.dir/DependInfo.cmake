@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/obda_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/obda_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/homomorphism.cc" "src/data/CMakeFiles/obda_data.dir/homomorphism.cc.o" "gcc" "src/data/CMakeFiles/obda_data.dir/homomorphism.cc.o.d"
+  "/root/repo/src/data/instance.cc" "src/data/CMakeFiles/obda_data.dir/instance.cc.o" "gcc" "src/data/CMakeFiles/obda_data.dir/instance.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/obda_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/obda_data.dir/io.cc.o.d"
+  "/root/repo/src/data/ops.cc" "src/data/CMakeFiles/obda_data.dir/ops.cc.o" "gcc" "src/data/CMakeFiles/obda_data.dir/ops.cc.o.d"
+  "/root/repo/src/data/schema.cc" "src/data/CMakeFiles/obda_data.dir/schema.cc.o" "gcc" "src/data/CMakeFiles/obda_data.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/obda_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

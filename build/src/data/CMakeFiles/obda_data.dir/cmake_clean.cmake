@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_data.dir/generator.cc.o"
+  "CMakeFiles/obda_data.dir/generator.cc.o.d"
+  "CMakeFiles/obda_data.dir/homomorphism.cc.o"
+  "CMakeFiles/obda_data.dir/homomorphism.cc.o.d"
+  "CMakeFiles/obda_data.dir/instance.cc.o"
+  "CMakeFiles/obda_data.dir/instance.cc.o.d"
+  "CMakeFiles/obda_data.dir/io.cc.o"
+  "CMakeFiles/obda_data.dir/io.cc.o.d"
+  "CMakeFiles/obda_data.dir/ops.cc.o"
+  "CMakeFiles/obda_data.dir/ops.cc.o.d"
+  "CMakeFiles/obda_data.dir/schema.cc.o"
+  "CMakeFiles/obda_data.dir/schema.cc.o.d"
+  "libobda_data.a"
+  "libobda_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ddlog/datalog.cc" "src/ddlog/CMakeFiles/obda_ddlog.dir/datalog.cc.o" "gcc" "src/ddlog/CMakeFiles/obda_ddlog.dir/datalog.cc.o.d"
+  "/root/repo/src/ddlog/eval.cc" "src/ddlog/CMakeFiles/obda_ddlog.dir/eval.cc.o" "gcc" "src/ddlog/CMakeFiles/obda_ddlog.dir/eval.cc.o.d"
+  "/root/repo/src/ddlog/program.cc" "src/ddlog/CMakeFiles/obda_ddlog.dir/program.cc.o" "gcc" "src/ddlog/CMakeFiles/obda_ddlog.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/obda_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/obda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/obda_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_ddlog.dir/datalog.cc.o"
+  "CMakeFiles/obda_ddlog.dir/datalog.cc.o.d"
+  "CMakeFiles/obda_ddlog.dir/eval.cc.o"
+  "CMakeFiles/obda_ddlog.dir/eval.cc.o.d"
+  "CMakeFiles/obda_ddlog.dir/program.cc.o"
+  "CMakeFiles/obda_ddlog.dir/program.cc.o.d"
+  "libobda_ddlog.a"
+  "libobda_ddlog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_ddlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

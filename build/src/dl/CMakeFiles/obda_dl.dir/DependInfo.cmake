@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/bounded_model.cc" "src/dl/CMakeFiles/obda_dl.dir/bounded_model.cc.o" "gcc" "src/dl/CMakeFiles/obda_dl.dir/bounded_model.cc.o.d"
+  "/root/repo/src/dl/concept.cc" "src/dl/CMakeFiles/obda_dl.dir/concept.cc.o" "gcc" "src/dl/CMakeFiles/obda_dl.dir/concept.cc.o.d"
+  "/root/repo/src/dl/ontology.cc" "src/dl/CMakeFiles/obda_dl.dir/ontology.cc.o" "gcc" "src/dl/CMakeFiles/obda_dl.dir/ontology.cc.o.d"
+  "/root/repo/src/dl/parser.cc" "src/dl/CMakeFiles/obda_dl.dir/parser.cc.o" "gcc" "src/dl/CMakeFiles/obda_dl.dir/parser.cc.o.d"
+  "/root/repo/src/dl/reasoner.cc" "src/dl/CMakeFiles/obda_dl.dir/reasoner.cc.o" "gcc" "src/dl/CMakeFiles/obda_dl.dir/reasoner.cc.o.d"
+  "/root/repo/src/dl/transform.cc" "src/dl/CMakeFiles/obda_dl.dir/transform.cc.o" "gcc" "src/dl/CMakeFiles/obda_dl.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/obda_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/obda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/obda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/obda_fo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

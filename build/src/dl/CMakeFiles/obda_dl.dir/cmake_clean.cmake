@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_dl.dir/bounded_model.cc.o"
+  "CMakeFiles/obda_dl.dir/bounded_model.cc.o.d"
+  "CMakeFiles/obda_dl.dir/concept.cc.o"
+  "CMakeFiles/obda_dl.dir/concept.cc.o.d"
+  "CMakeFiles/obda_dl.dir/ontology.cc.o"
+  "CMakeFiles/obda_dl.dir/ontology.cc.o.d"
+  "CMakeFiles/obda_dl.dir/parser.cc.o"
+  "CMakeFiles/obda_dl.dir/parser.cc.o.d"
+  "CMakeFiles/obda_dl.dir/reasoner.cc.o"
+  "CMakeFiles/obda_dl.dir/reasoner.cc.o.d"
+  "CMakeFiles/obda_dl.dir/transform.cc.o"
+  "CMakeFiles/obda_dl.dir/transform.cc.o.d"
+  "libobda_dl.a"
+  "libobda_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_fo.dir/cq.cc.o"
+  "CMakeFiles/obda_fo.dir/cq.cc.o.d"
+  "CMakeFiles/obda_fo.dir/tree.cc.o"
+  "CMakeFiles/obda_fo.dir/tree.cc.o.d"
+  "libobda_fo.a"
+  "libobda_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

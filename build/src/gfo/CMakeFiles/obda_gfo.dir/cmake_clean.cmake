@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_gfo.dir/fo_formula.cc.o"
+  "CMakeFiles/obda_gfo.dir/fo_formula.cc.o.d"
+  "CMakeFiles/obda_gfo.dir/fo_omq.cc.o"
+  "CMakeFiles/obda_gfo.dir/fo_omq.cc.o.d"
+  "libobda_gfo.a"
+  "libobda_gfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_gfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

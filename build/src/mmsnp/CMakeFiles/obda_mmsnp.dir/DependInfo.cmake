@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mmsnp/containment.cc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/containment.cc.o" "gcc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/containment.cc.o.d"
+  "/root/repo/src/mmsnp/formula.cc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/formula.cc.o" "gcc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/formula.cc.o.d"
+  "/root/repo/src/mmsnp/mmsnp2.cc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/mmsnp2.cc.o" "gcc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/mmsnp2.cc.o.d"
+  "/root/repo/src/mmsnp/translate.cc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/translate.cc.o" "gcc" "src/mmsnp/CMakeFiles/obda_mmsnp.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/obda_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/obda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/obda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddlog/CMakeFiles/obda_ddlog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_mmsnp.dir/containment.cc.o"
+  "CMakeFiles/obda_mmsnp.dir/containment.cc.o.d"
+  "CMakeFiles/obda_mmsnp.dir/formula.cc.o"
+  "CMakeFiles/obda_mmsnp.dir/formula.cc.o.d"
+  "CMakeFiles/obda_mmsnp.dir/mmsnp2.cc.o"
+  "CMakeFiles/obda_mmsnp.dir/mmsnp2.cc.o.d"
+  "CMakeFiles/obda_mmsnp.dir/translate.cc.o"
+  "CMakeFiles/obda_mmsnp.dir/translate.cc.o.d"
+  "libobda_mmsnp.a"
+  "libobda_mmsnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_mmsnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

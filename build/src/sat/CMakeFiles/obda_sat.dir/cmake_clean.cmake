@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obda_sat.dir/solver.cc.o"
+  "CMakeFiles/obda_sat.dir/solver.cc.o.d"
+  "libobda_sat.a"
+  "libobda_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obda_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libobda_sat.a"
+)

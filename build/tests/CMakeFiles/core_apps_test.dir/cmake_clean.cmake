@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_apps_test.dir/core_apps_test.cc.o"
+  "CMakeFiles/core_apps_test.dir/core_apps_test.cc.o.d"
+  "core_apps_test"
+  "core_apps_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_apps_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

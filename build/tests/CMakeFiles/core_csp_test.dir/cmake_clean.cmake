@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_csp_test.dir/core_csp_test.cc.o"
+  "CMakeFiles/core_csp_test.dir/core_csp_test.cc.o.d"
+  "core_csp_test"
+  "core_csp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_csp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

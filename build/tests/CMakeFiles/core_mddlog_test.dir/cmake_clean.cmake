@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_mddlog_test.dir/core_mddlog_test.cc.o"
+  "CMakeFiles/core_mddlog_test.dir/core_mddlog_test.cc.o.d"
+  "core_mddlog_test"
+  "core_mddlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_mddlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

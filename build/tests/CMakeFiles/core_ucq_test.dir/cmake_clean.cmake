@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ucq_test.dir/core_ucq_test.cc.o"
+  "CMakeFiles/core_ucq_test.dir/core_ucq_test.cc.o.d"
+  "core_ucq_test"
+  "core_ucq_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ucq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddlog_test.dir/ddlog_test.cc.o"
+  "CMakeFiles/ddlog_test.dir/ddlog_test.cc.o.d"
+  "ddlog_test"
+  "ddlog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dl_test.cc" "tests/CMakeFiles/dl_test.dir/dl_test.cc.o" "gcc" "tests/CMakeFiles/dl_test.dir/dl_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/obda_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/obda_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/obda_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/fo/CMakeFiles/obda_fo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ddlog/CMakeFiles/obda_ddlog.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/obda_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/csp/CMakeFiles/obda_csp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/obda_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmsnp/CMakeFiles/obda_mmsnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/gfo/CMakeFiles/obda_gfo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

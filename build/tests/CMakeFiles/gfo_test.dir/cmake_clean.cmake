@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gfo_test.dir/gfo_test.cc.o"
+  "CMakeFiles/gfo_test.dir/gfo_test.cc.o.d"
+  "gfo_test"
+  "gfo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gfo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mddlog_to_csp_test.dir/mddlog_to_csp_test.cc.o"
+  "CMakeFiles/mddlog_to_csp_test.dir/mddlog_to_csp_test.cc.o.d"
+  "mddlog_to_csp_test"
+  "mddlog_to_csp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mddlog_to_csp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

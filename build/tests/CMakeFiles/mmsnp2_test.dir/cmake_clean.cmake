@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsnp2_test.dir/mmsnp2_test.cc.o"
+  "CMakeFiles/mmsnp2_test.dir/mmsnp2_test.cc.o.d"
+  "mmsnp2_test"
+  "mmsnp2_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsnp2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmsnp_test.dir/mmsnp_test.cc.o"
+  "CMakeFiles/mmsnp_test.dir/mmsnp_test.cc.o.d"
+  "mmsnp_test"
+  "mmsnp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmsnp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

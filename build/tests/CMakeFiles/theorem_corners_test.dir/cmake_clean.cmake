@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theorem_corners_test.dir/theorem_corners_test.cc.o"
+  "CMakeFiles/theorem_corners_test.dir/theorem_corners_test.cc.o.d"
+  "theorem_corners_test"
+  "theorem_corners_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theorem_corners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
