@@ -11,6 +11,7 @@
 
 #include "base/rng.h"
 #include "bench_util.h"
+#include "data/homomorphism.h"
 #include "data/instance.h"
 #include "ddlog/eval.h"
 #include "ddlog/program.h"
@@ -144,6 +145,43 @@ Reduction BuildReduction(const Qbf& qbf) {
   return Reduction{std::move(program), std::move(d)};
 }
 
+/// Independent check of the D_φ gadget through the homomorphism solver:
+/// the number of homomorphisms from the clause-i probe pattern
+/// {C_i(z), V1(z,w1), V2(z,w2), V3(z,w3)} into D_φ must equal the number
+/// of satisfying local assignments of clause i (each satisfying row of
+/// the gadget supports exactly one probe image).
+bool CrossCheckGadget(const Qbf& qbf, const Reduction& red) {
+  const obda::data::Schema& s = red.instance.schema();
+  for (std::size_t i = 0; i < qbf.clauses.size(); ++i) {
+    int expected = 0;
+    for (int b = 0; b < 8; ++b) {
+      std::vector<bool> bits = {(b & 1) != 0, (b & 2) != 0, (b & 4) != 0};
+      for (int j = 0; j < 3; ++j) {
+        if (qbf.clauses[i].neg[j] ? !bits[j] : bits[j]) {
+          ++expected;
+          break;
+        }
+      }
+    }
+    obda::data::Instance probe(s);
+    obda::data::ConstId z = probe.AddConstant("z");
+    auto c_rel = s.FindRelation("C" + std::to_string(i));
+    OBDA_CHECK(c_rel.has_value());
+    probe.AddFact(*c_rel, {z});
+    for (int j = 0; j < 3; ++j) {
+      obda::data::ConstId w =
+          probe.AddConstant("w" + std::to_string(j + 1));
+      auto v_rel = s.FindRelation("V" + std::to_string(j + 1));
+      OBDA_CHECK(v_rel.has_value());
+      probe.AddFact(*v_rel, {z, w});
+    }
+    std::uint64_t count =
+        obda::data::CountHomomorphisms(probe, red.instance, 64);
+    if (count != static_cast<std::uint64_t>(expected)) return false;
+  }
+  return true;
+}
+
 Qbf RandomQbf(obda::base::Rng& rng, int m, int n, int k) {
   Qbf qbf;
   qbf.num_universal = m;
@@ -167,10 +205,12 @@ int Run() {
   int agree = 0;
   int total = 0;
   int valid_count = 0;
+  int gadget_ok = 0;
   for (int trial = 0; trial < 40; ++trial) {
     Qbf qbf = RandomQbf(rng, 3, 3, 4 + static_cast<int>(rng.Below(3)));
     bool expected = BruteForceValid(qbf);
     Reduction red = BuildReduction(qbf);
+    gadget_ok += CrossCheckGadget(qbf, red) ? 1 : 0;
     auto got = obda::ddlog::EvaluateBoolean(red.program, red.instance);
     if (!got.ok()) continue;
     ++total;
@@ -180,6 +220,12 @@ int Run() {
   std::printf("agreement with brute-force 2QBF: %d/%d (valid instances: "
               "%d)\n",
               agree, total, valid_count);
+  std::printf("gadget hom-count cross-check: %d/40\n", gadget_ok);
+  obda::bench::ReportParam("trials", 40);
+  obda::bench::ReportMetric("agree", agree);
+  obda::bench::ReportMetric("total", total);
+  obda::bench::ReportMetric("valid", valid_count);
+  obda::bench::ReportMetric("gadget_ok", gadget_ok);
 
   std::printf("\nevaluation time vs formula size (m universals, k "
               "clauses):\n%6s %6s %12s %12s\n",
@@ -193,9 +239,11 @@ int Run() {
     std::printf("%6d %6d %12zu %12.2f%s\n", m, 2 * m,
                 red.program.rules().size(), ms,
                 got.ok() ? "" : "  (budget)");
+    obda::bench::ReportMetric("eval_ms_m" + std::to_string(m), ms);
   }
-  obda::bench::Footer(agree == total && total > 0);
-  return agree == total ? 0 : 1;
+  bool ok = agree == total && total > 0 && gadget_ok == 40;
+  obda::bench::Footer(ok);
+  return ok ? 0 : 1;
 }
 
 }  // namespace

@@ -82,6 +82,10 @@ int Run() {
     std::printf("%4d %10zu %12s %14.1f\n", n,
                 q1->SymbolSize() + q2->SymbolSize(),
                 *c12 ? "yes" : "no", ms);
+    obda::bench::ReportMetric("chain_ms_n" + std::to_string(n), ms);
+    obda::bench::ReportMetric(
+        "chain_symbols_n" + std::to_string(n),
+        static_cast<long long>(q1->SymbolSize() + q2->SymbolSize()));
   }
   std::printf("(growth 36ms -> ~10s per +1 chain step: the exponential\n"
               "template construction of the NExpTime procedure.)\n");

@@ -61,6 +61,8 @@ int Run() {
                 c.fo ? "yes" : "no", dl.ok() && *dl ? "yes" : "no",
                 c.datalog ? "yes" : "no", row ? "" : "  MISMATCH");
   }
+  obda::bench::ReportParam("csp_templates",
+                           static_cast<long long>(std::size(cases)));
   // (Directed C3: hom to C3 = mod-3 potential, solvable by the
   // Z3-affine/width machinery — bounded width holds; not FO.)
 

@@ -64,6 +64,8 @@ int Run() {
     ok = ok && agree;
     std::printf("%6d %8zu %16.2f %16.2f %10s\n", n, d.NumFacts(), ms1,
                 ms2, agree ? "yes" : "NO");
+    obda::bench::ReportMetric("datalog_ms_n" + std::to_string(n), ms1);
+    obda::bench::ReportMetric("generic_ms_n" + std::to_string(n), ms2);
   }
   std::printf("\n(both are polynomial here — the template has tree "
               "duality — but the datalog route avoids the per-tuple SAT "

@@ -3,7 +3,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
 
 namespace obda::bench {
 
@@ -21,7 +27,142 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Prints the experiment banner (id and the paper item it reproduces).
+/// Per-experiment report. Banner()/Footer() drive the global instance:
+/// Banner prints the usual human header, enables metrics collection, and
+/// resets the registry; Footer prints the usual RESULT line and writes one
+/// machine-readable record to BENCH_<id>.json (in $OBDA_BENCH_DIR or the
+/// working directory) containing the experiment id, recorded parameters
+/// and result metrics, wall-clock millis, the ok/mismatch status, and a
+/// snapshot of every solver counter and timer that moved.
+class Report {
+ public:
+  static Report& Global() {
+    static Report report;
+    return report;
+  }
+
+  void Begin(const char* id, const char* paper_item, const char* claim) {
+    id_ = id;
+    paper_item_ = paper_item;
+    claim_ = claim;
+    params_.clear();
+    metrics_.clear();
+    obs::EnableMetrics(true);
+    obs::MetricsRegistry::Global().ResetAll();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  /// Records an experiment parameter (appears under "parameters").
+  void Param(const std::string& name, const std::string& value) {
+    params_.emplace_back(name, "\"" + obs::EscapeJson(value) + "\"");
+  }
+  void Param(const std::string& name, long long value) {
+    params_.emplace_back(name, std::to_string(value));
+  }
+
+  /// Records a measured result scalar (appears under "results").
+  void Metric(const std::string& name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6f", value);
+    metrics_.emplace_back(name, buf);
+  }
+  void Metric(const std::string& name, long long value) {
+    metrics_.emplace_back(name, std::to_string(value));
+  }
+
+  /// Finalizes the record and writes BENCH_<id>.json. Returns the path
+  /// written ("" when the file could not be opened).
+  std::string Finish(bool ok) {
+    double millis = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    std::string json = "{\n";
+    json += "  \"experiment\": \"" + FileId() + "\",\n";
+    json += "  \"id\": \"" + obs::EscapeJson(id_) + "\",\n";
+    json += "  \"paper_item\": \"" + obs::EscapeJson(paper_item_) + "\",\n";
+    json += "  \"claim\": \"" + obs::EscapeJson(claim_) + "\",\n";
+    json += std::string("  \"ok\": ") + (ok ? "true" : "false") + ",\n";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.3f", millis);
+    json += std::string("  \"millis\": ") + buf + ",\n";
+    json += "  \"parameters\": " + ObjectOf(params_) + ",\n";
+    json += "  \"results\": " + ObjectOf(metrics_) + ",\n";
+    obs::MetricsRegistry::Snapshot snap =
+        obs::MetricsRegistry::Global().Snap();
+    json += "  \"counters\": {";
+    bool first = true;
+    for (const auto& c : snap.counters) {
+      if (!first) json += ", ";
+      first = false;
+      json += "\"" + obs::EscapeJson(c.name) + "\": " +
+              std::to_string(c.value);
+    }
+    json += "},\n  \"timers\": {";
+    first = true;
+    for (const auto& t : snap.timers) {
+      if (!first) json += ", ";
+      first = false;
+      std::snprintf(buf, sizeof(buf), "%.6f", t.total_millis);
+      json += "\"" + obs::EscapeJson(t.name) + "\": {\"count\": " +
+              std::to_string(t.count) + ", \"total_ms\": " + buf + "}";
+    }
+    json += "}\n}\n";
+
+    std::string path = "BENCH_" + FileId() + ".json";
+    if (const char* dir = std::getenv("OBDA_BENCH_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      path = std::string(dir) + "/" + path;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return "";
+    }
+    std::fputs(json.c_str(), f);
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %s\n", path.c_str());
+    return path;
+  }
+
+ private:
+  Report() = default;
+
+  /// "E1" -> "e01", "E17" -> "e17": lowercase letter prefix, two-digit
+  /// zero-padded number. Ids without a numeric suffix are lowercased.
+  std::string FileId() const {
+    std::string prefix;
+    std::size_t i = 0;
+    while (i < id_.size() && (id_[i] < '0' || id_[i] > '9')) {
+      prefix += static_cast<char>(
+          id_[i] >= 'A' && id_[i] <= 'Z' ? id_[i] - 'A' + 'a' : id_[i]);
+      ++i;
+    }
+    if (i == id_.size()) return prefix;
+    int number = std::atoi(id_.c_str() + i);
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%s%02d", prefix.c_str(), number);
+    return buf;
+  }
+
+  static std::string ObjectOf(
+      const std::vector<std::pair<std::string, std::string>>& fields) {
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + obs::EscapeJson(fields[i].first) +
+             "\": " + fields[i].second;
+    }
+    return out + "}";
+  }
+
+  std::string id_, paper_item_, claim_;
+  std::vector<std::pair<std::string, std::string>> params_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the experiment banner (id and the paper item it reproduces) and
+/// opens the machine-readable report.
 inline void Banner(const char* id, const char* paper_item,
                    const char* claim) {
   std::setvbuf(stdout, nullptr, _IOLBF, 1 << 14);
@@ -29,10 +170,33 @@ inline void Banner(const char* id, const char* paper_item,
   std::printf("%s — %s\n", id, paper_item);
   std::printf("claim: %s\n", claim);
   std::printf("================================================================\n");
+  Report::Global().Begin(id, paper_item, claim);
 }
 
+/// Prints the human RESULT line and writes the BENCH_<id>.json record.
 inline void Footer(bool ok) {
   std::printf("RESULT: %s\n\n", ok ? "shape reproduced" : "MISMATCH");
+  Report::Global().Finish(ok);
+}
+
+/// Shorthands for annotating the report from driver code. Integral values
+/// are recorded exactly; anything else arithmetic as a double; strings as
+/// strings.
+template <typename T>
+void ReportParam(const std::string& name, const T& value) {
+  if constexpr (std::is_integral_v<T>) {
+    Report::Global().Param(name, static_cast<long long>(value));
+  } else {
+    Report::Global().Param(name, std::string(value));
+  }
+}
+template <typename T>
+void ReportMetric(const std::string& name, const T& value) {
+  if constexpr (std::is_integral_v<T>) {
+    Report::Global().Metric(name, static_cast<long long>(value));
+  } else {
+    Report::Global().Metric(name, static_cast<double>(value));
+  }
 }
 
 }  // namespace obda::bench

@@ -3,11 +3,36 @@
 #include "base/check.h"
 #include "core/csp_translation.h"
 #include "csp/query.h"
+#include "obs/metrics.h"
 
 namespace obda::core {
 
+namespace {
+
+/// Registry handles for the containment deciders.
+struct ContainmentCounters {
+  obs::Counter& csp_calls = obs::GetCounter("containment.csp_calls");
+  obs::Counter& bounded_calls = obs::GetCounter("containment.bounded_calls");
+  /// Candidate instances enumerated by the bounded decider.
+  obs::Counter& candidates = obs::GetCounter("containment.candidates");
+  /// Certain-answer oracle invocations (two per surviving candidate).
+  obs::Counter& oracle_calls = obs::GetCounter("containment.oracle_calls");
+  obs::TimerStat& compile = obs::GetTimer("containment.compile");
+  obs::TimerStat& decide = obs::GetTimer("containment.decide");
+  obs::TimerStat& bounded = obs::GetTimer("containment.bounded");
+
+  static ContainmentCounters& Get() {
+    static ContainmentCounters counters;
+    return counters;
+  }
+};
+
+}  // namespace
+
 base::Result<bool> OmqContained(const OntologyMediatedQuery& q1,
                                 const OntologyMediatedQuery& q2) {
+  obs::TraceSpan span("containment.csp");
+  ContainmentCounters::Get().csp_calls.Add(1);
   if (!q1.data_schema().LayoutCompatible(q2.data_schema())) {
     return base::InvalidArgumentError(
         "containment requires a common data schema");
@@ -15,10 +40,17 @@ base::Result<bool> OmqContained(const OntologyMediatedQuery& q1,
   if (q1.arity() != q2.arity()) {
     return base::InvalidArgumentError("arity mismatch");
   }
-  auto csp1 = CompileToCsp(q1);
+  auto csp1 = [&] {
+    obs::ScopedTimer timer(ContainmentCounters::Get().compile);
+    return CompileToCsp(q1);
+  }();
   if (!csp1.ok()) return csp1.status();
-  auto csp2 = CompileToCsp(q2);
+  auto csp2 = [&] {
+    obs::ScopedTimer timer(ContainmentCounters::Get().compile);
+    return CompileToCsp(q2);
+  }();
   if (!csp2.ok()) return csp2.status();
+  obs::ScopedTimer timer(ContainmentCounters::Get().decide);
   return csp::CoCspContained(*csp1, *csp2);
 }
 
@@ -81,6 +113,9 @@ bool EnumerateInstances(
 base::Result<ContainmentVerdict> OmqContainedBounded(
     const OntologyMediatedQuery& q1, const OntologyMediatedQuery& q2,
     const ContainmentOptions& options) {
+  obs::ScopedTimer bounded_timer(ContainmentCounters::Get().bounded);
+  obs::TraceSpan span("containment.bounded");
+  ContainmentCounters::Get().bounded_calls.Add(1);
   if (!q1.data_schema().LayoutCompatible(q2.data_schema())) {
     return base::InvalidArgumentError(
         "containment requires a common data schema");
@@ -97,11 +132,15 @@ base::Result<ContainmentVerdict> OmqContainedBounded(
     bool completed = EnumerateInstances(
         q1.data_schema(), n, options.max_facts,
         [&](const data::Instance& d) {
+          ContainmentCounters& counters = ContainmentCounters::Get();
+          counters.candidates.Add(1);
+          counters.oracle_calls.Add(1);
           auto a1 = q1.CertainAnswersBounded(d, bounded);
           if (!a1.ok()) {
             failure = a1.status();
             return false;
           }
+          counters.oracle_calls.Add(1);
           auto a2 = q2.CertainAnswersBounded(d, bounded);
           if (!a2.ok()) {
             failure = a2.status();

@@ -9,17 +9,53 @@
 #include "csp/rewritability.h"
 #include "data/ops.h"
 #include "ddlog/datalog.h"
+#include "obs/metrics.h"
 
 namespace obda::core {
 
+namespace {
+
+/// Registry handles for the rewritability deciders and extractors.
+struct RewritabilityCounters {
+  obs::Counter& fo_checks = obs::GetCounter("rewritability.fo_checks");
+  obs::Counter& datalog_checks =
+      obs::GetCounter("rewritability.datalog_checks");
+  /// Collapsed CSP templates processed by the extractors.
+  obs::Counter& templates = obs::GetCounter("rewritability.templates");
+  /// Tree obstructions collected into FO-rewriting disjuncts.
+  obs::Counter& obstructions = obs::GetCounter("rewritability.obstructions");
+  /// Per-candidate-tuple engine runs by DatalogRewriting::Evaluate.
+  obs::Counter& oracle_calls = obs::GetCounter("rewritability.oracle_calls");
+  obs::TimerStat& compile = obs::GetTimer("rewritability.compile");
+  obs::TimerStat& extract_fo = obs::GetTimer("rewritability.extract_fo");
+  obs::TimerStat& extract_datalog =
+      obs::GetTimer("rewritability.extract_datalog");
+
+  static RewritabilityCounters& Get() {
+    static RewritabilityCounters counters;
+    return counters;
+  }
+};
+
+base::Result<csp::CoCspQuery> TimedCompile(const OntologyMediatedQuery& omq) {
+  obs::ScopedTimer timer(RewritabilityCounters::Get().compile);
+  return CompileToCsp(omq);
+}
+
+}  // namespace
+
 base::Result<bool> IsFoRewritable(const OntologyMediatedQuery& omq) {
-  auto csp_query = CompileToCsp(omq);
+  obs::TraceSpan span("rewritability.fo_check");
+  RewritabilityCounters::Get().fo_checks.Add(1);
+  auto csp_query = TimedCompile(omq);
   if (!csp_query.ok()) return csp_query.status();
   return csp::IsFoRewritable(*csp_query);
 }
 
 base::Result<bool> IsDatalogRewritable(const OntologyMediatedQuery& omq) {
-  auto csp_query = CompileToCsp(omq);
+  obs::TraceSpan span("rewritability.datalog_check");
+  RewritabilityCounters::Get().datalog_checks.Add(1);
+  auto csp_query = TimedCompile(omq);
   if (!csp_query.ok()) return csp_query.status();
   return csp::IsDatalogRewritable(*csp_query);
 }
@@ -91,14 +127,18 @@ std::vector<std::vector<data::ConstId>> FoRewriting::Evaluate(
 base::Result<FoRewriting> ExtractFoRewriting(
     const OntologyMediatedQuery& omq,
     const csp::ObstructionOptions& options) {
-  auto csp_query = CompileToCsp(omq);
+  obs::ScopedTimer timer(RewritabilityCounters::Get().extract_fo);
+  obs::TraceSpan span("rewritability.extract_fo");
+  auto csp_query = TimedCompile(omq);
   if (!csp_query.ok()) return csp_query.status();
   csp::CoCspQuery reduced = csp_query->ReduceToIncomparable();
   FoRewriting out;
   out.obstruction_bound = options.max_nodes;
   for (const data::Instance& collapsed : reduced.CollapsedTemplates()) {
+    RewritabilityCounters::Get().templates.Add(1);
     auto obstructions = csp::TreeObstructions(collapsed, options);
     if (!obstructions.ok()) return obstructions.status();
+    RewritabilityCounters::Get().obstructions.Add(obstructions->size());
     fo::UnionOfCq conjunct(omq.data_schema(), omq.arity());
     for (const data::Instance& tree : *obstructions) {
       conjunct.AddDisjunct(
@@ -133,6 +173,7 @@ DatalogRewriting::Evaluate(const data::Instance& instance) const {
     }
     bool all_refute = true;
     for (std::size_t p = 0; p < programs.size(); ++p) {
+      RewritabilityCounters::Get().oracle_calls.Add(1);
       bool refuted;
       if (width_one_complete[p]) {
         auto result = ddlog::EvaluateDatalog(programs[p], extended);
@@ -156,13 +197,16 @@ DatalogRewriting::Evaluate(const data::Instance& instance) const {
 
 base::Result<DatalogRewriting> ExtractDatalogRewriting(
     const OntologyMediatedQuery& omq, int max_template_elements) {
-  auto csp_query = CompileToCsp(omq);
+  obs::ScopedTimer timer(RewritabilityCounters::Get().extract_datalog);
+  obs::TraceSpan span("rewritability.extract_datalog");
+  auto csp_query = TimedCompile(omq);
   if (!csp_query.ok()) return csp_query.status();
   csp::CoCspQuery reduced = csp_query->ReduceToIncomparable();
   DatalogRewriting out;
   out.arity = omq.arity();
   bool first = true;
   for (const data::Instance& collapsed : reduced.CollapsedTemplates()) {
+    RewritabilityCounters::Get().templates.Add(1);
     if (first) {
       out.collapsed_schema = collapsed.schema();
       first = false;

@@ -4,10 +4,30 @@
 #include <unordered_map>
 
 #include "base/check.h"
+#include "obs/metrics.h"
 
 namespace obda::data {
 
 namespace {
+
+/// Registry handles for the solver, resolved once per process. Hot loops
+/// count into plain locals; Run() flushes them here in one batch so the
+/// per-node cost of instrumentation is a local increment.
+struct HomCounters {
+  obs::Counter& calls = obs::GetCounter("hom.calls");
+  obs::Counter& nodes = obs::GetCounter("hom.nodes");
+  obs::Counter& backtracks = obs::GetCounter("hom.backtracks");
+  obs::Counter& prunes = obs::GetCounter("hom.prunes");
+  obs::Counter& mrv_ties = obs::GetCounter("hom.mrv_ties");
+  obs::Counter& solutions = obs::GetCounter("hom.solutions");
+  obs::Counter& budget_exhausted = obs::GetCounter("hom.budget_exhausted");
+  obs::TimerStat& search = obs::GetTimer("hom.search");
+
+  static HomCounters& Get() {
+    static HomCounters counters;
+    return counters;
+  }
+};
 
 /// Backtracking search maintaining generalized arc consistency (MAC).
 /// Domains are bitmaps over B's universe; every assignment triggers
@@ -32,6 +52,15 @@ class HomSearch {
   }
 
   HomResult Run(const std::vector<std::pair<ConstId, ConstId>>& pinned) {
+    obs::ScopedTimer timer(HomCounters::Get().search);
+    obs::TraceSpan span("hom.search");
+    HomResult result = RunImpl(pinned);
+    FlushMetrics(result);
+    return result;
+  }
+
+ private:
+  HomResult RunImpl(const std::vector<std::pair<ConstId, ConstId>>& pinned) {
     HomResult result;
     OBDA_CHECK(a_.schema().LayoutCompatible(b_.schema()));
 
@@ -115,6 +144,7 @@ class HomSearch {
         if (!HasSupport(f, t, v, c, vpos)) {
           dom[c] = 0;
           --domain_size_[v];
+          ++prunes_;
           shrank = true;
         }
       }
@@ -172,6 +202,8 @@ class HomSearch {
       if (branch_var == kInvalidConst || domain_size_[v] < best) {
         branch_var = v;
         best = domain_size_[v];
+      } else if (domain_size_[v] == best) {
+        ++mrv_ties_;  // MRV broke the tie by variable order
       }
     }
     if (branch_var == kInvalidConst) {
@@ -202,10 +234,24 @@ class HomSearch {
       domain_size_[branch_var] = 1;
       bool ok = Propagate();
       if (ok && Search(result)) return true;
+      ++backtracks_;
       domains_ = std::move(saved_domains);
       domain_size_ = std::move(saved_sizes);
     }
     return false;
+  }
+
+  /// One batched registry update per search (see HomCounters).
+  void FlushMetrics(const HomResult& result) const {
+    if (!obs::MetricsEnabled()) return;
+    HomCounters& counters = HomCounters::Get();
+    counters.calls.Add(1);
+    counters.nodes.Add(result.nodes);
+    counters.backtracks.Add(backtracks_);
+    counters.prunes.Add(prunes_);
+    counters.mrv_ties.Add(mrv_ties_);
+    counters.solutions.Add(result.solution_count);
+    if (result.budget_exhausted) counters.budget_exhausted.Add(1);
   }
 
   const Instance& a_;
@@ -219,6 +265,9 @@ class HomSearch {
   std::vector<std::size_t> domain_size_;
   std::uint64_t found_count_ = 0;
   std::uint64_t nodes_ = 0;
+  std::uint64_t backtracks_ = 0;
+  std::uint64_t prunes_ = 0;
+  std::uint64_t mrv_ties_ = 0;
   bool exhausted_ = false;
 };
 
@@ -241,7 +290,7 @@ bool HomomorphismExists(const Instance& a, const Instance& b,
 
 bool MarkedHomomorphismExists(const MarkedInstance& a,
                               const MarkedInstance& b,
-                              const HomOptions& options) {
+                              const HomOptions& options, HomResult* result) {
   OBDA_CHECK_EQ(a.marks.size(), b.marks.size());
   std::vector<std::pair<ConstId, ConstId>> pinned;
   pinned.reserve(a.marks.size());
@@ -249,16 +298,24 @@ bool MarkedHomomorphismExists(const MarkedInstance& a,
     pinned.emplace_back(a.marks[i], b.marks[i]);
   }
   HomResult r = FindHomomorphism(a.instance, b.instance, pinned, options);
-  OBDA_CHECK(!r.budget_exhausted);
+  if (result != nullptr) {
+    *result = r;
+  } else {
+    OBDA_CHECK(!r.budget_exhausted);
+  }
   return r.found;
 }
 
 std::uint64_t CountHomomorphisms(const Instance& a, const Instance& b,
-                                 std::uint64_t limit) {
+                                 std::uint64_t limit, HomResult* result) {
   HomOptions options;
   options.max_solutions = limit;
   HomResult r = FindHomomorphism(a, b, {}, options);
-  OBDA_CHECK(!r.budget_exhausted);
+  if (result != nullptr) {
+    *result = r;
+  } else {
+    OBDA_CHECK(!r.budget_exhausted);
+  }
   return r.solution_count;
 }
 

@@ -53,14 +53,23 @@ bool HomomorphismExists(const Instance& a, const Instance& b,
                         const HomOptions& options = HomOptions());
 
 /// Marked version: h must map each mark of `a` to the matching mark of `b`
-/// (paper §4.2, homomorphisms of marked instances).
+/// (paper §4.2, homomorphisms of marked instances). When `result` is
+/// non-null the full search outcome (nodes, budget_exhausted, witness) is
+/// written there and budget exhaustion is reported instead of aborting;
+/// with a null `result` exhaustion aborts (OBDA_CHECK), as for
+/// HomomorphismExists.
 bool MarkedHomomorphismExists(const MarkedInstance& a,
                               const MarkedInstance& b,
-                              const HomOptions& options = HomOptions());
+                              const HomOptions& options = HomOptions(),
+                              HomResult* result = nullptr);
 
-/// Counts homomorphisms A -> B, up to `limit`.
+/// Counts homomorphisms A -> B, up to `limit`. Same `result` contract as
+/// MarkedHomomorphismExists: pass a HomResult to observe `nodes` /
+/// `budget_exhausted` (in which case the returned count is a lower bound)
+/// instead of aborting on exhaustion.
 std::uint64_t CountHomomorphisms(const Instance& a, const Instance& b,
-                                 std::uint64_t limit);
+                                 std::uint64_t limit,
+                                 HomResult* result = nullptr);
 
 /// Verifies that `mapping` (indexed by A-constants) is a homomorphism.
 bool IsHomomorphism(const Instance& a, const Instance& b,

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/check.h"
+#include "obs/metrics.h"
 
 namespace obda::ddlog {
 
@@ -10,6 +11,19 @@ namespace {
 
 using data::ConstId;
 using FactKey = std::vector<std::uint32_t>;
+
+/// Registry handles for the naive-fixpoint engine.
+struct FixpointCounters {
+  obs::Counter& runs = obs::GetCounter("ddlog.fixpoint_runs");
+  obs::Counter& rounds = obs::GetCounter("ddlog.fixpoint_rounds");
+  obs::Counter& derived_facts = obs::GetCounter("ddlog.fixpoint_facts");
+  obs::TimerStat& run = obs::GetTimer("ddlog.fixpoint");
+
+  static FixpointCounters& Get() {
+    static FixpointCounters counters;
+    return counters;
+  }
+};
 
 FactKey MakeKey(PredId pred, const std::vector<ConstId>& args) {
   FactKey key;
@@ -27,6 +41,8 @@ class FixpointEngine {
       : program_(program), instance_(instance) {}
 
   base::Result<DatalogFixpoint> Run() {
+    obs::ScopedTimer timer(FixpointCounters::Get().run);
+    obs::TraceSpan span("ddlog.fixpoint");
     for (const Rule& rule : program_.rules()) {
       if (rule.head.size() > 1) {
         return base::InvalidArgumentError(
@@ -45,6 +61,13 @@ class FixpointEngine {
     }
     out.inconsistent = inconsistent_;
     out.facts = derived_;
+    out.rounds = rounds_;
+    if (obs::MetricsEnabled()) {
+      FixpointCounters& counters = FixpointCounters::Get();
+      counters.runs.Add(1);
+      counters.rounds.Add(static_cast<std::uint64_t>(rounds_));
+      counters.derived_facts.Add(derived_.size());
+    }
     return out;
   }
 
@@ -150,6 +173,7 @@ base::Result<DatalogResult> EvaluateDatalog(const Program& program,
   if (!fixpoint.ok()) return fixpoint.status();
   DatalogResult out;
   out.inconsistent = fixpoint->inconsistent;
+  out.rounds = fixpoint->rounds;
   if (!out.inconsistent) {
     const PredId goal = program.goal();
     for (const auto& key : fixpoint->facts) {

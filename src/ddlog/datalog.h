@@ -34,6 +34,8 @@ base::Result<DatalogResult> EvaluateDatalog(const Program& program,
 struct DatalogFixpoint {
   bool inconsistent = false;
   std::set<std::vector<std::uint32_t>> facts;
+  /// Number of fixpoint rounds performed.
+  int rounds = 0;
 };
 
 /// Computes the full least fixpoint (all derived IDB facts).

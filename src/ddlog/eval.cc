@@ -6,6 +6,7 @@
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "obs/metrics.h"
 #include "sat/solver.h"
 
 namespace obda::ddlog {
@@ -16,6 +17,26 @@ using data::ConstId;
 
 /// Key for a ground IDB atom: [pred, arg1, .., argk].
 using AtomKey = std::vector<std::uint32_t>;
+
+/// Registry handles for the grounder + certain-answer engine.
+struct DdlogCounters {
+  obs::Counter& ground_calls = obs::GetCounter("ddlog.ground_calls");
+  /// One per ground clause: each is one firing of a rule under a
+  /// substitution satisfying its EDB body in D.
+  obs::Counter& rule_firings = obs::GetCounter("ddlog.rule_firings");
+  /// Firings whose clause keeps >= 2 head atoms (a real disjunctive
+  /// branching point for the model search).
+  obs::Counter& disjunctive_branchings =
+      obs::GetCounter("ddlog.disjunctive_branchings");
+  obs::Counter& ground_atoms = obs::GetCounter("ddlog.ground_atoms");
+  obs::Counter& certain_checks = obs::GetCounter("ddlog.certain_checks");
+  obs::TimerStat& ground = obs::GetTimer("ddlog.ground");
+
+  static DdlogCounters& Get() {
+    static DdlogCounters counters;
+    return counters;
+  }
+};
 
 }  // namespace
 
@@ -38,6 +59,7 @@ struct GroundedQuery::Impl {
     if (it != atom_vars.end()) return it->second;
     sat::Var v = solver.NewVar();
     atom_vars.emplace(std::move(key), v);
+    DdlogCounters::Get().ground_atoms.Add(1);
     return v;
   }
 
@@ -57,8 +79,12 @@ struct GroundedQuery::Impl {
       for (VarId v : a.vars) args.push_back(sub[v]);
       clause.push_back(sat::Lit::Pos(VarFor(a.pred, args)));
     }
+    std::size_t head_lits = rule.head.size();
     solver.AddClause(std::move(clause));
     ++clause_count;
+    DdlogCounters& counters = DdlogCounters::Get();
+    counters.rule_firings.Add(1);
+    if (head_lits >= 2) counters.disjunctive_branchings.Add(1);
   }
 
   /// Enumerates substitutions satisfying the rule's EDB body atoms in D,
@@ -140,6 +166,9 @@ struct GroundedQuery::Impl {
 base::Result<GroundedQuery> GroundedQuery::Build(
     const Program& program, const data::Instance& instance,
     const EvalOptions& options) {
+  obs::ScopedTimer timer(DdlogCounters::Get().ground);
+  obs::TraceSpan span("ddlog.ground");
+  DdlogCounters::Get().ground_calls.Add(1);
   OBDA_RETURN_IF_ERROR(program.Validate());
   if (!instance.schema().LayoutCompatible(program.edb_schema())) {
     return base::InvalidArgumentError(
@@ -163,6 +192,7 @@ base::Result<GroundedQuery> GroundedQuery::Build(
 
 base::Result<bool> GroundedQuery::CertainlyHolds(
     const std::vector<ConstId>& tuple) {
+  DdlogCounters::Get().certain_checks.Add(1);
   Impl& impl = *impl_;
   OBDA_CHECK_EQ(static_cast<int>(tuple.size()),
                 impl.program->QueryArity());

@@ -1,0 +1,284 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace obda::obs {
+
+namespace internal {
+
+std::atomic<bool> metrics_enabled{false};
+std::atomic<bool> trace_enabled{false};
+
+EnvConfig ParseEnv(const char* metrics_value, const char* trace_value) {
+  EnvConfig config;
+  if (metrics_value != nullptr && metrics_value[0] != '\0' &&
+      std::strcmp(metrics_value, "0") != 0) {
+    config.metrics_enabled = true;
+    if (std::strcmp(metrics_value, "json") == 0) {
+      config.dump_format = "json";
+    } else {
+      config.dump_format = "text";
+    }
+  }
+  if (trace_value != nullptr && trace_value[0] != '\0' &&
+      std::strcmp(trace_value, "0") != 0) {
+    config.trace_enabled = true;
+  }
+  return config;
+}
+
+namespace {
+
+bool g_dump_json_at_exit = false;
+
+void DumpAtExit() {
+  std::string out = g_dump_json_at_exit
+                        ? MetricsRegistry::Global().ExportJson()
+                        : MetricsRegistry::Global().ExportText();
+  std::fprintf(stderr, "%s\n", out.c_str());
+}
+
+/// Applies OBDA_METRICS / OBDA_TRACE exactly once, on first registry use.
+void ApplyEnvOnce() {
+  static const bool done = [] {
+    EnvConfig config =
+        ParseEnv(std::getenv("OBDA_METRICS"), std::getenv("OBDA_TRACE"));
+    if (config.metrics_enabled) {
+      metrics_enabled.store(true, std::memory_order_relaxed);
+      g_dump_json_at_exit = config.dump_format == "json";
+      std::atexit(DumpAtExit);
+    }
+    if (config.trace_enabled) {
+      trace_enabled.store(true, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace
+}  // namespace internal
+
+void EnableMetrics(bool on) {
+  internal::metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void EnableTracing(bool on) {
+  internal::trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// TraceSpan.
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local int g_trace_depth = 0;
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(TracingEnabled() ? name : nullptr) {
+  if (name_ == nullptr) return;
+  start_ = std::chrono::steady_clock::now();
+  std::fprintf(stderr, "[obda-trace] %*s> %s\n", 2 * g_trace_depth, "",
+               name_);
+  ++g_trace_depth;
+}
+
+TraceSpan::~TraceSpan() {
+  if (name_ == nullptr) return;
+  --g_trace_depth;
+  auto elapsed = std::chrono::steady_clock::now() - start_;
+  double ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  std::fprintf(stderr, "[obda-trace] %*s< %s (%.3f ms)\n",
+               2 * g_trace_depth, "", name_, ms);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry.
+// ---------------------------------------------------------------------------
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;
+  // unique_ptr: stable addresses across growth (atomics are immovable).
+  std::deque<std::unique_ptr<Counter>> counters;
+  std::deque<std::unique_ptr<TimerStat>> timers;
+  std::unordered_map<std::string, Counter*> counter_index;
+  std::unordered_map<std::string, TimerStat*> timer_index;
+};
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  internal::ApplyEnvOnce();
+  return *registry;
+}
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  Impl* existing = impl_atomic_.load(std::memory_order_acquire);
+  if (existing != nullptr) return *existing;
+  static std::mutex init_mu;
+  std::lock_guard<std::mutex> lock(init_mu);
+  existing = impl_atomic_.load(std::memory_order_acquire);
+  if (existing == nullptr) {
+    existing = new Impl();
+    impl_atomic_.store(existing, std::memory_order_release);
+  }
+  return *existing;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::string key(name);
+  auto it = i.counter_index.find(key);
+  if (it != i.counter_index.end()) return *it->second;
+  i.counters.emplace_back(new Counter(key));
+  Counter* c = i.counters.back().get();
+  i.counter_index.emplace(std::move(key), c);
+  return *c;
+}
+
+TimerStat& MetricsRegistry::GetTimer(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::string key(name);
+  auto it = i.timer_index.find(key);
+  if (it != i.timer_index.end()) return *it->second;
+  i.timers.emplace_back(new TimerStat(key));
+  TimerStat* t = i.timers.back().get();
+  i.timer_index.emplace(std::move(key), t);
+  return *t;
+}
+
+void MetricsRegistry::ResetAll() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  for (auto& c : i.counters) c->Reset();
+  for (auto& t : i.timers) t->Reset();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
+  Impl& i = impl();
+  Snapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(i.mu);
+    for (const auto& c : i.counters) {
+      std::uint64_t v = c->value();
+      if (v != 0) snapshot.counters.push_back({c->name(), v});
+    }
+    for (const auto& t : i.timers) {
+      if (t->count() != 0) {
+        snapshot.timers.push_back(
+            {t->name(), t->count(), t->total_millis()});
+      }
+    }
+  }
+  std::sort(snapshot.counters.begin(), snapshot.counters.end(),
+            [](const CounterSnapshot& a, const CounterSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(snapshot.timers.begin(), snapshot.timers.end(),
+            [](const TimerSnapshot& a, const TimerSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+std::string MetricsRegistry::ExportText() const {
+  Snapshot snapshot = Snap();
+  std::string out = "-- obda metrics --\n";
+  char line[256];
+  for (const auto& c : snapshot.counters) {
+    std::snprintf(line, sizeof(line), "%-40s %llu\n", c.name.c_str(),
+                  static_cast<unsigned long long>(c.value));
+    out += line;
+  }
+  for (const auto& t : snapshot.timers) {
+    std::snprintf(line, sizeof(line), "%-40s %.3f ms over %llu calls\n",
+                  t.name.c_str(), t.total_millis,
+                  static_cast<unsigned long long>(t.count));
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  Snapshot snapshot = Snap();
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  char buf[64];
+  for (const auto& c : snapshot.counters) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(c.name) + "\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(c.value));
+    out += buf;
+  }
+  out += "}, \"timers\": {";
+  first = true;
+  for (const auto& t : snapshot.timers) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(t.name) + "\": {\"count\": ";
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(t.count));
+    out += buf;
+    out += ", \"total_ms\": ";
+    std::snprintf(buf, sizeof(buf), "%.6f", t.total_millis);
+    out += buf;
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string EscapeJson(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(
+                            static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace obda::obs

@@ -1,0 +1,211 @@
+#ifndef OBDA_OBS_METRICS_H_
+#define OBDA_OBS_METRICS_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace obda::obs {
+
+// ---------------------------------------------------------------------------
+// Global switches.
+//
+// Instrumentation is zero-cost-by-default: every counter bump and timer
+// start first reads one relaxed atomic bool, and only the enabled path
+// touches the registry. Both switches can be flipped programmatically
+// (bench drivers do) or from the environment at process start:
+//
+//   OBDA_METRICS=1|text    collect; dump a text table to stderr at exit
+//   OBDA_METRICS=json      collect; dump a JSON snapshot to stderr at exit
+//   OBDA_METRICS=0 / unset disabled (the default)
+//   OBDA_TRACE=1           emit indented span enter/exit lines to stderr
+// ---------------------------------------------------------------------------
+
+namespace internal {
+extern std::atomic<bool> metrics_enabled;
+extern std::atomic<bool> trace_enabled;
+
+/// How an OBDA_METRICS value should be interpreted; split out so tests can
+/// exercise the parsing without mutating the process environment.
+struct EnvConfig {
+  bool metrics_enabled = false;
+  bool trace_enabled = false;
+  /// "", "text", or "json": what to dump to stderr at process exit.
+  std::string dump_format;
+};
+EnvConfig ParseEnv(const char* metrics_value, const char* trace_value);
+}  // namespace internal
+
+inline bool MetricsEnabled() {
+  return internal::metrics_enabled.load(std::memory_order_relaxed);
+}
+inline bool TracingEnabled() {
+  return internal::trace_enabled.load(std::memory_order_relaxed);
+}
+
+void EnableMetrics(bool on);
+void EnableTracing(bool on);
+
+// ---------------------------------------------------------------------------
+// Counters and timers. Instances are owned by the MetricsRegistry and have
+// stable addresses for the lifetime of the process, so hot paths cache a
+// reference once (function-local static) and bump it thereafter.
+// ---------------------------------------------------------------------------
+
+class Counter {
+ public:
+  /// Adds `n` when metrics are enabled; a relaxed-atomic add, safe from
+  /// any thread.
+  void Add(std::uint64_t n = 1) {
+    if (MetricsEnabled()) value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class TimerStat {
+ public:
+  void AddNanos(std::uint64_t nanos) {
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double total_millis() const {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) / 1e6;
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit TimerStat(std::string name) : name_(std::move(name)) {}
+  void Reset() {
+    nanos_.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+  }
+
+  std::string name_;
+  std::atomic<std::uint64_t> nanos_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII wall-clock timer accumulating into a TimerStat. Reads the clock
+/// only when metrics are enabled at construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(TimerStat& stat)
+      : stat_(MetricsEnabled() ? &stat : nullptr) {
+    if (stat_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (stat_ != nullptr) {
+      auto elapsed = std::chrono::steady_clock::now() - start_;
+      stat_->AddNanos(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimerStat* stat_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Lightweight trace span: prints `> name` on entry and `< name (x.xx ms)`
+/// on exit to stderr, indented by per-thread nesting depth. A no-op unless
+/// OBDA_TRACE is on. `name` must outlive the span (string literals do).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;  // nullptr when tracing was off at entry
+  std::chrono::steady_clock::time_point start_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. First use also applies the OBDA_METRICS /
+  /// OBDA_TRACE environment switches.
+  static MetricsRegistry& Global();
+
+  /// Returns the counter/timer named `name`, creating it on first use.
+  /// Thread-safe; returned references stay valid forever.
+  Counter& GetCounter(std::string_view name);
+  TimerStat& GetTimer(std::string_view name);
+
+  /// Zeroes every counter and timer (registration survives).
+  void ResetAll();
+
+  struct CounterSnapshot {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct TimerSnapshot {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_millis = 0.0;
+  };
+  struct Snapshot {
+    std::vector<CounterSnapshot> counters;  // sorted by name
+    std::vector<TimerSnapshot> timers;      // sorted by name
+  };
+  /// A consistent-enough view for reporting: values are read with relaxed
+  /// ordering, zero-valued entries are skipped.
+  Snapshot Snap() const;
+
+  /// Human-readable table of all nonzero metrics.
+  std::string ExportText() const;
+  /// `{"counters": {...}, "timers": {name: {"count": n, "total_ms": x}}}`.
+  std::string ExportJson() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  struct Impl;
+  Impl& impl() const;
+  mutable Impl* impl_ = nullptr;
+  mutable std::atomic<Impl*> impl_atomic_{nullptr};
+};
+
+/// Shorthands for the common "cache a reference once" pattern:
+///   static obs::Counter& nodes = obs::GetCounter("hom.nodes");
+inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline TimerStat& GetTimer(std::string_view name) {
+  return MetricsRegistry::Global().GetTimer(name);
+}
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters). Exposed for reuse by the bench
+/// reporting layer and for direct testing.
+std::string EscapeJson(std::string_view text);
+
+}  // namespace obda::obs
+
+#endif  // OBDA_OBS_METRICS_H_

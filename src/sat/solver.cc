@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace obda::sat {
+
+namespace {
+
+/// Registry handles, resolved once per process; Solve() flushes its
+/// per-call deltas in one batch.
+struct SatCounters {
+  obs::Counter& solve_calls = obs::GetCounter("sat.solve_calls");
+  obs::Counter& decisions = obs::GetCounter("sat.decisions");
+  obs::Counter& propagations = obs::GetCounter("sat.propagations");
+  obs::Counter& conflicts = obs::GetCounter("sat.conflicts");
+  obs::Counter& restarts = obs::GetCounter("sat.restarts");
+  obs::Counter& budget_exhausted = obs::GetCounter("sat.budget_exhausted");
+  obs::TimerStat& solve = obs::GetTimer("sat.solve");
+
+  static SatCounters& Get() {
+    static SatCounters counters;
+    return counters;
+  }
+};
+
+}  // namespace
 
 Var Solver::NewVar() {
   Var v = static_cast<Var>(assign_.size());
@@ -52,6 +75,7 @@ bool Solver::Enqueue(Lit l) {
 bool Solver::Propagate() {
   while (qhead_ < trail_.size()) {
     Lit p = trail_[qhead_++];
+    ++stats_.propagations;
     Lit false_lit = p.Negated();  // literals equal to ¬p are now false
     std::vector<std::uint32_t>& watchers = watches_[false_lit.code];
     std::size_t kept = 0;
@@ -86,7 +110,10 @@ bool Solver::Propagate() {
       if (!Enqueue(c[0])) conflict = true;
     }
     watchers.resize(kept);
-    if (conflict) return false;
+    if (conflict) {
+      ++stats_.conflicts;
+      return false;
+    }
   }
   return true;
 }
@@ -101,6 +128,28 @@ void Solver::UndoTo(std::size_t trail_size) {
 
 SatOutcome Solver::Solve(const std::vector<Lit>& assumptions,
                          std::uint64_t max_decisions) {
+  obs::ScopedTimer timer(SatCounters::Get().solve);
+  obs::TraceSpan span("sat.solve");
+  const Stats before = stats_;
+  ++stats_.solve_calls;
+  SatOutcome outcome = SolveImpl(assumptions, max_decisions);
+  stats_.decisions += decisions_;
+  stats_.max_trail = std::max<std::uint64_t>(stats_.max_trail,
+                                             trail_.size());
+  if (obs::MetricsEnabled()) {
+    SatCounters& counters = SatCounters::Get();
+    counters.solve_calls.Add(1);
+    counters.decisions.Add(decisions_);
+    counters.propagations.Add(stats_.propagations - before.propagations);
+    counters.conflicts.Add(stats_.conflicts - before.conflicts);
+    counters.restarts.Add(stats_.restarts - before.restarts);
+    if (outcome == SatOutcome::kBudget) counters.budget_exhausted.Add(1);
+  }
+  return outcome;
+}
+
+SatOutcome Solver::SolveImpl(const std::vector<Lit>& assumptions,
+                             std::uint64_t max_decisions) {
   if (trivially_unsat_) return SatOutcome::kUnsat;
   UndoTo(0);
   decisions_ = 0;

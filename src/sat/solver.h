@@ -42,6 +42,23 @@ enum class SatOutcome {
 /// detected eagerly. Deterministic: same input => same model.
 class Solver {
  public:
+  /// Search statistics, accumulated across all Solve() calls on this
+  /// solver (the engines reuse one grounding for many assumption sets).
+  /// Also mirrored into the global obs::MetricsRegistry as `sat.*`.
+  struct Stats {
+    std::uint64_t solve_calls = 0;
+    std::uint64_t decisions = 0;
+    /// Literals dequeued by unit propagation.
+    std::uint64_t propagations = 0;
+    /// Conflicts hit (each triggers a chronological backtrack).
+    std::uint64_t conflicts = 0;
+    /// Always 0 today: the chronological DPLL has no restart policy. Kept
+    /// so the exported schema is stable when one is added.
+    std::uint64_t restarts = 0;
+    /// High-water mark of the assignment trail.
+    std::uint64_t max_trail = 0;
+  };
+
   /// Adds a fresh variable and returns it.
   Var NewVar();
   std::size_t NumVars() const { return assign_.size(); }
@@ -64,9 +81,14 @@ class Solver {
   }
 
   std::size_t NumClauses() const { return clauses_.size(); }
+  /// Decisions made by the most recent Solve() call.
   std::uint64_t decisions() const { return decisions_; }
+  const Stats& stats() const { return stats_; }
 
  private:
+  SatOutcome SolveImpl(const std::vector<Lit>& assumptions,
+                       std::uint64_t max_decisions);
+
   static constexpr std::int8_t kUndef = -1;
   static constexpr std::int8_t kFalse = 0;
   static constexpr std::int8_t kTrue = 1;
@@ -92,6 +114,7 @@ class Solver {
   std::size_t qhead_ = 0;
   bool trivially_unsat_ = false;
   std::uint64_t decisions_ = 0;
+  Stats stats_;
   /// Static branching order: variables sorted by occurrence count.
   std::vector<std::uint32_t> occurrence_;
 };

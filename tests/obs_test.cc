@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/homomorphism.h"
+#include "data/instance.h"
+#include "obs/metrics.h"
+
+namespace obda {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::EnableMetrics(true);
+    obs::MetricsRegistry::Global().ResetAll();
+  }
+  void TearDown() override {
+    obs::MetricsRegistry::Global().ResetAll();
+    obs::EnableMetrics(false);
+  }
+};
+
+TEST_F(ObsTest, CounterBasics) {
+  obs::Counter& c = obs::GetCounter("test.basic");
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&obs::GetCounter("test.basic"), &c);
+  obs::MetricsRegistry::Global().ResetAll();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, DisabledCountersDoNotMove) {
+  obs::Counter& c = obs::GetCounter("test.gated");
+  obs::EnableMetrics(false);
+  c.Add(100);
+  EXPECT_EQ(c.value(), 0u);
+  obs::EnableMetrics(true);
+  c.Add(100);
+  EXPECT_EQ(c.value(), 100u);
+}
+
+TEST_F(ObsTest, EnvVarParsing) {
+  // OBDA_METRICS unset / "0" / empty => off; anything else => on, with
+  // "json" selecting JSON dumps.
+  EXPECT_FALSE(obs::internal::ParseEnv(nullptr, nullptr).metrics_enabled);
+  EXPECT_FALSE(obs::internal::ParseEnv("", nullptr).metrics_enabled);
+  EXPECT_FALSE(obs::internal::ParseEnv("0", nullptr).metrics_enabled);
+  auto text = obs::internal::ParseEnv("1", nullptr);
+  EXPECT_TRUE(text.metrics_enabled);
+  EXPECT_EQ(text.dump_format, "text");
+  auto json = obs::internal::ParseEnv("json", nullptr);
+  EXPECT_TRUE(json.metrics_enabled);
+  EXPECT_EQ(json.dump_format, "json");
+  EXPECT_FALSE(obs::internal::ParseEnv(nullptr, nullptr).trace_enabled);
+  EXPECT_FALSE(obs::internal::ParseEnv(nullptr, "0").trace_enabled);
+  EXPECT_TRUE(obs::internal::ParseEnv(nullptr, "1").trace_enabled);
+}
+
+TEST_F(ObsTest, ConcurrentCounterBumps) {
+  obs::Counter& c = obs::GetCounter("test.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kBumpsPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int j = 0; j < kBumpsPerThread; ++j) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kBumpsPerThread);
+}
+
+TEST_F(ObsTest, ConcurrentRegistration) {
+  // Many threads racing to create/resolve the same and distinct names must
+  // agree on addresses and lose no bumps.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int j = 0; j < 500; ++j) {
+        obs::GetCounter("test.shared").Add();
+        obs::GetCounter("test.reg." + std::to_string(t)).Add();
+        obs::GetTimer("test.reg_timer").AddNanos(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(obs::GetCounter("test.shared").value(), 8u * 500u);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(obs::GetCounter("test.reg." + std::to_string(t)).value(),
+              500u);
+  }
+  EXPECT_EQ(obs::GetTimer("test.reg_timer").count(), 8u * 500u);
+}
+
+TEST_F(ObsTest, ScopedTimerAccumulates) {
+  obs::TimerStat& t = obs::GetTimer("test.timer");
+  { obs::ScopedTimer timer(t); }
+  { obs::ScopedTimer timer(t); }
+  EXPECT_EQ(t.count(), 2u);
+  // Disabled timers record nothing.
+  obs::EnableMetrics(false);
+  { obs::ScopedTimer timer(t); }
+  EXPECT_EQ(t.count(), 2u);
+}
+
+TEST_F(ObsTest, JsonEscaping) {
+  EXPECT_EQ(obs::EscapeJson("plain"), "plain");
+  EXPECT_EQ(obs::EscapeJson("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(obs::EscapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::EscapeJson("line1\nline2\t."), "line1\\nline2\\t.");
+  EXPECT_EQ(obs::EscapeJson(std::string("\x01", 1)), "\\u0001");
+}
+
+/// Minimal structural JSON scan: balanced braces, no raw control bytes,
+/// quotes all escaped. Enough to catch malformed export without a parser.
+void ExpectWellFormedJson(const std::string& text) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char ch : text) {
+    ASSERT_GE(static_cast<unsigned char>(ch), 0x20)
+        << "raw control byte in JSON";
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (ch == '\\') escaped = true;
+      if (ch == '"') in_string = false;
+      continue;
+    }
+    if (ch == '"') in_string = true;
+    if (ch == '{') ++depth;
+    if (ch == '}') {
+      --depth;
+      ASSERT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST_F(ObsTest, JsonExportWellFormed) {
+  obs::GetCounter("test.export \"quoted\"\n").Add(7);
+  obs::GetCounter("test.export.plain").Add(1);
+  obs::GetTimer("test.export.timer").AddNanos(1'500'000);
+  std::string json = obs::MetricsRegistry::Global().ExportJson();
+  ExpectWellFormedJson(json);
+  EXPECT_NE(json.find("\"test.export \\\"quoted\\\"\\n\": 7"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"test.export.plain\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+TEST_F(ObsTest, SnapshotSkipsZeroesAndSorts) {
+  obs::GetCounter("test.snap.b").Add(2);
+  obs::GetCounter("test.snap.a").Add(1);
+  obs::GetCounter("test.snap.zero");
+  auto snap = obs::MetricsRegistry::Global().Snap();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "test.snap.a");
+  EXPECT_EQ(snap.counters[1].name, "test.snap.b");
+}
+
+/// The K3 -> K2 non-3-coloring-ish search: a path that needs real
+/// backtracking so the solver counters all move.
+TEST_F(ObsTest, HomSolverCountersMove) {
+  data::Schema s;
+  data::RelationId e = s.AddRelation("E", 2);
+  // A: a 5-cycle. B: a 4-cycle (no hom: odd cycle into bipartite graph).
+  data::Instance a(s);
+  std::vector<data::ConstId> av;
+  for (int i = 0; i < 5; ++i) {
+    av.push_back(a.AddConstant("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5; ++i) a.AddFact(e, {av[i], av[(i + 1) % 5]});
+  data::Instance b(s);
+  std::vector<data::ConstId> bv;
+  for (int i = 0; i < 4; ++i) {
+    bv.push_back(b.AddConstant("b" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) b.AddFact(e, {bv[i], bv[(i + 1) % 4]});
+
+  data::HomResult r = data::FindHomomorphism(a, b);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(obs::GetCounter("hom.calls").value(), 1u);
+  EXPECT_EQ(obs::GetCounter("hom.nodes").value(), r.nodes);
+  EXPECT_GT(obs::GetCounter("hom.prunes").value(), 0u);
+  EXPECT_EQ(obs::GetTimer("hom.search").count(), 1u);
+
+  // A second search that succeeds also counts a solution.
+  data::HomResult r2 = data::FindHomomorphism(b, b);
+  EXPECT_TRUE(r2.found);
+  EXPECT_EQ(obs::GetCounter("hom.calls").value(), 2u);
+  EXPECT_EQ(obs::GetCounter("hom.solutions").value(), 1u);
+}
+
+TEST_F(ObsTest, BudgetExhaustionPropagatesAndCounts) {
+  data::Schema s;
+  data::RelationId e = s.AddRelation("E", 2);
+  // A: 2x2 complete bipartite-ish pattern; B: larger clique so the search
+  // tree exceeds a one-node budget without being unsatisfiable.
+  data::Instance a(s);
+  std::vector<data::ConstId> av;
+  for (int i = 0; i < 4; ++i) {
+    av.push_back(a.AddConstant("a" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i != j) a.AddFact(e, {av[i], av[j]});
+    }
+  }
+  data::Instance b(s);
+  std::vector<data::ConstId> bv;
+  for (int i = 0; i < 6; ++i) {
+    bv.push_back(b.AddConstant("b" + std::to_string(i)));
+  }
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      if (i != j) b.AddFact(e, {bv[i], bv[j]});
+    }
+  }
+  data::HomOptions options;
+  options.node_budget = 1;
+  data::HomResult result;
+  data::MarkedInstance ma{a, {}};
+  data::MarkedInstance mb{b, {}};
+  // With the out-param, exhaustion is reported instead of aborting.
+  data::MarkedHomomorphismExists(ma, mb, options, &result);
+  EXPECT_TRUE(result.budget_exhausted);
+  EXPECT_GT(result.nodes, 0u);
+  EXPECT_EQ(obs::GetCounter("hom.budget_exhausted").value(), 1u);
+
+  data::HomResult count_result;
+  std::uint64_t count =
+      data::CountHomomorphisms(a, b, 1'000'000, &count_result);
+  EXPECT_GT(count_result.nodes, 0u);
+  EXPECT_EQ(count, count_result.solution_count);
+  EXPECT_EQ(count, 360u);  // injections of K4 into K6: 6*5*4*3
+}
+
+TEST_F(ObsTest, MarkedHomPropagatesWitness) {
+  data::Schema s;
+  data::RelationId e = s.AddRelation("E", 2);
+  data::Instance a(s);
+  data::ConstId a0 = a.AddConstant("a0");
+  data::ConstId a1 = a.AddConstant("a1");
+  a.AddFact(e, {a0, a1});
+  data::Instance b(s);
+  data::ConstId b0 = b.AddConstant("b0");
+  data::ConstId b1 = b.AddConstant("b1");
+  b.AddFact(e, {b0, b1});
+  data::MarkedInstance ma{a, {a0}};
+  data::MarkedInstance mb{b, {b0}};
+  data::HomResult result;
+  EXPECT_TRUE(data::MarkedHomomorphismExists(ma, mb, data::HomOptions(),
+                                             &result));
+  EXPECT_TRUE(result.found);
+  EXPECT_FALSE(result.budget_exhausted);
+  ASSERT_EQ(result.mapping.size(), 2u);
+  EXPECT_EQ(result.mapping[a0], b0);
+  EXPECT_EQ(result.mapping[a1], b1);
+}
+
+}  // namespace
+}  // namespace obda
