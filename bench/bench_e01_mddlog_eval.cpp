@@ -176,7 +176,7 @@ bool CrossCheckGadget(const Qbf& qbf, const Reduction& red) {
       probe.AddFact(*v_rel, {z, w});
     }
     std::uint64_t count =
-        obda::data::CountHomomorphisms(probe, red.instance, 64);
+        *obda::data::CountHomomorphisms(probe, red.instance, 64);
     if (count != static_cast<std::uint64_t>(expected)) return false;
   }
   return true;

@@ -58,7 +58,7 @@ int Run() {
   {
     obda::data::Instance d1 = obda::core::Thm310YesInstance(3);
     obda::data::Instance d0 = obda::core::Thm310NoInstance(3, 4);
-    bool full = obda::data::HomomorphismExists(d1, d0);
+    bool full = *obda::data::HomomorphismExists(d1, d0);
     std::printf("\nD1 → D0 (full): %s (expected: no)\n",
                 full ? "yes" : "no");
     ok = ok && !full;
@@ -75,7 +75,7 @@ int Run() {
         sub.AddFact(rel, d1.Tuple(rel, i));
       }
     }
-    bool partial = obda::data::HomomorphismExists(sub, d0);
+    bool partial = *obda::data::HomomorphismExists(sub, d0);
     std::printf("D1 minus one R-fact → D0: %s (expected: yes)\n",
                 partial ? "yes" : "no");
     ok = ok && partial;
@@ -87,7 +87,7 @@ int Run() {
     if (!alcf.ok()) return 1;
     obda::data::Instance d = obda::core::AlcfInconsistentInstance();
     obda::data::Instance d_prime = obda::core::AlcfConsistentImage();
-    bool hom = obda::data::HomomorphismExists(d, d_prime);
+    bool hom = *obda::data::HomomorphismExists(d, d_prime);
     auto a_d = alcf->CertainAnswersBounded(d);
     auto a_dp = alcf->CertainAnswersBounded(d_prime);
     std::printf("\nALCF: hom D → D' exists: %s;  |cert(D)| = %zu "

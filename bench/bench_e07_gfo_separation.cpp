@@ -59,7 +59,7 @@ int Run() {
   // proof scales the same effect to arbitrary pattern sizes).
   obda::data::Instance d1 = obda::gfo::Prop315YesInstance(4);
   obda::data::Instance d0 = obda::gfo::Prop315NoInstance(4);
-  bool full = obda::data::HomomorphismExists(d1, d0);
+  bool full = *obda::data::HomomorphismExists(d1, d0);
   int sub_maps = 0;
   int subs = 0;
   for (obda::data::ConstId drop = 0; drop < d1.UniverseSize(); ++drop) {
@@ -69,7 +69,7 @@ int Run() {
     }
     obda::data::Instance sub = d1.InducedSubinstance(keep);
     ++subs;
-    if (obda::data::HomomorphismExists(sub, d0)) ++sub_maps;
+    if (*obda::data::HomomorphismExists(sub, d0)) ++sub_maps;
   }
   std::printf("\nD1 → D0: %s;  element-deleted subinstances mapping into "
               "D0: %d/%d\n",

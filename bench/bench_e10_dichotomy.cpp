@@ -64,12 +64,12 @@ int Run() {
       obda::bench::Timer timer2;
       bool pc2 = obda::csp::PairwiseConsistencyRefutes(d, k2);
       t2.push_back(timer2.Millis());
-      bool hom2 = obda::data::HomomorphismExists(d, k2);
+      bool hom2 = *obda::data::HomomorphismExists(d, k2);
       if (pc2 == !hom2) ++k2_complete;
       obda::bench::Timer timer3;
       bool pc3 = obda::csp::PairwiseConsistencyRefutes(d, k3);
       t3.push_back(timer3.Millis());
-      bool hom3 = obda::data::HomomorphismExists(d, k3);
+      bool hom3 = *obda::data::HomomorphismExists(d, k3);
       // On the coNP side, pc refutation is sound but may miss.
       if (pc3 || hom3) ++k3_decided;
       if (pc3 && hom3) complete_ok = false;  // soundness violation!

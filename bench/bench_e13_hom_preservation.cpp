@@ -73,7 +73,7 @@ int Run() {
   if (!alcf.ok()) return 1;
   obda::data::Instance d = obda::core::AlcfInconsistentInstance();
   obda::data::Instance d_prime = obda::core::AlcfConsistentImage();
-  bool hom = obda::data::HomomorphismExists(d, d_prime);
+  bool hom = *obda::data::HomomorphismExists(d, d_prime);
   auto cert_d = alcf->CertainAnswersBounded(d);
   auto cert_dp = alcf->CertainAnswersBounded(d_prime);
   bool negative_ok = hom && cert_d.ok() && !cert_d->empty() &&

@@ -74,7 +74,7 @@ int Run() {
       bool pc = obda::csp::PairwiseConsistencyRefutes(d, c.b);
       t_pc.push_back(t2.Millis());
       obda::bench::Timer t3;
-      bool hom = obda::data::HomomorphismExists(d, c.b);
+      bool hom = *obda::data::HomomorphismExists(d, c.b);
       t_mac.push_back(t3.Millis());
       obda::bench::Timer t4;
       auto sat = obda::ddlog::EvaluateBoolean(

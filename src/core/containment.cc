@@ -113,9 +113,10 @@ bool EnumerateInstances(
 base::Result<ContainmentVerdict> OmqContainedBounded(
     const OntologyMediatedQuery& q1, const OntologyMediatedQuery& q2,
     const ContainmentOptions& options) {
-  obs::ScopedTimer bounded_timer(ContainmentCounters::Get().bounded);
+  ContainmentCounters& counters = ContainmentCounters::Get();
+  obs::ScopedTimer bounded_timer(counters.bounded);
   obs::TraceSpan span("containment.bounded");
-  ContainmentCounters::Get().bounded_calls.Add(1);
+  counters.bounded_calls.Add(1);
   if (!q1.data_schema().LayoutCompatible(q2.data_schema())) {
     return base::InvalidArgumentError(
         "containment requires a common data schema");
@@ -132,7 +133,6 @@ base::Result<ContainmentVerdict> OmqContainedBounded(
     bool completed = EnumerateInstances(
         q1.data_schema(), n, options.max_facts,
         [&](const data::Instance& d) {
-          ContainmentCounters& counters = ContainmentCounters::Get();
           counters.candidates.Add(1);
           counters.oracle_calls.Add(1);
           auto a1 = q1.CertainAnswersBounded(d, bounded);

@@ -7,6 +7,7 @@
 #include "csp/consistency.h"
 #include "csp/duality.h"
 #include "csp/rewritability.h"
+#include "data/homomorphism.h"
 #include "data/ops.h"
 #include "ddlog/datalog.h"
 #include "obs/metrics.h"
@@ -104,9 +105,12 @@ fo::ConjunctiveQuery ObstructionToCq(const data::Instance& tree,
 std::vector<std::vector<data::ConstId>> FoRewriting::Evaluate(
     const data::Instance& instance) const {
   std::vector<std::vector<data::ConstId>> result;
+  // All conjuncts are evaluated over the same instance; compile its
+  // support index once.
+  const data::CompiledTarget target(instance);
   bool first = true;
   for (const fo::UnionOfCq& q : conjuncts) {
-    auto answers = q.Evaluate(instance);
+    auto answers = q.Evaluate(target);
     if (first) {
       result = std::move(answers);
       first = false;
@@ -217,7 +221,9 @@ base::Result<DatalogRewriting> ExtractDatalogRewriting(
         core, max_template_elements);
     if (!program.ok()) return program.status();
     out.programs.push_back(std::move(*program));
-    out.width_one_complete.push_back(csp::HasTreeDuality(core));
+    auto width_one = csp::HasTreeDuality(core);
+    if (!width_one.ok()) return width_one.status();
+    out.width_one_complete.push_back(*width_one);
     out.template_cores.push_back(std::move(core));
   }
   if (first) {

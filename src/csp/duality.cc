@@ -118,7 +118,7 @@ data::Instance PowerStructure(const data::Instance& b) {
   return out;
 }
 
-bool HasTreeDuality(const data::Instance& b) {
+base::Result<bool> HasTreeDuality(const data::Instance& b) {
   data::Instance core = data::CoreOf(b);
   if (core.UniverseSize() == 0) return true;
   data::Instance power = PowerStructure(core);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "base/status.h"
 #include "data/instance.h"
 #include "data/ops.h"
 
@@ -34,8 +35,10 @@ data::Instance PowerStructure(const data::Instance& b);
 
 /// Feder–Vardi: B has tree duality — equivalently, arc consistency
 /// decides CSP(B), equivalently the canonical width-1 datalog program is
-/// a complete rewriting of coCSP(B) — iff ℘(B) → B.
-bool HasTreeDuality(const data::Instance& b);
+/// a complete rewriting of coCSP(B) — iff ℘(B) → B. The power structure
+/// is exponential in |B|; a kResourceExhausted error is returned when the
+/// homomorphism search exhausts its node budget.
+base::Result<bool> HasTreeDuality(const data::Instance& b);
 
 }  // namespace obda::csp
 

@@ -68,13 +68,20 @@ Instance RemoveFact(const Instance& d, data::RelationId rel,
 }
 
 /// True if T is a critical obstruction: T ↛ B and every fact-deleted
-/// subinstance maps into B.
-bool IsCritical(const Instance& t, const Instance& b) {
-  if (data::HomomorphismExists(t, b)) return false;
+/// subinstance maps into B. `b` is the compiled form of the template —
+/// it is probed once per candidate tree plus once per fact of the tree,
+/// so the support index is built a single time by the caller.
+base::Result<bool> IsCritical(const Instance& t,
+                              const data::CompiledTarget& b) {
+  auto whole = data::HomomorphismExists(t, b);
+  if (!whole.ok()) return whole.status();
+  if (*whole) return false;
   for (data::RelationId r = 0; r < t.schema().NumRelations(); ++r) {
     for (std::uint32_t i = 0; i < t.NumTuples(r); ++i) {
       Instance sub = RemoveFact(t, r, i);
-      if (!data::HomomorphismExists(sub, b)) return false;
+      auto maps = data::HomomorphismExists(sub, b);
+      if (!maps.ok()) return maps.status();
+      if (!*maps) return false;
     }
   }
   return true;
@@ -98,6 +105,7 @@ base::Result<std::vector<Instance>> TreeObstructions(
   const std::uint32_t unary_masks = 1u << unary_rels.size();
   const int edge_options = static_cast<int>(binary_rels.size()) * 2;
 
+  const data::CompiledTarget compiled_b(b);
   std::vector<Instance> criticals;
   std::uint64_t examined = 0;
 
@@ -126,7 +134,9 @@ base::Result<std::vector<Instance>> TreeObstructions(
           spec.edge_choice = edges;
           spec.unary = masks;
           Instance t = BuildTree(schema, spec, unary_rels, binary_rels);
-          if (IsCritical(t, b)) criticals.push_back(std::move(t));
+          auto critical = IsCritical(t, compiled_b);
+          if (!critical.ok()) return critical.status();
+          if (*critical) criticals.push_back(std::move(t));
           // Advance unary masks.
           int pos = n - 1;
           while (pos >= 0 && ++masks[pos] == unary_masks) {
@@ -157,14 +167,22 @@ base::Result<std::vector<Instance>> TreeObstructions(
   }
 
   // Reduce to homomorphism-minimal representatives: if o1 → o2 (o1 != o2)
-  // then o2 is redundant.
+  // then o2 is redundant. Each critical serves as the target of up to
+  // 2(k-1) probes, so compile them all up front.
+  std::vector<data::CompiledTarget> compiled;
+  compiled.reserve(criticals.size());
+  for (const Instance& c : criticals) compiled.emplace_back(c);
   std::vector<bool> dropped(criticals.size(), false);
   for (std::size_t i = 0; i < criticals.size(); ++i) {
     if (dropped[i]) continue;
     for (std::size_t j = 0; j < criticals.size(); ++j) {
       if (i == j || dropped[j]) continue;
-      if (data::HomomorphismExists(criticals[j], criticals[i]) &&
-          !(data::HomomorphismExists(criticals[i], criticals[j]) && j > i)) {
+      auto j_into_i = data::HomomorphismExists(criticals[j], compiled[i]);
+      if (!j_into_i.ok()) return j_into_i.status();
+      if (!*j_into_i) continue;
+      auto i_into_j = data::HomomorphismExists(criticals[i], compiled[j]);
+      if (!i_into_j.ok()) return i_into_j.status();
+      if (!(*i_into_j && j > i)) {
         dropped[i] = true;
         break;
       }

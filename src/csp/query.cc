@@ -18,6 +18,39 @@ void CoCspQuery::AddTemplate(data::MarkedInstance t) {
   templates_.push_back(std::move(t));
 }
 
+namespace {
+
+/// One template compiled for repeated (D, d̄) probes.
+struct CompiledTemplate {
+  data::CompiledTarget target;
+  const std::vector<data::ConstId>* marks;
+};
+
+std::vector<CompiledTemplate> CompileTemplates(
+    const std::vector<data::MarkedInstance>& templates) {
+  std::vector<CompiledTemplate> out;
+  out.reserve(templates.size());
+  for (const data::MarkedInstance& t : templates) {
+    out.push_back(CompiledTemplate{data::CompiledTarget(t.instance),
+                                   &t.marks});
+  }
+  return out;
+}
+
+bool IsAnswerCompiled(const data::Instance& instance,
+                      const std::vector<data::ConstId>& tuple,
+                      const std::vector<CompiledTemplate>& templates) {
+  data::MarkedInstance src{instance, tuple};
+  for (const CompiledTemplate& t : templates) {
+    if (data::MarkedHomomorphismExists(src, t.target, *t.marks)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 bool CoCspQuery::IsAnswer(const data::Instance& instance,
                           const std::vector<data::ConstId>& tuple) const {
   OBDA_CHECK_EQ(static_cast<int>(tuple.size()), arity_);
@@ -32,8 +65,11 @@ std::vector<std::vector<data::ConstId>> CoCspQuery::Evaluate(
     const data::Instance& instance) const {
   std::vector<std::vector<data::ConstId>> out;
   const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  // Each template is probed once per candidate tuple; compile them once.
+  const std::vector<CompiledTemplate> compiled =
+      CompileTemplates(templates_);
   if (arity_ == 0) {
-    if (IsAnswer(instance, {})) out.push_back({});
+    if (IsAnswerCompiled(instance, {}, compiled)) out.push_back({});
     return out;
   }
   if (adom.empty()) return out;
@@ -42,7 +78,7 @@ std::vector<std::vector<data::ConstId>> CoCspQuery::Evaluate(
     std::vector<data::ConstId> tuple;
     tuple.reserve(arity_);
     for (int i = 0; i < arity_; ++i) tuple.push_back(adom[idx[i]]);
-    if (IsAnswer(instance, tuple)) out.push_back(tuple);
+    if (IsAnswerCompiled(instance, tuple, compiled)) out.push_back(tuple);
     int pos = arity_ - 1;
     while (pos >= 0 && ++idx[pos] == adom.size()) {
       idx[pos] = 0;
@@ -58,12 +94,15 @@ CoCspQuery CoCspQuery::ReduceToIncomparable() const {
   // Keep template i unless it maps into some kept template j != i.
   // Greedy scan: drop i if it maps into any j that is not itself dropped
   // in favour of i (asymmetric tie-break by index).
+  const std::vector<CompiledTemplate> compiled =
+      CompileTemplates(templates_);
   std::vector<bool> dropped(templates_.size(), false);
   for (std::size_t i = 0; i < templates_.size(); ++i) {
     if (dropped[i]) continue;
     for (std::size_t j = 0; j < templates_.size(); ++j) {
       if (i == j || dropped[j]) continue;
-      if (data::MarkedHomomorphismExists(templates_[i], templates_[j])) {
+      if (data::MarkedHomomorphismExists(templates_[i], compiled[j].target,
+                                         *compiled[j].marks)) {
         // i's answers are implied by j: (D,d)→B_i→B_j, so B_i is
         // redundant for the "no hom" condition ... careful: template i is
         // redundant iff B_i → B_j (hom to i implies hom to j is wrong
@@ -120,10 +159,12 @@ bool CoCspContained(const CoCspQuery& f, const CoCspQuery& f_prime) {
   // coCSP(F) ⊆ coCSP(F') iff hom-to-F' implies hom-to-F iff every
   // F'-template maps into some F-template (take (D,d) := the F'-template
   // for necessity; compose homomorphisms for sufficiency).
+  const std::vector<CompiledTemplate> compiled =
+      CompileTemplates(f.templates());
   for (const data::MarkedInstance& b_prime : f_prime.templates()) {
     bool maps = false;
-    for (const data::MarkedInstance& b : f.templates()) {
-      if (data::MarkedHomomorphismExists(b_prime, b)) {
+    for (const CompiledTemplate& b : compiled) {
+      if (data::MarkedHomomorphismExists(b_prime, b.target, *b.marks)) {
         maps = true;
         break;
       }

@@ -1,12 +1,39 @@
 #include "data/homomorphism.h"
 
 #include <algorithm>
-#include <unordered_map>
+#include <bit>
 
 #include "base/check.h"
 #include "obs/metrics.h"
 
 namespace obda::data {
+
+CompiledTarget::CompiledTarget(const Instance& b) : b_(&b) {
+  const std::size_t num_rels = b.schema().NumRelations();
+  const std::size_t nb = b.UniverseSize();
+  index_.resize(num_rels);
+  std::vector<std::uint32_t> cursor;
+  for (RelationId r = 0; r < num_rels; ++r) {
+    const int arity = b.schema().Arity(r);
+    const std::uint32_t nt = static_cast<std::uint32_t>(b.NumTuples(r));
+    index_[r].resize(static_cast<std::size_t>(arity));
+    for (int p = 0; p < arity; ++p) {
+      PosIndex& idx = index_[r][static_cast<std::size_t>(p)];
+      idx.offsets.assign(nb + 1, 0);
+      for (std::uint32_t i = 0; i < nt; ++i) {
+        ++idx.offsets[b.Tuple(r, i)[static_cast<std::size_t>(p)] + 1];
+      }
+      for (std::size_t v = 0; v < nb; ++v) {
+        idx.offsets[v + 1] += idx.offsets[v];
+      }
+      idx.tuples.resize(nt);
+      cursor.assign(idx.offsets.begin(), idx.offsets.end() - 1);
+      for (std::uint32_t i = 0; i < nt; ++i) {
+        idx.tuples[cursor[b.Tuple(r, i)[static_cast<std::size_t>(p)]]++] = i;
+      }
+    }
+  }
+}
 
 namespace {
 
@@ -29,27 +56,20 @@ struct HomCounters {
   }
 };
 
+constexpr std::size_t kWordBits = 64;
+
 /// Backtracking search maintaining generalized arc consistency (MAC).
-/// Domains are bitmaps over B's universe; every assignment triggers
-/// GAC-3 propagation through the facts of A, with supports found via a
-/// per-(relation, position, value) index over B.
+/// Domains are word-packed bitsets over B's universe; every branch
+/// assignment seeds GAC propagation from the assigned variable's
+/// neighbourhood, with supports found via the CompiledTarget's
+/// per-(relation, position, value) CSR index. Backtracking restores only
+/// the domain words propagation actually changed, via a trail of
+/// (variable, word, old-value) entries — no full-table snapshots.
 class HomSearch {
  public:
-  HomSearch(const Instance& a, const Instance& b, const HomOptions& options)
-      : a_(a), b_(b), options_(options) {
-    const std::size_t num_rels = b_.schema().NumRelations();
-    index_.resize(num_rels);
-    for (RelationId r = 0; r < num_rels; ++r) {
-      const int arity = b_.schema().Arity(r);
-      index_[r].resize(arity);
-      for (std::uint32_t i = 0; i < b_.NumTuples(r); ++i) {
-        auto t = b_.Tuple(r, i);
-        for (int p = 0; p < arity; ++p) {
-          index_[r][p][t[p]].push_back(i);
-        }
-      }
-    }
-  }
+  HomSearch(const Instance& a, const CompiledTarget& target,
+            const HomOptions& options)
+      : a_(a), target_(target), b_(target.instance()), options_(options) {}
 
   HomResult Run(const std::vector<std::pair<ConstId, ConstId>>& pinned) {
     obs::ScopedTimer timer(HomCounters::Get().search);
@@ -60,6 +80,21 @@ class HomSearch {
   }
 
  private:
+  /// A fact of A as seen from one of its variables: the tuple plus the
+  /// variable's first position in it (precomputed once per search).
+  struct VarFact {
+    RelationId rel;
+    std::uint32_t tuple;
+    std::uint8_t vpos;
+  };
+
+  /// One undo record: a domain word before propagation cleared bits in it.
+  struct TrailEntry {
+    ConstId var;
+    std::uint32_t word;  // flat index into domains_
+    std::uint64_t old_bits;
+  };
+
   HomResult RunImpl(const std::vector<std::pair<ConstId, ConstId>>& pinned) {
     HomResult result;
     OBDA_CHECK(a_.schema().LayoutCompatible(b_.schema()));
@@ -78,21 +113,36 @@ class HomSearch {
       result.solution_count = 1;
       return result;
     }
-    const std::size_t nb = b_.UniverseSize();
-    if (nb == 0) return result;  // Nothing to map into.
+    nb_ = b_.UniverseSize();
+    if (nb_ == 0) return result;  // Nothing to map into.
+    words_ = (nb_ + kWordBits - 1) / kWordBits;
 
-    domains_.assign(n, std::vector<char>(nb, 1));
-    domain_size_.assign(n, nb);
+    domains_.assign(n * words_, ~std::uint64_t{0});
+    if (nb_ % kWordBits != 0) {
+      const std::uint64_t last_mask =
+          (std::uint64_t{1} << (nb_ % kWordBits)) - 1;
+      for (std::size_t v = 0; v < n; ++v) {
+        domains_[v * words_ + words_ - 1] = last_mask;
+      }
+    }
+    domain_size_.assign(n, static_cast<std::uint32_t>(nb_));
+
+    BuildAdjacency();
+
     for (const auto& [av, bv] : pinned) {
       OBDA_CHECK_LT(av, n);
-      OBDA_CHECK_LT(bv, nb);
-      if (!domains_[av][bv]) return result;
-      for (ConstId c = 0; c < nb; ++c) {
-        domains_[av][c] = (c == bv) ? 1 : 0;
-      }
+      OBDA_CHECK_LT(bv, nb_);
+      if (!HasValue(av, bv)) return result;
+      // Root-level assignment: no trail needed, nothing to undo.
+      for (std::size_t w = 0; w < words_; ++w) domains_[av * words_ + w] = 0;
+      domains_[av * words_ + bv / kWordBits] =
+          std::uint64_t{1} << (bv % kWordBits);
       domain_size_[av] = 1;
     }
-    if (!Propagate()) return result;
+
+    queued_.assign(n, 0);
+    queue_.reserve(n);
+    if (!PropagateAll()) return result;
 
     found_count_ = 0;
     nodes_ = 0;
@@ -105,60 +155,144 @@ class HomSearch {
     return result;
   }
 
- private:
-  /// GAC-3 to fixpoint over all variables. Returns false on a wipeout.
-  bool Propagate() {
+  /// Precomputes, per A-variable, its incident facts (with the variable's
+  /// position resolved) and its deduplicated neighbourhood.
+  void BuildAdjacency() {
     const std::size_t n = a_.UniverseSize();
-    std::vector<char> queued(n, 1);
-    std::vector<ConstId> queue;
-    queue.reserve(n);
-    for (ConstId v = 0; v < n; ++v) queue.push_back(v);
-    while (!queue.empty()) {
-      ConstId v = queue.back();
-      queue.pop_back();
-      queued[v] = 0;
-      if (!Revise(v, &queue, &queued)) return false;
+    facts_of_.assign(n, {});
+    neighbours_.assign(n, {});
+    for (ConstId v = 0; v < n; ++v) {
+      for (const FactRef& f : a_.FactsOf(v)) {
+        auto t = a_.Tuple(f.relation, f.tuple_index);
+        int vpos = -1;
+        for (std::size_t p = 0; p < t.size(); ++p) {
+          if (t[p] == v) {
+            vpos = static_cast<int>(p);
+            break;
+          }
+        }
+        OBDA_CHECK_GE(vpos, 0);
+        facts_of_[v].push_back(VarFact{f.relation, f.tuple_index,
+                                       static_cast<std::uint8_t>(vpos)});
+        for (ConstId u : t) {
+          if (u != v) neighbours_[v].push_back(u);
+        }
+      }
+      std::sort(neighbours_[v].begin(), neighbours_[v].end());
+      neighbours_[v].erase(
+          std::unique(neighbours_[v].begin(), neighbours_[v].end()),
+          neighbours_[v].end());
+    }
+  }
+
+  // --- Bitset domains ------------------------------------------------------
+
+  bool HasValue(ConstId v, ConstId c) const {
+    return (domains_[v * words_ + c / kWordBits] >> (c % kWordBits)) & 1u;
+  }
+
+  /// Clears value `c` from dom(v), trailing the word's prior contents.
+  void RemoveValue(ConstId v, ConstId c) {
+    const std::uint32_t w =
+        static_cast<std::uint32_t>(v * words_ + c / kWordBits);
+    trail_.push_back(TrailEntry{v, w, domains_[w]});
+    domains_[w] &= ~(std::uint64_t{1} << (c % kWordBits));
+    --domain_size_[v];
+  }
+
+  /// Narrows dom(v) to {c}, trailing every word that changes.
+  void Assign(ConstId v, ConstId c) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      const std::uint32_t flat = static_cast<std::uint32_t>(v * words_ + w);
+      const std::uint64_t target =
+          (w == c / kWordBits) ? (std::uint64_t{1} << (c % kWordBits)) : 0;
+      if (domains_[flat] != target) {
+        trail_.push_back(TrailEntry{v, flat, domains_[flat]});
+        domains_[flat] = target;
+      }
+    }
+    domain_size_[v] = 1;
+  }
+
+  /// Rewinds the trail to `mark`, restoring words and domain sizes. Bits
+  /// are only ever cleared between a save and its undo, so the size delta
+  /// per entry is popcount(old ^ current).
+  void UndoTo(std::size_t mark) {
+    while (trail_.size() > mark) {
+      const TrailEntry& e = trail_.back();
+      domain_size_[e.var] += static_cast<std::uint32_t>(
+          std::popcount(e.old_bits ^ domains_[e.word]));
+      domains_[e.word] = e.old_bits;
+      trail_.pop_back();
+    }
+  }
+
+  // --- Propagation ---------------------------------------------------------
+
+  bool PropagateAll() {
+    const std::size_t n = a_.UniverseSize();
+    for (ConstId v = 0; v < n; ++v) {
+      queued_[v] = 1;
+      queue_.push_back(v);
+    }
+    return Drain();
+  }
+
+  /// Seeds the GAC queue with the neighbourhood of a just-assigned
+  /// variable: only constraints touching it can have lost support.
+  bool PropagateFrom(ConstId assigned) {
+    for (ConstId u : neighbours_[assigned]) {
+      if (!queued_[u]) {
+        queued_[u] = 1;
+        queue_.push_back(u);
+      }
+    }
+    return Drain();
+  }
+
+  bool Drain() {
+    while (!queue_.empty()) {
+      ConstId v = queue_.back();
+      queue_.pop_back();
+      queued_[v] = 0;
+      if (!Revise(v)) {
+        for (ConstId u : queue_) queued_[u] = 0;
+        queue_.clear();
+        return false;
+      }
     }
     return true;
   }
 
-  /// Removes unsupported values from dom(v); enqueues neighbours of any
-  /// variable whose domain shrank (including v itself via its facts).
-  bool Revise(ConstId v, std::vector<ConstId>* queue,
-              std::vector<char>* queued) {
+  /// Removes unsupported values from dom(v) with word-level candidate
+  /// iteration; enqueues v's neighbours when the domain shrank.
+  bool Revise(ConstId v) {
     bool shrank = false;
-    for (const FactRef& f : a_.FactsOf(v)) {
-      auto t = a_.Tuple(f.relation, f.tuple_index);
-      // Position of v in the tuple (first occurrence).
-      int vpos = -1;
-      for (std::size_t p = 0; p < t.size(); ++p) {
-        if (t[p] == v) {
-          vpos = static_cast<int>(p);
-          break;
-        }
-      }
-      OBDA_CHECK_GE(vpos, 0);
-      auto& dom = domains_[v];
-      for (ConstId c = 0; c < dom.size(); ++c) {
-        if (!dom[c]) continue;
-        if (!HasSupport(f, t, v, c, vpos)) {
-          dom[c] = 0;
-          --domain_size_[v];
-          ++prunes_;
-          shrank = true;
+    for (const VarFact& f : facts_of_[v]) {
+      auto t = a_.Tuple(f.rel, f.tuple);
+      const std::uint64_t* dom = &domains_[v * words_];
+      for (std::size_t wi = 0; wi < words_; ++wi) {
+        std::uint64_t bits = dom[wi];
+        while (bits != 0) {
+          const int bit = std::countr_zero(bits);
+          bits &= bits - 1;
+          const ConstId c =
+              static_cast<ConstId>(wi * kWordBits +
+                                   static_cast<std::size_t>(bit));
+          if (!HasSupport(f, t, v, c)) {
+            RemoveValue(v, c);
+            ++prunes_;
+            shrank = true;
+          }
         }
       }
       if (domain_size_[v] == 0) return false;
     }
     if (shrank) {
-      // Re-enqueue every variable sharing a fact with v.
-      for (const FactRef& f : a_.FactsOf(v)) {
-        auto t = a_.Tuple(f.relation, f.tuple_index);
-        for (ConstId u : t) {
-          if (!(*queued)[u]) {
-            (*queued)[u] = 1;
-            queue->push_back(u);
-          }
+      for (ConstId u : neighbours_[v]) {
+        if (!queued_[u]) {
+          queued_[u] = 1;
+          queue_.push_back(u);
         }
       }
     }
@@ -167,22 +301,20 @@ class HomSearch {
 
   /// True if some B-tuple of f's relation has c at v's positions and a
   /// domain value at every other position.
-  bool HasSupport(const FactRef& f, std::span<const ConstId> t, ConstId v,
-                  ConstId c, int vpos) const {
-    auto it = index_[f.relation][vpos].find(c);
-    if (it == index_[f.relation][vpos].end()) return false;
-    for (std::uint32_t i : it->second) {
-      auto bt = b_.Tuple(f.relation, i);
+  bool HasSupport(const VarFact& f, std::span<const ConstId> t, ConstId v,
+                  ConstId c) const {
+    for (std::uint32_t i : target_.Support(f.rel, f.vpos, c)) {
+      auto bt = b_.Tuple(f.rel, i);
       bool ok = true;
       for (std::size_t p = 0; p < t.size(); ++p) {
-        ConstId av = t[p];
-        ConstId bv = bt[p];
+        const ConstId av = t[p];
+        const ConstId bv = bt[p];
         if (av == v) {
           if (bv != c) {
             ok = false;
             break;
           }
-        } else if (!domains_[av][bv]) {
+        } else if (!HasValue(av, bv)) {
           ok = false;
           break;
         }
@@ -192,12 +324,15 @@ class HomSearch {
     return false;
   }
 
+  // --- Search --------------------------------------------------------------
+
   /// Depth-first MAC search; returns true when the caller should stop.
   bool Search(HomResult* result) {
     // Choose an undecided variable with the smallest domain > 1.
+    const std::size_t n = a_.UniverseSize();
     ConstId branch_var = kInvalidConst;
-    std::size_t best = 0;
-    for (ConstId v = 0; v < domains_.size(); ++v) {
+    std::uint32_t best = 0;
+    for (ConstId v = 0; v < n; ++v) {
       if (domain_size_[v] <= 1) continue;
       if (branch_var == kInvalidConst || domain_size_[v] < best) {
         branch_var = v;
@@ -210,33 +345,46 @@ class HomSearch {
       // All singleton: the GAC fixpoint is a solution.
       ++found_count_;
       if (result->mapping.empty()) {
-        result->mapping.resize(domains_.size());
-        for (ConstId v = 0; v < domains_.size(); ++v) {
-          for (ConstId c = 0; c < domains_[v].size(); ++c) {
-            if (domains_[v][c]) result->mapping[v] = c;
+        result->mapping.resize(n);
+        for (ConstId v = 0; v < n; ++v) {
+          const std::uint64_t* dom = &domains_[v * words_];
+          for (std::size_t wi = 0; wi < words_; ++wi) {
+            if (dom[wi] != 0) {
+              result->mapping[v] = static_cast<ConstId>(
+                  wi * kWordBits +
+                  static_cast<std::size_t>(std::countr_zero(dom[wi])));
+              break;
+            }
           }
         }
       }
       return found_count_ >= options_.max_solutions;
     }
-    for (ConstId c = 0; c < domains_[branch_var].size(); ++c) {
-      if (!domains_[branch_var][c]) continue;
-      if (++nodes_ > options_.node_budget) {
-        exhausted_ = true;
-        return true;
+    // Iterate candidate values from a snapshot of the branch domain: the
+    // live words are mutated by Assign/propagation below, but UndoTo
+    // restores them before the next candidate, so one copy per node
+    // suffices (the old solver copied the whole domain table per node).
+    const std::vector<std::uint64_t> snapshot(
+        domains_.begin() + branch_var * words_,
+        domains_.begin() + (branch_var + 1) * words_);
+    for (std::size_t wi = 0; wi < words_; ++wi) {
+      std::uint64_t bits = snapshot[wi];
+      while (bits != 0) {
+        const int bit = std::countr_zero(bits);
+        bits &= bits - 1;
+        const ConstId c = static_cast<ConstId>(
+            wi * kWordBits + static_cast<std::size_t>(bit));
+        if (++nodes_ > options_.node_budget) {
+          exhausted_ = true;
+          return true;
+        }
+        const std::size_t mark = trail_.size();
+        Assign(branch_var, c);
+        bool ok = PropagateFrom(branch_var);
+        if (ok && Search(result)) return true;
+        ++backtracks_;
+        UndoTo(mark);
       }
-      // Snapshot domains, assign, propagate.
-      std::vector<std::vector<char>> saved_domains = domains_;
-      std::vector<std::size_t> saved_sizes = domain_size_;
-      for (ConstId c2 = 0; c2 < domains_[branch_var].size(); ++c2) {
-        domains_[branch_var][c2] = (c2 == c) ? 1 : 0;
-      }
-      domain_size_[branch_var] = 1;
-      bool ok = Propagate();
-      if (ok && Search(result)) return true;
-      ++backtracks_;
-      domains_ = std::move(saved_domains);
-      domain_size_ = std::move(saved_sizes);
     }
     return false;
   }
@@ -255,14 +403,21 @@ class HomSearch {
   }
 
   const Instance& a_;
+  const CompiledTarget& target_;
   const Instance& b_;
   const HomOptions& options_;
-  /// index_[rel][pos][value] = B-tuple indices with `value` at `pos`.
-  std::vector<std::vector<std::unordered_map<ConstId,
-                                             std::vector<std::uint32_t>>>>
-      index_;
-  std::vector<std::vector<char>> domains_;
-  std::vector<std::size_t> domain_size_;
+
+  std::size_t nb_ = 0;
+  std::size_t words_ = 0;
+  /// Word-packed domains, variable-major: domains_[v*words_ .. +words_).
+  std::vector<std::uint64_t> domains_;
+  std::vector<std::uint32_t> domain_size_;
+  std::vector<std::vector<VarFact>> facts_of_;
+  std::vector<std::vector<ConstId>> neighbours_;
+  std::vector<TrailEntry> trail_;
+  std::vector<ConstId> queue_;
+  std::vector<char> queued_;
+
   std::uint64_t found_count_ = 0;
   std::uint64_t nodes_ = 0;
   std::uint64_t backtracks_ = 0;
@@ -277,44 +432,92 @@ HomResult FindHomomorphism(const Instance& a, const Instance& b,
                            const std::vector<std::pair<ConstId, ConstId>>&
                                pinned,
                            const HomOptions& options) {
+  CompiledTarget target(b);
+  HomSearch search(a, target, options);
+  return search.Run(pinned);
+}
+
+HomResult FindHomomorphism(const Instance& a, const CompiledTarget& b,
+                           const std::vector<std::pair<ConstId, ConstId>>&
+                               pinned,
+                           const HomOptions& options) {
   HomSearch search(a, b, options);
   return search.Run(pinned);
 }
 
-bool HomomorphismExists(const Instance& a, const Instance& b,
-                        const HomOptions& options) {
+base::Result<bool> HomomorphismExists(const Instance& a, const Instance& b,
+                                      const HomOptions& options) {
   HomResult r = FindHomomorphism(a, b, {}, options);
+  if (r.budget_exhausted) {
+    return base::ResourceExhaustedError("homomorphism node budget exhausted");
+  }
+  return r.found;
+}
+
+base::Result<bool> HomomorphismExists(const Instance& a,
+                                      const CompiledTarget& b,
+                                      const HomOptions& options) {
+  HomResult r = FindHomomorphism(a, b, {}, options);
+  if (r.budget_exhausted) {
+    return base::ResourceExhaustedError("homomorphism node budget exhausted");
+  }
+  return r.found;
+}
+
+namespace {
+
+std::vector<std::pair<ConstId, ConstId>> PinMarks(
+    const std::vector<ConstId>& a_marks,
+    const std::vector<ConstId>& b_marks) {
+  OBDA_CHECK_EQ(a_marks.size(), b_marks.size());
+  std::vector<std::pair<ConstId, ConstId>> pinned;
+  pinned.reserve(a_marks.size());
+  for (std::size_t i = 0; i < a_marks.size(); ++i) {
+    pinned.emplace_back(a_marks[i], b_marks[i]);
+  }
+  return pinned;
+}
+
+bool ReportMarkedResult(HomResult r, HomResult* result) {
+  if (result != nullptr) {
+    *result = std::move(r);
+    return result->found;
+  }
   OBDA_CHECK(!r.budget_exhausted);
   return r.found;
 }
 
+}  // namespace
+
 bool MarkedHomomorphismExists(const MarkedInstance& a,
                               const MarkedInstance& b,
                               const HomOptions& options, HomResult* result) {
-  OBDA_CHECK_EQ(a.marks.size(), b.marks.size());
-  std::vector<std::pair<ConstId, ConstId>> pinned;
-  pinned.reserve(a.marks.size());
-  for (std::size_t i = 0; i < a.marks.size(); ++i) {
-    pinned.emplace_back(a.marks[i], b.marks[i]);
-  }
-  HomResult r = FindHomomorphism(a.instance, b.instance, pinned, options);
-  if (result != nullptr) {
-    *result = r;
-  } else {
-    OBDA_CHECK(!r.budget_exhausted);
-  }
-  return r.found;
+  return ReportMarkedResult(
+      FindHomomorphism(a.instance, b.instance, PinMarks(a.marks, b.marks),
+                       options),
+      result);
 }
 
-std::uint64_t CountHomomorphisms(const Instance& a, const Instance& b,
-                                 std::uint64_t limit, HomResult* result) {
+bool MarkedHomomorphismExists(const MarkedInstance& a,
+                              const CompiledTarget& b,
+                              const std::vector<ConstId>& b_marks,
+                              const HomOptions& options, HomResult* result) {
+  return ReportMarkedResult(
+      FindHomomorphism(a.instance, b, PinMarks(a.marks, b_marks), options),
+      result);
+}
+
+base::Result<std::uint64_t> CountHomomorphisms(const Instance& a,
+                                               const Instance& b,
+                                               std::uint64_t limit,
+                                               HomResult* result) {
   HomOptions options;
   options.max_solutions = limit;
   HomResult r = FindHomomorphism(a, b, {}, options);
-  if (result != nullptr) {
-    *result = r;
-  } else {
-    OBDA_CHECK(!r.budget_exhausted);
+  if (result != nullptr) *result = r;
+  if (r.budget_exhausted) {
+    // The partial count in `result` is a valid lower bound.
+    return base::ResourceExhaustedError("homomorphism node budget exhausted");
   }
   return r.solution_count;
 }

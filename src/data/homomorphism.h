@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
+#include "base/status.h"
 #include "data/instance.h"
 
 namespace obda::data {
@@ -33,43 +35,101 @@ struct HomResult {
   std::uint64_t nodes = 0;
 };
 
+/// A target structure B compiled for repeated homomorphism probes: owns
+/// the per-(relation, position, value) support index (CSR layout) the MAC
+/// solver consults on every propagation step. Build it once when the same
+/// B is the target of many searches (template probing, core computation,
+/// obstruction filtering); the solver then skips the O(|B|) index
+/// construction on every call.
+///
+/// Keeps a reference to `b`; the instance must outlive the compiled
+/// target and must not gain facts afterwards.
+class CompiledTarget {
+ public:
+  explicit CompiledTarget(const Instance& b);
+
+  const Instance& instance() const { return *b_; }
+
+  /// Tuple indices of `rel` whose position `pos` holds `value`, ascending.
+  std::span<const std::uint32_t> Support(RelationId rel, int pos,
+                                         ConstId value) const {
+    const PosIndex& idx = index_[rel][static_cast<std::size_t>(pos)];
+    return std::span<const std::uint32_t>(idx.tuples)
+        .subspan(idx.offsets[value], idx.offsets[value + 1] -
+                                         idx.offsets[value]);
+  }
+
+ private:
+  /// CSR index for one (relation, position): tuples grouped by the value
+  /// at that position, offsets[v]..offsets[v+1] delimiting value v.
+  struct PosIndex {
+    std::vector<std::uint32_t> offsets;  // UniverseSize()+1 entries
+    std::vector<std::uint32_t> tuples;
+  };
+
+  const Instance* b_;
+  std::vector<std::vector<PosIndex>> index_;  // [relation][position]
+};
+
 /// Searches for a homomorphism h : A -> B, i.e. a map from the universe of
 /// A to the universe of B such that R(a1..an) in A implies
 /// R(h(a1)..h(an)) in B (paper §4.2). Schemas must be layout-compatible.
 ///
 /// `pinned` fixes h on selected A-constants (used for marked instances and
-/// for answer-variable bindings). Backtracking with unary-projection
-/// prefiltering, dynamic most-constrained-variable ordering, and forward
-/// checking through facts with one unassigned argument.
+/// for answer-variable bindings). The search maintains arc consistency
+/// (MAC) over word-packed bitset domains with trailed, word-granular
+/// backtracking; see DESIGN.md "Solver internals".
 HomResult FindHomomorphism(const Instance& a, const Instance& b,
                            const std::vector<std::pair<ConstId, ConstId>>&
                                pinned = {},
                            const HomOptions& options = HomOptions());
 
-/// True iff some homomorphism A -> B exists. Aborts (OBDA_CHECK) if the
-/// node budget is exhausted — callers that need graceful degradation use
-/// FindHomomorphism directly.
-bool HomomorphismExists(const Instance& a, const Instance& b,
-                        const HomOptions& options = HomOptions());
+/// As above, but reuses a prebuilt support index for B. Preferred whenever
+/// the same target is probed more than once.
+HomResult FindHomomorphism(const Instance& a, const CompiledTarget& b,
+                           const std::vector<std::pair<ConstId, ConstId>>&
+                               pinned = {},
+                           const HomOptions& options = HomOptions());
+
+/// True iff some homomorphism A -> B exists. Budget exhaustion is reported
+/// as a kResourceExhausted error instead of deciding (and instead of
+/// aborting the process, as earlier revisions did) — callers degrade
+/// gracefully or consult FindHomomorphism for partial information.
+base::Result<bool> HomomorphismExists(const Instance& a, const Instance& b,
+                                      const HomOptions& options =
+                                          HomOptions());
+base::Result<bool> HomomorphismExists(const Instance& a,
+                                      const CompiledTarget& b,
+                                      const HomOptions& options =
+                                          HomOptions());
 
 /// Marked version: h must map each mark of `a` to the matching mark of `b`
 /// (paper §4.2, homomorphisms of marked instances). When `result` is
 /// non-null the full search outcome (nodes, budget_exhausted, witness) is
 /// written there and budget exhaustion is reported instead of aborting;
-/// with a null `result` exhaustion aborts (OBDA_CHECK), as for
-/// HomomorphismExists.
+/// with a null `result` exhaustion aborts (OBDA_CHECK).
 bool MarkedHomomorphismExists(const MarkedInstance& a,
                               const MarkedInstance& b,
                               const HomOptions& options = HomOptions(),
                               HomResult* result = nullptr);
 
-/// Counts homomorphisms A -> B, up to `limit`. Same `result` contract as
-/// MarkedHomomorphismExists: pass a HomResult to observe `nodes` /
-/// `budget_exhausted` (in which case the returned count is a lower bound)
-/// instead of aborting on exhaustion.
-std::uint64_t CountHomomorphisms(const Instance& a, const Instance& b,
-                                 std::uint64_t limit,
-                                 HomResult* result = nullptr);
+/// Marked probe against a compiled target: `b_marks` are the marks of the
+/// compiled instance, aligned with `a.marks`. Same `result` contract as
+/// the uncompiled overload.
+bool MarkedHomomorphismExists(const MarkedInstance& a,
+                              const CompiledTarget& b,
+                              const std::vector<ConstId>& b_marks,
+                              const HomOptions& options = HomOptions(),
+                              HomResult* result = nullptr);
+
+/// Counts homomorphisms A -> B, up to `limit`. Budget exhaustion returns
+/// a kResourceExhausted error (the partial count is still written to
+/// `result`, making it a usable lower bound). Pass a HomResult to observe
+/// `nodes` and the witness mapping.
+base::Result<std::uint64_t> CountHomomorphisms(const Instance& a,
+                                               const Instance& b,
+                                               std::uint64_t limit,
+                                               HomResult* result = nullptr);
 
 /// Verifies that `mapping` (indexed by A-constants) is a homomorphism.
 bool IsHomomorphism(const Instance& a, const Instance& b,

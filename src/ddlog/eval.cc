@@ -30,6 +30,9 @@ struct DdlogCounters {
       obs::GetCounter("ddlog.disjunctive_branchings");
   obs::Counter& ground_atoms = obs::GetCounter("ddlog.ground_atoms");
   obs::Counter& certain_checks = obs::GetCounter("ddlog.certain_checks");
+  /// Join indexes materialized by the grounder (one per distinct
+  /// (relation, bound-position pattern) probed during grounding).
+  obs::Counter& index_builds = obs::GetCounter("ddlog.index_builds");
   obs::TimerStat& ground = obs::GetTimer("ddlog.ground");
 
   static DdlogCounters& Get() {
@@ -49,6 +52,41 @@ struct GroundedQuery::Impl {
   std::vector<ConstId> adom;
   EvalOptions options;
   std::uint64_t clause_count = 0;
+  /// Join indexes, built lazily per (relation, bound-position mask):
+  /// packed values at the masked positions -> matching tuple indices.
+  /// Keyed by (rel << 32) | mask.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<AtomKey, std::vector<std::uint32_t>,
+                                        base::VectorHash<std::uint32_t>>>
+      join_indexes;
+
+  /// Tuple indices of `rel` whose masked positions carry exactly the
+  /// values in `key` (in position order). Returns nullptr when no tuple
+  /// matches. Builds the index for this (rel, mask) on first probe.
+  const std::vector<std::uint32_t>* ProbeJoinIndex(data::RelationId rel,
+                                                   std::uint32_t mask,
+                                                   const AtomKey& key) {
+    const std::uint64_t slot = (static_cast<std::uint64_t>(rel) << 32) | mask;
+    auto it = join_indexes.find(slot);
+    if (it == join_indexes.end()) {
+      it = join_indexes.emplace(slot, decltype(join_indexes)::mapped_type())
+               .first;
+      const std::size_t num_tuples = instance->NumTuples(rel);
+      AtomKey packed;
+      for (std::uint32_t t = 0; t < num_tuples; ++t) {
+        auto tuple = instance->Tuple(rel, t);
+        packed.clear();
+        for (std::size_t p = 0; p < tuple.size(); ++p) {
+          if ((mask >> p) & 1u) packed.push_back(tuple[p]);
+        }
+        it->second[packed].push_back(t);
+      }
+      DdlogCounters::Get().index_builds.Add(1);
+    }
+    auto bucket = it->second.find(key);
+    if (bucket == it->second.end()) return nullptr;
+    return &bucket->second;
+  }
 
   sat::Var VarFor(PredId pred, const std::vector<ConstId>& args) {
     AtomKey key;
@@ -99,6 +137,42 @@ struct GroundedQuery::Impl {
     for (const Atom& a : rule.body) {
       if (program->IsEdb(a.pred)) edb_atoms.push_back(&a);
     }
+    // Greedy selectivity order: repeatedly pick the atom with the most
+    // positions bound by already-ordered atoms (ties: smaller relation,
+    // so the first pick is the smallest relation). Bound positions turn
+    // the per-depth scan in GroundEdb into an index lookup. The set of
+    // enumerated substitutions is order-independent.
+    {
+      std::vector<const Atom*> ordered;
+      ordered.reserve(edb_atoms.size());
+      std::vector<bool> used(edb_atoms.size(), false);
+      std::vector<bool> var_bound(static_cast<std::size_t>(num_vars), false);
+      for (std::size_t step = 0; step < edb_atoms.size(); ++step) {
+        std::size_t best = edb_atoms.size();
+        std::size_t best_bound = 0;
+        std::size_t best_tuples = 0;
+        for (std::size_t i = 0; i < edb_atoms.size(); ++i) {
+          if (used[i]) continue;
+          std::size_t bound = 0;
+          for (VarId v : edb_atoms[i]->vars) {
+            if (var_bound[static_cast<std::size_t>(v)]) ++bound;
+          }
+          const std::size_t tuples = instance->NumTuples(edb_atoms[i]->pred);
+          if (best == edb_atoms.size() || bound > best_bound ||
+              (bound == best_bound && tuples < best_tuples)) {
+            best = i;
+            best_bound = bound;
+            best_tuples = tuples;
+          }
+        }
+        used[best] = true;
+        ordered.push_back(edb_atoms[best]);
+        for (VarId v : edb_atoms[best]->vars) {
+          var_bound[static_cast<std::size_t>(v)] = true;
+        }
+      }
+      edb_atoms = std::move(ordered);
+    }
     std::vector<VarId> free_vars;  // vars not bound by any EDB atom
     {
       std::vector<bool> in_edb(static_cast<std::size_t>(num_vars), false);
@@ -120,8 +194,32 @@ struct GroundedQuery::Impl {
     }
     const Atom& a = *edb_atoms[index];
     const data::RelationId rel = a.pred;  // EDB ids coincide with schema ids
-    const std::size_t num_tuples = instance->NumTuples(rel);
-    for (std::uint32_t t = 0; t < num_tuples; ++t) {
+    // Probe the join index on the positions already bound by the partial
+    // substitution (a variable repeated within this atom is bound by the
+    // check loop below, not the mask). Mask-free atoms fall back to a
+    // full scan; arities beyond the mask width are not expected but kept
+    // correct the same way.
+    std::uint32_t mask = 0;
+    AtomKey key;
+    if (a.vars.size() <= 32) {
+      for (std::size_t p = 0; p < a.vars.size(); ++p) {
+        ConstId cur = (*sub)[static_cast<std::size_t>(a.vars[p])];
+        if (cur != data::kInvalidConst) {
+          mask |= 1u << p;
+          key.push_back(cur);
+        }
+      }
+    }
+    const std::vector<std::uint32_t>* candidates = nullptr;
+    if (mask != 0) {
+      candidates = ProbeJoinIndex(rel, mask, key);
+      if (candidates == nullptr) return true;  // no tuple matches
+    }
+    const std::size_t num_candidates =
+        candidates ? candidates->size() : instance->NumTuples(rel);
+    for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+      const std::uint32_t t =
+          candidates ? (*candidates)[ci] : static_cast<std::uint32_t>(ci);
       auto tuple = instance->Tuple(rel, t);
       bool ok = true;
       std::vector<std::pair<VarId, ConstId>> bound;
@@ -206,6 +304,10 @@ base::Result<bool> GroundedQuery::CertainlyHolds(
   return outcome == sat::SatOutcome::kUnsat;
 }
 
+const std::vector<ConstId>& GroundedQuery::ActiveDomain() const {
+  return impl_->adom;
+}
+
 base::Result<bool> GroundedQuery::HasModel() {
   Impl& impl = *impl_;
   sat::SatOutcome outcome = impl.solver.Solve({}, impl.options.max_decisions);
@@ -227,15 +329,15 @@ base::Result<Answers> CertainAnswers(const Program& program,
   answers.inconsistent = !*has_model;
 
   const int arity = program.QueryArity();
-  const std::vector<ConstId> adom = instance.ActiveDomain();
+  // Build already computed the active domain; reuse it.
+  const std::vector<ConstId>& adom = grounded->ActiveDomain();
 
   // Enumerate adom^arity candidate tuples.
   std::vector<std::size_t> idx(static_cast<std::size_t>(arity), 0);
   if (arity > 0 && adom.empty()) return answers;
+  std::vector<ConstId> tuple(static_cast<std::size_t>(arity));
   for (;;) {
-    std::vector<ConstId> tuple;
-    tuple.reserve(arity);
-    for (int i = 0; i < arity; ++i) tuple.push_back(adom[idx[i]]);
+    for (int i = 0; i < arity; ++i) tuple[i] = adom[idx[i]];
     auto holds = grounded->CertainlyHolds(tuple);
     if (!holds.ok()) return holds.status();
     if (*holds) answers.tuples.push_back(tuple);

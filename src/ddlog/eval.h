@@ -51,6 +51,10 @@ class GroundedQuery {
   /// Whether any model exists at all.
   base::Result<bool> HasModel();
 
+  /// The active domain of the grounded instance, computed once at Build
+  /// time and shared with callers enumerating candidate tuples.
+  const std::vector<data::ConstId>& ActiveDomain() const;
+
   std::size_t num_ground_clauses() const { return num_clauses_; }
   std::size_t num_ground_atoms() const { return num_atoms_; }
 

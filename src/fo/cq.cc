@@ -50,37 +50,60 @@ data::MarkedInstance ConjunctiveQuery::CanonicalInstance() const {
   return out;
 }
 
-bool ConjunctiveQuery::Matches(const data::Instance& instance,
-                               const std::vector<data::ConstId>& answer)
-    const {
-  OBDA_CHECK_EQ(static_cast<int>(answer.size()), arity_);
-  data::MarkedInstance canon = CanonicalInstance();
+namespace {
+
+/// Probes one candidate answer against a prebuilt canonical instance and
+/// compiled target, so Evaluate pays for neither per tuple.
+bool MatchesCanon(const data::MarkedInstance& canon,
+                  const data::CompiledTarget& target,
+                  const std::vector<data::ConstId>& answer) {
   std::vector<std::pair<data::ConstId, data::ConstId>> pinned;
-  for (int i = 0; i < arity_; ++i) {
+  pinned.reserve(answer.size());
+  for (std::size_t i = 0; i < answer.size(); ++i) {
     pinned.emplace_back(canon.marks[i], answer[i]);
   }
   data::HomResult r =
-      data::FindHomomorphism(canon.instance, instance, pinned);
+      data::FindHomomorphism(canon.instance, target, pinned);
   OBDA_CHECK(!r.budget_exhausted);
   return r.found;
 }
 
+}  // namespace
+
+bool ConjunctiveQuery::Matches(const data::Instance& instance,
+                               const std::vector<data::ConstId>& answer)
+    const {
+  return Matches(data::CompiledTarget(instance), answer);
+}
+
+bool ConjunctiveQuery::Matches(const data::CompiledTarget& target,
+                               const std::vector<data::ConstId>& answer)
+    const {
+  OBDA_CHECK_EQ(static_cast<int>(answer.size()), arity_);
+  return MatchesCanon(CanonicalInstance(), target, answer);
+}
+
 std::vector<std::vector<data::ConstId>> ConjunctiveQuery::Evaluate(
     const data::Instance& instance) const {
+  return Evaluate(data::CompiledTarget(instance));
+}
+
+std::vector<std::vector<data::ConstId>> ConjunctiveQuery::Evaluate(
+    const data::CompiledTarget& target) const {
   std::vector<std::vector<data::ConstId>> out;
-  const std::vector<data::ConstId> adom = instance.ActiveDomain();
+  const data::MarkedInstance canon = CanonicalInstance();
+  const std::vector<data::ConstId> adom = target.instance().ActiveDomain();
   if (arity_ == 0) {
-    if (Matches(instance, {})) out.push_back({});
+    if (MatchesCanon(canon, target, {})) out.push_back({});
     return out;
   }
   if (adom.empty()) return out;
   // Odometer over adom^arity.
   std::vector<std::size_t> idx(static_cast<std::size_t>(arity_), 0);
+  std::vector<data::ConstId> tuple(static_cast<std::size_t>(arity_));
   for (;;) {
-    std::vector<data::ConstId> tuple;
-    tuple.reserve(arity_);
-    for (int i = 0; i < arity_; ++i) tuple.push_back(adom[idx[i]]);
-    if (Matches(instance, tuple)) out.push_back(tuple);
+    for (int i = 0; i < arity_; ++i) tuple[i] = adom[idx[i]];
+    if (MatchesCanon(canon, target, tuple)) out.push_back(tuple);
     int pos = arity_ - 1;
     while (pos >= 0 && ++idx[pos] == adom.size()) {
       idx[pos] = 0;
@@ -180,9 +203,14 @@ void UnionOfCq::AddDisjunct(ConjunctiveQuery cq) {
 
 std::vector<std::vector<data::ConstId>> UnionOfCq::Evaluate(
     const data::Instance& instance) const {
+  return Evaluate(data::CompiledTarget(instance));
+}
+
+std::vector<std::vector<data::ConstId>> UnionOfCq::Evaluate(
+    const data::CompiledTarget& target) const {
   std::vector<std::vector<data::ConstId>> out;
   for (const ConjunctiveQuery& cq : disjuncts_) {
-    auto part = cq.Evaluate(instance);
+    auto part = cq.Evaluate(target);
     out.insert(out.end(), part.begin(), part.end());
   }
   std::sort(out.begin(), out.end());
@@ -192,8 +220,13 @@ std::vector<std::vector<data::ConstId>> UnionOfCq::Evaluate(
 
 bool UnionOfCq::Matches(const data::Instance& instance,
                         const std::vector<data::ConstId>& answer) const {
+  return Matches(data::CompiledTarget(instance), answer);
+}
+
+bool UnionOfCq::Matches(const data::CompiledTarget& target,
+                        const std::vector<data::ConstId>& answer) const {
   for (const ConjunctiveQuery& cq : disjuncts_) {
-    if (cq.Matches(instance, answer)) return true;
+    if (cq.Matches(target, answer)) return true;
   }
   return false;
 }

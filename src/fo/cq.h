@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "base/status.h"
+#include "data/homomorphism.h"
 #include "data/instance.h"
 #include "data/schema.h"
 
@@ -54,9 +55,18 @@ class ConjunctiveQuery {
   std::vector<std::vector<data::ConstId>> Evaluate(
       const data::Instance& instance) const;
 
+  /// As above, against a precompiled target of the instance. Preferred
+  /// when several queries are evaluated on the same instance: the
+  /// canonical instance is built once and the target's support index is
+  /// shared across all candidate tuples.
+  std::vector<std::vector<data::ConstId>> Evaluate(
+      const data::CompiledTarget& target) const;
+
   /// True if some assignment maps the query into `instance` with answer
   /// variables bound to `answer`.
   bool Matches(const data::Instance& instance,
+               const std::vector<data::ConstId>& answer) const;
+  bool Matches(const data::CompiledTarget& target,
                const std::vector<data::ConstId>& answer) const;
 
   /// Returns a copy with variables identified per `representative`
@@ -96,8 +106,13 @@ class UnionOfCq {
 
   std::vector<std::vector<data::ConstId>> Evaluate(
       const data::Instance& instance) const;
+  /// Shares one compiled target across all disjuncts.
+  std::vector<std::vector<data::ConstId>> Evaluate(
+      const data::CompiledTarget& target) const;
 
   bool Matches(const data::Instance& instance,
+               const std::vector<data::ConstId>& answer) const;
+  bool Matches(const data::CompiledTarget& target,
                const std::vector<data::ConstId>& answer) const;
 
   std::size_t SymbolSize() const;

@@ -211,7 +211,7 @@ TEST(ConsistencyTest, ArcConsistencyIncompleteForK2) {
   Instance k2 = data::Clique("E", 2);
   Instance c5 = data::DirectedCycle("E", 5);
   EXPECT_FALSE(ArcConsistencyRefutes(c5, k2));
-  EXPECT_FALSE(data::HomomorphismExists(c5, k2));
+  EXPECT_FALSE(*data::HomomorphismExists(c5, k2));
 }
 
 TEST(ConsistencyTest, PairwiseConsistencyCompleteForK2) {
@@ -220,7 +220,7 @@ TEST(ConsistencyTest, PairwiseConsistencyCompleteForK2) {
   base::Rng rng(11);
   for (int trial = 0; trial < 20; ++trial) {
     Instance d = data::RandomDigraph("E", 6, 8, rng);
-    bool hom = data::HomomorphismExists(d, k2);
+    bool hom = *data::HomomorphismExists(d, k2);
     bool refuted = PairwiseConsistencyRefutes(d, k2);
     EXPECT_EQ(hom, !refuted) << "trial " << trial;
   }
@@ -234,7 +234,7 @@ TEST(ConsistencyTest, PairwiseSoundOnK3) {
   for (int trial = 0; trial < 15; ++trial) {
     Instance d = data::RandomDigraph("E", 6, 14, rng);
     if (PairwiseConsistencyRefutes(d, k3)) {
-      EXPECT_FALSE(data::HomomorphismExists(d, k3));
+      EXPECT_FALSE(*data::HomomorphismExists(d, k3));
     }
   }
 }
@@ -251,7 +251,7 @@ TEST(ConsistencyTest, CanonicalProgramMatchesAcOnTreeDualTemplate) {
     auto result = ddlog::EvaluateDatalog(*program, d);
     ASSERT_TRUE(result.ok());
     bool goal_derived = !result->goal_tuples.empty();
-    EXPECT_EQ(goal_derived, !data::HomomorphismExists(d, b))
+    EXPECT_EQ(goal_derived, !*data::HomomorphismExists(d, b))
         << "trial " << trial;
   }
 }
@@ -277,7 +277,7 @@ TEST(ObstructionTest, PathTemplateObstructionIsLongerPath) {
   ASSERT_TRUE(obstructions.ok()) << obstructions.status().ToString();
   ASSERT_EQ(obstructions->size(), 1u);
   EXPECT_EQ((*obstructions)[0].NumFacts(), 2u);  // path of length 2
-  EXPECT_FALSE(data::HomomorphismExists((*obstructions)[0], b));
+  EXPECT_FALSE(*data::HomomorphismExists((*obstructions)[0], b));
 }
 
 TEST(ObstructionTest, ObstructionSetDecidesCsp) {
@@ -290,10 +290,10 @@ TEST(ObstructionTest, ObstructionSetDecidesCsp) {
   base::Rng rng(23);
   for (int trial = 0; trial < 20; ++trial) {
     Instance d = data::RandomDigraph("E", 5, 5, rng);
-    bool hom = data::HomomorphismExists(d, b);
+    bool hom = *data::HomomorphismExists(d, b);
     bool obstructed = false;
     for (const Instance& t : *obstructions) {
-      if (data::HomomorphismExists(t, d)) obstructed = true;
+      if (*data::HomomorphismExists(t, d)) obstructed = true;
     }
     EXPECT_EQ(hom, !obstructed) << "trial " << trial;
   }
@@ -360,7 +360,7 @@ TEST_P(CspPropertyTest, AcWeakerThanPairwiseWeakerThanHom) {
   base::Rng rng(GetParam());
   Instance b = data::RandomDigraph("E", 3, 4, rng);
   Instance d = data::RandomDigraph("E", 5, 7, rng);
-  bool hom = data::HomomorphismExists(d, b);
+  bool hom = *data::HomomorphismExists(d, b);
   bool ac = ArcConsistencyRefutes(d, b);
   bool pc = PairwiseConsistencyRefutes(d, b);
   if (hom) {
@@ -382,10 +382,10 @@ TEST_P(CspPropertyTest, FoDefinableImpliesFiniteDualityBehaviour) {
   if (!obstructions.ok()) GTEST_SKIP() << "budget";
   for (int trial = 0; trial < 6; ++trial) {
     Instance d = data::RandomDigraph("E", 4, 5, rng);
-    bool hom = data::HomomorphismExists(d, b);
+    bool hom = *data::HomomorphismExists(d, b);
     bool obstructed = false;
     for (const Instance& t : *obstructions) {
-      if (data::HomomorphismExists(t, d)) obstructed = true;
+      if (*data::HomomorphismExists(t, d)) obstructed = true;
     }
     if (!hom) {
       // Obstruction sets within a bound may miss big obstructions, but an
@@ -409,11 +409,11 @@ using data::Instance;
 TEST(TreeDualityTest, KnownTemplates) {
   // P_k and T_3 have tree duality (their obstructions are trees);
   // K2/K3 do not (odd cycles / non-tree obstructions).
-  EXPECT_TRUE(HasTreeDuality(data::DirectedPath("E", 1)));
-  EXPECT_TRUE(HasTreeDuality(data::DirectedPath("E", 2)));
-  EXPECT_TRUE(HasTreeDuality(data::Loop("E")));
-  EXPECT_FALSE(HasTreeDuality(data::Clique("E", 2)));
-  EXPECT_FALSE(HasTreeDuality(data::Clique("E", 3)));
+  EXPECT_TRUE(*HasTreeDuality(data::DirectedPath("E", 1)));
+  EXPECT_TRUE(*HasTreeDuality(data::DirectedPath("E", 2)));
+  EXPECT_TRUE(*HasTreeDuality(data::Loop("E")));
+  EXPECT_FALSE(*HasTreeDuality(data::Clique("E", 2)));
+  EXPECT_FALSE(*HasTreeDuality(data::Clique("E", 3)));
 }
 
 TEST(TreeDualityTest, PowerStructureShape) {
@@ -432,10 +432,10 @@ TEST(TreeDualityTest, TreeDualityMatchesArcConsistencyCompleteness) {
   // K2 we know AC is incomplete (odd cycles).
   base::Rng rng(71);
   Instance p2 = data::DirectedPath("E", 2);
-  ASSERT_TRUE(HasTreeDuality(p2));
+  ASSERT_TRUE(*HasTreeDuality(p2));
   for (int trial = 0; trial < 12; ++trial) {
     Instance d = data::RandomDigraph("E", 5, 6, rng);
-    EXPECT_EQ(!data::HomomorphismExists(d, p2),
+    EXPECT_EQ(!*data::HomomorphismExists(d, p2),
               ArcConsistencyRefutes(d, p2))
         << "trial " << trial;
   }

@@ -160,25 +160,25 @@ TEST(HomTest, PathMapsIntoCycleAndLoop) {
   // loop; it does NOT map into a single directed edge (no edge out of the
   // edge's head).
   Instance path = DirectedPath("E", 2);
-  EXPECT_TRUE(HomomorphismExists(path, DirectedCycle("E", 2)));
-  EXPECT_TRUE(HomomorphismExists(path, Loop("E")));
-  EXPECT_FALSE(HomomorphismExists(path, DirectedPath("E", 1)));
+  EXPECT_TRUE(*HomomorphismExists(path, DirectedCycle("E", 2)));
+  EXPECT_TRUE(*HomomorphismExists(path, Loop("E")));
+  EXPECT_FALSE(*HomomorphismExists(path, DirectedPath("E", 1)));
   // An edge maps into a path.
-  EXPECT_TRUE(HomomorphismExists(DirectedPath("E", 1), path));
+  EXPECT_TRUE(*HomomorphismExists(DirectedPath("E", 1), path));
 }
 
 TEST(HomTest, OddCycleToK2Fails) {
   Instance c3 = DirectedCycle("E", 3);
   Instance k2 = Clique("E", 2);
-  EXPECT_FALSE(HomomorphismExists(c3, k2));
+  EXPECT_FALSE(*HomomorphismExists(c3, k2));
   Instance c4 = DirectedCycle("E", 4);
-  EXPECT_TRUE(HomomorphismExists(c4, k2));
+  EXPECT_TRUE(*HomomorphismExists(c4, k2));
 }
 
 TEST(HomTest, K3ColorsTriangleButNotK4) {
   Instance k3 = Clique("E", 3);
-  EXPECT_TRUE(HomomorphismExists(DirectedCycle("E", 3), k3));
-  EXPECT_FALSE(HomomorphismExists(Clique("E", 4), k3));
+  EXPECT_TRUE(*HomomorphismExists(DirectedCycle("E", 3), k3));
+  EXPECT_FALSE(*HomomorphismExists(Clique("E", 4), k3));
 }
 
 TEST(HomTest, WitnessIsValid) {
@@ -221,17 +221,17 @@ TEST(HomTest, CountHomomorphisms) {
   Instance single(s);
   single.AddConstant("x");
   Instance k3 = Clique("E", 3);
-  EXPECT_EQ(CountHomomorphisms(single, k3, 100), 3u);
+  EXPECT_EQ(*CountHomomorphisms(single, k3, 100), 3u);
   // Edge into K3: 6 homs.
-  EXPECT_EQ(CountHomomorphisms(DirectedPath("E", 1), k3, 100), 6u);
+  EXPECT_EQ(*CountHomomorphisms(DirectedPath("E", 1), k3, 100), 6u);
 }
 
 TEST(HomTest, EmptySourceHasTrivialHom) {
   Schema s = GraphSchema();
   Instance empty(s);
   Instance k3 = Clique("E", 3);
-  EXPECT_TRUE(HomomorphismExists(empty, k3));
-  EXPECT_TRUE(HomomorphismExists(empty, empty));
+  EXPECT_TRUE(*HomomorphismExists(empty, k3));
+  EXPECT_TRUE(*HomomorphismExists(empty, empty));
 }
 
 TEST(HomTest, NonemptySourceEmptyTargetFails) {
@@ -239,7 +239,7 @@ TEST(HomTest, NonemptySourceEmptyTargetFails) {
   Instance src(s);
   src.AddConstant("x");
   Instance empty(s);
-  EXPECT_FALSE(HomomorphismExists(src, empty));
+  EXPECT_FALSE(*HomomorphismExists(src, empty));
 }
 
 TEST(HomTest, ZeroAryFactRequiresTargetFact) {
@@ -248,9 +248,9 @@ TEST(HomTest, ZeroAryFactRequiresTargetFact) {
   Instance a(s);
   a.AddFact(0, {});
   Instance b(s);
-  EXPECT_FALSE(HomomorphismExists(a, b));
+  EXPECT_FALSE(*HomomorphismExists(a, b));
   b.AddFact(0, {});
-  EXPECT_TRUE(HomomorphismExists(a, b));
+  EXPECT_TRUE(*HomomorphismExists(a, b));
 }
 
 // --- Ops -------------------------------------------------------------------
@@ -262,8 +262,8 @@ TEST(OpsTest, DisjointUnionAddsUp) {
   EXPECT_EQ(u.NumFacts(), a.NumFacts() + b.NumFacts());
   EXPECT_EQ(u.UniverseSize(), a.UniverseSize() + b.UniverseSize());
   // Components map back into their originals.
-  EXPECT_TRUE(HomomorphismExists(a, u));
-  EXPECT_TRUE(HomomorphismExists(b, u));
+  EXPECT_TRUE(*HomomorphismExists(a, u));
+  EXPECT_TRUE(*HomomorphismExists(b, u));
 }
 
 TEST(OpsTest, ProductProjectsToFactors) {
@@ -271,8 +271,8 @@ TEST(OpsTest, ProductProjectsToFactors) {
   Instance b = DirectedCycle("E", 3);
   Instance p = DirectProduct(a, b);
   EXPECT_EQ(p.UniverseSize(), 6u);
-  EXPECT_TRUE(HomomorphismExists(p, a));
-  EXPECT_TRUE(HomomorphismExists(p, b));
+  EXPECT_TRUE(*HomomorphismExists(p, a));
+  EXPECT_TRUE(*HomomorphismExists(p, b));
 }
 
 TEST(OpsTest, ProductUniversalProperty) {
@@ -280,9 +280,9 @@ TEST(OpsTest, ProductUniversalProperty) {
   Instance c = DirectedPath("E", 3);
   Instance a = Clique("E", 2);
   Instance b = Clique("E", 3);
-  ASSERT_TRUE(HomomorphismExists(c, a));
-  ASSERT_TRUE(HomomorphismExists(c, b));
-  EXPECT_TRUE(HomomorphismExists(c, DirectProduct(a, b)));
+  ASSERT_TRUE(*HomomorphismExists(c, a));
+  ASSERT_TRUE(*HomomorphismExists(c, b));
+  EXPECT_TRUE(*HomomorphismExists(c, DirectProduct(a, b)));
 }
 
 TEST(OpsTest, QuotientCollapses) {
@@ -306,8 +306,8 @@ TEST(OpsTest, CoreOfUnionOfCompatibleCycles) {
   Instance u = DisjointUnion(DirectedCycle("E", 3), DirectedCycle("E", 6));
   Instance core = CoreOf(u);
   EXPECT_EQ(core.UniverseSize(), 3u);
-  EXPECT_TRUE(HomomorphismExists(u, core));
-  EXPECT_TRUE(HomomorphismExists(core, u));
+  EXPECT_TRUE(*HomomorphismExists(u, core));
+  EXPECT_TRUE(*HomomorphismExists(core, u));
 }
 
 TEST(OpsTest, CoreOfCliqueIsItself) {
@@ -359,15 +359,15 @@ TEST_P(HomPropertyTest, IdentityIsHomomorphism) {
   std::vector<ConstId> id(a.UniverseSize());
   for (ConstId x = 0; x < a.UniverseSize(); ++x) id[x] = x;
   EXPECT_TRUE(IsHomomorphism(a, a, id));
-  EXPECT_TRUE(HomomorphismExists(a, a));
+  EXPECT_TRUE(*HomomorphismExists(a, a));
 }
 
 TEST_P(HomPropertyTest, CoreIsHomEquivalent) {
   base::Rng rng(GetParam() + 2000);
   Instance a = RandomDigraph("E", 5, 7, rng);
   Instance core = CoreOf(a);
-  EXPECT_TRUE(HomomorphismExists(a, core));
-  EXPECT_TRUE(HomomorphismExists(core, a));
+  EXPECT_TRUE(*HomomorphismExists(a, core));
+  EXPECT_TRUE(*HomomorphismExists(core, a));
   // The core is itself a core: no further shrink possible.
   EXPECT_EQ(CoreOf(core).UniverseSize(), core.UniverseSize());
 }
@@ -377,8 +377,8 @@ TEST_P(HomPropertyTest, ProductIsGreatestLowerBound) {
   Instance a = RandomDigraph("E", 4, 6, rng);
   Instance b = RandomDigraph("E", 4, 6, rng);
   Instance p = DirectProduct(a, b);
-  EXPECT_TRUE(HomomorphismExists(p, a));
-  EXPECT_TRUE(HomomorphismExists(p, b));
+  EXPECT_TRUE(*HomomorphismExists(p, a));
+  EXPECT_TRUE(*HomomorphismExists(p, b));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HomPropertyTest, ::testing::Range(0, 12));

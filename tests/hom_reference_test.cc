@@ -1,0 +1,240 @@
+// Randomized differential test of the MAC homomorphism solver against a
+// brute-force reference enumerator. Instances are kept small enough that
+// exhaustive enumeration of all |B|^|A| mappings is cheap, then the
+// solver's existence verdict, solution count, witness mappings, pinned
+// search and marked search are all checked pair by pair, for both the
+// Instance and the CompiledTarget entry points.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "data/generator.h"
+#include "data/homomorphism.h"
+#include "data/instance.h"
+#include "data/schema.h"
+
+namespace obda::data {
+namespace {
+
+struct BruteResult {
+  bool exists = false;
+  std::uint64_t count = 0;
+};
+
+/// Enumerates every mapping universe(A) -> universe(B) compatible with
+/// `pinned` and counts the homomorphisms among them.
+BruteResult BruteForce(
+    const Instance& a, const Instance& b,
+    const std::vector<std::pair<ConstId, ConstId>>& pinned = {}) {
+  BruteResult out;
+  const std::size_t n = a.UniverseSize();
+  const std::size_t m = b.UniverseSize();
+  std::vector<ConstId> mapping(n, 0);
+  std::vector<bool> is_pinned(n, false);
+  for (const auto& [av, bv] : pinned) {
+    // Contradictory double-pins admit no mapping at all.
+    if (is_pinned[av] && mapping[av] != bv) return out;
+    mapping[av] = bv;
+    is_pinned[av] = true;
+  }
+  if (n == 0) {
+    out.exists = IsHomomorphism(a, b, mapping);
+    out.count = out.exists ? 1 : 0;
+    return out;
+  }
+  if (m == 0) return out;
+  for (;;) {
+    if (IsHomomorphism(a, b, mapping)) {
+      out.exists = true;
+      ++out.count;
+    }
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (is_pinned[pos]) {
+        ++pos;
+        continue;
+      }
+      if (++mapping[pos] < m) break;
+      mapping[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return out;
+}
+
+/// A random schema with 1-3 relations of arity 1-3.
+Schema RandomSchema(base::Rng& rng) {
+  Schema s;
+  const int num_rels = rng.IntIn(1, 3);
+  for (int r = 0; r < num_rels; ++r) {
+    s.AddRelation("R" + std::to_string(r), rng.IntIn(1, 3));
+  }
+  return s;
+}
+
+Instance RandomSmallInstance(const Schema& s, int max_constants,
+                             int max_facts, base::Rng& rng) {
+  RandomInstanceOptions opts;
+  opts.num_constants = static_cast<std::size_t>(rng.IntIn(1, max_constants));
+  opts.facts_per_relation = static_cast<std::size_t>(rng.IntIn(0, max_facts));
+  return RandomInstance(s, opts, rng);
+}
+
+void CheckWitness(const Instance& a, const Instance& b, const HomResult& r) {
+  ASSERT_TRUE(r.found);
+  ASSERT_EQ(r.mapping.size(), a.UniverseSize());
+  EXPECT_TRUE(IsHomomorphism(a, b, r.mapping));
+}
+
+TEST(HomReferenceTest, RandomPairsExistenceAndCount) {
+  base::Rng rng(20260807);
+  int found = 0;
+  for (int trial = 0; trial < 250; ++trial) {
+    Schema s = RandomSchema(rng);
+    Instance a = RandomSmallInstance(s, 5, 8, rng);
+    Instance b = RandomSmallInstance(s, 5, 10, rng);
+    const BruteResult ref = BruteForce(a, b);
+
+    HomResult r = FindHomomorphism(a, b);
+    ASSERT_FALSE(r.budget_exhausted);
+    EXPECT_EQ(r.found, ref.exists) << "trial " << trial;
+    if (r.found) {
+      CheckWitness(a, b, r);
+      ++found;
+    }
+
+    // The compiled-target overload must agree bit for bit.
+    CompiledTarget target(b);
+    HomResult rc = FindHomomorphism(a, target);
+    EXPECT_EQ(rc.found, ref.exists) << "trial " << trial;
+    if (rc.found) CheckWitness(a, b, rc);
+
+    auto exists = HomomorphismExists(a, target);
+    ASSERT_TRUE(exists.ok());
+    EXPECT_EQ(*exists, ref.exists) << "trial " << trial;
+
+    HomResult count_result;
+    auto count = CountHomomorphisms(a, b, 10'000, &count_result);
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(*count, ref.count) << "trial " << trial;
+    if (ref.exists) CheckWitness(a, b, count_result);
+  }
+  // The generator parameters should produce a healthy mix of positive and
+  // negative pairs; guard against a degenerate distribution.
+  EXPECT_GT(found, 25);
+  EXPECT_LT(found, 225);
+}
+
+TEST(HomReferenceTest, RandomPairsPinned) {
+  base::Rng rng(4242);
+  for (int trial = 0; trial < 150; ++trial) {
+    Schema s = RandomSchema(rng);
+    Instance a = RandomSmallInstance(s, 5, 6, rng);
+    Instance b = RandomSmallInstance(s, 5, 10, rng);
+    std::vector<std::pair<ConstId, ConstId>> pinned;
+    const int num_pins = rng.IntIn(1, 2);
+    for (int p = 0; p < num_pins; ++p) {
+      pinned.emplace_back(
+          static_cast<ConstId>(rng.Below(a.UniverseSize())),
+          static_cast<ConstId>(rng.Below(b.UniverseSize())));
+    }
+    const BruteResult ref = BruteForce(a, b, pinned);
+
+    HomResult r = FindHomomorphism(a, b, pinned);
+    ASSERT_FALSE(r.budget_exhausted);
+    EXPECT_EQ(r.found, ref.exists) << "trial " << trial;
+    if (r.found) {
+      CheckWitness(a, b, r);
+      // Reaching here means the pins were consistent (contradictory pins
+      // admit no mapping), so the witness must honour every one of them.
+      for (const auto& [av, bv] : pinned) {
+        EXPECT_EQ(r.mapping[av], bv) << "trial " << trial;
+      }
+    }
+
+    CompiledTarget target(b);
+    HomResult rc = FindHomomorphism(a, target, pinned);
+    EXPECT_EQ(rc.found, ref.exists) << "trial " << trial;
+  }
+}
+
+TEST(HomReferenceTest, RandomPairsMarked) {
+  base::Rng rng(777);
+  for (int trial = 0; trial < 150; ++trial) {
+    Schema s = RandomSchema(rng);
+    MarkedInstance a{RandomSmallInstance(s, 5, 6, rng), {}};
+    MarkedInstance b{RandomSmallInstance(s, 5, 10, rng), {}};
+    const int num_marks = rng.IntIn(1, 2);
+    for (int k = 0; k < num_marks; ++k) {
+      a.marks.push_back(
+          static_cast<ConstId>(rng.Below(a.instance.UniverseSize())));
+      b.marks.push_back(
+          static_cast<ConstId>(rng.Below(b.instance.UniverseSize())));
+    }
+    std::vector<std::pair<ConstId, ConstId>> pinned;
+    for (int k = 0; k < num_marks; ++k) {
+      pinned.emplace_back(a.marks[k], b.marks[k]);
+    }
+    const BruteResult ref = BruteForce(a.instance, b.instance, pinned);
+
+    HomResult r;
+    EXPECT_EQ(MarkedHomomorphismExists(a, b, HomOptions(), &r), ref.exists)
+        << "trial " << trial;
+    if (ref.exists) CheckWitness(a.instance, b.instance, r);
+
+    CompiledTarget target(b.instance);
+    EXPECT_EQ(MarkedHomomorphismExists(a, target, b.marks), ref.exists)
+        << "trial " << trial;
+  }
+}
+
+TEST(HomReferenceTest, CompiledTargetReuseAcrossSources) {
+  // One target, many sources: the reuse pattern the compiled form exists
+  // for. Verdicts must match fresh single-shot searches.
+  base::Rng rng(99);
+  Schema s;
+  s.AddRelation("E", 2);
+  Instance b = RandomDigraph("E", 6, 14, rng);
+  CompiledTarget target(b);
+  for (int trial = 0; trial < 60; ++trial) {
+    Instance a = RandomDigraph("E", 4, static_cast<std::size_t>(
+                                            rng.IntIn(0, 8)), rng);
+    const BruteResult ref = BruteForce(a, b);
+    HomResult r = FindHomomorphism(a, target);
+    EXPECT_EQ(r.found, ref.exists) << "trial " << trial;
+    if (r.found) CheckWitness(a, b, r);
+  }
+}
+
+TEST(HomReferenceTest, CountRespectsLimit) {
+  // K2 -> K4 has 4*3 = 12 homomorphisms; a limit of 5 stops early.
+  Instance a = Clique("E", 2);
+  Instance b = Clique("E", 4);
+  auto full = CountHomomorphisms(a, b, 100);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, 12u);
+  auto capped = CountHomomorphisms(a, b, 5);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(*capped, 5u);
+}
+
+TEST(HomReferenceTest, BudgetExhaustionReturnsError) {
+  // A tiny budget on a nontrivial search must surface as
+  // kResourceExhausted, not abort.
+  Instance a = Clique("E", 4);
+  Instance b = Clique("E", 6);
+  HomOptions options;
+  options.node_budget = 1;
+  auto exists = HomomorphismExists(a, b, options);
+  EXPECT_FALSE(exists.ok());
+  EXPECT_EQ(exists.status().code(), base::StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace obda::data

@@ -244,7 +244,7 @@ TEST_F(ObsTest, BudgetExhaustionPropagatesAndCounts) {
 
   data::HomResult count_result;
   std::uint64_t count =
-      data::CountHomomorphisms(a, b, 1'000'000, &count_result);
+      *data::CountHomomorphisms(a, b, 1'000'000, &count_result);
   EXPECT_GT(count_result.nodes, 0u);
   EXPECT_EQ(count, count_result.solution_count);
   EXPECT_EQ(count, 360u);  // injections of K4 into K6: 6*5*4*3
