@@ -6,6 +6,7 @@
 // that Π evaluates to true exactly on the valid formulas (cross-checked
 // against brute force), then time the evaluation as the formula grows.
 
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 
@@ -182,6 +183,88 @@ bool CrossCheckGadget(const Qbf& qbf, const Reduction& red) {
   return true;
 }
 
+/// Headline scaling workload for the parallel certain-answer engine: a
+/// disjunctive 2-coloring program over a random digraph. A must be
+/// independent and contain the seeds, so seed neighborhoods are forced
+/// into B and goal(x,y) ← edge(x,y), B(x), B(y) has a nontrivial certain
+/// fragment; every one of the |adom|² probes is a real model search.
+Reduction BuildScaling(obda::base::Rng& rng, int nodes, int edges,
+                       int seeds) {
+  using obda::ddlog::Atom;
+  using obda::ddlog::Rule;
+  obda::data::Schema s;
+  obda::data::RelationId node = s.AddRelation("node", 1);
+  obda::data::RelationId edge = s.AddRelation("edge", 2);
+  obda::data::RelationId seed = s.AddRelation("seed", 1);
+
+  obda::ddlog::Program program(s);
+  obda::ddlog::PredId a = program.AddIdbPredicate("A", 1);
+  obda::ddlog::PredId b = program.AddIdbPredicate("B", 1);
+  obda::ddlog::PredId goal = program.AddIdbPredicate("goal", 2);
+  program.SetGoal(goal);
+  {
+    Rule rule;  // A(x) ∨ B(x) ← node(x).
+    rule.head = {Atom{a, {0}}, Atom{b, {0}}};
+    rule.body = {Atom{node, {0}}};
+    OBDA_CHECK(program.AddRule(std::move(rule)).ok());
+  }
+  {
+    Rule rule;  // ← edge(x,y), A(x), A(y).
+    rule.body = {Atom{edge, {0, 1}}, Atom{a, {0}}, Atom{a, {1}}};
+    OBDA_CHECK(program.AddRule(std::move(rule)).ok());
+  }
+  {
+    Rule rule;  // A(x) ← seed(x).
+    rule.head = {Atom{a, {0}}};
+    rule.body = {Atom{seed, {0}}};
+    OBDA_CHECK(program.AddRule(std::move(rule)).ok());
+  }
+  {
+    Rule rule;  // goal(x,y) ← edge(x,y), B(x), B(y).
+    rule.head = {Atom{goal, {0, 1}}};
+    rule.body = {Atom{edge, {0, 1}}, Atom{b, {0}}, Atom{b, {1}}};
+    OBDA_CHECK(program.AddRule(std::move(rule)).ok());
+  }
+
+  obda::data::Instance d(s);
+  for (int i = 0; i < nodes; ++i) {
+    obda::data::ConstId c = d.AddConstant("n" + std::to_string(i));
+    d.AddFact(node, {c});
+  }
+  // Seeds are the first `seeds` constants; edges never run between two
+  // seeds (that would force two adjacent A's and void every model).
+  for (int i = 0; i < seeds; ++i) {
+    d.AddFact(seed, {static_cast<obda::data::ConstId>(i)});
+  }
+  for (int i = 0; i < edges; ++i) {
+    auto u = static_cast<obda::data::ConstId>(rng.Below(nodes));
+    auto v = static_cast<obda::data::ConstId>(rng.Below(nodes));
+    if (u == v) continue;
+    if (u < static_cast<obda::data::ConstId>(seeds) &&
+        v < static_cast<obda::data::ConstId>(seeds)) {
+      continue;
+    }
+    d.AddFact(edge, {u, v});
+  }
+  return Reduction{std::move(program), std::move(d)};
+}
+
+/// FNV-1a over the answer set (inconsistency flag + every tuple), so runs
+/// at different thread counts can be compared byte-for-byte.
+std::uint64_t AnswerChecksum(const obda::ddlog::Answers& answers) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(answers.inconsistent ? 1 : 0);
+  for (const auto& tuple : answers.tuples) {
+    mix(tuple.size());
+    for (obda::data::ConstId c : tuple) mix(c);
+  }
+  return h;
+}
+
 Qbf RandomQbf(obda::base::Rng& rng, int m, int n, int k) {
   Qbf qbf;
   qbf.num_universal = m;
@@ -202,20 +285,38 @@ int Run() {
       "E1", "Thm 3.1 (MDDlog combined complexity, 2QBF reduction)",
       "the reduction program evaluates to true exactly on valid 2QBFs");
   obda::base::Rng rng(2023);
+  // The QBF stream is drawn sequentially so it is identical at every
+  // OBDA_THREADS; the per-formula work (brute force, reduction, gadget
+  // cross-check, MDDlog evaluation) then sweeps the pool.
+  constexpr int kTrials = 40;
+  std::vector<Qbf> qbfs;
+  qbfs.reserve(kTrials);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    qbfs.push_back(RandomQbf(rng, 3, 3, 4 + static_cast<int>(rng.Below(3))));
+  }
+  std::vector<char> trial_total(kTrials, 0), trial_valid(kTrials, 0),
+      trial_agree(kTrials, 0), trial_gadget(kTrials, 0);
+  obda::bench::ParallelSweep(kTrials, [&](std::size_t trial) {
+    const Qbf& qbf = qbfs[trial];
+    bool expected = BruteForceValid(qbf);
+    Reduction red = BuildReduction(qbf);
+    trial_gadget[trial] = CrossCheckGadget(qbf, red) ? 1 : 0;
+    auto got = obda::ddlog::EvaluateBoolean(red.program, red.instance);
+    if (!got.ok()) return true;  // budget skip, matches the old loop
+    trial_total[trial] = 1;
+    trial_valid[trial] = expected ? 1 : 0;
+    trial_agree[trial] = (*got == expected) ? 1 : 0;
+    return true;
+  });
   int agree = 0;
   int total = 0;
   int valid_count = 0;
   int gadget_ok = 0;
-  for (int trial = 0; trial < 40; ++trial) {
-    Qbf qbf = RandomQbf(rng, 3, 3, 4 + static_cast<int>(rng.Below(3)));
-    bool expected = BruteForceValid(qbf);
-    Reduction red = BuildReduction(qbf);
-    gadget_ok += CrossCheckGadget(qbf, red) ? 1 : 0;
-    auto got = obda::ddlog::EvaluateBoolean(red.program, red.instance);
-    if (!got.ok()) continue;
-    ++total;
-    valid_count += expected ? 1 : 0;
-    agree += (*got == expected) ? 1 : 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    total += trial_total[trial];
+    valid_count += trial_valid[trial];
+    agree += trial_agree[trial];
+    gadget_ok += trial_gadget[trial];
   }
   std::printf("agreement with brute-force 2QBF: %d/%d (valid instances: "
               "%d)\n",
@@ -241,7 +342,35 @@ int Run() {
                 got.ok() ? "" : "  (budget)");
     obda::bench::ReportMetric("eval_ms_m" + std::to_string(m), ms);
   }
-  bool ok = agree == total && total > 0 && gadget_ok == 40;
+
+  // Parallel-engine scaling record: one headline CertainAnswers sweep at
+  // the ambient thread count (OBDA_THREADS). CI runs the bench at 1 and 4
+  // threads and compares scale_wall_ms (>= 2x) and scale_checksum
+  // (identical answers).
+  const int threads = obda::base::DefaultThreadCount();
+  obda::base::Rng scale_rng(7041);
+  Reduction scale = BuildScaling(scale_rng, 220, 1400, 6);
+  obda::bench::Timer scale_timer;
+  auto scale_answers =
+      obda::ddlog::CertainAnswers(scale.program, scale.instance);
+  double scale_ms = scale_timer.Millis();
+  bool scale_ok = scale_answers.ok();
+  std::uint64_t checksum = scale_ok ? AnswerChecksum(*scale_answers) : 0;
+  std::printf("\ncertain-answer scaling (2-coloring digraph, n=220, "
+              "|adom|^2 probes):\n"
+              "  threads=%d  wall=%.1f ms  answers=%zu  checksum=%016llx\n",
+              threads, scale_ms,
+              scale_ok ? scale_answers->tuples.size() : 0,
+              static_cast<unsigned long long>(checksum));
+  obda::bench::ReportParam("scale_nodes", 220);
+  obda::bench::ReportMetric("scale_wall_ms", scale_ms);
+  obda::bench::ReportMetric(
+      "scale_tuples",
+      scale_ok ? static_cast<long long>(scale_answers->tuples.size()) : -1);
+  obda::bench::Report::Global().Metric(
+      "scale_checksum", static_cast<long long>(checksum));
+
+  bool ok = agree == total && total > 0 && gadget_ok == 40 && scale_ok;
   obda::bench::Footer(ok);
   return ok ? 0 : 1;
 }

@@ -251,6 +251,46 @@ int main() {
                  grounded->num_ground_clauses());
   }
 
+  // --- Part 3: parallel probe battery ----------------------------------
+  // The same repeated-target shape driven through the thread pool: one
+  // shared CompiledTarget probed concurrently from OBDA_THREADS workers
+  // (the access pattern of the parallel obstruction filter). Inputs are
+  // pre-generated sequentially, so the battery is identical at every
+  // thread count; verdicts must match a sequential reference run.
+  {
+    obda::data::Instance b = MultiRelTarget(multi, 256, 3200, rng);
+    std::vector<obda::data::Instance> probes;
+    probes.reserve(kProbes);
+    for (int p = 0; p < kProbes; ++p) {
+      probes.push_back(PathProbe(multi, 4, rng));
+    }
+    const obda::data::CompiledTarget target(b);
+    std::vector<char> reference(probes.size());
+    Timer seq_timer;
+    for (std::size_t p = 0; p < probes.size(); ++p) {
+      reference[p] =
+          obda::data::FindHomomorphism(probes[p], target).found ? 1 : 0;
+    }
+    const double seq_ms = seq_timer.Millis();
+    Timer par_timer;
+    const bool par_agree =
+        obda::bench::ParallelSweep(probes.size(), [&](std::size_t p) {
+          const bool found =
+              obda::data::FindHomomorphism(probes[p], target).found;
+          return (found ? 1 : 0) == reference[p];
+        });
+    const double par_ms = par_timer.Millis();
+    if (!par_agree) ok = false;
+    std::printf("\nparallel probe battery (threads=%d)\n",
+                obda::base::DefaultThreadCount());
+    std::printf("  sequential %.3f ms, pooled %.3f ms, verdicts %s\n",
+                seq_ms, par_ms, par_agree ? "agree" : "MISMATCH");
+    ReportParam("pool_threads", obda::base::DefaultThreadCount());
+    ReportMetric("parallel_seq_ms", seq_ms);
+    ReportMetric("parallel_pool_ms", par_ms);
+    ReportMetric("parallel_agree", par_agree ? 1 : 0);
+  }
+
   obda::bench::Footer(ok);
   return ok ? 0 : 1;
 }

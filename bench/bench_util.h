@@ -4,11 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace obda::bench {
@@ -85,6 +87,8 @@ class Report {
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.3f", millis);
     json += std::string("  \"millis\": ") + buf + ",\n";
+    json += "  \"threads\": " +
+            std::to_string(base::DefaultThreadCount()) + ",\n";
     json += "  \"parameters\": " + ObjectOf(params_) + ",\n";
     json += "  \"results\": " + ObjectOf(metrics_) + ",\n";
     obs::MetricsRegistry::Snapshot snap =
@@ -177,6 +181,37 @@ inline void Banner(const char* id, const char* paper_item,
 inline void Footer(bool ok) {
   std::printf("RESULT: %s\n\n", ok ? "shape reproduced" : "MISMATCH");
   Report::Global().Finish(ok);
+}
+
+/// Runs the trials of a randomized equivalence battery concurrently on the
+/// process-wide pool (OBDA_THREADS workers). `trial(i)` must be
+/// self-contained per index — callers pre-generate any RNG-derived inputs
+/// sequentially so the instance stream is identical at every thread count —
+/// and returns false on a mismatch. The verdict is the conjunction over all
+/// trials, with per-trial failures reported in index order.
+inline bool ParallelSweep(std::size_t trials,
+                          const std::function<bool(std::size_t)>& trial) {
+  std::vector<char> verdicts(trials, 1);
+  base::Status status = base::ThreadPool::Global().ParallelFor(
+      trials, /*min_chunk=*/1,
+      [&](std::uint64_t begin, std::uint64_t end, int) -> base::Status {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          verdicts[i] = trial(static_cast<std::size_t>(i)) ? 1 : 0;
+        }
+        return base::Status::Ok();
+      });
+  if (!status.ok()) {
+    std::printf("  parallel sweep error: %s\n", status.ToString().c_str());
+    return false;
+  }
+  bool ok = true;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (!verdicts[i]) {
+      std::printf("  trial %zu: MISMATCH\n", i);
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 /// Shorthands for annotating the report from driver code. Integral values

@@ -1,0 +1,180 @@
+#include "base/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace obda::base {
+
+namespace {
+
+/// True while the current thread is executing pool work (a worker loop or
+/// a ParallelFor call frame). Nested ParallelFor calls from such a thread
+/// run inline instead of posting a second batch.
+thread_local bool t_in_pool_work = false;
+
+}  // namespace
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("OBDA_THREADS");
+      env != nullptr && env[0] != '\0') {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value >= 1) return static_cast<int>(std::min(value, 256L));
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) : threads_(std::max(1, threads)) {
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int slot = 1; slot < threads_; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    stop_ = true;
+  }
+  pool_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool(DefaultThreadCount());
+  return pool;
+}
+
+void ThreadPool::WorkerLoop(int slot) {
+  t_in_pool_work = true;
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(pool_mutex_);
+      pool_cv_.wait(lock, [&] {
+        return stop_ || (current_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      batch = current_;
+      seen_epoch = epoch_;
+    }
+    RunBatch(*batch, slot);
+  }
+}
+
+bool ThreadPool::PopChunk(Batch& batch, int slot, Chunk* out) {
+  {
+    std::lock_guard<std::mutex> lock(*batch.queue_mutexes[slot]);
+    std::deque<Chunk>& own = batch.queues[slot];
+    if (!own.empty()) {
+      *out = own.front();
+      own.pop_front();
+      return true;
+    }
+  }
+  // Own queue drained: steal from the back of the next busy victim.
+  const int n = static_cast<int>(batch.queues.size());
+  for (int step = 1; step < n; ++step) {
+    const int victim = (slot + step) % n;
+    std::lock_guard<std::mutex> lock(*batch.queue_mutexes[victim]);
+    std::deque<Chunk>& q = batch.queues[victim];
+    if (!q.empty()) {
+      *out = q.back();
+      q.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::RunBatch(Batch& batch, int slot) {
+  Chunk chunk;
+  while (PopChunk(batch, slot, &chunk)) {
+    if (!batch.cancelled.load(std::memory_order_acquire)) {
+      Status status = (*batch.body)(chunk.begin, chunk.end, slot);
+      if (!status.ok()) {
+        std::lock_guard<std::mutex> lock(batch.error_mutex);
+        if (chunk.index < batch.error_index) {
+          batch.error_index = chunk.index;
+          batch.error = std::move(status);
+        }
+        batch.cancelled.store(true, std::memory_order_release);
+      }
+    }
+    if (batch.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(batch.done_mutex);
+      batch.done_cv.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::RunSequential(std::uint64_t n, std::uint64_t min_chunk,
+                                 const Body& body) {
+  for (std::uint64_t begin = 0; begin < n; begin += min_chunk) {
+    OBDA_RETURN_IF_ERROR(body(begin, std::min(n, begin + min_chunk), 0));
+  }
+  return Status::Ok();
+}
+
+Status ThreadPool::ParallelFor(std::uint64_t n, std::uint64_t min_chunk,
+                               const Body& body) {
+  if (n == 0) return Status::Ok();
+  if (min_chunk == 0) min_chunk = 1;
+  if (threads_ <= 1 || t_in_pool_work) {
+    return RunSequential(n, min_chunk, body);
+  }
+
+  // Deal enough chunks for stealing to balance (8 per slot), each at
+  // least min_chunk items.
+  const std::uint64_t max_chunks = static_cast<std::uint64_t>(threads_) * 8;
+  std::uint64_t num_chunks = (n + min_chunk - 1) / min_chunk;
+  num_chunks = std::min(num_chunks, max_chunks);
+  const std::uint64_t chunk_size = (n + num_chunks - 1) / num_chunks;
+
+  auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->queues.resize(static_cast<std::size_t>(threads_));
+  batch->queue_mutexes.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i) {
+    batch->queue_mutexes.push_back(std::make_unique<std::mutex>());
+  }
+  std::uint64_t count = 0;
+  for (std::uint64_t begin = 0; begin < n; begin += chunk_size, ++count) {
+    batch->queues[static_cast<std::size_t>(count % threads_)].push_back(
+        Chunk{begin, std::min(n, begin + chunk_size), count});
+  }
+  batch->remaining.store(count, std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    current_ = batch;
+    ++epoch_;
+  }
+  pool_cv_.notify_all();
+
+  t_in_pool_work = true;
+  RunBatch(*batch, 0);
+  t_in_pool_work = false;
+
+  {
+    std::unique_lock<std::mutex> lock(batch->done_mutex);
+    batch->done_cv.wait(lock, [&] {
+      return batch->remaining.load(std::memory_order_acquire) == 0;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    if (current_ == batch) current_ = nullptr;
+  }
+  std::lock_guard<std::mutex> lock(batch->error_mutex);
+  return batch->error;
+}
+
+ThreadPool& ResolvePool(int threads, std::unique_ptr<ThreadPool>* owned) {
+  if (threads == 0) return ThreadPool::Global();
+  *owned = std::make_unique<ThreadPool>(threads);
+  return **owned;
+}
+
+}  // namespace obda::base

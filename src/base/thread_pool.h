@@ -1,0 +1,118 @@
+#ifndef OBDA_BASE_THREAD_POOL_H_
+#define OBDA_BASE_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/status.h"
+
+namespace obda::base {
+
+/// Worker count implied by the environment: `OBDA_THREADS` when set to a
+/// positive integer (clamped to [1, 256]), else hardware_concurrency(),
+/// else 1.
+int DefaultThreadCount();
+
+/// A small dependency-free work-stealing thread pool for the engine's
+/// embarrassingly parallel fan-out loops (per-tuple SAT probes,
+/// per-candidate obstruction checks, randomized bench batteries).
+///
+/// Design: a fixed set of executor slots — slot 0 is the thread calling
+/// ParallelFor, slots 1..threads-1 are background workers. Each slot owns
+/// a chunk deque; ParallelFor deals chunks round-robin, owners pop from
+/// the front of their own deque, and an idle slot steals from the back of
+/// a victim's. The caller participates in the work, so `ThreadPool(1)`
+/// spawns nothing and ParallelFor degenerates to a sequential in-order
+/// loop — the single-threaded debugging path.
+///
+/// Determinism: chunk boundaries depend only on (n, min_chunk, threads),
+/// and callers index results by item position, so output ordering never
+/// depends on scheduling. Error handling: the first failing chunk (lowest
+/// chunk index among observed failures) cancels all not-yet-started
+/// chunks and its Status is returned.
+///
+/// ParallelFor is not reentrant: a body that calls ParallelFor (on any
+/// pool) runs that nested loop inline on its own thread.
+class ThreadPool {
+ public:
+  /// A pool with `threads` executor slots in total (`threads - 1`
+  /// background workers). Values below 1 are clamped to 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// The process-wide pool, sized by DefaultThreadCount() at first use.
+  static ThreadPool& Global();
+
+  /// Chunk body: processes items [begin, end). `slot` identifies the
+  /// executor (0 <= slot < threads()) so callers can keep per-thread
+  /// scratch (a solver instance, a result buffer) without locking — at
+  /// most one chunk runs on a slot at any time.
+  using Body =
+      std::function<Status(std::uint64_t begin, std::uint64_t end, int slot)>;
+
+  /// Runs `body` over [0, n) split into contiguous chunks of roughly
+  /// `min_chunk` items or more (the chunk count is capped at 8 per slot).
+  /// Blocks until every chunk has run or been cancelled; returns the
+  /// Status of the failing chunk with the lowest index, or OK.
+  Status ParallelFor(std::uint64_t n, std::uint64_t min_chunk,
+                     const Body& body);
+
+ private:
+  struct Chunk {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t index = 0;
+  };
+
+  /// One ParallelFor invocation in flight.
+  struct Batch {
+    const Body* body = nullptr;
+    /// queues[slot], each guarded by queue_mutexes[slot].
+    std::vector<std::deque<Chunk>> queues;
+    std::vector<std::unique_ptr<std::mutex>> queue_mutexes;
+    std::atomic<std::uint64_t> remaining{0};
+    std::atomic<bool> cancelled{false};
+    std::mutex error_mutex;
+    std::uint64_t error_index = ~std::uint64_t{0};
+    Status error;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop(int slot);
+  /// Drains `batch` from `slot` (own queue first, then stealing) until no
+  /// unclaimed chunk remains.
+  void RunBatch(Batch& batch, int slot);
+  bool PopChunk(Batch& batch, int slot, Chunk* out);
+  Status RunSequential(std::uint64_t n, std::uint64_t min_chunk,
+                       const Body& body);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex pool_mutex_;
+  std::condition_variable pool_cv_;
+  std::shared_ptr<Batch> current_;  // guarded by pool_mutex_
+  std::uint64_t epoch_ = 0;         // guarded by pool_mutex_
+  bool stop_ = false;               // guarded by pool_mutex_
+};
+
+/// Resolves a `threads` knob shared by the engine entry points: 0 selects
+/// the process-wide pool (OBDA_THREADS / hardware_concurrency), any other
+/// value builds a dedicated pool of that size in `*owned`.
+ThreadPool& ResolvePool(int threads, std::unique_ptr<ThreadPool>* owned);
+
+}  // namespace obda::base
+
+#endif  // OBDA_BASE_THREAD_POOL_H_

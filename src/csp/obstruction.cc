@@ -1,8 +1,11 @@
 #include "csp/obstruction.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
 
 #include "base/check.h"
+#include "base/thread_pool.h"
 #include "data/homomorphism.h"
 
 namespace obda::csp {
@@ -106,8 +109,43 @@ base::Result<std::vector<Instance>> TreeObstructions(
   const int edge_options = static_cast<int>(binary_rels.size()) * 2;
 
   const data::CompiledTarget compiled_b(b);
+  std::unique_ptr<base::ThreadPool> owned;
+  base::ThreadPool& pool = base::ResolvePool(options.threads, &owned);
+
   std::vector<Instance> criticals;
   std::uint64_t examined = 0;
+
+  // Candidates accumulate into fixed-size batches whose criticality checks
+  // fan out across the pool; verdicts land in a per-batch slot array and
+  // criticals are appended in enumeration order, so the output is
+  // byte-identical to the sequential sweep.
+  constexpr std::size_t kBatch = 256;
+  std::vector<TreeSpec> batch;
+  batch.reserve(kBatch);
+  auto flush = [&]() -> base::Status {
+    if (batch.empty()) return base::Status::Ok();
+    std::vector<std::unique_ptr<Instance>> trees(batch.size());
+    std::vector<char> verdicts(batch.size(), 0);
+    base::Status status = pool.ParallelFor(
+        batch.size(), /*min_chunk=*/1,
+        [&](std::uint64_t begin, std::uint64_t end, int) -> base::Status {
+          for (std::uint64_t k = begin; k < end; ++k) {
+            auto t = std::make_unique<Instance>(
+                BuildTree(schema, batch[k], unary_rels, binary_rels));
+            auto critical = IsCritical(*t, compiled_b);
+            if (!critical.ok()) return critical.status();
+            verdicts[k] = *critical ? 1 : 0;
+            trees[k] = std::move(t);
+          }
+          return base::Status::Ok();
+        });
+    if (!status.ok()) return status;
+    for (std::size_t k = 0; k < batch.size(); ++k) {
+      if (verdicts[k]) criticals.push_back(std::move(*trees[k]));
+    }
+    batch.clear();
+    return base::Status::Ok();
+  };
 
   for (int n = 1; n <= options.max_nodes; ++n) {
     if (n > 1 && edge_options == 0) break;
@@ -128,15 +166,17 @@ base::Result<std::vector<Instance>> TreeObstructions(
         for (;;) {
           if (++examined > options.max_candidates) {
             return base::ResourceExhaustedError(
-                "obstruction candidate budget exceeded");
+                "obstruction candidate budget exceeded (max_candidates=" +
+                std::to_string(options.max_candidates) + ")");
           }
           spec.parent = par;
           spec.edge_choice = edges;
           spec.unary = masks;
-          Instance t = BuildTree(schema, spec, unary_rels, binary_rels);
-          auto critical = IsCritical(t, compiled_b);
-          if (!critical.ok()) return critical.status();
-          if (*critical) criticals.push_back(std::move(t));
+          batch.push_back(spec);
+          if (batch.size() >= kBatch) {
+            base::Status status = flush();
+            if (!status.ok()) return status;
+          }
           // Advance unary masks.
           int pos = n - 1;
           while (pos >= 0 && ++masks[pos] == unary_masks) {
@@ -166,23 +206,47 @@ base::Result<std::vector<Instance>> TreeObstructions(
     }
   }
 
+  {
+    base::Status status = flush();
+    if (!status.ok()) return status;
+  }
+
   // Reduce to homomorphism-minimal representatives: if o1 → o2 (o1 != o2)
   // then o2 is redundant. Each critical serves as the target of up to
-  // 2(k-1) probes, so compile them all up front.
+  // 2(k-1) probes, so compile them all up front and fan the full k×k
+  // homomorphism matrix across the pool; the drop pass then reads the
+  // matrix in the original order, keeping the output byte-identical.
+  const std::size_t k = criticals.size();
   std::vector<data::CompiledTarget> compiled;
-  compiled.reserve(criticals.size());
+  compiled.reserve(k);
   for (const Instance& c : criticals) compiled.emplace_back(c);
-  std::vector<bool> dropped(criticals.size(), false);
-  for (std::size_t i = 0; i < criticals.size(); ++i) {
+  std::vector<char> hom(k * k, 0);  // hom[j * k + i]: criticals[j] → [i]
+  {
+    base::Status status = pool.ParallelFor(
+        k * k, /*min_chunk=*/4,
+        [&](std::uint64_t begin, std::uint64_t end, int) -> base::Status {
+          for (std::uint64_t f = begin; f < end; ++f) {
+            const std::size_t j = static_cast<std::size_t>(f) / k;
+            const std::size_t i = static_cast<std::size_t>(f) % k;
+            if (i == j) {
+              hom[f] = 1;
+              continue;
+            }
+            auto maps = data::HomomorphismExists(criticals[j], compiled[i]);
+            if (!maps.ok()) return maps.status();
+            hom[f] = *maps ? 1 : 0;
+          }
+          return base::Status::Ok();
+        });
+    if (!status.ok()) return status;
+  }
+  std::vector<bool> dropped(k, false);
+  for (std::size_t i = 0; i < k; ++i) {
     if (dropped[i]) continue;
-    for (std::size_t j = 0; j < criticals.size(); ++j) {
+    for (std::size_t j = 0; j < k; ++j) {
       if (i == j || dropped[j]) continue;
-      auto j_into_i = data::HomomorphismExists(criticals[j], compiled[i]);
-      if (!j_into_i.ok()) return j_into_i.status();
-      if (!*j_into_i) continue;
-      auto i_into_j = data::HomomorphismExists(criticals[i], compiled[j]);
-      if (!i_into_j.ok()) return i_into_j.status();
-      if (!(*i_into_j && j > i)) {
+      if (!hom[j * k + i]) continue;
+      if (!(hom[i * k + j] && j > i)) {
         dropped[i] = true;
         break;
       }

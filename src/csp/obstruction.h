@@ -14,6 +14,11 @@ struct ObstructionOptions {
   int max_nodes = 5;
   /// Safety cap on the number of candidate instances examined.
   std::uint64_t max_candidates = 2'000'000;
+  /// Worker count for the criticality sweep and the minimal-representative
+  /// filter: 1 = sequential, 0 = the process-wide pool (OBDA_THREADS),
+  /// N > 1 = a dedicated pool. The returned set is byte-identical for
+  /// every value.
+  int threads = 0;
 };
 
 /// Enumerates critical tree obstructions of CSP(B) up to the node bound:

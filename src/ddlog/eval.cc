@@ -1,11 +1,16 @@
 #include "ddlog/eval.h"
 
 #include <algorithm>
+#include <atomic>
+#include <limits>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "base/check.h"
 #include "base/hash.h"
+#include "base/thread_pool.h"
 #include "obs/metrics.h"
 #include "sat/solver.h"
 
@@ -41,16 +46,47 @@ struct DdlogCounters {
   }
 };
 
-}  // namespace
-
-struct GroundedQuery::Impl {
-  const Program* program = nullptr;
-  const data::Instance* instance = nullptr;
-  sat::Solver solver;
+/// The immutable product of grounding: every ground clause and the ground
+/// atom -> variable numbering, detached from any solver. Built once per
+/// GroundedQuery; each worker thread loads its own sat::Solver from it, so
+/// the snapshot is shared read-only across the parallel fan-out.
+struct GroundedClauses {
+  std::size_t num_vars = 0;
+  std::vector<std::vector<sat::Lit>> clauses;
   std::unordered_map<AtomKey, sat::Var, base::VectorHash<std::uint32_t>>
       atom_vars;
-  std::vector<ConstId> adom;
-  EvalOptions options;
+
+  /// The variable of goal atom pred(args), or `fallback` when the atom was
+  /// never grounded. An ungrounded goal atom appears in no clause, so any
+  /// unconstrained variable is observationally equivalent to the fresh var
+  /// the sequential engine used to mint per absent atom.
+  sat::Var GoalVar(PredId pred, const std::vector<ConstId>& args,
+                   sat::Var fallback) const {
+    AtomKey key;
+    key.reserve(args.size() + 1);
+    key.push_back(pred);
+    for (ConstId c : args) key.push_back(c);
+    auto it = atom_vars.find(key);
+    return it == atom_vars.end() ? fallback : it->second;
+  }
+};
+
+/// Instantiates `solver` from the snapshot and appends one spare
+/// unconstrained variable (returned) for probes on ungrounded goal atoms.
+sat::Var LoadSolver(const GroundedClauses& snapshot, sat::Solver* solver) {
+  for (std::size_t v = 0; v < snapshot.num_vars; ++v) solver->NewVar();
+  for (const auto& clause : snapshot.clauses) solver->AddClause(clause);
+  return solver->NewVar();
+}
+
+/// Grounds one program over one instance, emitting into a GroundedClauses
+/// snapshot. Single-threaded; lives only for the duration of Build.
+struct Grounder {
+  const Program* program = nullptr;
+  const data::Instance* instance = nullptr;
+  const std::vector<ConstId>* adom = nullptr;
+  std::uint64_t max_ground_clauses = 0;
+  GroundedClauses* out = nullptr;
   std::uint64_t clause_count = 0;
   /// Join indexes, built lazily per (relation, bound-position mask):
   /// packed values at the masked positions -> matching tuple indices.
@@ -93,10 +129,10 @@ struct GroundedQuery::Impl {
     key.reserve(args.size() + 1);
     key.push_back(pred);
     for (ConstId c : args) key.push_back(c);
-    auto it = atom_vars.find(key);
-    if (it != atom_vars.end()) return it->second;
-    sat::Var v = solver.NewVar();
-    atom_vars.emplace(std::move(key), v);
+    auto it = out->atom_vars.find(key);
+    if (it != out->atom_vars.end()) return it->second;
+    sat::Var v = static_cast<sat::Var>(out->num_vars++);
+    out->atom_vars.emplace(std::move(key), v);
     DdlogCounters::Get().ground_atoms.Add(1);
     return v;
   }
@@ -118,7 +154,7 @@ struct GroundedQuery::Impl {
       clause.push_back(sat::Lit::Pos(VarFor(a.pred, args)));
     }
     std::size_t head_lits = rule.head.size();
-    solver.AddClause(std::move(clause));
+    out->clauses.push_back(std::move(clause));
     ++clause_count;
     DdlogCounters& counters = DdlogCounters::Get();
     counters.rule_firings.Add(1);
@@ -248,16 +284,71 @@ struct GroundedQuery::Impl {
   bool GroundFree(const Rule& rule, const std::vector<VarId>& free_vars,
                   std::size_t index, std::vector<ConstId>* sub) {
     if (index == free_vars.size()) {
-      if (clause_count >= options.max_ground_clauses) return false;
+      if (clause_count >= max_ground_clauses) return false;
       EmitClause(rule, *sub);
       return true;
     }
-    for (ConstId c : adom) {
+    for (ConstId c : *adom) {
       (*sub)[static_cast<std::size_t>(free_vars[index])] = c;
       if (!GroundFree(rule, free_vars, index + 1, sub)) return false;
     }
     (*sub)[static_cast<std::size_t>(free_vars[index])] = data::kInvalidConst;
     return true;
+  }
+};
+
+}  // namespace
+
+struct GroundedQuery::Impl {
+  const Program* program = nullptr;
+  const data::Instance* instance = nullptr;
+  std::vector<ConstId> adom;
+  EvalOptions options;
+  /// Immutable after Build; shared read-only by every worker solver.
+  std::shared_ptr<const GroundedClauses> snapshot;
+  /// Decisions consumed so far against options.max_decisions — one global
+  /// ceiling across every probe from every worker on this grounding.
+  std::atomic<std::uint64_t> decisions_used{0};
+  /// Lazily built solver for the sequential entry points
+  /// (CertainlyHolds / HasModel); the parallel engine never touches it.
+  std::unique_ptr<sat::Solver> seq_solver;
+  sat::Var seq_spare = -1;
+
+  sat::Solver& SeqSolver() {
+    if (seq_solver == nullptr) {
+      seq_solver = std::make_unique<sat::Solver>();
+      seq_spare = LoadSolver(*snapshot, seq_solver.get());
+    }
+    return *seq_solver;
+  }
+
+  base::Status BudgetError() const {
+    return base::ResourceExhaustedError(
+        "SAT decision budget exceeded (max_decisions=" +
+        std::to_string(options.max_decisions) + ")");
+  }
+
+  /// Runs one Solve on `solver` against the grounding's shared decision
+  /// budget: the call gets whatever remains of the global ceiling, and its
+  /// decisions are charged back afterwards. Safe to call concurrently from
+  /// workers, each on its own solver.
+  base::Result<sat::SatOutcome> BudgetedSolve(
+      sat::Solver& solver, const std::vector<sat::Lit>& assumptions) {
+    const std::uint64_t cap = options.max_decisions;
+    std::uint64_t per_call = 0;
+    if (cap != 0) {
+      const std::uint64_t used =
+          decisions_used.load(std::memory_order_relaxed);
+      if (used >= cap) return BudgetError();
+      per_call = cap - used;
+    }
+    const sat::SatOutcome outcome = solver.Solve(assumptions, per_call);
+    if (cap != 0) {
+      decisions_used.fetch_add(solver.decisions(),
+                               std::memory_order_relaxed);
+    }
+    if (outcome == sat::SatOutcome::kBudget) return BudgetError();
+    return outcome;
   }
 };
 
@@ -278,13 +369,24 @@ base::Result<GroundedQuery> GroundedQuery::Build(
   q.impl_->instance = &instance;
   q.impl_->options = options;
   q.impl_->adom = instance.ActiveDomain();
+
+  auto snapshot = std::make_shared<GroundedClauses>();
+  Grounder grounder;
+  grounder.program = &program;
+  grounder.instance = &instance;
+  grounder.adom = &q.impl_->adom;
+  grounder.max_ground_clauses = options.max_ground_clauses;
+  grounder.out = snapshot.get();
   for (const Rule& rule : program.rules()) {
-    if (!q.impl_->GroundRule(rule)) {
-      return base::ResourceExhaustedError("ground clause budget exceeded");
+    if (!grounder.GroundRule(rule)) {
+      return base::ResourceExhaustedError(
+          "ground clause budget exceeded (max_ground_clauses=" +
+          std::to_string(options.max_ground_clauses) + ")");
     }
   }
-  q.num_clauses_ = q.impl_->clause_count;
-  q.num_atoms_ = q.impl_->atom_vars.size();
+  q.impl_->snapshot = std::move(snapshot);
+  q.num_clauses_ = grounder.clause_count;
+  q.num_atoms_ = q.impl_->snapshot->atom_vars.size();
   return q;
 }
 
@@ -294,14 +396,13 @@ base::Result<bool> GroundedQuery::CertainlyHolds(
   Impl& impl = *impl_;
   OBDA_CHECK_EQ(static_cast<int>(tuple.size()),
                 impl.program->QueryArity());
-  sat::Var goal_var = impl.VarFor(impl.program->goal(), tuple);
-  sat::SatOutcome outcome = impl.solver.Solve(
-      {sat::Lit::Neg(goal_var)}, impl.options.max_decisions);
-  if (outcome == sat::SatOutcome::kBudget) {
-    return base::ResourceExhaustedError("SAT decision budget exceeded");
-  }
+  sat::Solver& solver = impl.SeqSolver();
+  sat::Var goal_var = impl.snapshot->GoalVar(impl.program->goal(), tuple,
+                                             impl.seq_spare);
+  auto outcome = impl.BudgetedSolve(solver, {sat::Lit::Neg(goal_var)});
+  if (!outcome.ok()) return outcome.status();
   // No model avoiding goal(tuple) => certain answer.
-  return outcome == sat::SatOutcome::kUnsat;
+  return *outcome == sat::SatOutcome::kUnsat;
 }
 
 const std::vector<ConstId>& GroundedQuery::ActiveDomain() const {
@@ -310,11 +411,98 @@ const std::vector<ConstId>& GroundedQuery::ActiveDomain() const {
 
 base::Result<bool> GroundedQuery::HasModel() {
   Impl& impl = *impl_;
-  sat::SatOutcome outcome = impl.solver.Solve({}, impl.options.max_decisions);
-  if (outcome == sat::SatOutcome::kBudget) {
-    return base::ResourceExhaustedError("SAT decision budget exceeded");
+  auto outcome = impl.BudgetedSolve(impl.SeqSolver(), {});
+  if (!outcome.ok()) return outcome.status();
+  return *outcome == sat::SatOutcome::kSat;
+}
+
+base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
+  Impl& impl = *impl_;
+  Answers answers;
+  auto has_model = HasModel();
+  if (!has_model.ok()) return has_model.status();
+  answers.inconsistent = !*has_model;
+
+  const int arity = impl.program->QueryArity();
+  if (arity == 0) {
+    auto holds = CertainlyHolds({});
+    if (!holds.ok()) return holds.status();
+    if (*holds) answers.tuples.emplace_back();
+    return answers;
   }
-  return outcome == sat::SatOutcome::kSat;
+  const std::vector<ConstId>& adom = impl.adom;
+  if (adom.empty()) return answers;
+
+  // Candidate tuples are the flat indices of adom^arity in mixed radix,
+  // most significant position first — index order IS lexicographic tuple
+  // order over adom's ordering.
+  const std::uint64_t radix = adom.size();
+  std::uint64_t total = 1;
+  for (int i = 0; i < arity; ++i) {
+    if (total > std::numeric_limits<std::uint64_t>::max() / radix) {
+      return base::ResourceExhaustedError(
+          "candidate tuple space exceeds 2^64");
+    }
+    total *= radix;
+  }
+
+  std::unique_ptr<base::ThreadPool> owned;
+  base::ThreadPool& pool = base::ResolvePool(impl.options.threads, &owned);
+  const int slots = pool.threads();
+
+  /// Per-slot scratch: a private solver over the shared snapshot, hit
+  /// tuples, and a local probe count. Slots never share, so the probe loop
+  /// runs lock-free; everything merges after the join.
+  struct WorkerState {
+    sat::Solver solver;
+    sat::Var spare = -1;
+    bool loaded = false;
+    std::vector<std::vector<ConstId>> hits;
+    std::uint64_t checks = 0;
+  };
+  std::vector<WorkerState> states(static_cast<std::size_t>(slots));
+  const GroundedClauses& snapshot = *impl.snapshot;
+  const PredId goal = impl.program->goal();
+
+  base::Status status = pool.ParallelFor(
+      total, /*min_chunk=*/1,
+      [&](std::uint64_t begin, std::uint64_t end, int slot) -> base::Status {
+        WorkerState& ws = states[static_cast<std::size_t>(slot)];
+        if (!ws.loaded) {
+          ws.spare = LoadSolver(snapshot, &ws.solver);
+          ws.loaded = true;
+        }
+        std::vector<ConstId> tuple(static_cast<std::size_t>(arity));
+        for (std::uint64_t flat = begin; flat < end; ++flat) {
+          std::uint64_t rest = flat;
+          for (int i = arity - 1; i >= 0; --i) {
+            tuple[static_cast<std::size_t>(i)] = adom[rest % radix];
+            rest /= radix;
+          }
+          ++ws.checks;
+          sat::Var goal_var = snapshot.GoalVar(goal, tuple, ws.spare);
+          auto outcome =
+              impl.BudgetedSolve(ws.solver, {sat::Lit::Neg(goal_var)});
+          if (!outcome.ok()) return outcome.status();
+          if (*outcome == sat::SatOutcome::kUnsat) ws.hits.push_back(tuple);
+        }
+        return base::Status::Ok();
+      });
+
+  std::uint64_t checks = 0;
+  for (WorkerState& ws : states) {
+    checks += ws.checks;
+    // Per-worker solver stats reach the registry when `states` dies, via
+    // ~Solver; nothing to aggregate by hand beyond the probe count.
+  }
+  DdlogCounters::Get().certain_checks.Add(checks);
+  if (!status.ok()) return status;
+
+  for (WorkerState& ws : states) {
+    for (auto& tuple : ws.hits) answers.tuples.push_back(std::move(tuple));
+  }
+  std::sort(answers.tuples.begin(), answers.tuples.end());
+  return answers;
 }
 
 base::Result<Answers> CertainAnswers(const Program& program,
@@ -322,36 +510,7 @@ base::Result<Answers> CertainAnswers(const Program& program,
                                      const EvalOptions& options) {
   auto grounded = GroundedQuery::Build(program, instance, options);
   if (!grounded.ok()) return grounded.status();
-
-  Answers answers;
-  auto has_model = grounded->HasModel();
-  if (!has_model.ok()) return has_model.status();
-  answers.inconsistent = !*has_model;
-
-  const int arity = program.QueryArity();
-  // Build already computed the active domain; reuse it.
-  const std::vector<ConstId>& adom = grounded->ActiveDomain();
-
-  // Enumerate adom^arity candidate tuples.
-  std::vector<std::size_t> idx(static_cast<std::size_t>(arity), 0);
-  if (arity > 0 && adom.empty()) return answers;
-  std::vector<ConstId> tuple(static_cast<std::size_t>(arity));
-  for (;;) {
-    for (int i = 0; i < arity; ++i) tuple[i] = adom[idx[i]];
-    auto holds = grounded->CertainlyHolds(tuple);
-    if (!holds.ok()) return holds.status();
-    if (*holds) answers.tuples.push_back(tuple);
-    // Advance the odometer.
-    int pos = arity - 1;
-    while (pos >= 0 && ++idx[pos] == adom.size()) {
-      idx[pos] = 0;
-      --pos;
-    }
-    if (pos < 0) break;
-    if (arity == 0) break;
-  }
-  std::sort(answers.tuples.begin(), answers.tuples.end());
-  return answers;
+  return grounded->ComputeCertainAnswers();
 }
 
 base::Result<bool> EvaluateBoolean(const Program& program,

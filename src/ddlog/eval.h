@@ -11,12 +11,21 @@
 
 namespace obda::ddlog {
 
-/// Budgets for certain-answer evaluation.
+/// Budgets and parallelism knobs for certain-answer evaluation.
 struct EvalOptions {
-  /// SAT decision budget per candidate answer tuple.
+  /// Global SAT decision budget for one grounding: the sum of decisions
+  /// across every probe on it, from every worker (a shared atomic
+  /// ceiling, not a per-probe allowance). Exceeding it returns
+  /// kResourceExhausted naming the budget. 0 = unlimited.
   std::uint64_t max_decisions = 20'000'000;
   /// Cap on ground clauses produced (guards against rule-width blowups).
+  /// Exceeding it fails Build with kResourceExhausted naming the budget.
   std::uint64_t max_ground_clauses = 10'000'000;
+  /// Worker count for the certain-answer fan-out: 1 = sequential (the
+  /// debugging path), 0 = the process-wide pool sized by OBDA_THREADS /
+  /// hardware_concurrency, N > 1 = a dedicated pool of N workers.
+  /// Answers are bit-identical for every value.
+  int threads = 0;
 };
 
 /// The answers to a DDlog query on an instance: all tuples a over
@@ -33,7 +42,10 @@ struct Answers {
 /// tuples. Grounding materializes, for each rule and each substitution
 /// whose EDB body atoms hold in D, a propositional clause over ground IDB
 /// atoms (the minimal-extension argument in DESIGN.md justifies restricting
-/// models to EDB = D and domain = adom(D)).
+/// models to EDB = D and domain = adom(D)). The clauses and ground-atom
+/// ids live in one immutable snapshot built at Build time; every worker
+/// thread of the parallel engine instantiates its own sat::Solver from
+/// that shared snapshot.
 class GroundedQuery {
  public:
   /// Grounds `program` over `instance`. The program must Validate().
@@ -45,11 +57,19 @@ class GroundedQuery {
                                                EvalOptions());
 
   /// Decides whether goal(`tuple`) holds in every model (co-NP check via
-  /// one SAT call assuming ¬goal(tuple)).
+  /// one SAT call assuming ¬goal(tuple)). Sequential; decisions count
+  /// toward the grounding's shared budget.
   base::Result<bool> CertainlyHolds(const std::vector<data::ConstId>& tuple);
 
   /// Whether any model exists at all.
   base::Result<bool> HasModel();
+
+  /// Computes all certain answers: probes every candidate tuple over
+  /// ActiveDomain()^arity, fanning the independent co-NP probes across
+  /// options.threads workers (each with its own solver over the shared
+  /// clause snapshot) and merging hits into lexicographic order — answers
+  /// are bit-identical to the sequential engine for any thread count.
+  base::Result<Answers> ComputeCertainAnswers();
 
   /// The active domain of the grounded instance, computed once at Build
   /// time and shared with callers enumerating candidate tuples.

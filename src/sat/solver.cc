@@ -27,6 +27,21 @@ struct SatCounters {
 
 }  // namespace
 
+Solver::~Solver() { FlushStats(); }
+
+void Solver::FlushStats() {
+  if (!obs::MetricsEnabled()) return;
+  SatCounters& counters = SatCounters::Get();
+  counters.solve_calls.Add(stats_.solve_calls - flushed_.solve_calls);
+  counters.decisions.Add(stats_.decisions - flushed_.decisions);
+  counters.propagations.Add(stats_.propagations - flushed_.propagations);
+  counters.conflicts.Add(stats_.conflicts - flushed_.conflicts);
+  counters.restarts.Add(stats_.restarts - flushed_.restarts);
+  counters.budget_exhausted.Add(stats_.budget_exhausted -
+                                flushed_.budget_exhausted);
+  flushed_ = stats_;
+}
+
 Var Solver::NewVar() {
   Var v = static_cast<Var>(assign_.size());
   assign_.push_back(kUndef);
@@ -130,29 +145,22 @@ SatOutcome Solver::Solve(const std::vector<Lit>& assumptions,
                          std::uint64_t max_decisions) {
   obs::ScopedTimer timer(SatCounters::Get().solve);
   obs::TraceSpan span("sat.solve");
-  const Stats before = stats_;
   ++stats_.solve_calls;
   SatOutcome outcome = SolveImpl(assumptions, max_decisions);
   stats_.decisions += decisions_;
   stats_.max_trail = std::max<std::uint64_t>(stats_.max_trail,
                                              trail_.size());
-  if (obs::MetricsEnabled()) {
-    SatCounters& counters = SatCounters::Get();
-    counters.solve_calls.Add(1);
-    counters.decisions.Add(decisions_);
-    counters.propagations.Add(stats_.propagations - before.propagations);
-    counters.conflicts.Add(stats_.conflicts - before.conflicts);
-    counters.restarts.Add(stats_.restarts - before.restarts);
-    if (outcome == SatOutcome::kBudget) counters.budget_exhausted.Add(1);
-  }
+  if (outcome == SatOutcome::kBudget) ++stats_.budget_exhausted;
+  // Registry mirroring happens once per solver, in FlushStats(), so
+  // concurrent solvers never interleave partial per-call updates.
   return outcome;
 }
 
 SatOutcome Solver::SolveImpl(const std::vector<Lit>& assumptions,
                              std::uint64_t max_decisions) {
+  decisions_ = 0;
   if (trivially_unsat_) return SatOutcome::kUnsat;
   UndoTo(0);
-  decisions_ = 0;
 
   // Enqueue unit clauses.
   for (const auto& c : clauses_) {

@@ -44,7 +44,12 @@ class Solver {
  public:
   /// Search statistics, accumulated across all Solve() calls on this
   /// solver (the engines reuse one grounding for many assumption sets).
-  /// Also mirrored into the global obs::MetricsRegistry as `sat.*`.
+  /// Plain ints — each solver owns its stats, so hot-path updates need no
+  /// synchronization even when many solvers run on different threads.
+  /// The accumulated totals are mirrored into the global
+  /// obs::MetricsRegistry as `sat.*` once per solver, at destruction (or
+  /// via an explicit FlushStats()), never per Solve() call, so concurrent
+  /// solvers cannot interleave partial per-call updates.
   struct Stats {
     std::uint64_t solve_calls = 0;
     std::uint64_t decisions = 0;
@@ -57,7 +62,20 @@ class Solver {
     std::uint64_t restarts = 0;
     /// High-water mark of the assignment trail.
     std::uint64_t max_trail = 0;
+    /// Solve() calls that returned kBudget.
+    std::uint64_t budget_exhausted = 0;
   };
+
+  Solver() = default;
+  /// Flushes the solver's stats into the global registry (FlushStats).
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Mirrors the stats accumulated since the previous flush into the
+  /// global obs::MetricsRegistry (`sat.*` counters). Idempotent; called
+  /// automatically at destruction. A no-op while metrics are disabled.
+  void FlushStats();
 
   /// Adds a fresh variable and returns it.
   Var NewVar();
@@ -115,6 +133,8 @@ class Solver {
   bool trivially_unsat_ = false;
   std::uint64_t decisions_ = 0;
   Stats stats_;
+  /// The prefix of `stats_` already mirrored into the registry.
+  Stats flushed_;
   /// Static branching order: variables sorted by occurrence count.
   std::vector<std::uint32_t> occurrence_;
 };

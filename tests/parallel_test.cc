@@ -1,0 +1,323 @@
+// Determinism and safety net for the parallel certain-answer engine: the
+// thread pool's scheduling must never leak into any observable output.
+// Certain answers, the inconsistency flag, and obstruction sets are
+// byte-identical at every thread count, and budget exhaustion surfaces as
+// the same kResourceExhausted error naming the tripped budget.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/status.h"
+#include "base/thread_pool.h"
+#include "csp/obstruction.h"
+#include "data/generator.h"
+#include "data/instance.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+
+namespace obda {
+namespace {
+
+using data::Instance;
+using data::Schema;
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, DefaultThreadCountReadsEnvironment) {
+  ASSERT_EQ(setenv("OBDA_THREADS", "3", 1), 0);
+  EXPECT_EQ(base::DefaultThreadCount(), 3);
+  ASSERT_EQ(setenv("OBDA_THREADS", "0", 1), 0);
+  EXPECT_GE(base::DefaultThreadCount(), 1);  // invalid values fall through
+  ASSERT_EQ(unsetenv("OBDA_THREADS"), 0);
+  EXPECT_GE(base::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (int threads : {1, 2, 8}) {
+    base::ThreadPool pool(threads);
+    const std::uint64_t n = 10'000;
+    std::vector<std::atomic<int>> seen(n);
+    for (auto& s : seen) s.store(0);
+    base::Status status = pool.ParallelFor(
+        n, /*min_chunk=*/7,
+        [&](std::uint64_t begin, std::uint64_t end, int slot) {
+          EXPECT_GE(slot, 0);
+          EXPECT_LT(slot, threads);
+          for (std::uint64_t i = begin; i < end; ++i) {
+            seen[i].fetch_add(1);
+          }
+          return base::Status::Ok();
+        });
+    ASSERT_TRUE(status.ok());
+    for (std::uint64_t i = 0; i < n; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i << " at " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SequentialPathReportsFirstFailingChunk) {
+  base::ThreadPool pool(1);
+  std::atomic<int> calls{0};
+  base::Status status = pool.ParallelFor(
+      100, /*min_chunk=*/10,
+      [&](std::uint64_t begin, std::uint64_t, int) {
+        calls.fetch_add(1);
+        if (begin >= 30) {
+          return base::InternalError("failed at " + std::to_string(begin));
+        }
+        return base::Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "failed at 30");
+  EXPECT_EQ(calls.load(), 4);  // sequential path stops at the failure
+}
+
+TEST(ThreadPoolTest, ErrorCancelsAndPropagates) {
+  base::ThreadPool pool(8);
+  base::Status status = pool.ParallelFor(
+      1'000, /*min_chunk=*/1,
+      [&](std::uint64_t begin, std::uint64_t, int) {
+        if (begin == 0) return base::InternalError("boom");
+        return base::Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), base::StatusCode::kInternal);
+  EXPECT_EQ(status.message(), "boom");  // chunk 0 has the lowest index
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  base::ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  base::Status status = pool.ParallelFor(
+      16, /*min_chunk=*/1,
+      [&](std::uint64_t begin, std::uint64_t end, int) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          base::Status inner = pool.ParallelFor(
+              8, /*min_chunk=*/1,
+              [&](std::uint64_t b, std::uint64_t e, int) {
+                for (std::uint64_t j = b; j < e; ++j) {
+                  sum.fetch_add(i * 8 + j);
+                }
+                return base::Status::Ok();
+              });
+          if (!inner.ok()) return inner;
+        }
+        return base::Status::Ok();
+      });
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(sum.load(), 128u * 127u / 2);  // sum over [0, 16*8)
+}
+
+// --- CertainAnswers determinism --------------------------------------------
+
+/// A random disjunctive program over {E/2, L/1} with 2-3 unary IDBs,
+/// guess + constraint + propagation rules, and a goal of the given arity.
+/// Draws enough variety to hit consistent, inconsistent, empty-answer and
+/// full-answer cases across seeds.
+ddlog::Program RandomProgram(base::Rng& rng, int goal_arity) {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("L", 1);
+  ddlog::Program program(s);
+  std::vector<ddlog::PredId> idb;
+  const int num_idb = 2 + static_cast<int>(rng.Below(2));
+  for (int i = 0; i < num_idb; ++i) {
+    idb.push_back(program.AddIdbPredicate("P" + std::to_string(i), 1));
+  }
+  ddlog::PredId goal = program.AddIdbPredicate("goal", goal_arity);
+  program.SetGoal(goal);
+  ddlog::PredId adom = program.EnsureAdom();
+  auto add = [&program](std::vector<ddlog::Atom> head,
+                        std::vector<ddlog::Atom> body) {
+    OBDA_CHECK(program
+                   .AddRule(ddlog::Rule{std::move(head), std::move(body)})
+                   .ok());
+  };
+  // Guess rule: a random disjunction of IDBs over adom.
+  {
+    std::vector<ddlog::Atom> head;
+    for (ddlog::PredId p : idb) {
+      if (rng.Chance(2, 3)) head.push_back({p, {0}});
+    }
+    if (head.empty()) head.push_back({idb[0], {0}});
+    add(std::move(head), {{adom, {0}}});
+  }
+  // 2-4 random constraint/propagation rules over an E-edge (empty heads
+  // allowed: those are the constraints that make instances inconsistent).
+  const int extra = 2 + static_cast<int>(rng.Below(3));
+  for (int r = 0; r < extra; ++r) {
+    std::vector<ddlog::Atom> body = {{0 /*E*/, {0, 1}}};
+    body.push_back({idb[rng.Below(idb.size())],
+                    {static_cast<ddlog::VarId>(rng.Below(2))}});
+    if (rng.Chance(1, 2)) {
+      body.push_back({idb[rng.Below(idb.size())],
+                      {static_cast<ddlog::VarId>(rng.Below(2))}});
+    }
+    std::vector<ddlog::Atom> head;
+    if (rng.Chance(1, 2)) {
+      head.push_back({idb[rng.Below(idb.size())],
+                      {static_cast<ddlog::VarId>(rng.Below(2))}});
+    }
+    add(std::move(head), std::move(body));
+  }
+  // One unary trigger involving L, and the goal rule.
+  add({{idb[rng.Below(idb.size())], {0}}}, {{1 /*L*/, {0}}});
+  switch (goal_arity) {
+    case 0:
+      add({{goal, {}}},
+          {{0 /*E*/, {0, 1}}, {idb[rng.Below(idb.size())], {0}}});
+      break;
+    case 1:
+      add({{goal, {0}}}, {{idb[rng.Below(idb.size())], {0}}});
+      break;
+    default:
+      add({{goal, {0, 1}}},
+          {{0 /*E*/, {0, 1}}, {idb[rng.Below(idb.size())], {0}}});
+      break;
+  }
+  return program;
+}
+
+Instance RandomEdbInstance(base::Rng& rng, const Schema& s) {
+  Instance d(s);
+  const int n = 3 + static_cast<int>(rng.Below(3));
+  for (int i = 0; i < n; ++i) d.AddConstant("c" + std::to_string(i));
+  const int edges = 4 + static_cast<int>(rng.Below(4));
+  for (int e = 0; e < edges; ++e) {
+    d.AddFact(0, {static_cast<data::ConstId>(rng.Below(n)),
+                  static_cast<data::ConstId>(rng.Below(n))});
+  }
+  if (rng.Chance(2, 3)) {
+    d.AddFact(1, {static_cast<data::ConstId>(rng.Below(n))});
+  }
+  return d;
+}
+
+TEST(ParallelCertainAnswersTest, ByteIdenticalAcrossThreadCounts) {
+  for (int seed = 0; seed < 50; ++seed) {
+    base::Rng rng(seed);
+    ddlog::Program program = RandomProgram(rng, seed % 3);
+    ASSERT_TRUE(program.Validate().ok()) << "seed " << seed;
+    Instance d = RandomEdbInstance(rng, program.edb_schema());
+
+    ddlog::EvalOptions sequential;
+    sequential.threads = 1;
+    auto reference = ddlog::CertainAnswers(program, d, sequential);
+    ASSERT_TRUE(reference.ok()) << "seed " << seed << ": "
+                                << reference.status().ToString();
+    for (int threads : {2, 8}) {
+      ddlog::EvalOptions options;
+      options.threads = threads;
+      auto parallel = ddlog::CertainAnswers(program, d, options);
+      ASSERT_TRUE(parallel.ok()) << "seed " << seed << " threads "
+                                 << threads;
+      EXPECT_EQ(parallel->inconsistent, reference->inconsistent)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel->tuples, reference->tuples)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// --- Obstruction determinism ------------------------------------------------
+
+TEST(ParallelObstructionTest, ByteIdenticalAcrossThreadCounts) {
+  base::Rng rng(71);
+  std::vector<Instance> templates;
+  templates.push_back(data::DirectedPath("E", 1));
+  templates.push_back(data::Loop("E"));
+  templates.push_back(data::RandomDigraph("E", 3, 4, rng));
+  for (const Instance& b : templates) {
+    csp::ObstructionOptions sequential;
+    sequential.max_nodes = 3;
+    sequential.threads = 1;
+    auto reference = csp::TreeObstructions(b, sequential);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    std::vector<std::string> expected;
+    for (const Instance& t : *reference) expected.push_back(t.ToString());
+    for (int threads : {2, 8}) {
+      csp::ObstructionOptions options;
+      options.max_nodes = 3;
+      options.threads = threads;
+      auto parallel = csp::TreeObstructions(b, options);
+      ASSERT_TRUE(parallel.ok()) << "threads " << threads;
+      ASSERT_EQ(parallel->size(), expected.size()) << "threads " << threads;
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ((*parallel)[i].ToString(), expected[i])
+            << "threads " << threads << " obstruction " << i;
+      }
+    }
+  }
+}
+
+// --- Budget cancellation ----------------------------------------------------
+
+/// The bench's 2-coloring shape, small: every probe costs real decisions,
+/// so a tight global budget trips mid-sweep on every thread count.
+struct TwoColoring {
+  ddlog::Program program;
+  Instance instance;
+};
+
+TwoColoring BuildTwoColoring(int nodes, int edges, base::Rng& rng) {
+  Schema s;
+  s.AddRelation("E", 2);
+  ddlog::Program program(s);
+  ddlog::PredId a = program.AddIdbPredicate("A", 1);
+  ddlog::PredId b = program.AddIdbPredicate("B", 1);
+  ddlog::PredId goal = program.AddIdbPredicate("goal", 2);
+  program.SetGoal(goal);
+  ddlog::PredId adom = program.EnsureAdom();
+  OBDA_CHECK(program.AddRule({{{a, {0}}, {b, {0}}}, {{adom, {0}}}}).ok());
+  OBDA_CHECK(
+      program.AddRule({{}, {{0, {0, 1}}, {a, {0}}, {a, {1}}}}).ok());
+  OBDA_CHECK(
+      program.AddRule({{{goal, {0, 1}}}, {{0, {0, 1}}, {b, {0}}, {b, {1}}}})
+          .ok());
+  Instance d(s);
+  for (int i = 0; i < nodes; ++i) d.AddConstant("n" + std::to_string(i));
+  for (int e = 0; e < edges; ++e) {
+    d.AddFact(0, {static_cast<data::ConstId>(rng.Below(nodes)),
+                  static_cast<data::ConstId>(rng.Below(nodes))});
+  }
+  return TwoColoring{std::move(program), std::move(d)};
+}
+
+TEST(ParallelBudgetTest, SharedDecisionBudgetTripsOnEveryThreadCount) {
+  base::Rng rng(5);
+  TwoColoring tc = BuildTwoColoring(8, 16, rng);
+  for (int threads : {1, 2, 8}) {
+    ddlog::EvalOptions options;
+    options.threads = threads;
+    options.max_decisions = 50;
+    auto answers = ddlog::CertainAnswers(tc.program, tc.instance, options);
+    ASSERT_FALSE(answers.ok()) << "threads " << threads;
+    EXPECT_EQ(answers.status().code(), base::StatusCode::kResourceExhausted)
+        << "threads " << threads;
+    EXPECT_NE(answers.status().message().find("max_decisions=50"),
+              std::string::npos)
+        << "threads " << threads << ": " << answers.status().ToString();
+  }
+}
+
+TEST(ParallelBudgetTest, GroundClauseBudgetNamesItself) {
+  base::Rng rng(6);
+  TwoColoring tc = BuildTwoColoring(8, 16, rng);
+  ddlog::EvalOptions options;
+  options.max_ground_clauses = 5;
+  auto answers = ddlog::CertainAnswers(tc.program, tc.instance, options);
+  ASSERT_FALSE(answers.ok());
+  EXPECT_EQ(answers.status().code(), base::StatusCode::kResourceExhausted);
+  EXPECT_NE(answers.status().message().find("max_ground_clauses=5"),
+            std::string::npos)
+      << answers.status().ToString();
+}
+
+}  // namespace
+}  // namespace obda
