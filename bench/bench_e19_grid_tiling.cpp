@@ -6,6 +6,7 @@
 //   cert_{O2,E}(D_grid) = ∅ always (D_grid is consistent with O2), and
 //   (0,0) ∈ cert_{O1,E}(D_grid) iff the tiling system has NO solution.
 
+#include <cstdint>
 #include <cstdio>
 
 #include "bench_util.h"
@@ -29,6 +30,25 @@ obda::core::TilingSystem Unsolvable() {
   obda::core::TilingSystem t = Solvable();
   t.vertical = {};  // no vertical continuation at all
   return t;
+}
+
+/// FNV-1a over a certain-answer set (consistency bit + sorted tuples),
+/// so CI can gate the record against committed seed values across solver
+/// rewrites.
+std::uint64_t CertChecksum(
+    bool consistent,
+    const std::vector<std::vector<obda::data::ConstId>>& tuples) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(consistent ? 1 : 0);
+  for (const auto& tuple : tuples) {
+    mix(tuple.size());
+    for (obda::data::ConstId c : tuple) mix(c);
+  }
+  return h;
 }
 
 int Run() {
@@ -68,6 +88,13 @@ int Run() {
     }
     bool row = *consistent && (origin_certain == !solvable);
     ok = ok && row;
+    obda::bench::ReportMetric(
+        std::string("answers_checksum_") +
+            (solvable ? "solvable" : "unsolvable"),
+        static_cast<long long>(CertChecksum(*consistent, *cert1)));
+    obda::bench::ReportMetric(
+        std::string("answers_") + (solvable ? "solvable" : "unsolvable"),
+        static_cast<long long>(cert1->size()));
     std::printf("%s system: D_grid consistent with O2: %s;  (0,0) ∈ "
                 "cert_{O1,E}: %s (expected %s)  [%zu E-certain cells]%s\n",
                 solvable ? "solvable " : "unsolvable",

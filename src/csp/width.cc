@@ -168,6 +168,10 @@ void AddWnuConstraints(OperationTable* table, int domain, int arity) {
   }
 }
 
+/// One satisfiability call per polymorphism question. The one-hot
+/// operation-table encoding is conflict-dense, so the CDCL solver's
+/// clause learning and restarts do the heavy lifting within this single
+/// Solve() (there is no cross-probe reuse to exploit here).
 base::Result<bool> SolveOutcome(Solver* solver,
                                 const WidthOptions& options) {
   sat::SatOutcome outcome = solver->Solve({}, options.max_decisions);

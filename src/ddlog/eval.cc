@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "base/check.h"
@@ -35,6 +36,10 @@ struct DdlogCounters {
       obs::GetCounter("ddlog.disjunctive_branchings");
   obs::Counter& ground_atoms = obs::GetCounter("ddlog.ground_atoms");
   obs::Counter& certain_checks = obs::GetCounter("ddlog.certain_checks");
+  /// Probes answered from a worker's cached model without a Solve():
+  /// the last model found already avoided the probed goal atom.
+  obs::Counter& model_cache_hits =
+      obs::GetCounter("ddlog.model_cache_hits");
   /// Join indexes materialized by the grounder (one per distinct
   /// (relation, bound-position pattern) probed during grounding).
   obs::Counter& index_builds = obs::GetCounter("ddlog.index_builds");
@@ -73,9 +78,23 @@ struct GroundedClauses {
 
 /// Instantiates `solver` from the snapshot and appends one spare
 /// unconstrained variable (returned) for probes on ungrounded goal atoms.
+/// Duplicate grounded clauses (distinct rule firings can emit the same
+/// clause, e.g. via symmetric bodies) are fed to the solver only once.
 sat::Var LoadSolver(const GroundedClauses& snapshot, sat::Solver* solver) {
   for (std::size_t v = 0; v < snapshot.num_vars; ++v) solver->NewVar();
-  for (const auto& clause : snapshot.clauses) solver->AddClause(clause);
+  std::unordered_set<AtomKey, base::VectorHash<std::uint32_t>> seen;
+  seen.reserve(snapshot.clauses.size());
+  AtomKey key;
+  for (const auto& clause : snapshot.clauses) {
+    key.clear();
+    key.reserve(clause.size());
+    for (sat::Lit l : clause) {
+      key.push_back(static_cast<std::uint32_t>(l.code));
+    }
+    std::sort(key.begin(), key.end());
+    if (!seen.insert(key).second) continue;
+    solver->AddClause(clause);
+  }
   return solver->NewVar();
 }
 
@@ -457,8 +476,17 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
     sat::Solver solver;
     sat::Var spare = -1;
     bool loaded = false;
+    /// The last model this worker's solver found, indexed by variable
+    /// (empty until the first kSat). The grounding is immutable, so any
+    /// model found for tuple k is still a model during tuple k+1's
+    /// probe: if it already avoids goal(tuple), it witnesses "not a
+    /// certain answer" with no Solve() at all. This — together with the
+    /// learned clauses the solver keeps across probes — is the
+    /// cross-probe reuse that collapses the per-tuple cost.
+    std::vector<char> model;
     std::vector<std::vector<ConstId>> hits;
     std::uint64_t checks = 0;
+    std::uint64_t cache_hits = 0;
   };
   std::vector<WorkerState> states(static_cast<std::size_t>(slots));
   const GroundedClauses& snapshot = *impl.snapshot;
@@ -481,21 +509,38 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
           }
           ++ws.checks;
           sat::Var goal_var = snapshot.GoalVar(goal, tuple, ws.spare);
+          if (!ws.model.empty() &&
+              ws.model[static_cast<std::size_t>(goal_var)] == 0) {
+            ++ws.cache_hits;  // cached model already avoids goal(tuple)
+            continue;
+          }
           auto outcome =
               impl.BudgetedSolve(ws.solver, {sat::Lit::Neg(goal_var)});
           if (!outcome.ok()) return outcome.status();
-          if (*outcome == sat::SatOutcome::kUnsat) ws.hits.push_back(tuple);
+          if (*outcome == sat::SatOutcome::kUnsat) {
+            ws.hits.push_back(tuple);
+          } else {
+            const std::size_t num_vars = ws.solver.NumVars();
+            ws.model.resize(num_vars);
+            for (std::size_t v = 0; v < num_vars; ++v) {
+              ws.model[v] =
+                  ws.solver.ModelValue(static_cast<sat::Var>(v)) ? 1 : 0;
+            }
+          }
         }
         return base::Status::Ok();
       });
 
   std::uint64_t checks = 0;
+  std::uint64_t cache_hits = 0;
   for (WorkerState& ws : states) {
     checks += ws.checks;
+    cache_hits += ws.cache_hits;
     // Per-worker solver stats reach the registry when `states` dies, via
-    // ~Solver; nothing to aggregate by hand beyond the probe count.
+    // ~Solver; nothing to aggregate by hand beyond the probe counts.
   }
   DdlogCounters::Get().certain_checks.Add(checks);
+  DdlogCounters::Get().model_cache_hits.Add(cache_hits);
   if (!status.ok()) return status;
 
   for (WorkerState& ws : states) {

@@ -18,9 +18,13 @@ using sat::Solver;
 using sat::Var;
 
 /// SAT encoding of "exists a model D' ⊇ D of O over a fixed domain with
-/// ¬q(ā)". One instance per (ontology, instance, query); re-solved per
-/// answer tuple via assumptions is not possible with the clause-level ¬q
-/// encoding, so we rebuild per call (instances are small).
+/// ¬q(ā)". One encoder (and one CDCL solver) serves a whole answer-tuple
+/// sweep: the model constraints are built once, and each tuple's ¬q(ā)
+/// clauses are guarded by a fresh selector literal ¬s_ā so that solving
+/// under the assumption s_ā activates exactly that tuple's query ban.
+/// Selectors occur only negatively, so clauses from other tuples are
+/// vacuously satisfiable and the clauses the solver learns remain valid
+/// for every later probe (Eén–Sörensson incremental solving).
 class BoundedEncoder {
  public:
   BoundedEncoder(const Ontology& ontology, const data::Instance& instance,
@@ -111,20 +115,27 @@ class BoundedEncoder {
 
   /// Adds ¬q(answer): for every disjunct and every assignment of its
   /// variables (answer variables pinned), at least one atom is false.
+  /// A valid `guard` literal is appended to every emitted clause; pass
+  /// ¬s for a selector s to make the ban conditional on assuming s.
   void ForbidQuery(const fo::UnionOfCq& q,
-                   const std::vector<ConstId>& answer) {
+                   const std::vector<ConstId>& answer,
+                   Lit guard = Lit{-1}) {
     for (const fo::ConjunctiveQuery& cq : q.disjuncts()) {
       const int nv = cq.num_vars();
       std::vector<int> assign(static_cast<std::size_t>(nv), 0);
       for (int i = 0; i < cq.arity(); ++i) {
         assign[i] = static_cast<int>(answer[i]);
       }
-      ForbidAssignments(cq, cq.arity(), &assign);
+      ForbidAssignments(cq, cq.arity(), guard, &assign);
     }
   }
 
-  base::Result<bool> Solve() {
-    sat::SatOutcome outcome = solver_.Solve({}, options_.max_decisions);
+  /// A fresh selector variable for guarding one tuple's query ban.
+  Var NewSelector() { return solver_.NewVar(); }
+
+  base::Result<bool> Solve(const std::vector<Lit>& assumptions = {}) {
+    sat::SatOutcome outcome =
+        solver_.Solve(assumptions, options_.max_decisions);
     if (outcome == sat::SatOutcome::kBudget) {
       return base::ResourceExhaustedError(
           "bounded-model SAT budget exceeded");
@@ -134,9 +145,10 @@ class BoundedEncoder {
 
  private:
   void ForbidAssignments(const fo::ConjunctiveQuery& cq, int next_var,
-                         std::vector<int>* assign) {
+                         Lit guard, std::vector<int>* assign) {
     if (next_var == cq.num_vars()) {
       std::vector<Lit> clause;
+      if (guard.code >= 0) clause.push_back(guard);
       for (const fo::QueryAtom& a : cq.atoms()) {
         const std::string& name = cq.schema().RelationName(a.rel);
         int arity = cq.schema().Arity(a.rel);
@@ -154,7 +166,7 @@ class BoundedEncoder {
     }
     for (int d = 0; d < num_elements_; ++d) {
       (*assign)[next_var] = d;
-      ForbidAssignments(cq, next_var + 1, assign);
+      ForbidAssignments(cq, next_var + 1, guard, assign);
     }
   }
 
@@ -318,17 +330,22 @@ BoundedCertainAnswers(const Ontology& ontology,
   const std::vector<data::ConstId> adom = instance.ActiveDomain();
   const int arity = q.arity();
   if (arity > 0 && adom.empty()) return out;
+  // One encoder for the whole sweep: model constraints are encoded once,
+  // each tuple gets a selector-guarded query ban, and the solver's
+  // learned clauses warm up across the adom^arity probes.
+  BoundedEncoder encoder(ontology, instance, options);
+  encoder.AddQuerySignature(q);
+  encoder.BuildModelConstraints();
   std::vector<std::size_t> idx(static_cast<std::size_t>(arity), 0);
   for (;;) {
     std::vector<data::ConstId> tuple;
     tuple.reserve(arity);
     for (int i = 0; i < arity; ++i) tuple.push_back(adom[idx[i]]);
-    auto verdict = BoundedCertainAnswer(ontology, instance, q, tuple,
-                                        options);
-    if (!verdict.ok()) return verdict.status();
-    if (*verdict == BoundedVerdict::kCertainWithinBound) {
-      out.push_back(tuple);
-    }
+    Var selector = encoder.NewSelector();
+    encoder.ForbidQuery(q, tuple, Lit::Neg(selector));
+    auto sat = encoder.Solve({Lit::Pos(selector)});
+    if (!sat.ok()) return sat.status();
+    if (!*sat) out.push_back(tuple);
     int pos = arity - 1;
     while (pos >= 0 && ++idx[pos] == adom.size()) {
       idx[pos] = 0;

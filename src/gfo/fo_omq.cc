@@ -16,7 +16,10 @@ using sat::Solver;
 using sat::Var;
 
 /// SAT encoder for "exists a structure D' ⊇ D over a fixed domain with
-/// D' ⊨ O and ¬q(ā)".
+/// D' ⊨ O and ¬q(ā)". One encoder serves a whole answer sweep: the data
+/// facts and ontology sentence are encoded once (BuildBase), and each
+/// tuple's ¬q(ā) clauses are guarded by a fresh selector literal so one
+/// CDCL solver — with its learned clauses — is reused across all probes.
 class FoEncoder {
  public:
   FoEncoder(const FoOmq& omq, const data::Instance& instance,
@@ -26,7 +29,8 @@ class FoEncoder {
         static_cast<int>(instance.UniverseSize()) + options.extra_elements;
   }
 
-  void Build(const std::vector<data::ConstId>& answer) {
+  /// Encodes the answer-independent part: data facts and the ontology.
+  void BuildBase() {
     // Data facts forced.
     const data::Schema& schema = instance_.schema();
     for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
@@ -40,18 +44,26 @@ class FoEncoder {
     // Ontology sentence.
     std::vector<int> env;
     solver_.AddClause({EncodeLit(omq_.ontology, &env)});
-    // ¬q(answer).
+  }
+
+  /// Adds the ¬q(answer) clauses, each guarded by ¬selector (selectors
+  /// occur only negatively, so other tuples' bans stay inert), and
+  /// returns the selector to assume for this answer's probe.
+  Lit AddGuardedQueryBan(const std::vector<data::ConstId>& answer) {
+    Var selector = solver_.NewVar();
     for (const fo::ConjunctiveQuery& cq : omq_.query.disjuncts()) {
       std::vector<int> assign(static_cast<std::size_t>(cq.num_vars()), 0);
       for (int i = 0; i < cq.arity(); ++i) {
         assign[i] = static_cast<int>(answer[i]);
       }
-      ForbidQuery(cq, cq.arity(), &assign);
+      ForbidQuery(cq, cq.arity(), Lit::Neg(selector), &assign);
     }
+    return Lit::Pos(selector);
   }
 
-  base::Result<bool> Solve() {
-    sat::SatOutcome outcome = solver_.Solve({}, options_.max_decisions);
+  base::Result<bool> Solve(const std::vector<Lit>& assumptions) {
+    sat::SatOutcome outcome =
+        solver_.Solve(assumptions, options_.max_decisions);
     if (outcome == sat::SatOutcome::kBudget) {
       return base::ResourceExhaustedError("FO bounded-model budget");
     }
@@ -160,10 +172,11 @@ class FoEncoder {
     return Lit::Pos(v);
   }
 
-  void ForbidQuery(const fo::ConjunctiveQuery& cq, int next,
+  void ForbidQuery(const fo::ConjunctiveQuery& cq, int next, Lit guard,
                    std::vector<int>* assign) {
     if (next == cq.num_vars()) {
       std::vector<Lit> clause;
+      clause.push_back(guard);
       for (const fo::QueryAtom& a : cq.atoms()) {
         std::vector<int> args;
         for (fo::QVar v : a.vars) args.push_back((*assign)[v]);
@@ -175,7 +188,7 @@ class FoEncoder {
     }
     for (int d = 0; d < num_elements_; ++d) {
       (*assign)[next] = d;
-      ForbidQuery(cq, next + 1, assign);
+      ForbidQuery(cq, next + 1, guard, assign);
     }
   }
 
@@ -197,13 +210,14 @@ BoundedCertainAnswersFo(const FoOmq& omq, const data::Instance& instance,
   const std::vector<data::ConstId> adom = instance.ActiveDomain();
   const int arity = omq.query.arity();
   if (arity > 0 && adom.empty()) return out;
+  // One encoder (and one warmed CDCL solver) for the whole sweep.
+  FoEncoder encoder(omq, instance, options);
+  encoder.BuildBase();
   std::vector<std::size_t> idx(static_cast<std::size_t>(arity), 0);
   for (;;) {
     std::vector<data::ConstId> tuple;
     for (int i = 0; i < arity; ++i) tuple.push_back(adom[idx[i]]);
-    FoEncoder encoder(omq, instance, options);
-    encoder.Build(tuple);
-    auto sat = encoder.Solve();
+    auto sat = encoder.Solve({encoder.AddGuardedQueryBan(tuple)});
     if (!sat.ok()) return sat.status();
     if (!*sat) out.push_back(tuple);  // no countermodel: certain
     int pos = arity - 1;

@@ -66,6 +66,9 @@ base::Result<bool> Mmsnp2Formula::Satisfied(
   const std::vector<data::ConstId> adom = instance.ActiveDomain();
   if (adom.empty()) return true;  // sentence convention
 
+  // The grounded implication set is one monolithic satisfiability
+  // question; the CDCL solver's learning/backjumping bounds the search
+  // even on the adversarial instances the MMSNP₂ reductions produce.
   sat::Solver solver;
   std::map<AtomKey, sat::Var> vars;
   auto var_for = [&](AtomKey key) {

@@ -8,8 +8,8 @@ namespace obda::sat {
 
 namespace {
 
-/// Registry handles, resolved once per process; Solve() flushes its
-/// per-call deltas in one batch.
+/// Registry handles, resolved once per process; FlushStats() mirrors the
+/// per-solver deltas in one batch.
 struct SatCounters {
   obs::Counter& solve_calls = obs::GetCounter("sat.solve_calls");
   obs::Counter& decisions = obs::GetCounter("sat.decisions");
@@ -17,6 +17,10 @@ struct SatCounters {
   obs::Counter& conflicts = obs::GetCounter("sat.conflicts");
   obs::Counter& restarts = obs::GetCounter("sat.restarts");
   obs::Counter& budget_exhausted = obs::GetCounter("sat.budget_exhausted");
+  obs::Counter& learned_clauses = obs::GetCounter("sat.learned_clauses");
+  obs::Counter& learned_literals = obs::GetCounter("sat.learned_literals");
+  obs::Counter& reductions = obs::GetCounter("sat.reductions");
+  obs::Counter& backjump_levels = obs::GetCounter("sat.backjump_levels");
   obs::TimerStat& solve = obs::GetTimer("sat.solve");
 
   static SatCounters& Get() {
@@ -24,6 +28,32 @@ struct SatCounters {
     return counters;
   }
 };
+
+/// Conflicts allowed before the i-th restart: kRestartBase * luby(2, i).
+constexpr std::uint64_t kRestartBase = 100;
+
+/// The reluctant-doubling (Luby) sequence 1,1,2,1,1,2,4,... (i is
+/// 0-based).
+std::uint64_t LubySeq(std::uint64_t i) {
+  // Find the subsequence [2^k - 1 terms] containing i, then recurse.
+  std::uint64_t k = 1;
+  std::uint64_t size = 1;
+  while (size < i + 1) {
+    ++k;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --k;
+    i = i % size;
+  }
+  return std::uint64_t{1} << (k - 1);
+}
+
+constexpr double kVarDecay = 0.95;
+constexpr double kClauseDecay = 0.999;
+constexpr double kActivityRescale = 1e100;
+constexpr double kClauseRescale = 1e20;
 
 }  // namespace
 
@@ -39,107 +69,398 @@ void Solver::FlushStats() {
   counters.restarts.Add(stats_.restarts - flushed_.restarts);
   counters.budget_exhausted.Add(stats_.budget_exhausted -
                                 flushed_.budget_exhausted);
+  counters.learned_clauses.Add(stats_.learned_clauses -
+                               flushed_.learned_clauses);
+  counters.learned_literals.Add(stats_.learned_literals -
+                                flushed_.learned_literals);
+  counters.reductions.Add(stats_.reductions - flushed_.reductions);
+  counters.backjump_levels.Add(stats_.backjump_levels -
+                               flushed_.backjump_levels);
   flushed_ = stats_;
 }
 
 Var Solver::NewVar() {
   Var v = static_cast<Var>(assign_.size());
   assign_.push_back(kUndef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
   watches_.emplace_back();
   watches_.emplace_back();
-  occurrence_.push_back(0);
+  activity_.push_back(0.0);
+  phase_.push_back(kFalse);
+  seen_.push_back(0);
+  heap_pos_.push_back(-1);
+  HeapInsert(v);
   return v;
 }
 
+// --- Variable order heap ----------------------------------------------------
+
+bool Solver::HeapLess(Var a, Var b) const {
+  // Max-heap on activity; ties broken toward the smaller index so the
+  // branching order (and with it every model) is deterministic.
+  if (activity_[a] != activity_[b]) return activity_[a] > activity_[b];
+  return a < b;
+}
+
+void Solver::HeapInsert(Var v) {
+  if (heap_pos_[v] >= 0) return;
+  heap_pos_[v] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  HeapSiftUp(heap_.size() - 1);
+}
+
+void Solver::HeapSiftUp(std::size_t i) {
+  Var v = heap_[i];
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    if (!HeapLess(v, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+void Solver::HeapSiftDown(std::size_t i) {
+  Var v = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && HeapLess(heap_[child + 1], heap_[child])) ++child;
+    if (!HeapLess(heap_[child], v)) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = static_cast<std::int32_t>(i);
+}
+
+Var Solver::PickBranchVar() {
+  while (!heap_.empty()) {
+    Var v = heap_[0];
+    Var last = heap_.back();
+    heap_.pop_back();
+    heap_pos_[v] = -1;
+    if (!heap_.empty()) {
+      heap_[0] = last;
+      heap_pos_[last] = 0;
+      HeapSiftDown(0);
+    }
+    if (assign_[v] == kUndef) return v;
+  }
+  return -1;
+}
+
+void Solver::BumpVarActivity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > kActivityRescale) {
+    for (double& a : activity_) a *= 1.0 / kActivityRescale;
+    var_inc_ *= 1.0 / kActivityRescale;
+  }
+  // Uniform scaling preserves the heap order, so only the bumped
+  // variable needs to move.
+  if (heap_pos_[v] >= 0) HeapSiftUp(static_cast<std::size_t>(heap_pos_[v]));
+}
+
+void Solver::BumpClauseActivity(Clause* c) {
+  c->activity += clause_inc_;
+  if (c->activity > kClauseRescale) {
+    for (Clause& cl : clauses_) {
+      if (cl.learned && !cl.deleted) cl.activity *= 1.0 / kClauseRescale;
+    }
+    clause_inc_ *= 1.0 / kClauseRescale;
+  }
+}
+
+// --- Clause database --------------------------------------------------------
+
+void Solver::Attach(CRef cref) {
+  const Clause& c = clauses_[cref];
+  OBDA_CHECK_GE(c.lits.size(), 2u);
+  watches_[c.lits[0].code].push_back(Watcher{cref, c.lits[1]});
+  watches_[c.lits[1].code].push_back(Watcher{cref, c.lits[0]});
+}
+
+void Solver::Detach(CRef cref) {
+  const Clause& c = clauses_[cref];
+  for (int slot = 0; slot < 2; ++slot) {
+    std::vector<Watcher>& ws = watches_[c.lits[slot].code];
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      if (ws[i].cref == cref) {
+        ws[i] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+bool Solver::Locked(CRef cref) const {
+  const Clause& c = clauses_[cref];
+  Var v = c.lits[0].var();
+  return assign_[v] != kUndef && reason_[v] == cref;
+}
+
+void Solver::ReduceDb() {
+  ++stats_.reductions;
+  std::vector<CRef> cands;
+  cands.reserve(num_learned_);
+  for (CRef i = 0; i < static_cast<CRef>(clauses_.size()); ++i) {
+    const Clause& c = clauses_[i];
+    // Glue ≤ 2 clauses encode near-unit implications and are kept
+    // forever; locked clauses are reasons on the current trail.
+    if (c.learned && !c.deleted && c.lbd > 2 && !Locked(i)) {
+      cands.push_back(i);
+    }
+  }
+  // Delete the least useful half: lowest activity first, then highest
+  // glue, then oldest slot — a total order, so reduction is
+  // deterministic.
+  std::sort(cands.begin(), cands.end(), [this](CRef a, CRef b) {
+    const Clause& ca = clauses_[a];
+    const Clause& cb = clauses_[b];
+    if (ca.activity != cb.activity) return ca.activity < cb.activity;
+    if (ca.lbd != cb.lbd) return ca.lbd > cb.lbd;
+    return a < b;
+  });
+  const std::size_t to_delete = cands.size() / 2;
+  for (std::size_t i = 0; i < to_delete; ++i) {
+    CRef cref = cands[i];
+    Detach(cref);
+    Clause& c = clauses_[cref];
+    c.deleted = true;
+    std::vector<Lit>().swap(c.lits);
+    free_slots_.push_back(cref);
+    --num_learned_;
+  }
+}
+
 void Solver::AddClause(std::vector<Lit> lits) {
-  // Normalize: sort, dedupe, drop tautologies.
+  if (!ok_) return;
+  // Clause addition is a level-0 operation; drop any leftover model
+  // assignment from a previous Solve().
+  CancelUntil(0);
+  for (Lit l : lits) {
+    OBDA_CHECK_LT(static_cast<std::size_t>(l.var()), assign_.size());
+  }
+  // Normalize: sort, dedupe, drop tautologies (p ∨ ¬p sort adjacently).
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code < b.code; });
   lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
   for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
-    if (lits[i].var() == lits[i + 1].var()) return;  // p ∨ ¬p: tautology
+    if (lits[i].var() == lits[i + 1].var()) return;  // tautology
   }
+  // Level-0 simplification: a satisfied literal makes the clause
+  // redundant; a falsified literal can never help.
+  std::size_t out = 0;
   for (Lit l : lits) {
-    OBDA_CHECK_LT(static_cast<std::size_t>(l.var()), assign_.size());
-    ++occurrence_[l.var()];
+    std::int8_t v = ValueOf(l);
+    if (v == kTrue) return;  // already satisfied at level 0
+    if (v == kFalse) continue;
+    lits[out++] = l;
   }
+  lits.resize(out);
   if (lits.empty()) {
-    trivially_unsat_ = true;
+    ok_ = false;
     return;
   }
-  std::uint32_t index = static_cast<std::uint32_t>(clauses_.size());
-  clauses_.push_back(std::move(lits));
-  const auto& c = clauses_.back();
-  // Watch the first two literals (or the single literal twice for units;
-  // units are handled at Solve() start via propagation of watch scans, so
-  // instead we just watch slot 0 and, if present, slot 1).
-  watches_[c[0].code].push_back(index);
-  watches_[c.size() > 1 ? c[1].code : c[0].code].push_back(index);
-}
-
-bool Solver::Enqueue(Lit l) {
-  std::int8_t v = ValueOf(l);
-  if (v == kFalse) return false;
-  if (v == kUndef) {
-    assign_[l.var()] = l.negative() ? kFalse : kTrue;
-    trail_.push_back(l);
+  ++num_problem_clauses_;
+  if (lits.size() == 1) {
+    // Unit: assert at level 0 and propagate eagerly so later AddClause
+    // hygiene sees the consequences.
+    UncheckedEnqueue(lits[0], kNoReason);
+    if (Propagate() != kNoReason) ok_ = false;
+    return;
   }
-  return true;
+  CRef cref;
+  if (!free_slots_.empty()) {
+    cref = free_slots_.back();
+    free_slots_.pop_back();
+    clauses_[cref] = Clause{};
+  } else {
+    cref = static_cast<CRef>(clauses_.size());
+    clauses_.emplace_back();
+  }
+  clauses_[cref].lits = std::move(lits);
+  Attach(cref);
 }
 
-bool Solver::Propagate() {
+// --- Propagation / trail ----------------------------------------------------
+
+void Solver::UncheckedEnqueue(Lit l, CRef reason) {
+  Var v = l.var();
+  assign_[v] = l.negative() ? kFalse : kTrue;
+  level_[v] = DecisionLevel();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+Solver::CRef Solver::Propagate() {
   while (qhead_ < trail_.size()) {
     Lit p = trail_[qhead_++];
     ++stats_.propagations;
     Lit false_lit = p.Negated();  // literals equal to ¬p are now false
-    std::vector<std::uint32_t>& watchers = watches_[false_lit.code];
-    std::size_t kept = 0;
-    bool conflict = false;
-    for (std::size_t wi = 0; wi < watchers.size(); ++wi) {
-      std::uint32_t ci = watchers[wi];
-      std::vector<Lit>& c = clauses_[ci];
-      if (conflict) {
-        watchers[kept++] = ci;
+    std::vector<Watcher>& ws = watches_[false_lit.code];
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < ws.size()) {
+      Watcher w = ws[i];
+      // Blocker: a known satisfied literal short-circuits the clause.
+      if (ValueOf(w.blocker) == kTrue) {
+        ws[j++] = ws[i++];
         continue;
       }
-      // Ensure the false literal is in slot 1.
-      if (c[0] == false_lit && c.size() > 1) std::swap(c[0], c[1]);
-      // If slot 0 is already true, keep watching.
-      if (ValueOf(c[0]) == kTrue) {
-        watchers[kept++] = ci;
+      Clause& c = clauses_[w.cref];
+      if (c.lits[0] == false_lit) std::swap(c.lits[0], c.lits[1]);
+      ++i;
+      Lit first = c.lits[0];
+      Watcher keep{w.cref, first};
+      if (ValueOf(first) == kTrue) {
+        ws[j++] = keep;
         continue;
       }
       // Look for a replacement watch.
       bool moved = false;
-      for (std::size_t k = 2; k < c.size(); ++k) {
-        if (ValueOf(c[k]) != kFalse) {
-          std::swap(c[1], c[k]);
-          watches_[c[1].code].push_back(ci);
+      for (std::size_t k = 2; k < c.lits.size(); ++k) {
+        if (ValueOf(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[c.lits[1].code].push_back(Watcher{w.cref, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
-      // Clause is unit (or conflicting) on c[0].
-      watchers[kept++] = ci;
-      if (!Enqueue(c[0])) conflict = true;
+      // Clause is unit (or conflicting) on c.lits[0].
+      ws[j++] = keep;
+      if (ValueOf(first) == kFalse) {
+        // Conflict: keep the remaining watchers and flush the queue.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        qhead_ = trail_.size();
+        return w.cref;
+      }
+      UncheckedEnqueue(first, w.cref);
     }
-    watchers.resize(kept);
-    if (conflict) {
-      ++stats_.conflicts;
-      return false;
-    }
+    ws.resize(j);
+  }
+  return kNoReason;
+}
+
+void Solver::CancelUntil(int level) {
+  if (DecisionLevel() <= level) return;
+  const std::size_t lim = trail_lim_[level];
+  for (std::size_t i = trail_.size(); i-- > lim;) {
+    Var v = trail_[i].var();
+    phase_[v] = assign_[v];  // phase saving
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) HeapInsert(v);
+  }
+  trail_.resize(lim);
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  qhead_ = lim;
+}
+
+// --- Conflict analysis ------------------------------------------------------
+
+bool Solver::LitRedundant(Lit l) {
+  // Self-subsuming resolution, one level deep: l can be dropped from the
+  // learnt clause if every literal of its reason is already in the
+  // clause (seen) or fixed at level 0 — resolving the reason into the
+  // clause would remove l and add nothing.
+  CRef r = reason_[l.var()];
+  if (r == kNoReason) return false;  // decision or assumption
+  const Clause& c = clauses_[r];
+  for (std::size_t j = 1; j < c.lits.size(); ++j) {
+    Var v = c.lits[j].var();
+    if (!seen_[v] && level_[v] > 0) return false;
   }
   return true;
 }
 
-void Solver::UndoTo(std::size_t trail_size) {
-  while (trail_.size() > trail_size) {
-    assign_[trail_.back().var()] = kUndef;
-    trail_.pop_back();
+int Solver::Analyze(CRef confl, std::vector<Lit>* learnt,
+                    std::uint32_t* out_lbd) {
+  learnt->clear();
+  learnt->push_back(Lit{-1});  // slot for the asserting literal
+  int needs_resolution = 0;
+  Lit p{-1};
+  std::size_t index = trail_.size();
+
+  // First-UIP: walk the implication graph backwards from the conflict,
+  // resolving current-level literals until exactly one remains.
+  do {
+    OBDA_CHECK_NE(confl, kNoReason);
+    Clause& c = clauses_[confl];
+    if (c.learned) BumpClauseActivity(&c);
+    for (std::size_t j = (p.code < 0 ? 0 : 1); j < c.lits.size(); ++j) {
+      Lit q = c.lits[j];
+      Var v = q.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      BumpVarActivity(v);
+      if (level_[v] >= DecisionLevel()) {
+        ++needs_resolution;
+      } else {
+        learnt->push_back(q);
+      }
+    }
+    while (!seen_[trail_[--index].var()]) {
+    }
+    p = trail_[index];
+    confl = reason_[p.var()];
+    seen_[p.var()] = 0;
+    --needs_resolution;
+  } while (needs_resolution > 0);
+  (*learnt)[0] = p.Negated();
+
+  // Minimize: drop literals whose reasons are subsumed by the clause.
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt->size(); ++i) {
+    if (!LitRedundant((*learnt)[i])) (*learnt)[kept++] = (*learnt)[i];
   }
-  qhead_ = trail_size;
+  // Clear the seen marks of every literal collected before minimization
+  // (marks of dropped literals must go too; resolved current-level marks
+  // were cleared during the walk). analyze_clear_ tracks them.
+  analyze_clear_.clear();
+  for (std::size_t i = 1; i < learnt->size(); ++i) {
+    analyze_clear_.push_back((*learnt)[i].var());
+  }
+  learnt->resize(kept);
+  for (Var v : analyze_clear_) seen_[v] = 0;
+
+  // Backjump level: second-highest decision level in the clause. Put a
+  // literal of that level in slot 1 so it is watched after the jump.
+  int bt_level = 0;
+  if (learnt->size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt->size(); ++i) {
+      if (level_[(*learnt)[i].var()] > level_[(*learnt)[max_i].var()]) {
+        max_i = i;
+      }
+    }
+    std::swap((*learnt)[1], (*learnt)[max_i]);
+    bt_level = level_[(*learnt)[1].var()];
+  }
+
+  // Literal block distance: distinct decision levels in the clause.
+  std::uint32_t lbd = 0;
+  {
+    std::vector<std::int32_t> levels;
+    levels.reserve(learnt->size());
+    for (Lit l : *learnt) levels.push_back(level_[l.var()]);
+    std::sort(levels.begin(), levels.end());
+    levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+    lbd = static_cast<std::uint32_t>(levels.size());
+  }
+  *out_lbd = lbd;
+  return bt_level;
 }
+
+// --- Search -----------------------------------------------------------------
 
 SatOutcome Solver::Solve(const std::vector<Lit>& assumptions,
                          std::uint64_t max_decisions) {
@@ -148,8 +469,6 @@ SatOutcome Solver::Solve(const std::vector<Lit>& assumptions,
   ++stats_.solve_calls;
   SatOutcome outcome = SolveImpl(assumptions, max_decisions);
   stats_.decisions += decisions_;
-  stats_.max_trail = std::max<std::uint64_t>(stats_.max_trail,
-                                             trail_.size());
   if (outcome == SatOutcome::kBudget) ++stats_.budget_exhausted;
   // Registry mirroring happens once per solver, in FlushStats(), so
   // concurrent solvers never interleave partial per-call updates.
@@ -159,77 +478,129 @@ SatOutcome Solver::Solve(const std::vector<Lit>& assumptions,
 SatOutcome Solver::SolveImpl(const std::vector<Lit>& assumptions,
                              std::uint64_t max_decisions) {
   decisions_ = 0;
-  if (trivially_unsat_) return SatOutcome::kUnsat;
-  UndoTo(0);
-
-  // Enqueue unit clauses.
-  for (const auto& c : clauses_) {
-    if (c.size() == 1 && !Enqueue(c[0])) return SatOutcome::kUnsat;
-  }
+  if (!ok_) return SatOutcome::kUnsat;
+  CancelUntil(0);
   for (Lit a : assumptions) {
     OBDA_CHECK_LT(static_cast<std::size_t>(a.var()), assign_.size());
-    if (!Enqueue(a)) return SatOutcome::kUnsat;
   }
-  if (!Propagate()) return SatOutcome::kUnsat;
+  // Propagate pending level-0 units (from AddClause between calls).
+  if (Propagate() != kNoReason) {
+  } else {
+    const int num_assumptions = static_cast<int>(assumptions.size());
+    std::uint64_t conflicts_until_restart =
+        kRestartBase * LubySeq(luby_index_);
+    std::vector<Lit> learnt;
 
-  // Static branching order: most-occurring variables first.
-  std::vector<Var> order;
-  order.reserve(assign_.size());
-  for (Var v = 0; v < static_cast<Var>(assign_.size()); ++v) {
-    order.push_back(v);
-  }
-  std::stable_sort(order.begin(), order.end(), [this](Var a, Var b) {
-    return occurrence_[a] > occurrence_[b];
-  });
-
-  struct Frame {
-    std::size_t trail_size;
-    Lit decision;
-    bool second_branch;
-  };
-  std::vector<Frame> stack;
-  std::size_t order_hint = 0;
-
-  for (;;) {
-    // Find an unassigned variable.
-    Var branch_var = -1;
-    for (std::size_t i = order_hint; i < order.size(); ++i) {
-      if (assign_[order[i]] == kUndef) {
-        branch_var = order[i];
-        order_hint = i;
-        break;
+    for (;;) {
+      CRef confl = Propagate();
+      if (confl != kNoReason) {
+        ++stats_.conflicts;
+        if (DecisionLevel() == 0) break;  // globally unsat
+        std::uint32_t lbd = 0;
+        int bt_level = Analyze(confl, &learnt, &lbd);
+        stats_.backjump_levels += static_cast<std::uint64_t>(
+            DecisionLevel() - 1 - bt_level);
+        CancelUntil(bt_level);
+        ++stats_.learned_clauses;
+        stats_.learned_literals += learnt.size();
+        if (learnt.size() == 1) {
+          UncheckedEnqueue(learnt[0], kNoReason);
+        } else {
+          CRef cref;
+          if (!free_slots_.empty()) {
+            cref = free_slots_.back();
+            free_slots_.pop_back();
+            clauses_[cref] = Clause{};
+          } else {
+            cref = static_cast<CRef>(clauses_.size());
+            clauses_.emplace_back();
+          }
+          Clause& c = clauses_[cref];
+          c.lits = learnt;
+          c.learned = true;
+          c.lbd = lbd;
+          c.activity = 0.0;
+          ++num_learned_;
+          Attach(cref);
+          BumpClauseActivity(&c);
+          UncheckedEnqueue(learnt[0], cref);
+        }
+        var_inc_ *= 1.0 / kVarDecay;
+        clause_inc_ *= 1.0 / kClauseDecay;
+        if (conflicts_until_restart > 0) --conflicts_until_restart;
+        continue;
       }
-    }
-    if (branch_var < 0) return SatOutcome::kSat;
-    if (max_decisions != 0 && ++decisions_ > max_decisions) {
-      return SatOutcome::kBudget;
-    }
-    if (max_decisions == 0) ++decisions_;
-    // Prefer false: the datalog engine searches for models where as few
-    // IDB atoms as possible are forced, so negative polarity finds
-    // goal-avoiding models faster.
-    Lit decision = Lit::Neg(branch_var);
-    stack.push_back(Frame{trail_.size(), decision, false});
-    OBDA_CHECK(Enqueue(decision));
 
-    while (!Propagate()) {
-      // Conflict: backtrack chronologically, flipping the most recent
-      // decision that still has an untried branch.
-      for (;;) {
-        if (stack.empty()) return SatOutcome::kUnsat;
-        Frame frame = stack.back();
-        stack.pop_back();
-        UndoTo(frame.trail_size);
-        if (!frame.second_branch) {
-          Lit flipped = frame.decision.Negated();
-          stack.push_back(Frame{frame.trail_size, flipped, true});
-          OBDA_CHECK(Enqueue(flipped));
+      // No conflict. Restart (Luby) and learned-DB reduction happen at
+      // the stable point between propagation and the next decision.
+      if (conflicts_until_restart == 0) {
+        ++stats_.restarts;
+        ++luby_index_;
+        conflicts_until_restart = kRestartBase * LubySeq(luby_index_);
+        CancelUntil(0);
+        continue;
+      }
+      if (num_learned_ > learned_cap_) {
+        ReduceDb();
+        // Locked and glue-protected clauses are never deleted; if they
+        // alone exceed the cap, grow it so reduction stays amortized
+        // instead of firing on every decision.
+        if (num_learned_ > learned_cap_) learned_cap_ = 2 * num_learned_;
+      }
+
+      stats_.max_trail =
+          std::max<std::uint64_t>(stats_.max_trail, trail_.size());
+
+      // Next assumption (Eén–Sörensson: one pseudo-decision level each,
+      // kNoReason so conflict analysis never resolves through them).
+      Lit next{-1};
+      while (DecisionLevel() < num_assumptions) {
+        Lit a = assumptions[static_cast<std::size_t>(DecisionLevel())];
+        std::int8_t v = ValueOf(a);
+        if (v == kTrue) {
+          // Already implied: open an empty pseudo-level to keep the
+          // level ↔ assumption indexing aligned.
+          trail_lim_.push_back(trail_.size());
+        } else if (v == kFalse) {
+          // The clause database (plus earlier assumptions) refutes this
+          // assumption: unsat under assumptions. Leave the solver fully
+          // backtracked and reusable.
+          CancelUntil(0);
+          return SatOutcome::kUnsat;
+        } else {
+          next = a;
           break;
         }
       }
-      order_hint = 0;
+      if (next.code < 0) {
+        Var v = PickBranchVar();
+        if (v < 0) {
+          // All variables assigned: a model. The trail is kept so
+          // ModelValue() can read it until the next Solve().
+          stats_.max_trail =
+              std::max<std::uint64_t>(stats_.max_trail, trail_.size());
+          return SatOutcome::kSat;
+        }
+        if (max_decisions != 0 && decisions_ >= max_decisions) {
+          // Budget exhausted. Reinsert the popped variable and leave a
+          // fully backtracked, immediately reusable solver — never a
+          // half-unwound trail.
+          HeapInsert(v);
+          CancelUntil(0);
+          return SatOutcome::kBudget;
+        }
+        ++decisions_;
+        next = phase_[v] == kTrue ? Lit::Pos(v) : Lit::Neg(v);
+      }
+      trail_lim_.push_back(trail_.size());
+      UncheckedEnqueue(next, kNoReason);
     }
   }
+  // A conflict at level 0: the instance itself is unsatisfiable,
+  // independent of assumptions.
+  ok_ = false;
+  CancelUntil(0);
+  return SatOutcome::kUnsat;
 }
 
 }  // namespace obda::sat

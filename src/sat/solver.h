@@ -34,12 +34,27 @@ enum class SatOutcome {
   kBudget,
 };
 
-/// A DPLL SAT solver with two-watched-literal unit propagation and
-/// chronological backtracking. Substrate for the disjunctive-datalog
-/// certain-answer engine (co-NP model search) and MMSNP evaluation.
+/// A CDCL SAT solver (MiniSat lineage): two-watched-literal unit
+/// propagation, first-UIP conflict analysis with self-subsuming
+/// learned-clause minimization, non-chronological backjumping, VSIDS-style
+/// decaying variable activity on a binary heap, Luby restarts, phase
+/// saving, and a glue/activity-based learned-clause reduction policy.
+/// Substrate for the disjunctive-datalog certain-answer engine (co-NP
+/// model search) and MMSNP evaluation.
+///
+/// Incremental by design (Eén–Sörensson): assumptions are enqueued as
+/// pseudo-decisions on their own decision levels and are never resolved
+/// into learned clauses, so every learned clause is a consequence of the
+/// clause database alone and survives between Solve() calls. The engines
+/// exploit this by reusing one solver across thousands of assumption-only
+/// probes against one grounding: conflicts discovered for tuple k prune
+/// the search for tuple k+1.
 ///
 /// No exceptions; a structurally unsatisfiable input (empty clause) is
-/// detected eagerly. Deterministic: same input => same model.
+/// detected eagerly. Deterministic: the same sequence of NewVar /
+/// AddClause / Solve calls produces the same outcomes, the same models,
+/// and the same per-call statistics, at every thread count (each solver
+/// is single-threaded and draws on no global state).
 class Solver {
  public:
   /// Search statistics, accumulated across all Solve() calls on this
@@ -55,15 +70,25 @@ class Solver {
     std::uint64_t decisions = 0;
     /// Literals dequeued by unit propagation.
     std::uint64_t propagations = 0;
-    /// Conflicts hit (each triggers a chronological backtrack).
+    /// Conflicts hit (each triggers 1-UIP analysis and a backjump).
     std::uint64_t conflicts = 0;
-    /// Always 0 today: the chronological DPLL has no restart policy. Kept
-    /// so the exported schema is stable when one is added.
+    /// Restarts performed under the Luby policy.
     std::uint64_t restarts = 0;
     /// High-water mark of the assignment trail.
     std::uint64_t max_trail = 0;
     /// Solve() calls that returned kBudget.
     std::uint64_t budget_exhausted = 0;
+    /// Clauses learned by conflict analysis (after minimization).
+    std::uint64_t learned_clauses = 0;
+    /// Total literals across learned clauses (after minimization).
+    std::uint64_t learned_literals = 0;
+    /// Learned-clause database reductions (each deletes ~half the
+    /// unlocked learned clauses, keeping low-glue ones).
+    std::uint64_t reductions = 0;
+    /// Decision levels skipped beyond chronological backtracking, summed
+    /// over all conflicts: a chronological step contributes 0, a backjump
+    /// from level d to level b contributes d - 1 - b.
+    std::uint64_t backjump_levels = 0;
   };
 
   Solver() = default;
@@ -81,13 +106,20 @@ class Solver {
   Var NewVar();
   std::size_t NumVars() const { return assign_.size(); }
 
-  /// Adds a clause (disjunction of literals). Duplicates are removed;
-  /// tautological clauses are dropped. An empty clause makes the instance
-  /// trivially unsatisfiable.
+  /// Adds a clause (disjunction of literals). Hygiene applied on entry:
+  /// literals are sorted and deduplicated, tautological clauses (x ∨ ¬x)
+  /// and clauses containing a literal already satisfied at level 0 are
+  /// dropped, and literals already falsified at level 0 are removed. An
+  /// empty clause (possibly after removal) makes the instance trivially
+  /// unsatisfiable.
   void AddClause(std::vector<Lit> lits);
 
   /// Decides satisfiability under the given assumption literals.
-  /// `max_decisions` bounds the search (0 = unlimited).
+  /// `max_decisions` bounds the search (0 = unlimited). Learned clauses
+  /// are kept across calls; a kUnsat or kBudget return leaves the solver
+  /// fully backtracked (level 0) and immediately reusable, while a kSat
+  /// return keeps the model assignment readable via ModelValue() until
+  /// the next Solve().
   SatOutcome Solve(const std::vector<Lit>& assumptions = {},
                    std::uint64_t max_decisions = 0);
 
@@ -98,18 +130,45 @@ class Solver {
     return assign_[v] == kTrue;
   }
 
-  std::size_t NumClauses() const { return clauses_.size(); }
+  /// Problem clauses accepted by AddClause (units included; dropped
+  /// tautologies and level-0-satisfied clauses excluded). Learned clauses
+  /// are not counted — see stats().learned_clauses.
+  std::size_t NumClauses() const { return num_problem_clauses_; }
   /// Decisions made by the most recent Solve() call.
   std::uint64_t decisions() const { return decisions_; }
   const Stats& stats() const { return stats_; }
 
- private:
-  SatOutcome SolveImpl(const std::vector<Lit>& assumptions,
-                       std::uint64_t max_decisions);
+  /// Caps the learned-clause database (clauses, excluding those locked as
+  /// reasons); exceeding it triggers a reduction. Default 10000.
+  void SetLearnedCap(std::size_t cap) { learned_cap_ = cap; }
 
+ private:
   static constexpr std::int8_t kUndef = -1;
   static constexpr std::int8_t kFalse = 0;
   static constexpr std::int8_t kTrue = 1;
+
+  /// Index into clauses_; kNoReason marks decisions / assumptions.
+  using CRef = std::uint32_t;
+  static constexpr CRef kNoReason = 0xffffffffu;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    /// Bumped when the clause participates in conflict analysis; decayed
+    /// geometrically. Drives the reduction policy with the glue level.
+    double activity = 0.0;
+    /// Literal block distance at learning time (distinct decision levels
+    /// among the clause's literals). Glue ≤ 2 clauses are never deleted.
+    std::uint32_t lbd = 0;
+    bool learned = false;
+    bool deleted = false;
+  };
+
+  /// Watcher with a blocker literal: if `blocker` is true the clause is
+  /// satisfied and the watch list scan skips the clause body entirely.
+  struct Watcher {
+    CRef cref;
+    Lit blocker;
+  };
 
   std::int8_t ValueOf(Lit l) const {
     std::int8_t v = assign_[l.var()];
@@ -117,26 +176,90 @@ class Solver {
     return l.negative() ? static_cast<std::int8_t>(1 - v) : v;
   }
 
-  /// Pushes `l` onto the trail as true. Returns false if already false.
-  bool Enqueue(Lit l);
-  /// Unit propagation from the current queue head; true iff no conflict.
-  bool Propagate();
-  /// Undoes all assignments above `trail_size`.
-  void UndoTo(std::size_t trail_size);
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
 
+  /// Pushes `l` onto the trail as true with the given reason. The literal
+  /// must be unassigned.
+  void UncheckedEnqueue(Lit l, CRef reason);
+  /// Unit propagation from the current queue head; returns the
+  /// conflicting clause, or kNoReason if none.
+  CRef Propagate();
+  /// Undoes all assignments above decision level `level`, saving phases.
+  void CancelUntil(int level);
+  /// First-UIP conflict analysis: fills `learnt` (learnt[0] is the
+  /// asserting literal) and returns the backjump level.
+  int Analyze(CRef confl, std::vector<Lit>* learnt, std::uint32_t* lbd);
+  /// True if `l` is redundant in the current learnt clause (its reason is
+  /// subsumed by the clause — self-subsuming resolution).
+  bool LitRedundant(Lit l);
+  /// Attaches a clause to the watch lists (clause must have ≥ 2 lits).
+  void Attach(CRef cref);
+  /// Detaches a clause from the watch lists.
+  void Detach(CRef cref);
+  /// Deletes unlocked learned clauses until under the cap: keeps glue ≤ 2
+  /// clauses, then the most active half.
+  void ReduceDb();
+  /// True if the clause is the reason of its first literal's assignment.
+  bool Locked(CRef cref) const;
+  void BumpVarActivity(Var v);
+  void BumpClauseActivity(Clause* c);
+  /// Next decision variable by activity (ties: smallest index), or -1.
+  Var PickBranchVar();
+  /// Heap helpers (binary max-heap on activity_, tie-break smaller var).
+  bool HeapLess(Var a, Var b) const;
+  void HeapInsert(Var v);
+  void HeapSiftUp(std::size_t i);
+  void HeapSiftDown(std::size_t i);
+
+  SatOutcome SolveImpl(const std::vector<Lit>& assumptions,
+                       std::uint64_t max_decisions);
+
+  // Clause arena. Problem and learned clauses share it; deleted learned
+  // slots are recycled through free_slots_ (deterministically, LIFO).
+  std::vector<Clause> clauses_;
+  std::vector<CRef> free_slots_;
+  std::size_t num_problem_clauses_ = 0;
+  std::size_t num_learned_ = 0;
+  std::size_t learned_cap_ = 10000;
+
+  // Assignment state.
   std::vector<std::int8_t> assign_;
-  std::vector<std::vector<Lit>> clauses_;
-  /// watches_[lit.code] = indices of clauses whose watch slot holds `lit`.
-  std::vector<std::vector<std::uint32_t>> watches_;
+  std::vector<std::int32_t> level_;
+  std::vector<CRef> reason_;
   std::vector<Lit> trail_;
+  std::vector<std::size_t> trail_lim_;
   std::size_t qhead_ = 0;
-  bool trivially_unsat_ = false;
+  /// False once an empty clause was derived: the instance is
+  /// unconditionally unsatisfiable.
+  bool ok_ = true;
+
+  // watches_[lit.code] = watchers of clauses watching `lit`.
+  std::vector<std::vector<Watcher>> watches_;
+
+  // VSIDS activity and branching order.
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> heap_pos_;
+  /// Saved polarity per variable; seeded false so the first descent
+  /// prefers goal-avoiding all-false models (the datalog engine searches
+  /// for models where as few IDB atoms as possible are forced).
+  std::vector<std::int8_t> phase_;
+
+  double clause_inc_ = 1.0;
+
+  // Scratch for Analyze (persistent to avoid reallocation).
+  std::vector<std::int8_t> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Var> analyze_clear_;
+
   std::uint64_t decisions_ = 0;
+  /// Position in the Luby restart sequence; persists across Solve()
+  /// calls so a warmed solver keeps its restart cadence.
+  std::uint64_t luby_index_ = 0;
   Stats stats_;
   /// The prefix of `stats_` already mirrored into the registry.
   Stats flushed_;
-  /// Static branching order: variables sorted by occurrence count.
-  std::vector<std::uint32_t> occurrence_;
 };
 
 }  // namespace obda::sat

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -199,6 +200,23 @@ Instance RandomEdbInstance(base::Rng& rng, const Schema& s) {
   return d;
 }
 
+/// FNV-1a over the answer set (inconsistency flag + every tuple) — the
+/// same mixing the benches use, so goldens can be compared across
+/// binaries.
+std::uint64_t AnswerChecksum(const ddlog::Answers& answers) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(answers.inconsistent ? 1 : 0);
+  for (const auto& tuple : answers.tuples) {
+    mix(tuple.size());
+    for (data::ConstId c : tuple) mix(c);
+  }
+  return h;
+}
+
 TEST(ParallelCertainAnswersTest, ByteIdenticalAcrossThreadCounts) {
   for (int seed = 0; seed < 50; ++seed) {
     base::Rng rng(seed);
@@ -220,6 +238,47 @@ TEST(ParallelCertainAnswersTest, ByteIdenticalAcrossThreadCounts) {
       EXPECT_EQ(parallel->inconsistent, reference->inconsistent)
           << "seed " << seed << " threads " << threads;
       EXPECT_EQ(parallel->tuples, reference->tuples)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+/// Golden answer checksums for the 50-seed battery, recorded from the
+/// PR-3 engine (chronological DPLL solver, pre-CDCL). Any solver rewrite
+/// must keep the certain answers and inconsistency verdicts bit-identical
+/// to these, at every thread count — the engines may only get faster,
+/// never different.
+constexpr std::uint64_t kPreCdclGoldens[50] = {
+    0x44bd2bd473ccf799ull, 0x4e904c8e56f9ccc6ull, 0x806910a4fd5062beull,
+    0x9a691300c548b8fbull, 0x895f2dc36f8b554dull, 0x9b930d3236c52cbcull,
+    0x9a691300c548b8fbull, 0x4e904c8e56f9ccc6ull, 0x44bd2bd473ccf799ull,
+    0x9a65ad00c545d5d2ull, 0x4e904c8e56f9ccc6ull, 0x44bd2bd473ccf799ull,
+    0x9a65ad00c545d5d2ull, 0x44bd2bd473ccf799ull, 0x850fee6dcc06c412ull,
+    0x9a65ad00c545d5d2ull, 0x895f2dc36f8b554dull, 0x44bd2bd473ccf799ull,
+    0x9a691300c548b8fbull, 0x100772df08244292ull, 0x850fee6dcc06c412ull,
+    0x9a65ad00c545d5d2ull, 0x44bd2bd473ccf799ull, 0x44bd2bd473ccf799ull,
+    0x9a691300c548b8fbull, 0xa940e14f3a8f72beull, 0x44bd2bd473ccf799ull,
+    0x9a65ad00c545d5d2ull, 0x4539ca4c148b1245ull, 0x2387307a10bb8c8aull,
+    0x9a65ad00c545d5d2ull, 0x100772df08244292ull, 0x69ece4ed924d3552ull,
+    0x9a65ad00c545d5d2ull, 0x44bd2bd473ccf799ull, 0x0233eea84b4b9dacull,
+    0x44bd2bd473ccf799ull, 0x44bd2bd473ccf799ull, 0x850fee6dcc06c412ull,
+    0x44bd2bd473ccf799ull, 0x100772df08244292ull, 0x46cb68e225fc4986ull,
+    0x9a691300c548b8fbull, 0x44bd2bd473ccf799ull, 0x46cb68e225fc4986ull,
+    0x9a691300c548b8fbull, 0x44bd2bd473ccf799ull, 0x44bd2bd473ccf799ull,
+    0x9a65ad00c545d5d2ull, 0x100772df08244292ull,
+};
+
+TEST(ParallelCertainAnswersTest, AnswersUnchangedByCdclSwap) {
+  for (int seed = 0; seed < 50; ++seed) {
+    base::Rng rng(seed);
+    ddlog::Program program = RandomProgram(rng, seed % 3);
+    Instance d = RandomEdbInstance(rng, program.edb_schema());
+    for (int threads : {1, 2, 8}) {
+      ddlog::EvalOptions options;
+      options.threads = threads;
+      auto answers = ddlog::CertainAnswers(program, d, options);
+      ASSERT_TRUE(answers.ok()) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(AnswerChecksum(*answers), kPreCdclGoldens[seed])
           << "seed " << seed << " threads " << threads;
     }
   }

@@ -1,10 +1,35 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "base/rng.h"
 #include "sat/solver.h"
 
 namespace obda::sat {
 namespace {
+
+/// Builds pigeonhole PHP(np, nh): np pigeons into nh holes (unsat iff
+/// np > nh). Returns the variable grid.
+std::vector<std::vector<Var>> AddPigeonhole(Solver* s, int np, int nh) {
+  std::vector<std::vector<Var>> x(np, std::vector<Var>(nh));
+  for (int p = 0; p < np; ++p) {
+    for (int h = 0; h < nh; ++h) x[p][h] = s->NewVar();
+  }
+  for (int p = 0; p < np; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < nh; ++h) clause.push_back(Lit::Pos(x[p][h]));
+    s->AddClause(clause);
+  }
+  for (int h = 0; h < nh; ++h) {
+    for (int p1 = 0; p1 < np; ++p1) {
+      for (int p2 = p1 + 1; p2 < np; ++p2) {
+        s->AddClause({Lit::Neg(x[p1][h]), Lit::Neg(x[p2][h])});
+      }
+    }
+  }
+  return x;
+}
 
 TEST(SatTest, EmptyIsSat) {
   Solver s;
@@ -68,25 +93,12 @@ TEST(SatTest, PigeonholeTwoIntoOne) {
 TEST(SatTest, PigeonholeFourIntoThree) {
   // 4 pigeons, 3 holes: classic small UNSAT requiring search.
   Solver s;
-  const int np = 4;
-  const int nh = 3;
-  std::vector<std::vector<Var>> x(np, std::vector<Var>(nh));
-  for (int p = 0; p < np; ++p) {
-    for (int h = 0; h < nh; ++h) x[p][h] = s.NewVar();
-  }
-  for (int p = 0; p < np; ++p) {
-    std::vector<Lit> clause;
-    for (int h = 0; h < nh; ++h) clause.push_back(Lit::Pos(x[p][h]));
-    s.AddClause(clause);
-  }
-  for (int h = 0; h < nh; ++h) {
-    for (int p1 = 0; p1 < np; ++p1) {
-      for (int p2 = p1 + 1; p2 < np; ++p2) {
-        s.AddClause({Lit::Neg(x[p1][h]), Lit::Neg(x[p2][h])});
-      }
-    }
-  }
+  AddPigeonhole(&s, 4, 3);
   EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+  // CDCL actually learned something on the way.
+  EXPECT_GT(s.stats().conflicts, 0u);
+  EXPECT_GT(s.stats().learned_clauses, 0u);
+  EXPECT_GT(s.stats().learned_literals, 0u);
 }
 
 TEST(SatTest, AssumptionsFlipOutcome) {
@@ -104,25 +116,56 @@ TEST(SatTest, AssumptionsFlipOutcome) {
 TEST(SatTest, BudgetReported) {
   // A hard-ish pigeonhole with a tiny budget must report kBudget.
   Solver s;
-  const int np = 9;
-  const int nh = 8;
-  std::vector<std::vector<Var>> x(np, std::vector<Var>(nh));
-  for (int p = 0; p < np; ++p) {
-    for (int h = 0; h < nh; ++h) x[p][h] = s.NewVar();
-  }
-  for (int p = 0; p < np; ++p) {
-    std::vector<Lit> clause;
-    for (int h = 0; h < nh; ++h) clause.push_back(Lit::Pos(x[p][h]));
-    s.AddClause(clause);
-  }
-  for (int h = 0; h < nh; ++h) {
-    for (int p1 = 0; p1 < np; ++p1) {
-      for (int p2 = p1 + 1; p2 < np; ++p2) {
-        s.AddClause({Lit::Neg(x[p1][h]), Lit::Neg(x[p2][h])});
-      }
-    }
-  }
+  AddPigeonhole(&s, 9, 8);
   EXPECT_EQ(s.Solve({}, 10), SatOutcome::kBudget);
+  EXPECT_EQ(s.stats().budget_exhausted, 1u);
+}
+
+TEST(SatTest, BudgetTripLeavesSolverReusable) {
+  // A kBudget return must leave the solver fully backtracked: the same
+  // solver, given room, then decides the instance; its learned clauses
+  // from the aborted attempt remain valid.
+  Solver s;
+  AddPigeonhole(&s, 9, 8);
+  EXPECT_EQ(s.Solve({}, 10), SatOutcome::kBudget);
+  EXPECT_EQ(s.Solve({}, 5), SatOutcome::kBudget);
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+  // Once unsat is established it is remembered (empty-clause state).
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+}
+
+TEST(SatTest, LearnedClausesSurviveBetweenSolveCalls) {
+  // Assumption probes against one clause database: conflicts found under
+  // one assumption set keep paying off under the next (the learned
+  // clauses never mention the assumptions themselves).
+  Solver s;
+  auto x = AddPigeonhole(&s, 4, 3);
+  EXPECT_EQ(s.Solve({Lit::Pos(x[0][0])}), SatOutcome::kUnsat);
+  const std::uint64_t learned_after_first = s.stats().learned_clauses;
+  EXPECT_GT(learned_after_first, 0u);
+  EXPECT_EQ(s.Solve({Lit::Pos(x[1][1])}), SatOutcome::kUnsat);
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+  EXPECT_GE(s.stats().learned_clauses, learned_after_first);
+}
+
+TEST(SatTest, ReductionPolicyFires) {
+  // A small learned cap on a conflict-dense instance forces database
+  // reductions without changing the verdict.
+  Solver s;
+  s.SetLearnedCap(8);
+  AddPigeonhole(&s, 7, 6);
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+  EXPECT_GT(s.stats().reductions, 0u);
+}
+
+TEST(SatTest, BackjumpsAndRestartsAreCounted) {
+  Solver s;
+  AddPigeonhole(&s, 11, 10);
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+  // PHP(11,10) takes over 100 conflicts, so the Luby policy restarts at
+  // least once, and 1-UIP backjumps skip levels along the way.
+  EXPECT_GT(s.stats().restarts, 0u);
+  EXPECT_GT(s.stats().backjump_levels, 0u);
 }
 
 /// Brute-force model check for cross-validation.
@@ -185,6 +228,186 @@ TEST_P(SatRandomTest, AgreesWithBruteForce) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SatRandomTest, ::testing::Range(0, 30));
+
+/// A clause as two bitmasks over ≤ 32 variables: satisfied by assignment
+/// m iff (pos & m) | (neg & ~m) is nonzero. Lets the truth-table oracle
+/// evaluate a clause in two ANDs.
+struct MaskClause {
+  std::uint32_t pos = 0;
+  std::uint32_t neg = 0;
+};
+
+/// Truth-table oracle: scans all 2^num_vars assignments.
+bool OracleSat(int num_vars, const std::vector<MaskClause>& clauses) {
+  const std::uint32_t limit = std::uint32_t{1} << num_vars;
+  for (std::uint32_t m = 0; m < limit; ++m) {
+    bool all = true;
+    for (const MaskClause& c : clauses) {
+      if (((c.pos & m) | (c.neg & ~m)) == 0) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+  }
+  return false;
+}
+
+/// Random CNF shared by the differential batteries. Variable counts stay
+/// mostly small (dense conflict structure) with a tail up to 18 so the
+/// watch/backjump machinery sees deeper trails too.
+struct RandomCnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+  std::vector<MaskClause> masks;
+};
+
+RandomCnf MakeRandomCnf(base::Rng* rng, int max_vars) {
+  RandomCnf cnf;
+  cnf.num_vars = rng->Chance(1, 10) ? rng->IntIn(11, max_vars)
+                                    : rng->IntIn(1, 10);
+  const int num_clauses =
+      rng->IntIn(cnf.num_vars, 5 * cnf.num_vars + 5);
+  for (int i = 0; i < num_clauses; ++i) {
+    const int len = rng->IntIn(1, 4);
+    std::vector<Lit> clause;
+    MaskClause mask;
+    for (int j = 0; j < len; ++j) {
+      Var v = static_cast<Var>(rng->Below(cnf.num_vars));
+      if (rng->Chance(1, 2)) {
+        clause.push_back(Lit::Pos(v));
+        mask.pos |= std::uint32_t{1} << v;
+      } else {
+        clause.push_back(Lit::Neg(v));
+        mask.neg |= std::uint32_t{1} << v;
+      }
+    }
+    cnf.clauses.push_back(std::move(clause));
+    cnf.masks.push_back(mask);
+  }
+  return cnf;
+}
+
+TEST(SatFuzzTest, DifferentialBatteryAgainstTruthTable) {
+  // 500 random CNFs (≤ 18 vars) against the truth-table oracle; every
+  // kSat model is checked clause-by-clause.
+  for (int seed = 0; seed < 500; ++seed) {
+    base::Rng rng(9000 + seed);
+    RandomCnf cnf = MakeRandomCnf(&rng, 18);
+    Solver s;
+    for (int i = 0; i < cnf.num_vars; ++i) s.NewVar();
+    for (const auto& c : cnf.clauses) s.AddClause(c);
+    const bool expected = OracleSat(cnf.num_vars, cnf.masks);
+    SatOutcome outcome = s.Solve();
+    ASSERT_NE(outcome, SatOutcome::kBudget) << "seed " << seed;
+    ASSERT_EQ(outcome == SatOutcome::kSat, expected) << "seed " << seed;
+    if (outcome == SatOutcome::kSat) {
+      std::uint32_t model = 0;
+      for (int v = 0; v < cnf.num_vars; ++v) {
+        if (s.ModelValue(v)) model |= std::uint32_t{1} << v;
+      }
+      for (std::size_t i = 0; i < cnf.masks.size(); ++i) {
+        ASSERT_NE((cnf.masks[i].pos & model) | (cnf.masks[i].neg & ~model),
+                  0u)
+            << "seed " << seed << " clause " << i;
+      }
+    }
+  }
+}
+
+TEST(SatFuzzTest, IncrementalAgreesWithFreshUnderAssumptions) {
+  // One warmed incremental solver vs. a fresh solver per probe: random
+  // assumption sequences over random CNFs must agree call for call (the
+  // Eén–Sörensson invariant — learned clauses never depend on earlier
+  // assumptions). The oracle adjudicates both.
+  for (int seed = 0; seed < 60; ++seed) {
+    base::Rng rng(777000 + seed);
+    RandomCnf cnf = MakeRandomCnf(&rng, 14);
+    Solver warm;
+    for (int i = 0; i < cnf.num_vars; ++i) warm.NewVar();
+    for (const auto& c : cnf.clauses) warm.AddClause(c);
+    for (int round = 0; round < 12; ++round) {
+      const int num_assumptions = rng.IntIn(0, 3);
+      std::vector<Lit> assumptions;
+      std::vector<MaskClause> with_assumptions = cnf.masks;
+      for (int i = 0; i < num_assumptions; ++i) {
+        Var v = static_cast<Var>(rng.Below(cnf.num_vars));
+        MaskClause unit;
+        if (rng.Chance(1, 2)) {
+          assumptions.push_back(Lit::Pos(v));
+          unit.pos = std::uint32_t{1} << v;
+        } else {
+          assumptions.push_back(Lit::Neg(v));
+          unit.neg = std::uint32_t{1} << v;
+        }
+        with_assumptions.push_back(unit);
+      }
+      Solver fresh;
+      for (int i = 0; i < cnf.num_vars; ++i) fresh.NewVar();
+      for (const auto& c : cnf.clauses) fresh.AddClause(c);
+      const bool expected = OracleSat(cnf.num_vars, with_assumptions);
+      SatOutcome warm_outcome = warm.Solve(assumptions);
+      SatOutcome fresh_outcome = fresh.Solve(assumptions);
+      ASSERT_EQ(warm_outcome, fresh_outcome)
+          << "seed " << seed << " round " << round;
+      ASSERT_EQ(warm_outcome == SatOutcome::kSat, expected)
+          << "seed " << seed << " round " << round;
+    }
+  }
+}
+
+TEST(SatFuzzTest, DeterministicAcrossRepeatedRuns) {
+  // Two solvers fed the identical call sequence must agree on outcomes,
+  // models, and every statistic — the determinism contract the parallel
+  // engine's bit-identity guarantee rests on.
+  for (int seed = 0; seed < 40; ++seed) {
+    base::Rng rng(42000 + seed);
+    RandomCnf cnf = MakeRandomCnf(&rng, 14);
+    std::vector<std::vector<Lit>> probes;
+    for (int round = 0; round < 6; ++round) {
+      std::vector<Lit> assumptions;
+      for (int i = rng.IntIn(0, 2); i > 0; --i) {
+        Var v = static_cast<Var>(rng.Below(cnf.num_vars));
+        assumptions.push_back(rng.Chance(1, 2) ? Lit::Pos(v)
+                                               : Lit::Neg(v));
+      }
+      probes.push_back(std::move(assumptions));
+    }
+    Solver a;
+    Solver b;
+    for (int i = 0; i < cnf.num_vars; ++i) {
+      a.NewVar();
+      b.NewVar();
+    }
+    for (const auto& c : cnf.clauses) {
+      a.AddClause(c);
+      b.AddClause(c);
+    }
+    for (const auto& probe : probes) {
+      SatOutcome oa = a.Solve(probe);
+      SatOutcome ob = b.Solve(probe);
+      ASSERT_EQ(oa, ob) << "seed " << seed;
+      ASSERT_EQ(a.decisions(), b.decisions()) << "seed " << seed;
+      if (oa == SatOutcome::kSat) {
+        for (int v = 0; v < cnf.num_vars; ++v) {
+          ASSERT_EQ(a.ModelValue(v), b.ModelValue(v))
+              << "seed " << seed << " var " << v;
+        }
+      }
+    }
+    const Solver::Stats& sa = a.stats();
+    const Solver::Stats& sb = b.stats();
+    EXPECT_EQ(sa.decisions, sb.decisions);
+    EXPECT_EQ(sa.propagations, sb.propagations);
+    EXPECT_EQ(sa.conflicts, sb.conflicts);
+    EXPECT_EQ(sa.restarts, sb.restarts);
+    EXPECT_EQ(sa.learned_clauses, sb.learned_clauses);
+    EXPECT_EQ(sa.learned_literals, sb.learned_literals);
+    EXPECT_EQ(sa.reductions, sb.reductions);
+    EXPECT_EQ(sa.backjump_levels, sb.backjump_levels);
+    EXPECT_EQ(sa.max_trail, sb.max_trail);
+  }
+}
 
 }  // namespace
 }  // namespace obda::sat
