@@ -384,6 +384,9 @@ bool Solver::LitRedundant(Lit l) {
 
 int Solver::Analyze(CRef confl, std::vector<Lit>* learnt,
                     std::uint32_t* out_lbd) {
+  for (std::size_t zz = 0; zz < seen_.size(); ++zz) {
+    if (seen_[zz]) { std::fprintf(stderr, "SEEN LEAK var %zu\n", zz); std::abort(); }
+  }
   learnt->clear();
   learnt->push_back(Lit{-1});  // slot for the asserting literal
   int needs_resolution = 0;
