@@ -91,26 +91,13 @@ class Report {
             std::to_string(base::DefaultThreadCount()) + ",\n";
     json += "  \"parameters\": " + ObjectOf(params_) + ",\n";
     json += "  \"results\": " + ObjectOf(metrics_) + ",\n";
+    // Counters and timers go through the shared obs exporter, so this
+    // record, STATS responses and ExportJson dumps agree byte-for-byte.
     obs::MetricsRegistry::Snapshot snap =
         obs::MetricsRegistry::Global().Snap();
-    json += "  \"counters\": {";
-    bool first = true;
-    for (const auto& c : snap.counters) {
-      if (!first) json += ", ";
-      first = false;
-      json += "\"" + obs::EscapeJson(c.name) + "\": " +
-              std::to_string(c.value);
-    }
-    json += "},\n  \"timers\": {";
-    first = true;
-    for (const auto& t : snap.timers) {
-      if (!first) json += ", ";
-      first = false;
-      std::snprintf(buf, sizeof(buf), "%.6f", t.total_millis);
-      json += "\"" + obs::EscapeJson(t.name) + "\": {\"count\": " +
-              std::to_string(t.count) + ", \"total_ms\": " + buf + "}";
-    }
-    json += "}\n}\n";
+    json += "  \"counters\": " + obs::MetricsRegistry::CountersJson(snap);
+    json += ",\n  \"timers\": " + obs::MetricsRegistry::TimersJson(snap);
+    json += "\n}\n";
 
     std::string path = "BENCH_" + FileId() + ".json";
     if (const char* dir = std::getenv("OBDA_BENCH_DIR");

@@ -1,5 +1,6 @@
 #include "data/io.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "base/strings.h"
@@ -8,90 +9,172 @@ namespace obda::data {
 
 namespace {
 
-struct ParsedFact {
-  std::string relation;
-  std::vector<std::string> args;
-};
-
 bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
          c == '\'' || c == '-' || c == '|' || c == '.' || c == ':';
 }
 
-/// Tokenizes `text` into facts of the form Name(arg, ..., arg) or Name()
-/// or bare Name (0-ary). Returns an error describing the first bad token.
-base::Result<std::vector<ParsedFact>> Tokenize(std::string_view text) {
-  std::vector<ParsedFact> facts;
+base::Status ErrorAt(std::size_t offset, const std::string& what) {
+  return base::InvalidArgumentError(what + " at offset " +
+                                    std::to_string(offset));
+}
+
+/// Cursor over the fact text handling both bare identifiers and quoted
+/// names. All failure modes return a Status; nothing aborts.
+struct Lexer {
+  std::string_view text;
   std::size_t i = 0;
-  // Between facts, whitespace, ',' and '.' are all separators. ('.' inside
-  // constant names is fine: it only occurs between '(' and ')', where this
-  // function is not used.)
-  auto skip_sep = [&] {
+
+  bool AtEnd() const { return i >= text.size(); }
+  char Peek() const { return text[i]; }
+
+  /// Skips whitespace plus the inter-fact separators ',' and '.'.
+  void SkipSeparators() {
     while (i < text.size() &&
            (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
             text[i] == ',' || text[i] == '.')) {
       ++i;
     }
-  };
-  auto read_ident = [&]() -> std::string {
-    std::size_t start = i;
-    while (i < text.size() && IsIdentChar(text[i])) ++i;
-    return std::string(text.substr(start, i - start));
-  };
-  skip_sep();
-  while (i < text.size()) {
-    std::string name = read_ident();
-    if (name.empty()) {
-      return base::InvalidArgumentError("unexpected character '" +
-                                        std::string(1, text[i]) +
-                                        "' at offset " + std::to_string(i));
-    }
-    ParsedFact fact;
-    fact.relation = std::move(name);
-    if (i < text.size() && text[i] == '(') {
+  }
+  /// Skips whitespace and ',' only (inside argument lists '.' is part of
+  /// unquoted constant names).
+  void SkipArgSeparators() {
+    while (i < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
+            text[i] == ',')) {
       ++i;
-      for (;;) {
-        while (i < text.size() &&
-               (std::isspace(static_cast<unsigned char>(text[i])) != 0 ||
-                text[i] == ',')) {
+    }
+  }
+
+  /// Reads a name: a double-quoted string with escapes, or a run of
+  /// identifier characters. `*out` is set on success.
+  base::Status ReadName(std::string* out) {
+    out->clear();
+    if (AtEnd()) return ErrorAt(i, "expected name, got end of input");
+    if (text[i] == '"') {
+      const std::size_t start = i++;
+      while (i < text.size() && text[i] != '"') {
+        char c = text[i];
+        if (c == '\\') {
+          if (i + 1 >= text.size()) {
+            return ErrorAt(i, "dangling escape in quoted name");
+          }
+          char e = text[i + 1];
+          switch (e) {
+            case '\\': out->push_back('\\'); break;
+            case '"': out->push_back('"'); break;
+            case 'n': out->push_back('\n'); break;
+            case 'r': out->push_back('\r'); break;
+            case 't': out->push_back('\t'); break;
+            default:
+              return ErrorAt(i, std::string("unknown escape '\\") + e +
+                                    "' in quoted name");
+          }
+          i += 2;
+        } else {
+          out->push_back(c);
           ++i;
         }
-        if (i < text.size() && text[i] == ')') {
-          ++i;
+      }
+      if (AtEnd()) return ErrorAt(start, "unterminated quoted name");
+      ++i;  // closing quote
+      return base::Status::Ok();
+    }
+    const std::size_t start = i;
+    while (i < text.size() && IsIdentChar(text[i])) ++i;
+    if (i == start) {
+      return ErrorAt(i, std::string("unexpected character '") + text[i] +
+                            "'");
+    }
+    out->assign(text.substr(start, i - start));
+    return base::Status::Ok();
+  }
+};
+
+base::Result<ParsedFactList> Tokenize(std::string_view text) {
+  ParsedFactList out;
+  Lexer lex{text};
+  lex.SkipSeparators();
+  while (!lex.AtEnd()) {
+    if (lex.Peek() == '!') {
+      // Directive: currently only `!const <name>`.
+      ++lex.i;
+      std::string word;
+      OBDA_RETURN_IF_ERROR(lex.ReadName(&word));
+      if (word != "const") {
+        return ErrorAt(lex.i, "unknown directive !" + word);
+      }
+      lex.SkipArgSeparators();
+      std::string name;
+      OBDA_RETURN_IF_ERROR(lex.ReadName(&name));
+      out.isolated_constants.push_back(std::move(name));
+      lex.SkipSeparators();
+      continue;
+    }
+    Fact fact;
+    OBDA_RETURN_IF_ERROR(lex.ReadName(&fact.relation));
+    if (!lex.AtEnd() && lex.Peek() == '(') {
+      ++lex.i;
+      for (;;) {
+        lex.SkipArgSeparators();
+        if (lex.AtEnd()) {
+          return ErrorAt(lex.i, "unterminated '(' in fact " + fact.relation);
+        }
+        if (lex.Peek() == ')') {
+          ++lex.i;
           break;
         }
-        std::string arg = read_ident();
-        if (arg.empty()) {
-          return base::InvalidArgumentError(
-              "expected constant or ')' at offset " + std::to_string(i));
-        }
+        std::string arg;
+        OBDA_RETURN_IF_ERROR(lex.ReadName(&arg));
         fact.args.push_back(std::move(arg));
       }
     }
-    facts.push_back(std::move(fact));
-    skip_sep();
-  }
-  return facts;
-}
-
-}  // namespace
-
-base::Result<Instance> ParseInstance(const Schema& schema,
-                                     std::string_view text) {
-  auto facts = Tokenize(text);
-  if (!facts.ok()) return facts.status();
-  Instance out(schema);
-  for (const ParsedFact& f : *facts) {
-    OBDA_RETURN_IF_ERROR(out.AddFactByName(f.relation, f.args));
+    out.facts.push_back(std::move(fact));
+    lex.SkipSeparators();
   }
   return out;
 }
 
+base::Status AddAll(const ParsedFactList& parsed, Instance* out) {
+  for (const std::string& name : parsed.isolated_constants) {
+    out->AddConstant(name);
+  }
+  for (const Fact& f : parsed.facts) {
+    OBDA_RETURN_IF_ERROR(out->AddFactByName(f.relation, f.args));
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace
+
+base::Result<std::vector<Fact>> ParseFacts(std::string_view text) {
+  auto parsed = Tokenize(text);
+  if (!parsed.ok()) return parsed.status();
+  if (!parsed->isolated_constants.empty()) {
+    return base::InvalidArgumentError(
+        "!const directives are not valid in a fact list");
+  }
+  return std::move(parsed->facts);
+}
+
+base::Result<ParsedFactList> ParseFactList(std::string_view text) {
+  return Tokenize(text);
+}
+
+base::Result<Instance> ParseInstance(const Schema& schema,
+                                     std::string_view text) {
+  auto parsed = Tokenize(text);
+  if (!parsed.ok()) return parsed.status();
+  Instance out(schema);
+  OBDA_RETURN_IF_ERROR(AddAll(*parsed, &out));
+  return out;
+}
+
 base::Result<Instance> ParseInstanceAuto(std::string_view text) {
-  auto facts = Tokenize(text);
-  if (!facts.ok()) return facts.status();
+  auto parsed = Tokenize(text);
+  if (!parsed.ok()) return parsed.status();
   Schema schema;
-  for (const ParsedFact& f : *facts) {
+  for (const Fact& f : parsed->facts) {
     auto existing = schema.FindRelation(f.relation);
     if (existing.has_value()) {
       if (schema.Arity(*existing) != static_cast<int>(f.args.size())) {
@@ -103,8 +186,80 @@ base::Result<Instance> ParseInstanceAuto(std::string_view text) {
     }
   }
   Instance out(schema);
-  for (const ParsedFact& f : *facts) {
-    OBDA_RETURN_IF_ERROR(out.AddFactByName(f.relation, f.args));
+  OBDA_RETURN_IF_ERROR(AddAll(*parsed, &out));
+  return out;
+}
+
+std::string FormatConstant(std::string_view name) {
+  bool safe = !name.empty();
+  for (char c : name) {
+    if (!IsIdentChar(c)) {
+      safe = false;
+      break;
+    }
+  }
+  if (safe) return std::string(name);
+  std::string out = "\"";
+  for (char c : name) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default: out.push_back(c);
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatFact(const Fact& fact) {
+  std::string out = FormatConstant(fact.relation);
+  out += '(';
+  for (std::size_t i = 0; i < fact.args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += FormatConstant(fact.args[i]);
+  }
+  out += ')';
+  return out;
+}
+
+std::string FormatInstance(const Instance& instance) {
+  const Schema& schema = instance.schema();
+  // Universe constants with no fact: emitted first so they survive the
+  // round trip.
+  std::vector<std::string> isolated;
+  for (ConstId c = 0; c < instance.UniverseSize(); ++c) {
+    if (instance.FactsOf(c).empty()) {
+      isolated.push_back(instance.ConstantName(c));
+    }
+  }
+  std::sort(isolated.begin(), isolated.end());
+
+  std::vector<std::string> lines;
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    for (std::uint32_t i = 0;
+         i < static_cast<std::uint32_t>(instance.NumTuples(r)); ++i) {
+      Fact f;
+      f.relation = schema.RelationName(r);
+      for (ConstId c : instance.Tuple(r, i)) {
+        f.args.push_back(instance.ConstantName(c));
+      }
+      lines.push_back(FormatFact(f));
+    }
+  }
+  std::sort(lines.begin(), lines.end());
+
+  std::string out;
+  for (const std::string& name : isolated) {
+    out += "!const ";
+    out += FormatConstant(name);
+    out += '\n';
+  }
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
   }
   return out;
 }

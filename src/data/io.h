@@ -1,22 +1,73 @@
 #ifndef OBDA_DATA_IO_H_
 #define OBDA_DATA_IO_H_
 
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "base/status.h"
 #include "data/instance.h"
 
 namespace obda::data {
 
+/// A single fact at the text level: relation and constant *names*. This is
+/// the unit of the serving wire protocol (ASSERT/RETRACT payloads) and of
+/// the round-tripping instance serialization below.
+struct Fact {
+  std::string relation;
+  std::vector<std::string> args;
+
+  bool operator==(const Fact&) const = default;
+  auto operator<=>(const Fact&) const = default;
+};
+
 /// Parses a whitespace/'.'-separated list of facts, e.g.
 ///   "HasFinding(patient1, f1). ErythemaMigrans(f1)"
-/// against `schema`. Unknown relations or arity mismatches are errors.
+/// Constant and relation names may be double-quoted ("a b", with \\ \" \n
+/// \r \t escapes) to carry arbitrary characters; unquoted names are runs
+/// of identifier characters. A `!const <name>` directive names a universe
+/// constant that occurs in no fact (FormatInstance emits these so that
+/// isolated elements survive the round trip). Returns an error (never
+/// aborts) describing the first malformed token.
+base::Result<std::vector<Fact>> ParseFacts(std::string_view text);
+
+/// Universe constants declared by `!const` directives, in order.
+struct ParsedFactList {
+  std::vector<Fact> facts;
+  std::vector<std::string> isolated_constants;
+};
+base::Result<ParsedFactList> ParseFactList(std::string_view text);
+
+/// Parses facts against `schema`. Unknown relations or arity mismatches
+/// are errors (base::Result, never CHECK-failure).
 base::Result<Instance> ParseInstance(const Schema& schema,
                                      std::string_view text);
 
 /// Like ParseInstance, but builds the schema from the facts seen (each
 /// relation's arity is fixed by its first occurrence).
 base::Result<Instance> ParseInstanceAuto(std::string_view text);
+
+/// Renders a constant or relation name in wire form: unchanged when it is
+/// a nonempty run of identifier characters, double-quoted with escapes
+/// otherwise.
+std::string FormatConstant(std::string_view name);
+
+/// Renders one fact in canonical wire form, e.g. `R(a, "b c")`. Zero-ary
+/// facts render with explicit parens (`P()`) so they never merge with a
+/// following token.
+std::string FormatFact(const Fact& fact);
+
+/// Canonical text serialization of an instance: `!const` directives for
+/// universe constants outside every fact (sorted by name), then one fact
+/// per line, sorted. Round-trip guarantees, exercised by the differential
+/// test in data_test.cc:
+///   * ParseInstance(I.schema(), FormatInstance(I)) succeeds and has the
+///     same universe name set and fact set as I (SameFactsAs + universe);
+///   * FormatInstance is a fixpoint: re-parsing and re-formatting yields
+///     byte-identical text, and constants are interned in first-occurrence
+///     order of the canonical text, so ConstIds are stable across round
+///     trips of the canonical form.
+std::string FormatInstance(const Instance& instance);
 
 }  // namespace obda::data
 

@@ -323,8 +323,31 @@ struct GroundedQuery::Impl {
   const data::Instance* instance = nullptr;
   std::vector<ConstId> adom;
   EvalOptions options;
+  GroundingFingerprint fingerprint;
   /// Immutable after Build; shared read-only by every worker solver.
   std::shared_ptr<const GroundedClauses> snapshot;
+  /// Per-slot worker scratch for ComputeCertainAnswers, persistent across
+  /// calls so the solvers stay warm (learned clauses and the cached model
+  /// survive from one request to the next — the serving layer's hot
+  /// path). Guarded by the caller: ComputeCertainAnswers must not run
+  /// concurrently with itself on one GroundedQuery.
+  struct WorkerState {
+    sat::Solver solver;
+    sat::Var spare = -1;
+    bool loaded = false;
+    /// The last model this worker's solver found, indexed by variable
+    /// (empty until the first kSat). The grounding is immutable, so any
+    /// model found for tuple k is still a model during tuple k+1's
+    /// probe: if it already avoids goal(tuple), it witnesses "not a
+    /// certain answer" with no Solve() at all. This — together with the
+    /// learned clauses the solver keeps across probes — is the
+    /// cross-probe reuse that collapses the per-tuple cost.
+    std::vector<char> model;
+    std::vector<std::vector<ConstId>> hits;
+    std::uint64_t checks = 0;
+    std::uint64_t cache_hits = 0;
+  };
+  std::vector<std::unique_ptr<WorkerState>> worker_states;
   /// Decisions consumed so far against options.max_decisions — one global
   /// ceiling across every probe from every worker on this grounding.
   std::atomic<std::uint64_t> decisions_used{0};
@@ -406,7 +429,38 @@ base::Result<GroundedQuery> GroundedQuery::Build(
   q.impl_->snapshot = std::move(snapshot);
   q.num_clauses_ = grounder.clause_count;
   q.num_atoms_ = q.impl_->snapshot->atom_vars.size();
+  {
+    // Order-independent clause hash: grounding emission order is already
+    // deterministic, but the fingerprint should identify the *set* of
+    // ground clauses, so each clause is hashed sorted and the clause
+    // hashes are summed.
+    GroundingFingerprint& fp = q.impl_->fingerprint;
+    fp.num_clauses = q.num_clauses_;
+    fp.num_atoms = q.num_atoms_;
+    fp.num_vars = q.impl_->snapshot->num_vars;
+    std::uint64_t sum = 0;
+    std::vector<std::uint32_t> codes;
+    for (const auto& clause : q.impl_->snapshot->clauses) {
+      codes.clear();
+      for (sat::Lit l : clause) {
+        codes.push_back(static_cast<std::uint32_t>(l.code));
+      }
+      std::sort(codes.begin(), codes.end());
+      sum += static_cast<std::uint64_t>(
+          base::HashRange(codes.begin(), codes.end(), codes.size()));
+    }
+    fp.hash = sum ^ (fp.num_clauses << 32) ^ fp.num_vars;
+  }
   return q;
+}
+
+const GroundingFingerprint& GroundedQuery::Fingerprint() const {
+  return impl_->fingerprint;
+}
+
+void GroundedQuery::ResetDecisionBudget(std::uint64_t max_decisions) {
+  impl_->options.max_decisions = max_decisions;
+  impl_->decisions_used.store(0, std::memory_order_relaxed);
 }
 
 base::Result<bool> GroundedQuery::CertainlyHolds(
@@ -469,33 +523,27 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
   base::ThreadPool& pool = base::ResolvePool(impl.options.threads, &owned);
   const int slots = pool.threads();
 
-  /// Per-slot scratch: a private solver over the shared snapshot, hit
-  /// tuples, and a local probe count. Slots never share, so the probe loop
-  /// runs lock-free; everything merges after the join.
-  struct WorkerState {
-    sat::Solver solver;
-    sat::Var spare = -1;
-    bool loaded = false;
-    /// The last model this worker's solver found, indexed by variable
-    /// (empty until the first kSat). The grounding is immutable, so any
-    /// model found for tuple k is still a model during tuple k+1's
-    /// probe: if it already avoids goal(tuple), it witnesses "not a
-    /// certain answer" with no Solve() at all. This — together with the
-    /// learned clauses the solver keeps across probes — is the
-    /// cross-probe reuse that collapses the per-tuple cost.
-    std::vector<char> model;
-    std::vector<std::vector<ConstId>> hits;
-    std::uint64_t checks = 0;
-    std::uint64_t cache_hits = 0;
-  };
-  std::vector<WorkerState> states(static_cast<std::size_t>(slots));
+  // Per-slot scratch: a private solver over the shared snapshot, hit
+  // tuples, and a local probe count. Slots never share, so the probe loop
+  // runs lock-free; everything merges after the join. The states (and so
+  // each slot's warmed solver) live in the Impl and are reused by later
+  // calls on this grounding.
+  while (impl.worker_states.size() < static_cast<std::size_t>(slots)) {
+    impl.worker_states.push_back(std::make_unique<Impl::WorkerState>());
+  }
+  for (auto& ws : impl.worker_states) {
+    ws->hits.clear();
+    ws->checks = 0;
+    ws->cache_hits = 0;
+  }
   const GroundedClauses& snapshot = *impl.snapshot;
   const PredId goal = impl.program->goal();
 
   base::Status status = pool.ParallelFor(
       total, /*min_chunk=*/1,
       [&](std::uint64_t begin, std::uint64_t end, int slot) -> base::Status {
-        WorkerState& ws = states[static_cast<std::size_t>(slot)];
+        Impl::WorkerState& ws =
+            *impl.worker_states[static_cast<std::size_t>(slot)];
         if (!ws.loaded) {
           ws.spare = LoadSolver(snapshot, &ws.solver);
           ws.loaded = true;
@@ -533,18 +581,18 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
 
   std::uint64_t checks = 0;
   std::uint64_t cache_hits = 0;
-  for (WorkerState& ws : states) {
-    checks += ws.checks;
-    cache_hits += ws.cache_hits;
-    // Per-worker solver stats reach the registry when `states` dies, via
-    // ~Solver; nothing to aggregate by hand beyond the probe counts.
+  for (auto& ws : impl.worker_states) {
+    checks += ws->checks;
+    cache_hits += ws->cache_hits;
+    // Per-worker solver stats reach the registry when the grounding dies,
+    // via ~Solver; nothing to aggregate by hand beyond the probe counts.
   }
   DdlogCounters::Get().certain_checks.Add(checks);
   DdlogCounters::Get().model_cache_hits.Add(cache_hits);
   if (!status.ok()) return status;
 
-  for (WorkerState& ws : states) {
-    for (auto& tuple : ws.hits) answers.tuples.push_back(std::move(tuple));
+  for (auto& ws : impl.worker_states) {
+    for (auto& tuple : ws->hits) answers.tuples.push_back(std::move(tuple));
   }
   std::sort(answers.tuples.begin(), answers.tuples.end());
   return answers;

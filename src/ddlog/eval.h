@@ -38,6 +38,19 @@ struct Answers {
   bool inconsistent = false;
 };
 
+/// A cheap identity for one grounding: clause/atom/variable counts plus an
+/// order-independent hash of the ground clauses. Two Builds of the same
+/// (program, instance) pair produce equal fingerprints; the serving layer
+/// and tests use this to assert that unchanged data never re-grounds.
+struct GroundingFingerprint {
+  std::uint64_t num_clauses = 0;
+  std::uint64_t num_atoms = 0;
+  std::uint64_t num_vars = 0;
+  std::uint64_t hash = 0;
+
+  bool operator==(const GroundingFingerprint&) const = default;
+};
+
 /// A grounded program over a fixed instance, reusable across candidate
 /// tuples. Grounding materializes, for each rule and each substitution
 /// whose EDB body atoms hold in D, a propositional clause over ground IDB
@@ -48,6 +61,11 @@ struct Answers {
 /// that shared snapshot.
 class GroundedQuery {
  public:
+  /// An empty handle: assign a Build result before use. (Copies share the
+  /// underlying grounding, shared_ptr-style; the serving layer hands out
+  /// such handles from its per-session slots.)
+  GroundedQuery() = default;
+
   /// Grounds `program` over `instance`. The program must Validate().
   /// The returned object keeps references to both arguments; they must
   /// outlive it.
@@ -69,6 +87,9 @@ class GroundedQuery {
   /// options.threads workers (each with its own solver over the shared
   /// clause snapshot) and merging hits into lexicographic order — answers
   /// are bit-identical to the sequential engine for any thread count.
+  /// Worker solvers persist inside the grounding, so repeated calls run
+  /// against warmed solvers (learned clauses + cached models); calls on
+  /// one GroundedQuery must not overlap in time.
   base::Result<Answers> ComputeCertainAnswers();
 
   /// The active domain of the grounded instance, computed once at Build
@@ -78,9 +99,17 @@ class GroundedQuery {
   std::size_t num_ground_clauses() const { return num_clauses_; }
   std::size_t num_ground_atoms() const { return num_atoms_; }
 
- private:
-  GroundedQuery() = default;
+  /// The grounding's fingerprint, computed once at Build time.
+  const GroundingFingerprint& Fingerprint() const;
 
+  /// Serving hook: rearms the shared decision budget for the next request
+  /// (replaces max_decisions and zeroes the consumed count), so one
+  /// long-lived grounding can serve many independently budgeted requests.
+  /// Callers must not run this concurrently with probes on the same
+  /// grounding (the serving scheduler's per-session FIFO guarantees it).
+  void ResetDecisionBudget(std::uint64_t max_decisions);
+
+ private:
   struct Impl;
   std::shared_ptr<Impl> impl_;
   std::size_t num_clauses_ = 0;

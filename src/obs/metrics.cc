@@ -209,9 +209,8 @@ std::string MetricsRegistry::ExportText() const {
   return out;
 }
 
-std::string MetricsRegistry::ExportJson() const {
-  Snapshot snapshot = Snap();
-  std::string out = "{\"counters\": {";
+std::string MetricsRegistry::CountersJson(const Snapshot& snapshot) {
+  std::string out = "{";
   bool first = true;
   char buf[64];
   for (const auto& c : snapshot.counters) {
@@ -222,8 +221,14 @@ std::string MetricsRegistry::ExportJson() const {
                   static_cast<unsigned long long>(c.value));
     out += buf;
   }
-  out += "}, \"timers\": {";
-  first = true;
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::TimersJson(const Snapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
   for (const auto& t : snapshot.timers) {
     if (!first) out += ", ";
     first = false;
@@ -236,9 +241,17 @@ std::string MetricsRegistry::ExportJson() const {
     out += buf;
     out += "}";
   }
-  out += "}}";
+  out += "}";
   return out;
 }
+
+std::string MetricsRegistry::SnapshotJson() const {
+  Snapshot snapshot = Snap();
+  return "{\"counters\": " + CountersJson(snapshot) +
+         ", \"timers\": " + TimersJson(snapshot) + "}";
+}
+
+std::string MetricsRegistry::ExportJson() const { return SnapshotJson(); }
 
 std::string EscapeJson(std::string_view text) {
   std::string out;

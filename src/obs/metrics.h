@@ -181,7 +181,17 @@ class MetricsRegistry {
   /// Human-readable table of all nonzero metrics.
   std::string ExportText() const;
   /// `{"counters": {...}, "timers": {name: {"count": n, "total_ms": x}}}`.
+  /// Alias of SnapshotJson(), kept for existing callers.
   std::string ExportJson() const;
+
+  /// The inner JSON objects of a snapshot, keys sorted by name — the one
+  /// formatting path shared by SnapshotJson, the bench reporting layer
+  /// (BENCH_<id>.json) and the serving STATS command, so all three agree
+  /// byte-for-byte on a given snapshot.
+  static std::string CountersJson(const Snapshot& snapshot);
+  static std::string TimersJson(const Snapshot& snapshot);
+  /// `{"counters": {...}, "timers": {...}}` with stable key order.
+  std::string SnapshotJson() const;
 
  private:
   MetricsRegistry() = default;

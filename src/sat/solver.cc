@@ -384,9 +384,6 @@ bool Solver::LitRedundant(Lit l) {
 
 int Solver::Analyze(CRef confl, std::vector<Lit>* learnt,
                     std::uint32_t* out_lbd) {
-  for (std::size_t zz = 0; zz < seen_.size(); ++zz) {
-    if (seen_[zz]) { std::fprintf(stderr, "SEEN LEAK var %zu\n", zz); std::abort(); }
-  }
   learnt->clear();
   learnt->push_back(Lit{-1});  // slot for the asserting literal
   int needs_resolution = 0;
@@ -420,17 +417,18 @@ int Solver::Analyze(CRef confl, std::vector<Lit>* learnt,
   } while (needs_resolution > 0);
   (*learnt)[0] = p.Negated();
 
+  // Record the seen marks to clear before minimization compacts the
+  // clause in place: marks of dropped literals must go too, and after
+  // compaction their slots have been overwritten. (Resolved current-level
+  // marks were already cleared during the walk.)
+  analyze_clear_.clear();
+  for (std::size_t i = 1; i < learnt->size(); ++i) {
+    analyze_clear_.push_back((*learnt)[i].var());
+  }
   // Minimize: drop literals whose reasons are subsumed by the clause.
   std::size_t kept = 1;
   for (std::size_t i = 1; i < learnt->size(); ++i) {
     if (!LitRedundant((*learnt)[i])) (*learnt)[kept++] = (*learnt)[i];
-  }
-  // Clear the seen marks of every literal collected before minimization
-  // (marks of dropped literals must go too; resolved current-level marks
-  // were cleared during the walk). analyze_clear_ tracks them.
-  analyze_clear_.clear();
-  for (std::size_t i = 1; i < learnt->size(); ++i) {
-    analyze_clear_.push_back((*learnt)[i].var());
   }
   learnt->resize(kept);
   for (Var v : analyze_clear_) seen_[v] = 0;

@@ -1,0 +1,142 @@
+// obda_serve: newline-delimited text protocol front end for the serving
+// layer (DESIGN.md §8). Default mode reads commands from stdin and writes
+// responses to stdout — the scriptable mode CI's smoke test drives with a
+// golden transcript. `--tcp PORT` instead accepts TCP connections on
+// 127.0.0.1:PORT, one protocol client per connection.
+//
+//   obda_serve [--tcp PORT] [--cache N] [--max-queue N] [--threads N]
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace {
+
+using obda::serve::Server;
+using obda::serve::ServerOptions;
+
+int RunStdin(Server& server) {
+  auto client = server.NewClient();
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::cout << client->HandleLine(line) << std::flush;
+    if (client->quit()) break;
+  }
+  return 0;
+}
+
+void ServeConnection(Server& server, int fd) {
+  auto client = server.NewClient();
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      const std::string response =
+          client->HandleLine(std::string_view(buffer).substr(start, nl - start));
+      start = nl + 1;
+      if (!response.empty()) {
+        std::size_t off = 0;
+        while (off < response.size()) {
+          ssize_t w = write(fd, response.data() + off, response.size() - off);
+          if (w <= 0) {
+            close(fd);
+            return;
+          }
+          off += static_cast<std::size_t>(w);
+        }
+      }
+      if (client->quit()) {
+        close(fd);
+        return;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  close(fd);
+}
+
+int RunTcp(Server& server, int port) {
+  const int listener = socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      listen(listener, 16) < 0) {
+    std::perror("bind/listen");
+    close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "obda_serve: listening on 127.0.0.1:%d\n", port);
+  std::vector<std::thread> handlers;
+  for (;;) {
+    const int fd = accept(listener, nullptr, nullptr);
+    if (fd < 0) break;
+    handlers.emplace_back(
+        [&server, fd] { ServeConnection(server, fd); });
+  }
+  for (std::thread& t : handlers) t.join();
+  close(listener);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  int tcp_port = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--tcp") {
+      const char* v = next();
+      if (v != nullptr) tcp_port = std::atoi(v);
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (v != nullptr) {
+        options.cache_capacity = static_cast<std::size_t>(std::atoll(v));
+      }
+    } else if (arg == "--max-queue") {
+      const char* v = next();
+      if (v != nullptr) {
+        options.scheduler.max_queue = static_cast<std::size_t>(std::atoll(v));
+      }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v != nullptr) {
+        options.scheduler.threads = std::atoi(v);
+        options.prepare.eval.threads = std::atoi(v);
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: obda_serve [--tcp PORT] [--cache N] "
+                   "[--max-queue N] [--threads N]\n");
+      return 2;
+    }
+  }
+  obda::serve::Server server(options);
+  return tcp_port > 0 ? RunTcp(server, tcp_port) : RunStdin(server);
+}

@@ -1,0 +1,182 @@
+#include "serve/prepared.h"
+
+#include <utility>
+
+#include "base/hash.h"
+#include "core/mddlog_translation.h"
+#include "core/ucq_translation.h"
+#include "obs/metrics.h"
+
+namespace obda::serve {
+
+const char* PlanKindName(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kSatGrounding:
+      return "sat_grounding";
+    case PlanKind::kDatalogRewriting:
+      return "datalog_rewriting";
+  }
+  return "unknown";
+}
+
+base::Result<std::shared_ptr<PreparedQuery>> PreparedQuery::FromProgram(
+    ddlog::Program program, const PrepareOptions& options) {
+  OBDA_RETURN_IF_ERROR(program.Validate());
+  auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+  prepared->plan_ = PlanKind::kSatGrounding;
+  prepared->arity_ = program.QueryArity();
+  prepared->options_ = options;
+  prepared->program_ =
+      std::make_unique<const ddlog::Program>(std::move(program));
+  return prepared;
+}
+
+base::Result<std::shared_ptr<PreparedQuery>> PreparedQuery::FromOmq(
+    const core::OntologyMediatedQuery& omq, const PrepareOptions& options) {
+  // Plan selection: take the polynomial-time canonical-datalog rewriting
+  // whenever the decider certifies it; any failure along that path (non
+  // AQ/BAQ shape, undecided, extraction budget) falls back to the
+  // complete SAT pipeline rather than surfacing an error.
+  if (options.allow_rewriting) {
+    base::Result<bool> rewritable = core::IsDatalogRewritable(omq);
+    if (rewritable.ok() && *rewritable) {
+      base::Result<core::DatalogRewriting> rewriting =
+          core::ExtractDatalogRewriting(omq, options.max_template_elements);
+      if (rewriting.ok()) {
+        auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+        prepared->plan_ = PlanKind::kDatalogRewriting;
+        prepared->arity_ = omq.arity();
+        prepared->options_ = options;
+        prepared->rewriting_ = std::make_unique<const core::DatalogRewriting>(
+            std::move(rewriting).value());
+        return prepared;
+      }
+    }
+  }
+
+  base::Result<ddlog::Program> program =
+      (omq.AtomicQueryConcept().has_value() ||
+       omq.BooleanAtomicQueryConcept().has_value())
+          ? core::CompileAqToMddlog(omq)
+          : [&]() -> base::Result<ddlog::Program> {
+              base::Result<core::OntologyMediatedQuery> no_inverse =
+                  core::EliminateInverseRolesInOmq(omq);
+              if (!no_inverse.ok()) return no_inverse.status();
+              return core::CompileUcqToMddlog(*no_inverse);
+            }();
+  if (!program.ok()) return program.status();
+  return FromProgram(std::move(program).value(), options);
+}
+
+base::Result<ddlog::Answers> PreparedQuery::Execute(
+    Session& session, const RequestBudget& budget, ExecInfo* info) {
+  static obs::TimerStat& exec_timer = obs::GetTimer("serve.execute");
+  obs::ScopedTimer timer(exec_timer);
+
+  const Session::Snapshot snapshot = session.Materialize();
+  ExecInfo local;
+  local.plan = plan_;
+  local.generation = snapshot.generation;
+  local.instance = snapshot.instance;
+
+  if (plan_ == PlanKind::kDatalogRewriting) {
+    base::Result<std::vector<std::vector<data::ConstId>>> tuples =
+        rewriting_->Evaluate(*snapshot.instance);
+    if (!tuples.ok()) return tuples.status();
+    ddlog::Answers answers;
+    answers.tuples = std::move(tuples).value();
+    if (info != nullptr) *info = local;
+    return answers;
+  }
+
+  // SAT plan: reuse the session's grounding when its data generation is
+  // unchanged; otherwise (re-)ground against the fresh snapshot. The slot
+  // map lock only covers slot resolution — per-session FIFO scheduling
+  // guarantees no two Execute calls touch one slot concurrently, so the
+  // probe work below runs unlocked.
+  static obs::Counter& regrounds = obs::GetCounter("ddlog.regrounds");
+  ddlog::GroundedQuery grounded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    GroundingSlot& slot = slots_[session.id()];
+    if (slot.grounded == nullptr ||
+        slot.snapshot.generation != snapshot.generation) {
+      const bool is_reground = slot.grounded != nullptr;
+      base::Result<ddlog::GroundedQuery> built = ddlog::GroundedQuery::Build(
+          *program_, *snapshot.instance, options_.eval);
+      if (!built.ok()) return built.status();
+      slot.grounded =
+          std::make_unique<ddlog::GroundedQuery>(std::move(built).value());
+      slot.snapshot = snapshot;
+      if (is_reground) regrounds.Add();
+      local.grounded = true;  // this request paid the (re-)grounding cost
+    }
+    grounded = *slot.grounded;  // shared handle onto the slot's Impl
+  }
+
+  grounded.ResetDecisionBudget(budget.max_decisions);
+  local.fingerprint = grounded.Fingerprint();
+
+  base::Result<ddlog::Answers> answers = grounded.ComputeCertainAnswers();
+  if (!answers.ok()) return answers.status();
+  if (info != nullptr) *info = local;
+  return std::move(answers).value();
+}
+
+std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
+  std::size_t seed = k.ontology_hash;
+  base::HashCombine(seed, k.query_hash);
+  base::HashCombine(seed, k.plan_mode);
+  return seed;
+}
+
+std::uint64_t HashText(std::string_view text) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+PreparedCache::PreparedCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<PreparedQuery> PreparedCache::Lookup(const CacheKey& key) {
+  static obs::Counter& hits = obs::GetCounter("serve.cache_hits");
+  static obs::Counter& misses = obs::GetCounter("serve.cache_misses");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it == by_key_.end()) {
+    misses.Add();
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  hits.Add();
+  return it->second->second;
+}
+
+void PreparedCache::Insert(const CacheKey& key,
+                           std::shared_ptr<PreparedQuery> query) {
+  static obs::Counter& evictions = obs::GetCounter("serve.cache_evictions");
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) {
+    it->second->second = std::move(query);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(query));
+  by_key_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    by_key_.erase(lru_.back().first);
+    lru_.pop_back();
+    evictions.Add();
+  }
+}
+
+std::size_t PreparedCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace obda::serve

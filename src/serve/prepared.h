@@ -1,0 +1,166 @@
+#ifndef OBDA_SERVE_PREPARED_H_
+#define OBDA_SERVE_PREPARED_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "core/rewritability.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+#include "serve/session.h"
+
+namespace obda::serve {
+
+/// Which execution plan a prepared query compiled to (DESIGN.md §8).
+enum class PlanKind {
+  /// Grounding + per-tuple co-NP SAT probes (ddlog::GroundedQuery): the
+  /// general path, complete for every MDDlog program.
+  kSatGrounding = 0,
+  /// Canonical-datalog rewriting (core::ExtractDatalogRewriting):
+  /// polynomial-time evaluation, selected when core/rewritability
+  /// certifies the OMQ datalog-rewritable (paper Thm 5.16).
+  kDatalogRewriting = 1,
+};
+const char* PlanKindName(PlanKind kind);
+
+struct PrepareOptions {
+  /// Attempt the rewritability certificate for OMQs; when false (or when
+  /// the decider / extraction fails) the SAT path is used.
+  bool allow_rewriting = true;
+  /// Template-size cap for the canonical-datalog extraction.
+  int max_template_elements = 6;
+  /// Threads and grounding caps for the SAT plan. max_decisions here is
+  /// only the default; Execute rearms it per request.
+  ddlog::EvalOptions eval;
+};
+
+/// Per-request resource budget, applied by Execute.
+struct RequestBudget {
+  /// SAT decision ceiling for this request (0 = unlimited). Ignored by
+  /// the rewriting plan, which runs no SAT search.
+  std::uint64_t max_decisions = 0;
+};
+
+/// What Execute did, for STATS/bench reporting and re-ground assertions.
+struct ExecInfo {
+  PlanKind plan = PlanKind::kSatGrounding;
+  /// True when this request had to (re-)ground against fresh data; false
+  /// on the hot path serving from the cached snapshot + warmed solvers.
+  bool grounded = false;
+  std::uint64_t generation = 0;
+  /// Fingerprint of the grounding used (zero for the rewriting plan).
+  ddlog::GroundingFingerprint fingerprint;
+  /// The snapshot the answers' ConstIds refer to.
+  std::shared_ptr<const data::Instance> instance;
+};
+
+/// A compiled OMQ/program artifact, prepared once and executed many times
+/// against evolving session data. For the SAT plan the artifact keeps one
+/// grounding slot per session: the slot pins the instance snapshot it was
+/// grounded against and is invalidated by the session's data generation,
+/// so unchanged data re-serves from the snapshot and the warmed CDCL
+/// solvers inside it, while mutations trigger re-grounding (counted in
+/// `ddlog.regrounds`).
+///
+/// Concurrency: Execute calls for *distinct* sessions may run in
+/// parallel; calls for one session must be serialized by the caller (the
+/// scheduler's per-session FIFO does this).
+class PreparedQuery {
+ public:
+  /// Compiles an MDDlog program (must Validate): always the SAT plan.
+  static base::Result<std::shared_ptr<PreparedQuery>> FromProgram(
+      ddlog::Program program, const PrepareOptions& options = {});
+
+  /// Compiles an OMQ, picking the best available plan: the canonical-
+  /// datalog rewriting when core/rewritability certifies it, otherwise
+  /// the MDDlog + SAT path (AQ/BAQ via Thm 3.4, general UCQs via
+  /// Thm 3.3).
+  static base::Result<std::shared_ptr<PreparedQuery>> FromOmq(
+      const core::OntologyMediatedQuery& omq,
+      const PrepareOptions& options = {});
+
+  PlanKind plan() const { return plan_; }
+  int arity() const { return arity_; }
+  /// The compiled MDDlog program (null for the rewriting plan).
+  const ddlog::Program* program() const { return program_.get(); }
+
+  /// Evaluates against the session's current data. Answers are
+  /// bit-identical to a fresh ddlog::CertainAnswers run on the same
+  /// materialized instance (SAT plan) at every thread count.
+  base::Result<ddlog::Answers> Execute(Session& session,
+                                       const RequestBudget& budget,
+                                       ExecInfo* info = nullptr);
+
+ private:
+  PreparedQuery() = default;
+
+  struct GroundingSlot {
+    Session::Snapshot snapshot;  // pins the instance the grounding refs
+    std::unique_ptr<ddlog::GroundedQuery> grounded;
+  };
+
+  PlanKind plan_ = PlanKind::kSatGrounding;
+  int arity_ = 0;
+  PrepareOptions options_;
+  std::unique_ptr<const ddlog::Program> program_;          // SAT plan
+  std::unique_ptr<const core::DatalogRewriting> rewriting_;  // rewriting plan
+
+  std::mutex mu_;  // guards slots_ map shape; slot contents are per-session
+  std::unordered_map<std::uint64_t, GroundingSlot> slots_;  // by Session::id
+};
+
+/// The artifact cache key: content hashes of the ontology (or EDB schema,
+/// for bare programs) and of the query/program text, plus the requested
+/// plan mode — so a sat-only PREPARE of a query never collides with an
+/// auto-planned one.
+struct CacheKey {
+  std::uint64_t ontology_hash = 0;
+  std::uint64_t query_hash = 0;
+  std::uint32_t plan_mode = 0;
+
+  bool operator==(const CacheKey&) const = default;
+};
+struct CacheKeyHash {
+  std::size_t operator()(const CacheKey& k) const;
+};
+
+/// FNV-1a, the content hash used for CacheKey fields.
+std::uint64_t HashText(std::string_view text);
+
+/// Size-bounded LRU over prepared artifacts, shared by every session of a
+/// server: two clients preparing the same query against the same ontology
+/// share one compiled artifact (their groundings stay per-session inside
+/// it). Thread-safe. Hits/misses/evictions are mirrored to the obs
+/// counters serve.cache_{hits,misses,evictions}.
+class PreparedCache {
+ public:
+  explicit PreparedCache(std::size_t capacity);
+
+  /// Returns the cached artifact (bumping its recency) or nullptr.
+  std::shared_ptr<PreparedQuery> Lookup(const CacheKey& key);
+  /// Inserts (or refreshes) an artifact, evicting the least recently
+  /// used entry when over capacity.
+  void Insert(const CacheKey& key, std::shared_ptr<PreparedQuery> query);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList =
+      std::list<std::pair<CacheKey, std::shared_ptr<PreparedQuery>>>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  LruList lru_;  // front = most recent
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> by_key_;
+};
+
+}  // namespace obda::serve
+
+#endif  // OBDA_SERVE_PREPARED_H_

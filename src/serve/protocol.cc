@@ -1,0 +1,83 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+
+namespace obda::serve {
+
+namespace {
+bool IsSpace(char c) { return c == ' ' || c == '\t' || c == '\r'; }
+}  // namespace
+
+std::string Render(const Response& response) {
+  std::string out;
+  if (response.status.ok()) {
+    for (const std::string& line : response.payload) {
+      out += line;
+      out += '\n';
+    }
+    out += "OK";
+    if (!response.info.empty()) {
+      out += ' ';
+      out += response.info;
+    }
+  } else {
+    out += "ERR ";
+    out += response.status.ToString();
+  }
+  out += '\n';
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && IsSpace(line[i])) ++i;
+    std::size_t start = i;
+    while (i < line.size() && !IsSpace(line[i])) ++i;
+    if (i > start) tokens.emplace_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::string_view TailAfter(std::string_view line, int n) {
+  std::size_t i = 0;
+  for (int t = 0; t < n; ++t) {
+    while (i < line.size() && IsSpace(line[i])) ++i;
+    while (i < line.size() && !IsSpace(line[i])) ++i;
+  }
+  while (i < line.size() && IsSpace(line[i])) ++i;
+  std::size_t end = line.size();
+  while (end > i && IsSpace(line[end - 1])) --end;
+  return line.substr(i, end - i);
+}
+
+base::Status AddRelationSpec(std::string_view spec, data::Schema& schema) {
+  std::size_t slash = spec.rfind('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 >= spec.size()) {
+    return base::InvalidArgumentError("bad relation spec \"" +
+                                      std::string(spec) +
+                                      "\" (want Name/arity)");
+  }
+  std::string name(spec.substr(0, slash));
+  int arity = 0;
+  for (std::size_t i = slash + 1; i < spec.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(spec[i]))) {
+      return base::InvalidArgumentError("bad arity in relation spec \"" +
+                                        std::string(spec) + "\"");
+    }
+    arity = arity * 10 + (spec[i] - '0');
+    if (arity > 64) {
+      return base::InvalidArgumentError("arity too large in \"" +
+                                        std::string(spec) + "\"");
+    }
+  }
+  if (schema.FindRelation(name).has_value()) {
+    return base::InvalidArgumentError("duplicate relation " + name);
+  }
+  schema.AddRelation(std::move(name), arity);
+  return base::Status::Ok();
+}
+
+}  // namespace obda::serve

@@ -1,0 +1,51 @@
+#ifndef OBDA_SERVE_PROTOCOL_H_
+#define OBDA_SERVE_PROTOCOL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "data/schema.h"
+
+namespace obda::serve {
+
+/// The wire answer to one command of the newline-delimited text protocol
+/// (DESIGN.md §8): zero or more payload lines followed by exactly one
+/// terminator line, `OK[ <info>]` on success or `ERR <CODE>: <message>`.
+/// Every response is deterministic given the command sequence, which is
+/// what lets CI diff a scripted session against a golden transcript.
+struct Response {
+  base::Status status;
+  std::vector<std::string> payload;  // emitted only when status is OK
+  std::string info;                  // appended to the OK line
+
+  static Response Ok(std::string info = "") {
+    Response r;
+    r.info = std::move(info);
+    return r;
+  }
+  static Response Error(base::Status status) {
+    Response r;
+    r.status = std::move(status);
+    return r;
+  }
+};
+
+/// Renders payload + terminator, each line '\n'-terminated.
+std::string Render(const Response& response);
+
+/// Splits on runs of spaces/tabs; never returns empty tokens.
+std::vector<std::string> Tokenize(std::string_view line);
+
+/// The rest of `line` after its first `n` whitespace-delimited tokens,
+/// with surrounding whitespace trimmed ("" when exhausted) — how commands
+/// like ONTOLOGY and PREPARE carry free-form tails.
+std::string_view TailAfter(std::string_view line, int n);
+
+/// Parses a "Name/arity" relation spec (e.g. "E/2") into `schema`.
+base::Status AddRelationSpec(std::string_view spec, data::Schema& schema);
+
+}  // namespace obda::serve
+
+#endif  // OBDA_SERVE_PROTOCOL_H_

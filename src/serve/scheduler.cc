@@ -1,0 +1,117 @@
+#include "serve/scheduler.h"
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace obda::serve {
+
+Scheduler::Scheduler(const Options& options)
+    : options_(options),
+      pool_(std::make_unique<base::ThreadPool>(
+          options.threads > 0 ? options.threads
+                              : base::ThreadPool::Global().threads())) {
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+Scheduler::~Scheduler() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  dispatcher_.join();
+}
+
+base::Status Scheduler::Submit(
+    std::uint64_t session_id, Task task,
+    std::chrono::steady_clock::time_point deadline) {
+  static obs::Counter& admitted = obs::GetCounter("serve.requests");
+  static obs::Counter& shed = obs::GetCounter("serve.shed");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) {
+    return base::ResourceExhaustedError("scheduler is shutting down");
+  }
+  if (pending_ >= options_.max_queue) {
+    shed.Add();
+    return base::ResourceExhaustedError(
+        "request queue full (max_queue=" +
+        std::to_string(options_.max_queue) + ")");
+  }
+  queues_[session_id].push_back(Entry{std::move(task), deadline});
+  ++pending_;
+  admitted.Add();
+  work_cv_.notify_one();
+  return base::Status::Ok();
+}
+
+void Scheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return pending_ == 0 && running_ == 0; });
+}
+
+std::size_t Scheduler::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+void Scheduler::DispatcherLoop() {
+  // One chunk per slot, each a worker loop that only returns at shutdown:
+  // the pool's full width drains sessions concurrently for the
+  // scheduler's entire lifetime. This is why the pool is dedicated — a
+  // never-finishing batch must not occupy the process-wide pool.
+  (void)pool_->ParallelFor(
+      static_cast<std::uint64_t>(pool_->threads()), 1,
+      [this](std::uint64_t begin, std::uint64_t end, int) {
+        for (std::uint64_t i = begin; i < end; ++i) WorkerLoop();
+        return base::Status::Ok();
+      });
+}
+
+void Scheduler::WorkerLoop() {
+  static obs::Counter& expired_count = obs::GetCounter("serve.expired");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Lowest unclaimed session with queued work; the ordered scan keeps
+    // the pick deterministic given the same queue state.
+    auto ready = queues_.end();
+    for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+      if (!it->second.empty() && claimed_.count(it->first) == 0) {
+        ready = it;
+        break;
+      }
+    }
+    if (ready == queues_.end()) {
+      if (stop_) return;
+      work_cv_.wait(lock);
+      continue;
+    }
+    const std::uint64_t session = ready->first;
+    Entry entry = std::move(ready->second.front());
+    ready->second.pop_front();
+    if (ready->second.empty()) queues_.erase(ready);
+    claimed_.insert(session);
+    --pending_;
+    ++running_;
+    lock.unlock();
+    if (std::chrono::steady_clock::now() > entry.deadline) {
+      expired_count.Add();
+      if (entry.task.expired) entry.task.expired();
+    } else {
+      entry.task.run();
+    }
+    lock.lock();
+    claimed_.erase(session);
+    --running_;
+    if (pending_ == 0 && running_ == 0) drain_cv_.notify_all();
+    // Unclaiming may have made this session's next entry ready for a
+    // waiting peer.
+    auto it = queues_.find(session);
+    if (it != queues_.end() && !it->second.empty()) work_cv_.notify_one();
+  }
+}
+
+}  // namespace obda::serve

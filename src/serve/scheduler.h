@@ -1,0 +1,110 @@
+#ifndef OBDA_SERVE_SCHEDULER_H_
+#define OBDA_SERVE_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "base/status.h"
+#include "base/thread_pool.h"
+
+namespace obda::serve {
+
+/// Request scheduler with admission control (DESIGN.md §8): per-session
+/// FIFO queues drained by a dedicated base::ThreadPool, a bounded total
+/// backlog that sheds excess load at Submit time, and a per-request
+/// deadline checked when the request is dequeued.
+///
+/// Ordering contract: tasks of one session run strictly in submission
+/// order, never overlapping (a worker claims the session for the duration
+/// of one task) — this is what lets the prepared-query layer reuse warmed
+/// solvers and rearm decision budgets without locking around the probe
+/// work. Tasks of distinct sessions run concurrently, and a free worker
+/// picks up newly submitted work immediately even while long tasks are in
+/// flight, so tasks that wait on each other across sessions cannot
+/// deadlock (up to the worker count). A task body that itself calls
+/// ParallelFor (the certain-answer fan-out does) runs on the process-wide
+/// pool as usual — the scheduler's own pool is private to it, because its
+/// worker loops occupy every slot for the scheduler's whole lifetime.
+class Scheduler {
+ public:
+  struct Options {
+    /// Executor width: 0 = match the process-wide pool's thread count
+    /// (OBDA_THREADS / hardware_concurrency), N = exactly N slots. The
+    /// pool itself is always dedicated to the scheduler.
+    int threads = 0;
+    /// Total pending tasks across all sessions before Submit sheds with
+    /// kResourceExhausted.
+    std::size_t max_queue = 64;
+  };
+
+  /// One admitted unit of work. `run` executes on a worker thread;
+  /// `expired` executes instead when the deadline passed before the task
+  /// was dequeued (so the submitter always gets exactly one callback).
+  struct Task {
+    std::function<void()> run;
+    std::function<void()> expired;  // optional
+  };
+
+  static constexpr std::chrono::steady_clock::time_point kNoDeadline =
+      std::chrono::steady_clock::time_point::max();
+
+  explicit Scheduler(const Options& options);
+  /// Drains admitted work, then stops the dispatcher.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues `task` on `session_id`'s FIFO. Returns kResourceExhausted
+  /// (and drops the task, bumping serve.shed) when the total backlog is
+  /// at max_queue — the load-shedding path; neither callback runs then.
+  base::Status Submit(std::uint64_t session_id, Task task,
+                      std::chrono::steady_clock::time_point deadline =
+                          kNoDeadline);
+
+  /// Blocks until every admitted task has finished (ran or expired).
+  void Drain();
+
+  std::size_t pending() const;
+
+ private:
+  struct Entry {
+    Task task;
+    std::chrono::steady_clock::time_point deadline;
+  };
+
+  /// Parks one never-finishing ParallelFor batch on the dedicated pool;
+  /// each chunk runs WorkerLoop until shutdown.
+  void DispatcherLoop();
+  /// Claims one ready session at a time, runs (or expires) its front
+  /// entry, unclaims, repeats; blocks on work_cv_ when nothing is ready.
+  void WorkerLoop();
+
+  const Options options_;
+  std::unique_ptr<base::ThreadPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers: a session became ready
+  std::condition_variable drain_cv_;  // Drain: backlog and in-flight hit 0
+  /// Ordered map so workers scan sessions deterministically.
+  std::map<std::uint64_t, std::deque<Entry>> queues_;
+  /// Sessions with a task in flight — not claimable until it finishes.
+  std::set<std::uint64_t> claimed_;
+  std::size_t pending_ = 0;  // queued, not yet started
+  std::size_t running_ = 0;  // dequeued, callback in flight
+  bool stop_ = false;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace obda::serve
+
+#endif  // OBDA_SERVE_SCHEDULER_H_

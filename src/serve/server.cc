@@ -1,0 +1,292 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/io.h"
+#include "ddlog/program.h"
+#include "dl/parser.h"
+#include "obs/metrics.h"
+
+namespace obda::serve {
+
+namespace {
+
+std::uint64_t ParseU64(const std::string& token, bool* ok) {
+  std::uint64_t value = 0;
+  *ok = !token.empty();
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      *ok = false;
+      return 0;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      cache_(options.cache_capacity),
+      scheduler_(options.scheduler) {}
+
+std::unique_ptr<Server::Client> Server::NewClient() {
+  return std::unique_ptr<Client>(new Client(*this));
+}
+
+std::string Server::Client::HandleLine(std::string_view line) {
+  // Trim; blank lines and comments produce no response at all.
+  while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                           line.front() == '\r')) {
+    line.remove_prefix(1);
+  }
+  while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                           line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty() || line.front() == '#') return "";
+  return Render(Dispatch(line));
+}
+
+Response Server::Client::Dispatch(std::string_view line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  const std::string& cmd = tokens[0];
+  if (cmd == "QUIT") {
+    quit_ = true;
+    return Response::Ok("bye");
+  }
+  if (cmd == "SCHEMA") return CmdSchema(tokens);
+  if (cmd == "ONTOLOGY") return CmdOntology(TailAfter(line, 1));
+  if (cmd == "STATS") return CmdStats();
+  if (session_ == nullptr) {
+    return Response::Error(
+        base::InvalidArgumentError("no session: run SCHEMA first"));
+  }
+  if (cmd == "PREPARE") return CmdPrepare(tokens, line);
+  if (cmd == "ASSERT") return CmdMutate(TailAfter(line, 1), /*assert=*/true);
+  if (cmd == "RETRACT") {
+    return CmdMutate(TailAfter(line, 1), /*assert=*/false);
+  }
+  if (cmd == "QUERY") return CmdQuery(tokens);
+  return Response::Error(
+      base::InvalidArgumentError("unknown command " + cmd));
+}
+
+Response Server::Client::CmdSchema(const std::vector<std::string>& tokens) {
+  if (session_ != nullptr) {
+    return Response::Error(base::InvalidArgumentError(
+        "session schema is fixed once; already set"));
+  }
+  if (tokens.size() < 2) {
+    return Response::Error(
+        base::InvalidArgumentError("SCHEMA needs at least one Name/arity"));
+  }
+  data::Schema schema;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    base::Status status = AddRelationSpec(tokens[i], schema);
+    if (!status.ok()) return Response::Error(std::move(status));
+  }
+  session_ = std::make_unique<Session>(std::move(schema));
+  return Response::Ok("relations=" +
+                      std::to_string(session_->schema().NumRelations()));
+}
+
+Response Server::Client::CmdOntology(std::string_view tail) {
+  base::Result<dl::Ontology> parsed = dl::ParseOntology(tail);
+  if (!parsed.ok()) return Response::Error(parsed.status());
+  ontology_ = std::move(parsed).value();
+  ontology_text_ = std::string(tail);
+  return Response::Ok(
+      "axioms=" + std::to_string(ontology_.inclusions().size() +
+                                 ontology_.role_inclusions().size()) +
+      " language=" + ontology_.Features().LanguageName());
+}
+
+Response Server::Client::CmdPrepare(const std::vector<std::string>& tokens,
+                                    std::string_view line) {
+  if (tokens.size() < 4) {
+    return Response::Error(base::InvalidArgumentError(
+        "usage: PREPARE <name> [SAT] AQ|BAQ|PROGRAM <payload>"));
+  }
+  const std::string& name = tokens[1];
+  bool force_sat = false;
+  std::size_t kind_idx = 2;
+  if (tokens[2] == "SAT") {
+    force_sat = true;
+    kind_idx = 3;
+  }
+  if (kind_idx >= tokens.size()) {
+    return Response::Error(
+        base::InvalidArgumentError("PREPARE: missing query kind"));
+  }
+  const std::string& kind = tokens[kind_idx];
+  const std::string payload(
+      TailAfter(line, static_cast<int>(kind_idx) + 1));
+  if (payload.empty()) {
+    return Response::Error(
+        base::InvalidArgumentError("PREPARE: missing query payload"));
+  }
+  if (kind != "AQ" && kind != "BAQ" && kind != "PROGRAM") {
+    return Response::Error(base::InvalidArgumentError(
+        "PREPARE: query kind must be AQ, BAQ, or PROGRAM"));
+  }
+  if (kind == "PROGRAM") force_sat = true;  // no rewriting certificate path
+
+  // The artifact cache key: what the compiled plan depends on — schema,
+  // ontology text, query text, and the requested plan mode.
+  CacheKey key;
+  key.ontology_hash =
+      HashText(session_->schema().ToString() + "\n" + ontology_text_);
+  key.query_hash = HashText(kind + " " + payload);
+  key.plan_mode = force_sat ? 1 : 0;
+
+  std::shared_ptr<PreparedQuery> query = server_.cache().Lookup(key);
+  const bool from_cache = query != nullptr;
+  if (!from_cache) {
+    PrepareOptions opts = server_.options().prepare;
+    opts.allow_rewriting = opts.allow_rewriting && !force_sat;
+    base::Result<std::shared_ptr<PreparedQuery>> built =
+        base::InvalidArgumentError("unreachable");
+    if (kind == "PROGRAM") {
+      base::Result<ddlog::Program> program =
+          ddlog::ParseProgram(session_->schema(), payload);
+      if (!program.ok()) return Response::Error(program.status());
+      built = PreparedQuery::FromProgram(std::move(program).value(), opts);
+    } else {
+      base::Result<core::OntologyMediatedQuery> omq =
+          kind == "AQ" ? core::OntologyMediatedQuery::WithAtomicQuery(
+                             session_->schema(), ontology_, payload)
+                       : core::OntologyMediatedQuery::WithBooleanAtomicQuery(
+                             session_->schema(), ontology_, payload);
+      if (!omq.ok()) return Response::Error(omq.status());
+      built = PreparedQuery::FromOmq(*omq, opts);
+    }
+    if (!built.ok()) return Response::Error(built.status());
+    query = std::move(built).value();
+    server_.cache().Insert(key, query);
+  }
+  prepared_[name] = NamedQuery{query, from_cache};
+  return Response::Ok("plan=" + std::string(PlanKindName(query->plan())) +
+                      " cached=" + (from_cache ? "1" : "0") +
+                      " arity=" + std::to_string(query->arity()));
+}
+
+Response Server::Client::CmdMutate(std::string_view tail, bool assert_op) {
+  base::Result<std::vector<data::Fact>> facts = data::ParseFacts(tail);
+  if (!facts.ok()) return Response::Error(facts.status());
+  if (facts->empty()) {
+    return Response::Error(base::InvalidArgumentError(
+        assert_op ? "ASSERT: no facts given" : "RETRACT: no facts given"));
+  }
+  std::size_t changed = 0;
+  for (const data::Fact& fact : *facts) {
+    base::Result<bool> result =
+        assert_op ? session_->Assert(fact) : session_->Retract(fact);
+    if (!result.ok()) return Response::Error(result.status());
+    if (*result) ++changed;
+  }
+  return Response::Ok(
+      std::string(assert_op ? "added=" : "removed=") +
+      std::to_string(changed) +
+      " generation=" + std::to_string(session_->generation()));
+}
+
+Response Server::Client::CmdQuery(const std::vector<std::string>& tokens) {
+  if (tokens.size() < 2) {
+    return Response::Error(base::InvalidArgumentError(
+        "usage: QUERY <name> [DEADLINE_MS n] [MAX_DECISIONS n]"));
+  }
+  auto it = prepared_.find(tokens[1]);
+  if (it == prepared_.end()) {
+    return Response::Error(
+        base::NotFoundError("no prepared query named " + tokens[1]));
+  }
+  std::uint64_t deadline_ms = server_.options().default_deadline_ms;
+  RequestBudget budget;
+  budget.max_decisions = server_.options().default_max_decisions;
+  for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
+    bool ok = false;
+    const std::uint64_t value = ParseU64(tokens[i + 1], &ok);
+    if (!ok) {
+      return Response::Error(base::InvalidArgumentError(
+          "QUERY: bad numeric argument " + tokens[i + 1]));
+    }
+    if (tokens[i] == "DEADLINE_MS") {
+      deadline_ms = value;
+    } else if (tokens[i] == "MAX_DECISIONS") {
+      budget.max_decisions = value;
+    } else {
+      return Response::Error(
+          base::InvalidArgumentError("QUERY: unknown option " + tokens[i]));
+    }
+  }
+  if (2 + 2 * ((tokens.size() - 2) / 2) != tokens.size()) {
+    return Response::Error(
+        base::InvalidArgumentError("QUERY: dangling option token"));
+  }
+
+  const auto deadline =
+      deadline_ms == 0
+          ? Scheduler::kNoDeadline
+          : std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(deadline_ms);
+  PreparedQuery& query = *it->second.query;
+
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::future<Response> future = promise->get_future();
+  Scheduler::Task task;
+  task.run = [this, &query, budget, promise] {
+    promise->set_value(RunQuery(query, budget));
+  };
+  task.expired = [promise] {
+    promise->set_value(Response::Error(base::ResourceExhaustedError(
+        "deadline expired before execution")));
+  };
+  base::Status admitted =
+      server_.scheduler().Submit(session_->id(), std::move(task), deadline);
+  if (!admitted.ok()) return Response::Error(std::move(admitted));
+  return future.get();
+}
+
+Response Server::Client::RunQuery(PreparedQuery& query,
+                                  const RequestBudget& budget) {
+  ExecInfo info;
+  base::Result<ddlog::Answers> answers =
+      query.Execute(*session_, budget, &info);
+  if (!answers.ok()) return Response::Error(answers.status());
+
+  Response response = Response::Ok();
+  if (query.arity() == 0) {
+    response.payload.push_back(answers->tuples.empty() ? "false" : "true");
+  } else {
+    for (const std::vector<data::ConstId>& tuple : answers->tuples) {
+      std::string line = "(";
+      for (std::size_t i = 0; i < tuple.size(); ++i) {
+        if (i > 0) line += ", ";
+        line += data::FormatConstant(info.instance->ConstantName(tuple[i]));
+      }
+      line += ")";
+      response.payload.push_back(std::move(line));
+    }
+  }
+  response.info = "n=" + std::to_string(answers->tuples.size()) +
+                  " plan=" + PlanKindName(info.plan) +
+                  " generation=" + std::to_string(info.generation) +
+                  " grounded=" + (info.grounded ? "1" : "0");
+  if (answers->inconsistent) response.info += " inconsistent=1";
+  return response;
+}
+
+Response Server::Client::CmdStats() {
+  Response response = Response::Ok();
+  response.payload.push_back(
+      obs::MetricsRegistry::Global().SnapshotJson());
+  return response;
+}
+
+}  // namespace obda::serve

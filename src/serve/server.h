@@ -1,0 +1,114 @@
+#ifndef OBDA_SERVE_SERVER_H_
+#define OBDA_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "dl/ontology.h"
+#include "serve/prepared.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session.h"
+
+namespace obda::serve {
+
+struct ServerOptions {
+  /// Capacity of the shared prepared-artifact LRU.
+  std::size_t cache_capacity = 32;
+  Scheduler::Options scheduler;
+  /// Compilation defaults (plan selection, eval threads/caps).
+  PrepareOptions prepare;
+  /// Per-request SAT decision budget when QUERY names none (0 = the
+  /// grounding's EvalOptions default behavior: unlimited per request).
+  std::uint64_t default_max_decisions = 0;
+  /// Per-request deadline when QUERY names none (0 = none).
+  std::uint64_t default_deadline_ms = 0;
+};
+
+/// The serving front end (DESIGN.md §8): owns the prepared-artifact cache
+/// and the request scheduler; each protocol endpoint (stdin session, TCP
+/// connection, test driver) is a Client with its own Session and named
+/// prepared queries. Two clients preparing the same query against the
+/// same schema + ontology share one compiled artifact through the cache;
+/// their data and groundings stay per-session.
+///
+/// Protocol, one '\n'-terminated command per line ('#' starts a comment):
+///   SCHEMA E/2 L/1 ...                fix the session's EDB schema
+///   ONTOLOGY <axioms>                 set the DL ontology (';' separates)
+///   PREPARE <name> [SAT] AQ <A>      prepare OMQ with atomic query A(x)
+///   PREPARE <name> [SAT] BAQ <A>     ... with Boolean atomic query
+///   PREPARE <name> PROGRAM <rules>   prepare a raw MDDlog program
+///   ASSERT <facts>                    add facts, e.g. E(a,b), L(a)
+///   RETRACT <facts>                   remove facts
+///   QUERY <name> [DEADLINE_MS n] [MAX_DECISIONS n]
+///   STATS                             one-line metrics JSON snapshot
+///   QUIT
+/// Responses: payload lines, then `OK [info]` or `ERR CODE: message`.
+/// The SAT modifier forces the grounding plan even when the OMQ is
+/// datalog-rewritable (it changes the cache key, not just the plan).
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = ServerOptions());
+
+  class Client;
+  std::unique_ptr<Client> NewClient();
+
+  PreparedCache& cache() { return cache_; }
+  Scheduler& scheduler() { return scheduler_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  const ServerOptions options_;
+  PreparedCache cache_;
+  Scheduler scheduler_;
+};
+
+/// One protocol endpoint. HandleLine is synchronous — it submits QUERY
+/// work through the server's scheduler (admission control, deadlines)
+/// and waits for the result, so one client's commands are naturally FIFO
+/// while distinct clients execute concurrently.
+class Server::Client {
+ public:
+  /// Executes one command line and returns the rendered response text
+  /// ("" for blank/comment lines). After QUIT, quit() turns true.
+  std::string HandleLine(std::string_view line);
+  bool quit() const { return quit_; }
+
+  /// The client's data session (null until SCHEMA ran).
+  Session* session() { return session_.get(); }
+
+ private:
+  friend class Server;
+  explicit Client(Server& server) : server_(server) {}
+
+  Response Dispatch(std::string_view line);
+  Response CmdSchema(const std::vector<std::string>& tokens);
+  Response CmdOntology(std::string_view tail);
+  Response CmdPrepare(const std::vector<std::string>& tokens,
+                      std::string_view line);
+  Response CmdMutate(std::string_view tail, bool assert);
+  Response CmdQuery(const std::vector<std::string>& tokens);
+  Response CmdStats();
+
+  /// Runs on a scheduler worker: execute + render answers.
+  Response RunQuery(PreparedQuery& query, const RequestBudget& budget);
+
+  Server& server_;
+  std::unique_ptr<Session> session_;
+  std::string ontology_text_;
+  dl::Ontology ontology_;
+
+  struct NamedQuery {
+    std::shared_ptr<PreparedQuery> query;
+    bool from_cache = false;
+  };
+  std::map<std::string, NamedQuery> prepared_;
+  bool quit_ = false;
+};
+
+}  // namespace obda::serve
+
+#endif  // OBDA_SERVE_SERVER_H_

@@ -1,0 +1,87 @@
+#include "serve/session.h"
+
+#include <atomic>
+#include <utility>
+
+#include "base/check.h"
+
+namespace obda::serve {
+
+namespace {
+std::uint64_t NextSessionId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+Session::Session(data::Schema schema)
+    : id_(NextSessionId()), schema_(std::move(schema)) {}
+
+base::Status Session::Validate(const data::Fact& fact) const {
+  auto rel = schema_.FindRelation(fact.relation);
+  if (!rel.has_value()) {
+    return base::NotFoundError("unknown relation " +
+                               data::FormatConstant(fact.relation));
+  }
+  if (schema_.Arity(*rel) != static_cast<int>(fact.args.size())) {
+    return base::InvalidArgumentError(
+        "arity mismatch for relation " + fact.relation + ": got " +
+        std::to_string(fact.args.size()) + ", want " +
+        std::to_string(schema_.Arity(*rel)));
+  }
+  return base::Status::Ok();
+}
+
+base::Result<bool> Session::Assert(const data::Fact& fact) {
+  OBDA_RETURN_IF_ERROR(Validate(fact));
+  std::string key = data::FormatFact(fact);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(key) != 0) return false;
+  index_.emplace(std::move(key), facts_.size());
+  facts_.push_back(fact);
+  ++generation_;
+  return true;
+}
+
+base::Result<bool> Session::Retract(const data::Fact& fact) {
+  OBDA_RETURN_IF_ERROR(Validate(fact));
+  const std::string key = data::FormatFact(fact);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  index_.erase(it);
+  facts_.erase(facts_.begin() + static_cast<std::ptrdiff_t>(pos));
+  for (auto& [unused, p] : index_) {
+    if (p > pos) --p;
+  }
+  ++generation_;
+  return true;
+}
+
+std::uint64_t Session::generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+std::size_t Session::num_facts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return facts_.size();
+}
+
+Session::Snapshot Session::Materialize() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cached_.instance == nullptr || cached_.generation != generation_) {
+    auto instance = std::make_shared<data::Instance>(schema_);
+    for (const data::Fact& f : facts_) {
+      // Facts were validated at Assert time against the same schema.
+      base::Status status = instance->AddFactByName(f.relation, f.args);
+      OBDA_CHECK(status.ok());
+    }
+    cached_.instance = std::move(instance);
+    cached_.generation = generation_;
+  }
+  return cached_;
+}
+
+}  // namespace obda::serve

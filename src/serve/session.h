@@ -1,0 +1,79 @@
+#ifndef OBDA_SERVE_SESSION_H_
+#define OBDA_SERVE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "data/io.h"
+#include "data/schema.h"
+
+namespace obda::serve {
+
+/// One client's mutable data state: a fixed EDB schema and an ordered,
+/// deduplicated fact list mutated by Assert/Retract, each mutation
+/// bumping a generation counter. The serving layer assumes the OBDA
+/// deployment model of the paper (§2): the ontology and queries are
+/// prepared once, the data evolves underneath.
+///
+/// Materialize() builds — lazily, cached per generation — an immutable
+/// data::Instance snapshot. Constants are interned in first-occurrence
+/// order of the current fact list and facts added in list order, so a
+/// given operation sequence always yields bit-identical snapshots (and
+/// thus bit-identical ConstId answer tuples) regardless of timing or
+/// thread count. Snapshots are shared_ptr so prepared plans can pin the
+/// generation they were grounded against while the session moves on.
+///
+/// Thread safety: all methods lock internally. Mutations from multiple
+/// threads are safe but the *ordering* of answers then depends on the
+/// interleaving; the scheduler keeps each session's requests FIFO.
+class Session {
+ public:
+  explicit Session(data::Schema schema);
+
+  /// Process-unique id (never reused), the key for per-session plan
+  /// caches — unlike the address, it cannot alias a dead session.
+  std::uint64_t id() const { return id_; }
+
+  const data::Schema& schema() const { return schema_; }
+
+  /// Adds `fact` (validated against the schema). Returns true if it was
+  /// new; duplicate asserts are no-ops and do NOT bump the generation.
+  base::Result<bool> Assert(const data::Fact& fact);
+
+  /// Removes `fact`. Returns true if it was present; retracting an
+  /// absent fact is a no-op and does not bump the generation.
+  base::Result<bool> Retract(const data::Fact& fact);
+
+  std::uint64_t generation() const;
+  std::size_t num_facts() const;
+
+  /// A materialized snapshot plus the generation it reflects.
+  struct Snapshot {
+    std::shared_ptr<const data::Instance> instance;
+    std::uint64_t generation = 0;
+  };
+  Snapshot Materialize() const;
+
+ private:
+  base::Status Validate(const data::Fact& fact) const;
+
+  const std::uint64_t id_;
+  const data::Schema schema_;
+
+  mutable std::mutex mu_;
+  std::vector<data::Fact> facts_;  // insertion-ordered, deduplicated
+  /// Canonical fact text -> position in facts_.
+  std::unordered_map<std::string, std::size_t> index_;
+  std::uint64_t generation_ = 0;
+  mutable Session::Snapshot cached_;  // cached_.instance null until built
+};
+
+}  // namespace obda::serve
+
+#endif  // OBDA_SERVE_SESSION_H_

@@ -383,5 +383,109 @@ TEST_P(HomPropertyTest, ProductIsGreatestLowerBound) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HomPropertyTest, ::testing::Range(0, 12));
 
+// --- Wire-format facts and round-tripping serialization ---------------------
+
+TEST(IoFactTest, ParseFactsBasics) {
+  auto facts = ParseFacts("R(a,b). A(b) R(b , c), P()");
+  ASSERT_TRUE(facts.ok()) << facts.status().ToString();
+  ASSERT_EQ(facts->size(), 4u);
+  EXPECT_EQ((*facts)[0], (Fact{"R", {"a", "b"}}));
+  EXPECT_EQ((*facts)[1], (Fact{"A", {"b"}}));
+  EXPECT_EQ((*facts)[2], (Fact{"R", {"b", "c"}}));
+  EXPECT_EQ((*facts)[3], (Fact{"P", {}}));
+}
+
+TEST(IoFactTest, QuotedNamesRoundTrip) {
+  const Fact weird{"Rel Name", {"a b", "tab\there", "say \"hi\"", "back\\"}};
+  auto parsed = ParseFacts(FormatFact(weird));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0], weird);
+}
+
+TEST(IoFactTest, MalformedInputsAreErrorsNotAborts) {
+  const char* cases[] = {
+      "R(a",              // unclosed argument list
+      "R a, b)",          // missing open paren
+      "(a, b)",           // missing relation name
+      "R(a) trailing(",   // second fact malformed
+      "\"unterminated",   // unterminated quote
+      "\"bad\\q\"(a)",    // unknown escape
+      "\"dangling\\",     // dangling escape at end
+      "!const",           // directive without a name
+  };
+  for (const char* text : cases) {
+    auto r = ParseFacts(text);
+    EXPECT_FALSE(r.ok()) << "accepted: " << text;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), base::StatusCode::kInvalidArgument)
+          << text;
+    }
+  }
+  // Schema-level failures are errors too, never CHECK-aborts.
+  Schema s = GraphSchema();
+  EXPECT_FALSE(ParseInstance(s, "Unknown(a)").ok());
+  EXPECT_FALSE(ParseInstance(s, "E(a)").ok());
+  EXPECT_FALSE(ParseInstance(s, "E(a, b, c)").ok());
+}
+
+TEST(IoFactTest, ConstDirectiveCarriesIsolatedConstants) {
+  // Note '.' is an identifier character, so an unquoted name absorbs an
+  // adjacent dot; whitespace is the unambiguous separator after !const.
+  auto parsed = ParseFactList("!const lonely E(a, b) !const \"two words\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->facts.size(), 1u);
+  EXPECT_EQ(parsed->isolated_constants,
+            (std::vector<std::string>{"lonely", "two words"}));
+}
+
+TEST(IoRoundTripTest, FormatParseIsExactAndFixpoint) {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("Label Of", 1);  // relation name needing quoting
+  s.AddRelation("P", 0);
+  Instance d(s);
+  d.AddConstant("isolated");       // universe element in no fact
+  d.AddConstant("spa ced");        // constant needing quoting
+  ASSERT_TRUE(d.AddFactByName("E", {"b", "a"}).ok());
+  ASSERT_TRUE(d.AddFactByName("E", {"a", "spa ced"}).ok());
+  ASSERT_TRUE(d.AddFactByName("Label Of", {"a"}).ok());
+  ASSERT_TRUE(d.AddFactByName("P", {}).ok());
+
+  const std::string text = FormatInstance(d);
+  auto back = ParseInstance(s, text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->SameFactsAs(d));
+  EXPECT_EQ(back->UniverseSize(), d.UniverseSize());
+  EXPECT_TRUE(back->FindConstant("isolated").has_value());
+  // The canonical form is a fixpoint: formatting the re-parse is
+  // byte-identical (stable constant ordering included).
+  EXPECT_EQ(FormatInstance(*back), text);
+  auto again = ParseInstance(s, FormatInstance(*back));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->ToString(), back->ToString());
+}
+
+TEST(IoRoundTripTest, RandomInstancesRoundTripDifferentially) {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("A", 1);
+  s.AddRelation("T", 3);
+  for (int seed = 0; seed < 30; ++seed) {
+    base::Rng rng(seed);
+    RandomInstanceOptions options;
+    options.num_constants = 3 + rng.Below(6);
+    options.facts_per_relation = rng.Below(10);
+    Instance d = RandomInstance(s, options, rng);
+    const std::string text = FormatInstance(d);
+    auto back = ParseInstance(s, text);
+    ASSERT_TRUE(back.ok()) << "seed " << seed << ": "
+                           << back.status().ToString();
+    EXPECT_TRUE(back->SameFactsAs(d)) << "seed " << seed << "\n" << text;
+    EXPECT_EQ(back->UniverseSize(), d.UniverseSize()) << "seed " << seed;
+    EXPECT_EQ(FormatInstance(*back), text) << "seed " << seed;
+  }
+}
+
 }  // namespace
 }  // namespace obda::data

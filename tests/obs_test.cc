@@ -163,6 +163,29 @@ TEST_F(ObsTest, JsonExportWellFormed) {
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
 }
 
+TEST_F(ObsTest, SnapshotJsonStableAndSharedWithExport) {
+  obs::GetCounter("test.sj.b").Add(2);
+  obs::GetCounter("test.sj.a").Add(1);
+  obs::GetTimer("test.sj.t").AddNanos(2'000'000);
+  const std::string json = obs::MetricsRegistry::Global().SnapshotJson();
+  ExpectWellFormedJson(json);
+  // Stable key order: sorted by name inside each section.
+  const auto a = json.find("\"test.sj.a\": 1");
+  const auto b = json.find("\"test.sj.b\": 2");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_NE(json.find("\"test.sj.t\""), std::string::npos);
+  // ExportJson is an alias: same snapshot, byte-identical rendering.
+  EXPECT_EQ(json, obs::MetricsRegistry::Global().ExportJson());
+  // The static per-section formatters agree with the combined form.
+  auto snap = obs::MetricsRegistry::Global().Snap();
+  const std::string expected =
+      "{\"counters\": " + obs::MetricsRegistry::CountersJson(snap) +
+      ", \"timers\": " + obs::MetricsRegistry::TimersJson(snap) + "}";
+  EXPECT_EQ(json, expected);
+}
+
 TEST_F(ObsTest, SnapshotSkipsZeroesAndSorts) {
   obs::GetCounter("test.snap.b").Add(2);
   obs::GetCounter("test.snap.a").Add(1);
