@@ -99,15 +99,7 @@ void SeedSession(obda::serve::Session& session, obda::base::Rng& rng,
   }
 }
 
-double Percentile(std::vector<double> samples, double q) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
-  const double pos = q * static_cast<double>(samples.size() - 1);
-  const std::size_t lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
-}
+using obda::bench::Percentile;
 
 // --- Phase A: hot-cache answers bit-identical to fresh evaluation -----------
 
@@ -203,7 +195,15 @@ bool PhaseBLatency(double* hot_p95, double* cold_p95, double* speedup) {
 
 struct PhaseCResult {
   double throughput_qps = 0;
+  /// Hot-query latency quantiles as estimated by obs::Histogram (the
+  /// quantity STATS serves in production)...
   double p50 = 0, p95 = 0, p99 = 0;
+  /// ...and the exact sorted-sample percentiles they are checked against.
+  double sample_p50 = 0, sample_p95 = 0, sample_p99 = 0;
+  /// 1 iff every histogram estimate is within one log2 bucket of exact.
+  bool quantile_agree = false;
+  /// The server's own STATS response carries scheduler histograms.
+  bool stats_ok = false;
   double cache_hit_rate = 0;
   long long shed = 0;
   bool ok = false;
@@ -233,6 +233,9 @@ PhaseCResult PhaseCThroughput() {
   constexpr int kClients = 4;
   constexpr int kOps = 600;
   std::vector<std::vector<double>> latencies(kClients);
+  // The same hot-query latencies, recorded concurrently into a sharded
+  // histogram (in nanoseconds) — the production path STATS quantiles use.
+  obda::obs::Histogram latency_hist;
   std::atomic<int> failures{0};
   obda::bench::Timer wall;
   std::vector<std::thread> clients;
@@ -266,7 +269,9 @@ PhaseCResult PhaseCThroughput() {
         if (r < 45) {
           obda::bench::Timer t;
           expect_ok(client->HandleLine("QUERY h" + std::to_string(i % 4)));
-          latencies[c].push_back(t.Millis());
+          const double ms = t.Millis();
+          latencies[c].push_back(ms);
+          latency_hist.Record(static_cast<std::uint64_t>(ms * 1e6));
         } else if (r < 49) {
           // Cold: re-prepare from the rotating cold pool, then query —
           // the prepare-per-request pattern the artifact cache absorbs.
@@ -291,9 +296,41 @@ PhaseCResult PhaseCThroughput() {
   // Per 50-op block: 45 hot queries + 4 cold (prepare + query) + 1 mutation.
   const double total_queries = static_cast<double>(kClients * kOps) * 49 / 50;
   result.throughput_qps = wall_ms > 0 ? total_queries / (wall_ms / 1000.0) : 0;
-  result.p50 = Percentile(all, 0.50);
-  result.p95 = Percentile(all, 0.95);
-  result.p99 = Percentile(all, 0.99);
+  result.sample_p50 = Percentile(all, 0.50);
+  result.sample_p95 = Percentile(all, 0.95);
+  result.sample_p99 = Percentile(all, 0.99);
+  // Reported quantiles come from the histogram — and must sit within one
+  // log2 bucket of the exact sorted-sample percentile (the estimator's
+  // accuracy contract, obs_test checks it on synthetic data too).
+  const obda::obs::Histogram::Snapshot hist = latency_hist.Snap();
+  result.p50 = hist.Quantile(0.50) / 1e6;
+  result.p95 = hist.Quantile(0.95) / 1e6;
+  result.p99 = hist.Quantile(0.99) / 1e6;
+  result.quantile_agree = hist.count == all.size();
+  for (auto [estimate, exact] :
+       {std::pair{result.p50, result.sample_p50},
+        std::pair{result.p95, result.sample_p95},
+        std::pair{result.p99, result.sample_p99}}) {
+    const int est_bucket = obda::obs::Histogram::BucketOf(
+        static_cast<std::uint64_t>(estimate * 1e6));
+    const int exact_bucket = obda::obs::Histogram::BucketOf(
+        static_cast<std::uint64_t>(exact * 1e6));
+    if (est_bucket - exact_bucket > 1 || exact_bucket - est_bucket > 1) {
+      result.quantile_agree = false;
+    }
+  }
+  // The serving layer's own introspection: STATS must expose the
+  // scheduler's queue-wait and execute-wall distributions with quantiles.
+  {
+    auto stats_client = server.NewClient();
+    const std::string stats = stats_client->HandleLine("STATS");
+    result.stats_ok =
+        stats.find("\"serve.queue_wait\": {\"count\": ") !=
+            std::string::npos &&
+        stats.find("\"serve.execute_wall\": {\"count\": ") !=
+            std::string::npos &&
+        stats.find("\"p99_ms\": ") != std::string::npos;
+  }
   const double hits =
       static_cast<double>(obda::obs::GetCounter("serve.cache_hits").value());
   const double misses = static_cast<double>(
@@ -301,13 +338,19 @@ PhaseCResult PhaseCThroughput() {
   result.cache_hit_rate = hits + misses > 0 ? hits / (hits + misses) : 0.0;
   result.shed = static_cast<long long>(
       obda::obs::GetCounter("serve.shed").value());
-  result.ok = failures.load() == 0 && result.cache_hit_rate >= 0.9;
-  std::printf("  %.0f qps, hot p50 %.3f / p95 %.3f / p99 %.3f ms, "
-              "cache hit rate %.3f, shed %lld\n",
+  result.ok = failures.load() == 0 && result.cache_hit_rate >= 0.9 &&
+              result.quantile_agree && result.stats_ok;
+  std::printf("  %.0f qps, hot p50 %.3f / p95 %.3f / p99 %.3f ms "
+              "(sample %.3f / %.3f / %.3f), cache hit rate %.3f, "
+              "shed %lld, quantile_agree %d, stats histograms %d\n",
               result.throughput_qps, result.p50, result.p95, result.p99,
-              result.cache_hit_rate, result.shed);
+              result.sample_p50, result.sample_p95, result.sample_p99,
+              result.cache_hit_rate, result.shed,
+              result.quantile_agree ? 1 : 0, result.stats_ok ? 1 : 0);
   if (!result.ok) {
-    std::printf("  FAILED (errors or steady-state hit rate < 0.9)\n");
+    std::printf(
+        "  FAILED (errors, hit rate < 0.9, quantile disagreement, or "
+        "missing STATS histograms)\n");
   }
   return result;
 }
@@ -339,6 +382,11 @@ int main() {
   report.Metric("p50_ms", c.p50);
   report.Metric("p95_ms", c.p95);
   report.Metric("p99_ms", c.p99);
+  report.Metric("sample_p50_ms", c.sample_p50);
+  report.Metric("sample_p95_ms", c.sample_p95);
+  report.Metric("sample_p99_ms", c.sample_p99);
+  report.Metric("quantile_agree", c.quantile_agree ? 1LL : 0LL);
+  report.Metric("stats_histograms_ok", c.stats_ok ? 1LL : 0LL);
   report.Metric("cache_hit_rate", c.cache_hit_rate);
   report.Metric("shed_count", c.shed);
   obda::bench::Footer(a_ok && b_ok && c.ok);

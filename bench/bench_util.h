@@ -1,6 +1,7 @@
 #ifndef OBDA_BENCH_BENCH_UTIL_H_
 #define OBDA_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,6 +29,20 @@ class Timer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Exact sample percentile: sorts a copy and linearly interpolates between
+/// the two nearest order statistics. The ground truth the latency benches
+/// cross-check obs::Histogram's bucket-interpolated quantiles against (the
+/// two must agree within one log2 bucket).
+inline double Percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+}
 
 /// Per-experiment report. Banner()/Footer() drive the global instance:
 /// Banner prints the usual human header, enables metrics collection, and
@@ -97,6 +112,8 @@ class Report {
         obs::MetricsRegistry::Global().Snap();
     json += "  \"counters\": " + obs::MetricsRegistry::CountersJson(snap);
     json += ",\n  \"timers\": " + obs::MetricsRegistry::TimersJson(snap);
+    json += ",\n  \"histograms\": " +
+            obs::MetricsRegistry::HistogramsJson(snap);
     json += "\n}\n";
 
     std::string path = "BENCH_" + FileId() + ".json";

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/recorder.h"
+
 namespace obda::base {
 
 namespace {
@@ -89,6 +91,9 @@ bool ThreadPool::PopChunk(Batch& batch, int slot, Chunk* out) {
 }
 
 void ThreadPool::RunBatch(Batch& batch, int slot) {
+  // Propagate the submitter's request id (a no-op re-install on slot 0,
+  // which already carries it).
+  obs::RequestScope request_scope(batch.request_id);
   Chunk chunk;
   while (PopChunk(batch, slot, &chunk)) {
     if (!batch.cancelled.load(std::memory_order_acquire)) {
@@ -134,6 +139,7 @@ Status ThreadPool::ParallelFor(std::uint64_t n, std::uint64_t min_chunk,
 
   auto batch = std::make_shared<Batch>();
   batch->body = &body;
+  batch->request_id = obs::CurrentRequestId();
   batch->queues.resize(static_cast<std::size_t>(threads_));
   batch->queue_mutexes.reserve(static_cast<std::size_t>(threads_));
   for (int i = 0; i < threads_; ++i) {

@@ -79,6 +79,10 @@ class ThreadPool {
   /// One ParallelFor invocation in flight.
   struct Batch {
     const Body* body = nullptr;
+    /// The submitting thread's obs request id, re-installed on every
+    /// worker running chunks of this batch so flight-recorder spans
+    /// inside the fan-out stay attributed to the originating request.
+    std::uint64_t request_id = 0;
     /// queues[slot], each guarded by queue_mutexes[slot].
     std::vector<std::deque<Chunk>> queues;
     std::vector<std::unique_ptr<std::mutex>> queue_mutexes;

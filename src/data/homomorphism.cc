@@ -49,6 +49,7 @@ struct HomCounters {
   obs::Counter& solutions = obs::GetCounter("hom.solutions");
   obs::Counter& budget_exhausted = obs::GetCounter("hom.budget_exhausted");
   obs::TimerStat& search = obs::GetTimer("hom.search");
+  obs::Histogram& search_hist = obs::GetHistogram("hom.search");
 
   static HomCounters& Get() {
     static HomCounters counters;
@@ -72,7 +73,8 @@ class HomSearch {
       : a_(a), target_(target), b_(target.instance()), options_(options) {}
 
   HomResult Run(const std::vector<std::pair<ConstId, ConstId>>& pinned) {
-    obs::ScopedTimer timer(HomCounters::Get().search);
+    obs::ScopedTimer timer(HomCounters::Get().search,
+                           &HomCounters::Get().search_hist);
     obs::TraceSpan span("hom.search");
     HomResult result = RunImpl(pinned);
     FlushMetrics(result);

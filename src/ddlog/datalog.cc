@@ -18,6 +18,9 @@ struct FixpointCounters {
   obs::Counter& rounds = obs::GetCounter("ddlog.fixpoint_rounds");
   obs::Counter& derived_facts = obs::GetCounter("ddlog.fixpoint_facts");
   obs::TimerStat& run = obs::GetTimer("ddlog.fixpoint");
+  /// One sample per semi-naive round: how lopsided the work per round is
+  /// (the last round is the no-change scan; early rounds do the joins).
+  obs::Histogram& round_hist = obs::GetHistogram("ddlog.fixpoint_round");
 
   static FixpointCounters& Get() {
     static FixpointCounters counters;
@@ -52,12 +55,23 @@ class FixpointEngine {
     DatalogFixpoint out;
     bool changed = true;
     while (changed && !inconsistent_) {
+      const bool timed = obs::MetricsEnabled();
+      const auto round_start =
+          timed ? std::chrono::steady_clock::now()
+                : std::chrono::steady_clock::time_point();
       changed = false;
       for (const Rule& rule : program_.rules()) {
         if (ApplyRule(rule)) changed = true;
         if (inconsistent_) break;
       }
       ++rounds_;
+      if (timed) {
+        FixpointCounters::Get().round_hist.Record(
+            static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - round_start)
+                    .count()));
+      }
     }
     out.inconsistent = inconsistent_;
     out.facts = derived_;

@@ -44,6 +44,11 @@ struct DdlogCounters {
   /// (relation, bound-position pattern) probed during grounding).
   obs::Counter& index_builds = obs::GetCounter("ddlog.index_builds");
   obs::TimerStat& ground = obs::GetTimer("ddlog.ground");
+  /// Latency distributions: grounding builds and individual SAT probes
+  /// (ddlog.probe counts only probes that ran a Solve, not model-cache
+  /// hits — the cached path is branch-and-load cheap by design).
+  obs::Histogram& ground_hist = obs::GetHistogram("ddlog.ground");
+  obs::Histogram& probe_hist = obs::GetHistogram("ddlog.probe");
 
   static DdlogCounters& Get() {
     static DdlogCounters counters;
@@ -397,7 +402,8 @@ struct GroundedQuery::Impl {
 base::Result<GroundedQuery> GroundedQuery::Build(
     const Program& program, const data::Instance& instance,
     const EvalOptions& options) {
-  obs::ScopedTimer timer(DdlogCounters::Get().ground);
+  obs::ScopedTimer timer(DdlogCounters::Get().ground,
+                         &DdlogCounters::Get().ground_hist);
   obs::TraceSpan span("ddlog.ground");
   DdlogCounters::Get().ground_calls.Add(1);
   OBDA_RETURN_IF_ERROR(program.Validate());
@@ -472,7 +478,16 @@ base::Result<bool> GroundedQuery::CertainlyHolds(
   sat::Solver& solver = impl.SeqSolver();
   sat::Var goal_var = impl.snapshot->GoalVar(impl.program->goal(), tuple,
                                              impl.seq_spare);
+  const bool timed = obs::MetricsEnabled();
+  const auto probe_start = timed ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point();
   auto outcome = impl.BudgetedSolve(solver, {sat::Lit::Neg(goal_var)});
+  if (timed) {
+    DdlogCounters::Get().probe_hist.Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - probe_start)
+            .count()));
+  }
   if (!outcome.ok()) return outcome.status();
   // No model avoiding goal(tuple) => certain answer.
   return *outcome == sat::SatOutcome::kUnsat;
@@ -562,8 +577,19 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
             ++ws.cache_hits;  // cached model already avoids goal(tuple)
             continue;
           }
+          const bool timed = obs::MetricsEnabled();
+          const auto probe_start = timed
+                                       ? std::chrono::steady_clock::now()
+                                       : std::chrono::steady_clock::time_point();
           auto outcome =
               impl.BudgetedSolve(ws.solver, {sat::Lit::Neg(goal_var)});
+          if (timed) {
+            DdlogCounters::Get().probe_hist.Record(
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - probe_start)
+                        .count()));
+          }
           if (!outcome.ok()) return outcome.status();
           if (*outcome == sat::SatOutcome::kUnsat) {
             ws.hits.push_back(tuple);

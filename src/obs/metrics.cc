@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -9,12 +10,15 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/recorder.h"
+
 namespace obda::obs {
 
 namespace internal {
 
 std::atomic<bool> metrics_enabled{false};
 std::atomic<bool> trace_enabled{false};
+std::atomic<unsigned> shard_token_seq{0};
 
 EnvConfig ParseEnv(const char* metrics_value, const char* trace_value) {
   EnvConfig config;
@@ -45,7 +49,8 @@ void DumpAtExit() {
   std::fprintf(stderr, "%s\n", out.c_str());
 }
 
-/// Applies OBDA_METRICS / OBDA_TRACE exactly once, on first registry use.
+/// Applies OBDA_METRICS / OBDA_TRACE / OBDA_RECORDER exactly once, on
+/// first registry use.
 void ApplyEnvOnce() {
   static const bool done = [] {
     EnvConfig config =
@@ -57,6 +62,11 @@ void ApplyEnvOnce() {
     }
     if (config.trace_enabled) {
       trace_enabled.store(true, std::memory_order_relaxed);
+    }
+    if (const char* recorder = std::getenv("OBDA_RECORDER");
+        recorder != nullptr && recorder[0] != '\0' &&
+        std::strcmp(recorder, "0") != 0) {
+      FlightRecorder::Enable(true);
     }
     return true;
   }();
@@ -82,23 +92,95 @@ namespace {
 thread_local int g_trace_depth = 0;
 }  // namespace
 
-TraceSpan::TraceSpan(const char* name)
-    : name_(TracingEnabled() ? name : nullptr) {
-  if (name_ == nullptr) return;
+namespace internal {
+int CurrentTraceDepth() { return g_trace_depth; }
+}  // namespace internal
+
+TraceSpan::TraceSpan(const char* name) : name_(name) {
+  recorded_ = FlightRecorder::RecordBegin(name);
+  printed_ = !recorded_ && TracingEnabled();
+  if (!printed_ && !recorded_) return;
   start_ = std::chrono::steady_clock::now();
-  std::fprintf(stderr, "[obda-trace] %*s> %s\n", 2 * g_trace_depth, "",
-               name_);
-  ++g_trace_depth;
+  if (printed_) {
+    std::fprintf(stderr, "[obda-trace] %*s> %s\n", 2 * g_trace_depth, "",
+                 name_);
+    ++g_trace_depth;
+  }
 }
 
 TraceSpan::~TraceSpan() {
-  if (name_ == nullptr) return;
-  --g_trace_depth;
-  auto elapsed = std::chrono::steady_clock::now() - start_;
-  double ms =
-      std::chrono::duration<double, std::milli>(elapsed).count();
-  std::fprintf(stderr, "[obda-trace] %*s< %s (%.3f ms)\n",
-               2 * g_trace_depth, "", name_, ms);
+  // Each sink closes iff it opened: pairing is decided per span, not by
+  // re-reading the global switches, so an enable flip mid-span can never
+  // produce a dangling begin event or corrupt the indentation depth.
+  if (recorded_) FlightRecorder::RecordEnd(name_);
+  if (printed_) {
+    --g_trace_depth;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    double ms = std::chrono::duration<double, std::milli>(elapsed).count();
+    std::fprintf(stderr, "[obda-trace] %*s< %s (%.3f ms)\n",
+                 2 * g_trace_depth, "", name_, ms);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+Histogram::Snapshot Histogram::Snap() const {
+  Snapshot snapshot;
+  for (const Shard& shard : shards_) {
+    for (int b = 0; b < kBuckets; ++b) {
+      const std::uint64_t n = shard.counts[static_cast<std::size_t>(b)].load(
+          std::memory_order_relaxed);
+      snapshot.buckets[static_cast<std::size_t>(b)] += n;
+      snapshot.count += n;
+    }
+    snapshot.total += shard.total.load(std::memory_order_relaxed);
+  }
+  return snapshot;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.counts) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.total.store(0, std::memory_order_relaxed);
+  }
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Nearest-rank target: the value below which ceil(q * count) samples
+  // fall, linearly interpolated inside its log2 bucket.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const std::uint64_t n = buckets[static_cast<std::size_t>(b)];
+    if (n == 0) continue;
+    const double before = static_cast<double>(cum);
+    cum += n;
+    if (static_cast<double>(cum) >= target) {
+      if (b == 0) return 0.0;  // bucket 0 holds exact zeros
+      const double lower = std::ldexp(1.0, b - 1);
+      const double upper = std::ldexp(1.0, b);
+      const double frac =
+          std::min(1.0, std::max(0.0, (target - before) /
+                                          static_cast<double>(n)));
+      return lower + frac * (upper - lower);
+    }
+  }
+  return 0.0;  // unreachable when count > 0
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  count += other.count;
+  total += other.total;
+  for (int b = 0; b < kBuckets; ++b) {
+    buckets[static_cast<std::size_t>(b)] +=
+        other.buckets[static_cast<std::size_t>(b)];
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -110,8 +192,10 @@ struct MetricsRegistry::Impl {
   // unique_ptr: stable addresses across growth (atomics are immovable).
   std::deque<std::unique_ptr<Counter>> counters;
   std::deque<std::unique_ptr<TimerStat>> timers;
+  std::deque<std::unique_ptr<Histogram>> histograms;
   std::unordered_map<std::string, Counter*> counter_index;
   std::unordered_map<std::string, TimerStat*> timer_index;
+  std::unordered_map<std::string, Histogram*> histogram_index;
 };
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -157,11 +241,24 @@ TimerStat& MetricsRegistry::GetTimer(std::string_view name) {
   return *t;
 }
 
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mu);
+  std::string key(name);
+  auto it = i.histogram_index.find(key);
+  if (it != i.histogram_index.end()) return *it->second;
+  i.histograms.emplace_back(new Histogram(key));
+  Histogram* h = i.histograms.back().get();
+  i.histogram_index.emplace(std::move(key), h);
+  return *h;
+}
+
 void MetricsRegistry::ResetAll() {
   Impl& i = impl();
   std::lock_guard<std::mutex> lock(i.mu);
   for (auto& c : i.counters) c->Reset();
   for (auto& t : i.timers) t->Reset();
+  for (auto& h : i.histograms) h->Reset();
 }
 
 MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
@@ -169,15 +266,16 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
   Snapshot snapshot;
   {
     std::lock_guard<std::mutex> lock(i.mu);
+    // Every registered name, zeros included: once a metric exists it must
+    // never vanish from a later snapshot (stable key sets).
     for (const auto& c : i.counters) {
-      std::uint64_t v = c->value();
-      if (v != 0) snapshot.counters.push_back({c->name(), v});
+      snapshot.counters.push_back({c->name(), c->value()});
     }
     for (const auto& t : i.timers) {
-      if (t->count() != 0) {
-        snapshot.timers.push_back(
-            {t->name(), t->count(), t->total_millis()});
-      }
+      snapshot.timers.push_back({t->name(), t->count(), t->total_millis()});
+    }
+    for (const auto& h : i.histograms) {
+      snapshot.histograms.push_back({h->name(), h->Snap()});
     }
   }
   std::sort(snapshot.counters.begin(), snapshot.counters.end(),
@@ -186,6 +284,10 @@ MetricsRegistry::Snapshot MetricsRegistry::Snap() const {
             });
   std::sort(snapshot.timers.begin(), snapshot.timers.end(),
             [](const TimerSnapshot& a, const TimerSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
               return a.name < b.name;
             });
   return snapshot;
@@ -204,6 +306,16 @@ std::string MetricsRegistry::ExportText() const {
     std::snprintf(line, sizeof(line), "%-40s %.3f ms over %llu calls\n",
                   t.name.c_str(), t.total_millis,
                   static_cast<unsigned long long>(t.count));
+    out += line;
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-40s n=%llu p50=%.3fms p90=%.3fms p95=%.3fms "
+                  "p99=%.3fms\n",
+                  h.name.c_str(),
+                  static_cast<unsigned long long>(h.data.count),
+                  h.data.Quantile(0.50) / 1e6, h.data.Quantile(0.90) / 1e6,
+                  h.data.Quantile(0.95) / 1e6, h.data.Quantile(0.99) / 1e6);
     out += line;
   }
   return out;
@@ -245,13 +357,55 @@ std::string MetricsRegistry::TimersJson(const Snapshot& snapshot) {
   return out;
 }
 
+std::string MetricsRegistry::HistogramsJson(const Snapshot& snapshot) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    out += "\"" + EscapeJson(h.name) + "\": " + HistogramValueJson(h.data);
+  }
+  out += "}";
+  return out;
+}
+
 std::string MetricsRegistry::SnapshotJson() const {
   Snapshot snapshot = Snap();
   return "{\"counters\": " + CountersJson(snapshot) +
-         ", \"timers\": " + TimersJson(snapshot) + "}";
+         ", \"timers\": " + TimersJson(snapshot) +
+         ", \"histograms\": " + HistogramsJson(snapshot) + "}";
 }
 
 std::string MetricsRegistry::ExportJson() const { return SnapshotJson(); }
+
+std::string HistogramValueJson(const Histogram::Snapshot& snapshot) {
+  char buf[64];
+  std::string out = "{\"count\": ";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(snapshot.count));
+  out += buf;
+  out += ", \"total_ms\": ";
+  std::snprintf(buf, sizeof(buf), "%.6f",
+                static_cast<double>(snapshot.total) / 1e6);
+  out += buf;
+  static constexpr struct {
+    const char* key;
+    double q;
+  } kQuantiles[] = {{"p50_ms", 0.50},
+                    {"p90_ms", 0.90},
+                    {"p95_ms", 0.95},
+                    {"p99_ms", 0.99}};
+  for (const auto& quantile : kQuantiles) {
+    out += ", \"";
+    out += quantile.key;
+    out += "\": ";
+    std::snprintf(buf, sizeof(buf), "%.6f",
+                  snapshot.Quantile(quantile.q) / 1e6);
+    out += buf;
+  }
+  out += "}";
+  return out;
+}
 
 std::string EscapeJson(std::string_view text) {
   std::string out;

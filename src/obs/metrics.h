@@ -1,7 +1,9 @@
 #ifndef OBDA_OBS_METRICS_H_
 #define OBDA_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -23,6 +25,7 @@ namespace obda::obs {
 //   OBDA_METRICS=json      collect; dump a JSON snapshot to stderr at exit
 //   OBDA_METRICS=0 / unset disabled (the default)
 //   OBDA_TRACE=1           emit indented span enter/exit lines to stderr
+//   OBDA_RECORDER=1        buffer spans in the flight recorder (recorder.h)
 // ---------------------------------------------------------------------------
 
 namespace internal {
@@ -38,6 +41,19 @@ struct EnvConfig {
   std::string dump_format;
 };
 EnvConfig ParseEnv(const char* metrics_value, const char* trace_value);
+
+/// The calling thread's histogram shard token, assigned round-robin on
+/// first use so threads spread across shards.
+extern std::atomic<unsigned> shard_token_seq;
+inline unsigned ThreadShardToken() {
+  thread_local const unsigned token =
+      shard_token_seq.fetch_add(1, std::memory_order_relaxed);
+  return token;
+}
+
+/// The calling thread's stderr-trace nesting depth (regression tests for
+/// the enable-flip behavior look at this).
+int CurrentTraceDepth();
 }  // namespace internal
 
 inline bool MetricsEnabled() {
@@ -51,9 +67,10 @@ void EnableMetrics(bool on);
 void EnableTracing(bool on);
 
 // ---------------------------------------------------------------------------
-// Counters and timers. Instances are owned by the MetricsRegistry and have
-// stable addresses for the lifetime of the process, so hot paths cache a
-// reference once (function-local static) and bump it thereafter.
+// Counters, timers, and histograms. Instances are owned by the
+// MetricsRegistry and have stable addresses for the lifetime of the
+// process, so hot paths cache a reference once (function-local static)
+// and bump it thereafter.
 // ---------------------------------------------------------------------------
 
 class Counter {
@@ -104,33 +121,124 @@ class TimerStat {
   std::atomic<std::uint64_t> count_{0};
 };
 
-/// RAII wall-clock timer accumulating into a TimerStat. Reads the clock
-/// only when metrics are enabled at construction time.
+/// A lock-free latency distribution: log2 buckets (bucket b holds values
+/// in [2^(b-1), 2^b), bucket 0 holds exact zeros), sharded across a small
+/// fixed set of cacheline-padded shards that recording threads pick by a
+/// per-thread token — concurrent Record calls from different threads
+/// usually touch different cachelines and never take a lock. Snap() merges
+/// the shards into one Snapshot whose Quantile() interpolates inside the
+/// bucket containing the requested rank, so an estimate is always within
+/// one log2 bucket of the exact sample quantile.
+///
+/// Registry-owned histograms (GetHistogram) record wall-clock nanoseconds
+/// by convention — the JSON/text exporters format them as milliseconds.
+/// The class itself is unit-agnostic; free-standing instances (per-query
+/// stats, bench cross-checks) may record anything.
+class Histogram {
+ public:
+  /// Bucket index is std::bit_width(value): 0 for value 0, else
+  /// floor(log2(value)) + 1, so 65 buckets cover all of uint64.
+  static constexpr int kBuckets = 65;
+  static constexpr int kShards = 8;  // power of two
+
+  explicit Histogram(std::string name = "") : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one sample when metrics are enabled: two relaxed atomic adds
+  /// on the calling thread's shard.
+  void Record(std::uint64_t value) {
+    if (!MetricsEnabled()) return;
+    Shard& shard =
+        shards_[internal::ThreadShardToken() % static_cast<unsigned>(kShards)];
+    shard.counts[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+    shard.total.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  static int BucketOf(std::uint64_t value) {
+    return static_cast<int>(std::bit_width(value));
+  }
+  /// Smallest value bucket `b` covers (0 for bucket 0).
+  static std::uint64_t BucketLowerBound(int b) {
+    return b <= 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+
+  /// A merged, point-in-time view. Also the unit of cross-histogram
+  /// aggregation: Merge() folds another snapshot in bucket-wise.
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t total = 0;  // sum of recorded values
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    /// The estimated value at quantile q in [0, 1]; 0 when empty. Always
+    /// falls inside (or on the upper edge of) the bucket containing the
+    /// exact rank-q sample.
+    double Quantile(double q) const;
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(total) /
+                              static_cast<double>(count);
+    }
+    void Merge(const Snapshot& other);
+  };
+  Snapshot Snap() const;
+
+  /// Zeroes all shards (concurrent Records may survive the sweep; callers
+  /// reset between measurement phases, not during them).
+  void Reset();
+
+  const std::string& name() const { return name_; }
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> counts{};
+    std::atomic<std::uint64_t> total{0};
+  };
+  std::string name_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// RAII wall-clock timer accumulating into a TimerStat (and optionally a
+/// Histogram of nanoseconds). Reads the clock only when metrics are
+/// enabled at construction, and re-checks at destruction: a span that
+/// straddles an EnableMetrics(false) flip records nothing, instead of
+/// counting into a disabled registry.
 class ScopedTimer {
  public:
-  explicit ScopedTimer(TimerStat& stat)
-      : stat_(MetricsEnabled() ? &stat : nullptr) {
+  explicit ScopedTimer(TimerStat& stat, Histogram* histogram = nullptr)
+      : stat_(MetricsEnabled() ? &stat : nullptr), histogram_(histogram) {
     if (stat_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
   ~ScopedTimer() {
-    if (stat_ != nullptr) {
-      auto elapsed = std::chrono::steady_clock::now() - start_;
-      stat_->AddNanos(static_cast<std::uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
-              .count()));
-    }
+    if (stat_ == nullptr || !MetricsEnabled()) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    const std::uint64_t nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count());
+    stat_->AddNanos(nanos);
+    if (histogram_ != nullptr) histogram_->Record(nanos);
   }
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
   TimerStat* stat_;
+  Histogram* histogram_;
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Lightweight trace span: prints `> name` on entry and `< name (x.xx ms)`
-/// on exit to stderr, indented by per-thread nesting depth. A no-op unless
-/// OBDA_TRACE is on. `name` must outlive the span (string literals do).
+/// Lightweight trace span. Two sinks, both off by default:
+///  - flight recorder (recorder.h): begin/end events on the calling
+///    thread's ring buffer, tagged with the current request id — the path
+///    that stays meaningful across thread-pool fan-out;
+///  - stderr: `> name` / `< name (x.xx ms)` lines indented by per-thread
+///    nesting depth (OBDA_TRACE), used only when the recorder is off —
+///    interleaved pool output is unreadable, so a recorder-enabled
+///    process never prints spans.
+/// Destruction re-checks nothing blindly: each sink's exit event is
+/// emitted iff its begin event was, so a span straddling an enable flip
+/// stays balanced (no dangling begin, no spurious end) and the depth
+/// bookkeeping survives. `name` must outlive the span (literals do).
 class TraceSpan {
  public:
   explicit TraceSpan(const char* name);
@@ -139,7 +247,9 @@ class TraceSpan {
   TraceSpan& operator=(const TraceSpan&) = delete;
 
  private:
-  const char* name_;  // nullptr when tracing was off at entry
+  const char* name_;
+  bool printed_ = false;   // stderr enter line was emitted
+  bool recorded_ = false;  // flight-recorder begin event was emitted
   std::chrono::steady_clock::time_point start_;
 };
 
@@ -150,15 +260,16 @@ class TraceSpan {
 class MetricsRegistry {
  public:
   /// The process-wide registry. First use also applies the OBDA_METRICS /
-  /// OBDA_TRACE environment switches.
+  /// OBDA_TRACE / OBDA_RECORDER environment switches.
   static MetricsRegistry& Global();
 
-  /// Returns the counter/timer named `name`, creating it on first use.
-  /// Thread-safe; returned references stay valid forever.
+  /// Returns the counter/timer/histogram named `name`, creating it on
+  /// first use. Thread-safe; returned references stay valid forever.
   Counter& GetCounter(std::string_view name);
   TimerStat& GetTimer(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
 
-  /// Zeroes every counter and timer (registration survives).
+  /// Zeroes every counter, timer, and histogram (registration survives).
   void ResetAll();
 
   struct CounterSnapshot {
@@ -170,27 +281,35 @@ class MetricsRegistry {
     std::uint64_t count = 0;
     double total_millis = 0.0;
   };
+  struct HistogramSnapshot {
+    std::string name;
+    Histogram::Snapshot data;
+  };
   struct Snapshot {
-    std::vector<CounterSnapshot> counters;  // sorted by name
-    std::vector<TimerSnapshot> timers;      // sorted by name
+    std::vector<CounterSnapshot> counters;      // sorted by name
+    std::vector<TimerSnapshot> timers;          // sorted by name
+    std::vector<HistogramSnapshot> histograms;  // sorted by name
   };
   /// A consistent-enough view for reporting: values are read with relaxed
-  /// ordering, zero-valued entries are skipped.
+  /// ordering. Every registered name appears, including zero-valued ones
+  /// — consecutive snapshots always share a key set, which delta-based
+  /// dashboards (and the serve_smoke golden) rely on.
   Snapshot Snap() const;
 
-  /// Human-readable table of all nonzero metrics.
+  /// Human-readable table of every registered metric.
   std::string ExportText() const;
-  /// `{"counters": {...}, "timers": {name: {"count": n, "total_ms": x}}}`.
   /// Alias of SnapshotJson(), kept for existing callers.
   std::string ExportJson() const;
 
   /// The inner JSON objects of a snapshot, keys sorted by name — the one
   /// formatting path shared by SnapshotJson, the bench reporting layer
-  /// (BENCH_<id>.json) and the serving STATS command, so all three agree
+  /// (BENCH_<id>.json) and the serving STATS command, so all agree
   /// byte-for-byte on a given snapshot.
   static std::string CountersJson(const Snapshot& snapshot);
   static std::string TimersJson(const Snapshot& snapshot);
-  /// `{"counters": {...}, "timers": {...}}` with stable key order.
+  static std::string HistogramsJson(const Snapshot& snapshot);
+  /// `{"counters": {...}, "timers": {...}, "histograms": {...}}` with
+  /// stable key order.
   std::string SnapshotJson() const;
 
  private:
@@ -210,6 +329,15 @@ inline Counter& GetCounter(std::string_view name) {
 inline TimerStat& GetTimer(std::string_view name) {
   return MetricsRegistry::Global().GetTimer(name);
 }
+inline Histogram& GetHistogram(std::string_view name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+
+/// `{"count": n, "total_ms": x, "p50_ms": ..., "p90_ms": ..., "p95_ms":
+/// ..., "p99_ms": ...}` for one histogram of nanosecond samples — the
+/// object HistogramsJson emits per name, exposed so per-query stats
+/// (serve) format identically.
+std::string HistogramValueJson(const Histogram::Snapshot& snapshot);
 
 /// Escapes `text` for inclusion inside a JSON string literal (quotes,
 /// backslashes, control characters). Exposed for reuse by the bench

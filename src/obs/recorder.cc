@@ -1,0 +1,236 @@
+#include "obs/recorder.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace obda::obs {
+
+namespace internal {
+std::atomic<bool> recorder_enabled{false};
+thread_local std::uint64_t t_request_id = 0;
+}  // namespace internal
+
+namespace {
+
+/// One thread's ring. The mutex is uncontended on the record path (only
+/// the owner records); Enable/Reset/Events take it from other threads.
+struct ThreadLog {
+  std::mutex mu;
+  int tid = 0;
+  std::size_t capacity = 0;
+  std::vector<FlightRecorder::Event> ring;  // size == capacity
+  std::size_t next = 0;                     // ring insertion point
+  std::uint64_t recorded = 0;               // events ever recorded
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadLog>> logs;  // never shrinks
+  std::size_t capacity = FlightRecorder::kDefaultCapacity;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();  // never dtor'd
+  return *registry;
+}
+
+/// Timestamps are relative to the first recorder touch so trace JSON
+/// stays in a readable microsecond range.
+std::chrono::steady_clock::time_point Anchor() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+std::uint64_t NowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Anchor())
+          .count());
+}
+
+thread_local ThreadLog* t_log = nullptr;
+
+ThreadLog& LocalLog() {
+  if (t_log == nullptr) {
+    Registry& registry = GlobalRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto log = std::make_unique<ThreadLog>();
+    log->tid = static_cast<int>(registry.logs.size());
+    log->capacity = registry.capacity;
+    log->ring.resize(log->capacity);
+    t_log = log.get();
+    registry.logs.push_back(std::move(log));
+  }
+  return *t_log;
+}
+
+void Push(const char* name, bool begin) {
+  ThreadLog& log = LocalLog();
+  std::lock_guard<std::mutex> lock(log.mu);
+  FlightRecorder::Event& event = log.ring[log.next];
+  event.name = name;
+  event.ts_ns = NowNs();
+  event.request_id = internal::t_request_id;
+  event.tid = log.tid;
+  event.begin = begin;
+  log.next = (log.next + 1) % log.capacity;
+  ++log.recorded;
+}
+
+void AppendEventJson(std::string& out, const FlightRecorder::Event& event) {
+  char buf[64];
+  out += "{\"name\": \"";
+  out += EscapeJson(event.name == nullptr ? "" : event.name);
+  out += "\", \"cat\": \"obda\", \"ph\": \"";
+  out += event.begin ? 'B' : 'E';
+  out += "\", \"ts\": ";
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(event.ts_ns) / 1e3);
+  out += buf;
+  out += ", \"pid\": 1, \"tid\": ";
+  std::snprintf(buf, sizeof(buf), "%d", event.tid);
+  out += buf;
+  out += ", \"args\": {\"request_id\": ";
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(event.request_id));
+  out += buf;
+  out += "}}";
+}
+
+}  // namespace
+
+void FlightRecorder::Enable(bool on, std::size_t capacity_per_thread) {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  const std::size_t capacity = std::max<std::size_t>(1, capacity_per_thread);
+  if (capacity != registry.capacity) {
+    registry.capacity = capacity;
+    for (auto& log : registry.logs) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      log->capacity = capacity;
+      log->ring.assign(capacity, Event{});
+      log->next = 0;
+      log->recorded = 0;
+    }
+  }
+  internal::recorder_enabled.store(on, std::memory_order_relaxed);
+}
+
+void FlightRecorder::Reset() {
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->ring.assign(log->capacity, Event{});
+    log->next = 0;
+    log->recorded = 0;
+  }
+}
+
+bool FlightRecorder::RecordBegin(const char* name) {
+  if (!Enabled()) return false;
+  Push(name, /*begin=*/true);
+  return true;
+}
+
+void FlightRecorder::RecordEnd(const char* name) {
+  // Unconditional: the caller saw RecordBegin succeed, and a begin must
+  // get its end even if recording was disabled mid-span.
+  Push(name, /*begin=*/false);
+}
+
+std::vector<FlightRecorder::Event> FlightRecorder::Events() {
+  std::vector<Event> out;
+  Registry& registry = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(log->recorded, log->capacity));
+    const std::size_t start = (log->next + log->capacity - n) % log->capacity;
+    for (std::size_t k = 0; k < n; ++k) {
+      out.push_back(log->ring[(start + k) % log->capacity]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                               : a.tid < b.tid;
+                   });
+  return out;
+}
+
+std::string FlightRecorder::DumpChromeTrace() {
+  const std::vector<Event> events = Events();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& event : events) {
+    if (!first) out += ", ";
+    first = false;
+    AppendEventJson(out, event);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FlightRecorder::FormatRequestTree(std::uint64_t request_id) {
+  const std::vector<Event> all = Events();
+  std::string out;
+  // Group by tid (ascending), keeping each thread's events in time order.
+  std::vector<int> tids;
+  for (const Event& event : all) {
+    if (event.request_id == request_id &&
+        std::find(tids.begin(), tids.end(), event.tid) == tids.end()) {
+      tids.push_back(event.tid);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  char buf[128];
+  for (int tid : tids) {
+    std::snprintf(buf, sizeof(buf), "[tid %d]\n", tid);
+    out += buf;
+    // Rebuild the nesting from the begin/end stream: spans are RAII, so
+    // per thread an end always closes the most recent open begin. Ends
+    // whose begin the ring evicted are skipped.
+    struct Line {
+      std::uint64_t ts_ns;
+      int depth;
+      const char* name;
+      double dur_ms = -1.0;  // <0 = still open at dump time
+    };
+    std::vector<Line> lines;
+    std::vector<std::size_t> stack;
+    for (const Event& event : all) {
+      if (event.tid != tid || event.request_id != request_id) continue;
+      if (event.begin) {
+        lines.push_back(Line{event.ts_ns, static_cast<int>(stack.size()),
+                             event.name});
+        stack.push_back(lines.size() - 1);
+      } else if (!stack.empty()) {
+        Line& open = lines[stack.back()];
+        stack.pop_back();
+        open.dur_ms = static_cast<double>(event.ts_ns - open.ts_ns) / 1e6;
+      }
+    }
+    for (const Line& line : lines) {
+      if (line.dur_ms < 0) {
+        std::snprintf(buf, sizeof(buf), "%*s%s (open)\n", 2 * line.depth + 2,
+                      "", line.name == nullptr ? "" : line.name);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%*s%s (%.3f ms)\n",
+                      2 * line.depth + 2, "",
+                      line.name == nullptr ? "" : line.name, line.dur_ms);
+      }
+      out += buf;
+    }
+  }
+  return out;
+}
+
+}  // namespace obda::obs

@@ -1,0 +1,110 @@
+#ifndef OBDA_OBS_RECORDER_H_
+#define OBDA_OBS_RECORDER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace obda::obs {
+
+// ---------------------------------------------------------------------------
+// Request-id propagation.
+//
+// The serving layer mints one id per admitted QUERY; the scheduler
+// installs it on the worker thread that runs the task, and
+// base::ThreadPool re-installs the submitting thread's id on every pool
+// worker executing chunks of that batch — so a span recorded anywhere
+// inside the fan-out (grounding, per-tuple SAT probes) carries the
+// request that caused it.
+// ---------------------------------------------------------------------------
+
+namespace internal {
+extern thread_local std::uint64_t t_request_id;
+}  // namespace internal
+
+/// The calling thread's request id; 0 = not serving a request.
+inline std::uint64_t CurrentRequestId() { return internal::t_request_id; }
+
+/// RAII: installs `id` as the calling thread's request id and restores
+/// the previous id on destruction (scopes nest; workers reuse threads).
+class RequestScope {
+ public:
+  explicit RequestScope(std::uint64_t id) : prev_(internal::t_request_id) {
+    internal::t_request_id = id;
+  }
+  ~RequestScope() { internal::t_request_id = prev_; }
+  RequestScope(const RequestScope&) = delete;
+  RequestScope& operator=(const RequestScope&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+//
+// Always-on-capable span capture: each recording thread owns a
+// fixed-capacity ring buffer of begin/end events (name, steady-clock
+// timestamp, request id), so recording is one uncontended mutex
+// acquisition plus a few stores, old history is overwritten instead of
+// growing, and a dump at any moment shows the recent past — including
+// spans still open, which is exactly what a hung request looks like.
+// Dumps render as Chrome trace-event JSON: load the output of
+// DumpChromeTrace() (or the serve protocol's TRACE DUMP verb) straight
+// into Perfetto (https://ui.perfetto.dev).
+// ---------------------------------------------------------------------------
+
+namespace internal {
+extern std::atomic<bool> recorder_enabled;
+}  // namespace internal
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 8192;  // events per thread
+
+  struct Event {
+    const char* name = nullptr;   // span name (string literal)
+    std::uint64_t ts_ns = 0;      // nanos since the process trace anchor
+    std::uint64_t request_id = 0;
+    int tid = 0;                  // recorder-assigned thread index
+    bool begin = false;           // true = span enter, false = span exit
+  };
+
+  /// Flips recording. A capacity different from the current one clears
+  /// and resizes every thread's ring; re-enabling at the same capacity
+  /// keeps buffered history. Thread rings are created lazily on each
+  /// thread's first recorded event.
+  static void Enable(bool on,
+                     std::size_t capacity_per_thread = kDefaultCapacity);
+  static bool Enabled() {
+    return internal::recorder_enabled.load(std::memory_order_relaxed);
+  }
+
+  /// Drops every buffered event; ring registrations and capacity survive.
+  static void Reset();
+
+  /// Records a span boundary on the calling thread's ring. RecordBegin
+  /// returns whether the event was actually recorded; callers keep that
+  /// and pair it with RecordEnd, which records unconditionally — so a
+  /// span straddling an Enable flip never leaves a dangling begin.
+  static bool RecordBegin(const char* name);
+  static void RecordEnd(const char* name);
+
+  /// Every buffered event, globally sorted by timestamp (ties by tid).
+  static std::vector<Event> Events();
+
+  /// `{"traceEvents": [...]}` — Chrome trace-event JSON, one "B"/"E"
+  /// phase event per buffered boundary, request ids under args.
+  static std::string DumpChromeTrace();
+
+  /// An indented per-thread span tree of one request, durations included
+  /// — the slow-query log's payload. Spans whose end the ring has not
+  /// seen yet render as "(open)".
+  static std::string FormatRequestTree(std::uint64_t request_id);
+};
+
+}  // namespace obda::obs
+
+#endif  // OBDA_OBS_RECORDER_H_

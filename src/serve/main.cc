@@ -5,6 +5,12 @@
 // 127.0.0.1:PORT, one protocol client per connection.
 //
 //   obda_serve [--tcp PORT] [--cache N] [--max-queue N] [--threads N]
+//              [--slow-ms MS]
+//
+// Observability: the server enables metrics + the flight recorder at
+// startup (STATS / STATS KEYS / STATS QUERY / TRACE DUMP verbs);
+// OBDA_SLOW_MS=<ms> (or --slow-ms) additionally logs any slower QUERY's
+// span tree to stderr.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -130,12 +136,19 @@ int main(int argc, char** argv) {
         options.scheduler.threads = std::atoi(v);
         options.prepare.eval.threads = std::atoi(v);
       }
+    } else if (arg == "--slow-ms") {
+      const char* v = next();
+      if (v != nullptr) options.slow_query_ms = std::atof(v);
     } else {
       std::fprintf(stderr,
                    "usage: obda_serve [--tcp PORT] [--cache N] "
-                   "[--max-queue N] [--threads N]\n");
+                   "[--max-queue N] [--threads N] [--slow-ms MS]\n");
       return 2;
     }
+  }
+  if (const char* slow = std::getenv("OBDA_SLOW_MS");
+      slow != nullptr && slow[0] != '\0' && options.slow_query_ms <= 0) {
+    options.slow_query_ms = std::atof(slow);
   }
   obda::serve::Server server(options);
   return tcp_port > 0 ? RunTcp(server, tcp_port) : RunStdin(server);

@@ -71,8 +71,30 @@ base::Result<std::shared_ptr<PreparedQuery>> PreparedQuery::FromOmq(
 base::Result<ddlog::Answers> PreparedQuery::Execute(
     Session& session, const RequestBudget& budget, ExecInfo* info) {
   static obs::TimerStat& exec_timer = obs::GetTimer("serve.execute");
+  // Per-plan-mode latency distributions: a mixed-tier workload's mean is
+  // meaningless when one plan is AC0-ish and the other runs co-NP SAT
+  // probes, so the two populations get separate histograms.
+  static obs::Histogram& sat_hist =
+      obs::GetHistogram("serve.execute.sat_grounding");
+  static obs::Histogram& rewriting_hist =
+      obs::GetHistogram("serve.execute.datalog_rewriting");
   obs::ScopedTimer timer(exec_timer);
 
+  const auto start = std::chrono::steady_clock::now();
+  base::Result<ddlog::Answers> result = ExecuteImpl(session, budget, info);
+  const std::uint64_t nanos = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  stats_.execs.fetch_add(1, std::memory_order_relaxed);
+  (plan_ == PlanKind::kDatalogRewriting ? rewriting_hist : sat_hist)
+      .Record(nanos);
+  stats_.latency.Record(nanos);
+  return result;
+}
+
+base::Result<ddlog::Answers> PreparedQuery::ExecuteImpl(
+    Session& session, const RequestBudget& budget, ExecInfo* info) {
   const Session::Snapshot snapshot = session.Materialize();
   ExecInfo local;
   local.plan = plan_;
@@ -109,7 +131,11 @@ base::Result<ddlog::Answers> PreparedQuery::Execute(
           std::make_unique<ddlog::GroundedQuery>(std::move(built).value());
       slot.snapshot = snapshot;
       if (is_reground) regrounds.Add();
+      (is_reground ? stats_.regrounds : stats_.grounds)
+          .fetch_add(1, std::memory_order_relaxed);
       local.grounded = true;  // this request paid the (re-)grounding cost
+    } else {
+      stats_.hot_hits.fetch_add(1, std::memory_order_relaxed);
     }
     grounded = *slot.grounded;  // shared handle onto the slot's Impl
   }
@@ -121,6 +147,20 @@ base::Result<ddlog::Answers> PreparedQuery::Execute(
   if (!answers.ok()) return answers.status();
   if (info != nullptr) *info = local;
   return std::move(answers).value();
+}
+
+std::string PreparedQuery::StatsJson() const {
+  auto u64 = [](const std::atomic<std::uint64_t>& v) {
+    return std::to_string(v.load(std::memory_order_relaxed));
+  };
+  return std::string("{\"plan\": \"") + PlanKindName(plan_) +
+         "\", \"arity\": " + std::to_string(arity_) +
+         ", \"execs\": " + u64(stats_.execs) +
+         ", \"grounds\": " + u64(stats_.grounds) +
+         ", \"regrounds\": " + u64(stats_.regrounds) +
+         ", \"hot_hits\": " + u64(stats_.hot_hits) +
+         ", \"latency\": " + obs::HistogramValueJson(stats_.latency.Snap()) +
+         "}";
 }
 
 std::size_t CacheKeyHash::operator()(const CacheKey& k) const {

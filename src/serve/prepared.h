@@ -1,6 +1,7 @@
 #ifndef OBDA_SERVE_PREPARED_H_
 #define OBDA_SERVE_PREPARED_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -13,6 +14,7 @@
 #include "core/rewritability.h"
 #include "ddlog/eval.h"
 #include "ddlog/program.h"
+#include "obs/metrics.h"
 #include "serve/session.h"
 
 namespace obda::serve {
@@ -90,6 +92,23 @@ class PreparedQuery {
   /// The compiled MDDlog program (null for the rewriting plan).
   const ddlog::Program* program() const { return program_.get(); }
 
+  /// Cumulative per-artifact execution stats, maintained by Execute and
+  /// surfaced through the protocol's STATS QUERY verb. Counts move on
+  /// every call; the latency histogram (Execute wall nanoseconds)
+  /// records only while metrics are enabled.
+  struct Stats {
+    std::atomic<std::uint64_t> execs{0};       // Execute calls
+    std::atomic<std::uint64_t> grounds{0};     // first grounding per session
+    std::atomic<std::uint64_t> regrounds{0};   // generation-invalidated
+    std::atomic<std::uint64_t> hot_hits{0};    // served from cached grounding
+    obs::Histogram latency;
+  };
+  const Stats& stats() const { return stats_; }
+  /// `{"plan": ..., "arity": n, "execs": n, "grounds": n, "regrounds":
+  /// n, "hot_hits": n, "latency": {...}}` — latency formatted by the
+  /// same path as the registry's histograms section.
+  std::string StatsJson() const;
+
   /// Evaluates against the session's current data. Answers are
   /// bit-identical to a fresh ddlog::CertainAnswers run on the same
   /// materialized instance (SAT plan) at every thread count.
@@ -105,11 +124,16 @@ class PreparedQuery {
     std::unique_ptr<ddlog::GroundedQuery> grounded;
   };
 
+  base::Result<ddlog::Answers> ExecuteImpl(Session& session,
+                                           const RequestBudget& budget,
+                                           ExecInfo* info);
+
   PlanKind plan_ = PlanKind::kSatGrounding;
   int arity_ = 0;
   PrepareOptions options_;
   std::unique_ptr<const ddlog::Program> program_;          // SAT plan
   std::unique_ptr<const core::DatalogRewriting> rewriting_;  // rewriting plan
+  Stats stats_;
 
   std::mutex mu_;  // guards slots_ map shape; slot contents are per-session
   std::unordered_map<std::uint64_t, GroundingSlot> slots_;  // by Session::id

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace obda::serve {
 
@@ -12,7 +13,9 @@ Scheduler::Scheduler(const Options& options)
     : options_(options),
       pool_(std::make_unique<base::ThreadPool>(
           options.threads > 0 ? options.threads
-                              : base::ThreadPool::Global().threads())) {
+                              : base::ThreadPool::Global().threads())),
+      queue_wait_hist_(&obs::GetHistogram("serve.queue_wait")),
+      execute_wall_hist_(&obs::GetHistogram("serve.execute_wall")) {
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
 }
 
@@ -41,7 +44,8 @@ base::Status Scheduler::Submit(
         "request queue full (max_queue=" +
         std::to_string(options_.max_queue) + ")");
   }
-  queues_[session_id].push_back(Entry{std::move(task), deadline});
+  queues_[session_id].push_back(
+      Entry{std::move(task), deadline, std::chrono::steady_clock::now()});
   ++pending_;
   admitted.Add();
   work_cv_.notify_one();
@@ -97,11 +101,25 @@ void Scheduler::WorkerLoop() {
     --pending_;
     ++running_;
     lock.unlock();
-    if (std::chrono::steady_clock::now() > entry.deadline) {
+    const auto dequeued = std::chrono::steady_clock::now();
+    queue_wait_hist_->Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            dequeued - entry.submitted)
+            .count()));
+    if (dequeued > entry.deadline) {
       expired_count.Add();
       if (entry.task.expired) entry.task.expired();
     } else {
+      // The request id covers run()'s whole extent, including its pool
+      // fan-out; the serve.task span brackets the request in the
+      // flight-recorder timeline.
+      obs::RequestScope request_scope(entry.task.request_id);
+      obs::TraceSpan span("serve.task");
       entry.task.run();
+      execute_wall_hist_->Record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - dequeued)
+              .count()));
     }
     lock.lock();
     claimed_.erase(session);

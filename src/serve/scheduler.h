@@ -15,6 +15,10 @@
 #include "base/status.h"
 #include "base/thread_pool.h"
 
+namespace obda::obs {
+class Histogram;
+}  // namespace obda::obs
+
 namespace obda::serve {
 
 /// Request scheduler with admission control (DESIGN.md §8): per-session
@@ -51,6 +55,10 @@ class Scheduler {
   struct Task {
     std::function<void()> run;
     std::function<void()> expired;  // optional
+    /// Server-minted request id, installed (obs::RequestScope) on the
+    /// worker for `run`'s whole extent — including pool fan-out — so the
+    /// flight recorder can attribute spans to this request. 0 = untagged.
+    std::uint64_t request_id = 0;
   };
 
   static constexpr std::chrono::steady_clock::time_point kNoDeadline =
@@ -79,6 +87,7 @@ class Scheduler {
   struct Entry {
     Task task;
     std::chrono::steady_clock::time_point deadline;
+    std::chrono::steady_clock::time_point submitted;
   };
 
   /// Parks one never-finishing ParallelFor batch on the dedicated pool;
@@ -90,6 +99,10 @@ class Scheduler {
 
   const Options options_;
   std::unique_ptr<base::ThreadPool> pool_;
+  /// serve.queue_wait / serve.execute_wall, registered eagerly at
+  /// construction so STATS key sets are stable before any traffic.
+  obs::Histogram* queue_wait_hist_;
+  obs::Histogram* execute_wall_hist_;
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers: a session became ready

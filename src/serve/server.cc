@@ -6,10 +6,13 @@
 #include <utility>
 #include <vector>
 
+#include <cstdio>
+
 #include "data/io.h"
 #include "ddlog/program.h"
 #include "dl/parser.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace obda::serve {
 
@@ -33,7 +36,12 @@ std::uint64_t ParseU64(const std::string& token, bool* ok) {
 Server::Server(const ServerOptions& options)
     : options_(options),
       cache_(options.cache_capacity),
-      scheduler_(options.scheduler) {}
+      scheduler_(options.scheduler) {
+  if (options_.enable_observability) {
+    obs::EnableMetrics(true);
+    obs::FlightRecorder::Enable(true);
+  }
+}
 
 std::unique_ptr<Server::Client> Server::NewClient() {
   return std::unique_ptr<Client>(new Client(*this));
@@ -62,7 +70,8 @@ Response Server::Client::Dispatch(std::string_view line) {
   }
   if (cmd == "SCHEMA") return CmdSchema(tokens);
   if (cmd == "ONTOLOGY") return CmdOntology(TailAfter(line, 1));
-  if (cmd == "STATS") return CmdStats();
+  if (cmd == "STATS") return CmdStats(tokens);
+  if (cmd == "TRACE") return CmdTrace(tokens);
   if (session_ == nullptr) {
     return Response::Error(
         base::InvalidArgumentError("no session: run SCHEMA first"));
@@ -237,9 +246,11 @@ Response Server::Client::CmdQuery(const std::vector<std::string>& tokens) {
                 std::chrono::milliseconds(deadline_ms);
   PreparedQuery& query = *it->second.query;
 
+  const std::uint64_t request_id = server_.MintRequestId();
   auto promise = std::make_shared<std::promise<Response>>();
   std::future<Response> future = promise->get_future();
   Scheduler::Task task;
+  task.request_id = request_id;
   task.run = [this, &query, budget, promise] {
     promise->set_value(RunQuery(query, budget));
   };
@@ -247,10 +258,28 @@ Response Server::Client::CmdQuery(const std::vector<std::string>& tokens) {
     promise->set_value(Response::Error(base::ResourceExhaustedError(
         "deadline expired before execution")));
   };
+  const auto submitted = std::chrono::steady_clock::now();
   base::Status admitted =
       server_.scheduler().Submit(session_->id(), std::move(task), deadline);
   if (!admitted.ok()) return Response::Error(std::move(admitted));
-  return future.get();
+  Response response = future.get();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - submitted)
+          .count();
+  const double slow_ms = server_.options().slow_query_ms;
+  if (slow_ms > 0 && wall_ms >= slow_ms) {
+    // Slow-query log: the offending request's span tree, reconstructed
+    // from the flight recorder (queue wait is part of the measured wall,
+    // so a shed-recovery stall shows up too).
+    std::string tree = obs::FlightRecorder::FormatRequestTree(request_id);
+    std::fprintf(stderr,
+                 "[obda-slow] request %llu (%s) took %.3f ms "
+                 "(threshold %.3f ms)\n%s",
+                 static_cast<unsigned long long>(request_id),
+                 tokens[1].c_str(), wall_ms, slow_ms, tree.c_str());
+  }
+  return response;
 }
 
 Response Server::Client::RunQuery(PreparedQuery& query,
@@ -282,11 +311,61 @@ Response Server::Client::RunQuery(PreparedQuery& query,
   return response;
 }
 
-Response Server::Client::CmdStats() {
-  Response response = Response::Ok();
-  response.payload.push_back(
-      obs::MetricsRegistry::Global().SnapshotJson());
-  return response;
+Response Server::Client::CmdStats(const std::vector<std::string>& tokens) {
+  if (tokens.size() == 1) {
+    Response response = Response::Ok();
+    response.payload.push_back(
+        obs::MetricsRegistry::Global().SnapshotJson());
+    return response;
+  }
+  if (tokens[1] == "KEYS" && tokens.size() == 2) {
+    // Names only — deterministic for a fixed command script (values are
+    // not), which is what lets the smoke golden pin the key set.
+    const obs::MetricsRegistry::Snapshot snapshot =
+        obs::MetricsRegistry::Global().Snap();
+    Response response = Response::Ok();
+    for (const auto& c : snapshot.counters) {
+      response.payload.push_back("counter " + c.name);
+    }
+    for (const auto& t : snapshot.timers) {
+      response.payload.push_back("timer " + t.name);
+    }
+    for (const auto& h : snapshot.histograms) {
+      response.payload.push_back("histogram " + h.name);
+    }
+    response.info = "counters=" + std::to_string(snapshot.counters.size()) +
+                    " timers=" + std::to_string(snapshot.timers.size()) +
+                    " histograms=" +
+                    std::to_string(snapshot.histograms.size());
+    return response;
+  }
+  if (tokens[1] == "QUERY" && tokens.size() == 3) {
+    auto it = prepared_.find(tokens[2]);
+    if (it == prepared_.end()) {
+      return Response::Error(
+          base::NotFoundError("no prepared query named " + tokens[2]));
+    }
+    Response response = Response::Ok();
+    response.payload.push_back(it->second.query->StatsJson());
+    response.info = "name=" + tokens[2] +
+                    " cached=" + (it->second.from_cache ? "1" : "0");
+    return response;
+  }
+  return Response::Error(base::InvalidArgumentError(
+      "usage: STATS | STATS KEYS | STATS QUERY <name>"));
+}
+
+Response Server::Client::CmdTrace(const std::vector<std::string>& tokens) {
+  if (tokens.size() == 2 && tokens[1] == "DUMP") {
+    Response response = Response::Ok();
+    const std::vector<obs::FlightRecorder::Event> events =
+        obs::FlightRecorder::Events();
+    response.payload.push_back(obs::FlightRecorder::DumpChromeTrace());
+    response.info = "events=" + std::to_string(events.size());
+    return response;
+  }
+  return Response::Error(
+      base::InvalidArgumentError("usage: TRACE DUMP"));
 }
 
 }  // namespace obda::serve

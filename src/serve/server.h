@@ -1,6 +1,7 @@
 #ifndef OBDA_SERVE_SERVER_H_
 #define OBDA_SERVE_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,6 +27,16 @@ struct ServerOptions {
   std::uint64_t default_max_decisions = 0;
   /// Per-request deadline when QUERY names none (0 = none).
   std::uint64_t default_deadline_ms = 0;
+  /// Emit a slow-query log line (plus the request's flight-recorder span
+  /// tree) to stderr for any QUERY whose wall time — queue wait included
+  /// — reaches this many milliseconds. 0 = off. obda_serve maps the
+  /// OBDA_SLOW_MS environment variable onto this.
+  double slow_query_ms = 0;
+  /// Serving-grade default: construction turns on metrics collection and
+  /// the flight recorder so STATS quantiles, TRACE DUMP, and the
+  /// slow-query log work out of the box. Set false to leave the global
+  /// obs switches untouched (unit tests exercising disablement do).
+  bool enable_observability = true;
 };
 
 /// The serving front end (DESIGN.md §8): owns the prepared-artifact cache
@@ -45,6 +56,17 @@ struct ServerOptions {
 ///   RETRACT <facts>                   remove facts
 ///   QUERY <name> [DEADLINE_MS n] [MAX_DECISIONS n]
 ///   STATS                             one-line metrics JSON snapshot
+///                                     (counters, timers, histograms
+///                                     with p50/p90/p95/p99 quantiles)
+///   STATS KEYS                        registered metric names only, one
+///                                     `<kind> <name>` line each — the
+///                                     deterministic key set goldened by
+///                                     the smoke test
+///   STATS QUERY <name>                per-prepared-query stats JSON
+///                                     (execs, grounds, regrounds,
+///                                     hot_hits, latency histogram)
+///   TRACE DUMP                        one-line Chrome trace-event JSON
+///                                     of the flight recorder (Perfetto)
 ///   QUIT
 /// Responses: payload lines, then `OK [info]` or `ERR CODE: message`.
 /// The SAT modifier forces the grounding plan even when the OMQ is
@@ -59,11 +81,16 @@ class Server {
   PreparedCache& cache() { return cache_; }
   Scheduler& scheduler() { return scheduler_; }
   const ServerOptions& options() const { return options_; }
+  /// Process-unique id for one admitted QUERY (flight-recorder tagging).
+  std::uint64_t MintRequestId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
 
  private:
   const ServerOptions options_;
   PreparedCache cache_;
   Scheduler scheduler_;
+  std::atomic<std::uint64_t> next_request_id_{1};
 };
 
 /// One protocol endpoint. HandleLine is synchronous — it submits QUERY
@@ -91,7 +118,8 @@ class Server::Client {
                       std::string_view line);
   Response CmdMutate(std::string_view tail, bool assert);
   Response CmdQuery(const std::vector<std::string>& tokens);
-  Response CmdStats();
+  Response CmdStats(const std::vector<std::string>& tokens);
+  Response CmdTrace(const std::vector<std::string>& tokens);
 
   /// Runs on a scheduler worker: execute + render answers.
   Response RunQuery(PreparedQuery& query, const RequestBudget& budget);

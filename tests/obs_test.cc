@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <cstdlib>
+#include <limits>
 #include <string>
 #include <thread>
 #include <vector>
@@ -8,6 +12,7 @@
 #include "data/homomorphism.h"
 #include "data/instance.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 
 namespace obda {
 namespace {
@@ -122,10 +127,12 @@ TEST_F(ObsTest, JsonEscaping) {
   EXPECT_EQ(obs::EscapeJson(std::string("\x01", 1)), "\\u0001");
 }
 
-/// Minimal structural JSON scan: balanced braces, no raw control bytes,
-/// quotes all escaped. Enough to catch malformed export without a parser.
+/// Minimal structural JSON scan: balanced braces/brackets, no raw control
+/// bytes, quotes all escaped. Enough to catch malformed export without a
+/// parser.
 void ExpectWellFormedJson(const std::string& text) {
   int depth = 0;
+  int array_depth = 0;
   bool in_string = false;
   bool escaped = false;
   for (char ch : text) {
@@ -146,8 +153,14 @@ void ExpectWellFormedJson(const std::string& text) {
       --depth;
       ASSERT_GE(depth, 0);
     }
+    if (ch == '[') ++array_depth;
+    if (ch == ']') {
+      --array_depth;
+      ASSERT_GE(array_depth, 0);
+    }
   }
   EXPECT_EQ(depth, 0);
+  EXPECT_EQ(array_depth, 0);
   EXPECT_FALSE(in_string);
 }
 
@@ -182,18 +195,351 @@ TEST_F(ObsTest, SnapshotJsonStableAndSharedWithExport) {
   auto snap = obs::MetricsRegistry::Global().Snap();
   const std::string expected =
       "{\"counters\": " + obs::MetricsRegistry::CountersJson(snap) +
-      ", \"timers\": " + obs::MetricsRegistry::TimersJson(snap) + "}";
+      ", \"timers\": " + obs::MetricsRegistry::TimersJson(snap) +
+      ", \"histograms\": " + obs::MetricsRegistry::HistogramsJson(snap) +
+      "}";
   EXPECT_EQ(json, expected);
 }
 
-TEST_F(ObsTest, SnapshotSkipsZeroesAndSorts) {
+TEST_F(ObsTest, SnapshotKeepsZeroesAndSorts) {
   obs::GetCounter("test.snap.b").Add(2);
   obs::GetCounter("test.snap.a").Add(1);
   obs::GetCounter("test.snap.zero");
+  obs::GetHistogram("test.snap.hist_zero");
   auto snap = obs::MetricsRegistry::Global().Snap();
-  ASSERT_EQ(snap.counters.size(), 2u);
-  EXPECT_EQ(snap.counters[0].name, "test.snap.a");
-  EXPECT_EQ(snap.counters[1].name, "test.snap.b");
+  // Zero-valued entries stay in the snapshot: once a name is registered
+  // it never vanishes, so consecutive snapshots share a key set. (Other
+  // tests register names in the same process-wide registry; filter to
+  // this test's prefix.)
+  std::vector<obs::MetricsRegistry::CounterSnapshot> mine;
+  for (const auto& c : snap.counters) {
+    if (c.name.rfind("test.snap.", 0) == 0) mine.push_back(c);
+  }
+  ASSERT_EQ(mine.size(), 3u);
+  EXPECT_EQ(mine[0].name, "test.snap.a");
+  EXPECT_EQ(mine[0].value, 1u);
+  EXPECT_EQ(mine[1].name, "test.snap.b");
+  EXPECT_EQ(mine[1].value, 2u);
+  EXPECT_EQ(mine[2].name, "test.snap.zero");
+  EXPECT_EQ(mine[2].value, 0u);
+  // Same for histograms: the empty one is present with count 0.
+  bool found_hist = false;
+  for (const auto& h : snap.histograms) {
+    if (h.name == "test.snap.hist_zero") {
+      found_hist = true;
+      EXPECT_EQ(h.data.count, 0u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  using H = obs::Histogram;
+  EXPECT_EQ(H::BucketOf(0), 0);
+  EXPECT_EQ(H::BucketOf(1), 1);
+  EXPECT_EQ(H::BucketOf(2), 2);
+  EXPECT_EQ(H::BucketOf(3), 2);
+  EXPECT_EQ(H::BucketOf(4), 3);
+  EXPECT_EQ(H::BucketOf(7), 3);
+  EXPECT_EQ(H::BucketOf(8), 4);
+  EXPECT_EQ(H::BucketOf(std::numeric_limits<std::uint64_t>::max()), 64);
+  EXPECT_EQ(H::BucketLowerBound(0), 0u);
+  EXPECT_EQ(H::BucketLowerBound(1), 1u);
+  EXPECT_EQ(H::BucketLowerBound(4), 8u);
+  EXPECT_EQ(H::BucketLowerBound(64), std::uint64_t{1} << 63);
+  // Every value falls inside its bucket's [lower, next-lower) range.
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{2},
+        std::uint64_t{3}, std::uint64_t{100}, std::uint64_t{1'000'000}}) {
+    const int b = H::BucketOf(v);
+    EXPECT_GE(v, H::BucketLowerBound(b)) << v;
+    if (b < H::kBuckets - 1) {
+      EXPECT_LT(v, H::BucketLowerBound(b + 1)) << v;
+    }
+  }
+}
+
+TEST_F(ObsTest, HistogramRecordAndSnap) {
+  obs::Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(5);
+  h.Record(5);
+  h.Record(1'000);
+  auto snap = h.Snap();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.total, 1'011u);
+  EXPECT_EQ(snap.buckets[0], 1u);                             // the zero
+  EXPECT_EQ(snap.buckets[obs::Histogram::BucketOf(5)], 2u);   // the fives
+  EXPECT_EQ(snap.buckets[obs::Histogram::BucketOf(1'000)], 1u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 1'011.0 / 5.0);
+  // Disabled recording is a no-op.
+  obs::EnableMetrics(false);
+  h.Record(7);
+  EXPECT_EQ(h.Snap().count, 5u);
+  obs::EnableMetrics(true);
+  h.Reset();
+  EXPECT_EQ(h.Snap().count, 0u);
+}
+
+TEST_F(ObsTest, HistogramQuantilesWithinOneBucketOfExact) {
+  // A deterministic pseudo-random sample; the histogram's interpolated
+  // quantile must land within one log2 bucket of the exact sorted-sample
+  // quantile — the accuracy contract E23's cross-check also asserts.
+  obs::Histogram h;
+  std::vector<std::uint64_t> samples;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  for (int i = 0; i < 2'000; ++i) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::uint64_t v = (state >> 33) % 5'000'000;
+    samples.push_back(v);
+    h.Record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  auto snap = h.Snap();
+  ASSERT_EQ(snap.count, samples.size());
+  for (double q : {0.0, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    const double estimate = snap.Quantile(q);
+    const std::size_t rank = static_cast<std::size_t>(std::min(
+        static_cast<double>(samples.size()) - 1,
+        std::max(0.0, std::ceil(q * static_cast<double>(samples.size())) -
+                          1)));
+    const std::uint64_t exact = samples[rank];
+    const int est_bucket =
+        obs::Histogram::BucketOf(static_cast<std::uint64_t>(estimate));
+    const int exact_bucket = obs::Histogram::BucketOf(exact);
+    EXPECT_LE(std::abs(est_bucket - exact_bucket), 1)
+        << "q=" << q << " estimate=" << estimate << " exact=" << exact;
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(snap.Quantile(0.5), snap.Quantile(0.9));
+  EXPECT_LE(snap.Quantile(0.9), snap.Quantile(0.99));
+}
+
+TEST_F(ObsTest, HistogramConcurrentRecordingLosesNothing) {
+  obs::Histogram& h = obs::GetHistogram("test.hist.concurrent");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int j = 0; j < kPerThread; ++j) {
+        h.Record(static_cast<std::uint64_t>(j) + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  auto snap = h.Snap();
+  EXPECT_EQ(snap.count,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  // Sum 1..kPerThread per thread.
+  EXPECT_EQ(snap.total, static_cast<std::uint64_t>(kThreads) * kPerThread *
+                            (kPerThread + 1) / 2);
+  std::uint64_t bucket_sum = 0;
+  for (std::uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, snap.count);
+}
+
+TEST_F(ObsTest, HistogramSnapshotMerge) {
+  obs::Histogram a;
+  obs::Histogram b;
+  a.Record(1);
+  a.Record(100);
+  b.Record(100);
+  b.Record(10'000);
+  auto merged = a.Snap();
+  merged.Merge(b.Snap());
+  EXPECT_EQ(merged.count, 4u);
+  EXPECT_EQ(merged.total, 10'201u);
+  EXPECT_EQ(merged.buckets[obs::Histogram::BucketOf(100)], 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Enable-flip regressions: spans and timers straddling a switch flip.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ScopedTimerStraddlingDisableRecordsNothing) {
+  obs::TimerStat& t = obs::GetTimer("test.straddle");
+  obs::Histogram& h = obs::GetHistogram("test.straddle_hist");
+  {
+    obs::ScopedTimer timer(t, &h);
+    obs::EnableMetrics(false);
+  }
+  // The flip-off happened mid-span: nothing may count into the disabled
+  // registry (the pre-fix behavior recorded the timer sample anyway).
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(h.Snap().count, 0u);
+  // The reverse straddle (off at construction, on at destruction) also
+  // records nothing: no start timestamp was ever taken.
+  {
+    obs::ScopedTimer timer(t, &h);
+    obs::EnableMetrics(true);
+  }
+  EXPECT_EQ(t.count(), 0u);
+  EXPECT_EQ(h.Snap().count, 0u);
+  // A fully-enabled span records into both sinks.
+  { obs::ScopedTimer timer(t, &h); }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_EQ(h.Snap().count, 1u);
+}
+
+TEST_F(ObsTest, TraceSpanDepthBalancedAcrossEnableFlip) {
+  obs::EnableTracing(true);
+  EXPECT_EQ(obs::internal::CurrentTraceDepth(), 0);
+  {
+    obs::TraceSpan outer("test.outer");
+    EXPECT_EQ(obs::internal::CurrentTraceDepth(), 1);
+    obs::EnableTracing(false);
+    {
+      // Opened while tracing is off: neither bumps nor drops the depth.
+      obs::TraceSpan inner("test.inner");
+      EXPECT_EQ(obs::internal::CurrentTraceDepth(), 1);
+    }
+    EXPECT_EQ(obs::internal::CurrentTraceDepth(), 1);
+  }
+  // The outer span printed its enter, so it still prints its exit and
+  // restores the depth even though tracing flipped off mid-span.
+  EXPECT_EQ(obs::internal::CurrentTraceDepth(), 0);
+  obs::EnableTracing(false);
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, FlightRecorderCapturesSpansWithRequestIds) {
+  obs::FlightRecorder::Enable(true, 256);
+  obs::FlightRecorder::Reset();
+  EXPECT_EQ(obs::CurrentRequestId(), 0u);
+  {
+    obs::RequestScope scope(42);
+    EXPECT_EQ(obs::CurrentRequestId(), 42u);
+    {
+      obs::RequestScope nested(43);
+      EXPECT_EQ(obs::CurrentRequestId(), 43u);
+    }
+    EXPECT_EQ(obs::CurrentRequestId(), 42u);
+    obs::TraceSpan span("test.recorded");
+  }
+  EXPECT_EQ(obs::CurrentRequestId(), 0u);
+  auto events = obs::FlightRecorder::Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].begin);
+  EXPECT_FALSE(events[1].begin);
+  EXPECT_STREQ(events[0].name, "test.recorded");
+  EXPECT_EQ(events[0].request_id, 42u);
+  EXPECT_EQ(events[1].request_id, 42u);
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  obs::FlightRecorder::Enable(false, 256);
+}
+
+TEST_F(ObsTest, FlightRecorderWinsOverStderrTracing) {
+  // With the recorder on, TraceSpan routes to the ring and leaves the
+  // stderr indentation depth alone (pooled output would interleave).
+  obs::FlightRecorder::Enable(true, 128);
+  obs::FlightRecorder::Reset();
+  obs::EnableTracing(true);
+  {
+    obs::TraceSpan span("test.routed");
+    EXPECT_EQ(obs::internal::CurrentTraceDepth(), 0);
+  }
+  obs::EnableTracing(false);
+  auto events = obs::FlightRecorder::Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.routed");
+  obs::FlightRecorder::Enable(false, 128);
+}
+
+TEST_F(ObsTest, FlightRecorderBalancedAcrossEnableFlip) {
+  // Disabling mid-span must not leave a dangling begin: the span saw its
+  // begin recorded, so the end records unconditionally.
+  obs::FlightRecorder::Enable(true, 64);
+  obs::FlightRecorder::Reset();
+  {
+    obs::TraceSpan span("test.flip");
+    obs::FlightRecorder::Enable(false, 64);
+  }
+  auto events = obs::FlightRecorder::Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_TRUE(events[0].begin);
+  EXPECT_FALSE(events[1].begin);
+  // The reverse flip (off at begin, on at end) records neither boundary.
+  obs::FlightRecorder::Reset();
+  {
+    obs::TraceSpan span("test.flip2");
+    obs::FlightRecorder::Enable(true, 64);
+  }
+  EXPECT_EQ(obs::FlightRecorder::Events().size(), 0u);
+  obs::FlightRecorder::Enable(false, 64);
+}
+
+TEST_F(ObsTest, FlightRecorderRingWraparound) {
+  // A capacity-4 ring fed 20 events keeps only the 4 newest.
+  obs::FlightRecorder::Enable(true, 4);
+  obs::FlightRecorder::Reset();
+  for (int i = 0; i < 10; ++i) {
+    if (obs::FlightRecorder::RecordBegin("test.wrap")) {
+      obs::FlightRecorder::RecordEnd("test.wrap");
+    }
+  }
+  auto events = obs::FlightRecorder::Events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].ts_ns, events[i - 1].ts_ns);
+  }
+  // The stream ends on the final RecordEnd.
+  EXPECT_FALSE(events.back().begin);
+  obs::FlightRecorder::Enable(false, 4);
+}
+
+TEST_F(ObsTest, ChromeTraceDumpWellFormed) {
+  obs::FlightRecorder::Enable(true, 512);
+  obs::FlightRecorder::Reset();
+  {
+    obs::RequestScope scope(7);
+    obs::TraceSpan outer("test.dump.outer");
+    obs::TraceSpan inner("test.dump.inner");
+  }
+  const std::string json = obs::FlightRecorder::DumpChromeTrace();
+  ExpectWellFormedJson(json);
+  EXPECT_EQ(json.rfind("{\"traceEvents\": [", 0), 0u);
+  EXPECT_NE(json.find("\"name\": \"test.dump.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.dump.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"request_id\": 7"), std::string::npos);
+  obs::FlightRecorder::Enable(false, 512);
+}
+
+TEST_F(ObsTest, FormatRequestTreeNestsAndMarksOpenSpans) {
+  obs::FlightRecorder::Enable(true, 1024);
+  obs::FlightRecorder::Reset();
+  {
+    obs::RequestScope scope(11);
+    obs::TraceSpan outer("test.tree.outer");
+    { obs::TraceSpan inner("test.tree.inner"); }
+  }
+  {
+    obs::RequestScope scope(11);
+    // A begin the ring never sees closed: renders as "(open)".
+    obs::FlightRecorder::RecordBegin("test.tree.hung");
+  }
+  const std::string tree = obs::FlightRecorder::FormatRequestTree(11);
+  EXPECT_NE(tree.find("[tid "), std::string::npos);
+  EXPECT_NE(tree.find("  test.tree.outer ("), std::string::npos);
+  EXPECT_NE(tree.find("    test.tree.inner ("), std::string::npos);
+  EXPECT_NE(tree.find("test.tree.hung (open)"), std::string::npos);
+  // Other requests' spans don't leak in; unknown requests are empty.
+  EXPECT_EQ(tree.find("test.dump"), std::string::npos);
+  EXPECT_EQ(obs::FlightRecorder::FormatRequestTree(999), "");
+  // Close the hung begin so later tests see balanced rings.
+  obs::FlightRecorder::RecordEnd("test.tree.hung");
+  obs::FlightRecorder::Enable(false, 1024);
 }
 
 /// The K3 -> K2 non-3-coloring-ish search: a path that needs real
@@ -221,6 +567,8 @@ TEST_F(ObsTest, HomSolverCountersMove) {
   EXPECT_EQ(obs::GetCounter("hom.nodes").value(), r.nodes);
   EXPECT_GT(obs::GetCounter("hom.prunes").value(), 0u);
   EXPECT_EQ(obs::GetTimer("hom.search").count(), 1u);
+  // The search latency histogram sees the same samples as the timer.
+  EXPECT_EQ(obs::GetHistogram("hom.search").Snap().count, 1u);
 
   // A second search that succeeds also counts a solution.
   data::HomResult r2 = data::FindHomomorphism(b, b);

@@ -592,6 +592,87 @@ TEST(ServerTest, StatsReturnsMetricsJson) {
   ASSERT_FALSE(stats.empty());
   EXPECT_EQ(stats.substr(0, 13), "{\"counters\": ");
   EXPECT_TRUE(stats.ends_with("}\nOK\n")) << stats;
+  // The snapshot carries the histogram section with quantile estimates
+  // for the scheduler's latency distributions.
+  EXPECT_NE(stats.find("\"histograms\": "), std::string::npos);
+  EXPECT_NE(stats.find("\"serve.queue_wait\": {\"count\": "),
+            std::string::npos);
+  EXPECT_NE(stats.find("\"serve.execute_wall\": {\"count\": "),
+            std::string::npos);
+  EXPECT_NE(stats.find("\"p99_ms\": "), std::string::npos);
+}
+
+TEST(ServerTest, StatsKeysListsRegisteredNames) {
+  Server server;
+  auto client = server.NewClient();
+  const std::string keys = client->HandleLine("STATS KEYS");
+  // One `<kind> <name>` line per registered metric; the scheduler
+  // registers its histograms eagerly so the key set is stable from the
+  // first command on (the smoke golden pins it).
+  EXPECT_NE(keys.find("histogram serve.queue_wait\n"), std::string::npos);
+  EXPECT_NE(keys.find("histogram serve.execute_wall\n"), std::string::npos);
+  EXPECT_NE(keys.find(" histograms="), std::string::npos);
+  EXPECT_TRUE(keys.find("OK counters=") != std::string::npos) << keys;
+  // A second call returns the identical key set (values may move, names
+  // may not vanish).
+  EXPECT_EQ(keys, client->HandleLine("STATS KEYS"));
+}
+
+TEST(ServerTest, StatsQueryReportsPerQueryCounters) {
+  Server server;
+  auto client = server.NewClient();
+  ASSERT_EQ(client->HandleLine("SCHEMA LymeDisease/1 Listeriosis/1"),
+            "OK relations=2\n");
+  ASSERT_EQ(client->HandleLine(
+                "ONTOLOGY LymeDisease | Listeriosis [= BacterialInfection"),
+            "OK axioms=1 language=ALC\n");
+  ASSERT_EQ(client->HandleLine("PREPARE q SAT AQ BacterialInfection"),
+            "OK plan=sat_grounding cached=0 arity=1\n");
+  ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(ann)"),
+            "OK added=1 generation=1\n");
+  client->HandleLine("QUERY q");  // grounds
+  client->HandleLine("QUERY q");  // hot
+  client->HandleLine("QUERY q");  // hot
+  const std::string stats = client->HandleLine("STATS QUERY q");
+  EXPECT_NE(stats.find("\"plan\": \"sat_grounding\""), std::string::npos);
+  EXPECT_NE(stats.find("\"arity\": 1"), std::string::npos);
+  EXPECT_NE(stats.find("\"execs\": 3"), std::string::npos);
+  EXPECT_NE(stats.find("\"grounds\": 1"), std::string::npos);
+  EXPECT_NE(stats.find("\"hot_hits\": 2"), std::string::npos);
+  // Per-query latency renders through the shared histogram formatter.
+  EXPECT_NE(stats.find("\"latency\": {\"count\": 3"), std::string::npos);
+  EXPECT_NE(stats.find("\"p95_ms\": "), std::string::npos);
+  EXPECT_TRUE(stats.ends_with("OK name=q cached=0\n")) << stats;
+
+  EXPECT_EQ(client->HandleLine("STATS QUERY nosuch"),
+            "ERR NOT_FOUND: no prepared query named nosuch\n");
+  EXPECT_EQ(client->HandleLine("STATS BOGUS"),
+            "ERR INVALID_ARGUMENT: usage: STATS | STATS KEYS | "
+            "STATS QUERY <name>\n");
+}
+
+TEST(ServerTest, TraceDumpReturnsChromeTraceJson) {
+  Server server;
+  auto client = server.NewClient();
+  ASSERT_EQ(client->HandleLine("SCHEMA LymeDisease/1"), "OK relations=1\n");
+  ASSERT_EQ(client->HandleLine("ONTOLOGY LymeDisease [= Infection"),
+            "OK axioms=1 language=ALC\n");
+  ASSERT_EQ(client->HandleLine("PREPARE q AQ Infection"),
+            "OK plan=datalog_rewriting cached=0 arity=1\n");
+  ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(ann)"),
+            "OK added=1 generation=1\n");
+  client->HandleLine("QUERY q");
+  const std::string dump = client->HandleLine("TRACE DUMP");
+  // Chrome trace-event JSON with the scheduler's serve.task span, tagged
+  // with the minted request id.
+  EXPECT_EQ(dump.rfind("{\"traceEvents\": [", 0), 0u) << dump;
+  EXPECT_NE(dump.find("\"name\": \"serve.task\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(dump.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(dump.find("\"request_id\": 1"), std::string::npos);
+  EXPECT_NE(dump.find("\nOK events="), std::string::npos);
+  EXPECT_EQ(client->HandleLine("TRACE BOGUS"),
+            "ERR INVALID_ARGUMENT: usage: TRACE DUMP\n");
 }
 
 }  // namespace
