@@ -13,6 +13,8 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <set>
+#include <utility>
 #include <string>
 #include <thread>
 #include <vector>
@@ -355,6 +357,114 @@ PhaseCResult PhaseCThroughput() {
   return result;
 }
 
+// --- Phase D: mutation storm — delta patching vs full re-grounding ----------
+
+/// Zipf-like skew for churn targets: min of three uniform draws
+/// concentrates mutations on a small hot set of constants, the way real
+/// update streams concentrate on popular entities.
+int Skewed(obda::base::Rng& rng, int n) {
+  const int a = static_cast<int>(rng.Below(n));
+  const int b = static_cast<int>(rng.Below(n));
+  const int c = static_cast<int>(rng.Below(n));
+  return std::min(a, std::min(b, c));
+}
+
+struct StormResult {
+  double p95_ms = 0;
+  std::uint64_t regrounds = 0;
+  std::uint64_t delta_grounds = 0;
+};
+
+/// Seeds a session with exactly `num_facts` distinct E facts (a stride
+/// pattern over `num_constants` constants) plus a band of L facts, then
+/// drives `storm` single-fact mutations (Zipf-skewed flip of an E fact),
+/// executing the prepared query after each one. Returns the p95 of the
+/// post-mutation Execute latencies.
+StormResult RunMutationStorm(bool enable_delta, int num_constants,
+                             int num_facts, int storm) {
+  auto program = obda::ddlog::ParseProgram(ElSchema(), R"(
+    P0(x) | P1(x) <- adom(x).
+    P1(y) <- P0(x), E(x,y).
+    goal(x) <- P1(x), L(x).
+  )");
+  OBDA_CHECK(program.ok());
+  PrepareOptions options;
+  options.eval.threads = 1;
+  options.eval.enable_delta = enable_delta;
+  auto prepared = PreparedQuery::FromProgram(*program, options);
+  OBDA_CHECK(prepared.ok());
+
+  obda::serve::Session session(ElSchema());
+  auto name = [](int i) { return "c" + std::to_string(i); };
+  std::set<std::pair<int, int>> edges;
+  for (int i = 0; edges.size() < static_cast<std::size_t>(num_facts); ++i) {
+    const int from = i % num_constants;
+    const int to = (i * 7 + i / num_constants) % num_constants;
+    if (!edges.emplace(from, to).second) continue;
+    OBDA_CHECK(*session.Assert(Fact{"E", {name(from), name(to)}}));
+  }
+  for (int i = 0; i < num_constants / 8; ++i) {
+    OBDA_CHECK(session.Assert(Fact{"L", {name(i)}}).ok());
+  }
+
+  // Warm: first Execute pays the cold grounding, outside the timed storm.
+  OBDA_CHECK((*prepared)->Execute(session, RequestBudget{}).ok());
+
+  obda::base::Rng rng(4242);
+  std::vector<double> ms;
+  for (int i = 0; i < storm; ++i) {
+    const int from = Skewed(rng, num_constants);
+    const int to = Skewed(rng, num_constants);
+    const Fact fact{"E", {name(from), name(to)}};
+    if (edges.count({from, to}) != 0) {
+      OBDA_CHECK(*session.Retract(fact));
+      edges.erase({from, to});
+    } else {
+      OBDA_CHECK(*session.Assert(fact));
+      edges.emplace(from, to);
+    }
+    obda::bench::Timer t;
+    auto answers = (*prepared)->Execute(session, RequestBudget{});
+    OBDA_CHECK(answers.ok());
+    ms.push_back(t.Millis());
+  }
+  StormResult result;
+  result.p95_ms = Percentile(ms, 0.95);
+  result.regrounds = (*prepared)->stats().regrounds.load();
+  result.delta_grounds = (*prepared)->stats().delta_grounds.load();
+  return result;
+}
+
+bool PhaseDMutationStorm(double* delta_p95, double* full_p95,
+                         double* speedup) {
+  std::printf("Phase D: Zipf-skewed mutation storm, delta vs full\n");
+  constexpr int kConstants = 400;
+  constexpr int kFacts = 100'000;
+  constexpr int kStorm = 30;
+  const StormResult delta =
+      RunMutationStorm(/*enable_delta=*/true, kConstants, kFacts, kStorm);
+  const StormResult full =
+      RunMutationStorm(/*enable_delta=*/false, kConstants, kFacts, kStorm);
+  *delta_p95 = delta.p95_ms;
+  *full_p95 = full.p95_ms;
+  *speedup = delta.p95_ms > 0 ? full.p95_ms / delta.p95_ms : 0.0;
+  std::printf("  delta p95 %.3f ms (%llu patches, %llu re-grounds), "
+              "full p95 %.3f ms (%llu re-grounds), speedup %.1fx\n",
+              delta.p95_ms,
+              static_cast<unsigned long long>(delta.delta_grounds),
+              static_cast<unsigned long long>(delta.regrounds),
+              full.p95_ms,
+              static_cast<unsigned long long>(full.regrounds),
+              *speedup);
+  // Every mutation must be absorbed incrementally on the delta side and
+  // must force a full re-ground on the control side.
+  const bool ok = *speedup >= 3.0 && delta.regrounds == 0 &&
+                  delta.delta_grounds == kStorm &&
+                  full.regrounds == kStorm;
+  if (!ok) std::printf("  FAILED (need >=3x, all-delta vs all-reground)\n");
+  return ok;
+}
+
 }  // namespace
 
 int main() {
@@ -369,6 +479,9 @@ int main() {
   double hot_p95 = 0, cold_p95 = 0, speedup = 0;
   const bool b_ok = PhaseBLatency(&hot_p95, &cold_p95, &speedup);
   const PhaseCResult c = PhaseCThroughput();
+  double mutation_p95 = 0, mutation_full_p95 = 0, delta_speedup = 0;
+  const bool d_ok =
+      PhaseDMutationStorm(&mutation_p95, &mutation_full_p95, &delta_speedup);
 
   auto& report = obda::bench::Report::Global();
   report.Param("hot_programs", 4LL);
@@ -389,6 +502,9 @@ int main() {
   report.Metric("stats_histograms_ok", c.stats_ok ? 1LL : 0LL);
   report.Metric("cache_hit_rate", c.cache_hit_rate);
   report.Metric("shed_count", c.shed);
-  obda::bench::Footer(a_ok && b_ok && c.ok);
-  return (a_ok && b_ok && c.ok) ? 0 : 1;
+  report.Metric("mutation_p95_ms", mutation_p95);
+  report.Metric("mutation_full_p95_ms", mutation_full_p95);
+  report.Metric("delta_vs_full_speedup", delta_speedup);
+  obda::bench::Footer(a_ok && b_ok && c.ok && d_ok);
+  return (a_ok && b_ok && c.ok && d_ok) ? 0 : 1;
 }

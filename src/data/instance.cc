@@ -49,9 +49,6 @@ bool Instance::AddFact(RelationId rel, std::span<const ConstId> args) {
   OBDA_CHECK_EQ(static_cast<int>(args.size()), schema_.Arity(rel));
   std::vector<ConstId> key(args.begin(), args.end());
   for (ConstId c : key) OBDA_CHECK_LT(c, const_names_.size());
-  auto [it, inserted] = tuple_sets_[rel].insert(key);
-  (void)it;
-  if (!inserted) return false;
   auto& store = tuples_[rel];
   // Arity-0 relations have no flat storage; their single possible tuple is
   // represented by presence in the tuple set, with tuple index 0.
@@ -59,6 +56,9 @@ bool Instance::AddFact(RelationId rel, std::span<const ConstId> args) {
       args.empty() ? 0
                    : static_cast<std::uint32_t>(store.flat.size() /
                                                 args.size());
+  auto [it, inserted] = tuple_sets_[rel].emplace(key, index);
+  (void)it;
+  if (!inserted) return false;
   store.flat.insert(store.flat.end(), args.begin(), args.end());
   // Register the fact once per *distinct* constant in it.
   std::vector<ConstId> seen;
@@ -99,6 +99,83 @@ bool Instance::HasFact(RelationId rel, std::span<const ConstId> args) const {
   OBDA_CHECK_LT(rel, schema_.NumRelations());
   std::vector<ConstId> key(args.begin(), args.end());
   return tuple_sets_[rel].count(key) > 0;
+}
+
+bool Instance::RemoveFact(RelationId rel, std::span<const ConstId> args) {
+  OBDA_CHECK_LT(rel, schema_.NumRelations());
+  OBDA_CHECK_EQ(static_cast<int>(args.size()), schema_.Arity(rel));
+  std::vector<ConstId> key(args.begin(), args.end());
+  auto it = tuple_sets_[rel].find(key);
+  if (it == tuple_sets_[rel].end()) return false;
+  const std::uint32_t index = it->second;
+  const std::size_t arity = args.size();
+  auto& flat = tuples_[rel].flat;
+  // Unregister once per *distinct* constant, mirroring AddFact.
+  std::vector<ConstId> seen;
+  for (ConstId c : key) {
+    if (std::find(seen.begin(), seen.end(), c) != seen.end()) continue;
+    seen.push_back(c);
+    auto& list = facts_of_const_[c];
+    for (auto ref = list.begin(); ref != list.end(); ++ref) {
+      if (ref->relation == rel && ref->tuple_index == index) {
+        list.erase(ref);
+        break;
+      }
+    }
+  }
+  if (arity > 0) {
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(flat.size() / arity) - 1;
+    if (index != last) {
+      // Swap the last tuple into the vacated slot and rebind its refs.
+      std::vector<ConstId> moved(flat.begin() + last * arity,
+                                 flat.begin() + (last + 1) * arity);
+      std::copy(moved.begin(), moved.end(), flat.begin() + index * arity);
+      tuple_sets_[rel].find(moved)->second = index;
+      seen.clear();
+      for (ConstId c : moved) {
+        if (std::find(seen.begin(), seen.end(), c) != seen.end()) continue;
+        seen.push_back(c);
+        for (FactRef& ref : facts_of_const_[c]) {
+          if (ref.relation == rel && ref.tuple_index == last) {
+            ref.tuple_index = index;
+            break;
+          }
+        }
+      }
+    }
+    flat.resize(flat.size() - arity);
+  }
+  tuple_sets_[rel].erase(it);
+  --num_facts_;
+  return true;
+}
+
+bool Instance::RemoveFact(RelationId rel,
+                          std::initializer_list<ConstId> args) {
+  std::vector<ConstId> v(args);
+  return RemoveFact(rel, std::span<const ConstId>(v));
+}
+
+base::Result<bool> Instance::RemoveFactByName(
+    std::string_view relation, const std::vector<std::string>& constants) {
+  auto rel = schema_.FindRelation(relation);
+  if (!rel.has_value()) {
+    return base::NotFoundError("unknown relation " + std::string(relation));
+  }
+  if (schema_.Arity(*rel) != static_cast<int>(constants.size())) {
+    return base::InvalidArgumentError(
+        "arity mismatch for relation " + std::string(relation) + ": got " +
+        std::to_string(constants.size()));
+  }
+  std::vector<ConstId> args;
+  args.reserve(constants.size());
+  for (const auto& c : constants) {
+    auto id = FindConstant(c);
+    if (!id.has_value()) return false;  // unknown constant: fact absent
+    args.push_back(*id);
+  }
+  return RemoveFact(*rel, std::span<const ConstId>(args));
 }
 
 bool Instance::HasFact(RelationId rel,

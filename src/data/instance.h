@@ -69,6 +69,21 @@ class Instance {
   base::Status AddFactByName(std::string_view relation,
                              const std::vector<std::string>& constants);
 
+  /// Removes the fact `rel(args...)`. Returns true if it was present.
+  /// The last tuple of `rel` is swapped into the vacated index, so tuple
+  /// indices (and FactRefs) of other relations are untouched but the
+  /// tuple ORDER within `rel` is not insertion order afterwards —
+  /// enumeration stays deterministic for a deterministic call sequence,
+  /// which is what the engines require. Constants never leave the
+  /// universe (matching AddConstant's append-only interning).
+  bool RemoveFact(RelationId rel, std::span<const ConstId> args);
+  bool RemoveFact(RelationId rel, std::initializer_list<ConstId> args);
+
+  /// Name-based RemoveFact. Unknown relation is an error; an unknown
+  /// constant just means the fact is absent (false).
+  base::Result<bool> RemoveFactByName(
+      std::string_view relation, const std::vector<std::string>& constants);
+
   bool HasFact(RelationId rel, std::span<const ConstId> args) const;
   bool HasFact(RelationId rel, std::initializer_list<ConstId> args) const;
 
@@ -107,7 +122,8 @@ class Instance {
   std::vector<std::string> const_names_;
   std::unordered_map<std::string, ConstId> const_by_name_;
   std::vector<RelationStore> tuples_;
-  std::vector<std::unordered_set<std::vector<ConstId>,
+  /// Tuple -> index into the relation's flat store (0 for arity-0).
+  std::vector<std::unordered_map<std::vector<ConstId>, std::uint32_t,
                                  base::VectorHash<ConstId>>>
       tuple_sets_;
   std::vector<std::vector<FactRef>> facts_of_const_;

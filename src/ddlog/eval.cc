@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <string>
@@ -13,6 +15,7 @@
 #include "base/hash.h"
 #include "base/thread_pool.h"
 #include "obs/metrics.h"
+#include "sat/preprocess.h"
 #include "sat/solver.h"
 
 namespace obda::ddlog {
@@ -23,6 +26,29 @@ using data::ConstId;
 
 /// Key for a ground IDB atom: [pred, arg1, .., argk].
 using AtomKey = std::vector<std::uint32_t>;
+
+/// Sorts by literal code and dedupes; returns false if the clause is a
+/// tautology (x ∨ ¬x). Must agree byte-for-byte with the normalization
+/// sat::Preprocess applies to its input, because the incremental CNF
+/// patch looks its clauses up in an index built from Preprocess output.
+bool NormalizeClause(std::vector<sat::Lit>* lits) {
+  std::sort(lits->begin(), lits->end(),
+            [](sat::Lit a, sat::Lit b) { return a.code < b.code; });
+  lits->erase(std::unique(lits->begin(), lits->end(),
+                          [](sat::Lit a, sat::Lit b) {
+                            return a.code == b.code;
+                          }),
+              lits->end());
+  for (std::size_t i = 1; i < lits->size(); ++i) {
+    if ((*lits)[i].var() == (*lits)[i - 1].var()) return false;
+  }
+  return true;
+}
+
+/// Provenance key tag for "constant c is in the active domain" — the
+/// pseudo-fact a free-variable binding depends on. No real relation can
+/// carry this id.
+constexpr std::uint32_t kAdomTag = 0xffffffffu;
 
 /// Registry handles for the grounder + certain-answer engine.
 struct DdlogCounters {
@@ -43,11 +69,21 @@ struct DdlogCounters {
   /// Join indexes materialized by the grounder (one per distinct
   /// (relation, bound-position pattern) probed during grounding).
   obs::Counter& index_builds = obs::GetCounter("ddlog.index_builds");
+  /// Incremental maintenance: ApplyDelta calls and the firings they
+  /// retracted / emitted against the pinned grounding.
+  obs::Counter& delta_grounds = obs::GetCounter("ddlog.delta_grounds");
+  obs::Counter& delta_clauses_added =
+      obs::GetCounter("ddlog.delta_clauses_added");
+  obs::Counter& delta_clauses_retracted =
+      obs::GetCounter("ddlog.delta_clauses_retracted");
   obs::TimerStat& ground = obs::GetTimer("ddlog.ground");
-  /// Latency distributions: grounding builds and individual SAT probes
-  /// (ddlog.probe counts only probes that ran a Solve, not model-cache
-  /// hits — the cached path is branch-and-load cheap by design).
+  /// Latency distributions: grounding builds, ApplyDelta patches, and
+  /// individual SAT probes (ddlog.probe counts only probes that ran a
+  /// Solve, not model-cache hits — the cached path is branch-and-load
+  /// cheap by design).
   obs::Histogram& ground_hist = obs::GetHistogram("ddlog.ground");
+  obs::Histogram& delta_ground_hist =
+      obs::GetHistogram("ddlog.delta_ground");
   obs::Histogram& probe_hist = obs::GetHistogram("ddlog.probe");
 
   static DdlogCounters& Get() {
@@ -56,15 +92,49 @@ struct DdlogCounters {
   }
 };
 
-/// The immutable product of grounding: every ground clause and the ground
-/// atom -> variable numbering, detached from any solver. Built once per
-/// GroundedQuery; each worker thread loads its own sat::Solver from it, so
-/// the snapshot is shared read-only across the parallel fan-out.
+/// The product of grounding: every ground clause (a rule *firing*), the
+/// ground atom -> variable numbering, and — when delta maintenance is on —
+/// a provenance map from each supporting fact to the firings it supports.
+/// Built once per GroundedQuery and patched in place by ApplyDelta; the
+/// worker solvers never read it directly (they load the preprocessed CNF
+/// derived from it), so mutation is safe between probe batches.
 struct GroundedClauses {
+  struct Firing {
+    std::vector<sat::Lit> lits;
+    /// Sorted, deduplicated fact ids this firing's substitution matched
+    /// (EDB body facts + adom pseudo-facts for free variables). Empty for
+    /// fully-ground rules, which no data change can invalidate.
+    std::vector<std::uint32_t> deps;
+    std::uint64_t hash = 0;
+    bool dead = false;
+  };
+
   std::size_t num_vars = 0;
-  std::vector<std::vector<sat::Lit>> clauses;
+  /// Slot-stable firing store: KillFiring marks a slot dead and recycles
+  /// it through `free_slots`; live firings keep their slot forever.
+  std::vector<Firing> firings;
+  std::vector<std::uint32_t> free_slots;
+  std::size_t num_live = 0;
   std::unordered_map<AtomKey, sat::Var, base::VectorHash<std::uint32_t>>
       atom_vars;
+  bool track_deps = false;
+  /// Interned supporting facts: [rel, args...] for EDB facts,
+  /// [kAdomTag, c] for active-domain constants.
+  std::unordered_map<AtomKey, std::uint32_t, base::VectorHash<std::uint32_t>>
+      fact_ids;
+  /// fact id -> live firing slots it supports (eagerly maintained: a
+  /// killed firing is removed from every list immediately, so entries are
+  /// never stale).
+  std::vector<std::vector<std::uint32_t>> fact_firings;
+  /// Sum of per-firing hashes over live firings — the order-independent
+  /// part of the grounding fingerprint, maintained incrementally.
+  std::uint64_t clause_hash_sum = 0;
+  /// When set (one ApplyDelta pass in raw-CNF mode), KillFiring and
+  /// AddFiring record the clause-level delta so Impl::PatchCnf can patch
+  /// the CNF in O(|delta|) instead of re-deriving it from every firing.
+  bool log_patch = false;
+  std::vector<std::vector<sat::Lit>> killed_lits;
+  std::vector<std::uint32_t> added_slots;
 
   /// The variable of goal atom pred(args), or `fallback` when the atom was
   /// never grounded. An ungrounded goal atom appears in no clause, so any
@@ -79,39 +149,122 @@ struct GroundedClauses {
     auto it = atom_vars.find(key);
     return it == atom_vars.end() ? fallback : it->second;
   }
+
+  static std::uint64_t FiringHash(const std::vector<sat::Lit>& lits) {
+    std::vector<std::uint32_t> codes;
+    codes.reserve(lits.size());
+    for (sat::Lit l : lits) codes.push_back(static_cast<std::uint32_t>(l.code));
+    std::sort(codes.begin(), codes.end());
+    return static_cast<std::uint64_t>(
+        base::HashRange(codes.begin(), codes.end(), codes.size()));
+  }
+
+  std::uint32_t InternFact(const AtomKey& key) {
+    auto it = fact_ids.find(key);
+    if (it != fact_ids.end()) return it->second;
+    const std::uint32_t id = static_cast<std::uint32_t>(fact_firings.size());
+    fact_ids.emplace(key, id);
+    fact_firings.emplace_back();
+    return id;
+  }
+
+  std::uint32_t AddFiring(std::vector<sat::Lit> lits,
+                          std::vector<std::uint32_t> deps) {
+    Firing f;
+    f.hash = FiringHash(lits);
+    f.lits = std::move(lits);
+    f.deps = std::move(deps);
+    std::uint32_t slot;
+    if (!free_slots.empty()) {
+      slot = free_slots.back();
+      free_slots.pop_back();
+      firings[slot] = std::move(f);
+    } else {
+      slot = static_cast<std::uint32_t>(firings.size());
+      firings.push_back(std::move(f));
+    }
+    for (std::uint32_t dep : firings[slot].deps) {
+      fact_firings[dep].push_back(slot);
+    }
+    clause_hash_sum += firings[slot].hash;
+    ++num_live;
+    if (log_patch) added_slots.push_back(slot);
+    return slot;
+  }
+
+  void KillFiring(std::uint32_t slot) {
+    Firing& f = firings[slot];
+    if (f.dead) return;
+    f.dead = true;
+    clause_hash_sum -= f.hash;
+    --num_live;
+    for (std::uint32_t dep : f.deps) {
+      auto& list = fact_firings[dep];
+      auto it = std::find(list.begin(), list.end(), slot);
+      if (it != list.end()) list.erase(it);
+    }
+    if (log_patch) killed_lits.push_back(std::move(f.lits));
+    f.lits.clear();
+    f.lits.shrink_to_fit();
+    f.deps.clear();
+    f.deps.shrink_to_fit();
+    free_slots.push_back(slot);
+  }
 };
 
-/// Instantiates `solver` from the snapshot and appends one spare
-/// unconstrained variable (returned) for probes on ungrounded goal atoms.
-/// Duplicate grounded clauses (distinct rule firings can emit the same
-/// clause, e.g. via symmetric bodies) are fed to the solver only once.
-sat::Var LoadSolver(const GroundedClauses& snapshot, sat::Solver* solver) {
-  for (std::size_t v = 0; v < snapshot.num_vars; ++v) solver->NewVar();
-  std::unordered_set<AtomKey, base::VectorHash<std::uint32_t>> seen;
-  seen.reserve(snapshot.clauses.size());
-  AtomKey key;
-  for (const auto& clause : snapshot.clauses) {
-    key.clear();
-    key.reserve(clause.size());
-    for (sat::Lit l : clause) {
-      key.push_back(static_cast<std::uint32_t>(l.code));
-    }
-    std::sort(key.begin(), key.end());
-    if (!seen.insert(key).second) continue;
-    solver->AddClause(clause);
-  }
-  return solver->NewVar();
-}
+/// How one canonical support slot (an EDB body atom, or a free variable)
+/// may range during a delta grounding pass.
+enum class SlotClass : std::uint8_t {
+  kAll,        // anything in the new instance / new adom
+  kOldOnly,    // only supports that survive from the old instance
+  kAddedOnly,  // only supports introduced by this delta
+};
 
-/// Grounds one program over one instance, emitting into a GroundedClauses
-/// snapshot. Single-threaded; lives only for the duration of Build.
+/// Delta-pass lookup structures, derived once per ApplyDelta.
+struct DeltaCtx {
+  /// rel -> added tuples in delta order (drives kAddedOnly atom slots).
+  std::unordered_map<data::RelationId, std::vector<std::vector<ConstId>>>
+      added_by_rel;
+  /// rel -> set of added arg vectors (filters kOldOnly atom slots).
+  std::unordered_map<data::RelationId,
+                     std::unordered_set<AtomKey,
+                                        base::VectorHash<std::uint32_t>>>
+      added_sets;
+  /// Constants new to the active domain, sorted.
+  std::vector<ConstId> added_consts;
+};
+
+/// Grounds one program over one instance, emitting firings into a
+/// GroundedClauses snapshot. Single-threaded; lives only for the duration
+/// of one Build or ApplyDelta.
+///
+/// Full-build mode enumerates every substitution satisfying the rule's
+/// EDB body in D. Delta mode (non-null `delta`) enumerates exactly the
+/// NEW firings after a fact/constant diff: for each canonical support
+/// slot (EDB atoms in body order, then free variables ascending) it runs
+/// one pass where that slot ranges over *added* supports only, earlier
+/// slots over *surviving* supports only, and later slots over everything —
+/// so a firing with added supports at canonical slots A is emitted in
+/// exactly one pass, the one pivoted at min(A), and firings whose supports
+/// are all old (already present) are never re-emitted.
 struct Grounder {
+  struct PlannedAtom {
+    const Atom* atom = nullptr;
+    /// Index into the rule's EDB atoms in body order (the canonical slot).
+    std::size_t body_index = 0;
+    SlotClass cls = SlotClass::kAll;
+  };
+
   const Program* program = nullptr;
   const data::Instance* instance = nullptr;
   const std::vector<ConstId>* adom = nullptr;
   std::uint64_t max_ground_clauses = 0;
   GroundedClauses* out = nullptr;
-  std::uint64_t clause_count = 0;
+  bool track_deps = false;
+  const DeltaCtx* delta = nullptr;
+  /// Fact ids supporting the current partial substitution (recursion
+  /// path); snapshotted (sorted + deduplicated) into each emitted firing.
+  std::vector<std::uint32_t> dep_stack;
   /// Join indexes, built lazily per (relation, bound-position mask):
   /// packed values at the masked positions -> matching tuple indices.
   /// Keyed by (rel << 32) | mask.
@@ -161,7 +314,7 @@ struct Grounder {
     return v;
   }
 
-  /// Emits the clause for `rule` under the full substitution `sub`.
+  /// Emits the firing for `rule` under the full substitution `sub`.
   void EmitClause(const Rule& rule, const std::vector<ConstId>& sub) {
     std::vector<sat::Lit> clause;
     for (const Atom& a : rule.body) {
@@ -177,88 +330,219 @@ struct Grounder {
       for (VarId v : a.vars) args.push_back(sub[v]);
       clause.push_back(sat::Lit::Pos(VarFor(a.pred, args)));
     }
-    std::size_t head_lits = rule.head.size();
-    out->clauses.push_back(std::move(clause));
-    ++clause_count;
+    const std::size_t head_lits = rule.head.size();
+    std::vector<std::uint32_t> deps;
+    if (track_deps) {
+      deps = dep_stack;
+      std::sort(deps.begin(), deps.end());
+      deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    }
+    out->AddFiring(std::move(clause), std::move(deps));
     DdlogCounters& counters = DdlogCounters::Get();
     counters.rule_firings.Add(1);
     if (head_lits >= 2) counters.disjunctive_branchings.Add(1);
   }
 
-  /// Enumerates substitutions satisfying the rule's EDB body atoms in D,
-  /// free variables ranging over adom. Returns false if the clause budget
-  /// was exceeded.
-  bool GroundRule(const Rule& rule) {
-    const int num_vars = rule.NumVars();
-    std::vector<ConstId> sub(static_cast<std::size_t>(num_vars),
-                             data::kInvalidConst);
-    // EDB atoms drive the join; IDB-only variables are enumerated last.
-    std::vector<const Atom*> edb_atoms;
-    for (const Atom& a : rule.body) {
-      if (program->IsEdb(a.pred)) edb_atoms.push_back(&a);
+  /// Greedy selectivity order over the not-yet-`used` atoms: repeatedly
+  /// pick the atom with the most positions bound by already-ordered atoms
+  /// (ties: smaller relation, so the first pick is the smallest relation).
+  /// Bound positions turn the per-depth scan in GroundEdb into an index
+  /// lookup. The set of enumerated substitutions is order-independent.
+  std::vector<std::size_t> GreedyOrderIdx(
+      const std::vector<const Atom*>& atoms, std::vector<bool> used,
+      std::vector<bool> var_bound) const {
+    std::vector<std::size_t> order;
+    std::size_t remaining = 0;
+    for (std::size_t i = 0; i < used.size(); ++i) {
+      if (!used[i]) ++remaining;
     }
-    // Greedy selectivity order: repeatedly pick the atom with the most
-    // positions bound by already-ordered atoms (ties: smaller relation,
-    // so the first pick is the smallest relation). Bound positions turn
-    // the per-depth scan in GroundEdb into an index lookup. The set of
-    // enumerated substitutions is order-independent.
-    {
-      std::vector<const Atom*> ordered;
-      ordered.reserve(edb_atoms.size());
-      std::vector<bool> used(edb_atoms.size(), false);
-      std::vector<bool> var_bound(static_cast<std::size_t>(num_vars), false);
-      for (std::size_t step = 0; step < edb_atoms.size(); ++step) {
-        std::size_t best = edb_atoms.size();
-        std::size_t best_bound = 0;
-        std::size_t best_tuples = 0;
-        for (std::size_t i = 0; i < edb_atoms.size(); ++i) {
-          if (used[i]) continue;
-          std::size_t bound = 0;
-          for (VarId v : edb_atoms[i]->vars) {
-            if (var_bound[static_cast<std::size_t>(v)]) ++bound;
-          }
-          const std::size_t tuples = instance->NumTuples(edb_atoms[i]->pred);
-          if (best == edb_atoms.size() || bound > best_bound ||
-              (bound == best_bound && tuples < best_tuples)) {
-            best = i;
-            best_bound = bound;
-            best_tuples = tuples;
-          }
+    for (std::size_t step = 0; step < remaining; ++step) {
+      std::size_t best = atoms.size();
+      std::size_t best_bound = 0;
+      std::size_t best_tuples = 0;
+      for (std::size_t i = 0; i < atoms.size(); ++i) {
+        if (used[i]) continue;
+        std::size_t bound = 0;
+        for (VarId v : atoms[i]->vars) {
+          if (var_bound[static_cast<std::size_t>(v)]) ++bound;
         }
-        used[best] = true;
-        ordered.push_back(edb_atoms[best]);
-        for (VarId v : edb_atoms[best]->vars) {
-          var_bound[static_cast<std::size_t>(v)] = true;
+        const std::size_t tuples = instance->NumTuples(atoms[i]->pred);
+        if (best == atoms.size() || bound > best_bound ||
+            (bound == best_bound && tuples < best_tuples)) {
+          best = i;
+          best_bound = bound;
+          best_tuples = tuples;
         }
       }
-      edb_atoms = std::move(ordered);
-    }
-    std::vector<VarId> free_vars;  // vars not bound by any EDB atom
-    {
-      std::vector<bool> in_edb(static_cast<std::size_t>(num_vars), false);
-      for (const Atom* a : edb_atoms) {
-        for (VarId v : a->vars) in_edb[static_cast<std::size_t>(v)] = true;
-      }
-      for (VarId v = 0; v < num_vars; ++v) {
-        if (!in_edb[static_cast<std::size_t>(v)]) free_vars.push_back(v);
+      used[best] = true;
+      order.push_back(best);
+      for (VarId v : atoms[best]->vars) {
+        var_bound[static_cast<std::size_t>(v)] = true;
       }
     }
-    return GroundEdb(rule, edb_atoms, 0, free_vars, &sub);
+    return order;
   }
 
-  bool GroundEdb(const Rule& rule, const std::vector<const Atom*>& edb_atoms,
-                 std::size_t index, const std::vector<VarId>& free_vars,
-                 std::vector<ConstId>* sub) {
-    if (index == edb_atoms.size()) {
-      return GroundFree(rule, free_vars, 0, sub);
+  /// EDB atoms of `rule` in body order (the canonical slot order) and the
+  /// variables bound by none of them (enumerated over adom).
+  static void SplitRule(const Program& program, const Rule& rule,
+                        std::vector<const Atom*>* edb_atoms,
+                        std::vector<VarId>* free_vars) {
+    const int num_vars = rule.NumVars();
+    for (const Atom& a : rule.body) {
+      if (program.IsEdb(a.pred)) edb_atoms->push_back(&a);
     }
-    const Atom& a = *edb_atoms[index];
+    std::vector<bool> in_edb(static_cast<std::size_t>(num_vars), false);
+    for (const Atom* a : *edb_atoms) {
+      for (VarId v : a->vars) in_edb[static_cast<std::size_t>(v)] = true;
+    }
+    for (VarId v = 0; v < num_vars; ++v) {
+      if (!in_edb[static_cast<std::size_t>(v)]) free_vars->push_back(v);
+    }
+  }
+
+  /// Full-build enumeration. Returns false if the clause budget was
+  /// exceeded.
+  bool GroundRule(const Rule& rule) {
+    std::vector<const Atom*> edb_atoms;
+    std::vector<VarId> free_vars;
+    SplitRule(*program, rule, &edb_atoms, &free_vars);
+    std::vector<ConstId> sub(static_cast<std::size_t>(rule.NumVars()),
+                             data::kInvalidConst);
+    std::vector<PlannedAtom> plan;
+    plan.reserve(edb_atoms.size());
+    for (std::size_t i :
+         GreedyOrderIdx(edb_atoms, std::vector<bool>(edb_atoms.size(), false),
+                        std::vector<bool>(sub.size(), false))) {
+      plan.push_back({edb_atoms[i], i, SlotClass::kAll});
+    }
+    const std::vector<SlotClass> free_cls(free_vars.size(), SlotClass::kAll);
+    dep_stack.clear();
+    return GroundEdb(rule, plan, 0, free_vars, free_cls, &sub);
+  }
+
+  /// Delta enumeration: one pass per canonical support slot that can carry
+  /// an added support (see the class comment for the exactly-once
+  /// argument). Returns false if the clause budget was exceeded.
+  bool GroundRuleDelta(const Rule& rule, const DeltaCtx& ctx) {
+    std::vector<const Atom*> edb_atoms;
+    std::vector<VarId> free_vars;
+    SplitRule(*program, rule, &edb_atoms, &free_vars);
+    std::vector<ConstId> sub(static_cast<std::size_t>(rule.NumVars()),
+                             data::kInvalidConst);
+    for (std::size_t pi = 0; pi < edb_atoms.size(); ++pi) {
+      auto it = ctx.added_by_rel.find(edb_atoms[pi]->pred);
+      if (it == ctx.added_by_rel.end() || it->second.empty()) continue;
+      std::vector<PlannedAtom> plan;
+      plan.reserve(edb_atoms.size());
+      plan.push_back({edb_atoms[pi], pi, SlotClass::kAddedOnly});
+      std::vector<bool> used(edb_atoms.size(), false);
+      used[pi] = true;
+      std::vector<bool> var_bound(sub.size(), false);
+      for (VarId v : edb_atoms[pi]->vars) {
+        var_bound[static_cast<std::size_t>(v)] = true;
+      }
+      for (std::size_t i : GreedyOrderIdx(edb_atoms, used, var_bound)) {
+        plan.push_back(
+            {edb_atoms[i], i, i < pi ? SlotClass::kOldOnly : SlotClass::kAll});
+      }
+      const std::vector<SlotClass> free_cls(free_vars.size(), SlotClass::kAll);
+      dep_stack.clear();
+      if (!GroundEdb(rule, plan, 0, free_vars, free_cls, &sub)) return false;
+    }
+    if (!ctx.added_consts.empty()) {
+      for (std::size_t fi = 0; fi < free_vars.size(); ++fi) {
+        std::vector<PlannedAtom> plan;
+        plan.reserve(edb_atoms.size());
+        for (std::size_t i : GreedyOrderIdx(
+                 edb_atoms, std::vector<bool>(edb_atoms.size(), false),
+                 std::vector<bool>(sub.size(), false))) {
+          plan.push_back({edb_atoms[i], i, SlotClass::kOldOnly});
+        }
+        std::vector<SlotClass> free_cls(free_vars.size());
+        for (std::size_t j = 0; j < free_vars.size(); ++j) {
+          free_cls[j] = j < fi ? SlotClass::kOldOnly
+                               : (j == fi ? SlotClass::kAddedOnly
+                                          : SlotClass::kAll);
+        }
+        dep_stack.clear();
+        if (!GroundEdb(rule, plan, 0, free_vars, free_cls, &sub)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Binds `tuple` against atom `a` under the current partial
+  /// substitution, recurses, and restores. `tuple` is any random-access
+  /// range of ConstId. Returns false iff the budget tripped below.
+  template <typename TupleT>
+  bool TryTuple(const Rule& rule, const std::vector<PlannedAtom>& plan,
+                std::size_t index, const Atom& a, const TupleT& tuple,
+                const std::vector<VarId>& free_vars,
+                const std::vector<SlotClass>& free_cls,
+                std::vector<ConstId>* sub) {
+    bool ok = true;
+    std::vector<std::pair<VarId, ConstId>> bound;
+    for (std::size_t p = 0; p < a.vars.size(); ++p) {
+      VarId v = a.vars[p];
+      ConstId cur = (*sub)[static_cast<std::size_t>(v)];
+      if (cur == data::kInvalidConst) {
+        (*sub)[static_cast<std::size_t>(v)] = tuple[p];
+        bound.emplace_back(v, tuple[p]);
+      } else if (cur != tuple[p]) {
+        ok = false;
+        break;
+      }
+    }
+    bool keep_going = true;
+    if (ok) {
+      if (track_deps) {
+        AtomKey key;
+        key.reserve(a.vars.size() + 1);
+        key.push_back(a.pred);
+        for (std::size_t p = 0; p < a.vars.size(); ++p) {
+          key.push_back(tuple[p]);
+        }
+        dep_stack.push_back(out->InternFact(key));
+      }
+      keep_going = GroundEdb(rule, plan, index + 1, free_vars, free_cls, sub);
+      if (track_deps) dep_stack.pop_back();
+    }
+    for (auto& [v, c] : bound) {
+      (void)c;
+      (*sub)[static_cast<std::size_t>(v)] = data::kInvalidConst;
+    }
+    return keep_going;
+  }
+
+  bool GroundEdb(const Rule& rule, const std::vector<PlannedAtom>& plan,
+                 std::size_t index, const std::vector<VarId>& free_vars,
+                 const std::vector<SlotClass>& free_cls,
+                 std::vector<ConstId>* sub) {
+    if (index == plan.size()) {
+      return GroundFree(rule, free_vars, free_cls, 0, sub);
+    }
+    const Atom& a = *plan[index].atom;
     const data::RelationId rel = a.pred;  // EDB ids coincide with schema ids
+    if (plan[index].cls == SlotClass::kAddedOnly) {
+      for (const std::vector<ConstId>& tuple : delta->added_by_rel.at(rel)) {
+        if (!TryTuple(rule, plan, index, a, tuple, free_vars, free_cls, sub)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    const std::unordered_set<AtomKey, base::VectorHash<std::uint32_t>>*
+        skip_added = nullptr;
+    if (plan[index].cls == SlotClass::kOldOnly) {
+      auto it = delta->added_sets.find(rel);
+      if (it != delta->added_sets.end()) skip_added = &it->second;
+    }
     // Probe the join index on the positions already bound by the partial
     // substitution (a variable repeated within this atom is bound by the
-    // check loop below, not the mask). Mask-free atoms fall back to a
-    // full scan; arities beyond the mask width are not expected but kept
-    // correct the same way.
+    // check loop in TryTuple, not the mask). Mask-free atoms fall back to
+    // a full scan; arities beyond the mask width are not expected but
+    // kept correct the same way.
     std::uint32_t mask = 0;
     AtomKey key;
     if (a.vars.size() <= 32) {
@@ -277,46 +561,65 @@ struct Grounder {
     }
     const std::size_t num_candidates =
         candidates ? candidates->size() : instance->NumTuples(rel);
+    AtomKey args;
     for (std::size_t ci = 0; ci < num_candidates; ++ci) {
       const std::uint32_t t =
           candidates ? (*candidates)[ci] : static_cast<std::uint32_t>(ci);
       auto tuple = instance->Tuple(rel, t);
-      bool ok = true;
-      std::vector<std::pair<VarId, ConstId>> bound;
-      for (std::size_t p = 0; p < tuple.size(); ++p) {
-        VarId v = a.vars[p];
-        ConstId cur = (*sub)[static_cast<std::size_t>(v)];
-        if (cur == data::kInvalidConst) {
-          (*sub)[static_cast<std::size_t>(v)] = tuple[p];
-          bound.emplace_back(v, tuple[p]);
-        } else if (cur != tuple[p]) {
-          ok = false;
-          break;
-        }
+      if (skip_added != nullptr) {
+        args.assign(tuple.begin(), tuple.end());
+        if (skip_added->count(args) != 0) continue;  // added, not "old"
       }
-      if (ok && !GroundEdb(rule, edb_atoms, index + 1, free_vars, sub)) {
+      if (!TryTuple(rule, plan, index, a, tuple, free_vars, free_cls, sub)) {
         return false;
-      }
-      for (auto& [v, c] : bound) {
-        (void)c;
-        (*sub)[static_cast<std::size_t>(v)] = data::kInvalidConst;
       }
     }
     return true;
   }
 
   bool GroundFree(const Rule& rule, const std::vector<VarId>& free_vars,
-                  std::size_t index, std::vector<ConstId>* sub) {
+                  const std::vector<SlotClass>& free_cls, std::size_t index,
+                  std::vector<ConstId>* sub) {
     if (index == free_vars.size()) {
-      if (clause_count >= max_ground_clauses) return false;
+      if (out->num_live >= max_ground_clauses) return false;
       EmitClause(rule, *sub);
       return true;
     }
-    for (ConstId c : *adom) {
-      (*sub)[static_cast<std::size_t>(free_vars[index])] = c;
-      if (!GroundFree(rule, free_vars, index + 1, sub)) return false;
+    const VarId fv = free_vars[index];
+    auto try_const = [&](ConstId c) -> bool {
+      (*sub)[static_cast<std::size_t>(fv)] = c;
+      if (track_deps) {
+        AtomKey key{kAdomTag, static_cast<std::uint32_t>(c)};
+        dep_stack.push_back(out->InternFact(key));
+      }
+      const bool keep_going =
+          GroundFree(rule, free_vars, free_cls, index + 1, sub);
+      if (track_deps) dep_stack.pop_back();
+      return keep_going;
+    };
+    switch (free_cls[index]) {
+      case SlotClass::kAddedOnly:
+        for (ConstId c : delta->added_consts) {
+          if (!try_const(c)) return false;
+        }
+        break;
+      case SlotClass::kOldOnly:
+        for (ConstId c : *adom) {
+          if (delta != nullptr &&
+              std::binary_search(delta->added_consts.begin(),
+                                 delta->added_consts.end(), c)) {
+            continue;
+          }
+          if (!try_const(c)) return false;
+        }
+        break;
+      case SlotClass::kAll:
+        for (ConstId c : *adom) {
+          if (!try_const(c)) return false;
+        }
+        break;
     }
-    (*sub)[static_cast<std::size_t>(free_vars[index])] = data::kInvalidConst;
+    (*sub)[static_cast<std::size_t>(fv)] = data::kInvalidConst;
     return true;
   }
 };
@@ -329,44 +632,333 @@ struct GroundedQuery::Impl {
   std::vector<ConstId> adom;
   EvalOptions options;
   GroundingFingerprint fingerprint;
-  /// Immutable after Build; shared read-only by every worker solver.
-  std::shared_ptr<const GroundedClauses> snapshot;
+  std::size_t num_clauses = 0;
+  std::size_t num_atoms = 0;
+  /// The firing store; mutated only by Build/ApplyDelta (never while
+  /// probes run — calls on one GroundedQuery must not overlap in time).
+  std::shared_ptr<GroundedClauses> snapshot;
+
+  /// The preprocessed CNF every solver actually loads: slot-stable clause
+  /// storage so that ApplyDelta's RebuildCnf can express the new CNF as a
+  /// patch (removed slots + added slots) against the previous version,
+  /// and warmed worker solvers can apply the patch instead of rebuilding.
+  struct Cnf {
+    std::vector<std::vector<sat::Lit>> clauses;
+    std::vector<char> live;
+    /// Sorted literal codes -> slot, for live slots only.
+    std::unordered_map<AtomKey, std::uint32_t,
+                       base::VectorHash<std::uint32_t>>
+        index;
+    std::vector<std::uint32_t> free_slots;
+    std::size_t num_vars = 0;
+    std::size_t num_live = 0;
+    /// The preprocessor derived unsatisfiability: no model at all, every
+    /// tuple is a certain answer, and `remapper` must not be consulted.
+    bool unsat = false;
+    sat::Remapper remapper;
+    /// Bumped on every rebuild; worker solvers track the version they
+    /// loaded.
+    std::uint64_t version = 0;
+    /// The patch from version-1 to version, valid only when patch_valid:
+    /// a worker at version-1 removes `patch_removed` slots and adds
+    /// `patch_added` slots to reach version.
+    std::vector<std::uint32_t> patch_removed;
+    std::vector<std::uint32_t> patch_added;
+    bool patch_valid = false;
+    /// True once the CNF is the raw normalized firing set (identity
+    /// remapper, no preprocessor passes). Entered on the first
+    /// ApplyDelta: the preprocessor's dividend belongs to the static
+    /// case, while a churning session needs PatchCnf's O(|delta|) patch —
+    /// re-running subsumption + BVE over the full CNF costs as much as a
+    /// fresh ground and would erase the delta path's advantage.
+    bool raw = false;
+    /// Raw mode only: number of live firings whose normalized clause maps
+    /// to each slot. Distinct firings can normalize to one clause, so a
+    /// slot is retired only when its last supporting firing dies.
+    std::vector<std::uint32_t> refs;
+  };
+  Cnf cnf;
+
   /// Per-slot worker scratch for ComputeCertainAnswers, persistent across
   /// calls so the solvers stay warm (learned clauses and the cached model
   /// survive from one request to the next — the serving layer's hot
   /// path). Guarded by the caller: ComputeCertainAnswers must not run
   /// concurrently with itself on one GroundedQuery.
   struct WorkerState {
-    sat::Solver solver;
+    std::unique_ptr<sat::Solver> solver;
+    /// Removable-clause handle per CNF slot (kInvalidClauseId = absent).
+    std::vector<sat::Solver::ClauseId> handles;
     sat::Var spare = -1;
-    bool loaded = false;
-    /// The last model this worker's solver found, indexed by variable
-    /// (empty until the first kSat). The grounding is immutable, so any
-    /// model found for tuple k is still a model during tuple k+1's
-    /// probe: if it already avoids goal(tuple), it witnesses "not a
-    /// certain answer" with no Solve() at all. This — together with the
-    /// learned clauses the solver keeps across probes — is the
-    /// cross-probe reuse that collapses the per-tuple cost.
+    /// The Cnf::version this solver currently encodes (0 = none).
+    std::uint64_t version = 0;
+    /// The last model this worker's solver found, completed into the
+    /// ORIGINAL variable space (empty until the first kSat). The
+    /// grounding is pinned between deltas, so any model found for tuple k
+    /// is still a model during tuple k+1's probe: if it already avoids
+    /// goal(tuple), it witnesses "not a certain answer" with no Solve()
+    /// at all. This — together with the learned clauses the solver keeps
+    /// across probes — is the cross-probe reuse that collapses the
+    /// per-tuple cost.
     std::vector<char> model;
     std::vector<std::vector<ConstId>> hits;
     std::uint64_t checks = 0;
     std::uint64_t cache_hits = 0;
   };
   std::vector<std::unique_ptr<WorkerState>> worker_states;
+  /// Solver state for the sequential entry points (CertainlyHolds /
+  /// HasModel); the parallel engine never touches it.
+  WorkerState seq_state;
   /// Decisions consumed so far against options.max_decisions — one global
   /// ceiling across every probe from every worker on this grounding.
   std::atomic<std::uint64_t> decisions_used{0};
-  /// Lazily built solver for the sequential entry points
-  /// (CertainlyHolds / HasModel); the parallel engine never touches it.
-  std::unique_ptr<sat::Solver> seq_solver;
-  sat::Var seq_spare = -1;
 
-  sat::Solver& SeqSolver() {
-    if (seq_solver == nullptr) {
-      seq_solver = std::make_unique<sat::Solver>();
-      seq_spare = LoadSolver(*snapshot, seq_solver.get());
+  /// Re-derives the CNF from the live firings and expresses it as a patch
+  /// against the previous CNF version. Run at Build time (full
+  /// preprocessing) and on the first ApplyDelta after a preprocessed
+  /// build (`light` = normalization only, entering raw mode so later
+  /// deltas go through PatchCnf).
+  void RebuildCnf(bool light = false) {
+    const bool first = (cnf.version == 0);
+    const bool prev_unsat = cnf.unsat;
+    const bool no_passes = light || !options.preprocess;
+    std::vector<std::vector<sat::Lit>> input;
+    input.reserve(snapshot->num_live);
+    for (const auto& f : snapshot->firings) {
+      if (!f.dead) input.push_back(f.lits);
     }
-    return *seq_solver;
+    // Goal-atom variables are probed via assumptions, so they must
+    // survive preprocessing verbatim (never pure/BVE-eliminated).
+    std::vector<bool> frozen(snapshot->num_vars, false);
+    const std::uint32_t goal = static_cast<std::uint32_t>(program->goal());
+    for (const auto& [key, var] : snapshot->atom_vars) {
+      if (!key.empty() && key[0] == goal) {
+        frozen[static_cast<std::size_t>(var)] = true;
+      }
+    }
+    sat::PreprocessOptions popts;
+    if (no_passes) {
+      popts.units = false;
+      popts.pure = false;
+      popts.equiv = false;
+      popts.subsumption = false;
+      popts.bve = false;
+    }
+    sat::PreprocessResult result =
+        sat::Preprocess(snapshot->num_vars, input, frozen, popts);
+    ++cnf.version;
+    cnf.num_vars = snapshot->num_vars;
+    cnf.patch_removed.clear();
+    cnf.patch_added.clear();
+    if (result.unsat) {
+      cnf.unsat = true;
+      cnf.clauses.clear();
+      cnf.live.clear();
+      cnf.index.clear();
+      cnf.free_slots.clear();
+      cnf.num_live = 0;
+      cnf.patch_valid = false;
+      cnf.remapper = sat::Remapper();
+      cnf.raw = false;
+      cnf.refs.clear();
+      return;
+    }
+    cnf.unsat = false;
+    cnf.remapper = std::move(result.remapper);
+    // Mark-and-sweep against the previous CNF: clauses already present
+    // keep their slot; new ones take a freed or appended slot; live slots
+    // the preprocessor no longer emits are retired.
+    const std::size_t old_size = cnf.clauses.size();
+    std::vector<char> seen(old_size, 0);
+    AtomKey key;
+    for (auto& clause : result.clauses) {
+      key.clear();
+      key.reserve(clause.size());
+      for (sat::Lit l : clause) {
+        key.push_back(static_cast<std::uint32_t>(l.code));
+      }
+      auto it = cnf.index.find(key);
+      if (it != cnf.index.end()) {
+        seen[it->second] = 1;
+        continue;
+      }
+      std::uint32_t slot;
+      if (!cnf.free_slots.empty()) {
+        slot = cnf.free_slots.back();
+        cnf.free_slots.pop_back();
+        cnf.clauses[slot] = std::move(clause);
+        cnf.live[slot] = 1;
+        if (slot < seen.size()) seen[slot] = 1;
+      } else {
+        slot = static_cast<std::uint32_t>(cnf.clauses.size());
+        cnf.clauses.push_back(std::move(clause));
+        cnf.live.push_back(1);
+        seen.push_back(1);
+      }
+      cnf.index.emplace(key, slot);
+      cnf.patch_added.push_back(slot);
+    }
+    for (std::uint32_t s = 0; s < old_size; ++s) {
+      if (!cnf.live[s] || seen[s]) continue;
+      key.clear();
+      key.reserve(cnf.clauses[s].size());
+      for (sat::Lit l : cnf.clauses[s]) {
+        key.push_back(static_cast<std::uint32_t>(l.code));
+      }
+      cnf.index.erase(key);
+      cnf.live[s] = 0;
+      cnf.clauses[s].clear();
+      cnf.free_slots.push_back(s);
+      cnf.patch_removed.push_back(s);
+    }
+    cnf.num_live = result.clauses.size();
+    cnf.raw = no_passes;
+    if (cnf.raw) {
+      // Seed the per-slot refcounts PatchCnf maintains: every live firing
+      // normalizes into exactly one index slot (Preprocess ran
+      // normalization only, so no clause was dropped beyond tautologies
+      // and duplicates).
+      cnf.refs.assign(cnf.clauses.size(), 0);
+      std::vector<sat::Lit> lits;
+      for (const auto& f : snapshot->firings) {
+        if (f.dead) continue;
+        lits = f.lits;
+        if (!NormalizeClause(&lits)) continue;
+        key.clear();
+        key.reserve(lits.size());
+        for (sat::Lit l : lits) {
+          key.push_back(static_cast<std::uint32_t>(l.code));
+        }
+        auto it = cnf.index.find(key);
+        if (it != cnf.index.end()) ++cnf.refs[it->second];
+      }
+    } else {
+      cnf.refs.clear();
+    }
+    // A patch bigger than half the CNF costs more to apply (learned-state
+    // purge + churn) than a fresh load; workers then rebuild instead.
+    const std::size_t patch_size =
+        cnf.patch_added.size() + cnf.patch_removed.size();
+    cnf.patch_valid = !first && !prev_unsat &&
+                      patch_size * 2 <= std::max<std::size_t>(32,
+                                                              cnf.num_live);
+  }
+
+  /// O(|delta|) CNF patch, raw mode only: refcounts the normalized
+  /// clause of every firing the ApplyDelta pass killed or added, so a
+  /// slot is retired/allocated only on last-kill/first-add. Returns
+  /// false on the cases only the full rebuild handles (an empty clause,
+  /// which means unsat, or a refcount miss) — the caller then falls back
+  /// to RebuildCnf(/*light=*/true).
+  bool PatchCnf(const std::vector<std::vector<sat::Lit>>& killed,
+                const std::vector<std::uint32_t>& added) {
+    OBDA_CHECK(cnf.raw && !cnf.unsat);
+    ++cnf.version;
+    cnf.patch_removed.clear();
+    cnf.patch_added.clear();
+    cnf.num_vars = snapshot->num_vars;
+    if (cnf.remapper.num_vars() < cnf.num_vars) {
+      cnf.remapper = sat::Remapper(cnf.num_vars);
+    }
+    AtomKey key;
+    std::vector<sat::Lit> lits;
+    auto make_key = [&key](const std::vector<sat::Lit>& ls) {
+      key.clear();
+      key.reserve(ls.size());
+      for (sat::Lit l : ls) key.push_back(static_cast<std::uint32_t>(l.code));
+    };
+    for (const auto& raw_lits : killed) {
+      lits = raw_lits;
+      if (!NormalizeClause(&lits)) continue;  // tautologies never had slots
+      make_key(lits);
+      auto it = cnf.index.find(key);
+      if (it == cnf.index.end() || cnf.refs[it->second] == 0) return false;
+      const std::uint32_t slot = it->second;
+      if (--cnf.refs[slot] == 0) {
+        cnf.index.erase(it);
+        cnf.live[slot] = 0;
+        cnf.clauses[slot].clear();
+        cnf.free_slots.push_back(slot);
+        cnf.patch_removed.push_back(slot);
+        --cnf.num_live;
+      }
+    }
+    for (std::uint32_t fslot : added) {
+      const GroundedClauses::Firing& f = snapshot->firings[fslot];
+      if (f.dead) continue;
+      lits = f.lits;
+      if (!NormalizeClause(&lits)) continue;
+      if (lits.empty()) return false;  // unsat: needs the full rebuild
+      make_key(lits);
+      auto it = cnf.index.find(key);
+      if (it != cnf.index.end()) {
+        ++cnf.refs[it->second];
+        continue;
+      }
+      std::uint32_t slot;
+      if (!cnf.free_slots.empty()) {
+        slot = cnf.free_slots.back();
+        cnf.free_slots.pop_back();
+        cnf.clauses[slot] = std::move(lits);
+        cnf.live[slot] = 1;
+      } else {
+        slot = static_cast<std::uint32_t>(cnf.clauses.size());
+        cnf.clauses.push_back(std::move(lits));
+        cnf.live.push_back(1);
+        cnf.refs.push_back(0);
+      }
+      cnf.refs[slot] = 1;
+      cnf.index.emplace(key, slot);
+      cnf.patch_added.push_back(slot);
+      ++cnf.num_live;
+    }
+    const std::size_t patch_size =
+        cnf.patch_added.size() + cnf.patch_removed.size();
+    cnf.patch_valid = patch_size * 2 <= std::max<std::size_t>(32,
+                                                              cnf.num_live);
+    return true;
+  }
+
+  /// Brings `ws`'s solver in line with the current CNF version: a no-op
+  /// when already there, an incremental patch when the worker is exactly
+  /// one version behind and the patch is small, a fresh load otherwise.
+  /// The spare probe variable is pinned at index cnf.num_vars, so growing
+  /// the variable space turns the old spare into the first new atom
+  /// variable — sound, because an unconstrained variable has no footprint
+  /// in the solver (no clause, no learned clause, no saved phase that
+  /// matters).
+  void SyncWorker(WorkerState& ws) {
+    if (ws.solver != nullptr && ws.version == cnf.version) return;
+    OBDA_CHECK(!cnf.unsat);  // callers short-circuit the unsat CNF
+    if (ws.solver != nullptr && cnf.patch_valid &&
+        ws.version + 1 == cnf.version) {
+      sat::Solver& s = *ws.solver;
+      while (s.NumVars() < cnf.num_vars + 1) s.NewVar();
+      ws.spare = static_cast<sat::Var>(cnf.num_vars);
+      if (ws.handles.size() < cnf.clauses.size()) {
+        ws.handles.resize(cnf.clauses.size(), sat::Solver::kInvalidClauseId);
+      }
+      for (std::uint32_t slot : cnf.patch_removed) {
+        if (ws.handles[slot] != sat::Solver::kInvalidClauseId) {
+          s.RemoveClause(ws.handles[slot]);
+          ws.handles[slot] = sat::Solver::kInvalidClauseId;
+        }
+      }
+      for (std::uint32_t slot : cnf.patch_added) {
+        ws.handles[slot] = s.AddRemovableClause(cnf.clauses[slot]);
+      }
+    } else {
+      ws.solver = std::make_unique<sat::Solver>();
+      for (std::size_t v = 0; v < cnf.num_vars; ++v) ws.solver->NewVar();
+      ws.spare = ws.solver->NewVar();
+      ws.handles.assign(cnf.clauses.size(), sat::Solver::kInvalidClauseId);
+      for (std::size_t s = 0; s < cnf.clauses.size(); ++s) {
+        if (cnf.live[s]) {
+          ws.handles[s] = ws.solver->AddRemovableClause(cnf.clauses[s]);
+        }
+      }
+    }
+    ws.model.clear();
+    ws.version = cnf.version;
   }
 
   base::Status BudgetError() const {
@@ -397,6 +989,58 @@ struct GroundedQuery::Impl {
     if (outcome == sat::SatOutcome::kBudget) return BudgetError();
     return outcome;
   }
+
+  /// One co-NP probe on a synced worker: is goal_var true in every model?
+  /// Routes the ¬goal assumption through the preprocessor's remapper (a
+  /// root-fixed goal may answer without any Solve) and, on kSat, caches
+  /// the model completed back into the original variable space. Callers
+  /// must have short-circuited cnf.unsat and run SyncWorker.
+  base::Result<bool> ProbeTuple(WorkerState& ws, sat::Var goal_var) {
+    std::vector<sat::Lit> assumptions;
+    if (goal_var != ws.spare &&
+        static_cast<std::size_t>(goal_var) < cnf.remapper.num_vars()) {
+      const sat::Remapper::MappedLit mapped =
+          cnf.remapper.MapLit(sat::Lit::Neg(goal_var));
+      if (mapped.kind == sat::Remapper::MappedLit::Kind::kFalse) {
+        // ¬goal is false at root level: goal holds in every model (and
+        // vacuously when none exists) — certain without a Solve.
+        return true;
+      }
+      if (mapped.kind == sat::Remapper::MappedLit::Kind::kLit) {
+        assumptions.push_back(mapped.lit);
+      }
+      // kTrue: goal is root-fixed false, so it is certain iff the theory
+      // is unsatisfiable — solve with no assumptions.
+    } else {
+      // The spare (or an out-of-snapshot) variable is unconstrained and
+      // bypasses the remapper by construction.
+      assumptions.push_back(sat::Lit::Neg(goal_var));
+    }
+    const bool timed = obs::MetricsEnabled();
+    const auto probe_start = timed ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point();
+    auto outcome = BudgetedSolve(*ws.solver, assumptions);
+    if (timed) {
+      DdlogCounters::Get().probe_hist.Record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - probe_start)
+              .count()));
+    }
+    if (!outcome.ok()) return outcome.status();
+    // No model avoiding goal(tuple) => certain answer.
+    if (*outcome == sat::SatOutcome::kUnsat) return true;
+    const std::size_t num_vars = ws.solver->NumVars();
+    ws.model.assign(num_vars, 0);
+    for (std::size_t v = 0; v < num_vars; ++v) {
+      ws.model[v] = ws.solver->ModelValue(static_cast<sat::Var>(v)) ? 1 : 0;
+    }
+    // The solver's model covers the SIMPLIFIED CNF; eliminated/fixed/
+    // substituted variables carry arbitrary values until completed. The
+    // cached-model skip reads original-space goal variables, so complete
+    // before caching.
+    cnf.remapper.CompleteModel(&ws.model);
+    return false;
+  }
 };
 
 base::Result<GroundedQuery> GroundedQuery::Build(
@@ -419,12 +1063,14 @@ base::Result<GroundedQuery> GroundedQuery::Build(
   q.impl_->adom = instance.ActiveDomain();
 
   auto snapshot = std::make_shared<GroundedClauses>();
+  snapshot->track_deps = options.enable_delta;
   Grounder grounder;
   grounder.program = &program;
   grounder.instance = &instance;
   grounder.adom = &q.impl_->adom;
   grounder.max_ground_clauses = options.max_ground_clauses;
   grounder.out = snapshot.get();
+  grounder.track_deps = snapshot->track_deps;
   for (const Rule& rule : program.rules()) {
     if (!grounder.GroundRule(rule)) {
       return base::ResourceExhaustedError(
@@ -433,35 +1079,160 @@ base::Result<GroundedQuery> GroundedQuery::Build(
     }
   }
   q.impl_->snapshot = std::move(snapshot);
-  q.num_clauses_ = grounder.clause_count;
-  q.num_atoms_ = q.impl_->snapshot->atom_vars.size();
+  q.impl_->num_clauses = q.impl_->snapshot->num_live;
+  q.impl_->num_atoms = q.impl_->snapshot->atom_vars.size();
   {
     // Order-independent clause hash: grounding emission order is already
     // deterministic, but the fingerprint should identify the *set* of
-    // ground clauses, so each clause is hashed sorted and the clause
-    // hashes are summed.
+    // ground clauses, so each firing is hashed sorted and the hashes are
+    // summed (maintained incrementally across ApplyDelta).
     GroundingFingerprint& fp = q.impl_->fingerprint;
-    fp.num_clauses = q.num_clauses_;
-    fp.num_atoms = q.num_atoms_;
+    fp.num_clauses = q.impl_->num_clauses;
+    fp.num_atoms = q.impl_->num_atoms;
     fp.num_vars = q.impl_->snapshot->num_vars;
-    std::uint64_t sum = 0;
-    std::vector<std::uint32_t> codes;
-    for (const auto& clause : q.impl_->snapshot->clauses) {
-      codes.clear();
-      for (sat::Lit l : clause) {
-        codes.push_back(static_cast<std::uint32_t>(l.code));
-      }
-      std::sort(codes.begin(), codes.end());
-      sum += static_cast<std::uint64_t>(
-          base::HashRange(codes.begin(), codes.end(), codes.size()));
-    }
-    fp.hash = sum ^ (fp.num_clauses << 32) ^ fp.num_vars;
+    fp.hash = q.impl_->snapshot->clause_hash_sum ^ (fp.num_clauses << 32) ^
+              fp.num_vars;
   }
+  q.impl_->RebuildCnf();
   return q;
+}
+
+base::Status GroundedQuery::ApplyDelta(const data::Instance& new_instance,
+                                       const InstanceDelta& delta) {
+  Impl& impl = *impl_;
+  if (!impl.options.enable_delta) {
+    return base::InvalidArgumentError(
+        "ApplyDelta requires EvalOptions::enable_delta at Build time");
+  }
+  DdlogCounters& counters = DdlogCounters::Get();
+  obs::TraceSpan span("ddlog.delta_ground");
+  const bool timed = obs::MetricsEnabled();
+  const auto start = timed ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point();
+  GroundedClauses& snapshot = *impl.snapshot;
+  const std::size_t live_before = snapshot.num_live;
+  // In raw-CNF mode the pass records its clause-level delta so the CNF
+  // can be patched in O(|delta|); a preprocessed CNF (the state right
+  // after Build) cannot be patched with raw clauses — its first delta
+  // rebuilds once into raw mode below.
+  const bool patchable = impl.cnf.raw && !impl.cnf.unsat;
+  snapshot.log_patch = patchable;
+  snapshot.killed_lits.clear();
+  snapshot.added_slots.clear();
+
+  std::vector<ConstId> new_adom = new_instance.ActiveDomain();
+  std::vector<ConstId> added_consts;
+  std::vector<ConstId> removed_consts;
+  std::set_difference(new_adom.begin(), new_adom.end(), impl.adom.begin(),
+                      impl.adom.end(), std::back_inserter(added_consts));
+  std::set_difference(impl.adom.begin(), impl.adom.end(), new_adom.begin(),
+                      new_adom.end(), std::back_inserter(removed_consts));
+
+  // Retract exactly the firings whose provenance includes a removed fact
+  // or a constant that left the active domain. KillFiring prunes the slot
+  // out of every other dep's list, so iterate over a pre-kill copy.
+  auto kill_for_key = [&snapshot](const AtomKey& key) {
+    auto it = snapshot.fact_ids.find(key);
+    if (it == snapshot.fact_ids.end()) return;
+    const std::vector<std::uint32_t> victims =
+        snapshot.fact_firings[it->second];
+    for (std::uint32_t slot : victims) snapshot.KillFiring(slot);
+  };
+  AtomKey key;
+  for (const auto& fc : delta.removed) {
+    key.clear();
+    key.reserve(fc.args.size() + 1);
+    key.push_back(fc.relation);
+    for (ConstId c : fc.args) key.push_back(c);
+    kill_for_key(key);
+  }
+  for (ConstId c : removed_consts) {
+    key.assign({kAdomTag, static_cast<std::uint32_t>(c)});
+    kill_for_key(key);
+  }
+  const std::size_t retracted = live_before - snapshot.num_live;
+
+  // Rebind to the new instance before the delta joins (they enumerate its
+  // tuples and its active domain).
+  impl.instance = &new_instance;
+  impl.adom = std::move(new_adom);
+
+  DeltaCtx ctx;
+  for (const auto& fc : delta.added) {
+    ctx.added_by_rel[fc.relation].push_back(fc.args);
+    AtomKey args;
+    args.reserve(fc.args.size());
+    for (ConstId c : fc.args) args.push_back(c);
+    ctx.added_sets[fc.relation].insert(std::move(args));
+  }
+  ctx.added_consts = std::move(added_consts);
+
+  Grounder grounder;
+  grounder.program = impl.program;
+  grounder.instance = &new_instance;
+  grounder.adom = &impl.adom;
+  grounder.max_ground_clauses = impl.options.max_ground_clauses;
+  grounder.out = &snapshot;
+  grounder.track_deps = true;
+  grounder.delta = &ctx;
+  for (const Rule& rule : impl.program->rules()) {
+    if (!grounder.GroundRuleDelta(rule, ctx)) {
+      snapshot.log_patch = false;
+      snapshot.killed_lits.clear();
+      snapshot.added_slots.clear();
+      return base::ResourceExhaustedError(
+          "ground clause budget exceeded (max_ground_clauses=" +
+          std::to_string(impl.options.max_ground_clauses) + ")");
+    }
+  }
+  const std::size_t added_firings =
+      snapshot.num_live - (live_before - retracted);
+
+  impl.num_clauses = snapshot.num_live;
+  impl.num_atoms = snapshot.atom_vars.size();
+  impl.fingerprint.num_clauses = impl.num_clauses;
+  impl.fingerprint.num_atoms = impl.num_atoms;
+  impl.fingerprint.num_vars = snapshot.num_vars;
+  impl.fingerprint.hash = snapshot.clause_hash_sum ^
+                          (impl.fingerprint.num_clauses << 32) ^
+                          impl.fingerprint.num_vars;
+  // A delta that touched no firing leaves the CNF (and every warmed
+  // solver) exactly as-is. One that did is patched in O(|delta|) when the
+  // CNF is already raw; otherwise (first delta after a preprocessed
+  // Build, or a CNF the preprocessor proved unsat) this rebuild is the
+  // one-time O(n) conversion into raw mode.
+  if (retracted != 0 || added_firings != 0) {
+    const bool patched =
+        patchable &&
+        impl.PatchCnf(snapshot.killed_lits, snapshot.added_slots);
+    if (!patched) impl.RebuildCnf(/*light=*/true);
+  }
+  snapshot.log_patch = false;
+  snapshot.killed_lits.clear();
+  snapshot.added_slots.clear();
+
+  counters.delta_grounds.Add(1);
+  counters.delta_clauses_retracted.Add(retracted);
+  counters.delta_clauses_added.Add(added_firings);
+  if (timed) {
+    counters.delta_ground_hist.Record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  }
+  return base::Status::Ok();
 }
 
 const GroundingFingerprint& GroundedQuery::Fingerprint() const {
   return impl_->fingerprint;
+}
+
+std::size_t GroundedQuery::num_ground_clauses() const {
+  return impl_->num_clauses;
+}
+
+std::size_t GroundedQuery::num_ground_atoms() const {
+  return impl_->num_atoms;
 }
 
 void GroundedQuery::ResetDecisionBudget(std::uint64_t max_decisions) {
@@ -475,22 +1246,11 @@ base::Result<bool> GroundedQuery::CertainlyHolds(
   Impl& impl = *impl_;
   OBDA_CHECK_EQ(static_cast<int>(tuple.size()),
                 impl.program->QueryArity());
-  sat::Solver& solver = impl.SeqSolver();
+  if (impl.cnf.unsat) return true;  // no model at all => vacuously certain
+  impl.SyncWorker(impl.seq_state);
   sat::Var goal_var = impl.snapshot->GoalVar(impl.program->goal(), tuple,
-                                             impl.seq_spare);
-  const bool timed = obs::MetricsEnabled();
-  const auto probe_start = timed ? std::chrono::steady_clock::now()
-                                 : std::chrono::steady_clock::time_point();
-  auto outcome = impl.BudgetedSolve(solver, {sat::Lit::Neg(goal_var)});
-  if (timed) {
-    DdlogCounters::Get().probe_hist.Record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - probe_start)
-            .count()));
-  }
-  if (!outcome.ok()) return outcome.status();
-  // No model avoiding goal(tuple) => certain answer.
-  return *outcome == sat::SatOutcome::kUnsat;
+                                             impl.seq_state.spare);
+  return impl.ProbeTuple(impl.seq_state, goal_var);
 }
 
 const std::vector<ConstId>& GroundedQuery::ActiveDomain() const {
@@ -499,7 +1259,9 @@ const std::vector<ConstId>& GroundedQuery::ActiveDomain() const {
 
 base::Result<bool> GroundedQuery::HasModel() {
   Impl& impl = *impl_;
-  auto outcome = impl.BudgetedSolve(impl.SeqSolver(), {});
+  if (impl.cnf.unsat) return false;
+  impl.SyncWorker(impl.seq_state);
+  auto outcome = impl.BudgetedSolve(*impl.seq_state.solver, {});
   if (!outcome.ok()) return outcome.status();
   return *outcome == sat::SatOutcome::kSat;
 }
@@ -507,42 +1269,96 @@ base::Result<bool> GroundedQuery::HasModel() {
 base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
   Impl& impl = *impl_;
   Answers answers;
-  auto has_model = HasModel();
-  if (!has_model.ok()) return has_model.status();
-  answers.inconsistent = !*has_model;
-
   const int arity = impl.program->QueryArity();
-  if (arity == 0) {
-    auto holds = CertainlyHolds({});
-    if (!holds.ok()) return holds.status();
-    if (*holds) answers.tuples.emplace_back();
-    return answers;
-  }
   const std::vector<ConstId>& adom = impl.adom;
-  if (adom.empty()) return answers;
 
   // Candidate tuples are the flat indices of adom^arity in mixed radix,
   // most significant position first — index order IS lexicographic tuple
   // order over adom's ordering.
   const std::uint64_t radix = adom.size();
   std::uint64_t total = 1;
-  for (int i = 0; i < arity; ++i) {
-    if (total > std::numeric_limits<std::uint64_t>::max() / radix) {
-      return base::ResourceExhaustedError(
-          "candidate tuple space exceeds 2^64");
+  if (arity > 0) {
+    if (adom.empty()) {
+      total = 0;
+    } else {
+      for (int i = 0; i < arity; ++i) {
+        if (total > std::numeric_limits<std::uint64_t>::max() / radix) {
+          return base::ResourceExhaustedError(
+              "candidate tuple space exceeds 2^64");
+        }
+        total *= radix;
+      }
     }
-    total *= radix;
   }
+  auto decode = [&](std::uint64_t flat, std::vector<ConstId>* tuple) {
+    std::uint64_t rest = flat;
+    for (int i = arity - 1; i >= 0; --i) {
+      (*tuple)[static_cast<std::size_t>(i)] = adom[rest % radix];
+      rest /= radix;
+    }
+  };
+  // Inconsistent data: every tuple is a certain answer (paper semantics);
+  // enumerate them all without probing.
+  auto fill_all = [&]() {
+    if (arity == 0) {
+      answers.tuples.emplace_back();
+      return;
+    }
+    std::vector<ConstId> tuple(static_cast<std::size_t>(arity));
+    for (std::uint64_t flat = 0; flat < total; ++flat) {
+      decode(flat, &tuple);
+      answers.tuples.push_back(tuple);
+    }
+  };
+
+  if (impl.cnf.unsat) {
+    answers.inconsistent = true;
+    fill_all();
+    return answers;
+  }
+  // Consistency check on worker 0's solver — warms it (and its model
+  // cache) for the fan-out below.
+  if (impl.worker_states.empty()) {
+    impl.worker_states.push_back(std::make_unique<Impl::WorkerState>());
+  }
+  Impl::WorkerState& ws0 = *impl.worker_states[0];
+  impl.SyncWorker(ws0);
+  auto has_model = impl.BudgetedSolve(*ws0.solver, {});
+  if (!has_model.ok()) return has_model.status();
+  if (*has_model == sat::SatOutcome::kUnsat) {
+    answers.inconsistent = true;
+    fill_all();
+    return answers;
+  }
+  {
+    const std::size_t num_vars = ws0.solver->NumVars();
+    ws0.model.assign(num_vars, 0);
+    for (std::size_t v = 0; v < num_vars; ++v) {
+      ws0.model[v] = ws0.solver->ModelValue(static_cast<sat::Var>(v)) ? 1 : 0;
+    }
+    impl.cnf.remapper.CompleteModel(&ws0.model);
+  }
+
+  const PredId goal = impl.program->goal();
+  if (arity == 0) {
+    DdlogCounters::Get().certain_checks.Add(1);
+    auto holds =
+        impl.ProbeTuple(ws0, impl.snapshot->GoalVar(goal, {}, ws0.spare));
+    if (!holds.ok()) return holds.status();
+    if (*holds) answers.tuples.emplace_back();
+    return answers;
+  }
+  if (adom.empty()) return answers;
 
   std::unique_ptr<base::ThreadPool> owned;
   base::ThreadPool& pool = base::ResolvePool(impl.options.threads, &owned);
   const int slots = pool.threads();
 
-  // Per-slot scratch: a private solver over the shared snapshot, hit
-  // tuples, and a local probe count. Slots never share, so the probe loop
-  // runs lock-free; everything merges after the join. The states (and so
-  // each slot's warmed solver) live in the Impl and are reused by later
-  // calls on this grounding.
+  // Per-slot scratch: a private solver over the shared CNF, hit tuples,
+  // and a local probe count. Slots never share, so the probe loop runs
+  // lock-free; everything merges after the join. The states (and so each
+  // slot's warmed solver) live in the Impl and are reused by later calls
+  // on this grounding.
   while (impl.worker_states.size() < static_cast<std::size_t>(slots)) {
     impl.worker_states.push_back(std::make_unique<Impl::WorkerState>());
   }
@@ -552,24 +1368,16 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
     ws->cache_hits = 0;
   }
   const GroundedClauses& snapshot = *impl.snapshot;
-  const PredId goal = impl.program->goal();
 
   base::Status status = pool.ParallelFor(
       total, /*min_chunk=*/1,
       [&](std::uint64_t begin, std::uint64_t end, int slot) -> base::Status {
         Impl::WorkerState& ws =
             *impl.worker_states[static_cast<std::size_t>(slot)];
-        if (!ws.loaded) {
-          ws.spare = LoadSolver(snapshot, &ws.solver);
-          ws.loaded = true;
-        }
+        impl.SyncWorker(ws);
         std::vector<ConstId> tuple(static_cast<std::size_t>(arity));
         for (std::uint64_t flat = begin; flat < end; ++flat) {
-          std::uint64_t rest = flat;
-          for (int i = arity - 1; i >= 0; --i) {
-            tuple[static_cast<std::size_t>(i)] = adom[rest % radix];
-            rest /= radix;
-          }
+          decode(flat, &tuple);
           ++ws.checks;
           sat::Var goal_var = snapshot.GoalVar(goal, tuple, ws.spare);
           if (!ws.model.empty() &&
@@ -577,30 +1385,9 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
             ++ws.cache_hits;  // cached model already avoids goal(tuple)
             continue;
           }
-          const bool timed = obs::MetricsEnabled();
-          const auto probe_start = timed
-                                       ? std::chrono::steady_clock::now()
-                                       : std::chrono::steady_clock::time_point();
-          auto outcome =
-              impl.BudgetedSolve(ws.solver, {sat::Lit::Neg(goal_var)});
-          if (timed) {
-            DdlogCounters::Get().probe_hist.Record(
-                static_cast<std::uint64_t>(
-                    std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now() - probe_start)
-                        .count()));
-          }
-          if (!outcome.ok()) return outcome.status();
-          if (*outcome == sat::SatOutcome::kUnsat) {
-            ws.hits.push_back(tuple);
-          } else {
-            const std::size_t num_vars = ws.solver.NumVars();
-            ws.model.resize(num_vars);
-            for (std::size_t v = 0; v < num_vars; ++v) {
-              ws.model[v] =
-                  ws.solver.ModelValue(static_cast<sat::Var>(v)) ? 1 : 0;
-            }
-          }
+          auto certain = impl.ProbeTuple(ws, goal_var);
+          if (!certain.ok()) return certain.status();
+          if (*certain) ws.hits.push_back(tuple);
         }
         return base::Status::Ok();
       });

@@ -26,6 +26,16 @@ struct EvalOptions {
   /// hardware_concurrency, N > 1 = a dedicated pool of N workers.
   /// Answers are bit-identical for every value.
   int threads = 0;
+  /// Run the snapshot-time SAT preprocessor (unit/pure propagation,
+  /// equivalent-literal substitution, subsumption + self-subsumption,
+  /// bounded variable elimination) over the ground clauses before the
+  /// probe fan-out. Answers are bit-identical either way; only the work
+  /// per probe changes.
+  bool preprocess = true;
+  /// Track clause provenance (firing -> supporting facts) at grounding
+  /// time so ApplyDelta can patch the grounding incrementally instead of
+  /// re-grounding from scratch.
+  bool enable_delta = true;
 };
 
 /// The answers to a DDlog query on an instance: all tuples a over
@@ -42,6 +52,9 @@ struct Answers {
 /// order-independent hash of the ground clauses. Two Builds of the same
 /// (program, instance) pair produce equal fingerprints; the serving layer
 /// and tests use this to assert that unchanged data never re-grounds.
+/// (A delta-patched grounding and a fresh Build of the same instance agree
+/// on the clause *multiset* but may number variables differently, so their
+/// fingerprints are not comparable across the two construction paths.)
 struct GroundingFingerprint {
   std::uint64_t num_clauses = 0;
   std::uint64_t num_atoms = 0;
@@ -51,14 +64,30 @@ struct GroundingFingerprint {
   bool operator==(const GroundingFingerprint&) const = default;
 };
 
+/// A fact-level diff between two instances over the SAME constant
+/// interning (ConstIds must mean the same constants on both sides).
+/// `added` and `removed` must be disjoint net changes: no fact appears in
+/// both, every `removed` fact exists in the old instance, and every
+/// `added` fact exists in the new one.
+struct InstanceDelta {
+  struct FactChange {
+    data::RelationId relation = 0;
+    std::vector<data::ConstId> args;
+  };
+  std::vector<FactChange> added;
+  std::vector<FactChange> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
 /// A grounded program over a fixed instance, reusable across candidate
 /// tuples. Grounding materializes, for each rule and each substitution
 /// whose EDB body atoms hold in D, a propositional clause over ground IDB
 /// atoms (the minimal-extension argument in DESIGN.md justifies restricting
 /// models to EDB = D and domain = adom(D)). The clauses and ground-atom
-/// ids live in one immutable snapshot built at Build time; every worker
-/// thread of the parallel engine instantiates its own sat::Solver from
-/// that shared snapshot.
+/// ids live in one snapshot built at Build time and patched in place by
+/// ApplyDelta; every worker thread of the parallel engine instantiates its
+/// own sat::Solver from that shared snapshot.
 class GroundedQuery {
  public:
   /// An empty handle: assign a Build result before use. (Copies share the
@@ -73,6 +102,23 @@ class GroundedQuery {
                                            const data::Instance& instance,
                                            const EvalOptions& options =
                                                EvalOptions());
+
+  /// Patches this grounding in place so it is equivalent to
+  /// Build(program, new_instance): firings supported by a removed fact
+  /// (or by an active-domain constant that disappeared) are retracted via
+  /// the provenance map, and the new instance's delta joins emit exactly
+  /// the firings that use at least one added fact or constant. Warmed
+  /// worker solvers are patched incrementally on their next use. Answers
+  /// after ApplyDelta are bit-identical to a fresh Build at every thread
+  /// count.
+  ///
+  /// Requires Build-time options.enable_delta. `new_instance` must share
+  /// the old instance's constant interning and must outlive this object;
+  /// `delta` must be the exact net fact diff (see InstanceDelta). On
+  /// error the grounding is left in an unspecified state and must be
+  /// discarded (the serving layer falls back to a full Build).
+  base::Status ApplyDelta(const data::Instance& new_instance,
+                          const InstanceDelta& delta);
 
   /// Decides whether goal(`tuple`) holds in every model (co-NP check via
   /// one SAT call assuming ¬goal(tuple)). Sequential; decisions count
@@ -93,13 +139,15 @@ class GroundedQuery {
   base::Result<Answers> ComputeCertainAnswers();
 
   /// The active domain of the grounded instance, computed once at Build
-  /// time and shared with callers enumerating candidate tuples.
+  /// time (and refreshed by ApplyDelta) and shared with callers
+  /// enumerating candidate tuples.
   const std::vector<data::ConstId>& ActiveDomain() const;
 
-  std::size_t num_ground_clauses() const { return num_clauses_; }
-  std::size_t num_ground_atoms() const { return num_atoms_; }
+  std::size_t num_ground_clauses() const;
+  std::size_t num_ground_atoms() const;
 
-  /// The grounding's fingerprint, computed once at Build time.
+  /// The grounding's fingerprint, maintained incrementally across
+  /// ApplyDelta calls.
   const GroundingFingerprint& Fingerprint() const;
 
   /// Serving hook: rearms the shared decision budget for the next request
@@ -112,8 +160,6 @@ class GroundedQuery {
  private:
   struct Impl;
   std::shared_ptr<Impl> impl_;
-  std::size_t num_clauses_ = 0;
-  std::size_t num_atoms_ = 0;
 };
 
 /// Computes all certain answers of `program` on `instance`.

@@ -1,0 +1,690 @@
+#include "sat/preprocess.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+
+#include "base/check.h"
+#include "base/hash.h"
+#include "obs/metrics.h"
+
+namespace obda::sat {
+
+namespace {
+
+struct PreCounters {
+  obs::Counter& eliminated_vars =
+      obs::GetCounter("sat.preprocess.eliminated_vars");
+  obs::Counter& subsumed_clauses =
+      obs::GetCounter("sat.preprocess.subsumed_clauses");
+
+  static PreCounters& Get() {
+    static PreCounters counters;
+    return counters;
+  }
+};
+
+bool LitCodeLess(Lit a, Lit b) { return a.code < b.code; }
+
+std::uint64_t SigOf(const std::vector<Lit>& lits) {
+  std::uint64_t sig = 0;
+  for (Lit l : lits) sig |= std::uint64_t{1} << (l.var() & 63);
+  return sig;
+}
+
+/// Sorts by code, dedupes; returns false if the clause is a tautology.
+bool Normalize(std::vector<Lit>* lits) {
+  std::sort(lits->begin(), lits->end(), LitCodeLess);
+  lits->erase(std::unique(lits->begin(), lits->end()), lits->end());
+  for (std::size_t i = 1; i < lits->size(); ++i) {
+    if ((*lits)[i].var() == (*lits)[i - 1].var()) return false;  // x ∨ ¬x
+  }
+  return true;
+}
+
+struct CodesHash {
+  std::size_t operator()(const std::vector<std::int32_t>& codes) const {
+    return obda::base::HashRange(codes.begin(), codes.end(), codes.size());
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Remapper
+// ---------------------------------------------------------------------------
+
+Remapper::MappedLit Remapper::MapLit(Lit l) const {
+  for (;;) {
+    const Var v = l.var();
+    OBDA_CHECK_LT(static_cast<std::size_t>(v), state_.size());
+    switch (state_[static_cast<std::size_t>(v)]) {
+      case VarState::kFree:
+        return MappedLit{MappedLit::Kind::kLit, l};
+      case VarState::kFixedTrue:
+        return MappedLit{l.negative() ? MappedLit::Kind::kFalse
+                                      : MappedLit::Kind::kTrue,
+                         Lit{-1}};
+      case VarState::kFixedFalse:
+        return MappedLit{l.negative() ? MappedLit::Kind::kTrue
+                                      : MappedLit::Kind::kFalse,
+                         Lit{-1}};
+      case VarState::kEquiv: {
+        const Lit rep = equiv_[static_cast<std::size_t>(v)];
+        l = l.negative() ? rep.Negated() : rep;
+        break;
+      }
+      case VarState::kEliminated:
+        OBDA_CHECK(false);  // callers may only map frozen / kept variables
+        return MappedLit{};
+    }
+  }
+}
+
+bool Remapper::LitTrue(Lit l, const std::vector<char>& model) const {
+  for (;;) {
+    const Var v = l.var();
+    switch (state_[static_cast<std::size_t>(v)]) {
+      case VarState::kFixedTrue:
+        return !l.negative();
+      case VarState::kFixedFalse:
+        return l.negative();
+      case VarState::kEquiv: {
+        const Lit rep = equiv_[static_cast<std::size_t>(v)];
+        l = l.negative() ? rep.Negated() : rep;
+        break;
+      }
+      default: {
+        const bool value = model[static_cast<std::size_t>(v)] != 0;
+        return l.negative() ? !value : value;
+      }
+    }
+  }
+}
+
+void Remapper::CompleteModel(std::vector<char>* model) const {
+  OBDA_CHECK_GE(model->size(), state_.size());
+  std::vector<char>& m = *model;
+  for (std::size_t v = 0; v < state_.size(); ++v) {
+    if (state_[v] == VarState::kFixedTrue) m[v] = 1;
+    if (state_[v] == VarState::kFixedFalse) m[v] = 0;
+  }
+  // Reverse elimination order: a clause saved at elimination k only
+  // mentions variables live at that time, so every eliminated variable it
+  // references was eliminated later (index > k) and has already been
+  // reconstructed by the time we reach k.
+  for (auto it = eliminations_.rbegin(); it != eliminations_.rend(); ++it) {
+    const Elimination& e = *it;
+    if (e.pure) {
+      m[static_cast<std::size_t>(e.var)] = e.pure_positive ? 1 : 0;
+      continue;
+    }
+    // Variable elimination: v must be true iff some saved clause with a
+    // positive occurrence of v is not satisfied by its other literals
+    // (then v=true also satisfies every saved ¬v clause — otherwise one
+    // of the resolvents would be falsified, contradicting the model).
+    bool need_true = false;
+    const Lit pos = Lit::Pos(e.var);
+    for (const std::vector<Lit>& clause : e.saved) {
+      bool has_pos = false;
+      bool otherwise_sat = false;
+      for (Lit l : clause) {
+        if (l.var() == e.var) {
+          if (l == pos) has_pos = true;
+          continue;
+        }
+        if (LitTrue(l, m)) {
+          otherwise_sat = true;
+          break;
+        }
+      }
+      if (has_pos && !otherwise_sat) {
+        need_true = true;
+        break;
+      }
+    }
+    m[static_cast<std::size_t>(e.var)] = need_true ? 1 : 0;
+  }
+  for (std::size_t v = 0; v < state_.size(); ++v) {
+    if (state_[v] == VarState::kEquiv) {
+      m[v] = LitTrue(Lit::Pos(static_cast<Var>(v)), m) ? 1 : 0;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Preprocessor
+// ---------------------------------------------------------------------------
+
+/// One Preprocess() invocation. Clauses live in an arena with lazy
+/// occurrence lists: occ_[lit.code] holds clause indices that contained
+/// `lit` at some point — entries go stale when clauses die or shed
+/// literals, so every consumer re-checks liveness and membership.
+struct Preprocessor {
+  const std::size_t n;
+  const PreprocessOptions& opts;
+  std::vector<char> frozen;  // extended as equiv chains reach frozen vars
+
+  struct PClause {
+    std::vector<Lit> lits;  // sorted by code, no duplicate vars
+    std::uint64_t sig = 0;
+    bool dead = false;
+  };
+  std::vector<PClause> clauses_;
+  std::vector<std::vector<std::uint32_t>> occ_;
+  std::vector<std::int8_t> val_;  // -1 unset / 0 false / 1 true
+  std::vector<Lit> unit_queue_;
+  std::size_t unit_head_ = 0;
+  Remapper rem_;
+  PreprocessStats stats_;
+  bool unsat_ = false;
+
+  Preprocessor(std::size_t num_vars, const std::vector<bool>& frozen_in,
+               const PreprocessOptions& options)
+      : n(num_vars), opts(options), frozen(num_vars, 0), rem_(num_vars) {
+    for (std::size_t v = 0; v < num_vars && v < frozen_in.size(); ++v) {
+      frozen[v] = frozen_in[v] ? 1 : 0;
+    }
+    occ_.resize(2 * num_vars);
+    val_.assign(num_vars, -1);
+  }
+
+  Remapper::VarState& StateOf(Var v) {
+    return rem_.state_[static_cast<std::size_t>(v)];
+  }
+
+  void AddToOcc(std::uint32_t idx, const std::vector<Lit>& lits) {
+    for (Lit l : lits) occ_[static_cast<std::size_t>(l.code)].push_back(idx);
+  }
+
+  /// Appends a normalized clause to the arena (callers have handled the
+  /// empty / tautology cases).
+  void PushClause(std::vector<Lit> lits) {
+    const std::uint32_t idx = static_cast<std::uint32_t>(clauses_.size());
+    PClause c;
+    c.sig = SigOf(lits);
+    c.lits = std::move(lits);
+    AddToOcc(idx, c.lits);
+    clauses_.push_back(std::move(c));
+  }
+
+  /// Routes a clause derived mid-pass (equiv rewrite, strengthening
+  /// fallout, BVE resolvent) to the right place.
+  void AddDerived(std::vector<Lit> lits) {
+    if (lits.empty()) {
+      unsat_ = true;
+      return;
+    }
+    if (lits.size() == 1 && opts.units) {
+      unit_queue_.push_back(lits[0]);
+      return;
+    }
+    PushClause(std::move(lits));
+  }
+
+  static bool Contains(const PClause& c, Lit l) {
+    return std::binary_search(c.lits.begin(), c.lits.end(), l, LitCodeLess);
+  }
+
+  void Kill(std::uint32_t idx) { clauses_[idx].dead = true; }
+
+  /// Removes `l` from clause `idx` (which must contain it).
+  void Strip(std::uint32_t idx, Lit l) {
+    PClause& c = clauses_[idx];
+    c.lits.erase(std::find(c.lits.begin(), c.lits.end(), l));
+    c.sig = SigOf(c.lits);
+    if (c.lits.empty()) {
+      unsat_ = true;
+      Kill(idx);
+    } else if (c.lits.size() == 1 && opts.units) {
+      unit_queue_.push_back(c.lits[0]);
+      Kill(idx);
+    }
+  }
+
+  /// Drains the unit queue: fixes variables, drops satisfied clauses,
+  /// strips falsified literals. Returns true if anything changed.
+  bool PropagateUnits() {
+    bool changed = false;
+    while (unit_head_ < unit_queue_.size()) {
+      const Lit l = unit_queue_[unit_head_++];
+      const Var v = l.var();
+      const std::int8_t want = l.negative() ? 0 : 1;
+      if (val_[static_cast<std::size_t>(v)] != -1) {
+        if (val_[static_cast<std::size_t>(v)] != want) unsat_ = true;
+        if (unsat_) return true;
+        continue;
+      }
+      OBDA_CHECK(StateOf(v) == Remapper::VarState::kFree);
+      val_[static_cast<std::size_t>(v)] = want;
+      StateOf(v) = want ? Remapper::VarState::kFixedTrue
+                        : Remapper::VarState::kFixedFalse;
+      ++stats_.fixed_vars;
+      changed = true;
+      for (std::uint32_t idx : occ_[static_cast<std::size_t>(l.code)]) {
+        if (!clauses_[idx].dead && Contains(clauses_[idx], l)) Kill(idx);
+      }
+      const Lit neg = l.Negated();
+      const auto& neg_occ = occ_[static_cast<std::size_t>(neg.code)];
+      for (std::size_t i = 0; i < neg_occ.size(); ++i) {
+        const std::uint32_t idx = neg_occ[i];
+        if (!clauses_[idx].dead && Contains(clauses_[idx], neg)) {
+          Strip(idx, neg);
+          if (unsat_) return true;
+        }
+      }
+    }
+    return changed;
+  }
+
+  /// Pure-literal elimination over non-frozen variables.
+  bool PureLiterals() {
+    bool changed = false;
+    for (Var v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (frozen[static_cast<std::size_t>(v)]) continue;
+      if (StateOf(v) != Remapper::VarState::kFree) continue;
+      std::size_t pos = 0, neg = 0;
+      for (std::uint32_t idx : occ_[static_cast<std::size_t>(Lit::Pos(v).code)]) {
+        if (!clauses_[idx].dead && Contains(clauses_[idx], Lit::Pos(v))) ++pos;
+      }
+      for (std::uint32_t idx : occ_[static_cast<std::size_t>(Lit::Neg(v).code)]) {
+        if (!clauses_[idx].dead && Contains(clauses_[idx], Lit::Neg(v))) ++neg;
+      }
+      if (pos == 0 && neg == 0) continue;
+      if (pos != 0 && neg != 0) continue;
+      const Lit pure = pos != 0 ? Lit::Pos(v) : Lit::Neg(v);
+      Remapper::Elimination e;
+      e.var = v;
+      e.pure = true;
+      e.pure_positive = !pure.negative();
+      rem_.eliminations_.push_back(std::move(e));
+      StateOf(v) = Remapper::VarState::kEliminated;
+      ++stats_.pure_vars;
+      for (std::uint32_t idx : occ_[static_cast<std::size_t>(pure.code)]) {
+        if (!clauses_[idx].dead && Contains(clauses_[idx], pure)) Kill(idx);
+      }
+      changed = true;
+    }
+    return changed;
+  }
+
+  /// Equivalent-literal substitution: SCCs of the binary implication
+  /// graph collapse onto the smallest-variable representative. The dual
+  /// SCC (of the negations) yields the consistent dual mapping because
+  /// it shares the same smallest variable.
+  bool EquivSubstitute() {
+    // Binary implication graph over literal codes.
+    std::vector<std::vector<std::int32_t>> adj(2 * n);
+    bool any_binary = false;
+    for (const PClause& c : clauses_) {
+      if (c.dead || c.lits.size() != 2) continue;
+      const Lit a = c.lits[0], b = c.lits[1];
+      adj[static_cast<std::size_t>(a.Negated().code)].push_back(b.code);
+      adj[static_cast<std::size_t>(b.Negated().code)].push_back(a.code);
+      any_binary = true;
+    }
+    if (!any_binary) return false;
+
+    // Iterative Tarjan.
+    const std::int32_t kUnvisited = -1;
+    std::vector<std::int32_t> index(2 * n, kUnvisited), low(2 * n, 0);
+    std::vector<char> on_stack(2 * n, 0);
+    std::vector<std::int32_t> stack;
+    std::vector<std::vector<Lit>> sccs;
+    std::int32_t next_index = 0;
+    struct Frame {
+      std::int32_t node;
+      std::size_t child;
+    };
+    std::vector<Frame> dfs;
+    for (std::size_t root = 0; root < 2 * n; ++root) {
+      if (index[root] != kUnvisited) continue;
+      dfs.push_back(Frame{static_cast<std::int32_t>(root), 0});
+      while (!dfs.empty()) {
+        Frame& f = dfs.back();
+        const std::int32_t u = f.node;
+        if (f.child == 0) {
+          index[u] = low[u] = next_index++;
+          stack.push_back(u);
+          on_stack[u] = 1;
+        }
+        if (f.child < adj[static_cast<std::size_t>(u)].size()) {
+          const std::int32_t w = adj[static_cast<std::size_t>(u)][f.child++];
+          if (index[w] == kUnvisited) {
+            dfs.push_back(Frame{w, 0});
+          } else if (on_stack[w]) {
+            low[u] = std::min(low[u], index[w]);
+          }
+          continue;
+        }
+        if (low[u] == index[u]) {
+          std::vector<Lit> scc;
+          for (;;) {
+            const std::int32_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = 0;
+            scc.push_back(Lit{w});
+            if (w == u) break;
+          }
+          if (scc.size() > 1) sccs.push_back(std::move(scc));
+        }
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          low[dfs.back().node] = std::min(low[dfs.back().node], low[u]);
+        }
+      }
+    }
+    if (sccs.empty()) return false;
+
+    bool changed = false;
+    for (std::vector<Lit>& scc : sccs) {
+      std::sort(scc.begin(), scc.end(), LitCodeLess);
+      for (std::size_t i = 1; i < scc.size(); ++i) {
+        if (scc[i].var() == scc[i - 1].var()) {  // l and ¬l equivalent
+          unsat_ = true;
+          return true;
+        }
+      }
+      const Lit rep = scc[0];  // smallest variable; dual SCC picks ¬rep
+      for (std::size_t i = 1; i < scc.size(); ++i) {
+        const Lit member = scc[i];
+        const Var v = member.var();
+        if (StateOf(v) != Remapper::VarState::kFree) continue;  // dual SCC
+        StateOf(v) = Remapper::VarState::kEquiv;
+        rem_.equiv_[static_cast<std::size_t>(v)] =
+            member.negative() ? rep.Negated() : rep;
+        if (frozen[static_cast<std::size_t>(v)]) {
+          // The representative now carries assumptions aimed at v: it
+          // must survive pure/BVE so MapLit chains stay resolvable.
+          frozen[static_cast<std::size_t>(rep.var())] = 1;
+        }
+        ++stats_.equiv_vars;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+
+    // Rewrite every live clause that mentions a substituted variable.
+    for (std::uint32_t idx = 0; idx < clauses_.size(); ++idx) {
+      PClause& c = clauses_[idx];
+      if (c.dead) continue;
+      bool touched = false;
+      for (Lit l : c.lits) {
+        if (StateOf(l.var()) == Remapper::VarState::kEquiv) {
+          touched = true;
+          break;
+        }
+      }
+      if (!touched) continue;
+      std::vector<Lit> rewritten;
+      rewritten.reserve(c.lits.size());
+      for (Lit l : c.lits) {
+        while (StateOf(l.var()) == Remapper::VarState::kEquiv) {
+          const Lit rep = rem_.equiv_[static_cast<std::size_t>(l.var())];
+          l = l.negative() ? rep.Negated() : rep;
+        }
+        rewritten.push_back(l);
+      }
+      Kill(idx);
+      if (!Normalize(&rewritten)) continue;  // became tautological
+      AddDerived(std::move(rewritten));
+    }
+    return true;
+  }
+
+  /// True if every literal of `c` except `skip` occurs in `d`, and (when
+  /// flipping) ¬skip occurs in `d`. Both clauses sorted; the flipped
+  /// literal is checked by binary search since it lands out of order.
+  static bool SubsetExcept(const PClause& c, const PClause& d, Lit skip,
+                           bool flip) {
+    std::size_t j = 0;
+    for (Lit l : c.lits) {
+      if (l == skip) {
+        if (flip && !Contains(d, skip.Negated())) return false;
+        continue;
+      }
+      while (j < d.lits.size() && d.lits[j].code < l.code) ++j;
+      if (j >= d.lits.size() || !(d.lits[j] == l)) return false;
+      ++j;
+    }
+    return true;
+  }
+
+  /// Forward subsumption + self-subsuming resolution (strengthening).
+  bool Subsume() {
+    bool changed = false;
+    for (std::uint32_t ci = 0; ci < clauses_.size(); ++ci) {
+      if (clauses_[ci].dead) continue;
+      // Probe via the literal with the fewest occurrences.
+      {
+        const PClause& c = clauses_[ci];
+        Lit best = c.lits[0];
+        std::size_t best_size =
+            occ_[static_cast<std::size_t>(best.code)].size();
+        for (Lit l : c.lits) {
+          const std::size_t s = occ_[static_cast<std::size_t>(l.code)].size();
+          if (s < best_size) {
+            best = l;
+            best_size = s;
+          }
+        }
+        if (best_size <= opts.max_occurrences) {
+          const auto& list = occ_[static_cast<std::size_t>(best.code)];
+          for (std::size_t i = 0; i < list.size(); ++i) {
+            const std::uint32_t dj = list[i];
+            if (dj == ci || clauses_[dj].dead) continue;
+            const PClause& cc = clauses_[ci];
+            const PClause& d = clauses_[dj];
+            if (d.lits.size() < cc.lits.size()) continue;
+            if ((cc.sig & ~d.sig) != 0) continue;
+            if (!Contains(d, best)) continue;  // stale occ entry
+            if (SubsetExcept(cc, d, Lit{-1}, false)) {
+              Kill(dj);
+              ++stats_.subsumed_clauses;
+              changed = true;
+            }
+          }
+        }
+      }
+      // Strengthening: c with one literal flipped subsumes d ⇒ drop the
+      // flipped literal from d.
+      for (std::size_t li = 0; li < clauses_[ci].lits.size(); ++li) {
+        if (clauses_[ci].dead) break;
+        const Lit l = clauses_[ci].lits[li];
+        const Lit neg = l.Negated();
+        const auto& list = occ_[static_cast<std::size_t>(neg.code)];
+        if (list.size() > opts.max_occurrences) continue;
+        for (std::size_t i = 0; i < list.size(); ++i) {
+          const std::uint32_t dj = list[i];
+          if (dj == ci || clauses_[dj].dead || clauses_[ci].dead) continue;
+          const PClause& cc = clauses_[ci];
+          const PClause& d = clauses_[dj];
+          if (d.lits.size() < cc.lits.size()) continue;
+          if ((cc.sig & ~d.sig) != 0) continue;
+          if (!Contains(d, neg)) continue;  // stale occ entry
+          if (SubsetExcept(cc, d, l, true)) {
+            Strip(dj, neg);
+            ++stats_.strengthened_clauses;
+            changed = true;
+            if (unsat_) return true;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+  /// NiVER-bounded variable elimination: eliminate a non-frozen variable
+  /// by resolution when the resolvents carry no more literals than the
+  /// clauses they replace.
+  bool Bve() {
+    bool changed = false;
+    for (Var v = 0; static_cast<std::size_t>(v) < n; ++v) {
+      if (unsat_) return true;
+      if (frozen[static_cast<std::size_t>(v)]) continue;
+      if (StateOf(v) != Remapper::VarState::kFree) continue;
+      const Lit pos = Lit::Pos(v), neg = Lit::Neg(v);
+      const auto& pos_occ = occ_[static_cast<std::size_t>(pos.code)];
+      const auto& neg_occ = occ_[static_cast<std::size_t>(neg.code)];
+      if (pos_occ.size() > opts.max_occurrences ||
+          neg_occ.size() > opts.max_occurrences) {
+        continue;
+      }
+      std::vector<std::uint32_t> p, q;
+      for (std::uint32_t idx : pos_occ) {
+        if (!clauses_[idx].dead && Contains(clauses_[idx], pos)) {
+          p.push_back(idx);
+        }
+      }
+      for (std::uint32_t idx : neg_occ) {
+        if (!clauses_[idx].dead && Contains(clauses_[idx], neg)) {
+          q.push_back(idx);
+        }
+      }
+      auto dedupe = [](std::vector<std::uint32_t>* xs) {
+        std::sort(xs->begin(), xs->end());
+        xs->erase(std::unique(xs->begin(), xs->end()), xs->end());
+      };
+      dedupe(&p);
+      dedupe(&q);
+      if (p.empty() || q.empty()) continue;  // pure pass handles one-sided
+      if (p.size() * q.size() > opts.max_resolvent_product) continue;
+
+      std::size_t before = 0;
+      for (std::uint32_t idx : p) before += clauses_[idx].lits.size();
+      for (std::uint32_t idx : q) before += clauses_[idx].lits.size();
+
+      std::vector<std::vector<Lit>> resolvents;
+      std::size_t after = 0;
+      bool give_up = false;
+      for (std::uint32_t pi : p) {
+        for (std::uint32_t qi : q) {
+          std::vector<Lit> r;
+          r.reserve(clauses_[pi].lits.size() + clauses_[qi].lits.size() - 2);
+          for (Lit l : clauses_[pi].lits) {
+            if (!(l == pos)) r.push_back(l);
+          }
+          for (Lit l : clauses_[qi].lits) {
+            if (!(l == neg)) r.push_back(l);
+          }
+          if (!Normalize(&r)) continue;  // tautological resolvent
+          after += r.size();
+          if (after > before) {
+            give_up = true;
+            break;
+          }
+          resolvents.push_back(std::move(r));
+        }
+        if (give_up) break;
+      }
+      if (give_up) continue;
+
+      Remapper::Elimination e;
+      e.var = v;
+      e.saved.reserve(p.size() + q.size());
+      for (std::uint32_t idx : p) e.saved.push_back(clauses_[idx].lits);
+      for (std::uint32_t idx : q) e.saved.push_back(clauses_[idx].lits);
+      rem_.eliminations_.push_back(std::move(e));
+      StateOf(v) = Remapper::VarState::kEliminated;
+      ++stats_.eliminated_vars;
+      for (std::uint32_t idx : p) Kill(idx);
+      for (std::uint32_t idx : q) Kill(idx);
+      for (std::vector<Lit>& r : resolvents) AddDerived(std::move(r));
+      changed = true;
+      // Drain immediately: a queued unit's variable must not be
+      // eliminated by a later iteration while the unit is pending.
+      PropagateUnits();
+    }
+    return changed;
+  }
+
+  void Run(const std::vector<std::vector<Lit>>& input) {
+    // Normalize + dedupe the input.
+    std::unordered_set<std::vector<std::int32_t>, CodesHash> seen;
+    for (const std::vector<Lit>& raw : input) {
+      std::vector<Lit> lits = raw;
+      if (!Normalize(&lits)) continue;
+      if (lits.empty()) {
+        unsat_ = true;
+        return;
+      }
+      std::vector<std::int32_t> codes;
+      codes.reserve(lits.size());
+      for (Lit l : lits) codes.push_back(l.code);
+      if (!seen.insert(std::move(codes)).second) continue;
+      if (lits.size() == 1 && opts.units) {
+        unit_queue_.push_back(lits[0]);
+        continue;
+      }
+      PushClause(std::move(lits));
+    }
+
+    const bool any_pass =
+        opts.units || opts.pure || opts.equiv || opts.subsumption || opts.bve;
+    if (!any_pass) return;
+
+    for (int round = 0; round < opts.max_rounds && !unsat_; ++round) {
+      bool changed = false;
+      if (opts.units) changed |= PropagateUnits();
+      if (unsat_) break;
+      if (opts.pure) changed |= PureLiterals();
+      if (unsat_) break;
+      if (opts.equiv) {
+        changed |= EquivSubstitute();
+        if (unsat_) break;
+        if (opts.units) changed |= PropagateUnits();
+        if (unsat_) break;
+      }
+      if (opts.subsumption) {
+        changed |= Subsume();
+        if (unsat_) break;
+        if (opts.units) changed |= PropagateUnits();
+        if (unsat_) break;
+      }
+      if (opts.bve) changed |= Bve();
+      if (!changed) break;
+    }
+  }
+
+  PreprocessResult Finish() {
+    PreprocessResult result;
+    result.num_vars = n;
+    result.stats = stats_;
+    if (unsat_) {
+      result.unsat = true;
+      return result;
+    }
+    std::unordered_set<std::vector<std::int32_t>, CodesHash> seen;
+    for (const PClause& c : clauses_) {
+      if (c.dead) continue;
+      std::vector<std::int32_t> codes;
+      codes.reserve(c.lits.size());
+      for (Lit l : c.lits) {
+        OBDA_CHECK(rem_.StateOf(l.var()) == Remapper::VarState::kFree);
+        codes.push_back(l.code);
+      }
+      if (!seen.insert(std::move(codes)).second) continue;
+      result.clauses.push_back(c.lits);
+    }
+    result.remapper = std::move(rem_);
+    return result;
+  }
+};
+
+PreprocessResult Preprocess(std::size_t num_vars,
+                            const std::vector<std::vector<Lit>>& clauses,
+                            const std::vector<bool>& frozen,
+                            const PreprocessOptions& options) {
+  Preprocessor pre(num_vars, frozen, options);
+  pre.Run(clauses);
+  PreprocessResult result = pre.Finish();
+  PreCounters& counters = PreCounters::Get();
+  counters.eliminated_vars.Add(result.stats.pure_vars +
+                               result.stats.eliminated_vars +
+                               result.stats.equiv_vars);
+  counters.subsumed_clauses.Add(result.stats.subsumed_clauses);
+  return result;
+}
+
+}  // namespace obda::sat

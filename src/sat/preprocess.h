@@ -1,0 +1,163 @@
+#ifndef OBDA_SAT_PREPROCESS_H_
+#define OBDA_SAT_PREPROCESS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "base/check.h"
+#include "sat/solver.h"
+
+namespace obda::sat {
+
+/// Knobs for Preprocess(). All passes are equivalence- or
+/// satisfiability-preserving with respect to assumptions over *frozen*
+/// variables, which is exactly what the certain-answer engine probes
+/// (¬goal assumptions on frozen goal-atom variables).
+struct PreprocessOptions {
+  /// Unit propagation: fix variables forced by unit clauses, drop
+  /// satisfied clauses, strip falsified literals.
+  bool units = true;
+  /// Pure-literal elimination (non-frozen variables only).
+  bool pure = true;
+  /// Equivalent-literal substitution: SCCs of the binary implication
+  /// graph collapse onto one representative per class.
+  bool equiv = true;
+  /// Subsumption + self-subsuming resolution (strengthening).
+  bool subsumption = true;
+  /// Bounded variable elimination (NiVER-style: eliminate a non-frozen
+  /// variable by resolution when the resolvents do not increase the
+  /// total literal count). Non-frozen variables only.
+  bool bve = true;
+  /// Simplification rounds (each = units → pure → equiv → subsumption →
+  /// BVE); later rounds pick up cascades from earlier ones.
+  int max_rounds = 3;
+  /// Variables whose literal occurs in more than this many clauses are
+  /// skipped by subsumption candidate scans and BVE (fat variables make
+  /// both passes quadratic).
+  std::size_t max_occurrences = 1000;
+  /// BVE: skip variables whose positive × negative occurrence product
+  /// exceeds this (resolvent blowup guard).
+  std::size_t max_resolvent_product = 16;
+};
+
+/// Counts of what one Preprocess() call did.
+struct PreprocessStats {
+  std::uint64_t fixed_vars = 0;        // by unit propagation
+  std::uint64_t pure_vars = 0;         // pure-literal eliminations
+  std::uint64_t equiv_vars = 0;        // substituted onto a representative
+  std::uint64_t eliminated_vars = 0;   // BVE (pure_vars counted separately)
+  std::uint64_t subsumed_clauses = 0;  // removed as subsumed
+  std::uint64_t strengthened_clauses = 0;  // self-subsuming resolution
+};
+
+/// Maps literals and models between the original variable space and the
+/// simplified CNF. The simplified CNF keeps original variable ids (no
+/// renumbering), so a "kept" variable means the same thing on both sides;
+/// the remapper accounts for the variables that are gone: fixed (unit
+/// propagation), substituted (equivalent literals), or eliminated
+/// (pure-literal / BVE).
+///
+/// Invariants the engine relies on:
+///  - MapLit on a frozen variable's literal never reaches kEliminated
+///    (frozen variables are exempt from pure/BVE), so probe assumptions
+///    always map to a literal or a constant.
+///  - CompleteModel turns any model of the simplified CNF (values of the
+///    kept variables) into a model of the ORIGINAL CNF over all
+///    variables, so cached-model probe skipping stays sound.
+class Remapper {
+ public:
+  enum class VarState : std::uint8_t {
+    kFree,        // kept: appears (or may appear) in the simplified CNF
+    kFixedTrue,   // forced true at root level
+    kFixedFalse,  // forced false at root level
+    kEquiv,       // var ≡ equivalent literal (chase via MapLit)
+    kEliminated,  // removed by pure-literal or variable elimination
+  };
+
+  struct MappedLit {
+    enum class Kind : std::uint8_t { kLit, kTrue, kFalse };
+    Kind kind = Kind::kLit;
+    Lit lit{-1};
+  };
+
+  Remapper() = default;
+  /// Identity remapper over `num_vars` variables (everything kFree).
+  explicit Remapper(std::size_t num_vars)
+      : state_(num_vars, VarState::kFree), equiv_(num_vars, Lit{-1}) {}
+
+  std::size_t num_vars() const { return state_.size(); }
+  VarState StateOf(Var v) const {
+    return state_[static_cast<std::size_t>(v)];
+  }
+
+  /// Maps an original-space literal into the simplified space: a kept
+  /// literal, or a constant when the underlying variable is fixed.
+  /// CHECK-fails on eliminated variables — callers must only map frozen
+  /// (or otherwise known-kept) variables.
+  MappedLit MapLit(Lit l) const;
+
+  /// Extends `model` (sized ≥ num_vars, kept-variable entries filled with
+  /// 0/1 truth values from the solver) into a full model of the original
+  /// CNF: fixed values are written, eliminated variables reconstructed in
+  /// reverse elimination order from their saved occurrence clauses, and
+  /// substituted variables copied from their representatives. Entries
+  /// beyond num_vars (e.g. a spare probe variable) are left untouched.
+  void CompleteModel(std::vector<char>* model) const;
+
+ private:
+  friend struct Preprocessor;
+
+  /// Truth of `l` under the partially completed model: follows equiv
+  /// chains, reads fixed values, falls back to model[] for the rest.
+  bool LitTrue(Lit l, const std::vector<char>& model) const;
+
+  struct Elimination {
+    Var var = -1;
+    /// Pure-literal elimination: satisfy by phase, no clauses needed.
+    bool pure = false;
+    bool pure_positive = false;
+    /// BVE: the clauses containing var at elimination time (original
+    /// variable ids, literals possibly of later-substituted variables —
+    /// LitTrue chases those).
+    std::vector<std::vector<Lit>> saved;
+  };
+
+  std::vector<VarState> state_;
+  std::vector<Lit> equiv_;  // valid where state_ == kEquiv
+  /// In elimination order; CompleteModel replays it in reverse.
+  std::vector<Elimination> eliminations_;
+};
+
+/// The result of preprocessing one CNF.
+struct PreprocessResult {
+  /// Simplified clauses over the ORIGINAL variable ids (deduplicated,
+  /// each sorted by literal code; emission order deterministic).
+  std::vector<std::vector<Lit>> clauses;
+  std::size_t num_vars = 0;
+  /// The preprocessor derived unsatisfiability (empty clause /
+  /// contradictory units / antipodal equivalence). `clauses` is empty
+  /// and the remapper must not be used.
+  bool unsat = false;
+  Remapper remapper;
+  PreprocessStats stats;
+};
+
+/// Simplifies `clauses` (over variables [0, num_vars)). `frozen[v]` marks
+/// variables that outside callers will constrain via assumptions: they are
+/// never pure/BVE-eliminated, so MapLit on them always succeeds. Passing
+/// an all-false PreprocessOptions reduces this to normalization
+/// (sort/dedupe literals, drop tautologies, dedupe clauses, detect an
+/// explicit empty clause) with an identity remapper.
+///
+/// Deterministic: identical inputs yield identical results. Mirrors
+/// `sat.preprocess.{eliminated_vars,subsumed_clauses}` to the obs
+/// registry.
+PreprocessResult Preprocess(std::size_t num_vars,
+                            const std::vector<std::vector<Lit>>& clauses,
+                            const std::vector<bool>& frozen,
+                            const PreprocessOptions& options = {});
+
+}  // namespace obda::sat
+
+#endif  // OBDA_SAT_PREPROCESS_H_

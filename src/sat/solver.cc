@@ -241,6 +241,7 @@ void Solver::ReduceDb() {
 
 void Solver::AddClause(std::vector<Lit> lits) {
   if (!ok_) return;
+  FlushRemovals();
   // Clause addition is a level-0 operation; drop any leftover model
   // assignment from a previous Solve().
   CancelUntil(0);
@@ -271,7 +272,9 @@ void Solver::AddClause(std::vector<Lit> lits) {
   ++num_problem_clauses_;
   if (lits.size() == 1) {
     // Unit: assert at level 0 and propagate eagerly so later AddClause
-    // hygiene sees the consequences.
+    // hygiene sees the consequences. Recorded so RebuildLevelZero can
+    // re-derive the trail after a removable clause goes away.
+    permanent_units_.push_back(lits[0]);
     UncheckedEnqueue(lits[0], kNoReason);
     if (Propagate() != kNoReason) ok_ = false;
     return;
@@ -287,6 +290,154 @@ void Solver::AddClause(std::vector<Lit> lits) {
   }
   clauses_[cref].lits = std::move(lits);
   Attach(cref);
+}
+
+Solver::ClauseId Solver::AddRemovableClause(std::vector<Lit> lits) {
+  FlushRemovals();
+  CancelUntil(0);
+  for (Lit l : lits) {
+    OBDA_CHECK_LT(static_cast<std::size_t>(l.var()), assign_.size());
+  }
+  const ClauseId id = static_cast<ClauseId>(removables_.size());
+  removables_.emplace_back();
+  Removable& rec = removables_.back();
+
+  // Normalize only: sort, dedupe, drop tautologies. Deliberately NO
+  // simplification against the level-0 trail — those facts may themselves
+  // rest on removable clauses.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+  for (std::size_t i = 0; i + 1 < lits.size(); ++i) {
+    if (lits[i].var() == lits[i + 1].var()) return id;  // tautology: inert
+  }
+  ++num_problem_clauses_;
+  if (lits.empty()) {
+    rec.kind = Removable::Kind::kEmpty;
+    ++num_removable_empty_;
+    return id;
+  }
+  if (lits.size() == 1) {
+    rec.kind = Removable::Kind::kUnit;
+    rec.unit = lits[0];
+    const std::int8_t v = ValueOf(lits[0]);
+    if (v == kFalse) {
+      level0_conflict_ = true;
+    } else if (v == kUndef) {
+      UncheckedEnqueue(lits[0], kNoReason);
+      if (Propagate() != kNoReason) level0_conflict_ = true;
+    }
+    return id;
+  }
+
+  // ≥ 2 literals: watches must sit on non-false literals where possible so
+  // the propagation invariant holds for assignments made after this call.
+  // Literals false at level 0 stay false until a rebuild, which redoes the
+  // watch bookkeeping via full re-propagation anyway.
+  std::size_t non_false = 0;
+  for (std::size_t i = 0; i < lits.size() && non_false < 2; ++i) {
+    if (ValueOf(lits[i]) != kFalse) std::swap(lits[non_false++], lits[i]);
+  }
+  CRef cref;
+  if (!free_slots_.empty()) {
+    cref = free_slots_.back();
+    free_slots_.pop_back();
+    clauses_[cref] = Clause{};
+  } else {
+    cref = static_cast<CRef>(clauses_.size());
+    clauses_.emplace_back();
+  }
+  clauses_[cref].lits = std::move(lits);
+  Attach(cref);
+  rec.kind = Removable::Kind::kArena;
+  rec.cref = cref;
+  const std::vector<Lit>& cl = clauses_[cref].lits;
+  if (non_false == 0) {
+    // Every literal already false at level 0: a (revocable) conflict.
+    level0_conflict_ = true;
+  } else if (non_false == 1 && ValueOf(cl[0]) == kUndef) {
+    // Effectively unit on the one non-false literal.
+    UncheckedEnqueue(cl[0], cref);
+    if (Propagate() != kNoReason) level0_conflict_ = true;
+  }
+  return id;
+}
+
+void Solver::RemoveClause(ClauseId id) {
+  OBDA_CHECK_LT(static_cast<std::size_t>(id), removables_.size());
+  Removable& rec = removables_[id];
+  switch (rec.kind) {
+    case Removable::Kind::kInert:
+      return;
+    case Removable::Kind::kEmpty:
+      --num_removable_empty_;
+      break;
+    case Removable::Kind::kUnit:
+      // The unit's level-0 consequences (and every learned clause, which
+      // may lean on them) go away at the next FlushRemovals.
+      needs_rebuild_ = true;
+      break;
+    case Removable::Kind::kArena: {
+      CancelUntil(0);
+      Detach(rec.cref);
+      Clause& c = clauses_[rec.cref];
+      c.deleted = true;
+      std::vector<Lit>().swap(c.lits);
+      free_slots_.push_back(rec.cref);
+      needs_rebuild_ = true;
+      break;
+    }
+  }
+  rec.kind = Removable::Kind::kInert;
+  --num_problem_clauses_;
+}
+
+void Solver::PurgeLearned() {
+  for (CRef i = 0; i < static_cast<CRef>(clauses_.size()); ++i) {
+    Clause& c = clauses_[i];
+    if (!c.learned || c.deleted) continue;
+    Detach(i);
+    c.deleted = true;
+    std::vector<Lit>().swap(c.lits);
+    free_slots_.push_back(i);
+  }
+  num_learned_ = 0;
+}
+
+void Solver::RebuildLevelZero() {
+  CancelUntil(0);
+  for (std::size_t i = trail_.size(); i-- > 0;) {
+    Var v = trail_[i].var();
+    phase_[v] = assign_[v];
+    assign_[v] = kUndef;
+    reason_[v] = kNoReason;
+    if (heap_pos_[v] < 0) HeapInsert(v);
+  }
+  trail_.clear();
+  qhead_ = 0;
+  level0_conflict_ = false;
+  auto root = [this](Lit l) {
+    if (level0_conflict_) return;
+    const std::int8_t v = ValueOf(l);
+    if (v == kFalse) {
+      level0_conflict_ = true;
+    } else if (v == kUndef) {
+      UncheckedEnqueue(l, kNoReason);
+    }
+  };
+  for (Lit l : permanent_units_) root(l);
+  for (const Removable& rec : removables_) {
+    if (rec.kind == Removable::Kind::kUnit) root(rec.unit);
+  }
+  if (!level0_conflict_ && Propagate() != kNoReason) level0_conflict_ = true;
+}
+
+void Solver::FlushRemovals() {
+  if (!needs_rebuild_) return;
+  needs_rebuild_ = false;
+  CancelUntil(0);
+  PurgeLearned();
+  RebuildLevelZero();
 }
 
 // --- Propagation / trail ----------------------------------------------------
@@ -479,7 +630,10 @@ SatOutcome Solver::Solve(const std::vector<Lit>& assumptions,
 SatOutcome Solver::SolveImpl(const std::vector<Lit>& assumptions,
                              std::uint64_t max_decisions) {
   decisions_ = 0;
-  if (!ok_) return SatOutcome::kUnsat;
+  FlushRemovals();
+  if (!ok_ || level0_conflict_ || num_removable_empty_ > 0) {
+    return SatOutcome::kUnsat;
+  }
   CancelUntil(0);
   for (Lit a : assumptions) {
     OBDA_CHECK_LT(static_cast<std::size_t>(a.var()), assign_.size());
@@ -597,9 +751,10 @@ SatOutcome Solver::SolveImpl(const std::vector<Lit>& assumptions,
       UncheckedEnqueue(next, kNoReason);
     }
   }
-  // A conflict at level 0: the instance itself is unsatisfiable,
-  // independent of assumptions.
-  ok_ = false;
+  // A conflict at level 0: the current clause set is unsatisfiable,
+  // independent of assumptions. Revocable (removable clauses may be
+  // involved), so this sets level0_conflict_ rather than ok_.
+  level0_conflict_ = true;
   CancelUntil(0);
   return SatOutcome::kUnsat;
 }

@@ -91,6 +91,11 @@ class Solver {
     std::uint64_t backjump_levels = 0;
   };
 
+  /// Handle for a clause added via AddRemovableClause, valid until passed
+  /// to RemoveClause. Handles are never reused within one solver.
+  using ClauseId = std::uint32_t;
+  static constexpr ClauseId kInvalidClauseId = 0xffffffffu;
+
   Solver() = default;
   /// Flushes the solver's stats into the global registry (FlushStats).
   ~Solver();
@@ -113,6 +118,30 @@ class Solver {
   /// empty clause (possibly after removal) makes the instance trivially
   /// unsatisfiable.
   void AddClause(std::vector<Lit> lits);
+
+  /// Adds a clause that can later be retracted with RemoveClause. Unlike
+  /// AddClause, NO level-0 simplification is applied (beyond sorting,
+  /// deduplication, and tautology dropping): the clause must stay intact
+  /// so its retraction restores exactly the pre-addition theory. An empty
+  /// removable clause makes the solver unsatisfiable *revocably* (the
+  /// unsat state lifts when it is removed).
+  ///
+  /// Contract for mixing with AddClause: permanent clauses must be added
+  /// before the first removable clause. AddClause simplifies against the
+  /// current level-0 trail, which may include consequences of removable
+  /// clauses — simplifications against facts that are later retracted
+  /// would be unsound. The engines load a grounding entirely through this
+  /// API, so the contract holds by construction.
+  ClauseId AddRemovableClause(std::vector<Lit> lits);
+
+  /// Retracts a clause previously added with AddRemovableClause. All
+  /// learned clauses are purged (any of them may have been derived using
+  /// the removed clause, directly or through a level-0 fact it implied)
+  /// and the level-0 trail is rebuilt from the surviving permanent and
+  /// removable units; the rebuild is deferred to the next Solve / clause
+  /// addition so a batch of removals pays for it once. Removing an
+  /// already-removed id is a no-op.
+  void RemoveClause(ClauseId id);
 
   /// Decides satisfiability under the given assumption literals.
   /// `max_decisions` bounds the search (0 = unlimited). Learned clauses
@@ -201,6 +230,15 @@ class Solver {
   void ReduceDb();
   /// True if the clause is the reason of its first literal's assignment.
   bool Locked(CRef cref) const;
+  /// Deletes every learned clause (used when a removable clause goes
+  /// away: any learned clause may depend on it).
+  void PurgeLearned();
+  /// Rebuilds the level-0 trail from scratch: unassigns everything,
+  /// re-enqueues permanent and surviving removable units, re-propagates,
+  /// and recomputes level0_conflict_.
+  void RebuildLevelZero();
+  /// Runs the deferred purge+rebuild if a removal is pending.
+  void FlushRemovals();
   void BumpVarActivity(Var v);
   void BumpClauseActivity(Clause* c);
   /// Next decision variable by activity (ties: smallest index), or -1.
@@ -229,9 +267,30 @@ class Solver {
   std::vector<Lit> trail_;
   std::vector<std::size_t> trail_lim_;
   std::size_t qhead_ = 0;
-  /// False once an empty clause was derived: the instance is
-  /// unconditionally unsatisfiable.
+  /// False once a permanent empty clause was added: the instance is
+  /// unconditionally unsatisfiable, forever.
   bool ok_ = true;
+  /// A conflict was derived at level 0 from the current clause set. This
+  /// may rest on removable clauses, so unlike ok_ it is revocable:
+  /// RebuildLevelZero recomputes it after removals.
+  bool level0_conflict_ = false;
+  /// A removal happened since the last rebuild; the level-0 trail and
+  /// learned database are stale until FlushRemovals().
+  bool needs_rebuild_ = false;
+
+  /// Removable-clause bookkeeping (AddRemovableClause / RemoveClause).
+  struct Removable {
+    enum class Kind : std::uint8_t { kInert, kArena, kUnit, kEmpty };
+    Kind kind = Kind::kInert;
+    CRef cref = kNoReason;  // kArena
+    Lit unit{-1};           // kUnit
+  };
+  std::vector<Removable> removables_;
+  /// Unit clauses accepted by AddClause (post-hygiene): the permanent
+  /// roots RebuildLevelZero restarts from.
+  std::vector<Lit> permanent_units_;
+  /// Live removable empty clauses: > 0 forces kUnsat revocably.
+  std::size_t num_removable_empty_ = 0;
 
   // watches_[lit.code] = watchers of clauses watching `lit`.
   std::vector<std::vector<Watcher>> watches_;

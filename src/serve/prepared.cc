@@ -1,5 +1,7 @@
 #include "serve/prepared.h"
 
+#include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "base/hash.h"
@@ -8,6 +10,41 @@
 #include "obs/metrics.h"
 
 namespace obda::serve {
+
+namespace {
+
+/// Resolves a name-level FactDelta into instance ids for ApplyDelta.
+/// Every name must resolve against `instance`: added facts exist in it,
+/// and removed facts' constants are session-interned into every snapshot.
+/// Returns false (caller re-grounds) if anything fails to resolve.
+bool ResolveDelta(const data::Instance& instance, const FactDelta& diff,
+                  ddlog::InstanceDelta* out) {
+  auto resolve = [&instance](const data::Fact& fact,
+                             ddlog::InstanceDelta::FactChange* change) {
+    std::optional<data::RelationId> rel =
+        instance.schema().FindRelation(fact.relation);
+    if (!rel.has_value()) return false;
+    change->relation = *rel;
+    change->args.reserve(fact.args.size());
+    for (const std::string& name : fact.args) {
+      std::optional<data::ConstId> c = instance.FindConstant(name);
+      if (!c.has_value()) return false;
+      change->args.push_back(*c);
+    }
+    return true;
+  };
+  out->added.resize(diff.added.size());
+  for (std::size_t i = 0; i < diff.added.size(); ++i) {
+    if (!resolve(diff.added[i], &out->added[i])) return false;
+  }
+  out->removed.resize(diff.removed.size());
+  for (std::size_t i = 0; i < diff.removed.size(); ++i) {
+    if (!resolve(diff.removed[i], &out->removed[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 const char* PlanKindName(PlanKind kind) {
   switch (kind) {
@@ -112,33 +149,74 @@ base::Result<ddlog::Answers> PreparedQuery::ExecuteImpl(
   }
 
   // SAT plan: reuse the session's grounding when its data generation is
-  // unchanged; otherwise (re-)ground against the fresh snapshot. The slot
-  // map lock only covers slot resolution — per-session FIFO scheduling
-  // guarantees no two Execute calls touch one slot concurrently, so the
-  // probe work below runs unlocked.
+  // unchanged, adopt the new generation when the fact-set content hash
+  // round-tripped, patch the grounding incrementally when the session's
+  // mutation log covers the gap with a small diff, and only otherwise
+  // (re-)ground from scratch. The slot map lock only covers slot
+  // resolution — per-session FIFO scheduling guarantees no two Execute
+  // calls touch one slot concurrently, so everything below (including the
+  // probe work) runs unlocked.
   static obs::Counter& regrounds = obs::GetCounter("ddlog.regrounds");
-  ddlog::GroundedQuery grounded;
+  GroundingSlot* slot;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    GroundingSlot& slot = slots_[session.id()];
-    if (slot.grounded == nullptr ||
-        slot.snapshot.generation != snapshot.generation) {
-      const bool is_reground = slot.grounded != nullptr;
-      base::Result<ddlog::GroundedQuery> built = ddlog::GroundedQuery::Build(
-          *program_, *snapshot.instance, options_.eval);
-      if (!built.ok()) return built.status();
-      slot.grounded =
-          std::make_unique<ddlog::GroundedQuery>(std::move(built).value());
-      slot.snapshot = snapshot;
-      if (is_reground) regrounds.Add();
-      (is_reground ? stats_.regrounds : stats_.grounds)
-          .fetch_add(1, std::memory_order_relaxed);
-      local.grounded = true;  // this request paid the (re-)grounding cost
-    } else {
-      stats_.hot_hits.fetch_add(1, std::memory_order_relaxed);
-    }
-    grounded = *slot.grounded;  // shared handle onto the slot's Impl
+    slot = &slots_[session.id()];  // value pointers survive rehashing
   }
+  const bool had_grounding = slot->grounded != nullptr;
+  bool served = false;
+  if (had_grounding && slot->snapshot.generation == snapshot.generation) {
+    stats_.hot_hits.fetch_add(1, std::memory_order_relaxed);
+    served = true;
+  } else if (had_grounding &&
+             slot->snapshot.content_hash == snapshot.content_hash &&
+             slot->snapshot.instance->NumFacts() ==
+                 snapshot.instance->NumFacts()) {
+    // Mutations round-tripped back to the grounded fact set (content
+    // fingerprint match): keep the pinned instance and grounding, just
+    // adopt the generation. ConstIds are session-stable, so answers off
+    // the pinned instance are bit-identical.
+    slot->snapshot.generation = snapshot.generation;
+    local.instance = slot->snapshot.instance;
+    stats_.hot_hits.fetch_add(1, std::memory_order_relaxed);
+    served = true;
+  } else if (had_grounding && options_.eval.enable_delta) {
+    std::optional<FactDelta> diff =
+        session.DiffSince(slot->snapshot.generation);
+    // Patch only when the diff is a small fraction of the instance — a
+    // bulk rewrite re-grounds faster than it patches.
+    if (diff.has_value() &&
+        (diff->added.size() + diff->removed.size()) * 4 <=
+            std::max<std::size_t>(64, snapshot.instance->NumFacts())) {
+      ddlog::InstanceDelta delta;
+      if (ResolveDelta(*snapshot.instance, *diff, &delta)) {
+        base::Status applied =
+            slot->grounded->ApplyDelta(*snapshot.instance, delta);
+        if (applied.ok()) {
+          slot->snapshot = snapshot;
+          stats_.delta_grounds.fetch_add(1, std::memory_order_relaxed);
+          local.delta = true;
+          served = true;
+        } else {
+          // ApplyDelta leaves the grounding unspecified on error; drop it
+          // and fall through to a clean rebuild.
+          slot->grounded.reset();
+        }
+      }
+    }
+  }
+  if (!served) {
+    base::Result<ddlog::GroundedQuery> built = ddlog::GroundedQuery::Build(
+        *program_, *snapshot.instance, options_.eval);
+    if (!built.ok()) return built.status();
+    slot->grounded =
+        std::make_unique<ddlog::GroundedQuery>(std::move(built).value());
+    slot->snapshot = snapshot;
+    if (had_grounding) regrounds.Add();
+    (had_grounding ? stats_.regrounds : stats_.grounds)
+        .fetch_add(1, std::memory_order_relaxed);
+    local.grounded = true;  // this request paid the (re-)grounding cost
+  }
+  ddlog::GroundedQuery grounded = *slot->grounded;  // shared handle
 
   grounded.ResetDecisionBudget(budget.max_decisions);
   local.fingerprint = grounded.Fingerprint();
@@ -159,6 +237,7 @@ std::string PreparedQuery::StatsJson() const {
          ", \"grounds\": " + u64(stats_.grounds) +
          ", \"regrounds\": " + u64(stats_.regrounds) +
          ", \"hot_hits\": " + u64(stats_.hot_hits) +
+         ", \"delta_grounds\": " + u64(stats_.delta_grounds) +
          ", \"latency\": " + obs::HistogramValueJson(stats_.latency.Snap()) +
          "}";
 }

@@ -52,9 +52,14 @@ struct RequestBudget {
 /// What Execute did, for STATS/bench reporting and re-ground assertions.
 struct ExecInfo {
   PlanKind plan = PlanKind::kSatGrounding;
-  /// True when this request had to (re-)ground against fresh data; false
-  /// on the hot path serving from the cached snapshot + warmed solvers.
+  /// True when this request had to (re-)ground against fresh data from
+  /// scratch; false on the hot path serving from the cached snapshot +
+  /// warmed solvers, and false when a mutation was absorbed by an
+  /// incremental delta patch (then `delta` is true instead).
   bool grounded = false;
+  /// True when this request patched the pinned grounding incrementally
+  /// (ddlog::GroundedQuery::ApplyDelta) instead of re-grounding.
+  bool delta = false;
   std::uint64_t generation = 0;
   /// Fingerprint of the grounding used (zero for the rewriting plan).
   ddlog::GroundingFingerprint fingerprint;
@@ -65,10 +70,15 @@ struct ExecInfo {
 /// A compiled OMQ/program artifact, prepared once and executed many times
 /// against evolving session data. For the SAT plan the artifact keeps one
 /// grounding slot per session: the slot pins the instance snapshot it was
-/// grounded against and is invalidated by the session's data generation,
-/// so unchanged data re-serves from the snapshot and the warmed CDCL
-/// solvers inside it, while mutations trigger re-grounding (counted in
-/// `ddlog.regrounds`).
+/// grounded against and is keyed by the session's data generation AND the
+/// fact-set content hash. Unchanged data re-serves from the snapshot and
+/// the warmed CDCL solvers inside it; a generation bump whose content
+/// hash matches the pinned snapshot (an ASSERT/RETRACT round-trip) just
+/// adopts the new generation; other mutations are absorbed by an
+/// incremental delta patch (ddlog::GroundedQuery::ApplyDelta, counted in
+/// `ddlog.delta_grounds`) when the session's mutation log covers them and
+/// the diff is small, and only otherwise trigger a full re-ground
+/// (counted in `ddlog.regrounds`).
 ///
 /// Concurrency: Execute calls for *distinct* sessions may run in
 /// parallel; calls for one session must be serialized by the caller (the
@@ -99,14 +109,17 @@ class PreparedQuery {
   struct Stats {
     std::atomic<std::uint64_t> execs{0};       // Execute calls
     std::atomic<std::uint64_t> grounds{0};     // first grounding per session
-    std::atomic<std::uint64_t> regrounds{0};   // generation-invalidated
+    std::atomic<std::uint64_t> regrounds{0};   // full rebuild after mutation
     std::atomic<std::uint64_t> hot_hits{0};    // served from cached grounding
+    /// Mutations absorbed by an incremental ApplyDelta patch instead of a
+    /// full re-ground.
+    std::atomic<std::uint64_t> delta_grounds{0};
     obs::Histogram latency;
   };
   const Stats& stats() const { return stats_; }
   /// `{"plan": ..., "arity": n, "execs": n, "grounds": n, "regrounds":
-  /// n, "hot_hits": n, "latency": {...}}` — latency formatted by the
-  /// same path as the registry's histograms section.
+  /// n, "hot_hits": n, "delta_grounds": n, "latency": {...}}` — latency
+  /// formatted by the same path as the registry's histograms section.
   std::string StatsJson() const;
 
   /// Evaluates against the session's current data. Answers are

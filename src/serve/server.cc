@@ -306,7 +306,8 @@ Response Server::Client::RunQuery(PreparedQuery& query,
   response.info = "n=" + std::to_string(answers->tuples.size()) +
                   " plan=" + PlanKindName(info.plan) +
                   " generation=" + std::to_string(info.generation) +
-                  " grounded=" + (info.grounded ? "1" : "0");
+                  " grounded=" + (info.grounded ? "1" : "0") +
+                  " delta=" + (info.delta ? "1" : "0");
   if (answers->inconsistent) response.info += " inconsistent=1";
   return response;
 }

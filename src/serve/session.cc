@@ -8,10 +8,28 @@
 namespace obda::serve {
 
 namespace {
+
 std::uint64_t NextSessionId() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);
 }
+
+/// FNV-1a over the canonical fact text; summed per fact into the
+/// session's order-independent content hash.
+std::uint64_t FactHash(const std::string& key) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Mutation-log capacity. A prepared plan that fell more than this many
+/// generations behind re-grounds from scratch anyway, so the log only
+/// needs to cover the "serving while mutating" steady state.
+constexpr std::size_t kOpLogCap = 4096;
+
 }  // namespace
 
 Session::Session(data::Schema schema)
@@ -32,13 +50,32 @@ base::Status Session::Validate(const data::Fact& fact) const {
   return base::Status::Ok();
 }
 
+void Session::RecordOp(bool added, const data::Fact& fact) {
+  ops_.push_back(Op{added, fact});
+  if (ops_.size() > kOpLogCap) {
+    const std::size_t drop = ops_.size() - kOpLogCap;
+    ops_.erase(ops_.begin(),
+               ops_.begin() + static_cast<std::ptrdiff_t>(drop));
+    log_base_ += drop;
+  }
+}
+
 base::Result<bool> Session::Assert(const data::Fact& fact) {
   OBDA_RETURN_IF_ERROR(Validate(fact));
   std::string key = data::FormatFact(fact);
   std::lock_guard<std::mutex> lock(mu_);
   if (index_.count(key) != 0) return false;
+  content_hash_ += FactHash(key);
   index_.emplace(std::move(key), facts_.size());
   facts_.push_back(fact);
+  live_.push_back(1);
+  ++num_live_;
+  for (const std::string& name : fact.args) {
+    if (interned_ids_.emplace(name, interned_.size()).second) {
+      interned_.push_back(name);
+    }
+  }
+  RecordOp(/*added=*/true, fact);
   ++generation_;
   return true;
 }
@@ -49,12 +86,26 @@ base::Result<bool> Session::Retract(const data::Fact& fact) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) return false;
-  const std::size_t pos = it->second;
+  content_hash_ -= FactHash(key);
+  live_[it->second] = 0;
+  --num_live_;
   index_.erase(it);
-  facts_.erase(facts_.begin() + static_cast<std::ptrdiff_t>(pos));
-  for (auto& [unused, p] : index_) {
-    if (p > pos) --p;
+  // Compact once tombstones dominate; surviving order is preserved, so
+  // a from-scratch Materialize sees the same fact sequence either way.
+  if (facts_.size() > 64 && num_live_ * 2 < facts_.size()) {
+    std::vector<data::Fact> kept;
+    kept.reserve(num_live_);
+    for (std::size_t i = 0; i < facts_.size(); ++i) {
+      if (live_[i]) kept.push_back(std::move(facts_[i]));
+    }
+    facts_ = std::move(kept);
+    live_.assign(facts_.size(), 1);
+    index_.clear();
+    for (std::size_t i = 0; i < facts_.size(); ++i) {
+      index_.emplace(data::FormatFact(facts_[i]), i);
+    }
   }
+  RecordOp(/*added=*/false, fact);
   ++generation_;
   return true;
 }
@@ -66,22 +117,101 @@ std::uint64_t Session::generation() const {
 
 std::size_t Session::num_facts() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return facts_.size();
+  return num_live_;
+}
+
+bool Session::NetOpsLocked(std::uint64_t from_generation,
+                           FactDelta* out) const {
+  if (from_generation < log_base_) return false;  // log trimmed
+  // Net the ops: the session's fact list is deduplicated, so per fact the
+  // net effect over any window is +1 (added), -1 (removed), or 0.
+  std::unordered_map<std::string, int> net;
+  const std::size_t begin =
+      static_cast<std::size_t>(from_generation - log_base_);
+  for (std::size_t i = begin; i < ops_.size(); ++i) {
+    net[data::FormatFact(ops_[i].fact)] += ops_[i].added ? 1 : -1;
+  }
+  // Emit in op order (first touch wins) for a deterministic diff.
+  for (std::size_t i = begin; i < ops_.size(); ++i) {
+    const std::string key = data::FormatFact(ops_[i].fact);
+    auto it = net.find(key);
+    if (it == net.end()) continue;
+    if (it->second > 0) {
+      out->added.push_back(ops_[i].fact);
+    } else if (it->second < 0) {
+      out->removed.push_back(ops_[i].fact);
+    }
+    net.erase(it);
+  }
+  return true;
 }
 
 Session::Snapshot Session::Materialize() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (cached_.instance == nullptr || cached_.generation != generation_) {
-    auto instance = std::make_shared<data::Instance>(schema_);
-    for (const data::Fact& f : facts_) {
-      // Facts were validated at Assert time against the same schema.
-      base::Status status = instance->AddFactByName(f.relation, f.args);
-      OBDA_CHECK(status.ok());
-    }
-    cached_.instance = std::move(instance);
-    cached_.generation = generation_;
+  if (cached_.instance != nullptr && cached_.generation == generation_) {
+    return cached_;
   }
+  // Incremental path: copy the previous snapshot and apply the net diff —
+  // no re-interning, no per-fact string hashing over the unchanged bulk.
+  // ConstIds stay stable because the copy carries the full interned
+  // prefix and only the (append-only) suffix is added.
+  FactDelta diff;
+  if (cached_.instance != nullptr &&
+      NetOpsLocked(cached_.generation, &diff)) {
+    auto instance = std::make_shared<data::Instance>(*cached_.instance);
+    for (std::size_t i = instance->UniverseSize(); i < interned_.size();
+         ++i) {
+      instance->AddConstant(interned_[i]);
+    }
+    bool ok = true;
+    for (const data::Fact& f : diff.removed) {
+      auto removed = instance->RemoveFactByName(f.relation, f.args);
+      if (!removed.ok() || !*removed) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      for (const data::Fact& f : diff.added) {
+        if (!instance->AddFactByName(f.relation, f.args).ok()) {
+          ok = false;
+          break;
+        }
+      }
+    }
+    if (ok) {
+      cached_.instance = std::move(instance);
+      cached_.generation = generation_;
+      cached_.content_hash = content_hash_;
+      return cached_;
+    }
+  }
+  auto instance = std::make_shared<data::Instance>(schema_);
+  // Intern the session's full constant set up front so ConstIds are
+  // stable across every snapshot of this session (delta patching of
+  // pinned groundings depends on it; see the class comment).
+  for (const std::string& name : interned_) instance->AddConstant(name);
+  for (std::size_t i = 0; i < facts_.size(); ++i) {
+    if (!live_[i]) continue;
+    const data::Fact& f = facts_[i];
+    // Facts were validated at Assert time against the same schema.
+    base::Status status = instance->AddFactByName(f.relation, f.args);
+    OBDA_CHECK(status.ok());
+  }
+  cached_.instance = std::move(instance);
+  cached_.generation = generation_;
+  cached_.content_hash = content_hash_;
   return cached_;
+}
+
+std::optional<FactDelta> Session::DiffSince(
+    std::uint64_t from_generation) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (from_generation > generation_) return std::nullopt;
+  if (from_generation == generation_) return FactDelta{};
+  FactDelta delta;
+  if (!NetOpsLocked(from_generation, &delta)) return std::nullopt;
+  return delta;
 }
 
 }  // namespace obda::serve

@@ -1,5 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
 #include "base/rng.h"
 #include "data/generator.h"
 #include "data/homomorphism.h"
@@ -328,6 +334,149 @@ TEST_P(MddlogHomPreservationTest, AnswersTransport) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MddlogHomPreservationTest,
                          ::testing::Range(0, 10));
+
+// --- Incremental delta grounding -------------------------------------------
+
+/// A fact over the {E/2, L/1} schema, identified by constant indices into
+/// the fixed pool c0..c5 every instance of one test interns up front (so
+/// ConstIds mean the same constants in every instance, the ApplyDelta
+/// interning contract).
+struct IndexedFact {
+  int rel = 0;  // 0 = E, 1 = L
+  std::vector<int> args;
+
+  auto operator<=>(const IndexedFact&) const = default;
+};
+
+class DeltaGroundTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(DeltaGroundTest, PatchedGroundingMatchesFreshBuild) {
+  const int seed = std::get<0>(GetParam());
+  const int threads = std::get<1>(GetParam());
+  constexpr int kNumConstants = 6;
+
+  Schema schema;
+  schema.AddRelation("E", 2);
+  schema.AddRelation("L", 1);
+  // Disjunction + recursion + a constraint, so mutation sequences cross
+  // in and out of inconsistency and the inconsistent flag is exercised.
+  auto program = ParseProgram(schema, R"(
+    P(x) | Q(x) <- adom(x).
+    Q(y) <- P(x), E(x,y).
+    P(y) <- Q(x), E(x,y).
+    <- P(x), Q(x), L(x).
+    goal(x) <- Q(x).
+  )");
+  ASSERT_TRUE(program.ok());
+
+  base::Rng rng(6200 + 10 * seed + threads);
+  auto random_fact = [&rng]() {
+    IndexedFact f;
+    if (rng.Chance(2, 3)) {
+      f.rel = 0;
+      f.args = {static_cast<int>(rng.Below(kNumConstants)),
+                static_cast<int>(rng.Below(kNumConstants))};
+    } else {
+      f.rel = 1;
+      f.args = {static_cast<int>(rng.Below(kNumConstants))};
+    }
+    return f;
+  };
+  std::set<IndexedFact> facts;
+  for (int i = 0, n = static_cast<int>(rng.Below(8)); i < n; ++i) {
+    facts.insert(random_fact());
+  }
+
+  // All instances of the run stay alive: the grounding references the one
+  // it was last patched against.
+  std::vector<std::unique_ptr<Instance>> pinned;
+  auto materialize = [&schema, &facts, &pinned]() -> Instance* {
+    auto instance = std::make_unique<Instance>(schema);
+    for (int c = 0; c < kNumConstants; ++c) {
+      instance->AddConstant("c" + std::to_string(c));
+    }
+    for (const IndexedFact& f : facts) {
+      std::vector<std::string> names;
+      for (int a : f.args) names.push_back("c" + std::to_string(a));
+      OBDA_CHECK(
+          instance->AddFactByName(f.rel == 0 ? "E" : "L", names).ok());
+    }
+    pinned.push_back(std::move(instance));
+    return pinned.back().get();
+  };
+
+  EvalOptions options;
+  options.threads = threads;
+  ASSERT_TRUE(options.enable_delta);  // the default under test
+
+  Instance* current = materialize();
+  auto built = GroundedQuery::Build(*program, *current, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  GroundedQuery grounded = std::move(built).value();
+
+  for (int batch = 0; batch < 6; ++batch) {
+    // A batch of random mutations, netted into one InstanceDelta.
+    const std::set<IndexedFact> before = facts;
+    const int muts = 1 + static_cast<int>(rng.Below(4));
+    for (int m = 0; m < muts; ++m) {
+      if (!facts.empty() && rng.Chance(1, 3)) {
+        auto it = facts.begin();
+        std::advance(it, static_cast<std::ptrdiff_t>(
+                             rng.Below(facts.size())));
+        facts.erase(it);
+      } else {
+        facts.insert(random_fact());
+      }
+    }
+    InstanceDelta delta;
+    auto to_change = [](const IndexedFact& f) {
+      InstanceDelta::FactChange change;
+      change.relation = static_cast<data::RelationId>(f.rel);
+      for (int a : f.args) {
+        change.args.push_back(static_cast<ConstId>(a));
+      }
+      return change;
+    };
+    for (const IndexedFact& f : facts) {
+      if (before.count(f) == 0) delta.added.push_back(to_change(f));
+    }
+    for (const IndexedFact& f : before) {
+      if (facts.count(f) == 0) delta.removed.push_back(to_change(f));
+    }
+
+    current = materialize();
+    base::Status applied = grounded.ApplyDelta(*current, delta);
+    ASSERT_TRUE(applied.ok()) << applied.ToString();
+
+    auto patched = grounded.ComputeCertainAnswers();
+    ASSERT_TRUE(patched.ok()) << patched.status().ToString();
+    auto fresh = CertainAnswers(*program, *current, options);
+    ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+    EXPECT_EQ(patched->tuples, fresh->tuples)
+        << "seed " << seed << " threads " << threads << " batch " << batch;
+    EXPECT_EQ(patched->inconsistent, fresh->inconsistent)
+        << "seed " << seed << " threads " << threads << " batch " << batch;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DeltaGroundTest,
+    ::testing::Combine(::testing::Range(0, 50), ::testing::Values(1, 2, 8)));
+
+TEST(DeltaGroundTest, RequiresBuildTimeOptIn) {
+  Schema schema = GraphSchema();
+  auto program = ParseProgram(schema, "goal(x) <- E(x,y).");
+  ASSERT_TRUE(program.ok());
+  Instance instance(schema);
+  ASSERT_TRUE(instance.AddFactByName("E", {"a", "b"}).ok());
+  EvalOptions options;
+  options.enable_delta = false;
+  auto grounded = GroundedQuery::Build(*program, instance, options);
+  ASSERT_TRUE(grounded.ok());
+  base::Status status = grounded->ApplyDelta(instance, InstanceDelta{});
+  EXPECT_EQ(status.code(), base::StatusCode::kInvalidArgument);
+}
 
 }  // namespace
 }  // namespace obda::ddlog

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "base/rng.h"
+#include "sat/preprocess.h"
 #include "sat/solver.h"
 
 namespace obda::sat {
@@ -406,6 +409,242 @@ TEST(SatFuzzTest, DeterministicAcrossRepeatedRuns) {
     EXPECT_EQ(sa.reductions, sb.reductions);
     EXPECT_EQ(sa.backjump_levels, sb.backjump_levels);
     EXPECT_EQ(sa.max_trail, sb.max_trail);
+  }
+}
+
+// --- Removable clauses ------------------------------------------------------
+
+TEST(RemovableClauseTest, RemoveRestoresSatisfiability) {
+  Solver s;
+  Var a = s.NewVar();
+  s.AddClause({Lit::Pos(a)});
+  Solver::ClauseId id = s.AddRemovableClause({Lit::Neg(a)});
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+  s.RemoveClause(id);
+  EXPECT_EQ(s.Solve(), SatOutcome::kSat);
+  EXPECT_TRUE(s.ModelValue(a));
+}
+
+TEST(RemovableClauseTest, EmptyRemovableClauseIsRevocableUnsat) {
+  Solver s;
+  Var a = s.NewVar();
+  s.AddClause({Lit::Pos(a)});
+  // An empty removable clause (e.g. all its literals normalized away)
+  // makes the theory unsat only while it is present.
+  Solver::ClauseId id = s.AddRemovableClause({});
+  EXPECT_EQ(s.Solve(), SatOutcome::kUnsat);
+  s.RemoveClause(id);
+  EXPECT_EQ(s.Solve(), SatOutcome::kSat);
+}
+
+TEST(RemovableClauseTest, ChurnFuzzAgainstTruthTable) {
+  // Random add/remove churn on the removable set, adjudicated by the
+  // truth-table oracle over the permanents plus the LIVE removables after
+  // every mutation. This is the contract delta grounding leans on: a
+  // warmed solver whose clause set is patched in place must behave
+  // exactly like a fresh solver loaded with the surviving clauses.
+  for (int seed = 0; seed < 60; ++seed) {
+    base::Rng rng(555000 + seed);
+    RandomCnf base = MakeRandomCnf(&rng, 12);
+    Solver s;
+    for (int i = 0; i < base.num_vars; ++i) s.NewVar();
+    // Half the base CNF is permanent, half starts out removable. All
+    // permanents go in first (the documented mixing contract: AddClause
+    // simplifies against the level-0 trail, which must not yet contain
+    // consequences of retractable clauses).
+    std::vector<std::pair<Solver::ClauseId, MaskClause>> live;
+    std::vector<MaskClause> permanent;
+    for (std::size_t i = 0; i < base.clauses.size(); i += 2) {
+      s.AddClause(base.clauses[i]);
+      permanent.push_back(base.masks[i]);
+    }
+    for (std::size_t i = 1; i < base.clauses.size(); i += 2) {
+      live.emplace_back(s.AddRemovableClause(base.clauses[i]),
+                        base.masks[i]);
+    }
+    for (int round = 0; round < 16; ++round) {
+      if (!live.empty() && rng.Chance(1, 2)) {
+        const std::size_t i = rng.Below(live.size());
+        s.RemoveClause(live[i].first);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        const int len = rng.IntIn(1, 4);
+        std::vector<Lit> clause;
+        MaskClause mask;
+        for (int j = 0; j < len; ++j) {
+          Var v = static_cast<Var>(rng.Below(base.num_vars));
+          if (rng.Chance(1, 2)) {
+            clause.push_back(Lit::Pos(v));
+            mask.pos |= std::uint32_t{1} << v;
+          } else {
+            clause.push_back(Lit::Neg(v));
+            mask.neg |= std::uint32_t{1} << v;
+          }
+        }
+        live.emplace_back(s.AddRemovableClause(std::move(clause)), mask);
+      }
+      std::vector<MaskClause> masks = permanent;
+      for (const auto& [unused, m] : live) masks.push_back(m);
+      const bool expected = OracleSat(base.num_vars, masks);
+      SatOutcome outcome = s.Solve();
+      ASSERT_NE(outcome, SatOutcome::kBudget) << "seed " << seed;
+      ASSERT_EQ(outcome == SatOutcome::kSat, expected)
+          << "seed " << seed << " round " << round;
+      if (outcome == SatOutcome::kSat) {
+        std::uint32_t model = 0;
+        for (int v = 0; v < base.num_vars; ++v) {
+          if (s.ModelValue(v)) model |= std::uint32_t{1} << v;
+        }
+        for (std::size_t i = 0; i < masks.size(); ++i) {
+          ASSERT_NE((masks[i].pos & model) | (masks[i].neg & ~model), 0u)
+              << "seed " << seed << " round " << round << " clause " << i;
+        }
+      }
+    }
+  }
+}
+
+// --- Preprocessor -----------------------------------------------------------
+
+TEST(PreprocessTest, PassthroughIsNormalizationOnly) {
+  // All passes off: clauses are normalized/deduplicated but no variable
+  // leaves the formula, and the remapper is the identity.
+  PreprocessOptions off;
+  off.units = off.pure = off.equiv = off.subsumption = off.bve = false;
+  std::vector<std::vector<Lit>> clauses = {
+      {Lit::Pos(0), Lit::Pos(1), Lit::Pos(0)},  // dup literal
+      {Lit::Pos(1), Lit::Pos(0)},               // dup clause (after sort)
+      {Lit::Pos(2), Lit::Neg(2)},               // tautology
+      {Lit::Neg(1)},
+  };
+  PreprocessResult res =
+      Preprocess(3, clauses, std::vector<bool>(3, false), off);
+  ASSERT_FALSE(res.unsat);
+  EXPECT_EQ(res.clauses.size(), 2u);
+  for (Var v = 0; v < 3; ++v) {
+    EXPECT_EQ(res.remapper.StateOf(v), Remapper::VarState::kFree);
+  }
+}
+
+TEST(PreprocessTest, UnitsFixAndFrozenPureSurvives) {
+  // {a} fixes a; b is pure-positive but frozen, so it must survive for
+  // assumption probes; c is pure and free, so it is eliminated.
+  std::vector<std::vector<Lit>> clauses = {
+      {Lit::Pos(0)},
+      {Lit::Neg(0), Lit::Pos(1), Lit::Pos(2)},
+  };
+  std::vector<bool> frozen = {false, true, false};
+  PreprocessResult res = Preprocess(3, clauses, frozen);
+  ASSERT_FALSE(res.unsat);
+  EXPECT_EQ(res.remapper.StateOf(0), Remapper::VarState::kFixedTrue);
+  EXPECT_NE(res.remapper.StateOf(1), Remapper::VarState::kEliminated);
+  // The frozen variable still maps to something usable as an assumption.
+  Remapper::MappedLit m = res.remapper.MapLit(Lit::Neg(1));
+  (void)m;
+  // A model of the simplified CNF completes to a model of the original.
+  std::vector<char> model(3, 0);
+  res.remapper.CompleteModel(&model);
+  EXPECT_EQ(model[0], 1);  // fixed true
+}
+
+TEST(PreprocessTest, DerivesUnsatFromContradictoryUnits) {
+  std::vector<std::vector<Lit>> clauses = {{Lit::Pos(0)}, {Lit::Neg(0)}};
+  PreprocessResult res = Preprocess(1, clauses, {false});
+  EXPECT_TRUE(res.unsat);
+}
+
+TEST(PreprocessFuzzTest, DifferentialBatteryAgainstRawSolver) {
+  // The 500-CNF oracle harness, through the preprocessor: for each CNF,
+  // simplify (with a random frozen set), solve the simplified formula,
+  // and check (a) sat/unsat agrees with the truth-table oracle, (b) the
+  // remapper completes simplified models into models of the ORIGINAL
+  // CNF, (c) frozen variables are never eliminated, (d) assumption
+  // probes over frozen variables, routed through MapLit exactly as the
+  // certain-answer engine routes them, agree with a raw-CNF solver.
+  for (int seed = 0; seed < 500; ++seed) {
+    base::Rng rng(9000 + seed);  // same CNFs as the raw battery
+    RandomCnf cnf = MakeRandomCnf(&rng, 18);
+    std::vector<bool> frozen(cnf.num_vars);
+    std::vector<Var> frozen_vars;
+    for (int v = 0; v < cnf.num_vars; ++v) {
+      if (rng.Chance(1, 4)) {
+        frozen[v] = true;
+        frozen_vars.push_back(v);
+      }
+    }
+    PreprocessResult res = Preprocess(
+        static_cast<std::size_t>(cnf.num_vars), cnf.clauses, frozen);
+    const bool expected = OracleSat(cnf.num_vars, cnf.masks);
+    if (res.unsat) {  // remapper unusable in the unsat case
+      ASSERT_FALSE(expected) << "seed " << seed;
+      continue;
+    }
+    for (Var v : frozen_vars) {
+      ASSERT_NE(res.remapper.StateOf(v), Remapper::VarState::kEliminated)
+          << "seed " << seed << " frozen var " << v;
+    }
+    Solver simplified;
+    for (std::size_t i = 0; i < res.num_vars; ++i) simplified.NewVar();
+    for (const auto& c : res.clauses) simplified.AddClause(c);
+    SatOutcome outcome = simplified.Solve();
+    ASSERT_NE(outcome, SatOutcome::kBudget) << "seed " << seed;
+    ASSERT_EQ(outcome == SatOutcome::kSat, expected) << "seed " << seed;
+    if (outcome == SatOutcome::kSat) {
+      std::vector<char> model(res.num_vars, 0);
+      for (std::size_t v = 0; v < res.num_vars; ++v) {
+        model[v] = simplified.ModelValue(static_cast<Var>(v)) ? 1 : 0;
+      }
+      res.remapper.CompleteModel(&model);
+      std::uint32_t bits = 0;
+      for (int v = 0; v < cnf.num_vars; ++v) {
+        if (model[static_cast<std::size_t>(v)]) {
+          bits |= std::uint32_t{1} << v;
+        }
+      }
+      for (std::size_t i = 0; i < cnf.masks.size(); ++i) {
+        ASSERT_NE((cnf.masks[i].pos & bits) | (cnf.masks[i].neg & ~bits),
+                  0u)
+            << "seed " << seed << " original clause " << i;
+      }
+    }
+    // Determinism: a second run is bit-identical.
+    PreprocessResult again = Preprocess(
+        static_cast<std::size_t>(cnf.num_vars), cnf.clauses, frozen);
+    ASSERT_EQ(res.clauses, again.clauses) << "seed " << seed;
+
+    // Assumption probes over frozen variables (engine routing).
+    if (frozen_vars.empty()) continue;
+    Solver raw;
+    for (int i = 0; i < cnf.num_vars; ++i) raw.NewVar();
+    for (const auto& c : cnf.clauses) raw.AddClause(c);
+    for (int round = 0; round < 6; ++round) {
+      const int num_assumptions = rng.IntIn(1, 2);
+      std::vector<Lit> original;
+      std::vector<Lit> mapped;
+      bool mapped_false = false;
+      for (int i = 0; i < num_assumptions; ++i) {
+        Var v = frozen_vars[rng.Below(frozen_vars.size())];
+        Lit l = rng.Chance(1, 2) ? Lit::Pos(v) : Lit::Neg(v);
+        original.push_back(l);
+        Remapper::MappedLit m = res.remapper.MapLit(l);
+        switch (m.kind) {
+          case Remapper::MappedLit::Kind::kFalse:
+            mapped_false = true;
+            break;
+          case Remapper::MappedLit::Kind::kTrue:
+            break;  // vacuous assumption
+          case Remapper::MappedLit::Kind::kLit:
+            mapped.push_back(m.lit);
+            break;
+        }
+      }
+      SatOutcome raw_outcome = raw.Solve(original);
+      ASSERT_NE(raw_outcome, SatOutcome::kBudget) << "seed " << seed;
+      const bool probe_sat =
+          !mapped_false && simplified.Solve(mapped) == SatOutcome::kSat;
+      ASSERT_EQ(probe_sat, raw_outcome == SatOutcome::kSat)
+          << "seed " << seed << " probe round " << round;
+    }
   }
 }
 

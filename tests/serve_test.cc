@@ -158,6 +158,7 @@ TEST_P(PreparedVsDirectTest, BitIdenticalAnswersAcrossMutations) {
   Session session(ElSchema());
   std::vector<Fact> live;
   std::uint64_t queried_generation = 0;
+  std::uint64_t queried_content = 0;
   bool ever_queried = false;
   for (int round = 0; round < 3; ++round) {
     // A batch of random mutations (asserts, and retracts of live facts).
@@ -182,12 +183,29 @@ TEST_P(PreparedVsDirectTest, BitIdenticalAnswersAcrossMutations) {
     ASSERT_TRUE(a1.ok()) << a1.status().ToString();
     auto a2 = (*prepared)->Execute(session, RequestBudget{}, &info2);
     ASSERT_TRUE(a2.ok()) << a2.status().ToString();
+    const Session::Snapshot snap = session.Materialize();
     const bool data_changed =
-        !ever_queried || session.generation() != queried_generation;
-    EXPECT_EQ(info1.grounded, data_changed);
+        !ever_queried || snap.generation != queried_generation;
+    const bool content_changed =
+        !ever_queried || snap.content_hash != queried_content;
+    if (!ever_queried) {
+      EXPECT_TRUE(info1.grounded);  // cold: the first query must ground
+      EXPECT_FALSE(info1.delta);
+    } else if (!data_changed || !content_changed) {
+      // Unchanged data (or a content round-trip): served straight from
+      // the pinned grounding, no grounding work of any kind.
+      EXPECT_FALSE(info1.grounded);
+      EXPECT_FALSE(info1.delta);
+    } else {
+      // A real mutation is absorbed either by an incremental delta patch
+      // or by a full re-ground — never served stale.
+      EXPECT_TRUE(info1.grounded || info1.delta);
+    }
     ever_queried = true;
-    queried_generation = session.generation();
+    queried_generation = snap.generation;
+    queried_content = snap.content_hash;
     EXPECT_FALSE(info2.grounded);
+    EXPECT_FALSE(info2.delta);
     EXPECT_EQ(info1.fingerprint, info2.fingerprint);
     EXPECT_EQ(a1->tuples, a2->tuples);
     EXPECT_EQ(a1->inconsistent, a2->inconsistent);
@@ -209,10 +227,11 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, PreparedVsDirectTest,
     ::testing::Combine(::testing::Range(0, 50), ::testing::Values(1, 2, 8)));
 
-TEST(PreparedQueryTest, RegroundOnlyOnGenerationChange) {
+TEST(PreparedQueryTest, DeltaPatchesAbsorbSmallMutations) {
   obs::EnableMetrics(true);
   obs::MetricsRegistry::Global().ResetAll();
   obs::Counter& regrounds = obs::GetCounter("ddlog.regrounds");
+  obs::Counter& delta_grounds = obs::GetCounter("ddlog.delta_grounds");
 
   base::Rng rng(3);
   ddlog::Program program = RandomProgram(rng, false);
@@ -226,23 +245,74 @@ TEST(PreparedQueryTest, RegroundOnlyOnGenerationChange) {
   ASSERT_TRUE((*prepared)->Execute(session, RequestBudget{}, &info).ok());
   const ddlog::GroundingFingerprint first = info.fingerprint;
   EXPECT_TRUE(info.grounded);          // cold: first grounding
+  EXPECT_FALSE(info.delta);
   EXPECT_EQ(regrounds.value(), 0u);    // ... is not a RE-ground
   for (int i = 0; i < 5; ++i) {
     ASSERT_TRUE((*prepared)->Execute(session, RequestBudget{}, &info).ok());
     EXPECT_FALSE(info.grounded);
+    EXPECT_FALSE(info.delta);
     EXPECT_EQ(regrounds.value(), 0u);  // steady state: zero re-grounds
   }
-  // Mutate and mutate back: one re-ground per generation change, and the
-  // round-tripped data produces the very same grounding fingerprint.
+  // A small mutation is absorbed by an incremental delta patch, never a
+  // full re-ground; the patched grounding covers different data, so its
+  // fingerprint moves.
   ASSERT_TRUE(session.Assert(Fact{"L", {"b"}}).ok());
   ASSERT_TRUE((*prepared)->Execute(session, RequestBudget{}, &info).ok());
-  EXPECT_TRUE(info.grounded);
-  EXPECT_EQ(regrounds.value(), 1u);
+  EXPECT_FALSE(info.grounded);
+  EXPECT_TRUE(info.delta);
+  EXPECT_EQ(regrounds.value(), 0u);
+  EXPECT_EQ(delta_grounds.value(), 1u);
   EXPECT_NE(first, info.fingerprint);
+  // Retracting it is again a delta patch: the pinned grounding has moved
+  // on, so from its point of view this is not a content round-trip.
   ASSERT_TRUE(session.Retract(Fact{"L", {"b"}}).ok());
   ASSERT_TRUE((*prepared)->Execute(session, RequestBudget{}, &info).ok());
-  EXPECT_EQ(regrounds.value(), 2u);
+  EXPECT_FALSE(info.grounded);
+  EXPECT_TRUE(info.delta);
+  EXPECT_EQ(regrounds.value(), 0u);
+  EXPECT_EQ(delta_grounds.value(), 2u);
+  EXPECT_EQ((*prepared)->stats().delta_grounds.load(), 2u);
+  obs::EnableMetrics(false);
+}
+
+TEST(PreparedQueryTest, ContentFingerprintRoundTripServesHot) {
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::Counter& regrounds = obs::GetCounter("ddlog.regrounds");
+
+  base::Rng rng(3);
+  ddlog::Program program = RandomProgram(rng, false);
+  auto prepared = PreparedQuery::FromProgram(program, PrepareOptions());
+  ASSERT_TRUE(prepared.ok());
+  Session session(ElSchema());
+  ASSERT_TRUE(session.Assert(Fact{"E", {"a", "b"}}).ok());
+  ASSERT_TRUE(session.Assert(Fact{"L", {"a"}}).ok());
+
+  ExecInfo info;
+  auto a1 = (*prepared)->Execute(session, RequestBudget{}, &info);
+  ASSERT_TRUE(a1.ok());
+  const ddlog::GroundingFingerprint first = info.fingerprint;
+  const std::uint64_t gen = session.generation();
+
+  // Mutate and mutate back WITHOUT querying in between: the generation
+  // moves by two but the fact-set content fingerprint round-trips, so the
+  // next query recognizes the identical fact set and serves straight from
+  // the pinned grounding — no re-ground, no delta patch, and the very
+  // same fingerprint.
+  ASSERT_TRUE(session.Assert(Fact{"L", {"b"}}).ok());
+  ASSERT_TRUE(session.Retract(Fact{"L", {"b"}}).ok());
+  EXPECT_EQ(session.generation(), gen + 2);
+  auto a2 = (*prepared)->Execute(session, RequestBudget{}, &info);
+  ASSERT_TRUE(a2.ok());
+  EXPECT_FALSE(info.grounded);
+  EXPECT_FALSE(info.delta);
+  EXPECT_EQ(info.generation, gen + 2);
   EXPECT_EQ(first, info.fingerprint);
+  EXPECT_EQ(a1->tuples, a2->tuples);
+  EXPECT_EQ(a1->inconsistent, a2->inconsistent);
+  EXPECT_EQ(regrounds.value(), 0u);
+  EXPECT_EQ((*prepared)->stats().delta_grounds.load(), 0u);
+  EXPECT_EQ((*prepared)->stats().hot_hits.load(), 1u);
   obs::EnableMetrics(false);
 }
 
@@ -550,19 +620,22 @@ TEST(ServerTest, ProtocolSessionEndToEnd) {
             "OK added=2 generation=2\n");
   EXPECT_EQ(client->HandleLine("QUERY q"),
             "(ann)\n(bob)\nOK n=2 plan=datalog_rewriting generation=2 "
-            "grounded=0\n");
+            "grounded=0 delta=0\n");
   EXPECT_EQ(client->HandleLine("RETRACT Listeriosis(bob)"),
             "OK removed=1 generation=3\n");
   EXPECT_EQ(client->HandleLine("QUERY q"),
-            "(ann)\nOK n=1 plan=datalog_rewriting generation=3 grounded=0\n");
+            "(ann)\nOK n=1 plan=datalog_rewriting generation=3 grounded=0 "
+            "delta=0\n");
 
   // The forced-SAT plan must agree on the same data.
   EXPECT_EQ(client->HandleLine("PREPARE qsat SAT AQ BacterialInfection"),
             "OK plan=sat_grounding cached=0 arity=1\n");
   EXPECT_EQ(client->HandleLine("QUERY qsat"),
-            "(ann)\nOK n=1 plan=sat_grounding generation=3 grounded=1\n");
+            "(ann)\nOK n=1 plan=sat_grounding generation=3 grounded=1 "
+            "delta=0\n");
   EXPECT_EQ(client->HandleLine("QUERY qsat"),
-            "(ann)\nOK n=1 plan=sat_grounding generation=3 grounded=0\n");
+            "(ann)\nOK n=1 plan=sat_grounding generation=3 grounded=0 "
+            "delta=0\n");
 
   // A second client preparing the same query hits the shared cache.
   auto other = server.NewClient();
@@ -575,7 +648,7 @@ TEST(ServerTest, ProtocolSessionEndToEnd) {
             "OK plan=datalog_rewriting cached=1 arity=1\n");
   // ... and its data stays isolated from the first client's.
   EXPECT_EQ(other->HandleLine("QUERY q"),
-            "OK n=0 plan=datalog_rewriting generation=0 grounded=0\n");
+            "OK n=0 plan=datalog_rewriting generation=0 grounded=0 delta=0\n");
 
   EXPECT_EQ(client->HandleLine("QUERY nosuch"),
             "ERR NOT_FOUND: no prepared query named nosuch\n");
