@@ -25,11 +25,13 @@
 // to leave on in production.
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "base/rng.h"
+#include "base/simd.h"
 #include "bench_util.h"
 #include "data/generator.h"
 #include "data/homomorphism.h"
@@ -309,16 +311,23 @@ int main() {
     obda::data::Instance b = MultiRelTarget(multi, 256, 3200, rng);
     std::vector<obda::data::Instance> probes;
     probes.reserve(kProbes);
+    // 6-edge probes: long enough that the per-call fixed cost (one timer
+    // read + one trace span) is amortized the way serving probes amortize
+    // it, short enough that the battery still runs in milliseconds.
     for (int p = 0; p < kProbes; ++p) {
-      probes.push_back(PathProbe(multi, 4, rng));
+      probes.push_back(PathProbe(multi, 6, rng));
     }
     obda::data::Instance d = obda::data::RandomDigraph("E", 128, 512, rng);
     const obda::data::CompiledTarget target(b);
+    // Four sweeps per rep: the probe battery alone is ~2 ms since the
+    // saturation cutoff, too short for a stable on/off ratio.
     auto workload = [&] {
-      for (std::size_t p = 0; p < probes.size(); ++p) {
-        (void)obda::data::FindHomomorphism(probes[p], target);
+      for (int sweep = 0; sweep < 4; ++sweep) {
+        for (std::size_t p = 0; p < probes.size(); ++p) {
+          (void)obda::data::FindHomomorphism(probes[p], target);
+        }
+        (void)obda::ddlog::GroundedQuery::Build(*program, d);
       }
-      (void)obda::ddlog::GroundedQuery::Build(*program, d);
     };
     auto min_of = [&](int reps) {
       double best = 0;
@@ -345,6 +354,237 @@ int main() {
     ReportMetric("instr_off_ms", off_ms);
     ReportMetric("instr_on_ms", on_ms);
     ReportMetric("overhead_ratio", overhead_ratio);
+  }
+
+  // --- Part 5: vector vs scalar kernel dispatch ------------------------
+  // The same MAC search forced down both kernel tables on a WIDE target
+  // (4096 constants: 64-word domain rows, 16 AVX2 blocks per sweep),
+  // where propagation is whole-row sweeps and the kernels carry the run.
+  // The workload is the canonical OBDA query shape — role paths with
+  // concept atoms on every variable — over a dense labelled digraph:
+  // concept revises are presence intersections (popcount-bound, where
+  // AVX2 shines) and role revises are adjacency-row unions that the
+  // saturation cutoff keeps short. The two paths must be bit-identical —
+  // same verdicts, same node counts, same kernel traffic — so the
+  // checksums double as a differential test with the scalar table as
+  // oracle. Timing interleaves scalar/AVX2 pairs and gates on the
+  // median ratio so ambient load drift cannot fake (or mask) a
+  // regression.
+  {
+    namespace simd = obda::base::simd;
+    // Dedicated seed: the workload is the one validated against the
+    // scalar oracle, independent of how much entropy Parts 1-4 drew.
+    obda::base::Rng wide_rng(7);
+    constexpr std::size_t kWideN = 4096;
+    constexpr std::size_t kWideEdges = 3'000'000;
+    constexpr int kConcepts = 8;
+    constexpr int kWideProbes = 120;
+    constexpr int kRounds = 5;
+    obda::data::Schema wide;
+    wide.AddRelation("E", 2);
+    for (int c = 0; c < kConcepts; ++c) {
+      wide.AddRelation("C" + std::to_string(c), 1);
+    }
+    obda::data::Instance b(wide);
+    for (std::size_t i = 0; i < kWideN; ++i) {
+      b.AddConstant("b" + std::to_string(i));
+    }
+    for (std::size_t e = 0; e < kWideEdges; ++e) {
+      const auto u = static_cast<obda::data::ConstId>(wide_rng.Below(kWideN));
+      const auto v = static_cast<obda::data::ConstId>(wide_rng.Below(kWideN));
+      if (u != v) b.AddFact(0, {u, v});
+    }
+    // Broad concepts (3/4 density): they prune little, so domains stay
+    // wide, but every revise re-intersects the concept presence rows.
+    for (std::size_t i = 0; i < kWideN; ++i) {
+      for (int c = 0; c < kConcepts; ++c) {
+        if (wide_rng.Below(4) < 3) {
+          b.AddFact(static_cast<obda::data::RelationId>(1 + c),
+                    {static_cast<obda::data::ConstId>(i)});
+        }
+      }
+    }
+    std::vector<obda::data::Instance> probes;
+    probes.reserve(kWideProbes);
+    for (int p = 0; p < kWideProbes; ++p) {
+      obda::data::Instance a(wide);
+      const std::size_t n = 5 + wide_rng.Below(4);
+      for (std::size_t i = 0; i <= n; ++i) {
+        a.AddConstant("a" + std::to_string(i));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        a.AddFact(0, {static_cast<obda::data::ConstId>(i),
+                      static_cast<obda::data::ConstId>(i + 1)});
+      }
+      for (std::size_t i = 0; i <= n; ++i) {
+        for (int c = 0; c < 2; ++c) {
+          a.AddFact(static_cast<obda::data::RelationId>(
+                        1 + wide_rng.Below(kConcepts)),
+                    {static_cast<obda::data::ConstId>(i)});
+        }
+      }
+      probes.push_back(std::move(a));
+    }
+    struct DispatchRun {
+      double ms = 0;
+      std::uint64_t verdict_checksum = 0;
+      std::uint64_t node_checksum = 0;
+      std::uint64_t sweep_bytes = 0;
+    };
+    // Built once, outside the timed region: the CSR/adjacency build is
+    // mostly scalar scatter on either path, and the gate measures the
+    // probe hot loop.
+    const obda::data::CompiledTarget wide_target(b);
+    auto run_pass = [&](simd::Dispatch d) {
+      simd::ForceDispatch(d);
+      DispatchRun out;
+      Timer t;
+      for (const auto& probe : probes) {
+        const obda::data::HomResult r =
+            obda::data::FindHomomorphism(probe, wide_target);
+        out.verdict_checksum =
+            out.verdict_checksum * 1099511628211ULL + (r.found ? 2 : 1);
+        out.node_checksum =
+            out.node_checksum * 1099511628211ULL + r.nodes;
+        out.sweep_bytes += r.sweep_bytes;
+      }
+      out.ms = t.Millis();
+      return out;
+    };
+    run_pass(simd::Dispatch::kScalar);  // warm page cache / branch history
+    run_pass(simd::Dispatch::kAvx2);
+    DispatchRun scalar_run, vector_run;
+    std::vector<double> ratios;
+    bool checksums_agree = true;
+    for (int round = 0; round < kRounds; ++round) {
+      const DispatchRun s = run_pass(simd::Dispatch::kScalar);
+      const DispatchRun v = run_pass(simd::Dispatch::kAvx2);
+      checksums_agree = checksums_agree &&
+                        s.verdict_checksum == v.verdict_checksum &&
+                        s.node_checksum == v.node_checksum &&
+                        s.sweep_bytes == v.sweep_bytes;
+      ratios.push_back(v.ms > 0 ? s.ms / v.ms : 0.0);
+      scalar_run.ms += s.ms;
+      vector_run.ms += v.ms;
+      scalar_run.sweep_bytes += s.sweep_bytes;
+      vector_run.sweep_bytes += v.sweep_bytes;
+      scalar_run.verdict_checksum = s.verdict_checksum;
+      vector_run.verdict_checksum = v.verdict_checksum;
+      scalar_run.node_checksum = s.node_checksum;
+      vector_run.node_checksum = v.node_checksum;
+    }
+    simd::ForceDispatch(simd::Dispatch::kAvx2);
+    const char* vector_name = simd::ActiveName();
+    simd::ForceDispatch(simd::Dispatch::kAuto);
+    if (!checksums_agree) ok = false;
+    std::sort(ratios.begin(), ratios.end());
+    const double vector_speedup = ratios[ratios.size() / 2];
+    const double bytes_per_probe =
+        static_cast<double>(scalar_run.sweep_bytes) /
+        static_cast<double>(kRounds * kWideProbes);
+    std::printf("\nvector vs scalar dispatch (|B|=%zu, %zu-word rows)\n",
+                kWideN, (kWideN + 63) / 64);
+    std::printf("  scalar %.3f ms, %s %.3f ms, median speedup %.2fx, "
+                "checksums %s\n",
+                scalar_run.ms, vector_name, vector_run.ms, vector_speedup,
+                checksums_agree ? "agree" : "MISMATCH");
+    std::printf("  kernel traffic %.1f MB total, %.1f KB/probe\n",
+                static_cast<double>(scalar_run.sweep_bytes) / 1e6,
+                bytes_per_probe / 1e3);
+    obda::bench::Report::Global().Param("simd", std::string(vector_name));
+    ReportMetric("vector_scalar_ms", scalar_run.ms);
+    ReportMetric("vector_simd_ms", vector_run.ms);
+    ReportMetric("vector_speedup", vector_speedup);
+    ReportMetric("vector_checksum_scalar", scalar_run.verdict_checksum);
+    ReportMetric("vector_checksum_simd", vector_run.verdict_checksum);
+    ReportMetric("vector_node_checksum_scalar", scalar_run.node_checksum);
+    ReportMetric("vector_node_checksum_simd", vector_run.node_checksum);
+    ReportMetric("bytes_per_probe", bytes_per_probe);
+  }
+
+  // --- Part 6: batched SAT probes --------------------------------------
+  // ComputeCertainAnswers with probe_batch=1 (per-tuple Solves) vs the
+  // default batching: candidates sharing a ground prefix are asserted
+  // together, so one satisfying model dismisses a whole group. The
+  // per-pair P|Q choice is the worst case for the cached-model skip — the
+  // first model derives goal on every pair, and flipping one pair's
+  // choice leaves every other survivor untouched, so unbatched probing
+  // pays one Solve per candidate while a batch clears probe_batch of them
+  // at once. Runs on the raw (unpreprocessed) CNF, the configuration the
+  // delta-churn serving path uses; the S-seeded rule keeps a nonempty
+  // certain-answer set so the equality check has teeth (and its prefix
+  // groups exercise the unsat-batch fallback).
+  {
+    obda::data::Schema graph2;
+    graph2.AddRelation("E", 2);
+    graph2.AddRelation("S", 1);
+    auto batch_program = obda::ddlog::ParseProgram(graph2, R"(
+      P(x,y) | Q(x,y) <- adom(x), adom(y).
+      goal(x,y) <- Q(x,y).
+      goal(x,y) <- S(x), S(y).
+    )");
+    if (!batch_program.ok()) {
+      std::printf("batch micro: program parse failed: %s\n",
+                  batch_program.status().ToString().c_str());
+      ok = false;
+    } else {
+      const std::size_t n = 48;
+      obda::data::Instance d(graph2);
+      for (std::size_t i = 0; i < n; ++i) {
+        d.AddConstant("v" + std::to_string(i));
+      }
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        d.AddFact(0, {static_cast<obda::data::ConstId>(i),
+                      static_cast<obda::data::ConstId>(i + 1)});
+      }
+      d.AddFact(1, {static_cast<obda::data::ConstId>(0)});
+      d.AddFact(1, {static_cast<obda::data::ConstId>(1)});
+      auto run_answers = [&](int probe_batch, double* ms,
+                             std::uint64_t* checksum) {
+        obda::ddlog::EvalOptions options;
+        options.probe_batch = probe_batch;
+        options.threads = 1;
+        options.preprocess = false;
+        Timer t;
+        auto answers =
+            obda::ddlog::CertainAnswers(*batch_program, d, options);
+        *ms = t.Millis();
+        if (!answers.ok()) {
+          std::printf("batch micro failed (probe_batch=%d): %s\n",
+                      probe_batch, answers.status().ToString().c_str());
+          return false;
+        }
+        *checksum = 14695981039346656037ULL;
+        for (const auto& tuple : answers->tuples) {
+          for (obda::data::ConstId c : tuple) {
+            *checksum = (*checksum ^ c) * 1099511628211ULL;
+          }
+        }
+        return true;
+      };
+      double unbatched_ms = 0, batched_ms = 0;
+      std::uint64_t unbatched_sum = 0, batched_sum = 0;
+      bool ran = run_answers(1, &unbatched_ms, &unbatched_sum);
+      ran = run_answers(64, &batched_ms, &batched_sum) && ran;
+      if (!ran) {
+        ok = false;
+      } else {
+        if (unbatched_sum != batched_sum) ok = false;
+        const double batch_probe_speedup =
+            batched_ms > 0 ? unbatched_ms / batched_ms : 0.0;
+        std::printf("\nbatched SAT probes (n=%zu, %zu candidates)\n", n,
+                    n * n);
+        std::printf("  probe_batch=1 %.3f ms, probe_batch=64 %.3f ms, "
+                    "speedup %.2fx, answers %s\n",
+                    unbatched_ms, batched_ms, batch_probe_speedup,
+                    unbatched_sum == batched_sum ? "agree" : "MISMATCH");
+        ReportMetric("batch_unbatched_ms", unbatched_ms);
+        ReportMetric("batch_batched_ms", batched_ms);
+        ReportMetric("batch_probe_speedup", batch_probe_speedup);
+        ReportMetric("batch_checksum_unbatched", unbatched_sum);
+        ReportMetric("batch_checksum_batched", batched_sum);
+      }
+    }
   }
 
   obda::bench::Footer(ok);

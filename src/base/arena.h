@@ -1,0 +1,118 @@
+#ifndef OBDA_BASE_ARENA_H_
+#define OBDA_BASE_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace obda::base {
+
+/// Bump allocator backing the SoA index structures (compiled-target
+/// support columns, adjacency bitsets, grounder join-index pools).
+/// Allocations are 32-byte aligned so bitset rows land on full AVX2
+/// block boundaries, never individually freed, and released all at once
+/// when the arena dies — the structures built on top are write-once,
+/// read-many, so per-object lifetimes would only add overhead.
+///
+/// Not thread-safe; each owner (CompiledTarget, Grounder) keeps its own.
+class Arena {
+ public:
+  static constexpr std::size_t kAlignment = 32;
+  static constexpr std::size_t kDefaultChunk = std::size_t{1} << 16;
+
+  Arena() = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Movable so owners (CompiledTarget) can live in containers; pointers
+  /// handed out stay valid since chunk ownership transfers wholesale.
+  Arena(Arena&& other) noexcept
+      : chunks_(std::move(other.chunks_)),
+        cursor_(other.cursor_),
+        limit_(other.limit_),
+        next_chunk_(other.next_chunk_),
+        bytes_allocated_(other.bytes_allocated_) {
+    other.cursor_ = nullptr;
+    other.limit_ = nullptr;
+    other.bytes_allocated_ = 0;
+  }
+  Arena& operator=(Arena&& other) noexcept {
+    if (this != &other) {
+      chunks_ = std::move(other.chunks_);
+      cursor_ = other.cursor_;
+      limit_ = other.limit_;
+      next_chunk_ = other.next_chunk_;
+      bytes_allocated_ = other.bytes_allocated_;
+      other.cursor_ = nullptr;
+      other.limit_ = nullptr;
+      other.bytes_allocated_ = 0;
+    }
+    return *this;
+  }
+
+  /// Returns a pointer to `count` default-initialized Ts. T must be
+  /// trivially destructible (nothing is ever destroyed). Zero counts
+  /// return a valid non-null pointer.
+  template <typename T>
+  T* AllocateArray(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    static_assert(alignof(T) <= kAlignment);
+    void* p = AllocateBytes(count * sizeof(T));
+    return new (p) T[count];
+  }
+
+  /// Like AllocateArray<std::uint64_t> but zero-filled — bitset rows
+  /// rely on padding words staying clear.
+  std::uint64_t* AllocateBitsetRows(std::size_t total_words) {
+    auto* p = AllocateArray<std::uint64_t>(total_words);
+    for (std::size_t i = 0; i < total_words; ++i) p[i] = 0;
+    return p;
+  }
+
+  /// Total bytes handed out (excludes chunk slack); feeds the memory
+  /// caps that gate adjacency-row construction.
+  std::size_t bytes_allocated() const { return bytes_allocated_; }
+
+ private:
+  void* AllocateBytes(std::size_t size) {
+    size = (size + kAlignment - 1) / kAlignment * kAlignment;
+    if (size == 0) size = kAlignment;
+    if (cursor_ + size > limit_) Grow(size);
+    void* p = cursor_;
+    cursor_ += size;
+    bytes_allocated_ += size;
+    return p;
+  }
+
+  void Grow(std::size_t min_size) {
+    std::size_t chunk = next_chunk_;
+    if (chunk < min_size) chunk = min_size;
+    // Over-aligned new keeps every chunk (and so every bump pointer,
+    // since sizes are rounded to kAlignment) on a 32-byte boundary.
+    auto* raw = static_cast<std::byte*>(
+        ::operator new(chunk, std::align_val_t{kAlignment}));
+    chunks_.emplace_back(raw, ChunkDeleter{});
+    cursor_ = raw;
+    limit_ = raw + chunk;
+    if (next_chunk_ < (std::size_t{1} << 22)) next_chunk_ *= 2;
+  }
+
+  struct ChunkDeleter {
+    void operator()(std::byte* p) const {
+      ::operator delete(p, std::align_val_t{kAlignment});
+    }
+  };
+
+  std::vector<std::unique_ptr<std::byte, ChunkDeleter>> chunks_;
+  std::byte* cursor_ = nullptr;
+  std::byte* limit_ = nullptr;
+  std::size_t next_chunk_ = kDefaultChunk;
+  std::size_t bytes_allocated_ = 0;
+};
+
+}  // namespace obda::base
+
+#endif  // OBDA_BASE_ARENA_H_

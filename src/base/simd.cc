@@ -1,0 +1,149 @@
+#include "base/simd.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace obda::base::simd {
+
+// Defined in simd_avx2.cc (the only TU compiled with -mavx2) when
+// OBDA_SIMD_AVX2 is set; stubbed to nullptr below otherwise.
+const Kernels* Avx2KernelTable();
+
+namespace {
+
+// --- Scalar reference kernels ---------------------------------------------
+
+std::uint64_t ScalarCount(const std::uint64_t* a, std::size_t nw) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nw; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+
+std::uint64_t ScalarAndCount(std::uint64_t* dst, const std::uint64_t* a,
+                             const std::uint64_t* b, std::size_t nw) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nw; ++i) {
+    const std::uint64_t w = a[i] & b[i];
+    dst[i] = w;
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+std::uint64_t ScalarAndNotCount(std::uint64_t* dst, const std::uint64_t* a,
+                                const std::uint64_t* b, std::size_t nw) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < nw; ++i) {
+    const std::uint64_t w = a[i] & ~b[i];
+    dst[i] = w;
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+void ScalarOrInto(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i) dst[i] |= src[i];
+}
+
+void ScalarFill(std::uint64_t* dst, std::uint64_t word, std::size_t nw) {
+  for (std::size_t i = 0; i < nw; ++i) dst[i] = word;
+}
+
+bool ScalarMrvScan(const std::uint32_t* sizes, std::size_t n,
+                   std::uint32_t* best, std::size_t* best_idx,
+                   std::uint64_t* ties) {
+  std::uint32_t min = std::numeric_limits<std::uint32_t>::max();
+  std::size_t idx = n;
+  std::uint64_t count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t s = sizes[i];
+    if (s < 2) continue;
+    if (s < min) {
+      min = s;
+      idx = i;
+      count = 1;
+    } else if (s == min) {
+      ++count;
+    }
+  }
+  if (idx == n) return false;
+  *best = min;
+  *best_idx = idx;
+  *ties = count - 1;
+  return true;
+}
+
+constexpr Kernels kScalarKernels = {
+    "scalar",       ScalarCount, ScalarAndCount, ScalarAndNotCount,
+    ScalarOrInto,   ScalarFill,  ScalarMrvScan,
+};
+
+// --- Dispatch -------------------------------------------------------------
+
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+const Kernels* ResolveInitial() {
+  Dispatch mode = Dispatch::kAuto;
+  if (const char* env = std::getenv("OBDA_SIMD")) {
+    if (std::strcmp(env, "scalar") == 0) mode = Dispatch::kScalar;
+    if (std::strcmp(env, "avx2") == 0) mode = Dispatch::kAvx2;
+  }
+  if (mode == Dispatch::kScalar) return &kScalarKernels;
+  return Avx2Available() ? Avx2KernelTable() : &kScalarKernels;
+}
+
+std::atomic<const Kernels*>& ActiveSlot() {
+  static std::atomic<const Kernels*> slot{ResolveInitial()};
+  return slot;
+}
+
+}  // namespace
+
+#if !defined(OBDA_SIMD_AVX2)
+const Kernels* Avx2KernelTable() { return nullptr; }
+#endif
+
+const Kernels& ScalarKernels() { return kScalarKernels; }
+
+const Kernels& Active() {
+  return *ActiveSlot().load(std::memory_order_relaxed);
+}
+
+bool Avx2Compiled() {
+#if defined(OBDA_SIMD_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool Avx2Available() { return Avx2Compiled() && CpuHasAvx2(); }
+
+void ForceDispatch(Dispatch d) {
+  const Kernels* table = &kScalarKernels;
+  switch (d) {
+    case Dispatch::kScalar:
+      break;
+    case Dispatch::kAvx2:
+    case Dispatch::kAuto:
+      if (Avx2Available()) table = Avx2KernelTable();
+      break;
+  }
+  ActiveSlot().store(table, std::memory_order_relaxed);
+}
+
+const char* ActiveName() { return Active().name; }
+
+}  // namespace obda::base::simd

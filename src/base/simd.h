@@ -1,0 +1,104 @@
+#ifndef OBDA_BASE_SIMD_H_
+#define OBDA_BASE_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace obda::base::simd {
+
+/// Sweep granularity: every kernel walks bitset rows in 256-bit blocks
+/// (four 64-bit words). Callers pad row strides to a multiple of this so
+/// the vector path never needs a tail loop on the hot rows; the kernels
+/// themselves still handle ragged lengths with a scalar tail for generic
+/// use.
+inline constexpr std::size_t kWordsPerBlock = 4;
+
+/// Rounds a word count up to the kernel block stride.
+constexpr std::size_t PaddedWords(std::size_t words) {
+  return (words + kWordsPerBlock - 1) / kWordsPerBlock * kWordsPerBlock;
+}
+
+/// One kernel table. Two implementations exist: the scalar uint64 loops
+/// (always compiled, the differential oracle) and the AVX2 sweeps
+/// (compiled only under OBDA_SIMD on x86-64, selected at runtime via
+/// CPUID). Both compute bit-identical results on identical inputs; only
+/// instructions per word differ.
+struct Kernels {
+  const char* name;
+
+  /// popcount(a[0..nw)).
+  std::uint64_t (*count)(const std::uint64_t* a, std::size_t nw);
+
+  /// dst = a & b over nw words; returns popcount(dst). dst may alias a
+  /// or b.
+  std::uint64_t (*and_count)(std::uint64_t* dst, const std::uint64_t* a,
+                             const std::uint64_t* b, std::size_t nw);
+
+  /// dst = a & ~b over nw words; returns popcount(dst). dst may alias a
+  /// or b.
+  std::uint64_t (*andnot_count)(std::uint64_t* dst, const std::uint64_t* a,
+                                const std::uint64_t* b, std::size_t nw);
+
+  /// dst |= src over nw words.
+  void (*or_into)(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t nw);
+
+  /// dst[0..nw) = word.
+  void (*fill)(std::uint64_t* dst, std::uint64_t word, std::size_t nw);
+
+  /// MRV scan over unsigned 32-bit domain sizes: considering only entries
+  /// with sizes[i] >= 2 (decided variables hold 1), writes the minimum to
+  /// *best, its first index to *best_idx, and the number of OTHER entries
+  /// equal to the minimum to *ties. Returns false when no entry is >= 2.
+  bool (*mrv_scan)(const std::uint32_t* sizes, std::size_t n,
+                   std::uint32_t* best, std::size_t* best_idx,
+                   std::uint64_t* ties);
+};
+
+enum class Dispatch {
+  kAuto,    // AVX2 when compiled in and the CPU reports it, else scalar
+  kScalar,  // force the scalar oracle
+  kAvx2,    // force AVX2 (falls back to scalar when unavailable)
+};
+
+/// The scalar reference kernels — always available, used directly by the
+/// parity batteries as the differential oracle.
+const Kernels& ScalarKernels();
+
+/// The kernels selected by the current dispatch mode. Hot loops resolve
+/// this once per search, not per sweep.
+const Kernels& Active();
+
+/// True when the AVX2 translation unit was compiled in (OBDA_SIMD=ON on
+/// an x86-64 toolchain).
+bool Avx2Compiled();
+
+/// True when AVX2 is compiled in AND the running CPU supports it.
+bool Avx2Available();
+
+/// Overrides dispatch (tests and benches force both paths through this).
+/// kAvx2 silently degrades to scalar when unavailable; check
+/// ActiveName() to learn what actually runs. The initial mode honours
+/// the OBDA_SIMD environment variable ("scalar" | "avx2" | "auto").
+void ForceDispatch(Dispatch d);
+
+/// Name of the active kernel table: "scalar" or "avx2".
+const char* ActiveName();
+
+// --- Inline helpers shared by both paths (not dispatched) -----------------
+
+inline bool TestBit(const std::uint64_t* row, std::uint32_t bit) {
+  return (row[bit >> 6] >> (bit & 63)) & 1u;
+}
+
+inline void SetBit(std::uint64_t* row, std::uint32_t bit) {
+  row[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+}
+
+inline void ClearBit(std::uint64_t* row, std::uint32_t bit) {
+  row[bit >> 6] &= ~(std::uint64_t{1} << (bit & 63));
+}
+
+}  // namespace obda::base::simd
+
+#endif  // OBDA_BASE_SIMD_H_

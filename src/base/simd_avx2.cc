@@ -1,0 +1,189 @@
+// AVX2 implementations of the bitset sweep kernels. This is the only
+// translation unit compiled with -mavx2 (see src/base/CMakeLists.txt);
+// callers reach it exclusively through the runtime-dispatched table in
+// simd.cc, so the binary stays runnable on non-AVX2 hardware.
+//
+// Popcounts use the vpshufb nibble-LUT reduction (Muła): per 256-bit
+// block, two table lookups and a byte add produce per-byte counts, and
+// vpsadbw folds them into four 64-bit partial sums accumulated across
+// the sweep — one horizontal reduction per call, not per block.
+
+#include "base/simd.h"
+
+#if defined(OBDA_SIMD_AVX2)
+
+#include <immintrin.h>
+
+#include <bit>
+#include <limits>
+
+namespace obda::base::simd {
+
+namespace {
+
+inline __m256i PopcountBytes(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+inline std::uint64_t HorizontalSum(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+std::uint64_t Avx2Count(const std::uint64_t* a, std::size_t nw) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= nw; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc, PopcountBytes(v));
+  }
+  std::uint64_t total = HorizontalSum(acc);
+  for (; i < nw; ++i) {
+    total += static_cast<std::uint64_t>(std::popcount(a[i]));
+  }
+  return total;
+}
+
+std::uint64_t Avx2AndCount(std::uint64_t* dst, const std::uint64_t* a,
+                           const std::uint64_t* b, std::size_t nw) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= nw; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    acc = _mm256_add_epi64(acc, PopcountBytes(v));
+  }
+  std::uint64_t total = HorizontalSum(acc);
+  for (; i < nw; ++i) {
+    const std::uint64_t w = a[i] & b[i];
+    dst[i] = w;
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+std::uint64_t Avx2AndNotCount(std::uint64_t* dst, const std::uint64_t* a,
+                              const std::uint64_t* b, std::size_t nw) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= nw; i += 4) {
+    // _mm256_andnot_si256(x, y) computes ~x & y, so pass b first.
+    const __m256i v = _mm256_andnot_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    acc = _mm256_add_epi64(acc, PopcountBytes(v));
+  }
+  std::uint64_t total = HorizontalSum(acc);
+  for (; i < nw; ++i) {
+    const std::uint64_t w = a[i] & ~b[i];
+    dst[i] = w;
+    total += static_cast<std::uint64_t>(std::popcount(w));
+  }
+  return total;
+}
+
+void Avx2OrInto(std::uint64_t* dst, const std::uint64_t* src,
+                std::size_t nw) {
+  std::size_t i = 0;
+  for (; i + 4 <= nw; i += 4) {
+    const __m256i v = _mm256_or_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < nw; ++i) dst[i] |= src[i];
+}
+
+void Avx2Fill(std::uint64_t* dst, std::uint64_t word, std::size_t nw) {
+  const __m256i v = _mm256_set1_epi64x(static_cast<long long>(word));
+  std::size_t i = 0;
+  for (; i + 4 <= nw; i += 4) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+  }
+  for (; i < nw; ++i) dst[i] = word;
+}
+
+bool Avx2MrvScan(const std::uint32_t* sizes, std::size_t n,
+                 std::uint32_t* best, std::size_t* best_idx,
+                 std::uint64_t* ties) {
+  constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+  // Pass 1: vector min over entries >= 2 (others replaced by +inf).
+  const __m256i two = _mm256_set1_epi32(2);
+  const __m256i inf = _mm256_set1_epi32(static_cast<int>(kInf));
+  __m256i vmin = inf;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sizes + i));
+    // v >= 2 unsigned: max(v, 2) == v. Domain sizes are bounded by the
+    // universe, far below the signed-compare wraparound.
+    const __m256i ge2 = _mm256_cmpeq_epi32(_mm256_max_epu32(v, two), v);
+    vmin = _mm256_min_epu32(vmin, _mm256_blendv_epi8(inf, v, ge2));
+  }
+  alignas(32) std::uint32_t lanes[8];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), vmin);
+  std::uint32_t min = kInf;
+  for (int l = 0; l < 8; ++l) min = lanes[l] < min ? lanes[l] : min;
+  for (std::size_t j = i; j < n; ++j) {
+    const std::uint32_t s = sizes[j];
+    if (s >= 2 && s < min) min = s;
+  }
+  if (min == kInf) return false;
+  // Pass 2: first index and tie count of entries equal to the minimum.
+  const __m256i vm = _mm256_set1_epi32(static_cast<int>(min));
+  std::size_t idx = n;
+  std::uint64_t count = 0;
+  i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sizes + i));
+    const int mask =
+        _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(v, vm)));
+    if (mask != 0) {
+      if (idx == n) {
+        idx = i + static_cast<std::size_t>(
+                      std::countr_zero(static_cast<unsigned>(mask)));
+      }
+      count += static_cast<std::uint64_t>(
+          std::popcount(static_cast<unsigned>(mask)));
+    }
+  }
+  for (std::size_t j = i; j < n; ++j) {
+    if (sizes[j] == min) {
+      if (idx == n) idx = j;
+      ++count;
+    }
+  }
+  *best = min;
+  *best_idx = idx;
+  *ties = count - 1;
+  return true;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    "avx2",     Avx2Count, Avx2AndCount, Avx2AndNotCount,
+    Avx2OrInto, Avx2Fill,  Avx2MrvScan,
+};
+
+}  // namespace
+
+const Kernels* Avx2KernelTable() { return &kAvx2Kernels; }
+
+}  // namespace obda::base::simd
+
+#endif  // OBDA_SIMD_AVX2

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstring>
 
 #include "base/check.h"
+#include "base/simd.h"
 #include "obs/metrics.h"
 
 namespace obda::data {
@@ -11,31 +13,67 @@ namespace obda::data {
 CompiledTarget::CompiledTarget(const Instance& b) : b_(&b) {
   const std::size_t num_rels = b.schema().NumRelations();
   const std::size_t nb = b.UniverseSize();
+  stride_ = base::simd::PaddedWords((nb + 63) / 64);
   index_.resize(num_rels);
   std::vector<std::uint32_t> cursor;
+  // Adjacency rows are the one index quadratic in the universe (nb rows
+  // per position); cap their footprint so huge sparse targets degrade to
+  // the streaming column path instead of exhausting memory. The cap is
+  // consumed in relation-id order, deterministically.
+  constexpr std::size_t kAdjBudgetBytes = std::size_t{256} << 20;
+  std::size_t adj_bytes = 0;
   for (RelationId r = 0; r < num_rels; ++r) {
     const int arity = b.schema().Arity(r);
     const std::uint32_t nt = static_cast<std::uint32_t>(b.NumTuples(r));
-    index_[r].resize(static_cast<std::size_t>(arity));
+    RelIndex& rel = index_[r];
+    rel.pos.resize(static_cast<std::size_t>(arity));
     for (int p = 0; p < arity; ++p) {
-      PosIndex& idx = index_[r][static_cast<std::size_t>(p)];
-      idx.offsets.assign(nb + 1, 0);
+      PosIndex& idx = rel.pos[static_cast<std::size_t>(p)];
+      auto col = b.Column(r, static_cast<std::size_t>(p));
+      auto* offsets = arena_.AllocateArray<std::uint32_t>(nb + 1);
+      for (std::size_t i = 0; i <= nb; ++i) offsets[i] = 0;
+      auto* presence = arena_.AllocateBitsetRows(stride_);
       for (std::uint32_t i = 0; i < nt; ++i) {
-        ++idx.offsets[b.Tuple(r, i)[static_cast<std::size_t>(p)] + 1];
+        ++offsets[col[i] + 1];
+        base::simd::SetBit(presence, col[i]);
       }
-      for (std::size_t v = 0; v < nb; ++v) {
-        idx.offsets[v + 1] += idx.offsets[v];
-      }
-      idx.tuples.resize(nt);
-      cursor.assign(idx.offsets.begin(), idx.offsets.end() - 1);
+      for (std::size_t v = 0; v < nb; ++v) offsets[v + 1] += offsets[v];
+      auto* tuples = arena_.AllocateArray<std::uint32_t>(nt);
+      cursor.assign(offsets, offsets + nb);
+      for (std::uint32_t i = 0; i < nt; ++i) tuples[cursor[col[i]]++] = i;
+      idx.offsets = offsets;
+      idx.tuples = tuples;
+      idx.presence = presence;
+    }
+    if (arity == 2) {
+      auto col0 = b.Column(r, 0);
+      auto col1 = b.Column(r, 1);
+      auto* diag = arena_.AllocateBitsetRows(stride_);
       for (std::uint32_t i = 0; i < nt; ++i) {
-        idx.tuples[cursor[b.Tuple(r, i)[static_cast<std::size_t>(p)]]++] = i;
+        if (col0[i] == col1[i]) base::simd::SetBit(diag, col0[i]);
+      }
+      rel.diag = diag;
+      const std::size_t need = 2 * nb * stride_ * sizeof(std::uint64_t);
+      if (nt > 0 && need > 0 && adj_bytes + need <= kAdjBudgetBytes) {
+        adj_bytes += need;
+        for (int p = 0; p < 2; ++p) {
+          auto cp = b.Column(r, static_cast<std::size_t>(p));
+          auto co = b.Column(r, static_cast<std::size_t>(1 - p));
+          auto* adj = arena_.AllocateBitsetRows(nb * stride_);
+          for (std::uint32_t i = 0; i < nt; ++i) {
+            base::simd::SetBit(
+                adj + static_cast<std::size_t>(cp[i]) * stride_, co[i]);
+          }
+          rel.pos[static_cast<std::size_t>(p)].adj = adj;
+        }
       }
     }
   }
 }
 
 namespace {
+
+namespace simd = base::simd;
 
 /// Registry handles for the solver, resolved once per process. Hot loops
 /// count into plain locals; Run() flushes them here in one batch so the
@@ -48,6 +86,7 @@ struct HomCounters {
   obs::Counter& mrv_ties = obs::GetCounter("hom.mrv_ties");
   obs::Counter& solutions = obs::GetCounter("hom.solutions");
   obs::Counter& budget_exhausted = obs::GetCounter("hom.budget_exhausted");
+  obs::Counter& sweep_bytes = obs::GetCounter("hom.sweep_bytes");
   obs::TimerStat& search = obs::GetTimer("hom.search");
   obs::Histogram& search_hist = obs::GetHistogram("hom.search");
 
@@ -60,12 +99,21 @@ struct HomCounters {
 constexpr std::size_t kWordBits = 64;
 
 /// Backtracking search maintaining generalized arc consistency (MAC).
-/// Domains are word-packed bitsets over B's universe; every branch
-/// assignment seeds GAC propagation from the assigned variable's
-/// neighbourhood, with supports found via the CompiledTarget's
-/// per-(relation, position, value) CSR index. Backtracking restores only
-/// the domain words propagation actually changed, via a trail of
-/// (variable, word, old-value) entries — no full-table snapshots.
+/// Domains are bitset rows over B's universe, padded to the SIMD block
+/// stride; every branch assignment seeds GAC propagation from the
+/// assigned variable's neighbourhood. Revision is a whole-row kernel
+/// sweep (see Revise) against the CompiledTarget's presence/adjacency
+/// bitsets, falling back to the CSR support index only for facts of
+/// arity >= 3. Backtracking is row-granular: the first time propagation
+/// touches a variable under the current branch candidate, its whole
+/// domain row is saved to a stack arena (stamp-deduplicated), and undo
+/// is a straight memcpy back — no per-word bookkeeping on the hot path.
+///
+/// The kernel table is resolved once per search; the scalar and vector
+/// tables compute bit-identical rows, and per-fact revision equals the
+/// old value-at-a-time scan exactly (a fact's support set never depends
+/// on the revised variable's own domain), so search trees, node counts,
+/// and witnesses are invariant across dispatch paths.
 class HomSearch {
  public:
   HomSearch(const Instance& a, const CompiledTarget& target,
@@ -82,19 +130,29 @@ class HomSearch {
   }
 
  private:
+  enum class FactKind : std::uint8_t {
+    kUnary,       // R(v): intersect with the presence bitset
+    kBinary,      // R(v,u) or R(u,v), u != v: adjacency union / column scan
+    kBinarySelf,  // R(v,v): intersect with the diagonal bitset
+    kGeneric,     // arity >= 3: presence prefilter + CSR verification
+  };
+
   /// A fact of A as seen from one of its variables: the tuple plus the
   /// variable's first position in it (precomputed once per search).
   struct VarFact {
     RelationId rel;
     std::uint32_t tuple;
     std::uint8_t vpos;
+    FactKind kind;
+    std::uint8_t opos = 0;           // kBinary: the other position
+    ConstId other = kInvalidConst;   // kBinary: the other A-variable
   };
 
-  /// One undo record: a domain word before propagation cleared bits in it.
+  /// One undo record; the saved row itself lives at the matching offset
+  /// of trail_rows_ (entry i <-> words [i*stride_, (i+1)*stride_)).
   struct TrailEntry {
     ConstId var;
-    std::uint32_t word;  // flat index into domains_
-    std::uint64_t old_bits;
+    std::uint32_t old_size;
   };
 
   HomResult RunImpl(const std::vector<std::pair<ConstId, ConstId>>& pinned) {
@@ -118,47 +176,67 @@ class HomSearch {
     nb_ = b_.UniverseSize();
     if (nb_ == 0) return result;  // Nothing to map into.
     words_ = (nb_ + kWordBits - 1) / kWordBits;
+    stride_ = target_.stride();
+    OBDA_CHECK_EQ(stride_, simd::PaddedWords(words_));
+    k_ = &simd::Active();
 
-    domains_.assign(n * words_, ~std::uint64_t{0});
-    if (nb_ % kWordBits != 0) {
-      const std::uint64_t last_mask =
-          (std::uint64_t{1} << (nb_ % kWordBits)) - 1;
-      for (std::size_t v = 0; v < n; ++v) {
-        domains_[v * words_ + words_ - 1] = last_mask;
-      }
+    domains_.assign(n * stride_, 0);
+    const std::uint64_t last_mask =
+        (nb_ % kWordBits != 0)
+            ? (std::uint64_t{1} << (nb_ % kWordBits)) - 1
+            : ~std::uint64_t{0};
+    for (std::size_t v = 0; v < n; ++v) {
+      std::uint64_t* row = &domains_[v * stride_];
+      for (std::size_t w = 0; w < words_; ++w) row[w] = ~std::uint64_t{0};
+      row[words_ - 1] = last_mask;
     }
     domain_size_.assign(n, static_cast<std::uint32_t>(nb_));
+    scratch_.assign(2 * stride_, 0);  // row 0: Revise workspace, row 1: cover
+    saved_stamp_.assign(n, 0);
+    stamp_ = 0;
+    trail_.clear();
+    trail_rows_.clear();
+    branch_rows_.clear();
+
+    const std::size_t num_rels = b_.schema().NumRelations();
+    b_tuples_.resize(num_rels);
+    for (RelationId r = 0; r < num_rels; ++r) b_tuples_[r] = b_.NumTuples(r);
 
     BuildAdjacency();
 
     for (const auto& [av, bv] : pinned) {
       OBDA_CHECK_LT(av, n);
       OBDA_CHECK_LT(bv, nb_);
-      if (!HasValue(av, bv)) return result;
+      std::uint64_t* row = &domains_[av * stride_];
+      if (!simd::TestBit(row, bv)) return result;
       // Root-level assignment: no trail needed, nothing to undo.
-      for (std::size_t w = 0; w < words_; ++w) domains_[av * words_ + w] = 0;
-      domains_[av * words_ + bv / kWordBits] =
-          std::uint64_t{1} << (bv % kWordBits);
+      k_->fill(row, 0, stride_);
+      simd::SetBit(row, bv);
       domain_size_[av] = 1;
     }
 
     queued_.assign(n, 0);
     queue_.reserve(n);
-    if (!PropagateAll()) return result;
+    if (!PropagateAll()) {
+      result.sweep_bytes = sweep_bytes_;
+      return result;
+    }
 
     found_count_ = 0;
     nodes_ = 0;
     exhausted_ = false;
-    Search(&result);
+    Search(result, 0);
     result.solution_count = found_count_;
     result.found = found_count_ > 0;
     result.budget_exhausted = exhausted_;
     result.nodes = nodes_;
+    result.sweep_bytes = sweep_bytes_;
     return result;
   }
 
   /// Precomputes, per A-variable, its incident facts (with the variable's
-  /// position resolved) and its deduplicated neighbourhood.
+  /// position and constraint shape resolved) and its deduplicated
+  /// neighbourhood.
   void BuildAdjacency() {
     const std::size_t n = a_.UniverseSize();
     facts_of_.assign(n, {});
@@ -174,8 +252,20 @@ class HomSearch {
           }
         }
         OBDA_CHECK_GE(vpos, 0);
-        facts_of_[v].push_back(VarFact{f.relation, f.tuple_index,
-                                       static_cast<std::uint8_t>(vpos)});
+        VarFact vf{f.relation, f.tuple_index, static_cast<std::uint8_t>(vpos),
+                   FactKind::kGeneric, 0, kInvalidConst};
+        if (t.size() == 1) {
+          vf.kind = FactKind::kUnary;
+        } else if (t.size() == 2) {
+          if (t[0] == t[1]) {
+            vf.kind = FactKind::kBinarySelf;
+          } else {
+            vf.kind = FactKind::kBinary;
+            vf.opos = static_cast<std::uint8_t>(1 - vpos);
+            vf.other = t[vf.opos];
+          }
+        }
+        facts_of_[v].push_back(vf);
         for (ConstId u : t) {
           if (u != v) neighbours_[v].push_back(u);
         }
@@ -190,42 +280,43 @@ class HomSearch {
   // --- Bitset domains ------------------------------------------------------
 
   bool HasValue(ConstId v, ConstId c) const {
-    return (domains_[v * words_ + c / kWordBits] >> (c % kWordBits)) & 1u;
+    return simd::TestBit(&domains_[v * stride_], c);
   }
 
-  /// Clears value `c` from dom(v), trailing the word's prior contents.
-  void RemoveValue(ConstId v, ConstId c) {
-    const std::uint32_t w =
-        static_cast<std::uint32_t>(v * words_ + c / kWordBits);
-    trail_.push_back(TrailEntry{v, w, domains_[w]});
-    domains_[w] &= ~(std::uint64_t{1} << (c % kWordBits));
-    --domain_size_[v];
+  /// Saves v's domain row (and size) onto the trail, once per branch
+  /// candidate: the stamp dedupes repeat saves so a variable revised
+  /// several times under one candidate costs one row copy.
+  void SaveRow(ConstId v) {
+    if (saved_stamp_[v] == stamp_) return;
+    saved_stamp_[v] = stamp_;
+    trail_.push_back(TrailEntry{v, domain_size_[v]});
+    const std::size_t at = trail_rows_.size();
+    trail_rows_.resize(at + stride_);
+    std::memcpy(&trail_rows_[at], &domains_[v * stride_],
+                stride_ * sizeof(std::uint64_t));
   }
 
-  /// Narrows dom(v) to {c}, trailing every word that changes.
+  /// Narrows dom(v) to {c} (row saved first).
   void Assign(ConstId v, ConstId c) {
-    for (std::size_t w = 0; w < words_; ++w) {
-      const std::uint32_t flat = static_cast<std::uint32_t>(v * words_ + w);
-      const std::uint64_t target =
-          (w == c / kWordBits) ? (std::uint64_t{1} << (c % kWordBits)) : 0;
-      if (domains_[flat] != target) {
-        trail_.push_back(TrailEntry{v, flat, domains_[flat]});
-        domains_[flat] = target;
-      }
-    }
+    SaveRow(v);
+    std::uint64_t* row = &domains_[v * stride_];
+    k_->fill(row, 0, stride_);
+    simd::SetBit(row, c);
     domain_size_[v] = 1;
+    sweep_bytes_ += stride_ * sizeof(std::uint64_t);
   }
 
-  /// Rewinds the trail to `mark`, restoring words and domain sizes. Bits
-  /// are only ever cleared between a save and its undo, so the size delta
-  /// per entry is popcount(old ^ current).
+  /// Rewinds the trail to `mark`: each entry restores its variable's row
+  /// with one memcpy and its size from the record — no popcounts.
   void UndoTo(std::size_t mark) {
     while (trail_.size() > mark) {
-      const TrailEntry& e = trail_.back();
-      domain_size_[e.var] += static_cast<std::uint32_t>(
-          std::popcount(e.old_bits ^ domains_[e.word]));
-      domains_[e.word] = e.old_bits;
+      const TrailEntry e = trail_.back();
       trail_.pop_back();
+      std::memcpy(&domains_[e.var * stride_],
+                  &trail_rows_[trail_.size() * stride_],
+                  stride_ * sizeof(std::uint64_t));
+      domain_size_[e.var] = e.old_size;
+      trail_rows_.resize(trail_.size() * stride_);
     }
   }
 
@@ -266,29 +357,133 @@ class HomSearch {
     return true;
   }
 
-  /// Removes unsupported values from dom(v) with word-level candidate
-  /// iteration; enqueues v's neighbours when the domain shrank.
+  /// Revises dom(v) against each incident fact as a whole-row sweep: the
+  /// fact's support set is materialized in scratch_ and intersected in
+  /// one kernel pass. A fact's support set never reads dom(v) itself, so
+  /// this equals the old per-value scan bit for bit.
   bool Revise(ConstId v) {
     bool shrank = false;
     for (const VarFact& f : facts_of_[v]) {
-      auto t = a_.Tuple(f.rel, f.tuple);
-      const std::uint64_t* dom = &domains_[v * words_];
-      for (std::size_t wi = 0; wi < words_; ++wi) {
-        std::uint64_t bits = dom[wi];
-        while (bits != 0) {
-          const int bit = std::countr_zero(bits);
-          bits &= bits - 1;
-          const ConstId c =
-              static_cast<ConstId>(wi * kWordBits +
-                                   static_cast<std::size_t>(bit));
-          if (!HasSupport(f, t, v, c)) {
-            RemoveValue(v, c);
-            ++prunes_;
-            shrank = true;
+      std::uint64_t* dom = &domains_[v * stride_];
+      std::uint64_t* scratch = scratch_.data();
+      std::uint32_t new_size = 0;
+      switch (f.kind) {
+        case FactKind::kUnary:
+          new_size = static_cast<std::uint32_t>(
+              k_->and_count(scratch, dom, target_.Presence(f.rel, 0),
+                            stride_));
+          sweep_bytes_ += 3 * stride_ * sizeof(std::uint64_t);
+          break;
+        case FactKind::kBinarySelf:
+          new_size = static_cast<std::uint32_t>(
+              k_->and_count(scratch, dom, target_.Diag(f.rel), stride_));
+          sweep_bytes_ += 3 * stride_ * sizeof(std::uint64_t);
+          break;
+        case FactKind::kBinary: {
+          const std::uint64_t* dom_u = &domains_[f.other * stride_];
+          const std::uint32_t du = domain_size_[f.other];
+          const std::size_t nt = b_tuples_[f.rel];
+          if (du == nb_) {
+            // Unconstrained partner: support is plain presence at v's
+            // position.
+            new_size = static_cast<std::uint32_t>(k_->and_count(
+                scratch, dom, target_.Presence(f.rel, f.vpos), stride_));
+            sweep_bytes_ += 3 * stride_ * sizeof(std::uint64_t);
+          } else if (target_.HasAdjacency(f.rel) &&
+                     static_cast<std::uint64_t>(du) * stride_ <=
+                         2 * nt + stride_) {
+            // Few partner values: union their adjacency rows. The
+            // cost model compares row-sweep words against the tuple
+            // count and uses only dispatch-independent quantities.
+            //
+            // The union breaks off as soon as it covers dom(v): once
+            // dom ⊆ scratch, the remaining rows cannot change
+            // dom ∩ scratch, so the revise is a no-op no matter what
+            // they contain. The cutoff depends only on bit content —
+            // never on the dispatch path — so both kernel tables take
+            // it at the same row and sweep_bytes stays comparable.
+            std::uint64_t* cover = scratch_.data() + stride_;
+            k_->fill(scratch, 0, stride_);
+            std::uint32_t unions = 0;
+            bool saturated = false;
+            for (std::size_t wi = 0; wi < words_ && !saturated; ++wi) {
+              std::uint64_t bits = dom_u[wi];
+              while (bits != 0) {
+                const int bit = std::countr_zero(bits);
+                bits &= bits - 1;
+                const ConstId cu = static_cast<ConstId>(
+                    wi * kWordBits + static_cast<std::size_t>(bit));
+                k_->or_into(scratch, target_.AdjRow(f.rel, f.opos, cu),
+                            stride_);
+                if ((++unions & 31u) == 0 &&
+                    k_->andnot_count(cover, dom, scratch, stride_) == 0) {
+                  saturated = true;
+                  break;
+                }
+              }
+            }
+            if (saturated) {
+              new_size = domain_size_[v];
+            } else {
+              new_size = static_cast<std::uint32_t>(
+                  k_->and_count(scratch, dom, scratch, stride_));
+            }
+            sweep_bytes_ +=
+                (4 + 3 * static_cast<std::size_t>(unions) +
+                 3 * static_cast<std::size_t>(unions / 32)) *
+                stride_ * sizeof(std::uint64_t);
+          } else {
+            // Dense partner domain or no adjacency rows: stream the
+            // tuple columns once, scattering supported values.
+            k_->fill(scratch, 0, stride_);
+            auto colv = b_.Column(f.rel, f.vpos);
+            auto colo = b_.Column(f.rel, f.opos);
+            for (std::size_t i = 0; i < nt; ++i) {
+              if (simd::TestBit(dom_u, colo[i])) {
+                simd::SetBit(scratch, colv[i]);
+              }
+            }
+            new_size = static_cast<std::uint32_t>(
+                k_->and_count(scratch, dom, scratch, stride_));
+            sweep_bytes_ += 4 * stride_ * sizeof(std::uint64_t) +
+                            nt * 2 * sizeof(ConstId);
           }
+          break;
+        }
+        case FactKind::kGeneric: {
+          // Presence prefilter, then exact CSR verification of the
+          // survivors (same check as the old HasSupport loop).
+          auto t = a_.Tuple(f.rel, f.tuple);
+          new_size = static_cast<std::uint32_t>(k_->and_count(
+              scratch, dom, target_.Presence(f.rel, f.vpos), stride_));
+          sweep_bytes_ += 3 * stride_ * sizeof(std::uint64_t);
+          for (std::size_t wi = 0; wi < words_ && new_size > 0; ++wi) {
+            std::uint64_t bits = scratch[wi];
+            while (bits != 0) {
+              const int bit = std::countr_zero(bits);
+              bits &= bits - 1;
+              const ConstId c = static_cast<ConstId>(
+                  wi * kWordBits + static_cast<std::size_t>(bit));
+              if (!HasSupport(f, t, v, c)) {
+                simd::ClearBit(scratch, c);
+                --new_size;
+              }
+            }
+          }
+          break;
         }
       }
-      if (domain_size_[v] == 0) return false;
+      if (new_size == 0) {
+        prunes_ += domain_size_[v];
+        return false;
+      }
+      if (new_size != domain_size_[v]) {
+        prunes_ += domain_size_[v] - new_size;
+        SaveRow(v);
+        std::memcpy(dom, scratch, stride_ * sizeof(std::uint64_t));
+        domain_size_[v] = new_size;
+        shrank = true;
+      }
     }
     if (shrank) {
       for (ConstId u : neighbours_[v]) {
@@ -329,30 +524,22 @@ class HomSearch {
   // --- Search --------------------------------------------------------------
 
   /// Depth-first MAC search; returns true when the caller should stop.
-  bool Search(HomResult* result) {
-    // Choose an undecided variable with the smallest domain > 1.
+  bool Search(HomResult& result, std::size_t depth) {
     const std::size_t n = a_.UniverseSize();
-    ConstId branch_var = kInvalidConst;
+    // MRV: smallest domain > 1, first index on ties (kernel scan).
     std::uint32_t best = 0;
-    for (ConstId v = 0; v < n; ++v) {
-      if (domain_size_[v] <= 1) continue;
-      if (branch_var == kInvalidConst || domain_size_[v] < best) {
-        branch_var = v;
-        best = domain_size_[v];
-      } else if (domain_size_[v] == best) {
-        ++mrv_ties_;  // MRV broke the tie by variable order
-      }
-    }
-    if (branch_var == kInvalidConst) {
+    std::size_t branch_idx = 0;
+    std::uint64_t ties = 0;
+    if (!k_->mrv_scan(domain_size_.data(), n, &best, &branch_idx, &ties)) {
       // All singleton: the GAC fixpoint is a solution.
       ++found_count_;
-      if (result->mapping.empty()) {
-        result->mapping.resize(n);
+      if (result.mapping.empty()) {
+        result.mapping.resize(n);
         for (ConstId v = 0; v < n; ++v) {
-          const std::uint64_t* dom = &domains_[v * words_];
+          const std::uint64_t* dom = &domains_[v * stride_];
           for (std::size_t wi = 0; wi < words_; ++wi) {
             if (dom[wi] != 0) {
-              result->mapping[v] = static_cast<ConstId>(
+              result.mapping[v] = static_cast<ConstId>(
                   wi * kWordBits +
                   static_cast<std::size_t>(std::countr_zero(dom[wi])));
               break;
@@ -362,15 +549,23 @@ class HomSearch {
       }
       return found_count_ >= options_.max_solutions;
     }
-    // Iterate candidate values from a snapshot of the branch domain: the
-    // live words are mutated by Assign/propagation below, but UndoTo
-    // restores them before the next candidate, so one copy per node
-    // suffices (the old solver copied the whole domain table per node).
-    const std::vector<std::uint64_t> snapshot(
-        domains_.begin() + branch_var * words_,
-        domains_.begin() + (branch_var + 1) * words_);
+    mrv_ties_ += ties;
+    sweep_bytes_ += n * sizeof(std::uint32_t);
+    const ConstId branch_var = static_cast<ConstId>(branch_idx);
+    // Iterate candidate values from a per-depth scratch row: the live
+    // words are mutated by Assign/propagation below and restored by
+    // UndoTo before the next candidate. Rows are reused across the
+    // subtree at each depth, so branching allocates nothing.
+    if (branch_rows_.size() < (depth + 1) * stride_) {
+      branch_rows_.resize((depth + 1) * stride_);
+    }
+    std::memcpy(&branch_rows_[depth * stride_],
+                &domains_[branch_var * stride_],
+                stride_ * sizeof(std::uint64_t));
     for (std::size_t wi = 0; wi < words_; ++wi) {
-      std::uint64_t bits = snapshot[wi];
+      // Recursion may grow branch_rows_; index afresh, then iterate the
+      // local word.
+      std::uint64_t bits = branch_rows_[depth * stride_ + wi];
       while (bits != 0) {
         const int bit = std::countr_zero(bits);
         bits &= bits - 1;
@@ -380,10 +575,11 @@ class HomSearch {
           exhausted_ = true;
           return true;
         }
+        ++stamp_;
         const std::size_t mark = trail_.size();
         Assign(branch_var, c);
         bool ok = PropagateFrom(branch_var);
-        if (ok && Search(result)) return true;
+        if (ok && Search(result, depth + 1)) return true;
         ++backtracks_;
         UndoTo(mark);
       }
@@ -401,6 +597,7 @@ class HomSearch {
     counters.prunes.Add(prunes_);
     counters.mrv_ties.Add(mrv_ties_);
     counters.solutions.Add(result.solution_count);
+    counters.sweep_bytes.Add(result.sweep_bytes);
     if (result.budget_exhausted) counters.budget_exhausted.Add(1);
   }
 
@@ -410,13 +607,21 @@ class HomSearch {
   const HomOptions& options_;
 
   std::size_t nb_ = 0;
-  std::size_t words_ = 0;
-  /// Word-packed domains, variable-major: domains_[v*words_ .. +words_).
+  std::size_t words_ = 0;   // words holding live bits
+  std::size_t stride_ = 0;  // row stride (padded; padding words stay 0)
+  const simd::Kernels* k_ = nullptr;
+  /// Bitset domain rows, variable-major: domains_[v*stride_ .. +stride_).
   std::vector<std::uint64_t> domains_;
   std::vector<std::uint32_t> domain_size_;
+  std::vector<std::uint64_t> scratch_;      // two rows: Revise workspace + cover
+  std::vector<std::uint64_t> branch_rows_;  // one row per search depth
   std::vector<std::vector<VarFact>> facts_of_;
   std::vector<std::vector<ConstId>> neighbours_;
+  std::vector<std::size_t> b_tuples_;  // NumTuples per relation, cached
   std::vector<TrailEntry> trail_;
+  std::vector<std::uint64_t> trail_rows_;  // saved rows, stack order
+  std::vector<std::uint64_t> saved_stamp_;
+  std::uint64_t stamp_ = 0;
   std::vector<ConstId> queue_;
   std::vector<char> queued_;
 
@@ -425,6 +630,7 @@ class HomSearch {
   std::uint64_t backtracks_ = 0;
   std::uint64_t prunes_ = 0;
   std::uint64_t mrv_ties_ = 0;
+  std::uint64_t sweep_bytes_ = 0;
   bool exhausted_ = false;
 };
 

@@ -1,12 +1,14 @@
 #ifndef OBDA_DATA_HOMOMORPHISM_H_
 #define OBDA_DATA_HOMOMORPHISM_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "base/arena.h"
 #include "base/status.h"
 #include "data/instance.h"
 
@@ -33,42 +35,88 @@ struct HomResult {
   /// in that case `found == false` does NOT certify non-existence.
   bool budget_exhausted = false;
   std::uint64_t nodes = 0;
+  /// Bytes streamed through the bitset kernels during propagation (domain
+  /// rows read + written, adjacency unions, column scans). Identical on
+  /// the scalar and vector dispatch paths; benches divide by wall time
+  /// for a roofline (`bytes_per_probe`) figure.
+  std::uint64_t sweep_bytes = 0;
 };
 
-/// A target structure B compiled for repeated homomorphism probes: owns
-/// the per-(relation, position, value) support index (CSR layout) the MAC
-/// solver consults on every propagation step. Build it once when the same
-/// B is the target of many searches (template probing, core computation,
-/// obstruction filtering); the solver then skips the O(|B|) index
-/// construction on every call.
+/// A target structure B compiled for repeated homomorphism probes. Owns,
+/// in one arena, every index the MAC solver consults per propagation
+/// step, laid out structure-of-arrays so a sweep is a contiguous
+/// streaming pass:
+///   - the per-(relation, position, value) CSR support index,
+///   - per-(relation, position) presence bitsets (values with >=1 tuple),
+///   - for binary relations (within a memory budget) per-value adjacency
+///     bitset rows — AdjRow(r, p, c) = values co-occurring with c — plus
+///     a diagonal bitset for self-loop facts R(c, c).
+/// Bitset rows share one stride, padded to the SIMD block size, so the
+/// vector kernels never need tail handling on the hot rows.
+///
+/// Build it once when the same B is the target of many searches
+/// (template probing, core computation, obstruction filtering); the
+/// solver then skips the O(|B|) index construction on every call.
 ///
 /// Keeps a reference to `b`; the instance must outlive the compiled
-/// target and must not gain facts afterwards.
+/// target and must not gain facts afterwards. Movable, not copyable.
 class CompiledTarget {
  public:
   explicit CompiledTarget(const Instance& b);
 
   const Instance& instance() const { return *b_; }
 
+  /// Words per bitset row (multiple of simd::kWordsPerBlock).
+  std::size_t stride() const { return stride_; }
+
   /// Tuple indices of `rel` whose position `pos` holds `value`, ascending.
   std::span<const std::uint32_t> Support(RelationId rel, int pos,
                                          ConstId value) const {
-    const PosIndex& idx = index_[rel][static_cast<std::size_t>(pos)];
-    return std::span<const std::uint32_t>(idx.tuples)
-        .subspan(idx.offsets[value], idx.offsets[value + 1] -
-                                         idx.offsets[value]);
+    const PosIndex& idx = index_[rel].pos[static_cast<std::size_t>(pos)];
+    return std::span<const std::uint32_t>(
+        idx.tuples + idx.offsets[value],
+        idx.offsets[value + 1] - idx.offsets[value]);
+  }
+
+  /// Bitset of values occurring at `pos` of some tuple of `rel`.
+  const std::uint64_t* Presence(RelationId rel, int pos) const {
+    return index_[rel].pos[static_cast<std::size_t>(pos)].presence;
+  }
+
+  /// True when adjacency rows were materialized for binary `rel`.
+  bool HasAdjacency(RelationId rel) const {
+    return !index_[rel].pos.empty() && index_[rel].pos[0].adj != nullptr;
+  }
+
+  /// For binary `rel`: bitset of values at the OTHER position among
+  /// tuples holding `value` at `pos`. Only valid when HasAdjacency(rel).
+  const std::uint64_t* AdjRow(RelationId rel, int pos, ConstId value) const {
+    return index_[rel].pos[static_cast<std::size_t>(pos)].adj +
+           static_cast<std::size_t>(value) * stride_;
+  }
+
+  /// For binary `rel`: bitset of values c with a self-loop fact rel(c, c).
+  const std::uint64_t* Diag(RelationId rel) const {
+    return index_[rel].diag;
   }
 
  private:
-  /// CSR index for one (relation, position): tuples grouped by the value
-  /// at that position, offsets[v]..offsets[v+1] delimiting value v.
+  /// SoA index for one (relation, position); all pointers arena-owned.
   struct PosIndex {
-    std::vector<std::uint32_t> offsets;  // UniverseSize()+1 entries
-    std::vector<std::uint32_t> tuples;
+    const std::uint32_t* offsets = nullptr;  // UniverseSize()+1 entries
+    const std::uint32_t* tuples = nullptr;   // NumTuples entries
+    const std::uint64_t* presence = nullptr;  // stride_ words
+    const std::uint64_t* adj = nullptr;  // UniverseSize() rows x stride_
+  };
+  struct RelIndex {
+    std::vector<PosIndex> pos;           // one per position
+    const std::uint64_t* diag = nullptr;  // binary relations only
   };
 
   const Instance* b_;
-  std::vector<std::vector<PosIndex>> index_;  // [relation][position]
+  std::size_t stride_ = 0;
+  base::Arena arena_;
+  std::vector<RelIndex> index_;  // [relation]
 };
 
 /// Searches for a homomorphism h : A -> B, i.e. a map from the universe of

@@ -60,6 +60,12 @@ bool Instance::AddFact(RelationId rel, std::span<const ConstId> args) {
   (void)it;
   if (!inserted) return false;
   store.flat.insert(store.flat.end(), args.begin(), args.end());
+  if (!args.empty()) {
+    if (store.columns.empty()) store.columns.resize(args.size());
+    for (std::size_t p = 0; p < args.size(); ++p) {
+      store.columns[p].push_back(args[p]);
+    }
+  }
   // Register the fact once per *distinct* constant in it.
   std::vector<ConstId> seen;
   for (ConstId c : key) {
@@ -126,11 +132,13 @@ bool Instance::RemoveFact(RelationId rel, std::span<const ConstId> args) {
   if (arity > 0) {
     const std::uint32_t last =
         static_cast<std::uint32_t>(flat.size() / arity) - 1;
+    auto& columns = tuples_[rel].columns;
     if (index != last) {
       // Swap the last tuple into the vacated slot and rebind its refs.
       std::vector<ConstId> moved(flat.begin() + last * arity,
                                  flat.begin() + (last + 1) * arity);
       std::copy(moved.begin(), moved.end(), flat.begin() + index * arity);
+      for (std::size_t p = 0; p < arity; ++p) columns[p][index] = moved[p];
       tuple_sets_[rel].find(moved)->second = index;
       seen.clear();
       for (ConstId c : moved) {
@@ -145,6 +153,7 @@ bool Instance::RemoveFact(RelationId rel, std::span<const ConstId> args) {
       }
     }
     flat.resize(flat.size() - arity);
+    for (std::size_t p = 0; p < arity; ++p) columns[p].pop_back();
   }
   tuple_sets_[rel].erase(it);
   --num_facts_;
@@ -199,6 +208,15 @@ std::span<const ConstId> Instance::Tuple(RelationId rel,
   return std::span<const ConstId>(flat.data() + static_cast<std::size_t>(i) *
                                                     arity,
                                   static_cast<std::size_t>(arity));
+}
+
+std::span<const ConstId> Instance::Column(RelationId rel,
+                                          std::size_t pos) const {
+  OBDA_CHECK_LT(rel, schema_.NumRelations());
+  OBDA_CHECK_LT(static_cast<int>(pos), schema_.Arity(rel));
+  const auto& columns = tuples_[rel].columns;
+  if (columns.empty()) return {};  // no facts yet
+  return columns[pos];
 }
 
 const std::vector<FactRef>& Instance::FactsOf(ConstId c) const {

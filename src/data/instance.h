@@ -93,6 +93,12 @@ class Instance {
   /// The `i`-th tuple of `rel` (a span of Arity(rel) constant ids).
   std::span<const ConstId> Tuple(RelationId rel, std::uint32_t i) const;
 
+  /// Position `pos` of every tuple of `rel` as one contiguous column:
+  /// Column(rel, pos)[i] == Tuple(rel, i)[pos]. Maintained alongside the
+  /// flat store so index builds and propagation sweeps stream dense
+  /// cache lines instead of striding through arity-interleaved tuples.
+  std::span<const ConstId> Column(RelationId rel, std::size_t pos) const;
+
   /// All facts a constant participates in (for degree ordering/pruning).
   const std::vector<FactRef>& FactsOf(ConstId c) const;
 
@@ -115,7 +121,10 @@ class Instance {
 
  private:
   struct RelationStore {
-    std::vector<ConstId> flat;  // arity-strided tuples
+    std::vector<ConstId> flat;  // arity-strided tuples (canonical)
+    /// SoA mirror: columns[p][i] == flat[i * arity + p]. Kept in sync by
+    /// AddFact/RemoveFact; sized lazily on first fact.
+    std::vector<std::vector<ConstId>> columns;
   };
 
   Schema schema_;

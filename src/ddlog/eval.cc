@@ -6,11 +6,13 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "base/arena.h"
 #include "base/check.h"
 #include "base/hash.h"
 #include "base/thread_pool.h"
@@ -69,6 +71,15 @@ struct DdlogCounters {
   /// Join indexes materialized by the grounder (one per distinct
   /// (relation, bound-position pattern) probed during grounding).
   obs::Counter& index_builds = obs::GetCounter("ddlog.index_builds");
+  /// Batched probing: candidate tuples routed through a grouped Solve
+  /// (batched_probes), the grouped Solves themselves (batch_solves), and
+  /// the unsat groups that fell back to per-tuple probes
+  /// (batch_fallbacks). batched_probes / batch_solves is the effective
+  /// probe fan-in.
+  obs::Counter& batch_solves = obs::GetCounter("ddlog.batch_solves");
+  obs::Counter& batch_fallbacks =
+      obs::GetCounter("ddlog.batch_fallbacks");
+  obs::Counter& batched_probes = obs::GetCounter("ddlog.batched_probes");
   /// Incremental maintenance: ApplyDelta calls and the firings they
   /// retracted / emitted against the pinned grounding.
   obs::Counter& delta_grounds = obs::GetCounter("ddlog.delta_grounds");
@@ -266,39 +277,68 @@ struct Grounder {
   /// path); snapshotted (sorted + deduplicated) into each emitted firing.
   std::vector<std::uint32_t> dep_stack;
   /// Join indexes, built lazily per (relation, bound-position mask):
-  /// packed values at the masked positions -> matching tuple indices.
+  /// packed values at the masked positions -> matching tuple indices,
+  /// stored CSR-style as (offset, len) windows into one arena-backed
+  /// pool so a probe returns a contiguous span and the build streams the
+  /// instance's SoA columns instead of re-assembling row tuples.
   /// Keyed by (rel << 32) | mask.
-  std::unordered_map<std::uint64_t,
-                     std::unordered_map<AtomKey, std::vector<std::uint32_t>,
-                                        base::VectorHash<std::uint32_t>>>
-      join_indexes;
+  struct JoinIndex {
+    std::unordered_map<AtomKey, std::pair<std::uint32_t, std::uint32_t>,
+                       base::VectorHash<std::uint32_t>>
+        buckets;  // key -> (pool offset, run length)
+    const std::uint32_t* pool = nullptr;
+  };
+  std::unordered_map<std::uint64_t, JoinIndex> join_indexes;
+  /// Owns every join-index pool; dies with the grounder (the indexes are
+  /// only consulted during one Build / ApplyDelta pass).
+  base::Arena index_arena;
 
   /// Tuple indices of `rel` whose masked positions carry exactly the
-  /// values in `key` (in position order). Returns nullptr when no tuple
-  /// matches. Builds the index for this (rel, mask) on first probe.
-  const std::vector<std::uint32_t>* ProbeJoinIndex(data::RelationId rel,
-                                                   std::uint32_t mask,
-                                                   const AtomKey& key) {
+  /// values in `key` (in position order), ascending. Returns an empty
+  /// span when no tuple matches. Builds the index for this (rel, mask)
+  /// on first probe.
+  std::span<const std::uint32_t> ProbeJoinIndex(data::RelationId rel,
+                                                std::uint32_t mask,
+                                                const AtomKey& key) {
     const std::uint64_t slot = (static_cast<std::uint64_t>(rel) << 32) | mask;
     auto it = join_indexes.find(slot);
     if (it == join_indexes.end()) {
-      it = join_indexes.emplace(slot, decltype(join_indexes)::mapped_type())
-               .first;
+      it = join_indexes.emplace(slot, JoinIndex()).first;
+      JoinIndex& index = it->second;
       const std::size_t num_tuples = instance->NumTuples(rel);
-      AtomKey packed;
+      // Column pointers for the masked positions, gathered once: pass 1
+      // counts each key's run, pass 2 scatters tuple ids — both straight
+      // streaming reads of the SoA columns.
+      std::vector<std::span<const ConstId>> cols;
+      for (std::uint32_t p = 0; p < 32; ++p) {
+        if ((mask >> p) & 1u) cols.push_back(instance->Column(rel, p));
+      }
+      AtomKey packed(cols.size());
       for (std::uint32_t t = 0; t < num_tuples; ++t) {
-        auto tuple = instance->Tuple(rel, t);
-        packed.clear();
-        for (std::size_t p = 0; p < tuple.size(); ++p) {
-          if ((mask >> p) & 1u) packed.push_back(tuple[p]);
-        }
-        it->second[packed].push_back(t);
+        for (std::size_t j = 0; j < cols.size(); ++j) packed[j] = cols[j][t];
+        ++index.buckets[packed].second;
+      }
+      std::uint32_t* pool =
+          index_arena.AllocateArray<std::uint32_t>(num_tuples);
+      index.pool = pool;
+      std::uint32_t offset = 0;
+      for (auto& [unused, window] : index.buckets) {
+        window.first = offset;
+        offset += window.second;
+        window.second = 0;  // reused as the fill cursor in pass 2
+      }
+      for (std::uint32_t t = 0; t < num_tuples; ++t) {
+        for (std::size_t j = 0; j < cols.size(); ++j) packed[j] = cols[j][t];
+        auto& window = index.buckets.find(packed)->second;
+        pool[window.first + window.second++] = t;
       }
       DdlogCounters::Get().index_builds.Add(1);
     }
-    auto bucket = it->second.find(key);
-    if (bucket == it->second.end()) return nullptr;
-    return &bucket->second;
+    const JoinIndex& index = it->second;
+    auto bucket = index.buckets.find(key);
+    if (bucket == index.buckets.end()) return {};
+    return std::span<const std::uint32_t>(
+        index.pool + bucket->second.first, bucket->second.second);
   }
 
   sat::Var VarFor(PredId pred, const std::vector<ConstId>& args) {
@@ -554,17 +594,19 @@ struct Grounder {
         }
       }
     }
-    const std::vector<std::uint32_t>* candidates = nullptr;
+    std::span<const std::uint32_t> candidates;
+    bool probed = false;
     if (mask != 0) {
       candidates = ProbeJoinIndex(rel, mask, key);
-      if (candidates == nullptr) return true;  // no tuple matches
+      probed = true;
+      if (candidates.empty()) return true;  // no tuple matches
     }
     const std::size_t num_candidates =
-        candidates ? candidates->size() : instance->NumTuples(rel);
+        probed ? candidates.size() : instance->NumTuples(rel);
     AtomKey args;
     for (std::size_t ci = 0; ci < num_candidates; ++ci) {
       const std::uint32_t t =
-          candidates ? (*candidates)[ci] : static_cast<std::uint32_t>(ci);
+          probed ? candidates[ci] : static_cast<std::uint32_t>(ci);
       auto tuple = instance->Tuple(rel, t);
       if (skip_added != nullptr) {
         args.assign(tuple.begin(), tuple.end());
@@ -703,6 +745,9 @@ struct GroundedQuery::Impl {
     std::vector<std::vector<ConstId>> hits;
     std::uint64_t checks = 0;
     std::uint64_t cache_hits = 0;
+    std::uint64_t batch_solves = 0;
+    std::uint64_t batch_fallbacks = 0;
+    std::uint64_t batched_probes = 0;
   };
   std::vector<std::unique_ptr<WorkerState>> worker_states;
   /// Solver state for the sequential entry points (CertainlyHolds /
@@ -1029,17 +1074,101 @@ struct GroundedQuery::Impl {
     if (!outcome.ok()) return outcome.status();
     // No model avoiding goal(tuple) => certain answer.
     if (*outcome == sat::SatOutcome::kUnsat) return true;
+    CacheModel(ws);
+    return false;
+  }
+
+  /// Caches the solver's current model into ws.model, completed back into
+  /// the ORIGINAL variable space. The solver's model covers the
+  /// SIMPLIFIED CNF; eliminated/fixed/substituted variables carry
+  /// arbitrary values until completed, and the cached-model skip reads
+  /// original-space goal variables, so complete before caching.
+  void CacheModel(WorkerState& ws) {
     const std::size_t num_vars = ws.solver->NumVars();
     ws.model.assign(num_vars, 0);
     for (std::size_t v = 0; v < num_vars; ++v) {
       ws.model[v] = ws.solver->ModelValue(static_cast<sat::Var>(v)) ? 1 : 0;
     }
-    // The solver's model covers the SIMPLIFIED CNF; eliminated/fixed/
-    // substituted variables carry arbitrary values until completed. The
-    // cached-model skip reads original-space goal variables, so complete
-    // before caching.
     cnf.remapper.CompleteModel(&ws.model);
-    return false;
+  }
+
+  /// Probes a group of candidate goal variables with ONE Solve: all the
+  /// ¬goal literals are asserted together as assumptions. kSat yields a
+  /// model avoiding every goal in the group simultaneously — none is
+  /// certain, and the model is cached for the skip test on later
+  /// candidates. kUnsat only says SOME member is certain, so the group
+  /// falls back to per-tuple probes (re-checking the model cache first:
+  /// an earlier fallback probe inside the group may have found a model).
+  /// Per-tuple certainty is a property of the clause set, not of the
+  /// grouping, so the flags returned are bit-identical to per-tuple
+  /// probing. Returns one certainty flag per goal, aligned with `goals`.
+  base::Result<std::vector<char>> ProbeBatch(
+      WorkerState& ws, const std::vector<sat::Var>& goals) {
+    std::vector<char> certain(goals.size(), 0);
+    std::vector<sat::Lit> assumptions;
+    std::vector<std::size_t> grouped;  // indices covered by the group Solve
+    std::vector<std::size_t> solo;     // root-fixed goals: bare Solve each
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+      const sat::Var goal_var = goals[i];
+      sat::Lit lit = sat::Lit::Neg(goal_var);
+      if (goal_var != ws.spare &&
+          static_cast<std::size_t>(goal_var) < cnf.remapper.num_vars()) {
+        const sat::Remapper::MappedLit mapped = cnf.remapper.MapLit(lit);
+        if (mapped.kind == sat::Remapper::MappedLit::Kind::kFalse) {
+          certain[i] = 1;  // ¬goal false at root: certain without a Solve
+          continue;
+        }
+        if (mapped.kind == sat::Remapper::MappedLit::Kind::kTrue) {
+          // Goal root-fixed false: certain iff the theory is unsat, which
+          // needs an assumption-free Solve — route through ProbeTuple.
+          solo.push_back(i);
+          continue;
+        }
+        lit = mapped.lit;
+      }
+      if (std::find_if(assumptions.begin(), assumptions.end(),
+                       [&](sat::Lit a) { return a.code == lit.code; }) ==
+          assumptions.end()) {
+        assumptions.push_back(lit);
+      }
+      grouped.push_back(i);
+    }
+    if (!grouped.empty()) {
+      ++ws.batch_solves;
+      const bool timed = obs::MetricsEnabled();
+      const auto probe_start = timed
+                                   ? std::chrono::steady_clock::now()
+                                   : std::chrono::steady_clock::time_point();
+      auto outcome = BudgetedSolve(*ws.solver, assumptions);
+      if (timed) {
+        DdlogCounters::Get().probe_hist.Record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - probe_start)
+                .count()));
+      }
+      if (!outcome.ok()) return outcome.status();
+      if (*outcome == sat::SatOutcome::kSat) {
+        CacheModel(ws);  // one model dismisses the whole group
+      } else {
+        ++ws.batch_fallbacks;
+        for (std::size_t i : grouped) {
+          if (!ws.model.empty() &&
+              ws.model[static_cast<std::size_t>(goals[i])] == 0) {
+            ++ws.cache_hits;
+            continue;
+          }
+          auto flag = ProbeTuple(ws, goals[i]);
+          if (!flag.ok()) return flag.status();
+          certain[i] = *flag ? 1 : 0;
+        }
+      }
+    }
+    for (std::size_t i : solo) {
+      auto flag = ProbeTuple(ws, goals[i]);
+      if (!flag.ok()) return flag.status();
+      certain[i] = *flag ? 1 : 0;
+    }
+    return certain;
   }
 };
 
@@ -1366,16 +1495,53 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
     ws->hits.clear();
     ws->checks = 0;
     ws->cache_hits = 0;
+    ws->batch_solves = 0;
+    ws->batch_fallbacks = 0;
+    ws->batched_probes = 0;
   }
   const GroundedClauses& snapshot = *impl.snapshot;
+  const std::size_t batch_cap =
+      impl.options.probe_batch > 1
+          ? static_cast<std::size_t>(impl.options.probe_batch)
+          : 1;
 
+  // Chunks must be at least a batch wide or the sequential path (and any
+  // pool splitting finer than the batch) would hand the worker loop
+  // single-candidate ranges and no batch could ever form.
   base::Status status = pool.ParallelFor(
-      total, /*min_chunk=*/1,
+      total, /*min_chunk=*/batch_cap,
       [&](std::uint64_t begin, std::uint64_t end, int slot) -> base::Status {
         Impl::WorkerState& ws =
             *impl.worker_states[static_cast<std::size_t>(slot)];
         impl.SyncWorker(ws);
         std::vector<ConstId> tuple(static_cast<std::size_t>(arity));
+        // Candidates surviving the model-cache skip are grouped while
+        // they share their ground prefix (all coordinates but the last —
+        // flat / radix, since the last coordinate varies fastest), up to
+        // probe_batch per group, and probed with one Solve per group.
+        std::vector<std::pair<std::vector<ConstId>, sat::Var>> batch;
+        std::vector<sat::Var> goals;
+        std::uint64_t batch_prefix = 0;
+        auto flush = [&]() -> base::Status {
+          if (batch.empty()) return base::Status::Ok();
+          if (batch.size() == 1) {
+            auto certain = impl.ProbeTuple(ws, batch[0].second);
+            if (!certain.ok()) return certain.status();
+            if (*certain) ws.hits.push_back(std::move(batch[0].first));
+            batch.clear();
+            return base::Status::Ok();
+          }
+          ws.batched_probes += batch.size();
+          goals.clear();
+          for (const auto& cand : batch) goals.push_back(cand.second);
+          auto certain = impl.ProbeBatch(ws, goals);
+          if (!certain.ok()) return certain.status();
+          for (std::size_t i = 0; i < batch.size(); ++i) {
+            if ((*certain)[i]) ws.hits.push_back(std::move(batch[i].first));
+          }
+          batch.clear();
+          return base::Status::Ok();
+        };
         for (std::uint64_t flat = begin; flat < end; ++flat) {
           decode(flat, &tuple);
           ++ws.checks;
@@ -1385,23 +1551,42 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
             ++ws.cache_hits;  // cached model already avoids goal(tuple)
             continue;
           }
-          auto certain = impl.ProbeTuple(ws, goal_var);
-          if (!certain.ok()) return certain.status();
-          if (*certain) ws.hits.push_back(tuple);
+          if (batch_cap == 1) {
+            auto certain = impl.ProbeTuple(ws, goal_var);
+            if (!certain.ok()) return certain.status();
+            if (*certain) ws.hits.push_back(tuple);
+            continue;
+          }
+          const std::uint64_t prefix = flat / radix;
+          if (!batch.empty() &&
+              (prefix != batch_prefix || batch.size() >= batch_cap)) {
+            OBDA_RETURN_IF_ERROR(flush());
+          }
+          batch_prefix = prefix;
+          batch.emplace_back(tuple, goal_var);
         }
-        return base::Status::Ok();
+        return flush();
       });
 
   std::uint64_t checks = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t batch_solves = 0;
+  std::uint64_t batch_fallbacks = 0;
+  std::uint64_t batched_probes = 0;
   for (auto& ws : impl.worker_states) {
     checks += ws->checks;
     cache_hits += ws->cache_hits;
+    batch_solves += ws->batch_solves;
+    batch_fallbacks += ws->batch_fallbacks;
+    batched_probes += ws->batched_probes;
     // Per-worker solver stats reach the registry when the grounding dies,
     // via ~Solver; nothing to aggregate by hand beyond the probe counts.
   }
   DdlogCounters::Get().certain_checks.Add(checks);
   DdlogCounters::Get().model_cache_hits.Add(cache_hits);
+  DdlogCounters::Get().batch_solves.Add(batch_solves);
+  DdlogCounters::Get().batch_fallbacks.Add(batch_fallbacks);
+  DdlogCounters::Get().batched_probes.Add(batched_probes);
   if (!status.ok()) return status;
 
   for (auto& ws : impl.worker_states) {

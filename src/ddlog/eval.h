@@ -26,6 +26,15 @@ struct EvalOptions {
   /// hardware_concurrency, N > 1 = a dedicated pool of N workers.
   /// Answers are bit-identical for every value.
   int threads = 0;
+  /// Batch size for the per-tuple co-NP probes in ComputeCertainAnswers:
+  /// consecutive candidate tuples sharing their ground prefix (all but
+  /// the last coordinate) are asserted together as assumptions in ONE
+  /// Solve. A satisfying model dismisses the whole group at once (it
+  /// avoids every goal atom simultaneously); only an unsat batch — at
+  /// least one member certain — falls back to per-tuple probes. Certainty
+  /// per tuple is a property of the clause set alone, so answers are
+  /// bit-identical for every batch size. <= 1 disables batching.
+  int probe_batch = 64;
   /// Run the snapshot-time SAT preprocessor (unit/pure propagation,
   /// equivalent-literal substitution, subsumption + self-subsumption,
   /// bounded variable elimination) over the ground clauses before the

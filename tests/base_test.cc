@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
+#include "base/arena.h"
 #include "base/rng.h"
+#include "base/simd.h"
 #include "base/status.h"
 #include "base/strings.h"
 
@@ -81,6 +86,116 @@ TEST(RngTest, IntInInclusive) {
   }
   EXPECT_TRUE(saw_lo);
   EXPECT_TRUE(saw_hi);
+}
+
+TEST(ArenaTest, AlignsAndZeroFillsBitsetRows) {
+  Arena arena;
+  std::uint64_t* rows = arena.AllocateBitsetRows(37);
+  ASSERT_NE(rows, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(rows) % Arena::kAlignment, 0u);
+  for (std::size_t i = 0; i < 37; ++i) EXPECT_EQ(rows[i], 0u);
+  auto* ints = arena.AllocateArray<std::uint32_t>(5);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ints) % Arena::kAlignment, 0u);
+  EXPECT_GT(arena.bytes_allocated(), 0u);
+}
+
+TEST(ArenaTest, SurvivesChunkGrowthAndMove) {
+  Arena arena;
+  std::vector<std::uint32_t*> ptrs;
+  for (int i = 0; i < 64; ++i) {
+    auto* p = arena.AllocateArray<std::uint32_t>(4096);
+    p[0] = static_cast<std::uint32_t>(i);
+    p[4095] = static_cast<std::uint32_t>(i) + 7u;
+    ptrs.push_back(p);
+  }
+  Arena moved = std::move(arena);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(ptrs[static_cast<std::size_t>(i)][0],
+              static_cast<std::uint32_t>(i));
+    EXPECT_EQ(ptrs[static_cast<std::size_t>(i)][4095],
+              static_cast<std::uint32_t>(i) + 7u);
+  }
+  auto* after = moved.AllocateArray<std::uint32_t>(8);
+  EXPECT_NE(after, nullptr);
+}
+
+// Randomized parity battery: every kernel must agree bit-for-bit between
+// the scalar table and whatever table is active (AVX2 when compiled in
+// and supported; otherwise this degenerates to scalar-vs-scalar, which
+// still exercises the dispatch plumbing).
+TEST(SimdTest, KernelTablesAgreeOnRandomRows) {
+  namespace simd = obda::base::simd;
+  const simd::Kernels& scalar = simd::ScalarKernels();
+  const simd::Kernels& active = simd::Active();
+  Rng rng(20260808);
+  for (int round = 0; round < 50; ++round) {
+    const std::size_t words =
+        simd::PaddedWords(1 + rng.Below(13));  // 4..16 words, padded
+    std::vector<std::uint64_t> a(words), b(words);
+    for (auto& w : a) w = rng.Next();
+    for (auto& w : b) w = rng.Next();
+    std::vector<std::uint64_t> d1(words), d2(words);
+
+    EXPECT_EQ(scalar.count(a.data(), words), active.count(a.data(), words));
+
+    std::uint64_t c1 = scalar.and_count(d1.data(), a.data(), b.data(), words);
+    std::uint64_t c2 = active.and_count(d2.data(), a.data(), b.data(), words);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(d1, d2);
+
+    c1 = scalar.andnot_count(d1.data(), a.data(), b.data(), words);
+    c2 = active.andnot_count(d2.data(), a.data(), b.data(), words);
+    EXPECT_EQ(c1, c2);
+    EXPECT_EQ(d1, d2);
+
+    scalar.or_into(d1.data(), a.data(), words);
+    active.or_into(d2.data(), a.data(), words);
+    EXPECT_EQ(d1, d2);
+
+    scalar.fill(d1.data(), 0, words);
+    active.fill(d2.data(), 0, words);
+    EXPECT_EQ(d1, d2);
+  }
+}
+
+TEST(SimdTest, MrvScanAgreesAndSkipsDecidedEntries) {
+  namespace simd = obda::base::simd;
+  const simd::Kernels& scalar = simd::ScalarKernels();
+  const simd::Kernels& active = simd::Active();
+  Rng rng(424242);
+  for (int round = 0; round < 200; ++round) {
+    const std::size_t n = 1 + rng.Below(40);
+    std::vector<std::uint32_t> sizes(n);
+    for (auto& s : sizes) s = rng.Below(6);  // plenty of 0/1 entries
+    std::uint32_t b1 = 0, b2 = 0;
+    std::uint64_t t1 = 0, t2 = 0;
+    std::size_t i1 = 0, i2 = 0;
+    const bool f1 = scalar.mrv_scan(sizes.data(), n, &b1, &i1, &t1);
+    const bool f2 = active.mrv_scan(sizes.data(), n, &b2, &i2, &t2);
+    EXPECT_EQ(f1, f2);
+    if (f1) {
+      EXPECT_EQ(b1, b2);
+      EXPECT_EQ(i1, i2);
+      EXPECT_EQ(t1, t2);
+      EXPECT_GE(b1, 2u);  // entries < 2 are decided / dead, never picked
+      EXPECT_EQ(sizes[i1], b1);
+    } else {
+      for (std::uint32_t s : sizes) EXPECT_LT(s, 2u);
+    }
+  }
+}
+
+TEST(SimdTest, ForceDispatchSwitchesTables) {
+  namespace simd = obda::base::simd;
+  simd::ForceDispatch(simd::Dispatch::kScalar);
+  EXPECT_STREQ(simd::ActiveName(), "scalar");
+  simd::ForceDispatch(simd::Dispatch::kAvx2);
+  if (simd::Avx2Compiled() && simd::Avx2Available()) {
+    EXPECT_STREQ(simd::ActiveName(), "avx2");
+  } else {
+    EXPECT_STREQ(simd::ActiveName(), "scalar");  // graceful fallback
+  }
+  simd::ForceDispatch(simd::Dispatch::kAuto);
 }
 
 }  // namespace

@@ -487,5 +487,56 @@ TEST(IoRoundTripTest, RandomInstancesRoundTripDifferentially) {
   }
 }
 
+/// Column(rel, p)[i] must equal Tuple(rel, i)[p] for every live tuple —
+/// the SoA mirror the vectorized index builds stream from.
+void CheckColumnsMirrorTuples(const Instance& d) {
+  for (RelationId r = 0; r < d.schema().NumRelations(); ++r) {
+    const int arity = d.schema().Arity(r);
+    for (int p = 0; p < arity; ++p) {
+      auto col = d.Column(r, static_cast<std::size_t>(p));
+      ASSERT_EQ(col.size(), d.NumTuples(r));
+      for (std::uint32_t i = 0; i < d.NumTuples(r); ++i) {
+        EXPECT_EQ(col[i], d.Tuple(r, i)[static_cast<std::size_t>(p)]);
+      }
+    }
+  }
+}
+
+TEST(InstanceTest, ColumnsMirrorFlatUnderChurn) {
+  Schema s;
+  s.AddRelation("E", 2);
+  s.AddRelation("T", 3);
+  s.AddRelation("U", 1);
+  Instance d(s);
+  base::Rng rng(88);
+  std::vector<ConstId> consts;
+  for (int i = 0; i < 12; ++i) {
+    consts.push_back(d.AddConstant("c" + std::to_string(i)));
+  }
+  auto random_args = [&](RelationId r) {
+    std::vector<ConstId> args;
+    for (int p = 0; p < s.Arity(r); ++p) {
+      args.push_back(consts[rng.Below(consts.size())]);
+    }
+    return args;
+  };
+  // Interleave adds and removes; removal swaps the last tuple into the
+  // vacated slot, so the column mirror must track the compaction too.
+  for (int step = 0; step < 400; ++step) {
+    const RelationId r = static_cast<RelationId>(rng.Below(3));
+    if (rng.Chance(2, 3) || d.NumTuples(r) == 0) {
+      d.AddFact(r, random_args(r));
+    } else {
+      const std::uint32_t i =
+          static_cast<std::uint32_t>(rng.Below(d.NumTuples(r)));
+      auto t = d.Tuple(r, i);
+      std::vector<ConstId> args(t.begin(), t.end());
+      EXPECT_TRUE(d.RemoveFact(r, args));
+    }
+    if (step % 40 == 0) CheckColumnsMirrorTuples(d);
+  }
+  CheckColumnsMirrorTuples(d);
+}
+
 }  // namespace
 }  // namespace obda::data

@@ -203,6 +203,49 @@ TEST(EvalTest, DisjunctionWithBothBranchesDeriving) {
   EXPECT_EQ(answers->tuples.size(), 2u);
 }
 
+TEST(EvalTest, ProbeBatchSizesAgree) {
+  // Certainty per tuple is a property of the ground CNF, so grouping the
+  // co-NP probes (probe_batch > 1) must leave the answer set bit-identical
+  // to per-tuple probing at every batch size and thread count. Binary goal
+  // so batches group along a genuine shared prefix, plus a disjunctive
+  // rule so some probes truly need the solver.
+  Schema s;
+  s.AddRelation("E", 2);
+  auto p = ParseProgram(s, R"(
+    R(x,x) <- adom(x).
+    R(x,y) <- R(x,z), E(z,y).
+    B(x) | W(x) <- adom(x).
+    goal(x,y) <- R(x,y).
+  )");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto d = data::ParseInstance(
+      s, "E(a,b). E(b,c). E(c,a). E(d,e). E(e,d). E(c,d)");
+  ASSERT_TRUE(d.ok());
+
+  EvalOptions base_options;
+  base_options.probe_batch = 1;
+  base_options.threads = 1;
+  auto want = CertainAnswers(*p, *d, base_options);
+  ASSERT_TRUE(want.ok());
+  EXPECT_GT(want->tuples.size(), 5u);  // reflexive pairs + reachability
+
+  for (int batch : {2, 3, 64}) {
+    for (int threads : {1, 3}) {
+      for (bool preprocess : {true, false}) {
+        EvalOptions options;
+        options.probe_batch = batch;
+        options.threads = threads;
+        options.preprocess = preprocess;
+        auto got = CertainAnswers(*p, *d, options);
+        ASSERT_TRUE(got.ok());
+        EXPECT_EQ(got->tuples, want->tuples)
+            << "probe_batch=" << batch << " threads=" << threads
+            << " preprocess=" << preprocess;
+      }
+    }
+  }
+}
+
 TEST(EvalTest, EmptyInstanceBooleanQuery) {
   Schema s = GraphSchema();
   auto p = ParseProgram(s, "goal <- E(x,y).");

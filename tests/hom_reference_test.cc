@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
+#include "base/simd.h"
 #include "data/generator.h"
 #include "data/homomorphism.h"
 #include "data/instance.h"
@@ -222,6 +223,159 @@ TEST(HomReferenceTest, CountRespectsLimit) {
   auto capped = CountHomomorphisms(a, b, 5);
   ASSERT_TRUE(capped.ok());
   EXPECT_EQ(*capped, 5u);
+}
+
+/// One binary-relation graph on `n` named constants; edges added by the
+/// caller. Universes > 256 push the bitset domains past one SIMD block,
+/// exercising the multi-word sweep paths.
+Instance WideGraph(const Schema& s, std::size_t n) {
+  Instance g(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    g.AddConstant("c" + std::to_string(i));
+  }
+  return g;
+}
+
+TEST(HomReferenceTest, WideDomainBothDispatchPathsAgree) {
+  namespace simd = base::simd;
+  Schema s;
+  s.AddRelation("E", 2);
+  // 300 constants: domains span 5 live words (padded to 8). An odd cycle
+  // with one embedded triangle admits K3 -> B; the even cycle does not.
+  const std::size_t kN = 300;
+  Instance triangle = Clique("E", 3);
+  Instance yes = WideGraph(s, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ConstId u = static_cast<ConstId>(i);
+    ConstId v = static_cast<ConstId>((i + 1) % kN);
+    yes.AddFact(0, {u, v});
+    yes.AddFact(0, {v, u});
+  }
+  yes.AddFact(0, {0, 2});
+  yes.AddFact(0, {2, 0});
+  Instance no = WideGraph(s, kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ConstId u = static_cast<ConstId>(i);
+    ConstId v = static_cast<ConstId>((i + 1) % kN);
+    no.AddFact(0, {u, v});
+    no.AddFact(0, {v, u});
+  }
+
+  HomResult scalar_yes, scalar_no, active_yes, active_no;
+  simd::ForceDispatch(simd::Dispatch::kScalar);
+  scalar_yes = FindHomomorphism(triangle, yes);
+  scalar_no = FindHomomorphism(triangle, no);
+  simd::ForceDispatch(simd::Dispatch::kAvx2);
+  active_yes = FindHomomorphism(triangle, yes);
+  active_no = FindHomomorphism(triangle, no);
+  simd::ForceDispatch(simd::Dispatch::kAuto);
+
+  ASSERT_TRUE(scalar_yes.found);
+  CheckWitness(triangle, yes, scalar_yes);
+  EXPECT_FALSE(scalar_no.found);
+  // Bit-identical searches: same verdicts, witnesses, node counts, and
+  // kernel traffic on both dispatch paths.
+  EXPECT_EQ(active_yes.found, scalar_yes.found);
+  EXPECT_EQ(active_yes.mapping, scalar_yes.mapping);
+  EXPECT_EQ(active_yes.nodes, scalar_yes.nodes);
+  EXPECT_EQ(active_yes.sweep_bytes, scalar_yes.sweep_bytes);
+  EXPECT_EQ(active_no.found, scalar_no.found);
+  EXPECT_EQ(active_no.nodes, scalar_no.nodes);
+  EXPECT_EQ(active_no.sweep_bytes, scalar_no.sweep_bytes);
+}
+
+TEST(HomReferenceTest, DispatchParityFuzz) {
+  namespace simd = base::simd;
+  // >= 200 seeds, each run once per dispatch path: the whole HomResult
+  // must match field for field (the scalar table is the oracle). Covers
+  // existence, counting, pinning, and compiled targets.
+  for (std::uint64_t seed = 0; seed < 220; ++seed) {
+    base::Rng gen_rng(1000 + seed);
+    Schema s = RandomSchema(gen_rng);
+    Instance a = RandomSmallInstance(s, 5, 8, gen_rng);
+    Instance b = RandomSmallInstance(s, 6, 10, gen_rng);
+    std::vector<std::pair<ConstId, ConstId>> pinned;
+    if (a.UniverseSize() > 0 && b.UniverseSize() > 0 &&
+        gen_rng.Chance(1, 2)) {
+      pinned.emplace_back(
+          static_cast<ConstId>(gen_rng.Below(a.UniverseSize())),
+          static_cast<ConstId>(gen_rng.Below(b.UniverseSize())));
+    }
+    HomOptions options;
+    options.max_solutions = 1 + gen_rng.Below(4);
+
+    simd::ForceDispatch(simd::Dispatch::kScalar);
+    CompiledTarget scalar_target(b);
+    const HomResult want = FindHomomorphism(a, scalar_target, pinned,
+                                            options);
+    simd::ForceDispatch(simd::Dispatch::kAvx2);
+    CompiledTarget active_target(b);
+    const HomResult got = FindHomomorphism(a, active_target, pinned,
+                                           options);
+    simd::ForceDispatch(simd::Dispatch::kAuto);
+
+    EXPECT_EQ(got.found, want.found) << "seed " << seed;
+    EXPECT_EQ(got.mapping, want.mapping) << "seed " << seed;
+    EXPECT_EQ(got.solution_count, want.solution_count) << "seed " << seed;
+    EXPECT_EQ(got.nodes, want.nodes) << "seed " << seed;
+    EXPECT_EQ(got.budget_exhausted, want.budget_exhausted)
+        << "seed " << seed;
+    EXPECT_EQ(got.sweep_bytes, want.sweep_bytes) << "seed " << seed;
+  }
+}
+
+TEST(HomReferenceTest, SaturatedUnionSweepsMatchBruteForce) {
+  namespace simd = base::simd;
+  // Dense targets drive the union-of-adjacency-rows revise past the
+  // saturation cutoff (32+ rows whose union covers the domain, so the
+  // sweep breaks off early). At edge probability 1/2 and degree ~32 the
+  // cutoff fires on essentially every post-branch revise; the
+  // brute-force enumerator is the oracle that breaking off never changes
+  // a verdict or a count, on either dispatch path.
+  Schema s;
+  s.AddRelation("E", 2);
+  for (std::uint64_t seed = 0; seed < 24; ++seed) {
+    base::Rng rng(7000 + seed);
+    const std::size_t m = 64 + rng.Below(9);
+    Instance b(s);
+    for (std::size_t i = 0; i < m; ++i) {
+      b.AddConstant("b" + std::to_string(i));
+    }
+    for (std::size_t u = 0; u < m; ++u) {
+      for (std::size_t v = 0; v < m; ++v) {
+        if (u != v && rng.Chance(1, 2)) {
+          b.AddFact(0, {static_cast<ConstId>(u), static_cast<ConstId>(v)});
+        }
+      }
+    }
+    Instance a(s);
+    for (int i = 0; i < 3; ++i) {
+      a.AddConstant("a" + std::to_string(i));
+    }
+    a.AddFact(0, {0, 1});
+    a.AddFact(0, {1, 2});
+    if (rng.Chance(1, 2)) a.AddFact(0, {2, 0});
+
+    const BruteResult want = BruteForce(a, b);
+    HomOptions options;
+    options.max_solutions = std::uint64_t{1} << 40;
+
+    simd::ForceDispatch(simd::Dispatch::kScalar);
+    const HomResult scalar_r = FindHomomorphism(a, b, {}, options);
+    simd::ForceDispatch(simd::Dispatch::kAvx2);
+    const HomResult active_r = FindHomomorphism(a, b, {}, options);
+    simd::ForceDispatch(simd::Dispatch::kAuto);
+
+    EXPECT_EQ(scalar_r.found, want.exists) << "seed " << seed;
+    EXPECT_EQ(scalar_r.solution_count, want.count) << "seed " << seed;
+    if (scalar_r.found) CheckWitness(a, b, scalar_r);
+    EXPECT_EQ(active_r.found, scalar_r.found) << "seed " << seed;
+    EXPECT_EQ(active_r.mapping, scalar_r.mapping) << "seed " << seed;
+    EXPECT_EQ(active_r.solution_count, scalar_r.solution_count)
+        << "seed " << seed;
+    EXPECT_EQ(active_r.nodes, scalar_r.nodes) << "seed " << seed;
+    EXPECT_EQ(active_r.sweep_bytes, scalar_r.sweep_bytes) << "seed " << seed;
+  }
 }
 
 TEST(HomReferenceTest, BudgetExhaustionReturnsError) {
