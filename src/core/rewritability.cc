@@ -38,25 +38,28 @@ struct RewritabilityCounters {
   }
 };
 
-base::Result<csp::CoCspQuery> TimedCompile(const OntologyMediatedQuery& omq) {
+base::Result<csp::CoCspQuery> TimedCompile(const OntologyMediatedQuery& omq,
+                                           int max_template_elements = 1024) {
   obs::ScopedTimer timer(RewritabilityCounters::Get().compile);
-  return CompileToCsp(omq);
+  return CompileToCsp(omq, max_template_elements);
 }
 
 }  // namespace
 
-base::Result<bool> IsFoRewritable(const OntologyMediatedQuery& omq) {
+base::Result<bool> IsFoRewritable(const OntologyMediatedQuery& omq,
+                                  int max_template_elements) {
   obs::TraceSpan span("rewritability.fo_check");
   RewritabilityCounters::Get().fo_checks.Add(1);
-  auto csp_query = TimedCompile(omq);
+  auto csp_query = TimedCompile(omq, max_template_elements);
   if (!csp_query.ok()) return csp_query.status();
   return csp::IsFoRewritable(*csp_query);
 }
 
-base::Result<bool> IsDatalogRewritable(const OntologyMediatedQuery& omq) {
+base::Result<bool> IsDatalogRewritable(const OntologyMediatedQuery& omq,
+                                       int max_template_elements) {
   obs::TraceSpan span("rewritability.datalog_check");
   RewritabilityCounters::Get().datalog_checks.Add(1);
-  auto csp_query = TimedCompile(omq);
+  auto csp_query = TimedCompile(omq, max_template_elements);
   if (!csp_query.ok()) return csp_query.status();
   return csp::IsDatalogRewritable(*csp_query);
 }
@@ -104,10 +107,15 @@ fo::ConjunctiveQuery ObstructionToCq(const data::Instance& tree,
 
 std::vector<std::vector<data::ConstId>> FoRewriting::Evaluate(
     const data::Instance& instance) const {
-  std::vector<std::vector<data::ConstId>> result;
   // All conjuncts are evaluated over the same instance; compile its
   // support index once.
   const data::CompiledTarget target(instance);
+  return Evaluate(target);
+}
+
+std::vector<std::vector<data::ConstId>> FoRewriting::Evaluate(
+    const data::CompiledTarget& target) const {
+  std::vector<std::vector<data::ConstId>> result;
   bool first = true;
   for (const fo::UnionOfCq& q : conjuncts) {
     auto answers = q.Evaluate(target);

@@ -15,11 +15,16 @@ namespace obda::core {
 /// (paper Thm 5.16): compile to a generalized marked coCSP (Thm 4.6),
 /// reduce to homomorphically incomparable templates, collapse marks, and
 /// run the Larose–Loten–Tardif test per template (Thm 5.15 / Prop 5.11).
-base::Result<bool> IsFoRewritable(const OntologyMediatedQuery& omq);
+/// `max_template_elements` caps the exponential template construction
+/// (kResourceExhausted beyond it — the serving planner's PREPARE budget).
+base::Result<bool> IsFoRewritable(const OntologyMediatedQuery& omq,
+                                  int max_template_elements = 1024);
 
 /// Decides datalog-rewritability analogously via the bounded-width (WNU)
-/// test (paper Thm 5.16 / 5.10).
-base::Result<bool> IsDatalogRewritable(const OntologyMediatedQuery& omq);
+/// test (paper Thm 5.16 / 5.10). Same template budget semantics as
+/// IsFoRewritable.
+base::Result<bool> IsDatalogRewritable(const OntologyMediatedQuery& omq,
+                                       int max_template_elements = 1024);
 
 /// An extracted FO-rewriting (paper §5.3): a conjunction of UCQ-negations
 /// — d̄ is a certain answer iff for EVERY template some obstruction tree
@@ -37,6 +42,12 @@ struct FoRewriting {
   /// the conjunct UCQ answers; for arity 0, of Boolean values).
   std::vector<std::vector<data::ConstId>> Evaluate(
       const data::Instance& instance) const;
+
+  /// Same, but against a pre-compiled support index — the serving hot
+  /// path, which caches one data::CompiledTarget per snapshot so repeated
+  /// executions skip the index build entirely.
+  std::vector<std::vector<data::ConstId>> Evaluate(
+      const data::CompiledTarget& target) const;
 };
 
 /// Extracts an FO-rewriting for an FO-rewritable AQ/BAQ OMQ by

@@ -11,18 +11,14 @@ namespace {
 
 using data::ConstId;
 
-}  // namespace
-
-bool ArcConsistencyRefutes(const data::Instance& d,
-                           const data::Instance& b) {
-  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
+// Shared body of ArcConsistencyRefutes / ArcConsistencyDomains: runs the
+// support loop to fixpoint on `candidates` (already sized nd × nb, all
+// true). Returns true if a nullary mismatch or an emptied row refutes.
+bool PropagateArcConsistency(const data::Instance& d,
+                             const data::Instance& b,
+                             std::vector<std::vector<bool>>& candidates) {
   const std::size_t nd = d.UniverseSize();
   const std::size_t nb = b.UniverseSize();
-  if (nd == 0) return false;
-  if (nb == 0) return true;
-  // candidates[x] = possible images of x.
-  std::vector<std::vector<bool>> candidates(
-      nd, std::vector<bool>(nb, true));
   bool changed = true;
   while (changed) {
     changed = false;
@@ -72,20 +68,15 @@ bool ArcConsistencyRefutes(const data::Instance& d,
   return false;
 }
 
-bool PairwiseConsistencyRefutes(const data::Instance& d,
-                                const data::Instance& b) {
-  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
-  OBDA_CHECK(d.schema().IsBinary());
+// Shared body of PairwiseConsistencyRefutes / PairwiseConsistencyDomains:
+// fills `pair` (nd × nd × nb·nb, all true on entry) with the (2,3)
+// fixpoint. Returns true if a nullary mismatch or an emptied diagonal
+// refutes.
+bool PropagatePairwiseConsistency(
+    const data::Instance& d, const data::Instance& b,
+    std::vector<std::vector<std::vector<bool>>>& pair) {
   const std::size_t nd = d.UniverseSize();
   const std::size_t nb = b.UniverseSize();
-  if (nd == 0) return false;
-  if (nb == 0) return true;
-
-  // pair[x][y] = allowed image pairs (bx, by), flattened bx*nb+by.
-  // Diagonal pair[x][x] encodes the unary candidate set.
-  std::vector<std::vector<std::vector<bool>>> pair(
-      nd, std::vector<std::vector<bool>>(nd,
-                                         std::vector<bool>(nb * nb, true)));
   // Diagonal consistency: only (v,v) allowed on pair[x][x].
   for (std::size_t x = 0; x < nd; ++x) {
     for (ConstId v1 = 0; v1 < nb; ++v1) {
@@ -118,7 +109,11 @@ bool PairwiseConsistencyRefutes(const data::Instance& d,
       }
     }
   }
-  // Symmetry closure + triangle propagation to fixpoint.
+  // Symmetry closure + restriction/extension closure + triangle
+  // propagation to fixpoint. The restriction and singleton-extension
+  // rules tie the off-diagonal pair sets to the diagonal domains; without
+  // them a unary-pruned domain never reaches its incident pairs and the
+  // "(2,3)" fixpoint can end up strictly weaker than arc consistency.
   bool changed = true;
   while (changed) {
     changed = false;
@@ -131,6 +126,42 @@ bool PairwiseConsistencyRefutes(const data::Instance& d,
               pair[x][y][v1 * nb + v2] = false;
               changed = true;
             }
+          }
+        }
+      }
+    }
+    // Restriction: a partial hom on {x,y} restricted to x (resp. y) must
+    // itself be allowed, so (v1,v2) on (x,y) needs (v1,v1) on (x,x) and
+    // (v2,v2) on (y,y).
+    for (std::size_t x = 0; x < nd; ++x) {
+      for (std::size_t y = 0; y < nd; ++y) {
+        if (y == x) continue;
+        for (ConstId v1 = 0; v1 < nb; ++v1) {
+          for (ConstId v2 = 0; v2 < nb; ++v2) {
+            if (pair[x][y][v1 * nb + v2] &&
+                (!pair[x][x][v1 * nb + v1] || !pair[y][y][v2 * nb + v2])) {
+              pair[x][y][v1 * nb + v2] = false;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+    // Singleton extension: {x ↦ v1} must extend to every other element,
+    // so (v1,v1) on (x,x) needs some v2 with (v1,v2) on (x,y) for each y.
+    for (std::size_t x = 0; x < nd; ++x) {
+      for (ConstId v1 = 0; v1 < nb; ++v1) {
+        if (!pair[x][x][v1 * nb + v1]) continue;
+        for (std::size_t y = 0; y < nd; ++y) {
+          if (y == x) continue;
+          bool extend = false;
+          for (ConstId v2 = 0; v2 < nb && !extend; ++v2) {
+            extend = pair[x][y][v1 * nb + v2];
+          }
+          if (!extend) {
+            pair[x][x][v1 * nb + v1] = false;
+            changed = true;
+            break;
           }
         }
       }
@@ -164,6 +195,84 @@ bool PairwiseConsistencyRefutes(const data::Instance& d,
     if (!any) return true;
   }
   return false;
+}
+
+}  // namespace
+
+bool ArcConsistencyRefutes(const data::Instance& d,
+                           const data::Instance& b) {
+  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
+  const std::size_t nd = d.UniverseSize();
+  const std::size_t nb = b.UniverseSize();
+  if (nd == 0) return false;
+  if (nb == 0) return true;
+  std::vector<std::vector<bool>> candidates(nd,
+                                            std::vector<bool>(nb, true));
+  return PropagateArcConsistency(d, b, candidates);
+}
+
+bool PairwiseConsistencyRefutes(const data::Instance& d,
+                                const data::Instance& b) {
+  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
+  OBDA_CHECK(d.schema().IsBinary());
+  const std::size_t nd = d.UniverseSize();
+  const std::size_t nb = b.UniverseSize();
+  if (nd == 0) return false;
+  if (nb == 0) return true;
+  std::vector<std::vector<std::vector<bool>>> pair(
+      nd, std::vector<std::vector<bool>>(nd,
+                                         std::vector<bool>(nb * nb, true)));
+  return PropagatePairwiseConsistency(d, b, pair);
+}
+
+ConsistencyDomains ArcConsistencyDomains(const data::Instance& d,
+                                         const data::Instance& b) {
+  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
+  const std::size_t nd = d.UniverseSize();
+  const std::size_t nb = b.UniverseSize();
+  ConsistencyDomains out;
+  if (nd == 0) return out;
+  if (nb == 0) {
+    out.refuted = true;
+    return out;
+  }
+  std::vector<std::vector<bool>> candidates(nd,
+                                            std::vector<bool>(nb, true));
+  out.refuted = PropagateArcConsistency(d, b, candidates);
+  if (out.refuted || nb > 64) return out;
+  out.surviving.resize(nd, 0);
+  for (std::size_t x = 0; x < nd; ++x) {
+    for (ConstId v = 0; v < nb; ++v) {
+      if (candidates[x][v]) out.surviving[x] |= (std::uint64_t{1} << v);
+    }
+  }
+  return out;
+}
+
+ConsistencyDomains PairwiseConsistencyDomains(const data::Instance& d,
+                                              const data::Instance& b) {
+  OBDA_CHECK(d.schema().LayoutCompatible(b.schema()));
+  OBDA_CHECK(d.schema().IsBinary());
+  const std::size_t nd = d.UniverseSize();
+  const std::size_t nb = b.UniverseSize();
+  ConsistencyDomains out;
+  if (nd == 0) return out;
+  if (nb == 0) {
+    out.refuted = true;
+    return out;
+  }
+  std::vector<std::vector<std::vector<bool>>> pair(
+      nd, std::vector<std::vector<bool>>(nd,
+                                         std::vector<bool>(nb * nb, true)));
+  out.refuted = PropagatePairwiseConsistency(d, b, pair);
+  if (out.refuted || nb > 64) return out;
+  out.surviving.resize(nd, 0);
+  for (std::size_t x = 0; x < nd; ++x) {
+    for (ConstId v = 0; v < nb; ++v) {
+      if (pair[x][x][v * nb + v]) out.surviving[x] |= (std::uint64_t{1} << v);
+    }
+  }
+  return out;
 }
 
 base::Result<ddlog::Program> CanonicalArcConsistencyProgram(

@@ -1,6 +1,9 @@
 #ifndef OBDA_CSP_CONSISTENCY_H_
 #define OBDA_CSP_CONSISTENCY_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "base/status.h"
 #include "data/instance.h"
 #include "ddlog/program.h"
@@ -18,6 +21,32 @@ bool ArcConsistencyRefutes(const data::Instance& d, const data::Instance& b);
 /// behind datalog-rewritability (paper §5.3).
 bool PairwiseConsistencyRefutes(const data::Instance& d,
                                 const data::Instance& b);
+
+/// Result of a consistency propagation that also reports, per element of
+/// D, which images in dom(B) survived. `surviving[x]` is a bitmask over
+/// dom(B): bit v is set iff x → v was not pruned. Any homomorphism h of
+/// D (or of any extension of D by additional facts) into B satisfies
+/// h(x) ∈ surviving[x], which is what makes per-tuple certification
+/// sound: if every surviving image of x violates an extra constraint the
+/// extension would impose, the extension has no homomorphism either.
+/// `surviving` is empty when the masks are unavailable (dom(B) > 64);
+/// `refuted` is still meaningful in that case.
+struct ConsistencyDomains {
+  bool refuted = false;
+  std::vector<std::uint64_t> surviving;
+};
+
+/// Arc-consistency variant of ArcConsistencyRefutes that additionally
+/// extracts the per-element surviving-image masks.
+ConsistencyDomains ArcConsistencyDomains(const data::Instance& d,
+                                         const data::Instance& b);
+
+/// (2,3)-consistency variant of PairwiseConsistencyRefutes that extracts
+/// the surviving-image masks from the diagonal pair sets. Requires a
+/// binary schema; stronger (prunes at least as much) than
+/// ArcConsistencyDomains but cubic in |D|, so callers should cap |D|.
+ConsistencyDomains PairwiseConsistencyDomains(const data::Instance& d,
+                                              const data::Instance& b);
 
 /// Materializes the canonical width-1 (arc-consistency) monadic datalog
 /// program for coCSP(B) over B's schema (Feder–Vardi canonical datalog,

@@ -80,6 +80,13 @@ struct DdlogCounters {
   obs::Counter& batch_fallbacks =
       obs::GetCounter("ddlog.batch_fallbacks");
   obs::Counter& batched_probes = obs::GetCounter("ddlog.batched_probes");
+  /// Planner prefilter: candidates offered to the installed TuplePrefilter
+  /// (prefilter_checks) and the ones it certified as answers without a
+  /// probe (prefilter_hits). hits / (checks - model-cache-style skips)
+  /// is the serving layer's short-circuit rate.
+  obs::Counter& prefilter_checks =
+      obs::GetCounter("ddlog.prefilter_checks");
+  obs::Counter& prefilter_hits = obs::GetCounter("ddlog.prefilter_hits");
   /// Incremental maintenance: ApplyDelta calls and the firings they
   /// retracted / emitted against the pinned grounding.
   obs::Counter& delta_grounds = obs::GetCounter("ddlog.delta_grounds");
@@ -748,8 +755,13 @@ struct GroundedQuery::Impl {
     std::uint64_t batch_solves = 0;
     std::uint64_t batch_fallbacks = 0;
     std::uint64_t batched_probes = 0;
+    std::uint64_t prefilter_checks = 0;
+    std::uint64_t prefilter_hits = 0;
   };
   std::vector<std::unique_ptr<WorkerState>> worker_states;
+  /// Sound answer certifier installed by the serving planner (may be
+  /// null). Swapped only between ComputeCertainAnswers calls.
+  std::shared_ptr<const TuplePrefilter> prefilter;
   /// Solver state for the sequential entry points (CertainlyHolds /
   /// HasModel); the parallel engine never touches it.
   WorkerState seq_state;
@@ -1369,6 +1381,11 @@ void GroundedQuery::ResetDecisionBudget(std::uint64_t max_decisions) {
   impl_->decisions_used.store(0, std::memory_order_relaxed);
 }
 
+void GroundedQuery::SetPrefilter(
+    std::shared_ptr<const TuplePrefilter> prefilter) {
+  impl_->prefilter = std::move(prefilter);
+}
+
 base::Result<bool> GroundedQuery::CertainlyHolds(
     const std::vector<ConstId>& tuple) {
   DdlogCounters::Get().certain_checks.Add(1);
@@ -1469,10 +1486,22 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
   }
 
   const PredId goal = impl.program->goal();
+  const TuplePrefilter* prefilter = impl.prefilter.get();
   if (arity == 0) {
     DdlogCounters::Get().certain_checks.Add(1);
-    auto holds =
-        impl.ProbeTuple(ws0, impl.snapshot->GoalVar(goal, {}, ws0.spare));
+    const sat::Var goal_var0 = impl.snapshot->GoalVar(goal, {}, ws0.spare);
+    const bool model_skip =
+        !ws0.model.empty() &&
+        ws0.model[static_cast<std::size_t>(goal_var0)] == 0;
+    if (!model_skip && prefilter != nullptr) {
+      DdlogCounters::Get().prefilter_checks.Add(1);
+      if (prefilter->CertainlyAnswer({})) {
+        DdlogCounters::Get().prefilter_hits.Add(1);
+        answers.tuples.emplace_back();
+        return answers;
+      }
+    }
+    auto holds = impl.ProbeTuple(ws0, goal_var0);
     if (!holds.ok()) return holds.status();
     if (*holds) answers.tuples.emplace_back();
     return answers;
@@ -1498,6 +1527,8 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
     ws->batch_solves = 0;
     ws->batch_fallbacks = 0;
     ws->batched_probes = 0;
+    ws->prefilter_checks = 0;
+    ws->prefilter_hits = 0;
   }
   const GroundedClauses& snapshot = *impl.snapshot;
   const std::size_t batch_cap =
@@ -1551,6 +1582,16 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
             ++ws.cache_hits;  // cached model already avoids goal(tuple)
             continue;
           }
+          if (prefilter != nullptr) {
+            ++ws.prefilter_checks;
+            if (prefilter->CertainlyAnswer(tuple)) {
+              // A sound certificate that goal(tuple) holds in every
+              // model: emit the answer without any SAT probe.
+              ++ws.prefilter_hits;
+              ws.hits.push_back(tuple);
+              continue;
+            }
+          }
           if (batch_cap == 1) {
             auto certain = impl.ProbeTuple(ws, goal_var);
             if (!certain.ok()) return certain.status();
@@ -1573,12 +1614,16 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
   std::uint64_t batch_solves = 0;
   std::uint64_t batch_fallbacks = 0;
   std::uint64_t batched_probes = 0;
+  std::uint64_t prefilter_checks = 0;
+  std::uint64_t prefilter_hits = 0;
   for (auto& ws : impl.worker_states) {
     checks += ws->checks;
     cache_hits += ws->cache_hits;
     batch_solves += ws->batch_solves;
     batch_fallbacks += ws->batch_fallbacks;
     batched_probes += ws->batched_probes;
+    prefilter_checks += ws->prefilter_checks;
+    prefilter_hits += ws->prefilter_hits;
     // Per-worker solver stats reach the registry when the grounding dies,
     // via ~Solver; nothing to aggregate by hand beyond the probe counts.
   }
@@ -1587,6 +1632,8 @@ base::Result<Answers> GroundedQuery::ComputeCertainAnswers() {
   DdlogCounters::Get().batch_solves.Add(batch_solves);
   DdlogCounters::Get().batch_fallbacks.Add(batch_fallbacks);
   DdlogCounters::Get().batched_probes.Add(batched_probes);
+  DdlogCounters::Get().prefilter_checks.Add(prefilter_checks);
+  DdlogCounters::Get().prefilter_hits.Add(prefilter_hits);
   if (!status.ok()) return status;
 
   for (auto& ws : impl.worker_states) {

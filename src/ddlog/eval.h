@@ -89,6 +89,21 @@ struct InstanceDelta {
   bool empty() const { return added.empty() && removed.empty(); }
 };
 
+/// A sound per-tuple answer certifier the serving planner can install in
+/// front of the co-NP probe fan-out. CertainlyAnswer(tuple) == true is a
+/// PROMISE that goal(tuple) holds in every model of the grounded program
+/// on its current instance; ComputeCertainAnswers then emits the tuple
+/// without a SAT probe. Returning false is always safe (the probe runs).
+/// Implementations must be thread-safe: workers call concurrently.
+/// Soundness is entirely the installer's responsibility — an unsound
+/// certificate silently changes answers.
+class TuplePrefilter {
+ public:
+  virtual ~TuplePrefilter() = default;
+  virtual bool CertainlyAnswer(
+      const std::vector<data::ConstId>& tuple) const = 0;
+};
+
 /// A grounded program over a fixed instance, reusable across candidate
 /// tuples. Grounding materializes, for each rule and each substitution
 /// whose EDB body atoms hold in D, a propositional clause over ground IDB
@@ -158,6 +173,14 @@ class GroundedQuery {
   /// The grounding's fingerprint, maintained incrementally across
   /// ApplyDelta calls.
   const GroundingFingerprint& Fingerprint() const;
+
+  /// Serving hook: installs (or clears, with nullptr) a sound answer
+  /// certifier consulted by ComputeCertainAnswers after the model-cache
+  /// skip and before any SAT probe. The prefilter must be sound for THIS
+  /// grounding's instance; the serving layer rebinds it whenever the
+  /// snapshot changes. Must not be swapped concurrently with a running
+  /// ComputeCertainAnswers call.
+  void SetPrefilter(std::shared_ptr<const TuplePrefilter> prefilter);
 
   /// Serving hook: rearms the shared decision budget for the next request
   /// (replaces max_decisions and zeroes the consumed count), so one

@@ -10,7 +10,8 @@
 // Observability: the server enables metrics + the flight recorder at
 // startup (STATS / STATS KEYS / STATS QUERY / TRACE DUMP verbs);
 // OBDA_SLOW_MS=<ms> (or --slow-ms) additionally logs any slower QUERY's
-// span tree to stderr.
+// span tree to stderr. OBDA_PLAN=<tier> (auto|fo|datalog|sat|sat_raw)
+// sets the default planner tier for every PREPARE that names none.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -149,6 +150,18 @@ int main(int argc, char** argv) {
   if (const char* slow = std::getenv("OBDA_SLOW_MS");
       slow != nullptr && slow[0] != '\0' && options.slow_query_ms <= 0) {
     options.slow_query_ms = std::atof(slow);
+  }
+  if (const char* plan = std::getenv("OBDA_PLAN");
+      plan != nullptr && plan[0] != '\0') {
+    auto tier = obda::serve::ParsePlanTier(plan);
+    if (!tier.has_value()) {
+      std::fprintf(stderr,
+                   "obda_serve: bad OBDA_PLAN=%s "
+                   "(want auto|fo|datalog|sat|sat_raw)\n",
+                   plan);
+      return 2;
+    }
+    options.prepare.planner.force = *tier;
   }
   obda::serve::Server server(options);
   return tcp_port > 0 ? RunTcp(server, tcp_port) : RunStdin(server);

@@ -1,0 +1,506 @@
+#include "serve/planner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "core/csp_translation.h"
+#include "core/mddlog_translation.h"
+#include "core/ucq_translation.h"
+#include "csp/consistency.h"
+#include "csp/query.h"
+#include "data/generator.h"
+#include "data/ops.h"
+#include "obs/metrics.h"
+
+namespace obda::serve {
+
+namespace {
+
+/// Compiles the general MDDlog artifact (the SAT tiers' program) — the
+/// same translation ladder the pre-planner serving layer used.
+base::Result<ddlog::Program> CompileOmqProgram(
+    const core::OntologyMediatedQuery& omq) {
+  if (omq.AtomicQueryConcept().has_value() ||
+      omq.BooleanAtomicQueryConcept().has_value()) {
+    return core::CompileAqToMddlog(omq);
+  }
+  base::Result<core::OntologyMediatedQuery> no_inverse =
+      core::EliminateInverseRolesInOmq(omq);
+  if (!no_inverse.ok()) return no_inverse.status();
+  return core::CompileUcqToMddlog(*no_inverse);
+}
+
+/// Deterministic sample instance for FO validation / the microbench: the
+/// seed is fixed, so every PREPARE of one OMQ sees the same data.
+data::Instance SampleInstance(const data::Schema& schema,
+                              std::uint64_t seed) {
+  base::Rng rng(0x0BDA'9000 + seed);
+  data::RandomInstanceOptions options;
+  options.num_constants = 8;
+  options.facts_per_relation = 12;
+  return data::RandomInstance(schema, options, rng);
+}
+
+double NowMs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+const char* PlanTierName(PlanTier tier) {
+  switch (tier) {
+    case PlanTier::kAuto:
+      return "auto";
+    case PlanTier::kFo:
+      return "fo";
+    case PlanTier::kDatalog:
+      return "datalog";
+    case PlanTier::kSat:
+      return "sat";
+    case PlanTier::kSatRaw:
+      return "sat_raw";
+  }
+  return "unknown";
+}
+
+std::optional<PlanTier> ParsePlanTier(std::string_view name) {
+  if (name == "auto") return PlanTier::kAuto;
+  if (name == "fo") return PlanTier::kFo;
+  if (name == "datalog") return PlanTier::kDatalog;
+  if (name == "sat") return PlanTier::kSat;
+  if (name == "sat_raw") return PlanTier::kSatRaw;
+  return std::nullopt;
+}
+
+const char* PlanChoiceName(PlanChoice choice) {
+  switch (choice) {
+    case PlanChoice::kOnly:
+      return "only";
+    case PlanChoice::kCost:
+      return "cost";
+    case PlanChoice::kMicrobench:
+      return "microbench";
+    case PlanChoice::kForced:
+      return "forced";
+  }
+  return "unknown";
+}
+
+std::optional<ConsistencyPrefilterTemplates>
+ConsistencyPrefilterTemplates::FromOmq(const core::OntologyMediatedQuery& omq,
+                                       int max_template_elements,
+                                       std::size_t max_pairwise_elements) {
+  if (omq.arity() > 1) return std::nullopt;  // AQ / BAQ shapes only
+  base::Result<csp::CoCspQuery> compiled =
+      core::CompileToCsp(omq, max_template_elements);
+  if (!compiled.ok()) return std::nullopt;
+  csp::CoCspQuery reduced = compiled->ReduceToIncomparable();
+
+  ConsistencyPrefilterTemplates out;
+  out.arity_ = omq.arity();
+  out.max_pairwise_elements_ = max_pairwise_elements;
+  bool have_schema = false;
+  for (const data::Instance& collapsed : reduced.CollapsedTemplates()) {
+    if (!have_schema) {
+      out.collapsed_schema_ = collapsed.schema();
+      have_schema = true;
+    }
+    data::Instance core = data::CoreOf(collapsed);
+    if (core.UniverseSize() > 64) return std::nullopt;  // mask width
+    std::uint64_t marks = 0;
+    std::optional<data::RelationId> mark =
+        core.schema().FindRelation("Mark1");
+    if (mark.has_value()) {
+      for (std::uint32_t i = 0; i < core.NumTuples(*mark); ++i) {
+        marks |= std::uint64_t{1} << core.Tuple(*mark, i)[0];
+      }
+    }
+    out.mark_masks_.push_back(marks);
+    out.cores_.push_back(std::move(core));
+  }
+  if (!have_schema) {
+    // No templates at all (inconsistent ontology): every tuple is a
+    // certain answer, so the empty template set certifies everything.
+    // Evaluate still needs the collapsed schema for the reduct.
+    data::Schema schema = omq.data_schema();
+    for (int i = 0; i < omq.arity(); ++i) {
+      schema.AddRelation("Mark" + std::to_string(i + 1), 1);
+    }
+    out.collapsed_schema_ = schema;
+  }
+  return out;
+}
+
+bool ConsistencyPrefilterTemplates::Bound::CertainlyAnswer(
+    const std::vector<data::ConstId>& tuple) const {
+  checks_.fetch_add(1, std::memory_order_relaxed);
+  bool certified;
+  if (arity_ == 0) {
+    certified = boolean_certified_;
+  } else {
+    const data::ConstId c = tuple[0];
+    certified = static_cast<std::size_t>(c) < certified_.size() &&
+                certified_[c] != 0;
+  }
+  if (certified) hits_.fetch_add(1, std::memory_order_relaxed);
+  return certified;
+}
+
+std::shared_ptr<const ConsistencyPrefilterTemplates::Bound>
+ConsistencyPrefilterTemplates::Bind(const data::Instance& instance) const {
+  auto bound = std::make_shared<Bound>();
+  bound->arity_ = arity_;
+
+  const data::Instance reduct = instance.ReductTo(collapsed_schema_);
+  const bool pairwise = reduct.schema().IsBinary() &&
+                        reduct.UniverseSize() <= max_pairwise_elements_;
+  // One propagation per core on the UNMARKED reduct; the per-element
+  // surviving masks then answer every candidate in O(1).
+  std::vector<csp::ConsistencyDomains> domains;
+  domains.reserve(cores_.size());
+  for (const data::Instance& core : cores_) {
+    domains.push_back(pairwise
+                          ? csp::PairwiseConsistencyDomains(reduct, core)
+                          : csp::ArcConsistencyDomains(reduct, core));
+  }
+
+  if (arity_ == 0) {
+    bool all_refuted = true;
+    for (const csp::ConsistencyDomains& d : domains) {
+      all_refuted = all_refuted && d.refuted;
+    }
+    bound->boolean_certified_ = all_refuted;
+    return bound;
+  }
+
+  const std::size_t n = instance.UniverseSize();
+  bound->certified_.assign(n, 1);
+  for (std::size_t t = 0; t < cores_.size(); ++t) {
+    const csp::ConsistencyDomains& d = domains[t];
+    if (d.refuted) continue;  // D ↛ core: every mark placement refuted
+    if (d.surviving.size() < n) {
+      // Masks unavailable (shouldn't happen: cores are <= 64 elements and
+      // the reduct shares the instance universe) — certify nothing.
+      std::fill(bound->certified_.begin(), bound->certified_.end(), 0);
+      break;
+    }
+    const std::uint64_t marks = mark_masks_[t];
+    for (std::size_t c = 0; c < n; ++c) {
+      if ((d.surviving[c] & marks) != 0) bound->certified_[c] = 0;
+    }
+  }
+  return bound;
+}
+
+std::vector<std::string> ExplainLines(const PlanExplain& explain) {
+  std::vector<std::string> lines;
+  lines.push_back(std::string("tier=") + PlanTierName(explain.tier) +
+                  " chosen_by=" + PlanChoiceName(explain.chosen_by) +
+                  " planner_version=" + std::to_string(kPlannerVersion));
+  std::string admissible = "admissible=";
+  for (std::size_t i = 0; i < explain.admissible.size(); ++i) {
+    if (i > 0) admissible += ",";
+    admissible += PlanTierName(explain.admissible[i]);
+  }
+  lines.push_back(std::move(admissible));
+  lines.push_back(
+      "certificates fo_rewritable=" + std::to_string(explain.fo_rewritable) +
+      " datalog_rewritable=" + std::to_string(explain.datalog_rewritable) +
+      " templates=" + std::to_string(explain.templates) +
+      " obstructions=" + std::to_string(explain.obstructions) +
+      " datalog_rules=" + std::to_string(explain.datalog_rules));
+  auto ns = [](double v) {
+    return std::to_string(static_cast<std::uint64_t>(v));
+  };
+  lines.push_back("cost fo=" + ns(explain.cost_fo) +
+                  " datalog=" + ns(explain.cost_datalog) +
+                  " sat=" + ns(explain.cost_sat) +
+                  " facts_estimate=" + std::to_string(explain.facts_estimate));
+  lines.push_back(std::string("prefilter enabled=") +
+                  (explain.prefilter ? "1" : "0"));
+  std::string budget = "budget";
+  if (explain.budget_events.empty()) {
+    budget += " none";
+  } else {
+    for (const std::string& event : explain.budget_events) {
+      budget += " " + event;
+    }
+  }
+  lines.push_back(std::move(budget));
+  return lines;
+}
+
+base::Result<PlannedOmq> PlanOmq(const core::OntologyMediatedQuery& omq,
+                                 const PlannerOptions& options,
+                                 std::uint64_t session_facts) {
+  static obs::TimerStat& plan_timer = obs::GetTimer("serve.plan");
+  obs::ScopedTimer timer(plan_timer);
+  obs::TraceSpan span("serve.plan");
+
+  PlannedOmq plan;
+  plan.arity = omq.arity();
+  PlanExplain& ex = plan.explain;
+  const std::uint64_t facts =
+      session_facts > 0 ? session_facts : options.default_facts;
+  ex.facts_estimate = facts;
+  const auto start = std::chrono::steady_clock::now();
+  auto wall_exhausted = [&]() {
+    return options.prepare_budget_ms > 0 &&
+           NowMs(start) >= static_cast<double>(options.prepare_budget_ms);
+  };
+
+  const PlanTier force = options.force;
+  const bool want_fo = force == PlanTier::kAuto || force == PlanTier::kFo;
+  const bool want_datalog =
+      force == PlanTier::kAuto || force == PlanTier::kDatalog;
+  const bool sat_only =
+      force == PlanTier::kSat || force == PlanTier::kSatRaw;
+
+  // ---- Admission ladder (FO → datalog → SAT). Any decider/extraction
+  // kResourceExhausted, or the wall budget running out, just drops the
+  // tier; the SAT tier needs no certificate and is always admissible.
+  std::optional<core::FoRewriting> fo;
+  std::optional<core::DatalogRewriting> datalog;
+  std::optional<csp::CoCspQuery> oracle;  // exact semantics, FO validation
+
+  if (want_fo && !sat_only) {
+    if (wall_exhausted()) {
+      ex.budget_events.push_back("fo:wall_budget");
+    } else {
+      base::Result<bool> fo_rewritable =
+          core::IsFoRewritable(omq, options.max_template_elements);
+      if (!fo_rewritable.ok()) {
+        ex.budget_events.push_back(
+            std::string("fo_decide:") + base::StatusCodeName(fo_rewritable.status().code()));
+      } else {
+        ex.fo_rewritable = *fo_rewritable ? 1 : 0;
+        if (*fo_rewritable && options.fo_validation_samples > 0) {
+          base::Result<core::FoRewriting> extracted =
+              core::ExtractFoRewriting(omq, options.obstruction);
+          if (!extracted.ok()) {
+            ex.budget_events.push_back(
+                std::string("fo_extract:") + base::StatusCodeName(extracted.status().code()));
+          } else {
+            // Obstruction enumeration is complete only relative to
+            // max_nodes — admit the FO plan only after its answers match
+            // the exact marked-CSP homomorphism oracle on deterministic
+            // samples.
+            base::Result<csp::CoCspQuery> compiled =
+                core::CompileToCsp(omq, options.max_template_elements);
+            bool valid = compiled.ok();
+            if (valid) {
+              oracle = compiled->ReduceToIncomparable();
+              for (int s = 0; valid && s < options.fo_validation_samples;
+                   ++s) {
+                const data::Instance sample = SampleInstance(
+                    omq.data_schema(), static_cast<std::uint64_t>(s));
+                valid = extracted->Evaluate(sample) ==
+                        oracle->Evaluate(sample);
+              }
+            }
+            if (valid) {
+              fo = std::move(extracted).value();
+            } else {
+              ex.budget_events.push_back("fo_validate:incomplete");
+            }
+          }
+        }
+      }
+    }
+  }
+
+  if (want_datalog && !sat_only) {
+    if (wall_exhausted()) {
+      ex.budget_events.push_back("datalog:wall_budget");
+    } else {
+      base::Result<bool> rewritable =
+          core::IsDatalogRewritable(omq, options.max_template_elements);
+      if (!rewritable.ok()) {
+        ex.budget_events.push_back(std::string("datalog_decide:") +
+                                   base::StatusCodeName(rewritable.status().code()));
+      } else {
+        ex.datalog_rewritable = *rewritable ? 1 : 0;
+        if (*rewritable) {
+          base::Result<core::DatalogRewriting> extracted =
+              core::ExtractDatalogRewriting(omq,
+                                            options.max_canonical_elements);
+          if (!extracted.ok()) {
+            ex.budget_events.push_back(std::string("datalog_extract:") +
+                                       base::StatusCodeName(extracted.status().code()));
+          } else {
+            datalog = std::move(extracted).value();
+          }
+        }
+      }
+    }
+  }
+
+  // Forced concrete tiers must be honored or PREPARE fails loudly — a
+  // silently substituted plan would poison A/B comparisons.
+  if (force == PlanTier::kFo && !fo.has_value()) {
+    return base::InvalidArgumentError(
+        "PLAN=fo: query is not admissible in the FO tier");
+  }
+  if (force == PlanTier::kDatalog && !datalog.has_value()) {
+    return base::InvalidArgumentError(
+        "PLAN=datalog: query is not admissible in the datalog tier");
+  }
+
+  // ---- Cost model over admissible tiers. adom ≈ facts is the candidate
+  // pool per answer position; the SAT estimate charges grounding plus
+  // residual co-NP probes. Priors live in PlannerOptions (calibrated
+  // from BENCH history); absolute scale matters less than the ordering
+  // they induce, and the microbench below arbitrates close calls.
+  const double dfacts = static_cast<double>(facts);
+  const double adom = plan.arity == 0 ? 1.0 : dfacts;
+  double candidates = 1.0;
+  for (int i = 0; i < std::max(plan.arity, 1) && plan.arity > 0; ++i) {
+    candidates *= adom;
+  }
+
+  if (fo.has_value()) {
+    std::uint64_t disjuncts = 0;
+    for (const fo::UnionOfCq& conjunct : fo->conjuncts) {
+      disjuncts += conjunct.disjuncts().size();
+    }
+    ex.obstructions = disjuncts;
+    ex.cost_fo = candidates * static_cast<double>(std::max<std::uint64_t>(
+                                  1, disjuncts)) *
+                 options.fo_probe_ns;
+    ex.admissible.push_back(PlanTier::kFo);
+  }
+  if (datalog.has_value()) {
+    std::uint64_t rules = 0;
+    for (const ddlog::Program& p : datalog->programs) {
+      rules += p.rules().size();
+    }
+    ex.templates = datalog->programs.size();
+    ex.datalog_rules = rules;
+    ex.cost_datalog =
+        candidates *
+        static_cast<double>(std::max<std::size_t>(1, datalog->programs.size())) *
+        dfacts * options.datalog_fact_ns;
+    ex.admissible.push_back(PlanTier::kDatalog);
+  }
+  ex.cost_sat = dfacts * 4.0 * options.sat_ground_clause_ns +
+                candidates * 0.5 * options.sat_probe_ns;
+  ex.admissible.push_back(PlanTier::kSat);
+
+  // ---- Choice.
+  struct Candidate {
+    PlanTier tier;
+    double cost;
+  };
+  std::vector<Candidate> ranked;
+  if (fo.has_value()) ranked.push_back({PlanTier::kFo, ex.cost_fo});
+  if (datalog.has_value()) {
+    ranked.push_back({PlanTier::kDatalog, ex.cost_datalog});
+  }
+  ranked.push_back({PlanTier::kSat, ex.cost_sat});
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.cost < b.cost;
+                   });
+
+  PlanTier chosen = ranked[0].tier;
+  PlanChoice chosen_by =
+      ranked.size() == 1 ? PlanChoice::kOnly : PlanChoice::kCost;
+  if (force != PlanTier::kAuto) {
+    chosen = force == PlanTier::kSatRaw ? PlanTier::kSatRaw : force;
+    chosen_by = PlanChoice::kForced;
+    if (sat_only) {
+      ex.admissible.clear();
+      ex.admissible.push_back(chosen);
+    }
+  } else if (options.microbench && ranked.size() > 1 &&
+             ranked[1].cost <= ranked[0].cost * options.microbench_noise &&
+             !wall_exhausted()) {
+    // Estimates within noise: measure each close contender once on a
+    // deterministic sample and let the wall clock arbitrate.
+    const data::Instance sample =
+        SampleInstance(omq.data_schema(), /*seed=*/1234);
+    double best = std::numeric_limits<double>::infinity();
+    std::optional<ddlog::Program> probe_program;
+    for (const Candidate& candidate : ranked) {
+      if (candidate.cost > ranked[0].cost * options.microbench_noise) break;
+      const auto t0 = std::chrono::steady_clock::now();
+      bool ran = false;
+      switch (candidate.tier) {
+        case PlanTier::kFo:
+          (void)fo->Evaluate(sample);
+          ran = true;
+          break;
+        case PlanTier::kDatalog:
+          ran = datalog->Evaluate(sample).ok();
+          break;
+        case PlanTier::kSat: {
+          if (!probe_program.has_value()) {
+            base::Result<ddlog::Program> compiled = CompileOmqProgram(omq);
+            if (compiled.ok()) probe_program = std::move(compiled).value();
+          }
+          if (probe_program.has_value()) {
+            ddlog::EvalOptions eval;
+            eval.threads = 1;
+            eval.max_decisions = 1'000'000;
+            ran = ddlog::CertainAnswers(*probe_program, sample, eval).ok();
+          }
+          break;
+        }
+        default:
+          break;
+      }
+      const double wall = NowMs(t0);
+      if (ran && wall < best) {
+        best = wall;
+        chosen = candidate.tier;
+      }
+    }
+    chosen_by = PlanChoice::kMicrobench;
+  }
+
+  // ---- Compile the chosen plan.
+  plan.tier = chosen;
+  ex.tier = chosen;
+  ex.chosen_by = chosen_by;
+  switch (chosen) {
+    case PlanTier::kFo:
+      plan.fo = std::move(fo);
+      break;
+    case PlanTier::kDatalog:
+      plan.datalog = std::move(datalog);
+      break;
+    case PlanTier::kSat:
+    case PlanTier::kSatRaw: {
+      base::Result<ddlog::Program> program = CompileOmqProgram(omq);
+      if (!program.ok()) return program.status();
+      plan.program = std::move(program).value();
+      ex.program_rules = plan.program->rules().size();
+      if (chosen == PlanTier::kSat &&
+          options.prefilter_max_pairwise_elements > 0) {
+        std::optional<ConsistencyPrefilterTemplates> templates =
+            ConsistencyPrefilterTemplates::FromOmq(
+                omq, options.max_template_elements,
+                options.prefilter_max_pairwise_elements);
+        if (templates.has_value()) {
+          plan.prefilter =
+              std::make_shared<const ConsistencyPrefilterTemplates>(
+                  std::move(templates).value());
+          ex.prefilter = true;
+        }
+      }
+      break;
+    }
+    default:
+      return base::InvalidArgumentError("planner chose an invalid tier");
+  }
+  return plan;
+}
+
+}  // namespace obda::serve

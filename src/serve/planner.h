@@ -1,0 +1,240 @@
+#ifndef OBDA_SERVE_PLANNER_H_
+#define OBDA_SERVE_PLANNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "core/rewritability.h"
+#include "csp/obstruction.h"
+#include "data/instance.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+
+namespace obda::serve {
+
+/// Version stamp folded into the PreparedCache key: bump whenever tier
+/// admission, the cost model, or plan compilation changes semantics, so a
+/// planner upgrade never serves a stale cached plan.
+inline constexpr std::uint32_t kPlannerVersion = 1;
+
+/// The rewritability-lattice tier a prepared OMQ executes in (DESIGN.md
+/// §11). kAuto is only a *request* (planner decides); a compiled plan
+/// always carries one of the four concrete tiers.
+enum class PlanTier : std::uint32_t {
+  kAuto = 0,
+  /// Compiled UCQ obstruction rewriting served by data::CompiledTarget
+  /// probes — no grounding, no SAT (paper Thm 5.16 / §5.3).
+  kFo = 1,
+  /// Canonical-datalog / (2,3)-consistency rewriting (paper §5.3).
+  kDatalog = 2,
+  /// Grounding + batched co-NP SAT probes, fronted by the
+  /// (2,3)-consistency sound prefilter.
+  kSat = 3,
+  /// Grounding + probes with the prefilter disabled — the A/B baseline
+  /// for the prefilter gates; never chosen by kAuto.
+  kSatRaw = 4,
+};
+const char* PlanTierName(PlanTier tier);
+/// Parses "auto" / "fo" / "datalog" / "sat" / "sat_raw" (nullopt = bad).
+std::optional<PlanTier> ParsePlanTier(std::string_view name);
+
+/// Budgets, priors, and knobs for PREPARE-time planning.
+struct PlannerOptions {
+  /// Requested tier. kAuto = cost-based choice among admissible tiers; a
+  /// concrete tier is honored or PREPARE fails (kSat/kSatRaw are always
+  /// admissible, so forcing them never fails).
+  PlanTier force = PlanTier::kAuto;
+
+  /// Budget: template-size cap for the exponential CSP compilation run
+  /// by the rewritability deciders during admission. kResourceExhausted
+  /// beyond it ⇒ the tier is inadmissible, the ladder falls through.
+  int max_template_elements = 64;
+  /// Budget: canonical-program cap (the program has 2^n predicates).
+  int max_canonical_elements = 6;
+  /// Budget: obstruction enumeration caps for the FO extraction. The
+  /// candidate cap is far below the library default: admission must fail
+  /// fast (work-deterministically, not via the wall clock) on templates
+  /// whose obstruction space explodes, since kDatalog/kSat are waiting
+  /// right below — a schema with one binary relation already needs ~25 s
+  /// to exhaust the 2M library default.
+  csp::ObstructionOptions obstruction{.max_candidates = 50'000};
+  /// Budget: coarse wall ceiling for the whole admission ladder. Once
+  /// exceeded, no further tier is attempted (SAT stays admissible).
+  /// 0 = no wall budget.
+  std::uint64_t prepare_budget_ms = 2000;
+
+  /// FO-tier safety: obstruction enumeration is complete only relative to
+  /// obstruction.max_nodes, so an extracted FO plan is admitted only
+  /// after its answers match the exact marked-CSP homomorphism oracle on
+  /// this many deterministic sample instances (0 disables validation and
+  /// FO admission with it).
+  int fo_validation_samples = 3;
+
+  /// Cost-model priors (nanoseconds), calibrated from committed
+  /// BENCH_*.json history (E15/E16/E22/E23/E24): per candidate·disjunct
+  /// hom probe, per candidate·template·fact datalog propagation work, per
+  /// ground clause, and per residual co-NP SAT probe. The datalog prior
+  /// is dominated by the per-candidate canonical-program/consistency run
+  /// of DatalogRewriting::Evaluate (E24 measures ~12–50 µs per
+  /// candidate·fact growing with instance size), which prices the datalog
+  /// tier above warmed SAT grounding for all but the smallest sessions.
+  double fo_probe_ns = 900.0;
+  double datalog_fact_ns = 12'000.0;
+  double sat_ground_clause_ns = 250.0;
+  double sat_probe_ns = 60'000.0;
+
+  /// Facts assumed when the session has no data yet at PREPARE time.
+  std::uint64_t default_facts = 1024;
+
+  /// Microbenchmark-on-prepare fallback: when the best two admissible
+  /// tiers' estimates are within `microbench_noise`×, each is executed
+  /// once on a small deterministic sample instance and the measured
+  /// winner is chosen.
+  bool microbench = true;
+  double microbench_noise = 2.0;
+
+  /// (2,3)-consistency prefilter: instance-size ceiling for the cubic
+  /// pairwise propagation at Bind time; larger snapshots fall back to
+  /// arc consistency (still sound). 0 disables the prefilter entirely.
+  std::size_t prefilter_max_pairwise_elements = 96;
+};
+
+/// Why the planner landed on its tier.
+enum class PlanChoice {
+  kOnly = 0,        // single admissible tier
+  kCost = 1,        // cost model separated the estimates
+  kMicrobench = 2,  // estimates within noise; measured on a sample
+  kForced = 3,      // PLAN=<tier> / OBDA_PLAN override
+};
+const char* PlanChoiceName(PlanChoice choice);
+
+/// The decision record surfaced by the EXPLAIN protocol verb. Everything
+/// here is deterministic for a fixed (omq, options, facts estimate) —
+/// measured microbench times are deliberately NOT stored.
+struct PlanExplain {
+  PlanTier tier = PlanTier::kSat;
+  PlanChoice chosen_by = PlanChoice::kOnly;
+  /// Admissible tiers in ladder order (kFo, kDatalog, kSat).
+  std::vector<PlanTier> admissible;
+  /// Certificates from the deciders (-1 = not checked / budget hit).
+  int fo_rewritable = -1;
+  int datalog_rewritable = -1;
+  /// Artifact sizes feeding the cost model.
+  std::uint64_t templates = 0;
+  std::uint64_t obstructions = 0;
+  std::uint64_t datalog_rules = 0;
+  std::uint64_t program_rules = 0;
+  /// Cost estimates (ns, 0 = tier not admissible).
+  double cost_fo = 0;
+  double cost_datalog = 0;
+  double cost_sat = 0;
+  /// Facts estimate the costs were computed against.
+  std::uint64_t facts_estimate = 0;
+  /// Whether a consistency prefilter was compiled for the SAT tier.
+  bool prefilter = false;
+  /// Ladder steps skipped by the PREPARE wall/budget caps (decider or
+  /// extraction kResourceExhausted, wall budget exceeded), as
+  /// "step:reason" strings for EXPLAIN.
+  std::vector<std::string> budget_events;
+};
+
+/// The snapshot-independent half of the (2,3)-consistency prefilter for a
+/// SAT-tier AQ/BAQ plan: the collapsed template cores of the compiled
+/// marked coCSP (paper Thm 4.6 / §5.3) plus each core's Mark1 bitmask.
+/// Bind() runs one consistency propagation per core against a concrete
+/// snapshot and derives an O(1)-per-tuple certifier:
+///
+///   certified(c)  ⇔  ∀ cores T:  D ↛ T refuted by consistency, or
+///                                surviving_T(c) ∩ marks_T = ∅
+///
+/// Soundness: any homomorphism h : D∪{Mark1(c)} → T is a homomorphism of
+/// D, so h(c) survives propagation on D, and h(c) must land in marks_T —
+/// impossible when the intersection is empty. Hence no marked hom exists
+/// to any core and c is a certain answer (Thm 4.6 equivalence).
+class ConsistencyPrefilterTemplates {
+ public:
+  /// Compiles the template set for an AQ/BAQ OMQ; nullopt when the OMQ
+  /// does not compile to a marked coCSP within the element budget, has
+  /// arity > 1, or any core exceeds 64 elements (mask width).
+  static std::optional<ConsistencyPrefilterTemplates> FromOmq(
+      const core::OntologyMediatedQuery& omq, int max_template_elements,
+      std::size_t max_pairwise_elements);
+
+  /// A bound certifier, counting its own traffic (the per-query half of
+  /// the serve-side prefilter stats; ddlog keeps the global counters).
+  class Bound : public ddlog::TuplePrefilter {
+   public:
+    bool CertainlyAnswer(
+        const std::vector<data::ConstId>& tuple) const override;
+    std::uint64_t checks() const {
+      return checks_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t hits() const {
+      return hits_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    friend class ConsistencyPrefilterTemplates;
+    int arity_ = 0;
+    bool boolean_certified_ = false;
+    std::vector<std::uint8_t> certified_;  // by ConstId, arity-1 plans
+    mutable std::atomic<std::uint64_t> checks_{0};
+    mutable std::atomic<std::uint64_t> hits_{0};
+  };
+
+  /// Runs consistency once per core on `instance`'s reduct and returns
+  /// the bound certifier — (2,3)-consistency below the pairwise element
+  /// cap, arc consistency above it (both sound). Never fails; a snapshot
+  /// the masks cannot cover just yields a certifier that certifies
+  /// nothing.
+  std::shared_ptr<const Bound> Bind(const data::Instance& instance) const;
+
+  int arity() const { return arity_; }
+  std::size_t num_templates() const { return cores_.size(); }
+
+ private:
+  ConsistencyPrefilterTemplates() = default;
+
+  int arity_ = 0;
+  data::Schema collapsed_schema_;
+  std::vector<data::Instance> cores_;
+  std::vector<std::uint64_t> mark_masks_;
+  std::size_t max_pairwise_elements_ = 96;
+};
+
+/// A compiled plan: exactly one tier's artifact is populated (the SAT
+/// tiers also carry the prefilter templates when available).
+struct PlannedOmq {
+  PlanTier tier = PlanTier::kSat;
+  int arity = 0;
+  std::optional<core::FoRewriting> fo;
+  std::optional<core::DatalogRewriting> datalog;
+  std::optional<ddlog::Program> program;  // kSat / kSatRaw
+  std::shared_ptr<const ConsistencyPrefilterTemplates> prefilter;
+  PlanExplain explain;
+};
+
+/// Classifies `omq` into the cheapest admissible tier of the lattice and
+/// compiles the plan (the tentpole of DESIGN.md §11). `session_facts` is
+/// the current instance size (0 = unknown; options.default_facts is
+/// assumed). Admission runs the existing deciders under the options'
+/// budgets; any kResourceExhausted falls through to the next tier, so a
+/// pathological OMQ (e.g. the E04 succinctness family) can never hang
+/// PREPARE — the SAT tier is always admissible.
+base::Result<PlannedOmq> PlanOmq(const core::OntologyMediatedQuery& omq,
+                                 const PlannerOptions& options,
+                                 std::uint64_t session_facts);
+
+/// Renders the EXPLAIN payload lines (deterministic; see PlanExplain).
+std::vector<std::string> ExplainLines(const PlanExplain& explain);
+
+}  // namespace obda::serve
+
+#endif  // OBDA_SERVE_PLANNER_H_

@@ -52,6 +52,8 @@ const char* PlanKindName(PlanKind kind) {
       return "sat_grounding";
     case PlanKind::kDatalogRewriting:
       return "datalog_rewriting";
+    case PlanKind::kFoRewriting:
+      return "fo_rewriting";
   }
   return "unknown";
 }
@@ -61,48 +63,58 @@ base::Result<std::shared_ptr<PreparedQuery>> PreparedQuery::FromProgram(
   OBDA_RETURN_IF_ERROR(program.Validate());
   auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
   prepared->plan_ = PlanKind::kSatGrounding;
+  prepared->tier_ = PlanTier::kSat;
   prepared->arity_ = program.QueryArity();
   prepared->options_ = options;
   prepared->program_ =
       std::make_unique<const ddlog::Program>(std::move(program));
+  // Bare programs bypass the planner: the SAT tier is the only one with
+  // no rewritability certificate to check.
+  prepared->explain_.tier = PlanTier::kSat;
+  prepared->explain_.chosen_by = PlanChoice::kOnly;
+  prepared->explain_.admissible = {PlanTier::kSat};
   return prepared;
 }
 
 base::Result<std::shared_ptr<PreparedQuery>> PreparedQuery::FromOmq(
-    const core::OntologyMediatedQuery& omq, const PrepareOptions& options) {
-  // Plan selection: take the polynomial-time canonical-datalog rewriting
-  // whenever the decider certifies it; any failure along that path (non
-  // AQ/BAQ shape, undecided, extraction budget) falls back to the
-  // complete SAT pipeline rather than surfacing an error.
-  if (options.allow_rewriting) {
-    base::Result<bool> rewritable = core::IsDatalogRewritable(omq);
-    if (rewritable.ok() && *rewritable) {
-      base::Result<core::DatalogRewriting> rewriting =
-          core::ExtractDatalogRewriting(omq, options.max_template_elements);
-      if (rewriting.ok()) {
-        auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
-        prepared->plan_ = PlanKind::kDatalogRewriting;
-        prepared->arity_ = omq.arity();
-        prepared->options_ = options;
-        prepared->rewriting_ = std::make_unique<const core::DatalogRewriting>(
-            std::move(rewriting).value());
-        return prepared;
-      }
-    }
+    const core::OntologyMediatedQuery& omq, const PrepareOptions& options,
+    std::uint64_t session_facts) {
+  PlannerOptions popts = options.planner;
+  // Legacy `SAT` modifier / allow_rewriting=false: force the grounding
+  // tier (prefilter still on — it never changes answers).
+  if (!options.allow_rewriting && popts.force == PlanTier::kAuto) {
+    popts.force = PlanTier::kSat;
   }
+  base::Result<PlannedOmq> planned = PlanOmq(omq, popts, session_facts);
+  if (!planned.ok()) return planned.status();
 
-  base::Result<ddlog::Program> program =
-      (omq.AtomicQueryConcept().has_value() ||
-       omq.BooleanAtomicQueryConcept().has_value())
-          ? core::CompileAqToMddlog(omq)
-          : [&]() -> base::Result<ddlog::Program> {
-              base::Result<core::OntologyMediatedQuery> no_inverse =
-                  core::EliminateInverseRolesInOmq(omq);
-              if (!no_inverse.ok()) return no_inverse.status();
-              return core::CompileUcqToMddlog(*no_inverse);
-            }();
-  if (!program.ok()) return program.status();
-  return FromProgram(std::move(program).value(), options);
+  auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+  prepared->arity_ = omq.arity();
+  prepared->options_ = options;
+  prepared->tier_ = planned->tier;
+  prepared->explain_ = std::move(planned->explain);
+  switch (planned->tier) {
+    case PlanTier::kFo:
+      prepared->plan_ = PlanKind::kFoRewriting;
+      prepared->fo_ = std::make_unique<const core::FoRewriting>(
+          std::move(*planned->fo));
+      break;
+    case PlanTier::kDatalog:
+      prepared->plan_ = PlanKind::kDatalogRewriting;
+      prepared->rewriting_ = std::make_unique<const core::DatalogRewriting>(
+          std::move(*planned->datalog));
+      break;
+    case PlanTier::kSat:
+    case PlanTier::kSatRaw:
+      prepared->plan_ = PlanKind::kSatGrounding;
+      prepared->program_ = std::make_unique<const ddlog::Program>(
+          std::move(*planned->program));
+      prepared->prefilter_templates_ = std::move(planned->prefilter);
+      break;
+    default:
+      return base::InvalidArgumentError("planner returned an invalid tier");
+  }
+  return prepared;
 }
 
 base::Result<ddlog::Answers> PreparedQuery::Execute(
@@ -110,11 +122,19 @@ base::Result<ddlog::Answers> PreparedQuery::Execute(
   static obs::TimerStat& exec_timer = obs::GetTimer("serve.execute");
   // Per-plan-mode latency distributions: a mixed-tier workload's mean is
   // meaningless when one plan is AC0-ish and the other runs co-NP SAT
-  // probes, so the two populations get separate histograms.
+  // probes, so the populations get separate histograms.
   static obs::Histogram& sat_hist =
       obs::GetHistogram("serve.execute.sat_grounding");
   static obs::Histogram& rewriting_hist =
       obs::GetHistogram("serve.execute.datalog_rewriting");
+  static obs::Histogram& fo_hist =
+      obs::GetHistogram("serve.execute.fo_rewriting");
+  // Per-tier traffic counters ("serve.plan.<tier>"): what the planner's
+  // decisions actually serve, per Execute call.
+  static obs::Counter& plan_fo = obs::GetCounter("serve.plan.fo");
+  static obs::Counter& plan_datalog = obs::GetCounter("serve.plan.datalog");
+  static obs::Counter& plan_sat = obs::GetCounter("serve.plan.sat");
+  static obs::Counter& plan_sat_raw = obs::GetCounter("serve.plan.sat_raw");
   obs::ScopedTimer timer(exec_timer);
 
   const auto start = std::chrono::steady_clock::now();
@@ -124,8 +144,20 @@ base::Result<ddlog::Answers> PreparedQuery::Execute(
           std::chrono::steady_clock::now() - start)
           .count());
   stats_.execs.fetch_add(1, std::memory_order_relaxed);
-  (plan_ == PlanKind::kDatalogRewriting ? rewriting_hist : sat_hist)
-      .Record(nanos);
+  switch (plan_) {
+    case PlanKind::kFoRewriting:
+      fo_hist.Record(nanos);
+      plan_fo.Add();
+      break;
+    case PlanKind::kDatalogRewriting:
+      rewriting_hist.Record(nanos);
+      plan_datalog.Add();
+      break;
+    case PlanKind::kSatGrounding:
+      sat_hist.Record(nanos);
+      (tier_ == PlanTier::kSatRaw ? plan_sat_raw : plan_sat).Add();
+      break;
+  }
   stats_.latency.Record(nanos);
   return result;
 }
@@ -144,6 +176,47 @@ base::Result<ddlog::Answers> PreparedQuery::ExecuteImpl(
     if (!tuples.ok()) return tuples.status();
     ddlog::Answers answers;
     answers.tuples = std::move(tuples).value();
+    if (info != nullptr) *info = local;
+    return answers;
+  }
+
+  if (plan_ == PlanKind::kFoRewriting) {
+    // FO tier: one compiled support index per session snapshot, reused
+    // (like the SAT plan's grounding slot) until the data changes; the
+    // same generation / content-hash ladder decides reuse. No grounding,
+    // no SAT — the acceptance criterion's "zero probes, zero grounds".
+    GroundingSlot* slot;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot = &slots_[session.id()];
+    }
+    const bool had_target = slot->fo_target != nullptr;
+    bool reuse = false;
+    if (had_target && slot->snapshot.generation == snapshot.generation) {
+      reuse = true;
+    } else if (had_target &&
+               slot->snapshot.content_hash == snapshot.content_hash &&
+               slot->snapshot.instance->NumFacts() ==
+                   snapshot.instance->NumFacts()) {
+      slot->snapshot.generation = snapshot.generation;
+      reuse = true;
+    }
+    if (reuse) {
+      local.instance = slot->snapshot.instance;
+      stats_.hot_hits.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // The index references the pinned instance: drop it before the
+      // snapshot swap can release the old instance.
+      slot->fo_target.reset();
+      slot->snapshot = snapshot;
+      slot->fo_target =
+          std::make_unique<data::CompiledTarget>(*slot->snapshot.instance);
+      (had_target ? stats_.regrounds : stats_.grounds)
+          .fetch_add(1, std::memory_order_relaxed);
+      local.grounded = true;  // this request paid the index build
+    }
+    ddlog::Answers answers;
+    answers.tuples = fo_->Evaluate(*slot->fo_target);
     if (info != nullptr) *info = local;
     return answers;
   }
@@ -221,7 +294,31 @@ base::Result<ddlog::Answers> PreparedQuery::ExecuteImpl(
   grounded.ResetDecisionBudget(budget.max_decisions);
   local.fingerprint = grounded.Fingerprint();
 
+  // Consistency prefilter (kSat tier): bind the certifier to the pinned
+  // snapshot on first use and after every data change, then install it
+  // for this request's probe fan-out. kSatRaw keeps it uninstalled.
+  const ConsistencyPrefilterTemplates::Bound* bound = nullptr;
+  if (tier_ == PlanTier::kSat && prefilter_templates_ != nullptr) {
+    if (slot->prefilter == nullptr ||
+        slot->prefilter_hash != slot->snapshot.content_hash) {
+      slot->prefilter = prefilter_templates_->Bind(*slot->snapshot.instance);
+      slot->prefilter_hash = slot->snapshot.content_hash;
+    }
+    bound = slot->prefilter.get();
+    grounded.SetPrefilter(slot->prefilter);
+  } else {
+    grounded.SetPrefilter(nullptr);
+  }
+  const std::uint64_t checks_before = bound != nullptr ? bound->checks() : 0;
+  const std::uint64_t hits_before = bound != nullptr ? bound->hits() : 0;
+
   base::Result<ddlog::Answers> answers = grounded.ComputeCertainAnswers();
+  if (bound != nullptr) {
+    stats_.prefilter_checks.fetch_add(bound->checks() - checks_before,
+                                      std::memory_order_relaxed);
+    stats_.prefilter_hits.fetch_add(bound->hits() - hits_before,
+                                    std::memory_order_relaxed);
+  }
   if (!answers.ok()) return answers.status();
   if (info != nullptr) *info = local;
   return std::move(answers).value();
@@ -232,14 +329,27 @@ std::string PreparedQuery::StatsJson() const {
     return std::to_string(v.load(std::memory_order_relaxed));
   };
   return std::string("{\"plan\": \"") + PlanKindName(plan_) +
+         "\", \"tier\": \"" + PlanTierName(tier_) +
          "\", \"arity\": " + std::to_string(arity_) +
          ", \"execs\": " + u64(stats_.execs) +
          ", \"grounds\": " + u64(stats_.grounds) +
          ", \"regrounds\": " + u64(stats_.regrounds) +
          ", \"hot_hits\": " + u64(stats_.hot_hits) +
          ", \"delta_grounds\": " + u64(stats_.delta_grounds) +
+         ", \"prefilter_checks\": " + u64(stats_.prefilter_checks) +
+         ", \"prefilter_hits\": " + u64(stats_.prefilter_hits) +
          ", \"latency\": " + obs::HistogramValueJson(stats_.latency.Snap()) +
          "}";
+}
+
+std::vector<std::string> PreparedQuery::ExplainLines() const {
+  std::vector<std::string> lines = serve::ExplainLines(explain_);
+  lines.push_back(
+      "stats prefilter_checks=" +
+      std::to_string(stats_.prefilter_checks.load(std::memory_order_relaxed)) +
+      " prefilter_hits=" +
+      std::to_string(stats_.prefilter_hits.load(std::memory_order_relaxed)));
+  return lines;
 }
 
 std::size_t CacheKeyHash::operator()(const CacheKey& k) const {

@@ -12,34 +12,44 @@
 #include "base/status.h"
 #include "core/omq.h"
 #include "core/rewritability.h"
+#include "data/homomorphism.h"
 #include "ddlog/eval.h"
 #include "ddlog/program.h"
 #include "obs/metrics.h"
+#include "serve/planner.h"
 #include "serve/session.h"
 
 namespace obda::serve {
 
-/// Which execution plan a prepared query compiled to (DESIGN.md §8).
+/// Which execution plan a prepared query compiled to (DESIGN.md §8/§11).
 enum class PlanKind {
   /// Grounding + per-tuple co-NP SAT probes (ddlog::GroundedQuery): the
-  /// general path, complete for every MDDlog program.
+  /// general path, complete for every MDDlog program. When the planner's
+  /// tier is kSat (not kSatRaw) a (2,3)-consistency prefilter
+  /// short-circuits certified tuples before their probes.
   kSatGrounding = 0,
   /// Canonical-datalog rewriting (core::ExtractDatalogRewriting):
   /// polynomial-time evaluation, selected when core/rewritability
   /// certifies the OMQ datalog-rewritable (paper Thm 5.16).
   kDatalogRewriting = 1,
+  /// Compiled UCQ obstruction rewriting (core::ExtractFoRewriting):
+  /// first-order evaluation on a cached data::CompiledTarget — no
+  /// grounding, no SAT (paper Thm 5.16 / §5.3).
+  kFoRewriting = 2,
 };
 const char* PlanKindName(PlanKind kind);
 
 struct PrepareOptions {
-  /// Attempt the rewritability certificate for OMQs; when false (or when
-  /// the decider / extraction fails) the SAT path is used.
+  /// Attempt the rewritability certificates for OMQs; when false the
+  /// planner is forced to the SAT tier (the legacy `SAT` modifier).
   bool allow_rewriting = true;
   /// Template-size cap for the canonical-datalog extraction.
   int max_template_elements = 6;
   /// Threads and grounding caps for the SAT plan. max_decisions here is
   /// only the default; Execute rearms it per request.
   ddlog::EvalOptions eval;
+  /// Cost-based tier planning (budgets, priors, forced tier).
+  PlannerOptions planner;
 };
 
 /// Per-request resource budget, applied by Execute.
@@ -89,17 +99,26 @@ class PreparedQuery {
   static base::Result<std::shared_ptr<PreparedQuery>> FromProgram(
       ddlog::Program program, const PrepareOptions& options = {});
 
-  /// Compiles an OMQ, picking the best available plan: the canonical-
-  /// datalog rewriting when core/rewritability certifies it, otherwise
-  /// the MDDlog + SAT path (AQ/BAQ via Thm 3.4, general UCQs via
-  /// Thm 3.3).
+  /// Compiles an OMQ through the cost-based planner (serve/planner.h):
+  /// the cheapest admissible tier of the rewritability lattice wins —
+  /// compiled FO rewriting, canonical datalog, or MDDlog + SAT grounding
+  /// with the consistency prefilter. `session_facts` feeds the cost
+  /// model's instance-size estimate (0 = unknown).
   static base::Result<std::shared_ptr<PreparedQuery>> FromOmq(
       const core::OntologyMediatedQuery& omq,
-      const PrepareOptions& options = {});
+      const PrepareOptions& options = {}, std::uint64_t session_facts = 0);
 
   PlanKind plan() const { return plan_; }
+  /// The planner tier behind `plan()` (distinguishes kSat from kSatRaw).
+  PlanTier tier() const { return tier_; }
   int arity() const { return arity_; }
-  /// The compiled MDDlog program (null for the rewriting plan).
+  /// The planner's decision record (EXPLAIN; default-constructed for
+  /// FromProgram artifacts).
+  const PlanExplain& explain() const { return explain_; }
+  /// EXPLAIN payload: the planner record plus cumulative prefilter
+  /// traffic ("stats prefilter_checks=N prefilter_hits=N").
+  std::vector<std::string> ExplainLines() const;
+  /// The compiled MDDlog program (null for the rewriting plans).
   const ddlog::Program* program() const { return program_.get(); }
 
   /// Cumulative per-artifact execution stats, maintained by Execute and
@@ -114,6 +133,11 @@ class PreparedQuery {
     /// Mutations absorbed by an incremental ApplyDelta patch instead of a
     /// full re-ground.
     std::atomic<std::uint64_t> delta_grounds{0};
+    /// Consistency-prefilter traffic (kSat tier only): candidates offered
+    /// to the certifier and the ones it short-circuited past their SAT
+    /// probes.
+    std::atomic<std::uint64_t> prefilter_checks{0};
+    std::atomic<std::uint64_t> prefilter_hits{0};
     obs::Histogram latency;
   };
   const Stats& stats() const { return stats_; }
@@ -133,8 +157,15 @@ class PreparedQuery {
   PreparedQuery() = default;
 
   struct GroundingSlot {
-    Session::Snapshot snapshot;  // pins the instance the grounding refs
-    std::unique_ptr<ddlog::GroundedQuery> grounded;
+    Session::Snapshot snapshot;  // pins the instance the artifacts ref
+    std::unique_ptr<ddlog::GroundedQuery> grounded;        // SAT plan
+    /// FO plan: the compiled support index over the pinned snapshot, so
+    /// repeated executions skip the index build.
+    std::unique_ptr<data::CompiledTarget> fo_target;
+    /// kSat tier: the consistency certifier bound to the pinned snapshot
+    /// (content hash remembers what it was bound against).
+    std::shared_ptr<const ConsistencyPrefilterTemplates::Bound> prefilter;
+    std::uint64_t prefilter_hash = 0;
   };
 
   base::Result<ddlog::Answers> ExecuteImpl(Session& session,
@@ -142,10 +173,15 @@ class PreparedQuery {
                                            ExecInfo* info);
 
   PlanKind plan_ = PlanKind::kSatGrounding;
+  PlanTier tier_ = PlanTier::kSat;
   int arity_ = 0;
   PrepareOptions options_;
+  PlanExplain explain_;
   std::unique_ptr<const ddlog::Program> program_;          // SAT plan
   std::unique_ptr<const core::DatalogRewriting> rewriting_;  // rewriting plan
+  std::unique_ptr<const core::FoRewriting> fo_;              // FO plan
+  /// Snapshot-independent prefilter templates (kSat tier, AQ/BAQ only).
+  std::shared_ptr<const ConsistencyPrefilterTemplates> prefilter_templates_;
   Stats stats_;
 
   std::mutex mu_;  // guards slots_ map shape; slot contents are per-session
@@ -153,13 +189,19 @@ class PreparedQuery {
 };
 
 /// The artifact cache key: content hashes of the ontology (or EDB schema,
-/// for bare programs) and of the query/program text, plus the requested
-/// plan mode — so a sat-only PREPARE of a query never collides with an
-/// auto-planned one.
+/// for bare programs) and of the query/program text, plus everything else
+/// the compiled plan depends on — the requested tier (so a forced PREPARE
+/// never collides with an auto-planned one), the planner version (so a
+/// planner upgrade never serves a stale cached plan), and a log2 size
+/// class of the session's facts (so an auto plan re-plans after
+/// order-of-magnitude data growth shifts the cost model).
 struct CacheKey {
   std::uint64_t ontology_hash = 0;
   std::uint64_t query_hash = 0;
+  /// The requested PlanTier (kAuto = 0 for auto-planned queries).
   std::uint32_t plan_mode = 0;
+  std::uint32_t planner_version = 0;
+  std::uint32_t size_class = 0;
 
   bool operator==(const CacheKey&) const = default;
 };

@@ -1,7 +1,9 @@
 #include "serve/server.h"
 
+#include <bit>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -41,6 +43,15 @@ Server::Server(const ServerOptions& options)
     obs::EnableMetrics(true);
     obs::FlightRecorder::Enable(true);
   }
+  // Eager registration of the planner metrics: STATS KEYS is goldened, so
+  // every serve-layer name must exist from construction, not on the first
+  // request that happens to exercise its tier.
+  obs::GetCounter("serve.plan.fo");
+  obs::GetCounter("serve.plan.datalog");
+  obs::GetCounter("serve.plan.sat");
+  obs::GetCounter("serve.plan.sat_raw");
+  obs::GetTimer("serve.plan");
+  obs::GetHistogram("serve.execute.fo_rewriting");
 }
 
 std::unique_ptr<Server::Client> Server::NewClient() {
@@ -77,6 +88,7 @@ Response Server::Client::Dispatch(std::string_view line) {
         base::InvalidArgumentError("no session: run SCHEMA first"));
   }
   if (cmd == "PREPARE") return CmdPrepare(tokens, line);
+  if (cmd == "EXPLAIN") return CmdExplain(tokens);
   if (cmd == "ASSERT") return CmdMutate(TailAfter(line, 1), /*assert=*/true);
   if (cmd == "RETRACT") {
     return CmdMutate(TailAfter(line, 1), /*assert=*/false);
@@ -120,13 +132,24 @@ Response Server::Client::CmdPrepare(const std::vector<std::string>& tokens,
                                     std::string_view line) {
   if (tokens.size() < 4) {
     return Response::Error(base::InvalidArgumentError(
-        "usage: PREPARE <name> [SAT] AQ|BAQ|PROGRAM <payload>"));
+        "usage: PREPARE <name> [PLAN=<tier>|SAT] AQ|BAQ|PROGRAM <payload>"));
   }
   const std::string& name = tokens[1];
-  bool force_sat = false;
+  // Tier modifiers: PLAN=<tier> (or the legacy SAT spelling of PLAN=sat)
+  // overrides the server-wide default (OBDA_PLAN / options).
+  PlanTier forced = server_.options().prepare.planner.force;
   std::size_t kind_idx = 2;
   if (tokens[2] == "SAT") {
-    force_sat = true;
+    forced = PlanTier::kSat;
+    kind_idx = 3;
+  } else if (tokens[2].rfind("PLAN=", 0) == 0) {
+    std::optional<PlanTier> tier = ParsePlanTier(tokens[2].substr(5));
+    if (!tier.has_value()) {
+      return Response::Error(base::InvalidArgumentError(
+          "PREPARE: bad tier " + tokens[2] +
+          " (want PLAN=auto|fo|datalog|sat|sat_raw)"));
+    }
+    forced = *tier;
     kind_idx = 3;
   }
   if (kind_idx >= tokens.size()) {
@@ -144,21 +167,29 @@ Response Server::Client::CmdPrepare(const std::vector<std::string>& tokens,
     return Response::Error(base::InvalidArgumentError(
         "PREPARE: query kind must be AQ, BAQ, or PROGRAM"));
   }
-  if (kind == "PROGRAM") force_sat = true;  // no rewriting certificate path
+  if (kind == "PROGRAM") forced = PlanTier::kSat;  // no rewriting path
 
   // The artifact cache key: what the compiled plan depends on — schema,
-  // ontology text, query text, and the requested plan mode.
+  // ontology text, query text, the requested tier, the planner version,
+  // and (for auto plans, whose tier choice reads the cost model) a log2
+  // size class of the session's facts so order-of-magnitude data growth
+  // re-plans instead of serving a stale tier.
   CacheKey key;
   key.ontology_hash =
       HashText(session_->schema().ToString() + "\n" + ontology_text_);
   key.query_hash = HashText(kind + " " + payload);
-  key.plan_mode = force_sat ? 1 : 0;
+  key.plan_mode = static_cast<std::uint32_t>(forced);
+  key.planner_version = kPlannerVersion;
+  if (forced == PlanTier::kAuto && kind != "PROGRAM") {
+    key.size_class =
+        static_cast<std::uint32_t>(std::bit_width(session_->num_facts()));
+  }
 
   std::shared_ptr<PreparedQuery> query = server_.cache().Lookup(key);
   const bool from_cache = query != nullptr;
   if (!from_cache) {
     PrepareOptions opts = server_.options().prepare;
-    opts.allow_rewriting = opts.allow_rewriting && !force_sat;
+    opts.planner.force = forced;
     base::Result<std::shared_ptr<PreparedQuery>> built =
         base::InvalidArgumentError("unreachable");
     if (kind == "PROGRAM") {
@@ -173,7 +204,7 @@ Response Server::Client::CmdPrepare(const std::vector<std::string>& tokens,
                        : core::OntologyMediatedQuery::WithBooleanAtomicQuery(
                              session_->schema(), ontology_, payload);
       if (!omq.ok()) return Response::Error(omq.status());
-      built = PreparedQuery::FromOmq(*omq, opts);
+      built = PreparedQuery::FromOmq(*omq, opts, session_->num_facts());
     }
     if (!built.ok()) return Response::Error(built.status());
     query = std::move(built).value();
@@ -181,8 +212,26 @@ Response Server::Client::CmdPrepare(const std::vector<std::string>& tokens,
   }
   prepared_[name] = NamedQuery{query, from_cache};
   return Response::Ok("plan=" + std::string(PlanKindName(query->plan())) +
+                      " tier=" + PlanTierName(query->tier()) +
                       " cached=" + (from_cache ? "1" : "0") +
                       " arity=" + std::to_string(query->arity()));
+}
+
+Response Server::Client::CmdExplain(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2) {
+    return Response::Error(
+        base::InvalidArgumentError("usage: EXPLAIN <name>"));
+  }
+  auto it = prepared_.find(tokens[1]);
+  if (it == prepared_.end()) {
+    return Response::Error(
+        base::NotFoundError("no prepared query named " + tokens[1]));
+  }
+  Response response = Response::Ok();
+  response.payload = it->second.query->ExplainLines();
+  response.info = "name=" + tokens[1] + " tier=" +
+                  PlanTierName(it->second.query->tier());
+  return response;
 }
 
 Response Server::Client::CmdMutate(std::string_view tail, bool assert_op) {

@@ -49,9 +49,20 @@ struct ServerOptions {
 /// Protocol, one '\n'-terminated command per line ('#' starts a comment):
 ///   SCHEMA E/2 L/1 ...                fix the session's EDB schema
 ///   ONTOLOGY <axioms>                 set the DL ontology (';' separates)
-///   PREPARE <name> [SAT] AQ <A>      prepare OMQ with atomic query A(x)
-///   PREPARE <name> [SAT] BAQ <A>     ... with Boolean atomic query
+///   PREPARE <name> [PLAN=<tier>|SAT] AQ <A>
+///                                     prepare OMQ with atomic query A(x);
+///                                     PLAN forces a tier of the
+///                                     rewritability lattice (fo, datalog,
+///                                     sat, sat_raw; default auto = the
+///                                     cost-based planner). SAT is the
+///                                     legacy spelling of PLAN=sat.
+///   PREPARE <name> [PLAN=<tier>|SAT] BAQ <A>
+///                                     ... with Boolean atomic query
 ///   PREPARE <name> PROGRAM <rules>   prepare a raw MDDlog program
+///   EXPLAIN <name>                    the planner's decision record for a
+///                                     prepared query: tier, certificates,
+///                                     cost estimates, budget events, and
+///                                     cumulative prefilter traffic
 ///   ASSERT <facts>                    add facts, e.g. E(a,b), L(a)
 ///   RETRACT <facts>                   remove facts
 ///   QUERY <name> [DEADLINE_MS n] [MAX_DECISIONS n]
@@ -69,8 +80,9 @@ struct ServerOptions {
 ///                                     of the flight recorder (Perfetto)
 ///   QUIT
 /// Responses: payload lines, then `OK [info]` or `ERR CODE: message`.
-/// The SAT modifier forces the grounding plan even when the OMQ is
-/// datalog-rewritable (it changes the cache key, not just the plan).
+/// A forced plan tier changes the cache key, not just the plan; the
+/// OBDA_PLAN environment variable (obda_serve) sets the default tier for
+/// every PREPARE that names none.
 class Server {
  public:
   explicit Server(const ServerOptions& options = ServerOptions());
@@ -118,6 +130,7 @@ class Server::Client {
                       std::string_view line);
   Response CmdMutate(std::string_view tail, bool assert);
   Response CmdQuery(const std::vector<std::string>& tokens);
+  Response CmdExplain(const std::vector<std::string>& tokens);
   Response CmdStats(const std::vector<std::string>& tokens);
   Response CmdTrace(const std::vector<std::string>& tokens);
 

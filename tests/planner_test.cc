@@ -1,0 +1,643 @@
+// Planner tests (DESIGN.md §11): tier admission and cost-based choice
+// across the rewritability lattice, PREPARE-time budgets (the E04
+// succinctness family must fall through to SAT instead of hanging), the
+// (2,3)-consistency prefilter's soundness and its consistency-domain
+// primitives, the PLAN= protocol overrides and EXPLAIN verb, and — the
+// heart of the battery — tier parity: ≥50 seeded OMQ/instance pairs
+// answered bit-identically by every admissible plan at threads {1,2,8}
+// (this binary runs in the tsan CI job).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "core/csp_translation.h"
+#include "core/paper_families.h"
+#include "csp/consistency.h"
+#include "data/generator.h"
+#include "dl/parser.h"
+#include "serve/planner.h"
+#include "serve/prepared.h"
+#include "serve/server.h"
+#include "serve/session.h"
+
+namespace obda::serve {
+namespace {
+
+using data::Fact;
+using data::Schema;
+
+// --- Tier names and parsing -------------------------------------------------
+
+TEST(PlanTierTest, NamesRoundTripThroughParse) {
+  for (PlanTier tier : {PlanTier::kAuto, PlanTier::kFo, PlanTier::kDatalog,
+                        PlanTier::kSat, PlanTier::kSatRaw}) {
+    auto parsed = ParsePlanTier(PlanTierName(tier));
+    ASSERT_TRUE(parsed.has_value()) << PlanTierName(tier);
+    EXPECT_EQ(*parsed, tier);
+  }
+  EXPECT_FALSE(ParsePlanTier("SAT").has_value());
+  EXPECT_FALSE(ParsePlanTier("").has_value());
+  EXPECT_FALSE(ParsePlanTier("bogus").has_value());
+}
+
+// --- Consistency domains (the prefilter's propagation primitive) ------------
+
+TEST(ConsistencyDomainsTest, LoopTargetKeepsEveryElement) {
+  // Everything maps into a reflexive vertex: no refutation, and each
+  // element's surviving image set is exactly {0}.
+  const data::Instance d = data::DirectedPath("E", 3);
+  const data::Instance b = data::Loop("E");
+  for (const csp::ConsistencyDomains& domains :
+       {csp::ArcConsistencyDomains(d, b),
+        csp::PairwiseConsistencyDomains(d, b)}) {
+    EXPECT_FALSE(domains.refuted);
+    ASSERT_EQ(domains.surviving.size(), d.UniverseSize());
+    for (std::uint64_t mask : domains.surviving) {
+      EXPECT_EQ(mask, std::uint64_t{1});
+    }
+  }
+}
+
+TEST(ConsistencyDomainsTest, LoopSourceIntoLooplessTargetRefutes) {
+  // A reflexive element has no image in a loopless path: already arc
+  // consistency empties its candidate set.
+  const data::Instance d = data::Loop("E");
+  const data::Instance b = data::DirectedPath("E", 2);
+  EXPECT_TRUE(csp::ArcConsistencyDomains(d, b).refuted);
+  EXPECT_TRUE(csp::PairwiseConsistencyDomains(d, b).refuted);
+  // Matches the boolean refutation API bit-for-bit.
+  EXPECT_TRUE(csp::ArcConsistencyRefutes(d, b));
+  EXPECT_TRUE(csp::PairwiseConsistencyRefutes(d, b));
+}
+
+TEST(ConsistencyDomainsTest, CycleOntoItselfKeepsAllRotations) {
+  // C3 → C3: every rotation is a homomorphism, so all three images
+  // survive for every element, under both propagation strengths.
+  const data::Instance d = data::DirectedCycle("E", 3);
+  const data::Instance b = data::DirectedCycle("E", 3);
+  for (const csp::ConsistencyDomains& domains :
+       {csp::ArcConsistencyDomains(d, b),
+        csp::PairwiseConsistencyDomains(d, b)}) {
+    EXPECT_FALSE(domains.refuted);
+    ASSERT_EQ(domains.surviving.size(), 3u);
+    for (std::uint64_t mask : domains.surviving) {
+      EXPECT_EQ(mask, std::uint64_t{0b111});
+    }
+  }
+}
+
+TEST(ConsistencyDomainsTest, PairwiseNeverKeepsMoreThanArc) {
+  // (2,3)-consistency is at least as strong as arc consistency: on
+  // random digraph pairs every pairwise-surviving image must also
+  // survive arc propagation.
+  base::Rng rng(7);
+  for (int round = 0; round < 20; ++round) {
+    const data::Instance d =
+        data::RandomDigraph("E", 5, 8, rng);
+    const data::Instance b = data::RandomDigraph("E", 4, 7, rng);
+    const csp::ConsistencyDomains arc = csp::ArcConsistencyDomains(d, b);
+    const csp::ConsistencyDomains pair =
+        csp::PairwiseConsistencyDomains(d, b);
+    if (arc.refuted) continue;  // pairwise may only refute more
+    if (pair.refuted) continue;
+    ASSERT_EQ(arc.surviving.size(), pair.surviving.size());
+    for (std::size_t x = 0; x < arc.surviving.size(); ++x) {
+      EXPECT_EQ(pair.surviving[x] & ~arc.surviving[x], 0u)
+          << "round " << round << " element " << x;
+    }
+  }
+}
+
+// --- Admission and cost-based choice ----------------------------------------
+
+base::Result<core::OntologyMediatedQuery> DisjunctionOmq() {
+  auto ontology =
+      dl::ParseOntology("LymeDisease | Listeriosis [= BacterialInfection");
+  OBDA_CHECK(ontology.ok());
+  Schema s;
+  s.AddRelation("LymeDisease", 1);
+  s.AddRelation("Listeriosis", 1);
+  return core::OntologyMediatedQuery::WithAtomicQuery(s, *ontology,
+                                                      "BacterialInfection");
+}
+
+/// A(x) propagated along every R-edge ("A [= all R.A"): the certain
+/// answers of AQ A are the elements R-reachable from an A-element, a
+/// recursive query — datalog-rewritable but not FO-rewritable.
+base::Result<core::OntologyMediatedQuery> ReachabilityOmq() {
+  auto ontology = dl::ParseOntology("A [= all R.A");
+  OBDA_CHECK(ontology.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  return core::OntologyMediatedQuery::WithAtomicQuery(s, *ontology, "A");
+}
+
+TEST(PlannerTest, FoRewritableOmqLandsInFoTier) {
+  auto omq = DisjunctionOmq();
+  ASSERT_TRUE(omq.ok());
+  auto plan = PlanOmq(*omq, PlannerOptions(), /*session_facts=*/0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->tier, PlanTier::kFo);
+  EXPECT_TRUE(plan->fo.has_value());
+  EXPECT_FALSE(plan->program.has_value());
+  EXPECT_EQ(plan->explain.fo_rewritable, 1);
+  EXPECT_EQ(plan->explain.chosen_by, PlanChoice::kCost);
+  // The full ladder was admissible: fo, datalog, sat — in that order.
+  ASSERT_EQ(plan->explain.admissible.size(), 3u);
+  EXPECT_EQ(plan->explain.admissible[0], PlanTier::kFo);
+  EXPECT_EQ(plan->explain.admissible[2], PlanTier::kSat);
+  EXPECT_GT(plan->explain.cost_fo, 0.0);
+  EXPECT_LT(plan->explain.cost_fo, plan->explain.cost_sat);
+  EXPECT_TRUE(plan->explain.budget_events.empty());
+}
+
+TEST(PlannerTest, RecursiveOmqIsDatalogNotFoRewritable) {
+  auto omq = ReachabilityOmq();
+  ASSERT_TRUE(omq.ok());
+  PlannerOptions options;
+  options.microbench = false;  // make the cost ranking the whole story
+  auto plan = PlanOmq(*omq, options, /*session_facts=*/16);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->explain.fo_rewritable, 0);
+  EXPECT_EQ(plan->explain.datalog_rewritable, 1);
+  // Datalog is admissible (the certificate holds) but the calibrated
+  // priors price its per-candidate propagation above grounding + co-NP
+  // probes already at 16 facts, so the cost ranking lands on SAT.
+  ASSERT_EQ(plan->explain.admissible.size(), 2u);
+  EXPECT_EQ(plan->explain.admissible[0], PlanTier::kDatalog);
+  EXPECT_EQ(plan->explain.admissible[1], PlanTier::kSat);
+  EXPECT_EQ(plan->tier, PlanTier::kSat);
+  EXPECT_GT(plan->explain.cost_datalog, plan->explain.cost_sat);
+  EXPECT_TRUE(plan->program.has_value());
+
+  // Forcing the admissible datalog tier still compiles the datalog plan.
+  PlannerOptions forced;
+  forced.force = PlanTier::kDatalog;
+  auto datalog_plan = PlanOmq(*omq, forced, /*session_facts=*/16);
+  ASSERT_TRUE(datalog_plan.ok()) << datalog_plan.status().ToString();
+  EXPECT_EQ(datalog_plan->tier, PlanTier::kDatalog);
+  EXPECT_TRUE(datalog_plan->datalog.has_value());
+}
+
+TEST(PlannerTest, NonRewritableOmqFallsToSatWithPrefilter) {
+  auto omq = core::CspToOmq(data::Clique("E", 3));
+  ASSERT_TRUE(omq.ok());
+  auto plan = PlanOmq(*omq, PlannerOptions(), /*session_facts=*/0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->tier, PlanTier::kSat);
+  EXPECT_EQ(plan->explain.fo_rewritable, 0);
+  EXPECT_EQ(plan->explain.datalog_rewritable, 0);
+  ASSERT_EQ(plan->explain.admissible.size(), 1u);
+  EXPECT_EQ(plan->explain.chosen_by, PlanChoice::kOnly);
+  ASSERT_TRUE(plan->program.has_value());
+  // coCSP(K3) compiles to a marked coCSP, so the SAT tier carries the
+  // consistency prefilter.
+  EXPECT_TRUE(plan->explain.prefilter);
+  ASSERT_NE(plan->prefilter, nullptr);
+}
+
+TEST(PlannerTest, ForcedInadmissibleTierFailsLoudly) {
+  auto k3 = core::CspToOmq(data::Clique("E", 3));
+  ASSERT_TRUE(k3.ok());
+  PlannerOptions fo_forced;
+  fo_forced.force = PlanTier::kFo;
+  EXPECT_EQ(PlanOmq(*k3, fo_forced, 0).status().code(),
+            base::StatusCode::kInvalidArgument);
+  PlannerOptions datalog_forced;
+  datalog_forced.force = PlanTier::kDatalog;
+  EXPECT_EQ(PlanOmq(*k3, datalog_forced, 0).status().code(),
+            base::StatusCode::kInvalidArgument);
+
+  auto recursive = ReachabilityOmq();
+  ASSERT_TRUE(recursive.ok());
+  PlannerOptions fo_on_recursive;
+  fo_on_recursive.force = PlanTier::kFo;
+  EXPECT_EQ(PlanOmq(*recursive, fo_on_recursive, 0).status().code(),
+            base::StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, SatRawDisablesThePrefilter) {
+  auto omq = core::CspToOmq(data::Clique("E", 3));
+  ASSERT_TRUE(omq.ok());
+  PlannerOptions raw;
+  raw.force = PlanTier::kSatRaw;
+  auto plan = PlanOmq(*omq, raw, 0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->tier, PlanTier::kSatRaw);
+  EXPECT_EQ(plan->explain.chosen_by, PlanChoice::kForced);
+  EXPECT_FALSE(plan->explain.prefilter);
+  EXPECT_EQ(plan->prefilter, nullptr);
+  ASSERT_TRUE(plan->program.has_value());
+}
+
+TEST(PlannerTest, ExplainLinesAreDeterministic) {
+  auto omq = DisjunctionOmq();
+  ASSERT_TRUE(omq.ok());
+  auto a = PlanOmq(*omq, PlannerOptions(), 0);
+  auto b = PlanOmq(*omq, PlannerOptions(), 0);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(ExplainLines(a->explain), ExplainLines(b->explain));
+  const std::vector<std::string> lines = ExplainLines(a->explain);
+  ASSERT_EQ(lines.size(), 6u);
+  EXPECT_EQ(lines[0].rfind("tier=fo chosen_by=cost planner_version=", 0), 0u)
+      << lines[0];
+  EXPECT_EQ(lines[1], "admissible=fo,datalog,sat");
+  EXPECT_EQ(lines[4], "prefilter enabled=0");
+  EXPECT_EQ(lines[5], "budget none");
+}
+
+// --- PREPARE budgets: the E04 succinctness family must not hang -------------
+
+TEST(PlannerBudgetTest, SuccinctnessFamilyFallsThroughToSat) {
+  // Q_8's type space has 2^8 types: the deciders' CSP compilation blows
+  // past max_template_elements=64 and must surface as budget events, not
+  // as a hung PREPARE; the SAT tier (whose MDDlog program is the
+  // unavoidable-but-affordable exponential artifact) still compiles.
+  auto omq = core::SuccinctnessFamilyOmq(8);
+  ASSERT_TRUE(omq.ok()) << omq.status().ToString();
+  PlannerOptions options;  // default budgets: 64 template elements
+  auto plan = PlanOmq(*omq, options, /*session_facts=*/0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->tier, PlanTier::kSat);
+  ASSERT_TRUE(plan->program.has_value());
+  // Neither decider finished: certificates unknown, budget events logged.
+  EXPECT_EQ(plan->explain.fo_rewritable, -1);
+  EXPECT_EQ(plan->explain.datalog_rewritable, -1);
+  ASSERT_GE(plan->explain.budget_events.size(), 2u);
+  EXPECT_EQ(plan->explain.budget_events[0].rfind("fo_decide:", 0), 0u)
+      << plan->explain.budget_events[0];
+  EXPECT_EQ(plan->explain.budget_events[1].rfind("datalog_decide:", 0), 0u)
+      << plan->explain.budget_events[1];
+}
+
+TEST(PlannerBudgetTest, PreparedQueryHonorsBudgetAndStillServes) {
+  auto omq = core::SuccinctnessFamilyOmq(6);
+  ASSERT_TRUE(omq.ok());
+  auto prepared = PreparedQuery::FromOmq(*omq, PrepareOptions());
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_EQ((*prepared)->tier(), PlanTier::kSat);
+
+  // Goal is derived through an R-edge into the full A1..Ai conjunction.
+  Session session(omq->data_schema());
+  ASSERT_TRUE(session.Assert(Fact{"R", {"x", "y"}}).ok());
+  for (int i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(
+        session.Assert(Fact{"A" + std::to_string(i), {"y"}}).ok());
+  }
+  auto answers = (*prepared)->Execute(session, RequestBudget{});
+  ASSERT_TRUE(answers.ok()) << answers.status().ToString();
+  ASSERT_EQ(answers->tuples.size(), 1u);
+}
+
+// --- Tier parity: every admissible plan agrees bit-for-bit ------------------
+
+struct ParityFamily {
+  std::string name;
+  base::Result<core::OntologyMediatedQuery> omq;
+  int seeds = 0;
+};
+
+/// Asserts `count` random facts over `schema` (constants p0..p7) into
+/// every session in `sessions` in the same order, so raw ConstId answers
+/// are comparable across them.
+void AssertRandomFacts(const Schema& schema, std::uint64_t seed, int count,
+                       std::vector<Session*> sessions) {
+  base::Rng rng(0xFAC75 + seed);
+  for (int i = 0; i < count; ++i) {
+    const data::RelationId r =
+        static_cast<data::RelationId>(rng.Below(schema.NumRelations()));
+    std::vector<std::string> args;
+    for (int a = 0; a < schema.Arity(r); ++a) {
+      args.push_back("p" + std::to_string(rng.Below(8)));
+    }
+    const Fact fact{schema.RelationName(r), args};
+    for (Session* session : sessions) {
+      ASSERT_TRUE(session->Assert(fact).ok());
+    }
+  }
+}
+
+TEST(TierParityTest, FiftyTwoPairsAgreeAcrossTiersAndThreads) {
+  std::vector<ParityFamily> families;
+  families.push_back({"fo", DisjunctionOmq(), 20});
+  families.push_back({"datalog", ReachabilityOmq(), 20});
+  families.push_back({"conp", core::CspToOmq(data::Clique("E", 3)), 12});
+
+  int pairs = 0;
+  for (const ParityFamily& family : families) {
+    ASSERT_TRUE(family.omq.ok()) << family.name;
+    const core::OntologyMediatedQuery& omq = *family.omq;
+    for (int threads : {1, 2, 8}) {
+      // One artifact per forced tier (the plans do not depend on the
+      // instance); kSatRaw — grounding + probes, no prefilter — is the
+      // seed-equivalent reference everything must match.
+      PrepareOptions base;
+      base.eval.threads = threads;
+      std::vector<std::shared_ptr<PreparedQuery>> plans;
+      PrepareOptions raw = base;
+      raw.planner.force = PlanTier::kSatRaw;
+      auto reference = PreparedQuery::FromOmq(omq, raw);
+      ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+      for (PlanTier tier : {PlanTier::kAuto, PlanTier::kFo,
+                            PlanTier::kDatalog, PlanTier::kSat}) {
+        PrepareOptions opts = base;
+        opts.planner.force = tier;
+        auto plan = PreparedQuery::FromOmq(omq, opts);
+        if (!plan.ok()) {
+          // Only a forced tier may be inadmissible.
+          EXPECT_NE(tier, PlanTier::kAuto) << plan.status().ToString();
+          EXPECT_EQ(plan.status().code(),
+                    base::StatusCode::kInvalidArgument);
+          continue;
+        }
+        plans.push_back(*plan);
+      }
+      ASSERT_GE(plans.size(), 2u) << family.name;
+
+      for (int seed = 0; seed < family.seeds; ++seed) {
+        if (threads == 1) ++pairs;  // count OMQ/instance pairs once
+        Session ref_session(omq.data_schema());
+        std::vector<std::unique_ptr<Session>> sessions;
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+          sessions.push_back(std::make_unique<Session>(omq.data_schema()));
+        }
+        std::vector<Session*> all = {&ref_session};
+        for (const auto& s : sessions) all.push_back(s.get());
+        AssertRandomFacts(omq.data_schema(),
+                          static_cast<std::uint64_t>(seed), 12, all);
+
+        auto expected = (*reference)->Execute(ref_session, RequestBudget{});
+        ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+          auto got = plans[i]->Execute(*sessions[i], RequestBudget{});
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          EXPECT_EQ(got->tuples, expected->tuples)
+              << family.name << " seed " << seed << " threads " << threads
+              << " tier " << PlanTierName(plans[i]->tier());
+          EXPECT_EQ(got->inconsistent, expected->inconsistent);
+        }
+      }
+    }
+  }
+  EXPECT_GE(pairs, 50);
+}
+
+// --- Prefilter behavior through the serving layer ---------------------------
+
+TEST(PrefilterTest, CertifiesAnswersWithoutProbesAndMatchesRaw) {
+  auto ontology = dl::ParseOntology("LymeDisease [= Infection");
+  ASSERT_TRUE(ontology.ok());
+  Schema s;
+  s.AddRelation("LymeDisease", 1);
+  s.AddRelation("Other", 1);
+  auto omq = core::OntologyMediatedQuery::WithAtomicQuery(s, *ontology,
+                                                          "Infection");
+  ASSERT_TRUE(omq.ok());
+
+  PrepareOptions sat_opts;
+  sat_opts.planner.force = PlanTier::kSat;
+  auto sat = PreparedQuery::FromOmq(*omq, sat_opts);
+  ASSERT_TRUE(sat.ok()) << sat.status().ToString();
+  ASSERT_EQ((*sat)->tier(), PlanTier::kSat);
+  ASSERT_TRUE((*sat)->explain().prefilter);
+
+  PrepareOptions raw_opts;
+  raw_opts.planner.force = PlanTier::kSatRaw;
+  auto raw = PreparedQuery::FromOmq(*omq, raw_opts);
+  ASSERT_TRUE(raw.ok());
+
+  Session sa(s), sb(s);
+  for (Session* session : {&sa, &sb}) {
+    ASSERT_TRUE(session->Assert(Fact{"LymeDisease", {"ann"}}).ok());
+    ASSERT_TRUE(session->Assert(Fact{"Other", {"bob"}}).ok());
+  }
+  auto with = (*sat)->Execute(sa, RequestBudget{});
+  auto without = (*raw)->Execute(sb, RequestBudget{});
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_EQ(with->tuples, without->tuples);
+  ASSERT_EQ(with->tuples.size(), 1u);
+
+  // ann (a certain answer) is certified by consistency and skips its
+  // co-NP probe; bob never becomes a candidate (the grounding prunes
+  // constants that cannot derive the goal). The raw tier never consults
+  // a prefilter.
+  EXPECT_EQ((*sat)->stats().prefilter_checks.load(), 1u);
+  EXPECT_EQ((*sat)->stats().prefilter_hits.load(), 1u);
+  EXPECT_EQ((*raw)->stats().prefilter_checks.load(), 0u);
+}
+
+TEST(PrefilterTest, BooleanCertificationRefutesEveryTemplate) {
+  // coCSP(K3): the Boolean certifier says "certain answer" exactly when
+  // consistency refutes D → K3 — true for a reflexive edge (arc
+  // consistency empties the loop's candidate set), and soundly withheld
+  // for an edge (3-colorable) and for K4 (non-3-colorable, but beyond
+  // (2,3)-consistency's reach — the co-NP probe must decide it).
+  auto omq = core::CspToOmq(data::Clique("E", 3));
+  ASSERT_TRUE(omq.ok());
+  auto templates = ConsistencyPrefilterTemplates::FromOmq(
+      *omq, /*max_template_elements=*/64, /*max_pairwise_elements=*/96);
+  ASSERT_TRUE(templates.has_value());
+  EXPECT_EQ(templates->arity(), 0);
+  EXPECT_GE(templates->num_templates(), 1u);
+
+  auto certified = templates->Bind(data::Loop("E"));
+  EXPECT_TRUE(certified->CertainlyAnswer({}));
+  EXPECT_EQ(certified->checks(), 1u);
+  EXPECT_EQ(certified->hits(), 1u);
+
+  auto open = templates->Bind(data::DirectedPath("E", 2));
+  EXPECT_FALSE(open->CertainlyAnswer({}));
+  auto k4 = templates->Bind(data::Clique("E", 4));
+  EXPECT_FALSE(k4->CertainlyAnswer({}));
+}
+
+TEST(PrefilterTest, RebindsAfterMutation) {
+  auto omq = core::CspToOmq(data::Clique("E", 3));
+  ASSERT_TRUE(omq.ok());
+  auto prepared = PreparedQuery::FromOmq(*omq, PrepareOptions());
+  ASSERT_TRUE(prepared.ok());
+
+  Session session(omq->data_schema());
+  ASSERT_TRUE(session.Assert(Fact{"E", {"a", "b"}}).ok());
+  auto first = (*prepared)->Execute(session, RequestBudget{});
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(first->tuples.empty());  // an edge is 3-colorable
+
+  // The mutation re-binds the certifier: the loop is refuted by arc
+  // consistency against every template, flipping the answer to true.
+  ASSERT_TRUE(session.Assert(Fact{"E", {"c", "c"}}).ok());
+  auto second = (*prepared)->Execute(session, RequestBudget{});
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->tuples.size(), 1u);
+}
+
+// --- Protocol: PLAN= override, EXPLAIN, cache keys --------------------------
+
+TEST(PlanProtocolTest, PlanOverridesExplainAndCacheTiering) {
+  Server server;
+  auto client = server.NewClient();
+  ASSERT_EQ(client->HandleLine("SCHEMA LymeDisease/1 Listeriosis/1"),
+            "OK relations=2\n");
+  ASSERT_EQ(client->HandleLine(
+                "ONTOLOGY LymeDisease | Listeriosis [= BacterialInfection"),
+            "OK axioms=1 language=ALC\n");
+
+  // Auto plan lands in the FO tier; each forced tier is a distinct cache
+  // entry; the legacy SAT modifier is PLAN=sat.
+  EXPECT_EQ(client->HandleLine("PREPARE q AQ BacterialInfection"),
+            "OK plan=fo_rewriting tier=fo cached=0 arity=1\n");
+  EXPECT_EQ(client->HandleLine("PREPARE qd PLAN=datalog AQ BacterialInfection"),
+            "OK plan=datalog_rewriting tier=datalog cached=0 arity=1\n");
+  EXPECT_EQ(client->HandleLine("PREPARE qs PLAN=sat AQ BacterialInfection"),
+            "OK plan=sat_grounding tier=sat cached=0 arity=1\n");
+  EXPECT_EQ(client->HandleLine("PREPARE qs2 SAT AQ BacterialInfection"),
+            "OK plan=sat_grounding tier=sat cached=1 arity=1\n");
+  EXPECT_EQ(client->HandleLine("PREPARE qr PLAN=sat_raw AQ BacterialInfection"),
+            "OK plan=sat_grounding tier=sat_raw cached=0 arity=1\n");
+  EXPECT_EQ(client->HandleLine("PREPARE q2 AQ BacterialInfection"),
+            "OK plan=fo_rewriting tier=fo cached=1 arity=1\n");
+  EXPECT_EQ(
+      client->HandleLine("PREPARE bad PLAN=bogus AQ BacterialInfection"),
+      "ERR INVALID_ARGUMENT: PREPARE: bad tier PLAN=bogus "
+      "(want PLAN=auto|fo|datalog|sat|sat_raw)\n");
+
+  // EXPLAIN: the planner record plus cumulative prefilter traffic.
+  const std::string explain = client->HandleLine("EXPLAIN q");
+  EXPECT_EQ(explain.rfind("tier=fo chosen_by=cost planner_version=1\n", 0),
+            0u)
+      << explain;
+  EXPECT_NE(explain.find("admissible=fo,datalog,sat\n"), std::string::npos);
+  EXPECT_NE(explain.find("certificates fo_rewritable=1 "),
+            std::string::npos);
+  EXPECT_NE(explain.find("\nbudget none\n"), std::string::npos);
+  EXPECT_NE(explain.find("stats prefilter_checks=0 prefilter_hits=0\n"),
+            std::string::npos);
+  EXPECT_TRUE(explain.ends_with("OK name=q tier=fo\n")) << explain;
+
+  const std::string raw_explain = client->HandleLine("EXPLAIN qr");
+  EXPECT_EQ(
+      raw_explain.rfind("tier=sat_raw chosen_by=forced planner_version=1\n",
+                        0),
+      0u)
+      << raw_explain;
+
+  EXPECT_EQ(client->HandleLine("EXPLAIN nosuch"),
+            "ERR NOT_FOUND: no prepared query named nosuch\n");
+  EXPECT_EQ(client->HandleLine("EXPLAIN"),
+            "ERR INVALID_ARGUMENT: usage: EXPLAIN <name>\n");
+}
+
+TEST(PlanProtocolTest, AutoPlansRePlanPerSizeClass) {
+  Server server;
+  auto client = server.NewClient();
+  ASSERT_EQ(client->HandleLine("SCHEMA LymeDisease/1 Listeriosis/1"),
+            "OK relations=2\n");
+  ASSERT_EQ(client->HandleLine(
+                "ONTOLOGY LymeDisease | Listeriosis [= BacterialInfection"),
+            "OK axioms=1 language=ALC\n");
+  // 0 facts → size class 0; 1 fact → class 1 (auto plans re-plan after
+  // data growth — at tiny instances the cost model may well land on a
+  // different tier, so only the cache behavior is pinned here); 2 and 3
+  // facts share class 2.
+  EXPECT_NE(client->HandleLine("PREPARE a AQ BacterialInfection")
+                .find("cached=0"),
+            std::string::npos);
+  ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(p1)"),
+            "OK added=1 generation=1\n");
+  EXPECT_NE(client->HandleLine("PREPARE b AQ BacterialInfection")
+                .find("cached=0"),
+            std::string::npos);
+  ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(p2)"),
+            "OK added=1 generation=2\n");
+  EXPECT_NE(client->HandleLine("PREPARE c AQ BacterialInfection")
+                .find("cached=0"),
+            std::string::npos);
+  ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(p3)"),
+            "OK added=1 generation=3\n");
+  EXPECT_NE(client->HandleLine("PREPARE d AQ BacterialInfection")
+                .find("cached=1"),
+            std::string::npos);
+  // Forced tiers ignore the size class: still cached across growth.
+  EXPECT_EQ(client->HandleLine("PREPARE e PLAN=sat AQ BacterialInfection"),
+            "OK plan=sat_grounding tier=sat cached=0 arity=1\n");
+  ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(p4)"),
+            "OK added=1 generation=4\n");
+  EXPECT_EQ(client->HandleLine("PREPARE f PLAN=sat AQ BacterialInfection"),
+            "OK plan=sat_grounding tier=sat cached=1 arity=1\n");
+}
+
+TEST(PlanProtocolTest, ServerDefaultTierAppliesWhenPrepareNamesNone) {
+  // The OBDA_PLAN environment variable maps onto this option in
+  // obda_serve's main(); here we drive the option directly.
+  ServerOptions options;
+  options.prepare.planner.force = PlanTier::kSat;
+  Server server(options);
+  auto client = server.NewClient();
+  ASSERT_EQ(client->HandleLine("SCHEMA LymeDisease/1 Listeriosis/1"),
+            "OK relations=2\n");
+  ASSERT_EQ(client->HandleLine(
+                "ONTOLOGY LymeDisease | Listeriosis [= BacterialInfection"),
+            "OK axioms=1 language=ALC\n");
+  EXPECT_EQ(client->HandleLine("PREPARE q AQ BacterialInfection"),
+            "OK plan=sat_grounding tier=sat cached=0 arity=1\n");
+  // An explicit PLAN= still overrides the server default.
+  EXPECT_EQ(client->HandleLine("PREPARE qf PLAN=fo AQ BacterialInfection"),
+            "OK plan=fo_rewriting tier=fo cached=0 arity=1\n");
+}
+
+TEST(PlanProtocolTest, StatsQueryReportsTierAndPrefilterTraffic) {
+  Server server;
+  auto client = server.NewClient();
+  ASSERT_EQ(client->HandleLine("SCHEMA E/2"), "OK relations=1\n");
+  ASSERT_EQ(client->HandleLine("ONTOLOGY top [= top"),
+            "OK axioms=1 language=ALC\n");
+  // A raw MDDlog program runs the SAT plan without planner artifacts.
+  ASSERT_EQ(
+      client->HandleLine(
+          "PREPARE col PROGRAM B(x) | W(x) <- adom(x). goal <- B(x), B(y), "
+          "E(x,y). goal <- W(x), W(y), E(x,y)."),
+      "OK plan=sat_grounding tier=sat cached=0 arity=0\n");
+  ASSERT_EQ(client->HandleLine("ASSERT E(a,b)"), "OK added=1 generation=1\n");
+  client->HandleLine("QUERY col");
+  const std::string stats = client->HandleLine("STATS QUERY col");
+  EXPECT_NE(stats.find("\"tier\": \"sat\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"prefilter_checks\": 0"), std::string::npos);
+  EXPECT_NE(stats.find("\"prefilter_hits\": 0"), std::string::npos);
+}
+
+TEST(CacheKeyTest, PlannerVersionAndTierSeparateEntries) {
+  PreparedCache cache(8);
+  auto omq = DisjunctionOmq();
+  ASSERT_TRUE(omq.ok());
+  auto plan = PreparedQuery::FromOmq(*omq, PrepareOptions());
+  ASSERT_TRUE(plan.ok());
+
+  CacheKey key;
+  key.ontology_hash = HashText("onto");
+  key.query_hash = HashText("AQ BacterialInfection");
+  key.plan_mode = static_cast<std::uint32_t>(PlanTier::kAuto);
+  key.planner_version = kPlannerVersion;
+  key.size_class = 3;
+  cache.Insert(key, *plan);
+  EXPECT_NE(cache.Lookup(key), nullptr);
+
+  CacheKey other_tier = key;
+  other_tier.plan_mode = static_cast<std::uint32_t>(PlanTier::kSat);
+  EXPECT_EQ(cache.Lookup(other_tier), nullptr);
+
+  CacheKey other_version = key;
+  other_version.planner_version = kPlannerVersion + 1;
+  EXPECT_EQ(cache.Lookup(other_version), nullptr);
+
+  CacheKey other_size = key;
+  other_size.size_class = 4;
+  EXPECT_EQ(cache.Lookup(other_size), nullptr);
+}
+
+}  // namespace
+}  // namespace obda::serve

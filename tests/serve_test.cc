@@ -354,7 +354,15 @@ TEST(PlanSelectionTest, RewritableOmqTakesDatalogPlanAndPlansAgree) {
       s, *ontology, "BacterialInfection");
   ASSERT_TRUE(omq.ok());
 
-  auto rewriting = PreparedQuery::FromOmq(*omq, PrepareOptions());
+  // The cost-based planner prefers the FO tier for this query; force the
+  // datalog tier to pin the canonical-datalog plan under test.
+  auto auto_plan = PreparedQuery::FromOmq(*omq, PrepareOptions());
+  ASSERT_TRUE(auto_plan.ok()) << auto_plan.status().ToString();
+  EXPECT_EQ((*auto_plan)->plan(), PlanKind::kFoRewriting);
+
+  PrepareOptions datalog_only;
+  datalog_only.planner.force = PlanTier::kDatalog;
+  auto rewriting = PreparedQuery::FromOmq(*omq, datalog_only);
   ASSERT_TRUE(rewriting.ok()) << rewriting.status().ToString();
   EXPECT_EQ((*rewriting)->plan(), PlanKind::kDatalogRewriting);
 
@@ -363,6 +371,7 @@ TEST(PlanSelectionTest, RewritableOmqTakesDatalogPlanAndPlansAgree) {
   auto sat = PreparedQuery::FromOmq(*omq, sat_only);
   ASSERT_TRUE(sat.ok()) << sat.status().ToString();
   EXPECT_EQ((*sat)->plan(), PlanKind::kSatGrounding);
+  EXPECT_EQ((*sat)->tier(), PlanTier::kSat);
 
   Session ra(s), rb(s);
   base::Rng rng(5);
@@ -614,22 +623,24 @@ TEST(ServerTest, ProtocolSessionEndToEnd) {
   EXPECT_EQ(client->HandleLine(
                 "ONTOLOGY LymeDisease | Listeriosis [= BacterialInfection"),
             "OK axioms=1 language=ALC\n");
+  // The planner certifies this UCQ-rewritable OMQ FO-rewritable and the
+  // cost model makes the FO tier the cheapest admissible plan.
   EXPECT_EQ(client->HandleLine("PREPARE q AQ BacterialInfection"),
-            "OK plan=datalog_rewriting cached=0 arity=1\n");
+            "OK plan=fo_rewriting tier=fo cached=0 arity=1\n");
   EXPECT_EQ(client->HandleLine("ASSERT LymeDisease(ann), Listeriosis(bob)"),
             "OK added=2 generation=2\n");
   EXPECT_EQ(client->HandleLine("QUERY q"),
-            "(ann)\n(bob)\nOK n=2 plan=datalog_rewriting generation=2 "
-            "grounded=0 delta=0\n");
+            "(ann)\n(bob)\nOK n=2 plan=fo_rewriting generation=2 "
+            "grounded=1 delta=0\n");
   EXPECT_EQ(client->HandleLine("RETRACT Listeriosis(bob)"),
             "OK removed=1 generation=3\n");
   EXPECT_EQ(client->HandleLine("QUERY q"),
-            "(ann)\nOK n=1 plan=datalog_rewriting generation=3 grounded=0 "
+            "(ann)\nOK n=1 plan=fo_rewriting generation=3 grounded=1 "
             "delta=0\n");
 
   // The forced-SAT plan must agree on the same data.
   EXPECT_EQ(client->HandleLine("PREPARE qsat SAT AQ BacterialInfection"),
-            "OK plan=sat_grounding cached=0 arity=1\n");
+            "OK plan=sat_grounding tier=sat cached=0 arity=1\n");
   EXPECT_EQ(client->HandleLine("QUERY qsat"),
             "(ann)\nOK n=1 plan=sat_grounding generation=3 grounded=1 "
             "delta=0\n");
@@ -645,10 +656,10 @@ TEST(ServerTest, ProtocolSessionEndToEnd) {
                 "ONTOLOGY LymeDisease | Listeriosis [= BacterialInfection"),
             "OK axioms=1 language=ALC\n");
   EXPECT_EQ(other->HandleLine("PREPARE q AQ BacterialInfection"),
-            "OK plan=datalog_rewriting cached=1 arity=1\n");
+            "OK plan=fo_rewriting tier=fo cached=1 arity=1\n");
   // ... and its data stays isolated from the first client's.
   EXPECT_EQ(other->HandleLine("QUERY q"),
-            "OK n=0 plan=datalog_rewriting generation=0 grounded=0 delta=0\n");
+            "OK n=0 plan=fo_rewriting generation=0 grounded=1 delta=0\n");
 
   EXPECT_EQ(client->HandleLine("QUERY nosuch"),
             "ERR NOT_FOUND: no prepared query named nosuch\n");
@@ -700,7 +711,7 @@ TEST(ServerTest, StatsQueryReportsPerQueryCounters) {
                 "ONTOLOGY LymeDisease | Listeriosis [= BacterialInfection"),
             "OK axioms=1 language=ALC\n");
   ASSERT_EQ(client->HandleLine("PREPARE q SAT AQ BacterialInfection"),
-            "OK plan=sat_grounding cached=0 arity=1\n");
+            "OK plan=sat_grounding tier=sat cached=0 arity=1\n");
   ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(ann)"),
             "OK added=1 generation=1\n");
   client->HandleLine("QUERY q");  // grounds
@@ -731,7 +742,7 @@ TEST(ServerTest, TraceDumpReturnsChromeTraceJson) {
   ASSERT_EQ(client->HandleLine("ONTOLOGY LymeDisease [= Infection"),
             "OK axioms=1 language=ALC\n");
   ASSERT_EQ(client->HandleLine("PREPARE q AQ Infection"),
-            "OK plan=datalog_rewriting cached=0 arity=1\n");
+            "OK plan=fo_rewriting tier=fo cached=0 arity=1\n");
   ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(ann)"),
             "OK added=1 generation=1\n");
   client->HandleLine("QUERY q");
