@@ -1,0 +1,335 @@
+// E26 — memory-mapped compiled-artifact store (DESIGN.md §12): PREPARE
+// from the store must cost ≤5% of compiling from scratch on an
+// E24-style mixed corpus, answer bit-identically on every tier, and the
+// persisted grounding warm starts must engage the snapshot-time SAT
+// preprocessor on replay.
+//
+// Phase A builds the corpus (the E24 pool shapes: k-way FO disjunctions,
+// recursive datalog reachability, coCSP(K3), and the co-NP AQ family),
+// compiles every query through the real planner, and writes one store
+// file — plans for every entry, grounding warm starts for the SAT tiers
+// against each entry's fact set. Phase B gates the tentpole's cost claim:
+// min-of-3 store-load wall (LoadPlan + FromArtifacts, plus LoadGrounding
+// where one exists) vs min-of-3 compile wall (FromOmq), summed over the
+// corpus; the ratio must be ≤0.05. Phase C gates fidelity: every loaded
+// artifact answers bit-identically to its freshly compiled twin on
+// identical sessions, and every SAT-tier replay with a matching fact set
+// warm starts (ddlog.preprocess_seeded moves once per grounding).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/check.h"
+#include "base/rng.h"
+#include "bench_util.h"
+#include "core/csp_translation.h"
+#include "core/omq.h"
+#include "data/generator.h"
+#include "ddlog/eval.h"
+#include "dl/parser.h"
+#include "obs/metrics.h"
+#include "serve/planner.h"
+#include "serve/prepared.h"
+#include "serve/session.h"
+#include "store/store.h"
+#include "store/writer.h"
+
+namespace {
+
+using obda::bench::Percentile;
+using obda::core::OntologyMediatedQuery;
+using obda::data::Fact;
+using obda::data::Schema;
+using obda::serve::CacheKey;
+using obda::serve::PlanTier;
+using obda::serve::PreparedQuery;
+using obda::serve::PrepareOptions;
+using obda::serve::RequestBudget;
+using obda::serve::Session;
+using obda::store::ArtifactStore;
+using obda::store::StoreWriter;
+
+struct PoolEntry {
+  std::string name;
+  OntologyMediatedQuery omq;
+  std::vector<Fact> facts;
+};
+
+// The E24 pool shapes (bench_e24_planner.cpp), reused verbatim so this
+// corpus is "E24-style" by construction.
+
+PoolEntry FoEntry(int k, std::uint64_t seed) {
+  std::string axiom;
+  Schema s;
+  for (int i = 0; i < k; ++i) {
+    const std::string name = "D" + std::to_string(i);
+    s.AddRelation(name, 1);
+    axiom += (i > 0 ? " | " : "") + name;
+  }
+  axiom += " [= Goal";
+  auto ontology = obda::dl::ParseOntology(axiom);
+  OBDA_CHECK(ontology.ok());
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *ontology, "Goal");
+  OBDA_CHECK(omq.ok());
+  std::vector<Fact> facts;
+  obda::base::Rng rng(seed);
+  for (int i = 0; i < 64; ++i) {
+    facts.push_back(Fact{"D" + std::to_string(rng.Below(k)),
+                         {"c" + std::to_string(rng.Below(24))}});
+  }
+  return {"fo_disj" + std::to_string(k), std::move(*omq), std::move(facts)};
+}
+
+PoolEntry DatalogEntry(std::uint64_t seed) {
+  auto ontology = obda::dl::ParseOntology("A [= all R.A");
+  OBDA_CHECK(ontology.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *ontology, "A");
+  OBDA_CHECK(omq.ok());
+  std::vector<Fact> facts;
+  obda::base::Rng rng(seed);
+  auto c = [&] { return "c" + std::to_string(rng.Below(20)); };
+  for (int i = 0; i < 6; ++i) facts.push_back(Fact{"A", {c()}});
+  for (int i = 0; i < 40; ++i) facts.push_back(Fact{"R", {c(), c()}});
+  return {"datalog_reach" + std::to_string(seed), std::move(*omq),
+          std::move(facts)};
+}
+
+PoolEntry ConpEntry(std::uint64_t seed) {
+  auto omq = obda::core::CspToOmq(obda::data::Clique("E", 3));
+  OBDA_CHECK(omq.ok());
+  std::vector<Fact> facts;
+  obda::base::Rng rng(seed);
+  auto c = [&] { return "c" + std::to_string(rng.Below(16)); };
+  for (int i = 0; i < 30; ++i) facts.push_back(Fact{"E", {c(), c()}});
+  return {"conp_k3_" + std::to_string(seed), std::move(*omq),
+          std::move(facts)};
+}
+
+PoolEntry ConpAqEntry() {
+  auto ontology = obda::dl::ParseOntology(
+      "top [= C0 | C1 | C2\n"
+      "C0 [= all R.~C0\n"
+      "C1 [= all R.~C1\n"
+      "C2 [= all R.~C2\n"
+      "Bad [= all S.Bad");
+  OBDA_CHECK(ontology.ok());
+  Schema s;
+  s.AddRelation("Bad", 1);
+  s.AddRelation("R", 2);
+  s.AddRelation("S", 2);
+  auto omq = OntologyMediatedQuery::WithAtomicQuery(s, *ontology, "Bad");
+  OBDA_CHECK(omq.ok());
+  std::vector<Fact> facts;
+  auto c = [](int i) { return "c" + std::to_string(i); };
+  const int n = 24;
+  for (int i = 0; i + 1 < n; ++i) facts.push_back(Fact{"R", {c(i), c(i + 1)}});
+  facts.push_back(Fact{"Bad", {c(0)}});
+  facts.push_back(Fact{"Bad", {c(12)}});
+  for (int i = 0; i + 1 < n; ++i) {
+    if (i % 16 != 15) facts.push_back(Fact{"S", {c(i), c(i + 1)}});
+  }
+  return {"conp_aq", std::move(*omq), std::move(facts)};
+}
+
+std::vector<PoolEntry> BuildPool() {
+  std::vector<PoolEntry> pool;
+  for (int k : {2, 3, 4, 5}) pool.push_back(FoEntry(k, 11 + k));
+  for (std::uint64_t s : {1, 2, 3}) pool.push_back(DatalogEntry(s));
+  for (std::uint64_t s : {1, 2, 3}) pool.push_back(ConpEntry(s));
+  pool.push_back(ConpAqEntry());
+  return pool;
+}
+
+std::unique_ptr<Session> MakeSession(const PoolEntry& entry) {
+  auto session = std::make_unique<Session>(entry.omq.data_schema());
+  for (const Fact& fact : entry.facts) {
+    OBDA_CHECK(session->Assert(fact).ok());
+  }
+  return session;
+}
+
+/// Every plan is stored under the auto-planned serving shape (kAuto).
+CacheKey KeyFor(const PoolEntry& entry) {
+  CacheKey key;
+  key.ontology_hash = obda::serve::HashText(entry.name);
+  key.query_hash = obda::serve::HashText("AQ " + entry.name);
+  key.plan_mode = static_cast<std::uint32_t>(PlanTier::kAuto);
+  key.planner_version = obda::serve::kPlannerVersion;
+  return key;
+}
+
+std::string StorePath() {
+  const char* dir = std::getenv("OBDA_BENCH_DIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/bench_e26.store";
+}
+
+int Run() {
+  obda::bench::Banner(
+      "E26", "DESIGN.md §12 (memory-mapped artifact store)",
+      "store-load PREPARE <=5% of compile wall on an E24-style corpus; "
+      "bit-identical answers; grounding warm starts engage on replay");
+
+  std::vector<PoolEntry> pool = BuildPool();
+  const std::string path = StorePath();
+
+  // --- Phase A: offline generation (the obda_storegen code path) ------------
+  std::printf("Phase A: compile the corpus and write the store\n");
+  std::size_t sat_groundings = 0;
+  {
+    StoreWriter writer;
+    for (const PoolEntry& entry : pool) {
+      auto plan = obda::serve::PlanOmq(entry.omq, obda::serve::PlannerOptions(),
+                                       entry.facts.size());
+      OBDA_CHECK(plan.ok());
+      const CacheKey key = KeyFor(entry);
+      OBDA_CHECK(writer.AddPlan(key, *plan).ok());
+      if (plan->tier == PlanTier::kSat || plan->tier == PlanTier::kSatRaw) {
+        std::unique_ptr<Session> session = MakeSession(entry);
+        const Session::Snapshot snapshot = session->Materialize();
+        auto grounded = obda::ddlog::GroundedQuery::Build(
+            *plan->program, *snapshot.instance, PrepareOptions().eval);
+        OBDA_CHECK(grounded.ok());
+        auto seed = grounded->ExportPreprocess();
+        OBDA_CHECK(seed.ok());
+        OBDA_CHECK(writer
+                       .AddGrounding(key, snapshot.content_hash,
+                                     *snapshot.instance, *seed)
+                       .ok());
+        ++sat_groundings;
+      }
+    }
+    OBDA_CHECK(writer.WriteFile(path).ok());
+    std::printf("  %zu plans, %zu groundings -> %s\n", pool.size(),
+                sat_groundings, path.c_str());
+  }
+
+  obda::bench::Timer open_timer;
+  auto store = ArtifactStore::Open(path);
+  OBDA_CHECK(store.ok());
+  const double open_ms = open_timer.Millis();
+  std::printf("  mmap open (header + index validation): %.3f ms for %llu "
+              "bytes\n",
+              open_ms,
+              static_cast<unsigned long long>((*store)->info().file_bytes));
+
+  // --- Phase B: store-load vs compile-from-scratch wall ---------------------
+  std::printf("Phase B: min-of-3 load vs compile wall per corpus entry\n");
+  double compile_total_ms = 0;
+  double load_total_ms = 0;
+  for (const PoolEntry& entry : pool) {
+    const CacheKey key = KeyFor(entry);
+    double compile_ms = -1;
+    for (int rep = 0; rep < 3; ++rep) {
+      obda::bench::Timer t;
+      auto fresh = PreparedQuery::FromOmq(entry.omq, PrepareOptions(),
+                                          entry.facts.size());
+      OBDA_CHECK(fresh.ok());
+      const double ms = t.Millis();
+      if (compile_ms < 0 || ms < compile_ms) compile_ms = ms;
+    }
+    const std::uint64_t content_hash = [&] {
+      std::unique_ptr<Session> session = MakeSession(entry);
+      return session->content_hash();
+    }();
+    double load_ms = -1;
+    for (int rep = 0; rep < 3; ++rep) {
+      obda::bench::Timer t;
+      auto plan = (*store)->LoadPlan(key);
+      OBDA_CHECK(plan.ok());
+      std::shared_ptr<const obda::ddlog::PreprocessSeed> seed;
+      if (plan->tier == PlanTier::kSat || plan->tier == PlanTier::kSatRaw) {
+        auto grounding = (*store)->LoadGrounding(key, content_hash);
+        OBDA_CHECK(grounding.ok());
+        seed = grounding->seed;
+      }
+      auto loaded = PreparedQuery::FromArtifacts(std::move(*plan),
+                                                 PrepareOptions(), seed);
+      OBDA_CHECK(loaded.ok());
+      const double ms = t.Millis();
+      if (load_ms < 0 || ms < load_ms) load_ms = ms;
+    }
+    compile_total_ms += compile_ms;
+    load_total_ms += load_ms;
+    std::printf("  %-16s compile %8.3f ms   load %8.3f ms   (%.1f%%)\n",
+                entry.name.c_str(), compile_ms, load_ms,
+                compile_ms > 0 ? 100 * load_ms / compile_ms : 0);
+  }
+  const double ratio =
+      compile_total_ms > 0 ? load_total_ms / compile_total_ms : 1;
+  std::printf("  corpus: compile %.3f ms, load %.3f ms, ratio %.4f "
+              "(gate <=0.05)\n",
+              compile_total_ms, load_total_ms, ratio);
+  const bool fast = ratio <= 0.05;
+  if (!fast) std::printf("  FAILED (need load <=5%% of compile)\n");
+
+  // --- Phase C: bit-identical answers + warm starts -------------------------
+  std::printf("Phase C: loaded-vs-fresh parity and grounding warm starts\n");
+  obda::obs::EnableMetrics(true);
+  obda::obs::Counter& seeded =
+      obda::obs::GetCounter("ddlog.preprocess_seeded");
+  const std::uint64_t seeded_before = seeded.value();
+  bool parity = true;
+  for (const PoolEntry& entry : pool) {
+    const CacheKey key = KeyFor(entry);
+    auto plan = (*store)->LoadPlan(key);
+    OBDA_CHECK(plan.ok());
+    std::shared_ptr<const obda::ddlog::PreprocessSeed> seed;
+    std::unique_ptr<Session> loaded_session = MakeSession(entry);
+    if (plan->tier == PlanTier::kSat || plan->tier == PlanTier::kSatRaw) {
+      auto grounding =
+          (*store)->LoadGrounding(key, loaded_session->content_hash());
+      OBDA_CHECK(grounding.ok());
+      seed = grounding->seed;
+    }
+    auto loaded = PreparedQuery::FromArtifacts(std::move(*plan),
+                                               PrepareOptions(), seed);
+    OBDA_CHECK(loaded.ok());
+    auto fresh = PreparedQuery::FromOmq(entry.omq, PrepareOptions(),
+                                        entry.facts.size());
+    OBDA_CHECK(fresh.ok());
+    std::unique_ptr<Session> fresh_session = MakeSession(entry);
+    auto got = (*loaded)->Execute(*loaded_session, RequestBudget{});
+    auto want = (*fresh)->Execute(*fresh_session, RequestBudget{});
+    OBDA_CHECK(got.ok());
+    OBDA_CHECK(want.ok());
+    if (got->tuples != want->tuples ||
+        got->inconsistent != want->inconsistent) {
+      std::printf("  %-16s ANSWER MISMATCH\n", entry.name.c_str());
+      parity = false;
+    }
+  }
+  const std::uint64_t warm_starts = seeded.value() - seeded_before;
+  std::printf("  parity=%d, warm starts %llu/%zu\n", parity ? 1 : 0,
+              static_cast<unsigned long long>(warm_starts), sat_groundings);
+  const bool warm = warm_starts == sat_groundings;
+  if (!warm) {
+    std::printf("  FAILED (every SAT-tier replay must warm start)\n");
+  }
+
+  obda::bench::ReportParam("corpus_queries", static_cast<int>(pool.size()));
+  obda::bench::ReportParam("sat_groundings",
+                           static_cast<int>(sat_groundings));
+  obda::bench::ReportMetric("store_bytes",
+                            static_cast<double>((*store)->info().file_bytes));
+  obda::bench::ReportMetric("open_ms", open_ms);
+  obda::bench::ReportMetric("compile_total_ms", compile_total_ms);
+  obda::bench::ReportMetric("load_total_ms", load_total_ms);
+  obda::bench::ReportMetric("load_vs_compile_ratio", ratio);
+  obda::bench::ReportMetric("answer_parity", parity ? 1.0 : 0.0);
+  obda::bench::ReportMetric("warm_starts", static_cast<double>(warm_starts));
+
+  const bool ok = fast && parity && warm;
+  obda::bench::Footer(ok);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Run(); }

@@ -4,9 +4,45 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <vector>
 
 namespace obda::base {
+
+// ---------------------------------------------------------------------------
+// Stable 64-bit FNV-1a.
+//
+// Unlike std::hash (whose values are unspecified and differ across
+// implementations, builds, and processes), these functions are pinned by
+// the FNV-1a specification, so the values are safe to persist in files and
+// to share between processes — the artifact store's content addressing and
+// the serving layer's CacheKey hashing depend on exactly that.
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Folds one byte into a running FNV-1a state.
+inline constexpr std::uint64_t Fnv1aByte(std::uint64_t h, unsigned char b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+/// FNV-1a over a byte string (chainable via `seed`).
+inline constexpr std::uint64_t Fnv1a(std::string_view bytes,
+                                     std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (char c : bytes) h = Fnv1aByte(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+/// Folds a 64-bit value into a running FNV-1a state, little-endian
+/// byte order (explicit, so the result is identical on every platform).
+inline constexpr std::uint64_t Fnv1aU64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = Fnv1aByte(h, static_cast<unsigned char>(v >> (8 * i)));
+  }
+  return h;
+}
 
 /// Mixes `value` into `seed` (boost::hash_combine-style, 64-bit constants).
 inline void HashCombine(std::size_t& seed, std::size_t value) {

@@ -264,4 +264,145 @@ std::string FormatInstance(const Instance& instance) {
   return out;
 }
 
+namespace {
+
+constexpr char kBinaryMagic[4] = {'O', 'B', 'I', '1'};
+
+void AppendU32(std::uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void AppendLengthPrefixed(std::string_view s, std::string* out) {
+  AppendU32(static_cast<std::uint32_t>(s.size()), out);
+  out->append(s.data(), s.size());
+}
+
+/// Bounds-checked little-endian reader over the binary instance bytes.
+/// Every overrun is an error Status, never an abort or a wild read.
+struct BinaryReader {
+  std::string_view data;
+  std::size_t i = 0;
+
+  base::Status ReadU32(std::uint32_t* v) {
+    if (data.size() - i < 4) {
+      return base::InvalidArgumentError(
+          "truncated binary instance at offset " + std::to_string(i));
+    }
+    *v = 0;
+    for (int b = 0; b < 4; ++b) {
+      *v |= static_cast<std::uint32_t>(
+                static_cast<unsigned char>(data[i + b]))
+            << (8 * b);
+    }
+    i += 4;
+    return base::Status::Ok();
+  }
+
+  base::Status ReadName(std::string* out) {
+    std::uint32_t len = 0;
+    OBDA_RETURN_IF_ERROR(ReadU32(&len));
+    if (data.size() - i < len) {
+      return base::InvalidArgumentError(
+          "truncated binary instance name at offset " + std::to_string(i));
+    }
+    out->assign(data.data() + i, len);
+    i += len;
+    return base::Status::Ok();
+  }
+};
+
+}  // namespace
+
+void AppendInstanceBinary(const Instance& instance, std::string* out) {
+  const Schema& schema = instance.schema();
+  out->append(kBinaryMagic, sizeof(kBinaryMagic));
+  AppendU32(static_cast<std::uint32_t>(schema.NumRelations()), out);
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    AppendLengthPrefixed(schema.RelationName(r), out);
+    AppendU32(static_cast<std::uint32_t>(schema.Arity(r)), out);
+  }
+  AppendU32(static_cast<std::uint32_t>(instance.UniverseSize()), out);
+  for (ConstId c = 0; c < instance.UniverseSize(); ++c) {
+    AppendLengthPrefixed(instance.ConstantName(c), out);
+  }
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    const std::uint32_t n =
+        static_cast<std::uint32_t>(instance.NumTuples(r));
+    AppendU32(n, out);
+    for (std::uint32_t t = 0; t < n; ++t) {
+      for (ConstId c : instance.Tuple(r, t)) AppendU32(c, out);
+    }
+  }
+}
+
+base::Result<Instance> ParseInstanceBinary(std::string_view data,
+                                           std::size_t* consumed) {
+  BinaryReader reader{data};
+  if (data.size() < sizeof(kBinaryMagic) ||
+      std::string_view(data.data(), sizeof(kBinaryMagic)) !=
+          std::string_view(kBinaryMagic, sizeof(kBinaryMagic))) {
+    return base::InvalidArgumentError("bad binary instance magic");
+  }
+  reader.i = sizeof(kBinaryMagic);
+
+  std::uint32_t num_relations = 0;
+  OBDA_RETURN_IF_ERROR(reader.ReadU32(&num_relations));
+  Schema schema;
+  std::string name;
+  for (std::uint32_t r = 0; r < num_relations; ++r) {
+    OBDA_RETURN_IF_ERROR(reader.ReadName(&name));
+    std::uint32_t arity = 0;
+    OBDA_RETURN_IF_ERROR(reader.ReadU32(&arity));
+    if (arity > 64) {
+      return base::InvalidArgumentError(
+          "binary instance relation arity " + std::to_string(arity) +
+          " out of range");
+    }
+    if (schema.FindRelation(name).has_value()) {
+      return base::InvalidArgumentError(
+          "binary instance repeats relation " + name);
+    }
+    schema.AddRelation(name, static_cast<int>(arity));
+  }
+
+  Instance instance(schema);
+  std::uint32_t num_constants = 0;
+  OBDA_RETURN_IF_ERROR(reader.ReadU32(&num_constants));
+  for (std::uint32_t c = 0; c < num_constants; ++c) {
+    OBDA_RETURN_IF_ERROR(reader.ReadName(&name));
+    if (instance.FindConstant(name).has_value()) {
+      return base::InvalidArgumentError(
+          "binary instance repeats constant " + name);
+    }
+    // Interning in serialization order makes ConstIds bit-stable.
+    instance.AddConstant(name);
+  }
+
+  std::vector<ConstId> args;
+  for (RelationId r = 0; r < num_relations; ++r) {
+    std::uint32_t num_tuples = 0;
+    OBDA_RETURN_IF_ERROR(reader.ReadU32(&num_tuples));
+    const std::uint32_t arity =
+        static_cast<std::uint32_t>(schema.Arity(r));
+    for (std::uint32_t t = 0; t < num_tuples; ++t) {
+      args.clear();
+      for (std::uint32_t p = 0; p < arity; ++p) {
+        std::uint32_t c = 0;
+        OBDA_RETURN_IF_ERROR(reader.ReadU32(&c));
+        if (c >= instance.UniverseSize()) {
+          return base::InvalidArgumentError(
+              "binary instance constant id " + std::to_string(c) +
+              " out of range");
+        }
+        args.push_back(c);
+      }
+      instance.AddFact(r, args);
+    }
+  }
+  if (consumed != nullptr) *consumed = reader.i;
+  return instance;
+}
+
 }  // namespace obda::data

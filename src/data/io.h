@@ -69,6 +69,32 @@ std::string FormatFact(const Fact& fact);
 ///     trips of the canonical form.
 std::string FormatInstance(const Instance& instance);
 
+// ---------------------------------------------------------------------------
+// Length-prefixed binary instance format — the fast path beside the text
+// format above (which stays the differential oracle; data_test round-trips
+// both against each other). Layout, all integers little-endian u32:
+//
+//   magic 'OBI1'
+//   num_relations, then per relation: name (u32 length + bytes), arity
+//   num_constants, then per constant: name (u32 length + bytes) —
+//     in interning order, so ConstIds are bit-stable across a round trip
+//     (the text format only guarantees this for its canonical form)
+//   per relation: num_tuples, then num_tuples*arity ConstIds in tuple
+//     store order — tuple indices round-trip too
+//
+// The parser never aborts: every malformed or truncated input yields an
+// error Status (the artifact store's corruption tests depend on that).
+// ---------------------------------------------------------------------------
+
+/// Appends the binary serialization of `instance` to `*out`.
+void AppendInstanceBinary(const Instance& instance, std::string* out);
+
+/// Parses one binary instance from the front of `data`. On success,
+/// `*consumed` (if non-null) receives the number of bytes read, so callers
+/// can embed instances inside larger buffers.
+base::Result<Instance> ParseInstanceBinary(std::string_view data,
+                                           std::size_t* consumed = nullptr);
+
 }  // namespace obda::data
 
 #endif  // OBDA_DATA_IO_H_

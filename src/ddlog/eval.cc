@@ -778,30 +778,50 @@ struct GroundedQuery::Impl {
     const bool first = (cnf.version == 0);
     const bool prev_unsat = cnf.unsat;
     const bool no_passes = light || !options.preprocess;
-    std::vector<std::vector<sat::Lit>> input;
-    input.reserve(snapshot->num_live);
-    for (const auto& f : snapshot->firings) {
-      if (!f.dead) input.push_back(f.lits);
-    }
-    // Goal-atom variables are probed via assumptions, so they must
-    // survive preprocessing verbatim (never pure/BVE-eliminated).
-    std::vector<bool> frozen(snapshot->num_vars, false);
-    const std::uint32_t goal = static_cast<std::uint32_t>(program->goal());
-    for (const auto& [key, var] : snapshot->atom_vars) {
-      if (!key.empty() && key[0] == goal) {
-        frozen[static_cast<std::size_t>(var)] = true;
+    // Warm start: a seed whose fingerprint matches this grounding carries
+    // the exact PreprocessResult a fresh run would compute (preprocessing
+    // is deterministic and the fingerprint identifies the clause set), so
+    // the simplification passes are skipped entirely. Only the full
+    // first-build path is seedable; the light/raw rebuild is already just
+    // normalization.
+    const PreprocessSeed* seed = options.preprocess_seed.get();
+    const bool seeded = !no_passes && first && seed != nullptr &&
+                        seed->fingerprint == fingerprint &&
+                        seed->cnf.num_vars == snapshot->num_vars;
+    sat::PreprocessResult result;
+    if (seeded) {
+      static obs::Counter& seeded_counter =
+          obs::GetCounter("ddlog.preprocess_seeded");
+      seeded_counter.Add(1);
+      result.clauses = seed->cnf.clauses;
+      result.num_vars = seed->cnf.num_vars;
+      result.unsat = seed->cnf.unsat;
+      result.remapper = seed->cnf.remapper;
+    } else {
+      std::vector<std::vector<sat::Lit>> input;
+      input.reserve(snapshot->num_live);
+      for (const auto& f : snapshot->firings) {
+        if (!f.dead) input.push_back(f.lits);
       }
+      // Goal-atom variables are probed via assumptions, so they must
+      // survive preprocessing verbatim (never pure/BVE-eliminated).
+      std::vector<bool> frozen(snapshot->num_vars, false);
+      const std::uint32_t goal = static_cast<std::uint32_t>(program->goal());
+      for (const auto& [key, var] : snapshot->atom_vars) {
+        if (!key.empty() && key[0] == goal) {
+          frozen[static_cast<std::size_t>(var)] = true;
+        }
+      }
+      sat::PreprocessOptions popts;
+      if (no_passes) {
+        popts.units = false;
+        popts.pure = false;
+        popts.equiv = false;
+        popts.subsumption = false;
+        popts.bve = false;
+      }
+      result = sat::Preprocess(snapshot->num_vars, input, frozen, popts);
     }
-    sat::PreprocessOptions popts;
-    if (no_passes) {
-      popts.units = false;
-      popts.pure = false;
-      popts.equiv = false;
-      popts.subsumption = false;
-      popts.bve = false;
-    }
-    sat::PreprocessResult result =
-        sat::Preprocess(snapshot->num_vars, input, frozen, popts);
     ++cnf.version;
     cnf.num_vars = snapshot->num_vars;
     cnf.patch_removed.clear();
@@ -1366,6 +1386,31 @@ base::Status GroundedQuery::ApplyDelta(const data::Instance& new_instance,
 
 const GroundingFingerprint& GroundedQuery::Fingerprint() const {
   return impl_->fingerprint;
+}
+
+base::Result<PreprocessSeed> GroundedQuery::ExportPreprocess() const {
+  if (impl_ == nullptr) {
+    return base::InvalidArgumentError(
+        "ExportPreprocess on an empty GroundedQuery");
+  }
+  const Impl& impl = *impl_;
+  if (impl.cnf.raw) {
+    return base::InvalidArgumentError(
+        "ExportPreprocess after ApplyDelta: the raw-mode CNF carries no "
+        "preprocessing dividend to persist; export right after Build");
+  }
+  PreprocessSeed seed;
+  seed.fingerprint = impl.fingerprint;
+  seed.cnf.num_vars = impl.cnf.num_vars;
+  seed.cnf.unsat = impl.cnf.unsat;
+  seed.cnf.remapper = impl.cnf.remapper;
+  seed.cnf.clauses.reserve(impl.cnf.num_live);
+  for (std::size_t slot = 0; slot < impl.cnf.clauses.size(); ++slot) {
+    if (impl.cnf.live[slot]) {
+      seed.cnf.clauses.push_back(impl.cnf.clauses[slot]);
+    }
+  }
+  return seed;
 }
 
 std::size_t GroundedQuery::num_ground_clauses() const {

@@ -8,8 +8,11 @@
 #include "base/status.h"
 #include "data/instance.h"
 #include "ddlog/program.h"
+#include "sat/preprocess.h"
 
 namespace obda::ddlog {
+
+struct PreprocessSeed;
 
 /// Budgets and parallelism knobs for certain-answer evaluation.
 struct EvalOptions {
@@ -45,6 +48,15 @@ struct EvalOptions {
   /// time so ApplyDelta can patch the grounding incrementally instead of
   /// re-grounding from scratch.
   bool enable_delta = true;
+  /// Optional warm-start for the snapshot-time SAT preprocessor: a
+  /// previously exported PreprocessSeed (e.g. mmap-loaded from the
+  /// artifact store). Build consults it after grounding — when the seed's
+  /// fingerprint matches the fresh grounding's, the preprocessed CNF and
+  /// remapper are adopted verbatim and the preprocessing passes are
+  /// skipped (counted in ddlog.preprocess_seeded). A mismatched seed is
+  /// silently ignored, so installing one is always sound: certainty is a
+  /// property of the clause set, and the fingerprint identifies it.
+  std::shared_ptr<const PreprocessSeed> preprocess_seed;
 };
 
 /// The answers to a DDlog query on an instance: all tuples a over
@@ -71,6 +83,17 @@ struct GroundingFingerprint {
   std::uint64_t hash = 0;
 
   bool operator==(const GroundingFingerprint&) const = default;
+};
+
+/// The preprocessed CNF of one grounding, detached from the grounding so
+/// it can be persisted (the artifact store's SAT-tier grounding records)
+/// and re-attached to a later Build via EvalOptions::preprocess_seed. The
+/// fingerprint pins which grounding the CNF belongs to; `cnf` holds the
+/// simplified clauses over original variable ids plus the remapper that
+/// maps probe assumptions and models between the spaces.
+struct PreprocessSeed {
+  GroundingFingerprint fingerprint;
+  sat::PreprocessResult cnf;
 };
 
 /// A fact-level diff between two instances over the SAME constant
@@ -173,6 +196,12 @@ class GroundedQuery {
   /// The grounding's fingerprint, maintained incrementally across
   /// ApplyDelta calls.
   const GroundingFingerprint& Fingerprint() const;
+
+  /// Exports the current preprocessed CNF + remapper as a seed for a
+  /// future Build of the same (program, instance) pair — the offline
+  /// store generator calls this right after Build and persists the
+  /// result. Deterministic; the live clauses are emitted in slot order.
+  base::Result<PreprocessSeed> ExportPreprocess() const;
 
   /// Serving hook: installs (or clears, with nullptr) a sound answer
   /// certifier consulted by ComputeCertainAnswers after the model-cache

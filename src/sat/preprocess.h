@@ -8,6 +8,10 @@
 #include "base/check.h"
 #include "sat/solver.h"
 
+namespace obda::store {
+struct SatIo;  // flat (de)serialization of Remapper for the artifact store
+}  // namespace obda::store
+
 namespace obda::sat {
 
 /// Knobs for Preprocess(). All passes are equivalence- or
@@ -107,6 +111,7 @@ class Remapper {
 
  private:
   friend struct Preprocessor;
+  friend struct obda::store::SatIo;
 
   /// Truth of `l` under the partially completed model: follows equiv
   /// chains, reads fixed values, falls back to model[] for the rest.

@@ -5,7 +5,11 @@
 // 127.0.0.1:PORT, one protocol client per connection.
 //
 //   obda_serve [--tcp PORT] [--cache N] [--max-queue N] [--threads N]
-//              [--slow-ms MS]
+//              [--slow-ms MS] [--store FILE]
+//
+// `--store FILE` mmaps an artifact store written by obda_storegen
+// (DESIGN.md §12) and serves PREPARE from it before compiling; any number
+// of concurrent obda_serve processes may share one store file.
 //
 // Observability: the server enables metrics + the flight recorder at
 // startup (STATS / STATS KEYS / STATS QUERY / TRACE DUMP verbs);
@@ -26,6 +30,7 @@
 #include <vector>
 
 #include "serve/server.h"
+#include "store/store.h"
 
 namespace {
 
@@ -140,10 +145,26 @@ int main(int argc, char** argv) {
     } else if (arg == "--slow-ms") {
       const char* v = next();
       if (v != nullptr) options.slow_query_ms = std::atof(v);
+    } else if (arg == "--store") {
+      const char* v = next();
+      if (v == nullptr) {
+        std::fprintf(stderr, "obda_serve: --store needs a file path\n");
+        return 2;
+      }
+      auto store = obda::store::ArtifactStore::Open(v);
+      if (!store.ok()) {
+        // A named-but-unusable store is fatal, never silently ignored: the
+        // operator asked for warm starts and must not get cold compiles.
+        std::fprintf(stderr, "obda_serve: --store %s: %s\n", v,
+                     store.status().message().c_str());
+        return 2;
+      }
+      options.store = std::move(store).value();
     } else {
       std::fprintf(stderr,
                    "usage: obda_serve [--tcp PORT] [--cache N] "
-                   "[--max-queue N] [--threads N] [--slow-ms MS]\n");
+                   "[--max-queue N] [--threads N] [--slow-ms MS] "
+                   "[--store FILE]\n");
       return 2;
     }
   }

@@ -17,6 +17,10 @@
 #include "ddlog/eval.h"
 #include "ddlog/program.h"
 
+namespace obda::store {
+struct PlanIo;  // flat (de)serialization of plans for the artifact store
+}  // namespace obda::store
+
 namespace obda::serve {
 
 /// Version stamp folded into the PreparedCache key: bump whenever tier
@@ -200,6 +204,8 @@ class ConsistencyPrefilterTemplates {
   std::size_t num_templates() const { return cores_.size(); }
 
  private:
+  friend struct obda::store::PlanIo;
+
   ConsistencyPrefilterTemplates() = default;
 
   int arity_ = 0;

@@ -1,6 +1,7 @@
 #include "serve/prepared.h"
 
 #include <algorithm>
+#include <bit>
 #include <optional>
 #include <utility>
 
@@ -113,6 +114,51 @@ base::Result<std::shared_ptr<PreparedQuery>> PreparedQuery::FromOmq(
       break;
     default:
       return base::InvalidArgumentError("planner returned an invalid tier");
+  }
+  return prepared;
+}
+
+base::Result<std::shared_ptr<PreparedQuery>> PreparedQuery::FromArtifacts(
+    PlannedOmq plan, const PrepareOptions& options,
+    std::shared_ptr<const ddlog::PreprocessSeed> seed) {
+  auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+  prepared->arity_ = plan.arity;
+  prepared->options_ = options;
+  prepared->tier_ = plan.tier;
+  prepared->explain_ = std::move(plan.explain);
+  switch (plan.tier) {
+    case PlanTier::kFo:
+      if (!plan.fo.has_value()) {
+        return base::InvalidArgumentError(
+            "FO-tier plan carries no rewriting artifact");
+      }
+      prepared->plan_ = PlanKind::kFoRewriting;
+      prepared->fo_ =
+          std::make_unique<const core::FoRewriting>(std::move(*plan.fo));
+      break;
+    case PlanTier::kDatalog:
+      if (!plan.datalog.has_value()) {
+        return base::InvalidArgumentError(
+            "datalog-tier plan carries no rewriting artifact");
+      }
+      prepared->plan_ = PlanKind::kDatalogRewriting;
+      prepared->rewriting_ = std::make_unique<const core::DatalogRewriting>(
+          std::move(*plan.datalog));
+      break;
+    case PlanTier::kSat:
+    case PlanTier::kSatRaw:
+      if (!plan.program.has_value()) {
+        return base::InvalidArgumentError(
+            "SAT-tier plan carries no MDDlog program");
+      }
+      prepared->plan_ = PlanKind::kSatGrounding;
+      prepared->program_ =
+          std::make_unique<const ddlog::Program>(std::move(*plan.program));
+      prepared->prefilter_templates_ = std::move(plan.prefilter);
+      prepared->options_.eval.preprocess_seed = std::move(seed);
+      break;
+    default:
+      return base::InvalidArgumentError("stored plan carries an invalid tier");
   }
   return prepared;
 }
@@ -353,35 +399,69 @@ std::vector<std::string> PreparedQuery::ExplainLines() const {
 }
 
 std::size_t CacheKeyHash::operator()(const CacheKey& k) const {
-  std::size_t seed = k.ontology_hash;
-  base::HashCombine(seed, k.query_hash);
-  base::HashCombine(seed, k.plan_mode);
-  return seed;
+  // Stable FNV-1a chain over every field (base/hash.h): the artifact
+  // store's on-disk index is sorted by this hash, so it must agree
+  // between the generator process and every serving build.
+  std::uint64_t h = base::kFnvOffsetBasis;
+  h = base::Fnv1aU64(h, k.ontology_hash);
+  h = base::Fnv1aU64(h, k.query_hash);
+  h = base::Fnv1aU64(h, k.plan_mode);
+  h = base::Fnv1aU64(h, k.planner_version);
+  h = base::Fnv1aU64(h, k.size_class);
+  return static_cast<std::size_t>(h);
 }
 
-std::uint64_t HashText(std::string_view text) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
-  for (unsigned char c : text) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
+std::uint64_t HashText(std::string_view text) { return base::Fnv1a(text); }
+
+CacheKey MakeCacheKey(const data::Schema& schema,
+                      std::string_view ontology_text, std::string_view kind,
+                      std::string_view payload, PlanTier forced,
+                      std::uint64_t num_facts) {
+  CacheKey key;
+  key.ontology_hash =
+      HashText(schema.ToString() + "\n" + std::string(ontology_text));
+  key.query_hash = HashText(std::string(kind) + " " + std::string(payload));
+  key.plan_mode = static_cast<std::uint32_t>(forced);
+  key.planner_version = kPlannerVersion;
+  // Auto-planned OMQs fold in a log2 size class so the planner re-plans
+  // after order-of-magnitude growth; forced tiers and bare programs
+  // (planner bypassed) are size-independent.
+  if (forced == PlanTier::kAuto && kind != "PROGRAM") {
+    key.size_class = static_cast<std::uint32_t>(std::bit_width(num_facts));
   }
-  return h;
+  return key;
 }
 
 PreparedCache::PreparedCache(std::size_t capacity) : capacity_(capacity) {}
 
-std::shared_ptr<PreparedQuery> PreparedCache::Lookup(const CacheKey& key) {
+std::shared_ptr<PreparedQuery> PreparedCache::Lookup(
+    const CacheKey& key, std::uint64_t session_content_hash) {
   static obs::Counter& hits = obs::GetCounter("serve.cache_hits");
   static obs::Counter& misses = obs::GetCounter("serve.cache_misses");
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = by_key_.find(key);
-  if (it == by_key_.end()) {
+  SecondTier loader;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_key_.find(key);
+    if (it != by_key_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      hits.Add();
+      return it->second->second;
+    }
     misses.Add();
-    return nullptr;
+    loader = second_tier_;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
-  hits.Add();
-  return it->second->second;
+  if (!loader) return nullptr;
+  // Outside the lock: the loader mmap-reads and deserializes. A racing
+  // double-load of one key is benign (last Insert wins, both artifacts
+  // are equivalent).
+  std::shared_ptr<PreparedQuery> loaded = loader(key, session_content_hash);
+  if (loaded != nullptr) Insert(key, loaded);
+  return loaded;
+}
+
+void PreparedCache::SetSecondTier(SecondTier loader) {
+  std::lock_guard<std::mutex> lock(mu_);
+  second_tier_ = std::move(loader);
 }
 
 void PreparedCache::Insert(const CacheKey& key,

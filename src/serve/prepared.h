@@ -3,10 +3,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 #include "base/status.h"
@@ -108,6 +110,15 @@ class PreparedQuery {
       const core::OntologyMediatedQuery& omq,
       const PrepareOptions& options = {}, std::uint64_t session_facts = 0);
 
+  /// Rehydrates a prepared query from an already-compiled plan — the
+  /// artifact store's load path. No planner run, no compilation: the
+  /// plan's tier artifact is adopted as-is. `seed`, when non-null, warm
+  /// starts the SAT tier's first grounding (EvalOptions::preprocess_seed);
+  /// it is ignored by the rewriting tiers.
+  static base::Result<std::shared_ptr<PreparedQuery>> FromArtifacts(
+      PlannedOmq plan, const PrepareOptions& options = {},
+      std::shared_ptr<const ddlog::PreprocessSeed> seed = nullptr);
+
   PlanKind plan() const { return plan_; }
   /// The planner tier behind `plan()` (distinguishes kSat from kSatRaw).
   PlanTier tier() const { return tier_; }
@@ -205,12 +216,27 @@ struct CacheKey {
 
   bool operator==(const CacheKey&) const = default;
 };
+/// Process-stable hash over ALL key fields (a stable FNV-1a chain, not
+/// std::hash): the same key hashes identically in the offline store
+/// generator and every serving process, so the artifact store's on-disk
+/// index can be probed with in-memory keys.
 struct CacheKeyHash {
   std::size_t operator()(const CacheKey& k) const;
 };
 
 /// FNV-1a, the content hash used for CacheKey fields.
 std::uint64_t HashText(std::string_view text);
+
+/// Builds the canonical cache key for a PREPARE request — the ONE place
+/// the key schema lives, shared by the protocol's CmdPrepare and the
+/// offline store generator (which must produce bit-identical keys for the
+/// store index to be probeable). `kind` is the PREPARE payload kind
+/// ("AQ" / "BAQ" / "PROGRAM"); `num_facts` is the session's fact count at
+/// key time (feeds the size class for auto-planned OMQs).
+CacheKey MakeCacheKey(const data::Schema& schema,
+                      std::string_view ontology_text, std::string_view kind,
+                      std::string_view payload, PlanTier forced,
+                      std::uint64_t num_facts);
 
 /// Size-bounded LRU over prepared artifacts, shared by every session of a
 /// server: two clients preparing the same query against the same ontology
@@ -219,13 +245,28 @@ std::uint64_t HashText(std::string_view text);
 /// counters serve.cache_{hits,misses,evictions}.
 class PreparedCache {
  public:
+  /// The cache's second tier: a loader consulted on in-memory misses
+  /// (the mmap artifact store). Returns a rehydrated artifact or nullptr;
+  /// a hit is Inserted into the in-memory tier so later lookups are pure
+  /// memory. `session_content_hash` lets the SAT tiers match a persisted
+  /// grounding to the session's current fact set.
+  using SecondTier = std::function<std::shared_ptr<PreparedQuery>(
+      const CacheKey& key, std::uint64_t session_content_hash)>;
+
   explicit PreparedCache(std::size_t capacity);
 
-  /// Returns the cached artifact (bumping its recency) or nullptr.
-  std::shared_ptr<PreparedQuery> Lookup(const CacheKey& key);
+  /// Returns the cached artifact (bumping its recency) or nullptr. On an
+  /// in-memory miss the second tier, when installed, is consulted (outside
+  /// the cache lock — loaders mmap-read and deserialize) and its hit
+  /// promoted into the LRU.
+  std::shared_ptr<PreparedQuery> Lookup(const CacheKey& key,
+                                        std::uint64_t session_content_hash = 0);
   /// Inserts (or refreshes) an artifact, evicting the least recently
   /// used entry when over capacity.
   void Insert(const CacheKey& key, std::shared_ptr<PreparedQuery> query);
+
+  /// Installs (or clears, with nullptr) the second-tier loader.
+  void SetSecondTier(SecondTier loader);
 
   std::size_t size() const;
   std::size_t capacity() const { return capacity_; }
@@ -238,6 +279,7 @@ class PreparedCache {
   mutable std::mutex mu_;
   LruList lru_;  // front = most recent
   std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> by_key_;
+  SecondTier second_tier_;  // set at server start, before concurrent use
 };
 
 }  // namespace obda::serve

@@ -15,6 +15,7 @@
 #include "dl/parser.h"
 #include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "store/store.h"
 
 namespace obda::serve {
 
@@ -52,6 +53,41 @@ Server::Server(const ServerOptions& options)
   obs::GetCounter("serve.plan.sat_raw");
   obs::GetTimer("serve.plan");
   obs::GetHistogram("serve.execute.fo_rewriting");
+  // Artifact-store traffic — registered with or without a store attached,
+  // for the same STATS KEYS reason.
+  obs::GetCounter("store.hits");
+  obs::GetCounter("store.misses");
+  obs::GetCounter("store.stale");
+  obs::GetCounter("store.load_ns");
+  obs::GetHistogram("store.load");
+
+  if (options_.store != nullptr) {
+    // Two-tier prepared cache: on an in-memory miss, rehydrate from the
+    // mmap store. The loader treats every store failure as a miss — a
+    // corrupt record or version skew falls back to compiling from
+    // scratch, never to serving a wrong plan.
+    cache_.SetSecondTier(
+        [this](const CacheKey& key, std::uint64_t session_content_hash)
+            -> std::shared_ptr<PreparedQuery> {
+          base::Result<PlannedOmq> plan = options_.store->LoadPlan(key);
+          if (!plan.ok()) return nullptr;
+          std::shared_ptr<const ddlog::PreprocessSeed> seed;
+          if (plan->tier == PlanTier::kSat ||
+              plan->tier == PlanTier::kSatRaw) {
+            base::Result<obda::store::ArtifactStore::LoadedGrounding>
+                grounding = options_.store->LoadGrounding(
+                    key, session_content_hash);
+            if (grounding.ok()) seed = std::move(grounding->seed);
+          }
+          PrepareOptions opts = options_.prepare;
+          opts.planner.force = static_cast<PlanTier>(key.plan_mode);
+          base::Result<std::shared_ptr<PreparedQuery>> built =
+              PreparedQuery::FromArtifacts(std::move(plan).value(), opts,
+                                           std::move(seed));
+          if (!built.ok()) return nullptr;
+          return std::move(built).value();
+        });
+  }
 }
 
 std::unique_ptr<Server::Client> Server::NewClient() {
@@ -83,6 +119,7 @@ Response Server::Client::Dispatch(std::string_view line) {
   if (cmd == "ONTOLOGY") return CmdOntology(TailAfter(line, 1));
   if (cmd == "STATS") return CmdStats(tokens);
   if (cmd == "TRACE") return CmdTrace(tokens);
+  if (cmd == "STORE") return CmdStore(tokens);
   if (session_ == nullptr) {
     return Response::Error(
         base::InvalidArgumentError("no session: run SCHEMA first"));
@@ -169,23 +206,17 @@ Response Server::Client::CmdPrepare(const std::vector<std::string>& tokens,
   }
   if (kind == "PROGRAM") forced = PlanTier::kSat;  // no rewriting path
 
-  // The artifact cache key: what the compiled plan depends on — schema,
-  // ontology text, query text, the requested tier, the planner version,
-  // and (for auto plans, whose tier choice reads the cost model) a log2
-  // size class of the session's facts so order-of-magnitude data growth
-  // re-plans instead of serving a stale tier.
-  CacheKey key;
-  key.ontology_hash =
-      HashText(session_->schema().ToString() + "\n" + ontology_text_);
-  key.query_hash = HashText(kind + " " + payload);
-  key.plan_mode = static_cast<std::uint32_t>(forced);
-  key.planner_version = kPlannerVersion;
-  if (forced == PlanTier::kAuto && kind != "PROGRAM") {
-    key.size_class =
-        static_cast<std::uint32_t>(std::bit_width(session_->num_facts()));
-  }
+  // The artifact cache key (MakeCacheKey is the one place the key schema
+  // lives — the offline store generator builds bit-identical keys). The
+  // lookup is two-tier: in-memory LRU, then the mmap artifact store when
+  // one is attached (the session content hash matches a persisted SAT
+  // grounding to the current fact set).
+  const CacheKey key =
+      MakeCacheKey(session_->schema(), ontology_text_, kind, payload,
+                   forced, session_->num_facts());
 
-  std::shared_ptr<PreparedQuery> query = server_.cache().Lookup(key);
+  std::shared_ptr<PreparedQuery> query =
+      server_.cache().Lookup(key, session_->content_hash());
   const bool from_cache = query != nullptr;
   if (!from_cache) {
     PrepareOptions opts = server_.options().prepare;
@@ -416,6 +447,36 @@ Response Server::Client::CmdTrace(const std::vector<std::string>& tokens) {
   }
   return Response::Error(
       base::InvalidArgumentError("usage: TRACE DUMP"));
+}
+
+Response Server::Client::CmdStore(const std::vector<std::string>& tokens) {
+  if (tokens.size() != 2 || tokens[1] != "INFO") {
+    return Response::Error(base::InvalidArgumentError("usage: STORE INFO"));
+  }
+  const std::shared_ptr<const obda::store::ArtifactStore>& store =
+      server_.options().store;
+  if (store == nullptr) {
+    return Response::Error(
+        base::NotFoundError("no artifact store attached (--store)"));
+  }
+  const obda::store::ArtifactStore::Info& info = store->info();
+  Response response = Response::Ok();
+  response.payload.push_back("path " + info.path);
+  response.payload.push_back("format_version " +
+                             std::to_string(info.format_version));
+  response.payload.push_back(
+      "planner_version " + std::to_string(info.planner_version) +
+      (info.planner_version_match ? " (match)" : " (STALE)"));
+  response.payload.push_back("records " + std::to_string(info.num_records));
+  response.payload.push_back("plans " + std::to_string(info.num_plans));
+  response.payload.push_back("groundings " +
+                             std::to_string(info.num_groundings));
+  response.payload.push_back("bytes " + std::to_string(info.file_bytes));
+  response.info =
+      "hits=" + std::to_string(obs::GetCounter("store.hits").value()) +
+      " misses=" + std::to_string(obs::GetCounter("store.misses").value()) +
+      " stale=" + std::to_string(obs::GetCounter("store.stale").value());
+  return response;
 }
 
 }  // namespace obda::serve

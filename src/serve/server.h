@@ -14,6 +14,10 @@
 #include "serve/scheduler.h"
 #include "serve/session.h"
 
+namespace obda::store {
+class ArtifactStore;
+}  // namespace obda::store
+
 namespace obda::serve {
 
 struct ServerOptions {
@@ -37,6 +41,12 @@ struct ServerOptions {
   /// slow-query log work out of the box. Set false to leave the global
   /// obs switches untouched (unit tests exercising disablement do).
   bool enable_observability = true;
+  /// An opened mmap artifact store (DESIGN.md §12), installed as the
+  /// prepared cache's second tier: PREPARE consults it before compiling,
+  /// and any number of server processes share one store file read-only.
+  /// Null = compile everything from scratch. obda_serve maps --store onto
+  /// this.
+  std::shared_ptr<const ::obda::store::ArtifactStore> store;
 };
 
 /// The serving front end (DESIGN.md §8): owns the prepared-artifact cache
@@ -78,6 +88,11 @@ struct ServerOptions {
 ///                                     hot_hits, latency histogram)
 ///   TRACE DUMP                        one-line Chrome trace-event JSON
 ///                                     of the flight recorder (Perfetto)
+///   STORE INFO                        the attached artifact store's
+///                                     identity (path, versions, record
+///                                     counts) and this process's
+///                                     hit/miss/stale traffic; NOT_FOUND
+///                                     when the server runs without one
 ///   QUIT
 /// Responses: payload lines, then `OK [info]` or `ERR CODE: message`.
 /// A forced plan tier changes the cache key, not just the plan; the
@@ -133,6 +148,7 @@ class Server::Client {
   Response CmdExplain(const std::vector<std::string>& tokens);
   Response CmdStats(const std::vector<std::string>& tokens);
   Response CmdTrace(const std::vector<std::string>& tokens);
+  Response CmdStore(const std::vector<std::string>& tokens);
 
   /// Runs on a scheduler worker: execute + render answers.
   Response RunQuery(PreparedQuery& query, const RequestBudget& budget);

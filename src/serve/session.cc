@@ -115,6 +115,11 @@ std::uint64_t Session::generation() const {
   return generation_;
 }
 
+std::uint64_t Session::content_hash() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return content_hash_;
+}
+
 std::size_t Session::num_facts() const {
   std::lock_guard<std::mutex> lock(mu_);
   return num_live_;

@@ -77,6 +77,11 @@ class Session {
   std::uint64_t generation() const;
   std::size_t num_facts() const;
 
+  /// The order-independent fact-set hash (see Snapshot::content_hash),
+  /// without materializing a snapshot — the artifact store keys its
+  /// grounding records on it.
+  std::uint64_t content_hash() const;
+
   /// A materialized snapshot plus the generation it reflects and an
   /// order-independent content hash of the fact set (two generations with
   /// equal hashes hold the same facts, so e.g. an ASSERT/RETRACT

@@ -1,0 +1,723 @@
+#include "store/flat.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "data/io.h"
+
+namespace obda::store {
+
+namespace {
+
+/// Guards a deserialized element count against the bytes actually left:
+/// each element consumes at least `min_bytes_each`, so a corrupt count
+/// fails fast instead of driving a multi-gigabyte reserve.
+base::Status CheckCount(const FlatReader& r, std::uint64_t count,
+                        std::size_t min_bytes_each) {
+  if (count > r.remaining() / min_bytes_each) {
+    return base::InvalidArgumentError(
+        "flat decode: count " + std::to_string(count) +
+        " exceeds the remaining " + std::to_string(r.remaining()) +
+        " bytes at offset " + std::to_string(r.pos()));
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace
+
+void FlatWriter::U32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void FlatWriter::U64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void FlatWriter::F64(double v) { U64(std::bit_cast<std::uint64_t>(v)); }
+
+void FlatWriter::Str(std::string_view s) {
+  U32(static_cast<std::uint32_t>(s.size()));
+  buf_.append(s);
+}
+
+base::Status FlatReader::U8(std::uint8_t* v) {
+  if (remaining() < 1) {
+    return base::InvalidArgumentError("flat decode: truncated at offset " +
+                                      std::to_string(pos_));
+  }
+  *v = static_cast<std::uint8_t>(data_[pos_++]);
+  return base::Status::Ok();
+}
+
+base::Status FlatReader::U32(std::uint32_t* v) {
+  if (remaining() < 4) {
+    return base::InvalidArgumentError("flat decode: truncated at offset " +
+                                      std::to_string(pos_));
+  }
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 4;
+  *v = out;
+  return base::Status::Ok();
+}
+
+base::Status FlatReader::U64(std::uint64_t* v) {
+  if (remaining() < 8) {
+    return base::InvalidArgumentError("flat decode: truncated at offset " +
+                                      std::to_string(pos_));
+  }
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+  }
+  pos_ += 8;
+  *v = out;
+  return base::Status::Ok();
+}
+
+base::Status FlatReader::I32(std::int32_t* v) {
+  std::uint32_t raw = 0;
+  OBDA_RETURN_IF_ERROR(U32(&raw));
+  *v = static_cast<std::int32_t>(raw);
+  return base::Status::Ok();
+}
+
+base::Status FlatReader::F64(double* v) {
+  std::uint64_t raw = 0;
+  OBDA_RETURN_IF_ERROR(U64(&raw));
+  *v = std::bit_cast<double>(raw);
+  return base::Status::Ok();
+}
+
+base::Status FlatReader::Str(std::string* s) {
+  std::uint32_t len = 0;
+  OBDA_RETURN_IF_ERROR(U32(&len));
+  if (remaining() < len) {
+    return base::InvalidArgumentError(
+        "flat decode: string of " + std::to_string(len) +
+        " bytes overruns the input at offset " + std::to_string(pos_));
+  }
+  s->assign(data_.substr(pos_, len));
+  pos_ += len;
+  return base::Status::Ok();
+}
+
+base::Status FlatReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return base::InvalidArgumentError(
+        "flat decode: " + std::to_string(remaining()) +
+        " trailing bytes after a complete value");
+  }
+  return base::Status::Ok();
+}
+
+// --- Schema -----------------------------------------------------------------
+
+void AppendSchema(const data::Schema& schema, FlatWriter* w) {
+  w->U32(static_cast<std::uint32_t>(schema.NumRelations()));
+  for (data::RelationId r = 0; r < schema.NumRelations(); ++r) {
+    w->Str(schema.RelationName(r));
+    w->U32(static_cast<std::uint32_t>(schema.Arity(r)));
+  }
+}
+
+base::Result<data::Schema> ReadSchema(FlatReader* r) {
+  std::uint32_t count = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 8));
+  data::Schema schema;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    std::uint32_t arity = 0;
+    OBDA_RETURN_IF_ERROR(r->Str(&name));
+    OBDA_RETURN_IF_ERROR(r->U32(&arity));
+    if (name.empty() || arity > 64) {
+      return base::InvalidArgumentError(
+          "flat decode: bad relation spec " + name + "/" +
+          std::to_string(arity));
+    }
+    if (schema.FindRelation(name).has_value()) {
+      return base::InvalidArgumentError(
+          "flat decode: duplicate relation " + name);
+    }
+    schema.AddRelation(std::move(name), static_cast<int>(arity));
+  }
+  return schema;
+}
+
+// --- CQs / UCQs -------------------------------------------------------------
+
+namespace {
+
+void AppendCq(const fo::ConjunctiveQuery& cq, FlatWriter* w) {
+  w->U32(static_cast<std::uint32_t>(cq.num_vars()));
+  w->U32(static_cast<std::uint32_t>(cq.atoms().size()));
+  for (const fo::QueryAtom& atom : cq.atoms()) {
+    w->U32(atom.rel);
+    w->U32(static_cast<std::uint32_t>(atom.vars.size()));
+    for (fo::QVar v : atom.vars) w->I32(v);
+  }
+}
+
+base::Result<fo::ConjunctiveQuery> ReadCq(const data::Schema& schema,
+                                          int arity, FlatReader* r) {
+  std::uint32_t num_vars = 0;
+  std::uint32_t num_atoms = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&num_vars));
+  OBDA_RETURN_IF_ERROR(r->U32(&num_atoms));
+  if (num_vars < static_cast<std::uint32_t>(arity) ||
+      num_vars > (1u << 24)) {
+    return base::InvalidArgumentError("flat decode: bad CQ variable count " +
+                                      std::to_string(num_vars));
+  }
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, num_atoms, 8));
+  fo::ConjunctiveQuery cq(schema, arity);
+  for (std::uint32_t i = num_vars; i > static_cast<std::uint32_t>(arity);
+       --i) {
+    cq.AddVariable();
+  }
+  for (std::uint32_t i = 0; i < num_atoms; ++i) {
+    std::uint32_t rel = 0;
+    std::uint32_t width = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&rel));
+    OBDA_RETURN_IF_ERROR(r->U32(&width));
+    if (rel >= schema.NumRelations() ||
+        width != static_cast<std::uint32_t>(schema.Arity(rel))) {
+      return base::InvalidArgumentError(
+          "flat decode: CQ atom relation/arity out of range");
+    }
+    std::vector<fo::QVar> vars(width);
+    for (std::uint32_t j = 0; j < width; ++j) {
+      OBDA_RETURN_IF_ERROR(r->I32(&vars[j]));
+      if (vars[j] < 0 || static_cast<std::uint32_t>(vars[j]) >= num_vars) {
+        return base::InvalidArgumentError(
+            "flat decode: CQ atom variable out of range");
+      }
+    }
+    cq.AddAtom(rel, std::move(vars));
+  }
+  return cq;
+}
+
+}  // namespace
+
+void AppendUcq(const fo::UnionOfCq& ucq, FlatWriter* w) {
+  AppendSchema(ucq.schema(), w);
+  w->U32(static_cast<std::uint32_t>(ucq.arity()));
+  w->U32(static_cast<std::uint32_t>(ucq.disjuncts().size()));
+  for (const fo::ConjunctiveQuery& cq : ucq.disjuncts()) AppendCq(cq, w);
+}
+
+base::Result<fo::UnionOfCq> ReadUcq(FlatReader* r) {
+  base::Result<data::Schema> schema = ReadSchema(r);
+  if (!schema.ok()) return schema.status();
+  std::uint32_t arity = 0;
+  std::uint32_t count = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&arity));
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  if (arity > 64) {
+    return base::InvalidArgumentError("flat decode: bad UCQ arity");
+  }
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 8));
+  fo::UnionOfCq ucq(*schema, static_cast<int>(arity));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    base::Result<fo::ConjunctiveQuery> cq =
+        ReadCq(*schema, static_cast<int>(arity), r);
+    if (!cq.ok()) return cq.status();
+    ucq.AddDisjunct(std::move(*cq));
+  }
+  return ucq;
+}
+
+// --- MDDlog programs --------------------------------------------------------
+
+namespace {
+
+void AppendAtom(const ddlog::Atom& atom, FlatWriter* w) {
+  w->U32(atom.pred);
+  w->U32(static_cast<std::uint32_t>(atom.vars.size()));
+  for (ddlog::VarId v : atom.vars) w->I32(v);
+}
+
+base::Status ReadAtom(const ddlog::Program& program, FlatReader* r,
+                      ddlog::Atom* atom) {
+  std::uint32_t pred = 0;
+  std::uint32_t width = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&pred));
+  OBDA_RETURN_IF_ERROR(r->U32(&width));
+  if (pred >= program.NumPredicates() ||
+      width != static_cast<std::uint32_t>(program.Arity(pred))) {
+    return base::InvalidArgumentError(
+        "flat decode: rule atom predicate/arity out of range");
+  }
+  atom->pred = pred;
+  atom->vars.resize(width);
+  for (std::uint32_t j = 0; j < width; ++j) {
+    OBDA_RETURN_IF_ERROR(r->I32(&atom->vars[j]));
+    if (atom->vars[j] < 0 || atom->vars[j] > (1 << 24)) {
+      return base::InvalidArgumentError(
+          "flat decode: rule atom variable out of range");
+    }
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace
+
+void AppendProgram(const ddlog::Program& program, FlatWriter* w) {
+  AppendSchema(program.edb_schema(), w);
+  const std::uint32_t num_edb =
+      static_cast<std::uint32_t>(program.NumEdb());
+  const std::uint32_t num_preds =
+      static_cast<std::uint32_t>(program.NumPredicates());
+  w->U32(num_preds - num_edb);
+  for (std::uint32_t p = num_edb; p < num_preds; ++p) {
+    w->Str(program.PredicateName(p));
+    w->U32(static_cast<std::uint32_t>(program.Arity(p)));
+  }
+  w->U32(program.goal());
+  w->U32(static_cast<std::uint32_t>(program.rules().size()));
+  for (const ddlog::Rule& rule : program.rules()) {
+    w->U32(static_cast<std::uint32_t>(rule.head.size()));
+    for (const ddlog::Atom& atom : rule.head) AppendAtom(atom, w);
+    w->U32(static_cast<std::uint32_t>(rule.body.size()));
+    for (const ddlog::Atom& atom : rule.body) AppendAtom(atom, w);
+  }
+}
+
+base::Result<ddlog::Program> ReadProgram(FlatReader* r) {
+  base::Result<data::Schema> edb = ReadSchema(r);
+  if (!edb.ok()) return edb.status();
+  ddlog::Program program(std::move(*edb));
+  std::uint32_t num_idb = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&num_idb));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, num_idb, 8));
+  for (std::uint32_t i = 0; i < num_idb; ++i) {
+    std::string name;
+    std::uint32_t arity = 0;
+    OBDA_RETURN_IF_ERROR(r->Str(&name));
+    OBDA_RETURN_IF_ERROR(r->U32(&arity));
+    if (name.empty() || arity > 64 ||
+        program.FindPredicate(name).has_value()) {
+      return base::InvalidArgumentError(
+          "flat decode: bad IDB predicate " + name);
+    }
+    program.AddIdbPredicate(std::move(name), static_cast<int>(arity));
+  }
+  std::uint32_t goal = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&goal));
+  if (goal < program.NumEdb() || goal >= program.NumPredicates()) {
+    return base::InvalidArgumentError(
+        "flat decode: goal predicate out of the IDB range");
+  }
+  program.SetGoal(goal);
+  std::uint32_t num_rules = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&num_rules));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, num_rules, 8));
+  for (std::uint32_t i = 0; i < num_rules; ++i) {
+    ddlog::Rule rule;
+    std::uint32_t head = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&head));
+    OBDA_RETURN_IF_ERROR(CheckCount(*r, head, 8));
+    rule.head.resize(head);
+    for (std::uint32_t j = 0; j < head; ++j) {
+      OBDA_RETURN_IF_ERROR(ReadAtom(program, r, &rule.head[j]));
+    }
+    std::uint32_t body = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&body));
+    OBDA_RETURN_IF_ERROR(CheckCount(*r, body, 8));
+    rule.body.resize(body);
+    for (std::uint32_t j = 0; j < body; ++j) {
+      OBDA_RETURN_IF_ERROR(ReadAtom(program, r, &rule.body[j]));
+    }
+    OBDA_RETURN_IF_ERROR(program.AddRule(std::move(rule)));
+  }
+  return program;
+}
+
+// --- Rewriting artifacts ----------------------------------------------------
+
+void AppendFoRewriting(const core::FoRewriting& fo, FlatWriter* w) {
+  w->I32(fo.obstruction_bound);
+  w->U32(static_cast<std::uint32_t>(fo.conjuncts.size()));
+  for (const fo::UnionOfCq& ucq : fo.conjuncts) AppendUcq(ucq, w);
+}
+
+base::Result<core::FoRewriting> ReadFoRewriting(FlatReader* r) {
+  core::FoRewriting fo;
+  OBDA_RETURN_IF_ERROR(r->I32(&fo.obstruction_bound));
+  std::uint32_t count = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 8));
+  fo.conjuncts.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    base::Result<fo::UnionOfCq> ucq = ReadUcq(r);
+    if (!ucq.ok()) return ucq.status();
+    fo.conjuncts.push_back(std::move(*ucq));
+  }
+  return fo;
+}
+
+void AppendDatalogRewriting(const core::DatalogRewriting& datalog,
+                            FlatWriter* w) {
+  w->I32(datalog.arity);
+  AppendSchema(datalog.collapsed_schema, w);
+  w->U32(static_cast<std::uint32_t>(datalog.programs.size()));
+  for (const ddlog::Program& program : datalog.programs) {
+    AppendProgram(program, w);
+  }
+  w->U32(static_cast<std::uint32_t>(datalog.template_cores.size()));
+  for (const data::Instance& core : datalog.template_cores) {
+    AppendInstance(core, w);
+  }
+  w->U32(static_cast<std::uint32_t>(datalog.width_one_complete.size()));
+  for (bool complete : datalog.width_one_complete) {
+    w->U32(complete ? 1 : 0);
+  }
+}
+
+base::Result<core::DatalogRewriting> ReadDatalogRewriting(FlatReader* r) {
+  core::DatalogRewriting datalog;
+  OBDA_RETURN_IF_ERROR(r->I32(&datalog.arity));
+  base::Result<data::Schema> collapsed = ReadSchema(r);
+  if (!collapsed.ok()) return collapsed.status();
+  datalog.collapsed_schema = std::move(*collapsed);
+  std::uint32_t count = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 8));
+  datalog.programs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    base::Result<ddlog::Program> program = ReadProgram(r);
+    if (!program.ok()) return program.status();
+    datalog.programs.push_back(std::move(*program));
+  }
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 4));
+  datalog.template_cores.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    base::Result<data::Instance> core = ReadInstance(r);
+    if (!core.ok()) return core.status();
+    datalog.template_cores.push_back(std::move(*core));
+  }
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 4));
+  datalog.width_one_complete.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t flag = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&flag));
+    if (flag > 1) {
+      return base::InvalidArgumentError("flat decode: bad boolean flag");
+    }
+    datalog.width_one_complete.push_back(flag == 1);
+  }
+  return datalog;
+}
+
+// --- Plan explain records ---------------------------------------------------
+
+void AppendExplain(const serve::PlanExplain& explain, FlatWriter* w) {
+  w->U32(static_cast<std::uint32_t>(explain.tier));
+  w->U32(static_cast<std::uint32_t>(explain.chosen_by));
+  w->U32(static_cast<std::uint32_t>(explain.admissible.size()));
+  for (serve::PlanTier tier : explain.admissible) {
+    w->U32(static_cast<std::uint32_t>(tier));
+  }
+  w->I32(explain.fo_rewritable);
+  w->I32(explain.datalog_rewritable);
+  w->U64(explain.templates);
+  w->U64(explain.obstructions);
+  w->U64(explain.datalog_rules);
+  w->U64(explain.program_rules);
+  w->F64(explain.cost_fo);
+  w->F64(explain.cost_datalog);
+  w->F64(explain.cost_sat);
+  w->U64(explain.facts_estimate);
+  w->U32(explain.prefilter ? 1 : 0);
+  w->U32(static_cast<std::uint32_t>(explain.budget_events.size()));
+  for (const std::string& event : explain.budget_events) w->Str(event);
+}
+
+base::Result<serve::PlanExplain> ReadExplain(FlatReader* r) {
+  serve::PlanExplain explain;
+  std::uint32_t tier = 0;
+  std::uint32_t chosen = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&tier));
+  OBDA_RETURN_IF_ERROR(r->U32(&chosen));
+  if (tier > 4 || chosen > 3) {
+    return base::InvalidArgumentError("flat decode: bad explain enum");
+  }
+  explain.tier = static_cast<serve::PlanTier>(tier);
+  explain.chosen_by = static_cast<serve::PlanChoice>(chosen);
+  std::uint32_t count = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 4));
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t admitted = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&admitted));
+    if (admitted > 4) {
+      return base::InvalidArgumentError("flat decode: bad admissible tier");
+    }
+    explain.admissible.push_back(static_cast<serve::PlanTier>(admitted));
+  }
+  OBDA_RETURN_IF_ERROR(r->I32(&explain.fo_rewritable));
+  OBDA_RETURN_IF_ERROR(r->I32(&explain.datalog_rewritable));
+  OBDA_RETURN_IF_ERROR(r->U64(&explain.templates));
+  OBDA_RETURN_IF_ERROR(r->U64(&explain.obstructions));
+  OBDA_RETURN_IF_ERROR(r->U64(&explain.datalog_rules));
+  OBDA_RETURN_IF_ERROR(r->U64(&explain.program_rules));
+  OBDA_RETURN_IF_ERROR(r->F64(&explain.cost_fo));
+  OBDA_RETURN_IF_ERROR(r->F64(&explain.cost_datalog));
+  OBDA_RETURN_IF_ERROR(r->F64(&explain.cost_sat));
+  OBDA_RETURN_IF_ERROR(r->U64(&explain.facts_estimate));
+  std::uint32_t prefilter = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&prefilter));
+  if (prefilter > 1) {
+    return base::InvalidArgumentError("flat decode: bad boolean flag");
+  }
+  explain.prefilter = prefilter == 1;
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 4));
+  explain.budget_events.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    OBDA_RETURN_IF_ERROR(r->Str(&explain.budget_events[i]));
+  }
+  return explain;
+}
+
+// --- Instances --------------------------------------------------------------
+
+void AppendInstance(const data::Instance& instance, FlatWriter* w) {
+  std::string bytes;
+  data::AppendInstanceBinary(instance, &bytes);
+  w->Str(bytes);
+}
+
+base::Result<data::Instance> ReadInstance(FlatReader* r) {
+  std::string bytes;
+  OBDA_RETURN_IF_ERROR(r->Str(&bytes));
+  std::size_t consumed = 0;
+  base::Result<data::Instance> instance =
+      data::ParseInstanceBinary(bytes, &consumed);
+  if (instance.ok() && consumed != bytes.size()) {
+    return base::InvalidArgumentError(
+        "flat decode: trailing bytes after a binary instance");
+  }
+  return instance;
+}
+
+// --- Prefilter templates (friend access) ------------------------------------
+
+void PlanIo::AppendPrefilter(
+    const serve::ConsistencyPrefilterTemplates& templates, FlatWriter* w) {
+  w->I32(templates.arity_);
+  AppendSchema(templates.collapsed_schema_, w);
+  w->U32(static_cast<std::uint32_t>(templates.cores_.size()));
+  for (const data::Instance& core : templates.cores_) {
+    AppendInstance(core, w);
+  }
+  w->U32(static_cast<std::uint32_t>(templates.mark_masks_.size()));
+  for (std::uint64_t mask : templates.mark_masks_) w->U64(mask);
+  w->U64(templates.max_pairwise_elements_);
+}
+
+base::Result<serve::ConsistencyPrefilterTemplates> PlanIo::ReadPrefilter(
+    FlatReader* r) {
+  serve::ConsistencyPrefilterTemplates templates;
+  OBDA_RETURN_IF_ERROR(r->I32(&templates.arity_));
+  if (templates.arity_ < 0 || templates.arity_ > 1) {
+    return base::InvalidArgumentError(
+        "flat decode: prefilter arity out of range");
+  }
+  base::Result<data::Schema> collapsed = ReadSchema(r);
+  if (!collapsed.ok()) return collapsed.status();
+  templates.collapsed_schema_ = std::move(*collapsed);
+  std::uint32_t count = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, count, 4));
+  templates.cores_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    base::Result<data::Instance> core = ReadInstance(r);
+    if (!core.ok()) return core.status();
+    templates.cores_.push_back(std::move(*core));
+  }
+  OBDA_RETURN_IF_ERROR(r->U32(&count));
+  if (count != templates.cores_.size()) {
+    return base::InvalidArgumentError(
+        "flat decode: prefilter mask count != core count");
+  }
+  templates.mark_masks_.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    OBDA_RETURN_IF_ERROR(r->U64(&templates.mark_masks_[i]));
+  }
+  std::uint64_t max_pairwise = 0;
+  OBDA_RETURN_IF_ERROR(r->U64(&max_pairwise));
+  templates.max_pairwise_elements_ =
+      static_cast<std::size_t>(max_pairwise);
+  return templates;
+}
+
+// --- Remapper (friend access) -----------------------------------------------
+
+void SatIo::AppendRemapper(const sat::Remapper& remapper, FlatWriter* w) {
+  const std::uint64_t num_vars = remapper.state_.size();
+  w->U64(num_vars);
+  for (sat::Remapper::VarState s : remapper.state_) {
+    w->U8(static_cast<std::uint8_t>(s));
+  }
+  for (sat::Lit l : remapper.equiv_) w->I32(l.code);
+  w->U32(static_cast<std::uint32_t>(remapper.eliminations_.size()));
+  for (const auto& e : remapper.eliminations_) {
+    w->I32(e.var);
+    w->U32(e.pure ? 1 : 0);
+    w->U32(e.pure_positive ? 1 : 0);
+    w->U32(static_cast<std::uint32_t>(e.saved.size()));
+    for (const std::vector<sat::Lit>& clause : e.saved) {
+      w->U32(static_cast<std::uint32_t>(clause.size()));
+      for (sat::Lit l : clause) w->I32(l.code);
+    }
+  }
+}
+
+base::Result<sat::Remapper> SatIo::ReadRemapper(FlatReader* r) {
+  std::uint64_t num_vars = 0;
+  OBDA_RETURN_IF_ERROR(r->U64(&num_vars));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, num_vars, 1));
+  if (num_vars > (1u << 30)) {
+    return base::InvalidArgumentError(
+        "flat decode: remapper variable count out of range");
+  }
+  sat::Remapper remapper(static_cast<std::size_t>(num_vars));
+  const std::int32_t lit_limit = static_cast<std::int32_t>(2 * num_vars);
+  for (std::uint64_t i = 0; i < num_vars; ++i) {
+    std::uint8_t byte = 0;
+    OBDA_RETURN_IF_ERROR(r->U8(&byte));
+    if (byte > 4) {
+      return base::InvalidArgumentError(
+          "flat decode: bad remapper variable state");
+    }
+    remapper.state_[static_cast<std::size_t>(i)] =
+        static_cast<sat::Remapper::VarState>(byte);
+  }
+  for (std::uint64_t i = 0; i < num_vars; ++i) {
+    std::int32_t code = 0;
+    OBDA_RETURN_IF_ERROR(r->I32(&code));
+    if (code < -1 || code >= lit_limit) {
+      return base::InvalidArgumentError(
+          "flat decode: remapper equiv literal out of range");
+    }
+    remapper.equiv_[static_cast<std::size_t>(i)] = sat::Lit{code};
+  }
+  std::uint32_t num_elims = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&num_elims));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, num_elims, 16));
+  remapper.eliminations_.resize(num_elims);
+  for (std::uint32_t i = 0; i < num_elims; ++i) {
+    auto& e = remapper.eliminations_[i];
+    OBDA_RETURN_IF_ERROR(r->I32(&e.var));
+    if (e.var < 0 || static_cast<std::uint64_t>(e.var) >= num_vars) {
+      return base::InvalidArgumentError(
+          "flat decode: eliminated variable out of range");
+    }
+    std::uint32_t pure = 0;
+    std::uint32_t positive = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&pure));
+    OBDA_RETURN_IF_ERROR(r->U32(&positive));
+    if (pure > 1 || positive > 1) {
+      return base::InvalidArgumentError("flat decode: bad boolean flag");
+    }
+    e.pure = pure == 1;
+    e.pure_positive = positive == 1;
+    std::uint32_t num_saved = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&num_saved));
+    OBDA_RETURN_IF_ERROR(CheckCount(*r, num_saved, 4));
+    e.saved.resize(num_saved);
+    for (std::uint32_t j = 0; j < num_saved; ++j) {
+      std::uint32_t len = 0;
+      OBDA_RETURN_IF_ERROR(r->U32(&len));
+      OBDA_RETURN_IF_ERROR(CheckCount(*r, len, 4));
+      e.saved[j].resize(len);
+      for (std::uint32_t k = 0; k < len; ++k) {
+        std::int32_t code = 0;
+        OBDA_RETURN_IF_ERROR(r->I32(&code));
+        if (code < 0 || code >= lit_limit) {
+          return base::InvalidArgumentError(
+              "flat decode: saved-clause literal out of range");
+        }
+        e.saved[j][k] = sat::Lit{code};
+      }
+    }
+  }
+  return remapper;
+}
+
+// --- Preprocessed CNF seeds -------------------------------------------------
+
+void AppendCnf(const ddlog::PreprocessSeed& seed, FlatWriter* w) {
+  w->U64(seed.fingerprint.num_clauses);
+  w->U64(seed.fingerprint.num_atoms);
+  w->U64(seed.fingerprint.num_vars);
+  w->U64(seed.fingerprint.hash);
+  w->U64(seed.cnf.num_vars);
+  w->U32(seed.cnf.unsat ? 1 : 0);
+  w->U32(static_cast<std::uint32_t>(seed.cnf.clauses.size()));
+  for (const std::vector<sat::Lit>& clause : seed.cnf.clauses) {
+    w->U32(static_cast<std::uint32_t>(clause.size()));
+    for (sat::Lit l : clause) w->I32(l.code);
+  }
+}
+
+base::Result<ddlog::PreprocessSeed> ReadCnf(FlatReader* r) {
+  ddlog::PreprocessSeed seed;
+  OBDA_RETURN_IF_ERROR(r->U64(&seed.fingerprint.num_clauses));
+  OBDA_RETURN_IF_ERROR(r->U64(&seed.fingerprint.num_atoms));
+  OBDA_RETURN_IF_ERROR(r->U64(&seed.fingerprint.num_vars));
+  OBDA_RETURN_IF_ERROR(r->U64(&seed.fingerprint.hash));
+  std::uint64_t num_vars = 0;
+  OBDA_RETURN_IF_ERROR(r->U64(&num_vars));
+  if (num_vars > (1u << 30)) {
+    return base::InvalidArgumentError(
+        "flat decode: CNF variable count out of range");
+  }
+  seed.cnf.num_vars = static_cast<std::size_t>(num_vars);
+  const std::int32_t lit_limit = static_cast<std::int32_t>(2 * num_vars);
+  std::uint32_t unsat = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&unsat));
+  if (unsat > 1) {
+    return base::InvalidArgumentError("flat decode: bad boolean flag");
+  }
+  seed.cnf.unsat = unsat == 1;
+  std::uint32_t num_clauses = 0;
+  OBDA_RETURN_IF_ERROR(r->U32(&num_clauses));
+  OBDA_RETURN_IF_ERROR(CheckCount(*r, num_clauses, 4));
+  seed.cnf.clauses.resize(num_clauses);
+  for (std::uint32_t i = 0; i < num_clauses; ++i) {
+    std::uint32_t len = 0;
+    OBDA_RETURN_IF_ERROR(r->U32(&len));
+    OBDA_RETURN_IF_ERROR(CheckCount(*r, len, 4));
+    seed.cnf.clauses[i].resize(len);
+    for (std::uint32_t j = 0; j < len; ++j) {
+      std::int32_t code = 0;
+      OBDA_RETURN_IF_ERROR(r->I32(&code));
+      if (code < 0 || code >= lit_limit) {
+        return base::InvalidArgumentError(
+            "flat decode: CNF literal out of range");
+      }
+      seed.cnf.clauses[i][j] = sat::Lit{code};
+    }
+  }
+  return seed;
+}
+
+}  // namespace obda::store

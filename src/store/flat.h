@@ -1,0 +1,119 @@
+#ifndef OBDA_STORE_FLAT_H_
+#define OBDA_STORE_FLAT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "core/rewritability.h"
+#include "data/instance.h"
+#include "data/schema.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+#include "fo/cq.h"
+#include "sat/preprocess.h"
+#include "serve/planner.h"
+
+namespace obda::store {
+
+/// Append-only little-endian encoder for the flat record sections. All
+/// multibyte values are written byte-by-byte, so the encoding is identical
+/// on every platform.
+class FlatWriter {
+ public:
+  void U8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v);
+  void U64(std::uint64_t v);
+  void I32(std::int32_t v) { U32(static_cast<std::uint32_t>(v)); }
+  void F64(double v);
+  /// u32 length + raw bytes.
+  void Str(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void Bytes(std::string_view s) { buf_.append(s); }
+
+  const std::string& data() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder: every read past the end (including one implied
+/// by a corrupt count) is an error Status, never undefined behavior — the
+/// store's corrupted-file tests depend on it.
+class FlatReader {
+ public:
+  explicit FlatReader(std::string_view data) : data_(data) {}
+
+  base::Status U8(std::uint8_t* v);
+  base::Status U32(std::uint32_t* v);
+  base::Status U64(std::uint64_t* v);
+  base::Status I32(std::int32_t* v);
+  base::Status F64(double* v);
+  base::Status Str(std::string* s);
+  /// Fails unless the reader consumed its input exactly.
+  base::Status ExpectEnd() const;
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Artifact serializers ---------------------------------------------------
+// Every Append* has a Read* inverse whose result is semantically identical
+// (and byte-identical under re-Append — the round-trip tests pin this).
+// Readers validate before calling any abort-on-misuse constructor
+// (CQ::AddAtom, Program::AddRule, Instance::AddFact), so a corrupt section
+// degrades to an error Status.
+
+void AppendSchema(const data::Schema& schema, FlatWriter* w);
+base::Result<data::Schema> ReadSchema(FlatReader* r);
+
+void AppendUcq(const fo::UnionOfCq& ucq, FlatWriter* w);
+base::Result<fo::UnionOfCq> ReadUcq(FlatReader* r);
+
+void AppendProgram(const ddlog::Program& program, FlatWriter* w);
+base::Result<ddlog::Program> ReadProgram(FlatReader* r);
+
+void AppendFoRewriting(const core::FoRewriting& fo, FlatWriter* w);
+base::Result<core::FoRewriting> ReadFoRewriting(FlatReader* r);
+
+void AppendDatalogRewriting(const core::DatalogRewriting& datalog,
+                            FlatWriter* w);
+base::Result<core::DatalogRewriting> ReadDatalogRewriting(FlatReader* r);
+
+void AppendExplain(const serve::PlanExplain& explain, FlatWriter* w);
+base::Result<serve::PlanExplain> ReadExplain(FlatReader* r);
+
+/// Length-prefixed data/io.h binary instance (the satellite fast path).
+void AppendInstance(const data::Instance& instance, FlatWriter* w);
+base::Result<data::Instance> ReadInstance(FlatReader* r);
+
+/// Friend-of-ConsistencyPrefilterTemplates (de)serializer: the templates'
+/// compiled state is private by design, so the store reaches it here
+/// instead of widening the serving API.
+struct PlanIo {
+  static void AppendPrefilter(
+      const serve::ConsistencyPrefilterTemplates& templates, FlatWriter* w);
+  static base::Result<serve::ConsistencyPrefilterTemplates> ReadPrefilter(
+      FlatReader* r);
+};
+
+/// Friend-of-Remapper (de)serializer (same rationale as PlanIo).
+struct SatIo {
+  static void AppendRemapper(const sat::Remapper& remapper, FlatWriter* w);
+  static base::Result<sat::Remapper> ReadRemapper(FlatReader* r);
+};
+
+/// The preprocessed-CNF grounding seed: fingerprint + simplified clauses
+/// (kSectionCnf). The remapper rides in its own section.
+void AppendCnf(const ddlog::PreprocessSeed& seed, FlatWriter* w);
+base::Result<ddlog::PreprocessSeed> ReadCnf(FlatReader* r);
+
+}  // namespace obda::store
+
+#endif  // OBDA_STORE_FLAT_H_

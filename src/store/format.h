@@ -1,0 +1,112 @@
+#ifndef OBDA_STORE_FORMAT_H_
+#define OBDA_STORE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <tuple>
+#include <type_traits>
+
+namespace obda::store {
+
+// ---------------------------------------------------------------------------
+// On-disk layout of the artifact store (DESIGN.md §12).
+//
+//   page 0        FileHeader (page-aligned, checksummed)
+//   index pages   num_records × RecordEntry, sorted by SortKey for
+//                 binary search, checksummed as one span
+//   record pages  each record payload starts on a page boundary:
+//                 a section table (u32 count, pad, then per section
+//                 {u32 kind, u32 pad, u64 offset, u64 bytes}) followed by
+//                 the flat section bytes; offsets are relative to the
+//                 payload start, so records relocate freely
+//
+// Everything is fixed-layout, little-endian, and pointer-free: a reader
+// mmaps the file read-only and pays only for the pages it touches. All
+// checksums are the stable 64-bit FNV-1a of base/hash.h.
+// ---------------------------------------------------------------------------
+
+inline constexpr char kStoreMagic[8] = {'O', 'B', 'D', 'A',
+                                        'S', 'T', 'O', 'R'};
+/// Bump on ANY layout change; a reader rejects other versions outright.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+inline constexpr std::uint32_t kStorePageSize = 4096;
+
+struct FileHeader {
+  char magic[8];
+  std::uint32_t format_version = 0;
+  /// serve::kPlannerVersion at generation time. A reader with a different
+  /// planner opens the file fine but treats every lookup as stale (plans
+  /// compiled by another planner must be rejected, not misused).
+  std::uint32_t planner_version = 0;
+  std::uint32_t page_size = 0;
+  std::uint32_t num_records = 0;
+  std::uint64_t index_offset = 0;
+  std::uint64_t index_bytes = 0;
+  std::uint64_t records_offset = 0;
+  std::uint64_t records_bytes = 0;
+  /// Total file size; a shorter actual file is truncation, rejected.
+  std::uint64_t file_bytes = 0;
+  std::uint64_t index_checksum = 0;
+  /// FNV-1a of this header with this field zeroed. Must come last.
+  std::uint64_t header_checksum = 0;
+};
+static_assert(std::is_trivially_copyable_v<FileHeader>);
+static_assert(sizeof(FileHeader) == 80, "on-disk layout is frozen");
+
+/// What one record holds.
+enum RecordKind : std::uint32_t {
+  /// A compiled plan (serve::PlannedOmq): tier artifact + explain record.
+  kRecordPlan = 1,
+  /// A SAT-tier grounding warm start: the preprocessed CNF + remapper for
+  /// one (plan, fact set) pair, plus the instance it was grounded on.
+  kRecordGrounding = 2,
+};
+
+/// One index entry. The first five fields mirror serve::CacheKey verbatim
+/// (the store is probed with serving-layer keys); `aux_hash` is the
+/// session fact-set content hash for groundings and 0 for plans.
+struct RecordEntry {
+  std::uint64_t ontology_hash = 0;
+  std::uint64_t query_hash = 0;
+  std::uint32_t plan_mode = 0;
+  std::uint32_t planner_version = 0;
+  std::uint32_t size_class = 0;
+  std::uint32_t kind = 0;  // RecordKind
+  std::uint64_t aux_hash = 0;
+  /// Absolute payload position (page-aligned) and length.
+  std::uint64_t offset = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t payload_checksum = 0;
+  /// Denormalized plan facts for STORE INFO (tier as serve::PlanTier).
+  std::uint32_t tier = 0;
+  std::uint32_t arity = 0;
+};
+static_assert(std::is_trivially_copyable_v<RecordEntry>);
+static_assert(sizeof(RecordEntry) == 72, "on-disk layout is frozen");
+
+/// The index sort order (writer sorts, loader binary-searches).
+inline auto SortKey(const RecordEntry& e) {
+  return std::make_tuple(e.ontology_hash, e.query_hash, e.plan_mode,
+                         e.planner_version, e.size_class, e.kind,
+                         e.aux_hash);
+}
+
+/// Section kinds inside a record payload.
+enum SectionKind : std::uint32_t {
+  kSectionExplain = 1,    // plan: tier + arity + PlanExplain
+  kSectionProgram = 2,    // plan (SAT tiers): ddlog::Program
+  kSectionFo = 3,         // plan (FO tier): core::FoRewriting
+  kSectionDatalog = 4,    // plan (datalog tier): core::DatalogRewriting
+  kSectionPrefilter = 5,  // plan (SAT tier): consistency templates
+  kSectionCnf = 6,        // grounding: fingerprint + preprocessed clauses
+  kSectionRemapper = 7,   // grounding: sat::Remapper
+  kSectionInstance = 8,   // grounding: binary instance (data/io.h)
+};
+
+inline std::uint64_t PageAlign(std::uint64_t offset) {
+  return (offset + kStorePageSize - 1) & ~std::uint64_t{kStorePageSize - 1};
+}
+
+}  // namespace obda::store
+
+#endif  // OBDA_STORE_FORMAT_H_

@@ -1,0 +1,395 @@
+#include "store/store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <tuple>
+
+#include "base/hash.h"
+#include "obs/metrics.h"
+#include "store/flat.h"
+
+namespace obda::store {
+
+namespace {
+
+auto KeyTuple(const serve::CacheKey& key, RecordKind kind,
+              std::uint64_t aux_hash) {
+  return std::make_tuple(key.ontology_hash, key.query_hash, key.plan_mode,
+                         key.planner_version, key.size_class,
+                         static_cast<std::uint32_t>(kind), aux_hash);
+}
+
+struct LoadMetrics {
+  obs::Counter& hits = obs::GetCounter("store.hits");
+  obs::Counter& misses = obs::GetCounter("store.misses");
+  obs::Counter& stale = obs::GetCounter("store.stale");
+  obs::Counter& load_ns = obs::GetCounter("store.load_ns");
+  obs::Histogram& load = obs::GetHistogram("store.load");
+
+  static LoadMetrics& Get() {
+    static LoadMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+base::Result<std::shared_ptr<const ArtifactStore>> ArtifactStore::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return base::NotFoundError("artifact store: cannot open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return base::InternalError("artifact store: fstat failed on " + path);
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  if (size < sizeof(FileHeader)) {
+    ::close(fd);
+    return base::InvalidArgumentError(
+        "artifact store: " + path + " is shorter than the header (" +
+        std::to_string(size) + " bytes)");
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (map == MAP_FAILED) {
+    return base::InternalError("artifact store: mmap failed on " + path);
+  }
+
+  auto store = std::shared_ptr<ArtifactStore>(new ArtifactStore());
+  store->map_ = map;
+  store->map_bytes_ = size;
+  store->header_ = static_cast<const FileHeader*>(map);
+  const FileHeader& h = *store->header_;
+
+  auto reject = [&](const std::string& why) {
+    return base::InvalidArgumentError("artifact store: " + path + ": " +
+                                      why);
+  };
+  if (std::memcmp(h.magic, kStoreMagic, sizeof(kStoreMagic)) != 0) {
+    return reject("bad magic (not an artifact store)");
+  }
+  {
+    FileHeader for_hash = h;
+    for_hash.header_checksum = 0;
+    const std::uint64_t expected = base::Fnv1a(std::string_view(
+        reinterpret_cast<const char*>(&for_hash), sizeof(for_hash)));
+    if (expected != h.header_checksum) {
+      return reject("header checksum mismatch (corrupt file)");
+    }
+  }
+  if (h.format_version != kStoreFormatVersion) {
+    return reject("format version " + std::to_string(h.format_version) +
+                  " (this build reads " +
+                  std::to_string(kStoreFormatVersion) + ")");
+  }
+  if (h.page_size != kStorePageSize) {
+    return reject("page size " + std::to_string(h.page_size));
+  }
+  if (h.file_bytes != size) {
+    return reject("header claims " + std::to_string(h.file_bytes) +
+                  " bytes but the file has " + std::to_string(size) +
+                  " (truncated?)");
+  }
+  if (h.index_bytes !=
+          static_cast<std::uint64_t>(h.num_records) * sizeof(RecordEntry) ||
+      h.index_offset < sizeof(FileHeader) ||
+      h.index_offset + h.index_bytes > size ||
+      h.records_offset + h.records_bytes > size) {
+    return reject("index/record bounds exceed the file");
+  }
+  store->index_ = reinterpret_cast<const RecordEntry*>(
+      static_cast<const char*>(map) + h.index_offset);
+  {
+    const std::uint64_t expected =
+        h.num_records == 0
+            ? base::kFnvOffsetBasis
+            : base::Fnv1a(std::string_view(
+                  reinterpret_cast<const char*>(store->index_),
+                  h.index_bytes));
+    if (expected != h.index_checksum) {
+      return reject("index checksum mismatch (corrupt file)");
+    }
+  }
+  for (std::uint32_t i = 0; i < h.num_records; ++i) {
+    const RecordEntry& e = store->index_[i];
+    if (e.offset < h.records_offset || e.bytes > size ||
+        e.offset + e.bytes > size) {
+      return reject("record " + std::to_string(i) +
+                    " payload bounds exceed the file");
+    }
+    if (i > 0 && !(SortKey(store->index_[i - 1]) < SortKey(e))) {
+      return reject("index is not strictly sorted (corrupt file)");
+    }
+  }
+
+  Info info;
+  info.path = path;
+  info.format_version = h.format_version;
+  info.planner_version = h.planner_version;
+  info.num_records = h.num_records;
+  info.file_bytes = h.file_bytes;
+  info.planner_version_match = h.planner_version == serve::kPlannerVersion;
+  for (std::uint32_t i = 0; i < h.num_records; ++i) {
+    (store->index_[i].kind == kRecordPlan ? info.num_plans
+                                          : info.num_groundings)++;
+  }
+  store->info_ = std::move(info);
+  return std::shared_ptr<const ArtifactStore>(std::move(store));
+}
+
+ArtifactStore::~ArtifactStore() {
+  if (map_ != nullptr) ::munmap(map_, map_bytes_);
+}
+
+const RecordEntry* ArtifactStore::Find(const serve::CacheKey& key,
+                                       RecordKind kind,
+                                       std::uint64_t aux_hash) const {
+  const auto target = KeyTuple(key, kind, aux_hash);
+  const RecordEntry* begin = index_;
+  const RecordEntry* end = index_ + header_->num_records;
+  const RecordEntry* it = std::lower_bound(
+      begin, end, target, [](const RecordEntry& e, const auto& t) {
+        return SortKey(e) < t;
+      });
+  if (it == end || SortKey(*it) != target) return nullptr;
+  return it;
+}
+
+base::Status ArtifactStore::ReadSections(
+    const RecordEntry& entry,
+    std::vector<std::pair<std::uint32_t, std::string_view>>* sections)
+    const {
+  const std::string_view payload(
+      static_cast<const char*>(map_) + entry.offset, entry.bytes);
+  if (base::Fnv1a(payload) != entry.payload_checksum) {
+    return base::InvalidArgumentError(
+        "artifact store: record payload checksum mismatch (corrupt file)");
+  }
+  FlatReader r(payload);
+  std::uint32_t count = 0;
+  std::uint32_t pad = 0;
+  OBDA_RETURN_IF_ERROR(r.U32(&count));
+  OBDA_RETURN_IF_ERROR(r.U32(&pad));
+  if (count > entry.bytes / 24) {
+    return base::InvalidArgumentError(
+        "artifact store: section table overruns the record");
+  }
+  sections->clear();
+  sections->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t kind = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t bytes = 0;
+    OBDA_RETURN_IF_ERROR(r.U32(&kind));
+    OBDA_RETURN_IF_ERROR(r.U32(&pad));
+    OBDA_RETURN_IF_ERROR(r.U64(&offset));
+    OBDA_RETURN_IF_ERROR(r.U64(&bytes));
+    if (offset > payload.size() || bytes > payload.size() - offset) {
+      return base::InvalidArgumentError(
+          "artifact store: section bounds exceed the record");
+    }
+    sections->emplace_back(kind, payload.substr(offset, bytes));
+  }
+  return base::Status::Ok();
+}
+
+namespace {
+
+std::string_view FindSection(
+    const std::vector<std::pair<std::uint32_t, std::string_view>>& sections,
+    SectionKind kind, bool* found) {
+  for (const auto& [k, bytes] : sections) {
+    if (k == kind) {
+      *found = true;
+      return bytes;
+    }
+  }
+  *found = false;
+  return {};
+}
+
+/// RAII: records one load into store.load / store.load_ns on success.
+class LoadTimer {
+ public:
+  LoadTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Commit() {
+    const auto nanos = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    LoadMetrics::Get().load.Record(nanos);
+    LoadMetrics::Get().load_ns.Add(nanos);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+base::Result<serve::PlannedOmq> ArtifactStore::LoadPlan(
+    const serve::CacheKey& key) const {
+  LoadMetrics& metrics = LoadMetrics::Get();
+  if (!info_.planner_version_match) {
+    metrics.stale.Add();
+    return base::NotFoundError(
+        "artifact store: generated under planner version " +
+        std::to_string(info_.planner_version) + " (stale)");
+  }
+  LoadTimer timer;
+  const RecordEntry* entry = Find(key, kRecordPlan, /*aux_hash=*/0);
+  if (entry == nullptr) {
+    metrics.misses.Add();
+    return base::NotFoundError("artifact store: no plan for this key");
+  }
+  std::vector<std::pair<std::uint32_t, std::string_view>> sections;
+  OBDA_RETURN_IF_ERROR(ReadSections(*entry, &sections));
+
+  serve::PlannedOmq plan;
+  bool found = false;
+  {
+    FlatReader r(FindSection(sections, kSectionExplain, &found));
+    if (!found) {
+      return base::InvalidArgumentError(
+          "artifact store: plan record lacks its explain section");
+    }
+    std::uint32_t tier = 0;
+    std::uint32_t arity = 0;
+    OBDA_RETURN_IF_ERROR(r.U32(&tier));
+    OBDA_RETURN_IF_ERROR(r.U32(&arity));
+    if (tier < 1 || tier > 4 || arity > 64) {
+      return base::InvalidArgumentError(
+          "artifact store: plan tier/arity out of range");
+    }
+    plan.tier = static_cast<serve::PlanTier>(tier);
+    plan.arity = static_cast<int>(arity);
+    base::Result<serve::PlanExplain> explain = ReadExplain(&r);
+    if (!explain.ok()) return explain.status();
+    OBDA_RETURN_IF_ERROR(r.ExpectEnd());
+    plan.explain = std::move(*explain);
+  }
+  switch (plan.tier) {
+    case serve::PlanTier::kFo: {
+      FlatReader r(FindSection(sections, kSectionFo, &found));
+      if (!found) {
+        return base::InvalidArgumentError(
+            "artifact store: FO plan lacks its rewriting section");
+      }
+      base::Result<core::FoRewriting> fo = ReadFoRewriting(&r);
+      if (!fo.ok()) return fo.status();
+      OBDA_RETURN_IF_ERROR(r.ExpectEnd());
+      plan.fo = std::move(*fo);
+      break;
+    }
+    case serve::PlanTier::kDatalog: {
+      FlatReader r(FindSection(sections, kSectionDatalog, &found));
+      if (!found) {
+        return base::InvalidArgumentError(
+            "artifact store: datalog plan lacks its rewriting section");
+      }
+      base::Result<core::DatalogRewriting> datalog =
+          ReadDatalogRewriting(&r);
+      if (!datalog.ok()) return datalog.status();
+      OBDA_RETURN_IF_ERROR(r.ExpectEnd());
+      plan.datalog = std::move(*datalog);
+      break;
+    }
+    default: {  // kSat / kSatRaw
+      FlatReader r(FindSection(sections, kSectionProgram, &found));
+      if (!found) {
+        return base::InvalidArgumentError(
+            "artifact store: SAT plan lacks its program section");
+      }
+      base::Result<ddlog::Program> program = ReadProgram(&r);
+      if (!program.ok()) return program.status();
+      OBDA_RETURN_IF_ERROR(r.ExpectEnd());
+      plan.program = std::move(*program);
+      const std::string_view prefilter_bytes =
+          FindSection(sections, kSectionPrefilter, &found);
+      if (found) {
+        FlatReader pr(prefilter_bytes);
+        base::Result<serve::ConsistencyPrefilterTemplates> templates =
+            PlanIo::ReadPrefilter(&pr);
+        if (!templates.ok()) return templates.status();
+        OBDA_RETURN_IF_ERROR(pr.ExpectEnd());
+        plan.prefilter =
+            std::make_shared<const serve::ConsistencyPrefilterTemplates>(
+                std::move(*templates));
+      }
+      break;
+    }
+  }
+  metrics.hits.Add();
+  timer.Commit();
+  return plan;
+}
+
+base::Result<ArtifactStore::LoadedGrounding> ArtifactStore::LoadGrounding(
+    const serve::CacheKey& key, std::uint64_t content_hash) const {
+  LoadMetrics& metrics = LoadMetrics::Get();
+  if (!info_.planner_version_match) {
+    metrics.stale.Add();
+    return base::NotFoundError(
+        "artifact store: generated under planner version " +
+        std::to_string(info_.planner_version) + " (stale)");
+  }
+  LoadTimer timer;
+  const RecordEntry* entry = Find(key, kRecordGrounding, content_hash);
+  if (entry == nullptr) {
+    metrics.misses.Add();
+    return base::NotFoundError(
+        "artifact store: no grounding for this key + fact set");
+  }
+  std::vector<std::pair<std::uint32_t, std::string_view>> sections;
+  OBDA_RETURN_IF_ERROR(ReadSections(*entry, &sections));
+
+  LoadedGrounding loaded;
+  bool found = false;
+  {
+    FlatReader r(FindSection(sections, kSectionCnf, &found));
+    if (!found) {
+      return base::InvalidArgumentError(
+          "artifact store: grounding record lacks its CNF section");
+    }
+    base::Result<ddlog::PreprocessSeed> seed = ReadCnf(&r);
+    if (!seed.ok()) return seed.status();
+    OBDA_RETURN_IF_ERROR(r.ExpectEnd());
+    FlatReader rr(FindSection(sections, kSectionRemapper, &found));
+    if (!found) {
+      return base::InvalidArgumentError(
+          "artifact store: grounding record lacks its remapper section");
+    }
+    base::Result<sat::Remapper> remapper = SatIo::ReadRemapper(&rr);
+    if (!remapper.ok()) return remapper.status();
+    OBDA_RETURN_IF_ERROR(rr.ExpectEnd());
+    seed->cnf.remapper = std::move(*remapper);
+    loaded.seed = std::make_shared<const ddlog::PreprocessSeed>(
+        std::move(*seed));
+  }
+  {
+    FlatReader r(FindSection(sections, kSectionInstance, &found));
+    if (!found) {
+      return base::InvalidArgumentError(
+          "artifact store: grounding record lacks its instance section");
+    }
+    base::Result<data::Instance> instance = ReadInstance(&r);
+    if (!instance.ok()) return instance.status();
+    OBDA_RETURN_IF_ERROR(r.ExpectEnd());
+    loaded.instance =
+        std::make_shared<const data::Instance>(std::move(*instance));
+  }
+  metrics.hits.Add();
+  timer.Commit();
+  return loaded;
+}
+
+}  // namespace obda::store

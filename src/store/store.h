@@ -1,0 +1,101 @@
+#ifndef OBDA_STORE_STORE_H_
+#define OBDA_STORE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "ddlog/eval.h"
+#include "serve/planner.h"
+#include "serve/prepared.h"
+#include "store/format.h"
+
+namespace obda::store {
+
+/// A read-only, memory-mapped artifact store (DESIGN.md §12): compiled
+/// PreparedQuery artifacts keyed by the serving layer's CacheKey. Open
+/// validates the header and index checksums (O(index), not O(file)) and
+/// maps the file PROT_READ/MAP_SHARED, so
+///  * opening pays only for the pages actually touched, and
+///  * any number of processes share one copy of the page cache.
+///
+/// Thread safety: the store is immutable after Open; every method is
+/// const and safe to call concurrently. Loaded artifacts copy out of the
+/// mapping, so their lifetime is independent of the store's (a Session
+/// snapshot can outlive the mmap).
+///
+/// Version skew: a file whose format_version differs is rejected at Open;
+/// a file whose PLANNER version differs opens fine but misses every
+/// lookup (counted in store.stale) — stale plans are rejected, not
+/// misused.
+class ArtifactStore {
+ public:
+  struct Info {
+    std::string path;
+    std::uint32_t format_version = 0;
+    std::uint32_t planner_version = 0;
+    std::uint32_t num_records = 0;
+    std::uint64_t num_plans = 0;
+    std::uint64_t num_groundings = 0;
+    std::uint64_t file_bytes = 0;
+    /// False when the file was generated under a different planner
+    /// version (every lookup then misses as stale).
+    bool planner_version_match = false;
+  };
+
+  /// A loaded SAT-tier grounding warm start.
+  struct LoadedGrounding {
+    std::shared_ptr<const ddlog::PreprocessSeed> seed;
+    std::shared_ptr<const data::Instance> instance;
+  };
+
+  /// Opens and validates `path`. Corrupt, truncated, or format-skewed
+  /// files are kInvalidArgument — the caller must treat that as fatal,
+  /// never as "no store".
+  static base::Result<std::shared_ptr<const ArtifactStore>> Open(
+      const std::string& path);
+
+  ~ArtifactStore();
+  ArtifactStore(const ArtifactStore&) = delete;
+  ArtifactStore& operator=(const ArtifactStore&) = delete;
+
+  const Info& info() const { return info_; }
+
+  /// Looks up and deserializes the plan for `key`. kNotFound on a miss
+  /// (including planner-version skew, counted as store.stale);
+  /// kInvalidArgument on a checksum or decode failure. Mirrors
+  /// store.{hits,misses,stale} and the store.load histogram.
+  base::Result<serve::PlannedOmq> LoadPlan(const serve::CacheKey& key) const;
+
+  /// Looks up the grounding warm start for (key, session fact-set content
+  /// hash). Same status/metric conventions as LoadPlan.
+  base::Result<LoadedGrounding> LoadGrounding(
+      const serve::CacheKey& key, std::uint64_t content_hash) const;
+
+ private:
+  ArtifactStore() = default;
+
+  /// Binary search over the sorted index; nullptr on miss.
+  const RecordEntry* Find(const serve::CacheKey& key, RecordKind kind,
+                          std::uint64_t aux_hash) const;
+  /// Checksum-verifies a record and splits it into sections.
+  base::Status ReadSections(
+      const RecordEntry& entry,
+      std::vector<std::pair<std::uint32_t, std::string_view>>* sections)
+      const;
+
+  void* map_ = nullptr;
+  std::size_t map_bytes_ = 0;
+  const FileHeader* header_ = nullptr;
+  const RecordEntry* index_ = nullptr;
+  Info info_;
+};
+
+}  // namespace obda::store
+
+#endif  // OBDA_STORE_STORE_H_

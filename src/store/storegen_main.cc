@@ -1,0 +1,271 @@
+// obda_storegen: offline artifact-store generator (DESIGN.md §12).
+//
+// Replays PREPARE corpus scripts (the same command syntax obda_serve
+// speaks: SCHEMA / ONTOLOGY / ASSERT / RETRACT / PREPARE lines, '#'
+// comments; serving-only verbs like QUERY are skipped, so a serving
+// session script IS a valid corpus) through the real planner, then
+// writes one artifact-store file holding every compiled plan — and, for
+// the SAT tiers, the preprocessed-CNF grounding warm start against each
+// script's final fact set. A serving process started with --store=<file>
+// then PREPAREs from the store instead of compiling.
+//
+// Each --corpus is one session (one SCHEMA); all of them accumulate into
+// a single store file.
+//
+// Usage: obda_storegen --corpus <script> [--corpus <script> ...]
+//                      --out <store-file>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/omq.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+#include "dl/parser.h"
+#include "serve/planner.h"
+#include "serve/prepared.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "store/writer.h"
+
+namespace {
+
+using obda::serve::PlanTier;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "obda_storegen: %s\n", message.c_str());
+  return 1;
+}
+
+struct SatPlan {
+  obda::serve::CacheKey key;
+  obda::ddlog::Program program;
+};
+
+struct GenStats {
+  std::size_t plans = 0;
+  std::size_t groundings = 0;
+};
+
+/// Replays one corpus script into `writer`. Returns 0 on success, else
+/// the process exit code (after printing the offending line).
+int ProcessCorpus(const std::string& corpus_path,
+                  const obda::serve::PrepareOptions& prepare,
+                  obda::store::StoreWriter& writer, GenStats& stats) {
+  std::ifstream corpus(corpus_path);
+  if (!corpus) return Fail("cannot read corpus " + corpus_path);
+
+  std::optional<obda::serve::Session> session;
+  obda::dl::Ontology ontology;
+  std::string ontology_text;
+  std::vector<SatPlan> sat_plans;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(corpus, raw)) {
+    ++line_no;
+    std::string_view line = raw;
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() &&
+           (line.back() == ' ' || line.back() == '\t' ||
+            line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    auto fail_line = [&](const std::string& message) {
+      return Fail(corpus_path + ":" + std::to_string(line_no) + ": " +
+                  message);
+    };
+
+    const std::vector<std::string> tokens = obda::serve::Tokenize(line);
+    const std::string& cmd = tokens[0];
+    if (cmd == "SCHEMA") {
+      if (session.has_value()) return fail_line("SCHEMA given twice");
+      obda::data::Schema schema;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        obda::base::Status status =
+            obda::serve::AddRelationSpec(tokens[i], schema);
+        if (!status.ok()) return fail_line(status.message());
+      }
+      session.emplace(std::move(schema));
+      continue;
+    }
+    if (cmd == "ONTOLOGY") {
+      const std::string_view tail = obda::serve::TailAfter(line, 1);
+      obda::base::Result<obda::dl::Ontology> parsed =
+          obda::dl::ParseOntology(tail);
+      if (!parsed.ok()) return fail_line(parsed.status().message());
+      ontology = std::move(parsed).value();
+      ontology_text = std::string(tail);
+      continue;
+    }
+    if (!session.has_value()) {
+      return fail_line("no session: the corpus must start with SCHEMA");
+    }
+    if (cmd == "ASSERT" || cmd == "RETRACT") {
+      obda::base::Result<std::vector<obda::data::Fact>> facts =
+          obda::data::ParseFacts(obda::serve::TailAfter(line, 1));
+      if (!facts.ok()) return fail_line(facts.status().message());
+      for (const obda::data::Fact& fact : *facts) {
+        obda::base::Result<bool> changed = cmd == "ASSERT"
+                                               ? session->Assert(fact)
+                                               : session->Retract(fact);
+        if (!changed.ok()) return fail_line(changed.status().message());
+      }
+      continue;
+    }
+    if (cmd == "QUERY" || cmd == "EXPLAIN" || cmd == "STATS" ||
+        cmd == "STORE" || cmd == "TRACE" || cmd == "QUIT") {
+      continue;  // serving-only verbs: the corpus doubles as a session script
+    }
+    if (cmd != "PREPARE") return fail_line("unknown command " + cmd);
+
+    // PREPARE <name> [PLAN=<tier>|SAT] AQ|BAQ|PROGRAM <payload> — the
+    // exact CmdPrepare grammar, so the generated keys are bit-identical
+    // to the serving layer's (MakeCacheKey is shared).
+    if (tokens.size() < 4) return fail_line("PREPARE: too few tokens");
+    PlanTier forced = prepare.planner.force;
+    std::size_t kind_idx = 2;
+    if (tokens[2] == "SAT") {
+      forced = PlanTier::kSat;
+      kind_idx = 3;
+    } else if (tokens[2].rfind("PLAN=", 0) == 0) {
+      std::optional<PlanTier> tier =
+          obda::serve::ParsePlanTier(tokens[2].substr(5));
+      if (!tier.has_value()) return fail_line("PREPARE: bad tier");
+      forced = *tier;
+      kind_idx = 3;
+    }
+    if (kind_idx >= tokens.size()) {
+      return fail_line("PREPARE: missing query kind");
+    }
+    const std::string& kind = tokens[kind_idx];
+    const std::string payload(
+        obda::serve::TailAfter(line, static_cast<int>(kind_idx) + 1));
+    if (payload.empty()) return fail_line("PREPARE: missing payload");
+    if (kind != "AQ" && kind != "BAQ" && kind != "PROGRAM") {
+      return fail_line("PREPARE: kind must be AQ, BAQ, or PROGRAM");
+    }
+    if (kind == "PROGRAM") forced = PlanTier::kSat;
+
+    const obda::serve::CacheKey key = obda::serve::MakeCacheKey(
+        session->schema(), ontology_text, kind, payload, forced,
+        session->num_facts());
+
+    obda::serve::PlannedOmq plan;
+    if (kind == "PROGRAM") {
+      obda::base::Result<obda::ddlog::Program> program =
+          obda::ddlog::ParseProgram(session->schema(), payload);
+      if (!program.ok()) return fail_line(program.status().message());
+      obda::base::Status valid = program->Validate();
+      if (!valid.ok()) return fail_line(valid.message());
+      plan.tier = PlanTier::kSat;
+      plan.arity = program->QueryArity();
+      plan.explain.tier = PlanTier::kSat;
+      plan.explain.chosen_by = obda::serve::PlanChoice::kOnly;
+      plan.explain.admissible = {PlanTier::kSat};
+      plan.program = std::move(program).value();
+    } else {
+      obda::serve::PlannerOptions popts = prepare.planner;
+      popts.force = forced;
+      obda::base::Result<obda::core::OntologyMediatedQuery> omq =
+          kind == "AQ"
+              ? obda::core::OntologyMediatedQuery::WithAtomicQuery(
+                    session->schema(), ontology, payload)
+              : obda::core::OntologyMediatedQuery::WithBooleanAtomicQuery(
+                    session->schema(), ontology, payload);
+      if (!omq.ok()) return fail_line(omq.status().message());
+      obda::base::Result<obda::serve::PlannedOmq> planned =
+          obda::serve::PlanOmq(*omq, popts, session->num_facts());
+      if (!planned.ok()) return fail_line(planned.status().message());
+      plan = std::move(planned).value();
+    }
+
+    if (plan.tier == PlanTier::kSat || plan.tier == PlanTier::kSatRaw) {
+      sat_plans.push_back(SatPlan{key, *plan.program});
+    }
+    obda::base::Status added = writer.AddPlan(key, plan);
+    if (!added.ok()) return fail_line(added.message());
+    ++stats.plans;
+  }
+
+  if (!session.has_value()) {
+    return Fail(corpus_path + " defined no SCHEMA — nothing to store");
+  }
+
+  // SAT-tier warm starts against this script's FINAL fact set: ground,
+  // preprocess, export. A serving session that replays the same mutations
+  // finds its content hash here and skips the preprocessing passes.
+  const obda::serve::Session::Snapshot snapshot = session->Materialize();
+  for (const SatPlan& sat : sat_plans) {
+    obda::base::Result<obda::ddlog::GroundedQuery> built =
+        obda::ddlog::GroundedQuery::Build(sat.program, *snapshot.instance,
+                                          prepare.eval);
+    if (!built.ok()) return Fail(built.status().message());
+    obda::base::Result<obda::ddlog::PreprocessSeed> seed =
+        built->ExportPreprocess();
+    if (!seed.ok()) return Fail(seed.status().message());
+    obda::base::Status added = writer.AddGrounding(
+        sat.key, snapshot.content_hash, *snapshot.instance, *seed);
+    if (!added.ok()) return Fail(added.message());
+    ++stats.groundings;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> corpus_paths;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* out) {
+      if (i + 1 >= argc) return false;
+      *out = argv[++i];
+      return true;
+    };
+    if (arg == "--corpus") {
+      std::string path;
+      if (!next(&path)) return Fail("--corpus needs a path");
+      corpus_paths.push_back(std::move(path));
+    } else if (arg == "--out") {
+      if (!next(&out_path)) return Fail("--out needs a path");
+    } else if (arg == "--help") {
+      std::printf(
+          "usage: obda_storegen --corpus <script> [--corpus <script> ...] "
+          "--out <file>\n");
+      return 0;
+    } else {
+      return Fail("unknown argument " + arg);
+    }
+  }
+  if (corpus_paths.empty() || out_path.empty()) {
+    return Fail(
+        "usage: obda_storegen --corpus <script> [--corpus <script> ...] "
+        "--out <file>");
+  }
+
+  const obda::serve::PrepareOptions prepare;  // the serving defaults
+  obda::store::StoreWriter writer;
+  GenStats stats;
+  for (const std::string& corpus_path : corpus_paths) {
+    const int rc = ProcessCorpus(corpus_path, prepare, writer, stats);
+    if (rc != 0) return rc;
+  }
+
+  obda::base::Status written = writer.WriteFile(out_path);
+  if (!written.ok()) return Fail(written.message());
+  std::printf(
+      "obda_storegen: wrote %s records=%zu plans=%zu groundings=%zu\n",
+      out_path.c_str(), writer.num_records(), stats.plans,
+      stats.groundings);
+  return 0;
+}

@@ -1,0 +1,229 @@
+#include "store/writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "base/hash.h"
+#include "store/flat.h"
+
+namespace obda::store {
+
+namespace {
+
+/// Assembles a record payload: section table + concatenated section bytes
+/// (offsets relative to the payload start — records relocate freely).
+std::string AssemblePayload(
+    const std::vector<std::pair<SectionKind, std::string>>& sections) {
+  FlatWriter w;
+  w.U32(static_cast<std::uint32_t>(sections.size()));
+  w.U32(0);  // pad to 8
+  std::uint64_t offset = 8 + 24 * static_cast<std::uint64_t>(sections.size());
+  for (const auto& [kind, bytes] : sections) {
+    w.U32(kind);
+    w.U32(0);  // pad
+    w.U64(offset);
+    w.U64(bytes.size());
+    offset += bytes.size();
+  }
+  for (const auto& [kind, bytes] : sections) w.Bytes(bytes);
+  return w.Take();
+}
+
+RecordEntry EntryForKey(const serve::CacheKey& key, RecordKind kind,
+                        std::uint64_t aux_hash) {
+  RecordEntry entry;
+  entry.ontology_hash = key.ontology_hash;
+  entry.query_hash = key.query_hash;
+  entry.plan_mode = key.plan_mode;
+  entry.planner_version = key.planner_version;
+  entry.size_class = key.size_class;
+  entry.kind = kind;
+  entry.aux_hash = aux_hash;
+  return entry;
+}
+
+}  // namespace
+
+StoreWriter::StoreWriter(std::uint32_t planner_version)
+    : planner_version_(planner_version) {}
+
+base::Status StoreWriter::AddPlan(const serve::CacheKey& key,
+                                  const serve::PlannedOmq& plan) {
+  if (key.planner_version != planner_version_) {
+    return base::InvalidArgumentError(
+        "AddPlan: key planner version " +
+        std::to_string(key.planner_version) + " != store's " +
+        std::to_string(planner_version_));
+  }
+  std::vector<std::pair<SectionKind, std::string>> sections;
+  {
+    FlatWriter w;
+    w.U32(static_cast<std::uint32_t>(plan.tier));
+    w.U32(static_cast<std::uint32_t>(plan.arity));
+    AppendExplain(plan.explain, &w);
+    sections.emplace_back(kSectionExplain, w.Take());
+  }
+  switch (plan.tier) {
+    case serve::PlanTier::kFo: {
+      if (!plan.fo.has_value()) {
+        return base::InvalidArgumentError(
+            "AddPlan: FO tier without a rewriting artifact");
+      }
+      FlatWriter w;
+      AppendFoRewriting(*plan.fo, &w);
+      sections.emplace_back(kSectionFo, w.Take());
+      break;
+    }
+    case serve::PlanTier::kDatalog: {
+      if (!plan.datalog.has_value()) {
+        return base::InvalidArgumentError(
+            "AddPlan: datalog tier without a rewriting artifact");
+      }
+      FlatWriter w;
+      AppendDatalogRewriting(*plan.datalog, &w);
+      sections.emplace_back(kSectionDatalog, w.Take());
+      break;
+    }
+    case serve::PlanTier::kSat:
+    case serve::PlanTier::kSatRaw: {
+      if (!plan.program.has_value()) {
+        return base::InvalidArgumentError(
+            "AddPlan: SAT tier without an MDDlog program");
+      }
+      FlatWriter w;
+      AppendProgram(*plan.program, &w);
+      sections.emplace_back(kSectionProgram, w.Take());
+      if (plan.prefilter != nullptr) {
+        FlatWriter pw;
+        PlanIo::AppendPrefilter(*plan.prefilter, &pw);
+        sections.emplace_back(kSectionPrefilter, pw.Take());
+      }
+      break;
+    }
+    default:
+      return base::InvalidArgumentError(
+          "AddPlan: plan carries no concrete tier");
+  }
+
+  Pending pending;
+  pending.entry = EntryForKey(key, kRecordPlan, /*aux_hash=*/0);
+  pending.entry.tier = static_cast<std::uint32_t>(plan.tier);
+  pending.entry.arity = static_cast<std::uint32_t>(plan.arity);
+  pending.payload = AssemblePayload(sections);
+  return Add(std::move(pending));
+}
+
+base::Status StoreWriter::AddGrounding(const serve::CacheKey& key,
+                                       std::uint64_t content_hash,
+                                       const data::Instance& instance,
+                                       const ddlog::PreprocessSeed& seed) {
+  if (key.planner_version != planner_version_) {
+    return base::InvalidArgumentError(
+        "AddGrounding: key planner version mismatch");
+  }
+  std::vector<std::pair<SectionKind, std::string>> sections;
+  {
+    FlatWriter w;
+    AppendCnf(seed, &w);
+    sections.emplace_back(kSectionCnf, w.Take());
+  }
+  {
+    FlatWriter w;
+    SatIo::AppendRemapper(seed.cnf.remapper, &w);
+    sections.emplace_back(kSectionRemapper, w.Take());
+  }
+  {
+    FlatWriter w;
+    AppendInstance(instance, &w);
+    sections.emplace_back(kSectionInstance, w.Take());
+  }
+  Pending pending;
+  pending.entry = EntryForKey(key, kRecordGrounding, content_hash);
+  pending.payload = AssemblePayload(sections);
+  return Add(std::move(pending));
+}
+
+base::Status StoreWriter::Add(Pending pending) {
+  for (const Pending& existing : records_) {
+    if (SortKey(existing.entry) == SortKey(pending.entry)) {
+      // The corpus replayed this PREPARE (or re-reached the same fact
+      // set); the first artifact wins, duplicates are dropped.
+      return base::Status::Ok();
+    }
+  }
+  records_.push_back(std::move(pending));
+  return base::Status::Ok();
+}
+
+base::Status StoreWriter::WriteFile(const std::string& path) const {
+  std::vector<const Pending*> ordered;
+  ordered.reserve(records_.size());
+  for (const Pending& pending : records_) ordered.push_back(&pending);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Pending* a, const Pending* b) {
+              return SortKey(a->entry) < SortKey(b->entry);
+            });
+
+  FileHeader header;
+  std::memcpy(header.magic, kStoreMagic, sizeof(header.magic));
+  header.format_version = kStoreFormatVersion;
+  header.planner_version = planner_version_;
+  header.page_size = kStorePageSize;
+  header.num_records = static_cast<std::uint32_t>(ordered.size());
+  header.index_offset = kStorePageSize;
+  header.index_bytes = sizeof(RecordEntry) * ordered.size();
+  header.records_offset =
+      PageAlign(header.index_offset + header.index_bytes);
+
+  std::vector<RecordEntry> index;
+  index.reserve(ordered.size());
+  std::uint64_t cursor = header.records_offset;
+  for (const Pending* pending : ordered) {
+    RecordEntry entry = pending->entry;
+    entry.offset = cursor;
+    entry.bytes = pending->payload.size();
+    entry.payload_checksum = base::Fnv1a(pending->payload);
+    index.push_back(entry);
+    cursor = PageAlign(cursor + entry.bytes);
+  }
+  header.records_bytes = cursor - header.records_offset;
+  header.file_bytes = cursor;
+  header.index_checksum =
+      index.empty()
+          ? base::kFnvOffsetBasis
+          : base::Fnv1a(std::string_view(
+                reinterpret_cast<const char*>(index.data()),
+                header.index_bytes));
+  {
+    FileHeader for_hash = header;
+    for_hash.header_checksum = 0;
+    header.header_checksum = base::Fnv1a(std::string_view(
+        reinterpret_cast<const char*>(&for_hash), sizeof(for_hash)));
+  }
+
+  std::string file(static_cast<std::size_t>(header.file_bytes), '\0');
+  std::memcpy(file.data(), &header, sizeof(header));
+  if (!index.empty()) {
+    std::memcpy(file.data() + header.index_offset, index.data(),
+                header.index_bytes);
+  }
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    std::memcpy(file.data() + index[i].offset, ordered[i]->payload.data(),
+                ordered[i]->payload.size());
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return base::InternalError("cannot open " + path + " for writing");
+  }
+  const std::size_t written = std::fwrite(file.data(), 1, file.size(), f);
+  const bool flushed = std::fclose(f) == 0;
+  if (written != file.size() || !flushed) {
+    return base::InternalError("short write to " + path);
+  }
+  return base::Status::Ok();
+}
+
+}  // namespace obda::store

@@ -1,0 +1,59 @@
+#ifndef OBDA_STORE_WRITER_H_
+#define OBDA_STORE_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/status.h"
+#include "data/instance.h"
+#include "ddlog/eval.h"
+#include "serve/planner.h"
+#include "serve/prepared.h"
+#include "store/format.h"
+
+namespace obda::store {
+
+/// Accumulates compiled artifacts in memory and emits one artifact-store
+/// file (format.h): header page, sorted record index, page-aligned flat
+/// payloads. Offline-only — the serving side never writes, it mmaps.
+class StoreWriter {
+ public:
+  explicit StoreWriter(
+      std::uint32_t planner_version = serve::kPlannerVersion);
+
+  /// Adds one compiled plan under its serving cache key. The plan must
+  /// carry a concrete tier with its artifact populated. A key already
+  /// added is skipped (the corpus replayed a PREPARE; first wins).
+  base::Status AddPlan(const serve::CacheKey& key,
+                       const serve::PlannedOmq& plan);
+
+  /// Adds one SAT-tier grounding warm start: the preprocessed CNF +
+  /// remapper exported right after Build, keyed by (plan key, fact-set
+  /// content hash), plus the instance it was grounded on.
+  base::Status AddGrounding(const serve::CacheKey& key,
+                            std::uint64_t content_hash,
+                            const data::Instance& instance,
+                            const ddlog::PreprocessSeed& seed);
+
+  /// Sorts the index and writes the whole file (atomically enough for the
+  /// offline generator: a temp-and-rename is the caller's concern).
+  base::Status WriteFile(const std::string& path) const;
+
+  std::size_t num_records() const { return records_.size(); }
+
+ private:
+  struct Pending {
+    RecordEntry entry;
+    std::string payload;
+  };
+
+  base::Status Add(Pending pending);
+
+  const std::uint32_t planner_version_;
+  std::vector<Pending> records_;
+};
+
+}  // namespace obda::store
+
+#endif  // OBDA_STORE_WRITER_H_

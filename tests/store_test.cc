@@ -1,0 +1,841 @@
+// Artifact-store tests (DESIGN.md §12): the stable FNV-1a hashes the
+// on-disk index is addressed by, the flat serializers' round-trip and
+// never-abort-on-garbage guarantees, the Remapper (de)serialization the
+// SAT warm starts depend on, the write → mmap-load → FromArtifacts
+// battery (≥50 seeded OMQ/instance pairs bit-identical to freshly
+// compiled plans at threads {1,2,8}), grounding warm starts engaging the
+// snapshot-time preprocessor, rejection of corrupt/truncated/skewed
+// files, the two-tier PreparedCache, and the STORE INFO protocol verb.
+// (This binary also runs under AddressSanitizer in CI — the mmap loader
+// and the bounds-checked FlatReader are the point of that job.)
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/rng.h"
+#include "core/csp_translation.h"
+#include "core/omq.h"
+#include "data/generator.h"
+#include "data/io.h"
+#include "ddlog/eval.h"
+#include "ddlog/program.h"
+#include "dl/parser.h"
+#include "obs/metrics.h"
+#include "sat/preprocess.h"
+#include "serve/planner.h"
+#include "serve/prepared.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "store/flat.h"
+#include "store/format.h"
+#include "store/store.h"
+#include "store/writer.h"
+
+namespace obda::store {
+namespace {
+
+using data::Fact;
+using data::Schema;
+using serve::CacheKey;
+using serve::PlanTier;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+// The same two OMQ families planner_test pins (tier choices proven
+// there); here they are the store's payloads.
+base::Result<core::OntologyMediatedQuery> DisjunctionOmq() {
+  auto ontology =
+      dl::ParseOntology("LymeDisease | Listeriosis [= BacterialInfection");
+  OBDA_CHECK(ontology.ok());
+  Schema s;
+  s.AddRelation("LymeDisease", 1);
+  s.AddRelation("Listeriosis", 1);
+  return core::OntologyMediatedQuery::WithAtomicQuery(s, *ontology,
+                                                      "BacterialInfection");
+}
+
+base::Result<core::OntologyMediatedQuery> ReachabilityOmq() {
+  auto ontology = dl::ParseOntology("A [= all R.A");
+  OBDA_CHECK(ontology.ok());
+  Schema s;
+  s.AddRelation("A", 1);
+  s.AddRelation("R", 2);
+  return core::OntologyMediatedQuery::WithAtomicQuery(s, *ontology, "A");
+}
+
+/// A synthetic but well-formed store key: the loader only compares key
+/// fields, so the battery does not need to route through MakeCacheKey
+/// (which has its own tests below and an end-to-end CI replay).
+CacheKey KeyFor(const std::string& family, PlanTier tier) {
+  CacheKey key;
+  key.ontology_hash = serve::HashText(family);
+  key.query_hash = serve::HashText(serve::PlanTierName(tier));
+  key.plan_mode = static_cast<std::uint32_t>(tier);
+  key.planner_version = serve::kPlannerVersion;
+  return key;
+}
+
+// --- Stable hashing ---------------------------------------------------------
+
+TEST(StoreHashTest, FnvMatchesSpecVectors) {
+  // Published FNV-1a 64 test vectors: persisting these hashes in files is
+  // only sound because the function is pinned by spec, not by build.
+  EXPECT_EQ(base::Fnv1a(""), base::kFnvOffsetBasis);
+  EXPECT_EQ(base::Fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(base::Fnv1a("hello"), 0xa430d84680aabd0bULL);
+  // Fnv1aU64 is the little-endian byte fold, bit-for-bit.
+  EXPECT_EQ(base::Fnv1aU64(base::kFnvOffsetBasis, 0x61),
+            base::Fnv1a(std::string_view("a\0\0\0\0\0\0\0", 8)));
+}
+
+TEST(StoreHashTest, CacheKeyHashIsTheDocumentedFnvChain) {
+  CacheKey key;
+  key.ontology_hash = 0x1122334455667788ULL;
+  key.query_hash = 0x99aabbccddeeff00ULL;
+  key.plan_mode = 3;
+  key.planner_version = 7;
+  key.size_class = 11;
+  std::uint64_t expected = base::kFnvOffsetBasis;
+  expected = base::Fnv1aU64(expected, key.ontology_hash);
+  expected = base::Fnv1aU64(expected, key.query_hash);
+  expected = base::Fnv1aU64(expected, key.plan_mode);
+  expected = base::Fnv1aU64(expected, key.planner_version);
+  expected = base::Fnv1aU64(expected, key.size_class);
+  EXPECT_EQ(serve::CacheKeyHash{}(key),
+            static_cast<std::size_t>(expected));
+  EXPECT_EQ(serve::HashText("hello"), base::Fnv1a("hello"));
+}
+
+TEST(StoreHashTest, MakeCacheKeySeparatesWhatThePlanDependsOn) {
+  Schema schema;
+  ASSERT_TRUE(serve::AddRelationSpec("LymeDisease/1", schema).ok());
+  ASSERT_TRUE(serve::AddRelationSpec("Listeriosis/1", schema).ok());
+  const std::string onto = "LymeDisease | Listeriosis [= BacterialInfection";
+
+  const CacheKey a = serve::MakeCacheKey(schema, onto, "AQ",
+                                         "BacterialInfection",
+                                         PlanTier::kAuto, 0);
+  EXPECT_EQ(a, serve::MakeCacheKey(schema, onto, "AQ", "BacterialInfection",
+                                   PlanTier::kAuto, 0));
+  EXPECT_EQ(a.planner_version, serve::kPlannerVersion);
+
+  // A forced tier is a distinct entry; a different payload or kind too.
+  EXPECT_NE(a, serve::MakeCacheKey(schema, onto, "AQ", "BacterialInfection",
+                                   PlanTier::kSat, 0));
+  EXPECT_NE(a.query_hash,
+            serve::MakeCacheKey(schema, onto, "BAQ", "BacterialInfection",
+                                PlanTier::kAuto, 0)
+                .query_hash);
+  EXPECT_NE(a.query_hash,
+            serve::MakeCacheKey(schema, onto, "AQ", "LymeDisease",
+                                PlanTier::kAuto, 0)
+                .query_hash);
+
+  // Auto plans re-key per log2 size class; forced tiers are
+  // size-independent (PlanProtocolTest pins the serving behavior).
+  EXPECT_NE(a, serve::MakeCacheKey(schema, onto, "AQ", "BacterialInfection",
+                                   PlanTier::kAuto, 1000));
+  EXPECT_EQ(serve::MakeCacheKey(schema, onto, "AQ", "BacterialInfection",
+                                PlanTier::kSat, 0),
+            serve::MakeCacheKey(schema, onto, "AQ", "BacterialInfection",
+                                PlanTier::kSat, 1000));
+}
+
+// --- Flat serializers -------------------------------------------------------
+
+TEST(FlatIoTest, ScalarsRoundTripAndReadsPastEndError) {
+  FlatWriter w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEF);
+  w.U64(0x0123456789ABCDEFULL);
+  w.I32(-42);
+  w.F64(-2.5);
+  w.Str("hello world");
+  const std::string bytes = w.Take();
+
+  FlatReader r(bytes);
+  std::uint8_t u8 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  std::int32_t i32 = 0;
+  double f64 = 0;
+  std::string str;
+  ASSERT_TRUE(r.U8(&u8).ok());
+  ASSERT_TRUE(r.U32(&u32).ok());
+  ASSERT_TRUE(r.U64(&u64).ok());
+  ASSERT_TRUE(r.I32(&i32).ok());
+  ASSERT_TRUE(r.F64(&f64).ok());
+  ASSERT_TRUE(r.Str(&str).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(i32, -42);
+  EXPECT_EQ(f64, -2.5);
+  EXPECT_EQ(str, "hello world");
+  EXPECT_TRUE(r.ExpectEnd().ok());
+  EXPECT_FALSE(r.U8(&u8).ok());  // past the end: error, not UB
+
+  // A string whose length prefix overruns the buffer is an error too.
+  FlatWriter lying;
+  lying.U32(1000);
+  lying.Bytes("short");
+  FlatReader lr(lying.data());
+  EXPECT_FALSE(lr.Str(&str).ok());
+}
+
+TEST(FlatIoTest, SchemaRoundTripsByteIdentically) {
+  Schema schema;
+  schema.AddRelation("E", 2);
+  schema.AddRelation("Label", 1);
+  schema.AddRelation("T", 3);
+  FlatWriter w;
+  AppendSchema(schema, &w);
+  const std::string bytes = w.data();
+
+  FlatReader r(bytes);
+  auto back = ReadSchema(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  ASSERT_EQ(back->NumRelations(), schema.NumRelations());
+  for (data::RelationId rel = 0;
+       rel < static_cast<data::RelationId>(schema.NumRelations()); ++rel) {
+    EXPECT_EQ(back->RelationName(rel), schema.RelationName(rel));
+    EXPECT_EQ(back->Arity(rel), schema.Arity(rel));
+  }
+  FlatWriter again;
+  AppendSchema(*back, &again);
+  EXPECT_EQ(again.data(), bytes);
+}
+
+TEST(FlatIoTest, ProgramRoundTripsAndEveryTruncationFails) {
+  Schema schema;
+  schema.AddRelation("E", 2);
+  auto program = ddlog::ParseProgram(
+      schema,
+      "B(x) | W(x) <- adom(x). goal <- B(x), B(y), E(x,y). "
+      "goal <- W(x), W(y), E(x,y).");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  FlatWriter w;
+  AppendProgram(*program, &w);
+  const std::string bytes = w.data();
+
+  FlatReader r(bytes);
+  auto back = ReadProgram(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_TRUE(back->Validate().ok());
+  FlatWriter again;
+  AppendProgram(*back, &again);
+  EXPECT_EQ(again.data(), bytes);
+
+  // A full parse consumes every byte, so EVERY strict prefix must fail
+  // with an error Status — never an abort (corrupt sections degrade).
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    FlatReader prefix(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(ReadProgram(&prefix).ok()) << "prefix " << len;
+  }
+}
+
+TEST(FlatIoTest, ExplainRoundTripsEveryField) {
+  serve::PlanExplain explain;
+  explain.tier = PlanTier::kDatalog;
+  explain.chosen_by = serve::PlanChoice::kCost;
+  explain.admissible = {PlanTier::kDatalog, PlanTier::kSat};
+  explain.fo_rewritable = 0;
+  explain.datalog_rewritable = -1;  // tri-state: unknown survives
+  explain.templates = 5;
+  explain.obstructions = 17;
+  explain.datalog_rules = 9;
+  explain.program_rules = 4;
+  explain.cost_fo = 0.0;
+  explain.cost_datalog = 123.5;
+  explain.cost_sat = 99000.25;
+  explain.facts_estimate = 4096;
+  explain.prefilter = true;
+  explain.budget_events = {"fo_decide:wall_budget", "datalog:templates"};
+
+  FlatWriter w;
+  AppendExplain(explain, &w);
+  const std::string bytes = w.data();
+  FlatReader r(bytes);
+  auto back = ReadExplain(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  EXPECT_EQ(back->tier, explain.tier);
+  EXPECT_EQ(back->chosen_by, explain.chosen_by);
+  EXPECT_EQ(back->admissible, explain.admissible);
+  EXPECT_EQ(back->fo_rewritable, explain.fo_rewritable);
+  EXPECT_EQ(back->datalog_rewritable, explain.datalog_rewritable);
+  EXPECT_EQ(back->templates, explain.templates);
+  EXPECT_EQ(back->obstructions, explain.obstructions);
+  EXPECT_EQ(back->datalog_rules, explain.datalog_rules);
+  EXPECT_EQ(back->program_rules, explain.program_rules);
+  EXPECT_EQ(back->cost_fo, explain.cost_fo);
+  EXPECT_EQ(back->cost_datalog, explain.cost_datalog);
+  EXPECT_EQ(back->cost_sat, explain.cost_sat);
+  EXPECT_EQ(back->facts_estimate, explain.facts_estimate);
+  EXPECT_EQ(back->prefilter, explain.prefilter);
+  EXPECT_EQ(back->budget_events, explain.budget_events);
+  // The EXPLAIN verb renders the loaded record identically.
+  EXPECT_EQ(serve::ExplainLines(*back), serve::ExplainLines(explain));
+  FlatWriter again;
+  AppendExplain(*back, &again);
+  EXPECT_EQ(again.data(), bytes);
+}
+
+TEST(FlatIoTest, InstanceSectionUsesTheBinaryFastPath) {
+  auto instance = data::ParseInstanceAuto(
+      "E(a,b). E(b,c). Label(a). E(c,a). !const lonely");
+  ASSERT_TRUE(instance.ok()) << instance.status().ToString();
+
+  FlatWriter w;
+  AppendInstance(*instance, &w);
+  const std::string bytes = w.data();
+  FlatReader r(bytes);
+  auto back = ReadInstance(&r);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_TRUE(r.ExpectEnd().ok());
+  // ConstIds are bit-stable across the binary round trip, so the
+  // serializations are byte-identical — and match data/io.h's own binary
+  // format modulo framing (the section embeds it).
+  FlatWriter again;
+  AppendInstance(*back, &again);
+  EXPECT_EQ(again.data(), bytes);
+  std::string direct;
+  data::AppendInstanceBinary(*instance, &direct);
+  auto reparsed = data::ParseInstanceBinary(direct);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(back->UniverseSize(), reparsed->UniverseSize());
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    FlatReader prefix(std::string_view(bytes).substr(0, len));
+    EXPECT_FALSE(ReadInstance(&prefix).ok()) << "prefix " << len;
+  }
+}
+
+// --- Remapper (de)serialization ---------------------------------------------
+
+TEST(RemapperIoTest, TwentySeededCnfsRoundTripLitMapsAndModels) {
+  base::Rng rng(0x5EED);
+  int round_tripped = 0;
+  for (int seed = 0; seed < 20; ++seed) {
+    const std::size_t num_vars = 20;
+    std::vector<std::vector<sat::Lit>> clauses;
+    for (int c = 0; c < 60; ++c) {
+      std::vector<sat::Lit> clause;
+      const int size = 2 + static_cast<int>(rng.Below(3));
+      for (int l = 0; l < size; ++l) {
+        const sat::Var v = static_cast<sat::Var>(rng.Below(num_vars));
+        clause.push_back(rng.Below(2) == 0 ? sat::Lit::Pos(v)
+                                           : sat::Lit::Neg(v));
+      }
+      clauses.push_back(std::move(clause));
+    }
+    std::vector<bool> frozen(num_vars, false);
+    for (std::size_t v = 0; v < 5; ++v) frozen[v] = true;
+    const sat::PreprocessResult result =
+        sat::Preprocess(num_vars, clauses, frozen);
+    if (result.unsat) continue;  // remapper must not be used then
+    ++round_tripped;
+
+    FlatWriter w;
+    SatIo::AppendRemapper(result.remapper, &w);
+    const std::string bytes = w.data();
+    FlatReader r(bytes);
+    auto back = SatIo::ReadRemapper(&r);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_TRUE(r.ExpectEnd().ok());
+
+    ASSERT_EQ(back->num_vars(), result.remapper.num_vars());
+    for (std::size_t v = 0; v < num_vars; ++v) {
+      EXPECT_EQ(back->StateOf(static_cast<sat::Var>(v)),
+                result.remapper.StateOf(static_cast<sat::Var>(v)))
+          << "seed " << seed << " var " << v;
+    }
+    // Frozen variables are what probes assume on: their literal mapping
+    // must survive the round trip exactly.
+    for (std::size_t v = 0; v < 5; ++v) {
+      for (sat::Lit l : {sat::Lit::Pos(static_cast<sat::Var>(v)),
+                         sat::Lit::Neg(static_cast<sat::Var>(v))}) {
+        const sat::Remapper::MappedLit a = result.remapper.MapLit(l);
+        const sat::Remapper::MappedLit b = back->MapLit(l);
+        EXPECT_EQ(a.kind, b.kind) << "seed " << seed;
+        EXPECT_EQ(a.lit.code, b.lit.code) << "seed " << seed;
+      }
+    }
+    // Model completion replays the recorded eliminations: identical
+    // kept-variable values must complete identically.
+    std::vector<char> model_a(num_vars);
+    for (char& bit : model_a) bit = static_cast<char>(rng.Below(2));
+    std::vector<char> model_b = model_a;
+    result.remapper.CompleteModel(&model_a);
+    back->CompleteModel(&model_b);
+    EXPECT_EQ(model_a, model_b) << "seed " << seed;
+  }
+  EXPECT_GE(round_tripped, 10);  // the generator must not be all-UNSAT
+}
+
+// --- The round-trip battery -------------------------------------------------
+
+/// Asserts `count` random facts (constants p0..p7) into every session in
+/// `sessions` in the same order, so raw ConstId answers compare across
+/// them (same helper as planner_test's parity battery).
+void AssertRandomFacts(const Schema& schema, std::uint64_t seed, int count,
+                       std::vector<serve::Session*> sessions) {
+  base::Rng rng(0xFAC75 + seed);
+  for (int i = 0; i < count; ++i) {
+    const data::RelationId r =
+        static_cast<data::RelationId>(rng.Below(schema.NumRelations()));
+    std::vector<std::string> args;
+    for (int a = 0; a < schema.Arity(r); ++a) {
+      args.push_back("p" + std::to_string(rng.Below(8)));
+    }
+    const Fact fact{schema.RelationName(r), args};
+    for (serve::Session* session : sessions) {
+      ASSERT_TRUE(session->Assert(fact).ok());
+    }
+  }
+}
+
+struct BatteryFamily {
+  std::string name;
+  base::Result<core::OntologyMediatedQuery> omq;
+  std::vector<PlanTier> tiers;  // every admissible forced tier
+  int seeds = 0;
+};
+
+TEST(StoreFileTest, FiftyTwoSeededOmqsBitIdenticalAcrossThreads) {
+  std::vector<BatteryFamily> families;
+  families.push_back(
+      {"fo", DisjunctionOmq(), {PlanTier::kFo, PlanTier::kSat}, 20});
+  families.push_back(
+      {"datalog", ReachabilityOmq(), {PlanTier::kDatalog, PlanTier::kSat},
+       20});
+  families.push_back({"conp", core::CspToOmq(data::Clique("E", 3)),
+                      {PlanTier::kSat, PlanTier::kSatRaw}, 12});
+
+  // Offline half: compile every (family, tier) plan and write ONE store.
+  const std::string path = TempPath("battery.store");
+  {
+    StoreWriter writer;
+    for (const BatteryFamily& family : families) {
+      ASSERT_TRUE(family.omq.ok()) << family.name;
+      for (PlanTier tier : family.tiers) {
+        serve::PlannerOptions popts;
+        popts.force = tier;
+        auto plan = serve::PlanOmq(*family.omq, popts, /*session_facts=*/0);
+        ASSERT_TRUE(plan.ok())
+            << family.name << ": " << plan.status().ToString();
+        ASSERT_TRUE(writer.AddPlan(KeyFor(family.name, tier), *plan).ok());
+      }
+    }
+    ASSERT_EQ(writer.num_records(), 6u);
+    ASSERT_TRUE(writer.WriteFile(path).ok());
+  }
+
+  auto store = ArtifactStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_TRUE((*store)->info().planner_version_match);
+  EXPECT_EQ((*store)->info().num_plans, 6u);
+
+  int pairs = 0;
+  for (const BatteryFamily& family : families) {
+    const core::OntologyMediatedQuery& omq = *family.omq;
+    for (int threads : {1, 2, 8}) {
+      // One (loaded, fresh) artifact pair per tier; answers must agree
+      // bit-for-bit on every instance at every thread count.
+      struct TierPair {
+        PlanTier tier;
+        std::shared_ptr<serve::PreparedQuery> loaded;
+        std::shared_ptr<serve::PreparedQuery> fresh;
+      };
+      std::vector<TierPair> tier_pairs;
+      for (PlanTier tier : family.tiers) {
+        serve::PrepareOptions opts;
+        opts.eval.threads = threads;
+        opts.planner.force = tier;
+        auto plan = (*store)->LoadPlan(KeyFor(family.name, tier));
+        ASSERT_TRUE(plan.ok())
+            << family.name << ": " << plan.status().ToString();
+        EXPECT_EQ(plan->tier, tier);
+        auto loaded =
+            serve::PreparedQuery::FromArtifacts(std::move(*plan), opts);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        EXPECT_EQ((*loaded)->tier(), tier);
+        auto fresh = serve::PreparedQuery::FromOmq(omq, opts);
+        ASSERT_TRUE(fresh.ok()) << fresh.status().ToString();
+        tier_pairs.push_back(TierPair{tier, *loaded, *fresh});
+      }
+
+      for (int seed = 0; seed < family.seeds; ++seed) {
+        if (threads == 1) ++pairs;  // count OMQ/instance pairs once
+        for (TierPair& pair : tier_pairs) {
+          serve::Session loaded_session(omq.data_schema());
+          serve::Session fresh_session(omq.data_schema());
+          AssertRandomFacts(omq.data_schema(),
+                            static_cast<std::uint64_t>(seed), 12,
+                            {&loaded_session, &fresh_session});
+          auto got = pair.loaded->Execute(loaded_session,
+                                          serve::RequestBudget{});
+          auto want =
+              pair.fresh->Execute(fresh_session, serve::RequestBudget{});
+          ASSERT_TRUE(got.ok()) << got.status().ToString();
+          ASSERT_TRUE(want.ok()) << want.status().ToString();
+          EXPECT_EQ(got->tuples, want->tuples)
+              << family.name << " seed " << seed << " threads " << threads
+              << " tier " << serve::PlanTierName(pair.tier);
+          EXPECT_EQ(got->inconsistent, want->inconsistent);
+        }
+      }
+    }
+  }
+  EXPECT_GE(pairs, 50);
+}
+
+TEST(StoreFileTest, GroundingWarmStartSeedsThePreprocessor) {
+  auto omq = ReachabilityOmq();
+  ASSERT_TRUE(omq.ok());
+  serve::PlannerOptions popts;
+  popts.force = PlanTier::kSat;
+  auto plan = serve::PlanOmq(*omq, popts, /*session_facts=*/0);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_TRUE(plan->program.has_value());
+
+  const std::vector<Fact> facts = {Fact{"A", {"ann"}},
+                                   Fact{"R", {"ann", "bob"}},
+                                   Fact{"R", {"bob", "cat"}},
+                                   Fact{"R", {"cat", "dan"}}};
+  serve::Session offline(omq->data_schema());
+  for (const Fact& fact : facts) ASSERT_TRUE(offline.Assert(fact).ok());
+  const serve::Session::Snapshot snapshot = offline.Materialize();
+
+  const serve::PrepareOptions prepare;
+  auto grounded = ddlog::GroundedQuery::Build(*plan->program,
+                                              *snapshot.instance,
+                                              prepare.eval);
+  ASSERT_TRUE(grounded.ok()) << grounded.status().ToString();
+  auto seed = grounded->ExportPreprocess();
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+
+  const CacheKey key = KeyFor("warm", PlanTier::kSat);
+  const std::string path = TempPath("warm.store");
+  {
+    StoreWriter writer;
+    ASSERT_TRUE(writer.AddPlan(key, *plan).ok());
+    ASSERT_TRUE(writer
+                    .AddGrounding(key, snapshot.content_hash,
+                                  *snapshot.instance, *seed)
+                    .ok());
+    ASSERT_TRUE(writer.WriteFile(path).ok());
+  }
+  auto store = ArtifactStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_EQ((*store)->info().num_groundings, 1u);
+
+  // The grounding is addressed by (key, fact-set content hash): any other
+  // fact set is a sound miss, never a wrong warm start.
+  auto grounding = (*store)->LoadGrounding(key, snapshot.content_hash);
+  ASSERT_TRUE(grounding.ok()) << grounding.status().ToString();
+  ASSERT_NE(grounding->seed, nullptr);
+  EXPECT_EQ(grounding->seed->fingerprint, seed->fingerprint);
+  EXPECT_EQ((*store)
+                ->LoadGrounding(key, snapshot.content_hash ^ 1)
+                .status()
+                .code(),
+            base::StatusCode::kNotFound);
+
+  // Serving half: the loaded seed short-circuits the snapshot-time
+  // preprocessing passes (ddlog.preprocess_seeded), answers unchanged.
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Global().ResetAll();
+  obs::Counter& seeded = obs::GetCounter("ddlog.preprocess_seeded");
+  auto loaded_plan = (*store)->LoadPlan(key);
+  ASSERT_TRUE(loaded_plan.ok());
+  serve::PrepareOptions opts;
+  opts.planner.force = PlanTier::kSat;
+  auto warm = serve::PreparedQuery::FromArtifacts(std::move(*loaded_plan),
+                                                  opts, grounding->seed);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+
+  serve::Session serving(omq->data_schema());
+  for (const Fact& fact : facts) ASSERT_TRUE(serving.Assert(fact).ok());
+  auto got = (*warm)->Execute(serving, serve::RequestBudget{});
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_EQ(seeded.value(), 1u);
+
+  auto cold = serve::PreparedQuery::FromOmq(*omq, opts);
+  ASSERT_TRUE(cold.ok());
+  serve::Session cold_session(omq->data_schema());
+  for (const Fact& fact : facts) {
+    ASSERT_TRUE(cold_session.Assert(fact).ok());
+  }
+  auto want = (*cold)->Execute(cold_session, serve::RequestBudget{});
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got->tuples, want->tuples);
+  ASSERT_EQ(got->tuples.size(), 4u);  // ann and everything R-reachable
+}
+
+// --- Corruption, truncation, version skew -----------------------------------
+
+/// Writes a one-plan store and returns its bytes.
+std::string ValidStoreBytes(const std::string& path) {
+  auto omq = DisjunctionOmq();
+  OBDA_CHECK(omq.ok());
+  serve::PlannerOptions popts;
+  popts.force = PlanTier::kFo;
+  auto plan = serve::PlanOmq(*omq, popts, 0);
+  OBDA_CHECK(plan.ok());
+  StoreWriter writer;
+  OBDA_CHECK(writer.AddPlan(KeyFor("corrupt", PlanTier::kFo), *plan).ok());
+  OBDA_CHECK(writer.WriteFile(path).ok());
+  return ReadAll(path);
+}
+
+TEST(StoreFileTest, RejectsCorruptionTruncationAndFormatSkew) {
+  const std::string path = TempPath("corrupt.store");
+  const std::string valid = ValidStoreBytes(path);
+  FileHeader header;
+  std::memcpy(&header, valid.data(), sizeof(header));
+  const CacheKey key = KeyFor("corrupt", PlanTier::kFo);
+  ASSERT_TRUE(ArtifactStore::Open(path).ok());  // baseline sanity
+
+  const std::string mutated = TempPath("mutated.store");
+  auto open_fails = [&](const std::string& bytes, const char* why) {
+    WriteAll(mutated, bytes);
+    auto store = ArtifactStore::Open(mutated);
+    EXPECT_FALSE(store.ok()) << why;
+    if (!store.ok()) {
+      EXPECT_EQ(store.status().code(),
+                base::StatusCode::kInvalidArgument)
+          << why << ": " << store.status().ToString();
+    }
+  };
+
+  // Truncation: shorter than the header, mid-index, and one byte short.
+  open_fails(valid.substr(0, sizeof(FileHeader) - 1), "header cut");
+  open_fails(valid.substr(0, sizeof(FileHeader)), "index cut");
+  open_fails(valid.substr(0, valid.size() - 1), "one byte short");
+
+  // Single-byte flips in every checksummed span are caught at Open: the
+  // header (including its magic) and the record index.
+  for (std::size_t pos = 0; pos < sizeof(FileHeader); pos += 7) {
+    std::string bytes = valid;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x5A);
+    open_fails(bytes, "header flip");
+  }
+  for (std::uint64_t pos = header.index_offset;
+       pos < header.index_offset + header.index_bytes; pos += 13) {
+    std::string bytes = valid;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x5A);
+    open_fails(bytes, "index flip");
+  }
+
+  // Payload flips: Open stays O(index) and succeeds, but the per-record
+  // checksum fails the load — a corrupt artifact is never deserialized.
+  const RecordEntry* entry = reinterpret_cast<const RecordEntry*>(
+      valid.data() + header.index_offset);
+  for (std::uint64_t pos = entry->offset;
+       pos < entry->offset + entry->bytes; pos += 31) {
+    std::string bytes = valid;
+    bytes[pos] = static_cast<char>(bytes[pos] ^ 0x5A);
+    WriteAll(mutated, bytes);
+    auto store = ArtifactStore::Open(mutated);
+    ASSERT_TRUE(store.ok()) << "payload flips must not fail Open";
+    EXPECT_EQ((*store)->LoadPlan(key).status().code(),
+              base::StatusCode::kInvalidArgument)
+        << "payload flip at " << pos;
+  }
+
+  // Format-version skew with a VALID checksum is still rejected outright.
+  {
+    std::string bytes = valid;
+    FileHeader skewed = header;
+    skewed.format_version = kStoreFormatVersion + 1;
+    skewed.header_checksum = 0;
+    FileHeader for_hash = skewed;
+    skewed.header_checksum = base::Fnv1a(std::string_view(
+        reinterpret_cast<const char*>(&for_hash), sizeof(for_hash)));
+    std::memcpy(bytes.data(), &skewed, sizeof(skewed));
+    open_fails(bytes, "format skew");
+  }
+}
+
+TEST(StoreFileTest, PlannerVersionSkewIsStaleNotMisused) {
+  auto omq = DisjunctionOmq();
+  ASSERT_TRUE(omq.ok());
+  serve::PlannerOptions popts;
+  popts.force = PlanTier::kFo;
+  auto plan = serve::PlanOmq(*omq, popts, 0);
+  ASSERT_TRUE(plan.ok());
+
+  CacheKey key = KeyFor("stale", PlanTier::kFo);
+  key.planner_version = serve::kPlannerVersion + 1;
+  const std::string path = TempPath("stale.store");
+  {
+    // The generator stamps ITS planner version; a mismatched key is a
+    // generator bug and refused immediately.
+    StoreWriter writer(serve::kPlannerVersion + 1);
+    ASSERT_TRUE(writer.AddPlan(key, *plan).ok());
+    ASSERT_FALSE(writer.AddPlan(KeyFor("stale", PlanTier::kFo), *plan).ok());
+    ASSERT_TRUE(writer.WriteFile(path).ok());
+  }
+
+  // The file opens fine (format is compatible) but every lookup is a
+  // stale miss: plans compiled by another planner are rejected, not
+  // misused.
+  auto store = ArtifactStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  EXPECT_FALSE((*store)->info().planner_version_match);
+  obs::EnableMetrics(true);
+  obs::Counter& stale = obs::GetCounter("store.stale");
+  const std::uint64_t stale_before = stale.value();
+  EXPECT_EQ((*store)->LoadPlan(key).status().code(),
+            base::StatusCode::kNotFound);
+  EXPECT_EQ((*store)->LoadGrounding(key, 0).status().code(),
+            base::StatusCode::kNotFound);
+  EXPECT_EQ(stale.value(), stale_before + 2);
+}
+
+// --- The two-tier cache and the serving protocol ----------------------------
+
+TEST(PreparedCacheTest, SecondTierLoaderPromotesIntoMemory) {
+  auto omq = DisjunctionOmq();
+  ASSERT_TRUE(omq.ok());
+  auto artifact = serve::PreparedQuery::FromOmq(*omq, {});
+  ASSERT_TRUE(artifact.ok());
+
+  serve::PreparedCache cache(4);
+  const CacheKey hit_key = KeyFor("cache", PlanTier::kFo);
+  int loader_calls = 0;
+  std::uint64_t last_content_hash = 0;
+  cache.SetSecondTier(
+      [&](const CacheKey& key, std::uint64_t session_content_hash)
+          -> std::shared_ptr<serve::PreparedQuery> {
+        ++loader_calls;
+        last_content_hash = session_content_hash;
+        if (key == hit_key) return *artifact;
+        return nullptr;
+      });
+
+  // Miss in memory → loader hit → promoted: the second lookup is pure
+  // memory (the loader is not consulted again).
+  EXPECT_EQ(cache.Lookup(hit_key, /*session_content_hash=*/42).get(),
+            artifact->get());
+  EXPECT_EQ(loader_calls, 1);
+  EXPECT_EQ(last_content_hash, 42u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Lookup(hit_key, 42).get(), artifact->get());
+  EXPECT_EQ(loader_calls, 1);
+
+  // Loader miss stays a miss and is NOT cached (the store may be
+  // attached later / the key may appear in a regenerated store).
+  const CacheKey miss_key = KeyFor("cache", PlanTier::kSat);
+  EXPECT_EQ(cache.Lookup(miss_key), nullptr);
+  EXPECT_EQ(loader_calls, 2);
+  EXPECT_EQ(cache.Lookup(miss_key), nullptr);
+  EXPECT_EQ(loader_calls, 3);
+}
+
+TEST(ServerStoreTest, PrepareServesFromStoreAndStoreInfoReports) {
+  // Generate a store holding the auto-planned artifact for the exact
+  // PREPARE the server will receive — MakeCacheKey is the shared key
+  // builder, so the server's probe must hit it.
+  Schema schema;
+  ASSERT_TRUE(serve::AddRelationSpec("LymeDisease/1", schema).ok());
+  ASSERT_TRUE(serve::AddRelationSpec("Listeriosis/1", schema).ok());
+  const std::string onto = "LymeDisease | Listeriosis [= BacterialInfection";
+  auto ontology = dl::ParseOntology(onto);
+  ASSERT_TRUE(ontology.ok());
+  auto omq = core::OntologyMediatedQuery::WithAtomicQuery(
+      schema, *ontology, "BacterialInfection");
+  ASSERT_TRUE(omq.ok());
+  auto plan = serve::PlanOmq(*omq, serve::PlannerOptions(), 0);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->tier, PlanTier::kFo);  // pinned by the smoke golden too
+  const CacheKey key = serve::MakeCacheKey(
+      schema, onto, "AQ", "BacterialInfection", PlanTier::kAuto, 0);
+
+  const std::string path = TempPath("server.store");
+  {
+    StoreWriter writer;
+    ASSERT_TRUE(writer.AddPlan(key, *plan).ok());
+    ASSERT_TRUE(writer.WriteFile(path).ok());
+  }
+  auto store = ArtifactStore::Open(path);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+
+  obs::EnableMetrics(true);
+  obs::MetricsRegistry::Global().ResetAll();
+  serve::ServerOptions options;
+  options.store = *store;
+  serve::Server server(options);
+  auto client = server.NewClient();
+
+  // STORE INFO needs no session.
+  const std::string info = client->HandleLine("STORE INFO");
+  EXPECT_NE(info.find("path " + path), std::string::npos) << info;
+  EXPECT_NE(info.find("format_version 1"), std::string::npos);
+  EXPECT_NE(info.find("(match)"), std::string::npos);
+  EXPECT_NE(info.find("records 1"), std::string::npos);
+  EXPECT_NE(info.find("plans 1"), std::string::npos);
+  EXPECT_NE(info.find("groundings 0"), std::string::npos);
+  EXPECT_NE(info.find("hits=0 misses=0 stale=0"), std::string::npos)
+      << info;
+
+  ASSERT_EQ(client->HandleLine("SCHEMA LymeDisease/1 Listeriosis/1"),
+            "OK relations=2\n");
+  ASSERT_EQ(client->HandleLine("ONTOLOGY " + onto),
+            "OK axioms=1 language=ALC\n");
+  // First PREPARE of this key in the process: the in-memory cache
+  // misses, the mmap store hits — cached=1 with no compilation.
+  EXPECT_EQ(client->HandleLine("PREPARE q AQ BacterialInfection"),
+            "OK plan=fo_rewriting tier=fo cached=1 arity=1\n");
+  EXPECT_EQ(obs::GetCounter("store.hits").value(), 1u);
+  // The loaded artifact answers like any compiled one.
+  ASSERT_EQ(client->HandleLine("ASSERT LymeDisease(ann)"),
+            "OK added=1 generation=1\n");
+  EXPECT_EQ(client->HandleLine("QUERY q"),
+            "(ann)\nOK n=1 plan=fo_rewriting generation=1 grounded=1 "
+            "delta=0\n");
+  const std::string after = client->HandleLine("STORE INFO");
+  EXPECT_NE(after.find("hits=1"), std::string::npos) << after;
+
+  // A key the store lacks falls back to compiling (store.misses moves).
+  EXPECT_EQ(client->HandleLine("PREPARE qs PLAN=sat AQ BacterialInfection"),
+            "OK plan=sat_grounding tier=sat cached=0 arity=1\n");
+  EXPECT_GE(obs::GetCounter("store.misses").value(), 1u);
+
+  // Without a store the verb says so instead of inventing numbers.
+  serve::Server bare;
+  auto bare_client = bare.NewClient();
+  EXPECT_EQ(bare_client->HandleLine("STORE INFO"),
+            "ERR NOT_FOUND: no artifact store attached (--store)\n");
+  EXPECT_EQ(bare_client->HandleLine("STORE BOGUS"),
+            "ERR INVALID_ARGUMENT: usage: STORE INFO\n");
+}
+
+}  // namespace
+}  // namespace obda::store
